@@ -1,0 +1,622 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (see DESIGN.md's experiment index and
+   EXPERIMENTS.md for paper-vs-measured numbers).
+
+   Usage:
+     dune exec bench/main.exe            -- run everything
+     dune exec bench/main.exe -- fig1    -- one experiment
+   Experiments: fig1 fig4 fig5 fig6 bytes-per-line ablation stale micro *)
+
+module Genprog = Cmo_workload.Genprog
+module Suite = Cmo_workload.Suite
+module Pipeline = Cmo_driver.Pipeline
+module Options = Cmo_driver.Options
+module Loader = Cmo_naim.Loader
+module Db = Cmo_profile.Db
+module Vm = Cmo_vm.Vm
+module Ilcodec = Cmo_il.Ilcodec
+module Size = Cmo_il.Size
+module Ilmod = Cmo_il.Ilmod
+
+let mb bytes = float_of_int bytes /. 1024.0 /. 1024.0
+
+let sources_of cfg =
+  List.map
+    (fun (name, text) -> { Pipeline.name; text })
+    (Genprog.generate cfg)
+
+let header title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1: speedups of PBO, CMO, CMO+PBO over the +O2 baseline for
+   the SPECint95-like benchmarks and the MCAD-like ISV applications.
+   Mcad3's baseline is +O1, as in the paper.  The paper could never
+   compile the MCAD applications with CMO alone (section 5), so the
+   harness skips those cells the same way. *)
+(* ------------------------------------------------------------------ *)
+
+let fig1 () =
+  header "Figure 1: speedup over +O2 (Mcad3 over +O1), reference inputs";
+  Printf.printf "%-10s %8s | %7s %7s %9s | %s\n" "program" "lines" "PBO" "CMO"
+    "CMO+PBO" "(baseline Mcycles)";
+  let run_one (name, cfg) =
+    let is_mcad = String.length name >= 4 && String.sub name 0 4 = "mcad" in
+    let sources = sources_of cfg in
+    let lines = Genprog.source_lines (Genprog.generate cfg) in
+    let input = Genprog.reference_input cfg in
+    let db = Pipeline.train ~inputs:[ Genprog.training_input cfg ] sources in
+    let cycles ?profile options =
+      let build = Pipeline.compile ?profile options sources in
+      (Pipeline.run ~input build).Vm.cycles
+    in
+    (* Mcad3's baseline is +O1 (paper: "optimize only within basic
+       block boundaries"), everything else +O2. *)
+    let baseline =
+      if name = "mcad3" then cycles Options.o1 else cycles Options.o2
+    in
+    let pbo = cycles ~profile:db Options.o2_pbo in
+    let cmo = if is_mcad then None else Some (cycles Options.o4) in
+    let cmo_pbo = cycles ~profile:db Options.o4_pbo in
+    let speedup c = float_of_int baseline /. float_of_int c in
+    Printf.printf "%-10s %8d | %7.2f %7s %9.2f | %.1f%s\n%!" name lines
+      (speedup pbo)
+      (match cmo with
+      | Some c -> Printf.sprintf "%.2f" (speedup c)
+      | None -> "n/a")
+      (speedup cmo_pbo)
+      (float_of_int baseline /. 1e6)
+      (if name = "mcad3" then "  [baseline +O1]" else "");
+    (name, speedup pbo, Option.map speedup cmo, speedup cmo_pbo)
+  in
+  let rows = List.map run_one Suite.all in
+  let module Stats = Cmo_support.Stats in
+  let geo f = Stats.geomean (Array.of_list (List.filter_map f rows)) in
+  Printf.printf "%-10s %8s | %7.2f %7.2f %9.2f | geometric means\n" "geomean" ""
+    (geo (fun (_, p, _, _) -> Some p))
+    (geo (fun (_, _, c, _) -> c))
+    (geo (fun (_, _, _, s) -> Some s));
+  let best =
+    List.fold_left (fun acc (_, _, _, s) -> Float.max acc s) 0.0 rows
+  in
+  Printf.printf
+    "(paper: all programs gain; ISV apps gain most, up to 1.71x; best here %.2fx)\n"
+    best
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4: compiler and HLO memory versus lines of code compiled in
+   CMO mode.  NAIM holds the HLO curve sub-linear; with NAIM off the
+   growth is linear.  Memory is the modeled resident footprint (see
+   DESIGN.md on the substitution for process RSS). *)
+(* ------------------------------------------------------------------ *)
+
+let fig4 () =
+  header "Figure 4: optimizer memory vs lines compiled under CMO (mcad1)";
+  (* The paper's figure samples resident memory as a single CMO
+     compilation of Mcad1 progresses through the application's lines.
+     We replay that: register modules one by one into the loader,
+     optimize, then code-generate, sampling the accountant at every
+     step; one pass with NAIM (24 MB machine) and one with NAIM off. *)
+  let module Memstats = Cmo_naim.Memstats in
+  let module Hlo = Cmo_hlo.Hlo in
+  let module Llo = Cmo_llo.Llo in
+  let cfg = Suite.find "mcad1" in
+  let run_pass ~label ~config =
+    let sources = sources_of cfg in
+    let db = Pipeline.train ~inputs:[ Genprog.training_input cfg ] sources in
+    let modules = Pipeline.frontend sources in
+    ignore (Cmo_profile.Correlate.annotate db modules);
+    let cg = Cmo_il.Callgraph.build modules in
+    let mem = Memstats.create () in
+    let loader = Loader.create config mem in
+    let samples = ref [] in
+    let lines = ref 0 in
+    (* Phase A: the linker feeds IL modules to HLO one at a time; the
+       x-axis of the paper's figure is these cumulative lines. *)
+    List.iter
+      (fun (m : Ilmod.t) ->
+        lines := !lines + Ilmod.src_lines m;
+        Loader.register_module loader m;
+        samples := (!lines, Memstats.hlo_resident mem) :: !samples)
+      modules;
+    (* Phase B: cross-module optimization. *)
+    ignore (Hlo.run loader cg (Hlo.o4_options ~profile:true));
+    let opt_peak_hlo = Memstats.peak_hlo mem in
+    (* Phase C: code generation; LLO's (quadratic) working set charges
+       against the accountant per routine, so the overall-compiler
+       peak can exceed the HLO peak here. *)
+    Memstats.reset_peak mem;
+    List.iter
+      (fun fname ->
+        let mname = Loader.module_of_func loader fname in
+        Loader.with_func loader fname (fun f ->
+            ignore (Llo.compile_func ~mem ~layout:true ~module_name:mname f)))
+      (Loader.func_names loader);
+    let codegen_peak = Memstats.peak mem in
+    Loader.close loader;
+    (label, List.rev !samples, opt_peak_hlo, codegen_peak)
+  in
+  let naim =
+    run_pass ~label:"naim"
+      ~config:{ Loader.default_config with Loader.machine_memory = 24 * 1024 * 1024 }
+  in
+  let off =
+    run_pass ~label:"off"
+      ~config:
+        { Loader.default_config with
+          Loader.machine_memory = 1 lsl 40;
+          forced_level = Some Loader.Off }
+  in
+  (* Print ~8 evenly spaced registration-phase samples per pass. *)
+  let print_pass (label, samples, opt_peak_hlo, codegen_peak) =
+    let n = List.length samples in
+    let picks =
+      List.filteri (fun i _ -> i = n - 1 || i mod (max 1 (n / 8)) = 0) samples
+    in
+    Printf.printf "-- NAIM %s --\n" label;
+    Printf.printf "%24s | %10s\n" "lines read in" "HLO MB";
+    List.iter
+      (fun (l, hlo) -> Printf.printf "%24d | %10.2f\n" l (mb hlo))
+      picks;
+    Printf.printf "%24s | %10.2f\n" "HLO peak (optimization)" (mb opt_peak_hlo);
+    Printf.printf "%24s | %10.2f\n%!" "overall peak (codegen)" (mb codegen_peak)
+  in
+  print_pass naim;
+  print_pass off;
+  Printf.printf
+    "(paper: HLO sub-linear with NAIM, linear without; overall higher than HLO\n\
+    \ during code generation of heavily-inlined routines)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5: HLO compile time vs memory when compiling 126.gcc at
+   increasing NAIM levels: everything expanded -> IR compaction ->
+   symbol-table compaction -> disk offloading. *)
+(* ------------------------------------------------------------------ *)
+
+let fig5 () =
+  header "Figure 5: compile time vs memory across NAIM levels (gcc)";
+  Printf.printf "%-16s | %10s | %12s | %s\n" "NAIM level" "HLO sec"
+    "peak HLO MB" "loader (compact/uncompact/offload)";
+  let cfg = Suite.find "gcc" in
+  let sources = sources_of cfg in
+  let db = Pipeline.train ~inputs:[ Genprog.training_input cfg ] sources in
+  let levels =
+    [
+      ("off", Loader.Off);
+      ("ir-compaction", Loader.Ir_compaction);
+      ("st-compaction", Loader.St_compaction);
+      ("offloading", Loader.Offloading);
+    ]
+  in
+  List.iter
+    (fun (label, level) ->
+      (* Small machine so the cache budget forces real eviction
+         traffic; repeat to stabilize the timing. *)
+      let opts =
+        {
+          Options.o4_pbo with
+          Options.naim_level = Some level;
+          machine_memory = 6 * 1024 * 1024;
+        }
+      in
+      let best_time = ref infinity in
+      let peak = ref 0 in
+      let stats = ref None in
+      for _ = 1 to 3 do
+        let build = Pipeline.compile ~profile:db opts sources in
+        let r = build.Pipeline.report in
+        if r.Pipeline.hlo_seconds < !best_time then
+          best_time := r.Pipeline.hlo_seconds;
+        peak := r.Pipeline.mem_peak_hlo;
+        stats := r.Pipeline.loader_stats
+      done;
+      let l =
+        match !stats with
+        | Some s ->
+          Printf.sprintf "%d/%d/%d" s.Loader.compactions s.Loader.uncompactions
+            s.Loader.offloads
+        | None -> "-"
+      in
+      Printf.printf "%-16s | %10.3f | %12.2f | %s\n%!" label !best_time
+        (mb !peak) l)
+    levels;
+  Printf.printf
+    "(paper: 240MB/18min expanded down to 25MB at +50%% compile time)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6: compile time and run time of Mcad1 as the selectivity
+   percentage grows.  Run time should plateau once the hot ~20%% of
+   the code is covered while compile time keeps climbing. *)
+(* ------------------------------------------------------------------ *)
+
+let fig6 () =
+  header "Figure 6: selectivity sweep on mcad1 (CMO+PBO vs PBO-only rest)";
+  Printf.printf "%-8s | %9s %9s | %9s %8s %8s | %10s\n" "sel %" "CMO lines"
+    "of total" "compile s" "opt ops" "inlines" "run Mcyc";
+  let cfg = Suite.find "mcad1" in
+  let sources = sources_of cfg in
+  let input = Genprog.reference_input cfg in
+  let db = Pipeline.train ~inputs:[ Genprog.training_input cfg ] sources in
+  List.iter
+    (fun percent ->
+      let t0 = Sys.time () in
+      let build =
+        Pipeline.compile ~profile:db (Options.o4_pbo_selective percent) sources
+      in
+      let compile_s = Sys.time () -. t0 in
+      let outcome = Pipeline.run ~input build in
+      let r = build.Pipeline.report in
+      let rewrites, inlines =
+        match r.Pipeline.hlo with
+        | Some h ->
+          ( h.Cmo_hlo.Hlo.rewrites,
+            match h.Cmo_hlo.Hlo.inline_stats with
+            | Some s -> s.Cmo_hlo.Inline.operations
+            | None -> 0 )
+        | None -> (0, 0)
+      in
+      Printf.printf "%-8.1f | %9d %8.1f%% | %9.3f %8d %8d | %10.2f\n%!" percent
+        r.Pipeline.cmo_lines
+        (100.0 *. float_of_int r.Pipeline.cmo_lines
+        /. float_of_int (max 1 r.Pipeline.total_lines))
+        compile_s rewrites inlines
+        (float_of_int outcome.Vm.cycles /. 1e6))
+    [ 0.0; 1.0; 2.0; 5.0; 10.0; 20.0; 40.0; 70.0; 100.0 ];
+  Printf.printf
+    "(paper: run time flat past ~20%% of code / 5%% of sites while compile\n\
+    \ time keeps rising; here the run-time knee reproduces, and the growing\n\
+    \ optimizer-operation counts show where the extra CMO effort goes --\n\
+    \ wall-clock compile time stays flat because our scalar phases are\n\
+    \ orders of magnitude cheaper relative to parsing and code generation\n\
+    \ than the 1998 HLO's were)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Section 8's memory-per-line numbers: 1.7 KB/line expanded (HP-UX
+   9.0), ~0.9 KB/line after IR compaction. *)
+(* ------------------------------------------------------------------ *)
+
+let bytes_per_line () =
+  header "Memory per source line (gcc personality)";
+  let cfg = Suite.find "gcc" in
+  let modules = Pipeline.frontend (sources_of cfg) in
+  let lines =
+    List.fold_left (fun acc m -> acc + Ilmod.src_lines m) 0 modules
+  in
+  let expanded =
+    List.fold_left (fun acc m -> acc + Size.module_expanded_bytes m) 0 modules
+  in
+  let compacted =
+    List.fold_left
+      (fun acc m -> acc + String.length (Ilcodec.encode_module m))
+      0 modules
+  in
+  let core =
+    List.fold_left
+      (fun acc (m : Ilmod.t) ->
+        List.fold_left
+          (fun acc f -> acc + Size.func_expanded_core_bytes f)
+          (acc + Size.module_symtab_expanded_bytes m)
+          m.Ilmod.funcs)
+      0 modules
+  in
+  Printf.printf "source lines:             %d\n" lines;
+  Printf.printf "expanded bytes/line:      %.2f KB   (paper: ~1.7 KB, HP-UX 9.0)\n"
+    (float_of_int expanded /. float_of_int lines /. 1024.0);
+  Printf.printf "w/o derived slots:        %.2f KB   (paper: ~0.9 KB after IR compaction)\n"
+    (float_of_int core /. float_of_int lines /. 1024.0);
+  Printf.printf "compacted (measured):     %.2f KB   (relocatable byte form)\n"
+    (float_of_int compacted /. float_of_int lines /. 1024.0);
+  Printf.printf "compaction ratio:         %.1fx\n"
+    (float_of_int expanded /. float_of_int compacted)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks for the core operations behind the
+   figures: compaction/uncompaction (Fig 5's overhead), loader hit
+   path, inlining, the scalar phase pipeline, and VM dispatch. *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  header "Micro-benchmarks (bechamel)";
+  let open Bechamel in
+  let cfg = Suite.find "compress" in
+  let modules = Pipeline.frontend (sources_of cfg) in
+  let some_func =
+    List.find_map
+      (fun (m : Ilmod.t) ->
+        List.find_opt (fun f -> Cmo_il.Func.instr_count f > 30) m.Ilmod.funcs)
+      modules
+    |> Option.get
+  in
+  let names = Cmo_support.Intern.create () in
+  let encoded = Ilcodec.encode_func ~names some_func in
+  let test_compact =
+    Test.make ~name:"ilcodec.encode_func (compaction)"
+      (Staged.stage (fun () -> ignore (Ilcodec.encode_func ~names some_func)))
+  in
+  let test_uncompact =
+    Test.make ~name:"ilcodec.decode_func (uncompaction)"
+      (Staged.stage (fun () -> ignore (Ilcodec.decode_func ~names encoded)))
+  in
+  let test_phase =
+    Test.make ~name:"phase.optimize_func"
+      (Staged.stage (fun () ->
+           ignore (Cmo_hlo.Phase.optimize_func (Ilcodec.roundtrip_func some_func))))
+  in
+  let image =
+    (Pipeline.compile Options.o2 (sources_of cfg)).Pipeline.image
+  in
+  let test_vm =
+    Test.make ~name:"vm.run (compress, training input)"
+      (Staged.stage (fun () ->
+           ignore (Vm.run ~input:(Genprog.training_input cfg) image)))
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let benchmark test =
+    let cfg_b = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) () in
+    let results = Benchmark.all cfg_b [ instance ] test in
+    let results =
+      Analyze.all
+        (Analyze.ols ~bootstrap:0 ~r_square:false
+           ~predictors:[| Measure.run |])
+        instance results
+    in
+    Hashtbl.iter
+      (fun name ols ->
+        match Analyze.OLS.estimates ols with
+        | Some [ est ] -> Printf.printf "%-44s %12.1f ns/run\n%!" name est
+        | Some _ | None -> Printf.printf "%-44s (no estimate)\n%!" name)
+      results
+  in
+  List.iter benchmark [ test_compact; test_uncompact; test_phase; test_vm ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablations for the design choices DESIGN.md calls out: how much of
+   the PBO win is block layout vs routine clustering vs the i-cache
+   model at all; how sensitive inlining is to its density heuristic;
+   and how the NAIM memory budget trades compile time. *)
+(* ------------------------------------------------------------------ *)
+
+let ablation () =
+  let module Ilmod = Cmo_il.Ilmod in
+  let module Llo = Cmo_llo.Llo in
+  let module Objfile = Cmo_link.Objfile in
+  let module Linker = Cmo_link.Linker in
+  let module Cluster = Cmo_link.Cluster in
+  let module Correlate = Cmo_profile.Correlate in
+  let module Inline = Cmo_hlo.Inline in
+  let cfg = Suite.find "gcc" in
+  let input = Genprog.reference_input cfg in
+  let db = Pipeline.train ~inputs:[ Genprog.training_input cfg ] (sources_of cfg) in
+
+  header "Ablation A: code placement (gcc, +O2-grade code, 2x2)";
+  (* Compile the same annotated IL with/without block layout and
+     with/without routine clustering; run under the full cost model. *)
+  let build_image ~layout ~cluster =
+    let modules = Pipeline.frontend (sources_of cfg) in
+    ignore (Correlate.annotate db modules);
+    List.iter
+      (fun (m : Ilmod.t) ->
+        List.iter (fun f -> ignore (Cmo_hlo.Phase.optimize_func f)) m.Ilmod.funcs)
+      modules;
+    let weights =
+      List.concat_map
+        (fun (m : Ilmod.t) ->
+          List.concat_map
+            (fun (f : Cmo_il.Func.t) ->
+              List.filter_map
+                (fun (_, (c : Cmo_il.Instr.call)) ->
+                  if c.Cmo_il.Instr.call_count > 0.0 then
+                    Some
+                      ((f.Cmo_il.Func.name, c.Cmo_il.Instr.callee),
+                       c.Cmo_il.Instr.call_count)
+                  else None)
+                (Cmo_il.Func.site_calls f))
+            m.Ilmod.funcs)
+        modules
+    in
+    let names =
+      List.concat_map
+        (fun (m : Ilmod.t) ->
+          List.map (fun f -> f.Cmo_il.Func.name) m.Ilmod.funcs)
+        modules
+    in
+    let objects =
+      List.map
+        (fun (m : Ilmod.t) ->
+          let codes, _ = Llo.compile_module ~layout m in
+          Objfile.of_code ~module_name:m.Ilmod.mname ~globals:m.Ilmod.globals
+            ~source_digest:"" codes)
+        modules
+    in
+    let routine_order =
+      if cluster then Some (Cluster.order ~names ~weights) else None
+    in
+    match Linker.link ?routine_order objects with
+    | Ok image -> image
+    | Error _ -> failwith "ablation link failed"
+  in
+  Printf.printf "%-28s | %12s | %10s | %8s\n" "configuration" "cycles"
+    "icache miss" "taken br";
+  let baseline = ref 0 in
+  List.iter
+    (fun (label, layout, cluster) ->
+      let image = build_image ~layout ~cluster in
+      let o = Vm.run ~input image in
+      if !baseline = 0 then baseline := o.Vm.cycles;
+      Printf.printf "%-28s | %12d | %10d | %8d  (%.3fx)\n%!" label o.Vm.cycles
+        o.Vm.icache_misses o.Vm.taken_branches
+        (float_of_int !baseline /. float_of_int o.Vm.cycles))
+    [
+      ("neither", false, false);
+      ("block layout only", true, false);
+      ("clustering only", false, true);
+      ("layout + clustering", true, true);
+    ];
+
+  header "Ablation B: the i-cache model itself (unclustered image)";
+  let image = build_image ~layout:false ~cluster:false in
+  List.iter
+    (fun (label, cm) ->
+      let o = Vm.run ~input ~costmodel:cm image in
+      Printf.printf "%-28s | %12d cycles (%d misses)\n%!" label o.Vm.cycles
+        o.Vm.icache_misses)
+    [
+      ("default model", Cmo_vm.Costmodel.default);
+      ("no i-cache penalty", Cmo_vm.Costmodel.no_icache);
+      ("no d-cache penalty", Cmo_vm.Costmodel.no_dcache);
+      ("no load-use stall", Cmo_vm.Costmodel.no_stall);
+    ];
+
+  header "Ablation B2: the list scheduler (same IL, default model)";
+  let build_sched schedule =
+    let modules = Pipeline.frontend (sources_of cfg) in
+    ignore (Correlate.annotate db modules);
+    List.iter
+      (fun (m : Ilmod.t) ->
+        List.iter (fun f -> ignore (Cmo_hlo.Phase.optimize_func f)) m.Ilmod.funcs)
+      modules;
+    let objects =
+      List.map
+        (fun (m : Ilmod.t) ->
+          let codes, _ = Llo.compile_module ~layout:true ~schedule m in
+          Objfile.of_code ~module_name:m.Ilmod.mname ~globals:m.Ilmod.globals
+            ~source_digest:"" codes)
+        modules
+    in
+    match Linker.link objects with
+    | Ok image -> Vm.run ~input image
+    | Error _ -> failwith "ablation link failed"
+  in
+  let unsched = build_sched false in
+  let sched = build_sched true in
+  Printf.printf "%-28s | %12d cycles
+" "no scheduling" unsched.Vm.cycles;
+  Printf.printf "%-28s | %12d cycles  (%.3fx; load-use stalls hidden)
+%!"
+    "list scheduling" sched.Vm.cycles
+    (float_of_int unsched.Vm.cycles /. float_of_int sched.Vm.cycles);
+
+  header "Ablation C: inline density-ratio sweep (gcc, +O4 +P)";
+  Printf.printf "%-8s | %10s | %8s | %10s | %10s\n" "ratio" "cycles"
+    "inlines" "code bytes" "hlo sec";
+  List.iter
+    (fun ratio ->
+      let sources = sources_of cfg in
+      let options =
+        {
+          Options.o4_pbo with
+          Options.inline_config =
+            Some { Inline.default_config with Inline.hot_density_ratio = ratio };
+        }
+      in
+      let build = Pipeline.compile ~profile:db options sources in
+      let o = Pipeline.run ~input build in
+      let inlines =
+        match build.Pipeline.report.Pipeline.hlo with
+        | Some { Cmo_hlo.Hlo.inline_stats = Some s; _ } -> s.Inline.operations
+        | _ -> 0
+      in
+      Printf.printf "%-8.2f | %10d | %8d | %10d | %10.3f\n%!" ratio o.Vm.cycles
+        inlines
+        (Cmo_link.Image.code_bytes build.Pipeline.image)
+        build.Pipeline.report.Pipeline.hlo_seconds)
+    [ 0.25; 0.5; 1.5; 4.0; 16.0; 1000.0 ];
+
+  header "Ablation D: NAIM machine-memory sweep (gcc, +O4 +P)";
+  Printf.printf "%-12s | %10s | %12s | %s\n" "machine MB" "hlo sec"
+    "peak HLO MB" "level reached";
+  List.iter
+    (fun mm ->
+      let sources = sources_of cfg in
+      let options =
+        { Options.o4_pbo with Options.machine_memory = mm * 1024 * 1024 }
+      in
+      let build = Pipeline.compile ~profile:db options sources in
+      let r = build.Pipeline.report in
+      let traffic =
+        match r.Pipeline.loader_stats with
+        | Some s ->
+          if s.Loader.offloads > 0 then "offloading"
+          else if s.Loader.symtab_compactions > 0 then "st-compaction"
+          else if s.Loader.compactions > 0 then "ir-compaction"
+          else "off"
+        | None -> "-"
+      in
+      Printf.printf "%-12d | %10.3f | %12.2f | %s\n%!" mm
+        r.Pipeline.hlo_seconds (mb r.Pipeline.mem_peak_hlo) traffic)
+    [ 4; 8; 16; 32; 256 ]
+
+(* ------------------------------------------------------------------ *)
+(* Stale profiles (section 6.2): "our system does allow old profile
+   data to be used with new code, but as the new code base diverges
+   from the old, the benefits obtained with stale profiles will
+   diminish over time".  We "develop" the application by regenerating
+   a growing fraction of its modules, keep optimizing with the profile
+   trained on the original version, and measure how much of the fresh-
+   profile benefit survives. *)
+(* ------------------------------------------------------------------ *)
+
+let stale () =
+  header "Stale-profile decay (vortex): benefit vs fraction of modules changed";
+  let cfg = Suite.find "vortex" in
+  let input = Genprog.reference_input cfg in
+  let sources_of_listing listing =
+    List.map (fun (name, text) -> { Pipeline.name; text }) listing
+  in
+  let stale_db =
+    Pipeline.train ~inputs:[ Genprog.training_input cfg ]
+      (sources_of_listing (Genprog.generate cfg))
+  in
+  Printf.printf "%-10s | %10s %10s %10s | %s\n" "changed" "O2+P cyc"
+    "stale cyc" "fresh cyc" "benefit retained";
+  List.iter
+    (fun percent ->
+      (* Change every (100/percent)-th module: the sample spreads over
+         both the hot and the cold region. *)
+      let changed =
+        List.init cfg.Genprog.modules Fun.id
+        |> List.filter (fun i ->
+               percent > 0 && i mod (max 1 (100 / percent)) = 0)
+      in
+      let listing = Genprog.evolve cfg ~changed ~evolution:1 in
+      let sources = sources_of_listing listing in
+      let cycles options db =
+        let build = Pipeline.compile ?profile:db options sources in
+        (Pipeline.run ~input build).Vm.cycles
+      in
+      let baseline = cycles Options.o2_pbo (Some stale_db) in
+      let with_stale = cycles Options.o4_pbo (Some stale_db) in
+      let fresh_db = Pipeline.train ~inputs:[ Genprog.training_input cfg ] sources in
+      let with_fresh = cycles Options.o4_pbo (Some fresh_db) in
+      let benefit stale_or_fresh =
+        float_of_int baseline /. float_of_int stale_or_fresh
+      in
+      let retained =
+        if benefit with_fresh <= 1.0 then 1.0
+        else (benefit with_stale -. 1.0) /. (benefit with_fresh -. 1.0)
+      in
+      Printf.printf "%-9d%% | %10d %10d %10d | %6.0f%%\n%!" percent baseline
+        with_stale with_fresh (100.0 *. retained))
+    [ 0; 10; 25; 50; 100 ];
+  Printf.printf
+    "(paper: stale-profile benefit diminishes as the code diverges [Grove et al.])\n"
+
+let all = [ "fig1", fig1; "fig4", fig4; "fig5", fig5; "fig6", fig6;
+            "bytes-per-line", bytes_per_line; "ablation", ablation;
+            "stale", stale; "micro", micro ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: rest when rest <> [] -> rest
+    | _ -> List.map fst all
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name all with
+      | Some f -> f ()
+      | None ->
+        Printf.eprintf "unknown experiment %s (have: %s)\n" name
+          (String.concat ", " (List.map fst all));
+        exit 1)
+    requested

@@ -1,0 +1,465 @@
+(* cmoc: the command-line driver for the CMO toolchain.
+
+   Subcommands mirror the production workflow the paper describes:
+
+     cmoc compile a.mc b.mc -O4 -P --profile app.prof --run
+     cmoc train a.mc b.mc -o app.prof --input 40,17
+     cmoc dump a.mc --what il|asm
+     cmoc gen --bench gcc --dir ./src
+     cmoc bench-info
+
+   Sources are MiniC files; the module name is the file's basename. *)
+
+module Pipeline = Cmo_driver.Pipeline
+module Options = Cmo_driver.Options
+module Buildsys = Cmo_driver.Buildsys
+module Db = Cmo_profile.Db
+module Vm = Cmo_vm.Vm
+module Genprog = Cmo_workload.Genprog
+module Suite = Cmo_workload.Suite
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let source_of_path path =
+  let name = Filename.remove_extension (Filename.basename path) in
+  { Pipeline.name; text = read_file path }
+
+let parse_input s =
+  if s = "" then [||]
+  else
+    String.split_on_char ',' s
+    |> List.map (fun x -> Int64.of_string (String.trim x))
+    |> Array.of_list
+
+(* ---- common arguments ---- *)
+
+let sources_arg =
+  Arg.(non_empty & pos_all file [] & info [] ~docv:"SOURCE" ~doc:"MiniC source files.")
+
+let level_arg =
+  let level =
+    Arg.enum [ ("1", Options.O1); ("2", Options.O2); ("4", Options.O4) ]
+  in
+  Arg.(value & opt level Options.O2 & info [ "O" ] ~docv:"LEVEL"
+         ~doc:"Optimization level: 1 (basic blocks), 2 (intraprocedural), 4 (cross-module).")
+
+let pbo_arg =
+  Arg.(value & flag & info [ "P"; "pbo" ] ~doc:"Profile-based optimization (+P).")
+
+let profile_arg =
+  Arg.(value & opt (some file) None & info [ "profile" ] ~docv:"FILE"
+         ~doc:"Profile database produced by $(b,cmoc train).")
+
+let selectivity_arg =
+  Arg.(value & opt (some float) None & info [ "select" ] ~docv:"PERCENT"
+         ~doc:"Coarse-grained selectivity: compile only the modules containing the hottest PERCENT of call sites with CMO.")
+
+let input_arg =
+  Arg.(value & opt string "" & info [ "input" ] ~docv:"N,N,..."
+         ~doc:"Program input vector (read by the arg intrinsic).")
+
+let jobs_arg =
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Domains for parallel code generation.")
+
+let machine_memory_arg =
+  Arg.(value & opt int 256 & info [ "machine-mb" ] ~docv:"MB"
+         ~doc:"Modeled machine memory for NAIM thresholds.")
+
+let make_options level pbo selectivity machine_mb jobs =
+  {
+    Options.o2 with
+    Options.level;
+    pbo;
+    selectivity;
+    machine_memory = machine_mb * 1024 * 1024;
+    parallel_codegen = max 1 jobs;
+  }
+
+let load_profile = Option.map Db.load
+
+let log_arg =
+  let level =
+    Arg.enum
+      [ ("quiet", None); ("info", Some Logs.Info); ("debug", Some Logs.Debug) ]
+  in
+  Arg.(value & opt level None & info [ "log" ] ~docv:"LEVEL"
+         ~doc:"Compiler diagnostics: quiet, info (stage timings), debug (loader traffic).")
+
+let setup_logs level =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level level
+
+(* ---- compile ---- *)
+
+let compile_cmd =
+  let run_flag =
+    Arg.(value & flag & info [ "run" ] ~doc:"Execute the linked image on the VM.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the compilation report.")
+  in
+  let map_flag =
+    Arg.(value & flag & info [ "map" ] ~doc:"Print the linker map.")
+  in
+  let hot_flag =
+    Arg.(value & flag & info [ "hot-report" ]
+           ~doc:"With --run: print the routines the cycles went to, hottest first.")
+  in
+  let action paths level pbo profile selectivity machine_mb jobs log input run_it verbose map_it hot_report =
+    try
+      setup_logs log;
+      let sources = List.map source_of_path paths in
+      let options = make_options level pbo selectivity machine_mb jobs in
+      let build = Pipeline.compile ?profile:(load_profile profile) options sources in
+      if verbose then
+        Format.printf "%a@." Pipeline.pp_report build.Pipeline.report;
+      if map_it then
+        Format.printf "%a@." Cmo_link.Image.pp_map build.Pipeline.image;
+      if run_it then begin
+        let outcome =
+          Pipeline.run ~input:(parse_input input) ~attribute:hot_report build
+        in
+        List.iter (Printf.printf "%Ld\n") outcome.Vm.output;
+        Printf.printf "exit: %Ld  (%d cycles, %d instructions, %d calls, %d icache misses)\n"
+          outcome.Vm.ret outcome.Vm.cycles outcome.Vm.instructions
+          outcome.Vm.calls outcome.Vm.icache_misses;
+        if hot_report then begin
+          Printf.printf "\nflat profile (top 15 routines by cycles):\n";
+          List.iteri
+            (fun i (name, cyc) ->
+              if i < 15 then
+                Printf.printf "  %6.2f%%  %10d  %s\n"
+                  (100.0 *. float_of_int cyc /. float_of_int outcome.Vm.cycles)
+                  cyc name)
+            outcome.Vm.func_cycles
+        end
+      end
+      else Printf.printf "linked %d instructions\n"
+             (Array.length build.Pipeline.image.Cmo_link.Image.code);
+      `Ok ()
+    with
+    | Pipeline.Compile_error msg -> `Error (false, msg)
+    | Vm.Fault msg -> `Error (false, "runtime fault: " ^ msg)
+  in
+  let doc = "Compile (and optionally run) MiniC modules." in
+  Cmd.v (Cmd.info "compile" ~doc)
+    Term.(ret (const action $ sources_arg $ level_arg $ pbo_arg $ profile_arg
+               $ selectivity_arg $ machine_memory_arg $ jobs_arg $ log_arg
+               $ input_arg $ run_flag $ verbose $ map_flag $ hot_flag))
+
+(* ---- train ---- *)
+
+let train_cmd =
+  let out_arg =
+    Arg.(value & opt string "app.prof" & info [ "o" ] ~docv:"FILE"
+           ~doc:"Profile database output path.")
+  in
+  let inputs_arg =
+    Arg.(value & opt_all string [] & info [ "input" ] ~docv:"N,N,..."
+           ~doc:"Training input vector (repeatable; runs accumulate).")
+  in
+  let action paths out inputs =
+    try
+      let sources = List.map source_of_path paths in
+      let inputs =
+        match inputs with [] -> [ [||] ] | l -> List.map parse_input l
+      in
+      let db = Pipeline.train ~inputs sources in
+      Db.save db out;
+      Printf.printf "wrote %s (%d counters, total count %.0f)\n" out
+        (List.length (Db.entries db))
+        (Db.total db);
+      `Ok ()
+    with Pipeline.Compile_error msg -> `Error (false, msg)
+  in
+  let doc = "Build instrumented (+I), run training inputs, write the profile database." in
+  Cmd.v (Cmd.info "train" ~doc)
+    Term.(ret (const action $ sources_arg $ out_arg $ inputs_arg))
+
+(* ---- dump ---- *)
+
+let dump_cmd =
+  let what_arg =
+    Arg.(value & opt (enum [ ("il", `Il); ("asm", `Asm) ]) `Il
+         & info [ "what" ] ~doc:"What to dump: il (frontend output) or asm (machine code).")
+  in
+  let action paths what =
+    try
+      let sources = List.map source_of_path paths in
+      (match what with
+      | `Il ->
+        List.iter
+          (fun s ->
+            let m = Pipeline.frontend_one s in
+            Format.printf "%a@." Cmo_il.Ilmod.pp m)
+          sources
+      | `Asm ->
+        List.iter
+          (fun s ->
+            let m = Pipeline.frontend_one s in
+            let globals = m.Cmo_il.Ilmod.globals in
+            let codes, _ = Cmo_llo.Llo.compile_module m in
+            Cmo_llo.Asm.print_module Format.std_formatter
+              ~module_name:m.Cmo_il.Ilmod.mname ~globals codes)
+          sources);
+      `Ok ()
+    with Pipeline.Compile_error msg -> `Error (false, msg)
+  in
+  let doc = "Dump intermediate representations." in
+  Cmd.v (Cmd.info "dump" ~doc)
+    Term.(ret (const action $ sources_arg $ what_arg))
+
+(* ---- gen ---- *)
+
+let gen_cmd =
+  let bench_arg =
+    Arg.(required & opt (some string) None & info [ "bench" ] ~docv:"NAME"
+           ~doc:"Benchmark personality (see $(b,cmoc bench-info)).")
+  in
+  let dir_arg =
+    Arg.(value & opt string "." & info [ "dir" ] ~docv:"DIR"
+           ~doc:"Output directory for the generated .mc files.")
+  in
+  let scale_arg =
+    Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"FACTOR"
+           ~doc:"Scale the module count by FACTOR.")
+  in
+  let action bench dir factor =
+    match Suite.find bench with
+    | exception Not_found ->
+      `Error (false, Printf.sprintf "unknown benchmark %s" bench)
+    | cfg ->
+      let cfg = if factor = 1.0 then cfg else Genprog.scale cfg factor in
+      let sources = Genprog.generate cfg in
+      List.iter
+        (fun (name, text) ->
+          let path = Filename.concat dir (name ^ ".mc") in
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () -> output_string oc text))
+        sources;
+      Printf.printf "wrote %d modules (%d lines) to %s\n" (List.length sources)
+        (Genprog.source_lines sources) dir;
+      Printf.printf "training input: %s\nreference input: %s\n"
+        (String.concat ","
+           (Array.to_list (Array.map Int64.to_string (Genprog.training_input cfg))))
+        (String.concat ","
+           (Array.to_list (Array.map Int64.to_string (Genprog.reference_input cfg))));
+      `Ok ()
+  in
+  let doc = "Generate a synthetic benchmark's MiniC sources." in
+  Cmd.v (Cmd.info "gen" ~doc)
+    Term.(ret (const action $ bench_arg $ dir_arg $ scale_arg))
+
+(* ---- assemble ---- *)
+
+let assemble_cmd =
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o" ] ~docv:"FILE"
+           ~doc:"Object file output (default: INPUT with .o).")
+  in
+  let asm_sources =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE.s"
+           ~doc:"Assembly listings produced by $(b,cmoc dump --what asm).")
+  in
+  let action paths out =
+    try
+      List.iter
+        (fun path ->
+          let text = read_file path in
+          let module_name, globals, codes = Cmo_llo.Asm.parse_module text in
+          let obj =
+            Cmo_link.Objfile.of_code ~module_name ~globals
+              ~source_digest:(Digest.to_hex (Digest.string text))
+              codes
+          in
+          let target =
+            match out with
+            | Some o when List.length paths = 1 -> o
+            | Some _ | None ->
+              Filename.remove_extension path ^ ".o"
+          in
+          Cmo_link.Objfile.save obj target;
+          Printf.printf "assembled %s -> %s (%d routines)
+" path target
+            (List.length codes))
+        paths;
+      `Ok ()
+    with Cmo_llo.Asm.Parse_error (line, msg) ->
+      `Error (false, Printf.sprintf "line %d: %s" line msg)
+  in
+  let doc = "Assemble a textual listing back into an object file." in
+  Cmd.v (Cmd.info "assemble" ~doc) Term.(ret (const action $ asm_sources $ out_arg))
+
+(* ---- isolate ---- *)
+
+let isolate_cmd =
+  let module Isolate = Cmo_driver.Isolate in
+  let max_ops_arg =
+    Arg.(value & opt int 512 & info [ "max-ops" ] ~docv:"N"
+           ~doc:"Upper bound for the operation-limit binary search.")
+  in
+  let action paths profile input max_ops =
+    try
+      let sources = List.map source_of_path paths in
+      let profile = load_profile profile in
+      let input = parse_input input in
+      let observe options =
+        let build = Pipeline.compile ?profile options sources in
+        let o = Pipeline.run ~input build in
+        (o.Vm.ret, o.Vm.output)
+      in
+      (* Reference semantics: the minimally optimized build. *)
+      let expected = observe Options.o1 in
+      let check observed =
+        if observed = expected then Isolate.Good else Isolate.Bad observed
+      in
+      let full = { Options.o4_pbo with Options.pbo = profile <> None } in
+      match check (observe full) with
+      | Isolate.Good ->
+        print_endline
+          "no divergence: +O4 agrees with the +O1 baseline on this input";
+        `Ok ()
+      | Isolate.Bad _ ->
+        print_endline "divergence found; reducing the CMO module set...";
+        let module_names = List.map (fun s -> s.Pipeline.name) sources in
+        let compile ~cmo_modules =
+          observe { full with Options.cmo_modules = Some cmo_modules }
+        in
+        (match Isolate.isolate_modules ~compile ~check ~modules:module_names with
+        | Some (reduced, _) ->
+          Printf.printf "minimal failing CMO set: %s\n"
+            (String.concat ", " reduced);
+          let compile ~limit =
+            observe
+              { full with
+                Options.cmo_modules = Some reduced;
+                inline_limit = Some limit }
+          in
+          (match
+             Isolate.isolate_operation_limit ~compile ~check ~max_limit:max_ops
+           with
+          | Some (n, _) ->
+            Printf.printf "guilty operation: inline #%d within that set\n" n
+          | None ->
+            print_endline
+              "failure is not inline-count-monotone; try --max-ops or the \
+               scalar rewrite limit")
+        | None ->
+          print_endline
+            "failure vanished during reduction (not module-monotone)");
+        `Ok ()
+    with
+    | Pipeline.Compile_error msg -> `Error (false, msg)
+    | Vm.Fault msg -> `Error (false, "runtime fault: " ^ msg)
+  in
+  let doc =
+    "Hunt a cross-module miscompilation: compare +O4 against the +O1 \
+     baseline, reduce the CMO module set, then binary-search the inline \
+     operation limit (the paper's section 6.3 workflow)."
+  in
+  Cmd.v (Cmd.info "isolate" ~doc)
+    Term.(ret (const action $ sources_arg $ profile_arg $ input_arg $ max_ops_arg))
+
+(* ---- link ---- *)
+
+let link_cmd =
+  let obj_args =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE.o"
+           ~doc:"Object files (code payloads; produced by $(b,cmoc assemble) or a build).")
+  in
+  let run_flag =
+    Arg.(value & flag & info [ "run" ] ~doc:"Execute the linked image.")
+  in
+  let map_flag =
+    Arg.(value & flag & info [ "map" ] ~doc:"Print the linker map.")
+  in
+  let action paths input run_it map_it =
+    let objects = List.map Cmo_link.Objfile.load paths in
+    match Cmo_link.Linker.link objects with
+    | Error errs ->
+      `Error
+        ( false,
+          Format.asprintf "@[<v>link failed:@,%a@]"
+            (Format.pp_print_list ~pp_sep:Format.pp_print_cut
+               Cmo_link.Linker.pp_error)
+            errs )
+    | Ok image ->
+      if map_it then Format.printf "%a@." Cmo_link.Image.pp_map image;
+      if run_it then begin
+        let o = Cmo_vm.Vm.run ~input:(parse_input input) image in
+        List.iter (Printf.printf "%Ld\n") o.Vm.output;
+        Printf.printf "exit: %Ld  (%d cycles)\n" o.Vm.ret o.Vm.cycles
+      end
+      else
+        Printf.printf "linked %d instructions from %d objects\n"
+          (Array.length image.Cmo_link.Image.code)
+          (List.length objects);
+      `Ok ()
+  in
+  let doc = "Link object files into an image (and optionally run it)." in
+  Cmd.v (Cmd.info "link" ~doc)
+    Term.(ret (const action $ obj_args $ input_arg $ run_flag $ map_flag))
+
+(* ---- profile-show ---- *)
+
+let profile_show_cmd =
+  let db_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"Profile database to inspect.")
+  in
+  let top_arg =
+    Arg.(value & opt int 20 & info [ "top" ] ~docv:"N"
+           ~doc:"Show the N hottest counters.")
+  in
+  let action path top =
+    let db = Db.load path in
+    let entries = Db.entries db in
+    Printf.printf "%d counters, total count %.0f
+" (List.length entries)
+      (Db.total db);
+    let hottest =
+      List.stable_sort (fun (_, a) (_, b) -> compare b a) entries
+    in
+    List.iteri
+      (fun i (key, count) ->
+        if i < top then
+          Format.printf "  %12.0f  %a@." count Db.pp_key key)
+      hottest;
+    `Ok ()
+  in
+  let doc = "Inspect a profile database (hottest counters first)." in
+  Cmd.v (Cmd.info "profile-show" ~doc)
+    Term.(ret (const action $ db_arg $ top_arg))
+
+(* ---- bench-info ---- *)
+
+let bench_info_cmd =
+  let action () =
+    Printf.printf "%-10s %8s %6s %6s %7s\n" "name" "modules" "hot" "weight" "lines";
+    List.iter
+      (fun (name, cfg) ->
+        Printf.printf "%-10s %8d %6d %5d%% %7d\n" name cfg.Genprog.modules
+          cfg.Genprog.hot_modules cfg.Genprog.hot_weight
+          (Genprog.source_lines (Genprog.generate cfg)))
+      Suite.all;
+    `Ok ()
+  in
+  let doc = "List the benchmark personalities." in
+  Cmd.v (Cmd.info "bench-info" ~doc) Term.(ret (const action $ const ()))
+
+let main_cmd =
+  let doc = "scalable cross-module optimization toolchain (PLDI 1998 reproduction)" in
+  Cmd.group
+    (Cmd.info "cmoc" ~version:"1.0" ~doc)
+    [ compile_cmd; train_cmd; dump_cmd; gen_cmd; assemble_cmd; link_cmd;
+      isolate_cmd; profile_show_cmd; bench_info_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

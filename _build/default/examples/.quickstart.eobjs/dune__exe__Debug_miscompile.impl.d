@@ -1,0 +1,1 @@
+examples/debug_miscompile.ml: Cmo_driver Cmo_vm Cmo_workload List Printf String

@@ -1,0 +1,1 @@
+examples/isv_application.ml: Cmo_driver Cmo_vm Cmo_workload List Printf Sys

@@ -1,0 +1,1 @@
+examples/make_workflow.ml: Array Cmo_driver Cmo_vm Filename List Printf String Sys

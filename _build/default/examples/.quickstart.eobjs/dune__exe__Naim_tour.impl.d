@@ -1,0 +1,1 @@
+examples/naim_tour.ml: Cmo_driver Cmo_il Cmo_naim Cmo_workload List Printf

@@ -1,0 +1,1 @@
+examples/naim_tour.mli:

@@ -1,0 +1,1 @@
+examples/paper_tour.ml: Cmo_driver Cmo_link Cmo_naim Cmo_vm Cmo_workload Filename List Printf Sys

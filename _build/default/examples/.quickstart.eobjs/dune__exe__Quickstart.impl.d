@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cmo_driver Cmo_vm Format Printf

@@ -1,0 +1,57 @@
+(* The ISV-application workflow of the paper's section 5: a large
+   application with a small hot kernel, where profile-driven
+   selectivity buys (nearly) the full CMO win at a fraction of the
+   CMO compile effort.
+
+     dune exec examples/isv_application.exe *)
+
+module Genprog = Cmo_workload.Genprog
+module Suite = Cmo_workload.Suite
+module Pipeline = Cmo_driver.Pipeline
+module Options = Cmo_driver.Options
+module Vm = Cmo_vm.Vm
+
+let () =
+  (* An MCAD-like application, scaled down to keep this example
+     snappy (~60 modules). *)
+  let cfg = Genprog.scale (Suite.find "mcad1") 0.28 in
+  let sources =
+    List.map
+      (fun (name, text) -> { Pipeline.name; text })
+      (Genprog.generate cfg)
+  in
+  Printf.printf "application: %d modules, %d source lines\n"
+    (List.length sources)
+    (Genprog.source_lines (Genprog.generate cfg));
+
+  (* Train on the training data set. *)
+  let profile = Pipeline.train ~inputs:[ Genprog.training_input cfg ] sources in
+  let input = Genprog.reference_input cfg in
+
+  (* The PBO-only build is the baseline ISVs would ship without CMO. *)
+  let pbo_build = Pipeline.compile ~profile Options.o2_pbo sources in
+  let pbo = Pipeline.run ~input pbo_build in
+  Printf.printf "\n+O2 +P (no CMO):      %9d cycles\n" pbo.Vm.cycles;
+
+  (* Sweep the selectivity parameter, as in Figure 6. *)
+  Printf.printf "\n%-10s %12s %12s %14s %12s\n" "select %" "CMO lines"
+    "compile s" "cycles" "vs PBO";
+  List.iter
+    (fun percent ->
+      let t0 = Sys.time () in
+      let build =
+        Pipeline.compile ~profile (Options.o4_pbo_selective percent) sources
+      in
+      let dt = Sys.time () -. t0 in
+      let o = Pipeline.run ~input build in
+      assert (o.Vm.ret = pbo.Vm.ret);
+      Printf.printf "%-10.1f %12d %12.3f %14d %11.2fx\n%!" percent
+        build.Pipeline.report.Pipeline.cmo_lines dt o.Vm.cycles
+        (float_of_int pbo.Vm.cycles /. float_of_int o.Vm.cycles))
+    [ 1.0; 5.0; 10.0; 25.0; 100.0 ];
+  print_newline ();
+  print_endline
+    "The run-time curve flattens once the hot fraction of the code is";
+  print_endline
+    "inside the CMO set (the paper's Mcad1 peaked at ~20% of the code,";
+  print_endline "~5% of the call sites), while compile time keeps growing."

@@ -1,0 +1,82 @@
+(* A guided tour of the NAIM (not-all-in-memory) machinery of the
+   paper's section 4: pools moving between expanded, compacted and
+   offloaded states under the loader's thresholds, with the memory
+   accountant watching.
+
+     dune exec examples/naim_tour.exe *)
+
+module Genprog = Cmo_workload.Genprog
+module Suite = Cmo_workload.Suite
+module Pipeline = Cmo_driver.Pipeline
+module Loader = Cmo_naim.Loader
+module Memstats = Cmo_naim.Memstats
+module Size = Cmo_il.Size
+
+let show_mem label mem =
+  Printf.printf "%-42s %8.2f MB resident\n" label
+    (float_of_int (Memstats.resident mem) /. 1024.0 /. 1024.0)
+
+let () =
+  (* A mid-sized program to push around. *)
+  let cfg = Genprog.scale (Suite.find "gcc") 0.5 in
+  let modules =
+    Pipeline.frontend
+      (List.map
+         (fun (name, text) -> { Pipeline.name; text })
+         (Genprog.generate cfg))
+  in
+  let lines =
+    List.fold_left (fun acc m -> acc + Cmo_il.Ilmod.src_lines m) 0 modules
+  in
+  Printf.printf "program: %d modules, %d lines\n" (List.length modules) lines;
+  Printf.printf "expanded IR would occupy %.2f KB per source line\n\n"
+    (float_of_int
+       (List.fold_left (fun acc m -> acc + Size.module_expanded_bytes m) 0 modules)
+    /. float_of_int lines /. 1024.0);
+
+  (* A 4 MB "machine": thresholds engage almost immediately. *)
+  let mem = Memstats.create () in
+  let loader =
+    Loader.create
+      { Loader.default_config with Loader.machine_memory = 4 * 1024 * 1024 }
+      mem
+  in
+  List.iter (Loader.register_module loader) modules;
+  show_mem "after registering all modules" mem;
+  Printf.printf "loader level now: %s\n\n"
+    (match Loader.level loader with
+    | Loader.Off -> "Off"
+    | Loader.Ir_compaction -> "IR compaction"
+    | Loader.St_compaction -> "IR + symbol-table compaction"
+    | Loader.Offloading -> "IR + symbol tables + disk offloading");
+
+  (* Touch every routine, as an optimizer pass would. *)
+  List.iter
+    (fun name -> Loader.with_func loader name (fun _f -> ()))
+    (Loader.func_names loader);
+  show_mem "after touching every routine once" mem;
+
+  (* Ask the loader to drop everything it can. *)
+  Loader.unload_all loader;
+  show_mem "after unload_all" mem;
+
+  let s = Loader.stats loader in
+  Printf.printf
+    "\nloader traffic: %d acquires (%d cache hits), %d compactions,\n\
+    \                %d uncompactions, %d disk loads, %d offloads,\n\
+    \                %d symbol tables compacted\n"
+    s.Loader.acquires s.Loader.cache_hits s.Loader.compactions
+    s.Loader.uncompactions s.Loader.repo_loads s.Loader.offloads
+    s.Loader.symtab_compactions;
+
+  (* Everything still decodes correctly after all that movement. *)
+  let survivors =
+    List.for_all
+      (fun name ->
+        Loader.with_func loader name (fun f -> f.Cmo_il.Func.name = name))
+      (Loader.func_names loader)
+  in
+  Printf.printf "\nall %d routines load back intact: %b\n"
+    (List.length (Loader.func_names loader))
+    survivors;
+  Loader.close loader

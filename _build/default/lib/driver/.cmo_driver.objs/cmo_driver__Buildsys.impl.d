@@ -1,0 +1,1 @@
+lib/driver/buildsys.ml: Array Cmo_hlo Cmo_il Cmo_link Cmo_llo Cmo_naim Cmo_profile Digest Filename Format List Options Pipeline Printf Sys

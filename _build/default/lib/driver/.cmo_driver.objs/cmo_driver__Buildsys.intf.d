@@ -1,0 +1,1 @@
+lib/driver/buildsys.mli: Cmo_profile Options Pipeline

@@ -1,0 +1,1 @@
+lib/driver/options.ml: Cmo_hlo Cmo_naim Printf String

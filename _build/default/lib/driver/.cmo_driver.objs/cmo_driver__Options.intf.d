@@ -1,0 +1,1 @@
+lib/driver/options.mli: Cmo_hlo Cmo_naim

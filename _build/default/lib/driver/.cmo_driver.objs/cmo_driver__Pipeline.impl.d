@@ -1,0 +1,1 @@
+lib/driver/pipeline.ml: Array Cmo_frontend Cmo_hlo Cmo_il Cmo_link Cmo_llo Cmo_naim Cmo_profile Cmo_vm Format Hashtbl List Logs Option Options Printf Sys

@@ -1,0 +1,1 @@
+lib/driver/pipeline.mli: Cmo_hlo Cmo_il Cmo_link Cmo_llo Cmo_naim Cmo_profile Cmo_vm Format Options

@@ -1,0 +1,160 @@
+module Ilmod = Cmo_il.Ilmod
+module Correlate = Cmo_profile.Correlate
+module Phase = Cmo_hlo.Phase
+module Llo = Cmo_llo.Llo
+module Objfile = Cmo_link.Objfile
+module Linker = Cmo_link.Linker
+module Memstats = Cmo_naim.Memstats
+
+type t = { dir : string }
+
+let create ~dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then
+    invalid_arg (Printf.sprintf "Buildsys.create: %s is not a directory" dir);
+  { dir }
+
+type outcome = {
+  build : Pipeline.build;
+  recompiled : string list;
+  reused : string list;
+}
+
+let object_path t name = Filename.concat t.dir (name ^ ".o")
+
+let digest text = Digest.to_hex (Digest.string text)
+
+let clean t =
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f ".o" then Sys.remove (Filename.concat t.dir f))
+    (Sys.readdir t.dir)
+
+(* Compile one module to a code object (the non-CMO path). *)
+let compile_code_object ?profile (options : Options.t) ~source_digest m =
+  (match (options.Options.pbo, profile) with
+  | true, Some db -> ignore (Correlate.annotate db [ m ])
+  | true, None | false, _ -> Correlate.clear [ m ]);
+  if options.Options.level = Options.O2 then
+    List.iter (fun f -> ignore (Phase.optimize_func f)) m.Ilmod.funcs;
+  let layout = options.Options.pbo && options.Options.level <> Options.O1 in
+  let codes, _stats = Llo.compile_module ~layout m in
+  {
+    (Objfile.of_code ~module_name:m.Ilmod.mname ~globals:m.Ilmod.globals
+       ~source_digest codes)
+    with
+    Objfile.source_digest = source_digest;
+  }
+
+let load_if_current t (s : Pipeline.source) =
+  let path = object_path t s.Pipeline.name in
+  if Sys.file_exists path then begin
+    match Objfile.load path with
+    | obj when obj.Objfile.source_digest = digest s.Pipeline.text ->
+      (* An object built for a different mode is not current: CMO
+         needs IL payloads, non-CMO needs code. *)
+      Some obj
+    | _ -> None
+    | exception _ -> None
+  end
+  else None
+
+let build ?profile t (options : Options.t) sources =
+  if options.Options.instrument then
+    raise
+      (Pipeline.Compile_error
+         "instrumented builds are in-memory only; use Pipeline.train");
+  let want_il = options.Options.level = Options.O4 in
+  let recompiled = ref [] in
+  let reused = ref [] in
+  let objects =
+    List.map
+      (fun (s : Pipeline.source) ->
+        let current =
+          match load_if_current t s with
+          | Some obj when Objfile.is_il obj = want_il -> Some obj
+          | Some _ | None -> None
+        in
+        match current with
+        | Some obj ->
+          reused := s.Pipeline.name :: !reused;
+          obj
+        | None ->
+          recompiled := s.Pipeline.name :: !recompiled;
+          let m = Pipeline.frontend_one s in
+          let source_digest = digest s.Pipeline.text in
+          let obj =
+            if want_il then
+              { (Objfile.of_il ~source_digest m) with Objfile.source_digest = source_digest }
+            else compile_code_object ?profile options ~source_digest m
+          in
+          Objfile.save obj (object_path t s.Pipeline.name);
+          obj)
+      sources
+  in
+  let build_result =
+    if want_il then begin
+      (* CMO happens at link time, over the IL read back from disk. *)
+      let modules =
+        List.map
+          (fun (o : Objfile.t) ->
+            match o.Objfile.payload with
+            | Objfile.Il m -> m
+            | Objfile.Code _ ->
+              raise
+                (Pipeline.Compile_error
+                   (Printf.sprintf "object %s lacks an IL payload"
+                      o.Objfile.module_name)))
+          objects
+      in
+      Pipeline.compile_modules ?profile options modules
+    end
+    else begin
+      let image =
+        match Linker.link objects with
+        | Ok image -> image
+        | Error errs ->
+          raise
+            (Pipeline.Compile_error
+               (Format.asprintf "@[<v>link failed:@,%a@]"
+                  (Format.pp_print_list ~pp_sep:Format.pp_print_cut
+                     Linker.pp_error)
+                  errs))
+      in
+      let mem = Memstats.create () in
+      {
+        Pipeline.image;
+        objects;
+        manifest = None;
+        report =
+          {
+            Pipeline.options;
+            hlo = None;
+            loader_stats = None;
+            mem_peak = Memstats.peak mem;
+            mem_peak_hlo = 0;
+            selection = None;
+            llo =
+              {
+                Llo.routines = 0;
+                mach_instrs = Array.length image.Cmo_link.Image.code;
+                spilled_vregs = 0;
+                peephole_rewrites = 0;
+                layout_changes = 0;
+              };
+            frontend_seconds = 0.0;
+            hlo_seconds = 0.0;
+            llo_seconds = 0.0;
+            link_seconds = 0.0;
+            total_lines = 0;
+            cmo_lines = 0;
+            warm_lines = 0;
+            cold_lines = 0;
+          };
+      }
+    end
+  in
+  {
+    build = build_result;
+    recompiled = List.rev !recompiled;
+    reused = List.rev !reused;
+  }

@@ -1,0 +1,42 @@
+(** A miniature [make]-style build driver over on-disk object files.
+
+    Demonstrates the paper's section 6.1 claim: the CMO framework
+    needs no persistent program database — all persistent state except
+    profiles lives in ordinary object files, so a timestamp/digest
+    build tool can drive it.
+
+    A workspace maps module names to [<name>.o] files under a
+    directory.  [build] recompiles exactly the modules whose source
+    digest differs from the one recorded in their object file (the
+    moral equivalent of make's timestamp comparison), then performs
+    the link step — which, in CMO mode, re-runs cross-module
+    optimization over the IL payloads, reproducing the paper's
+    trade-off that "a change in one module potentially requires
+    recompilation of all modules in the CMO set" being replaced by
+    re-optimization at link time. *)
+
+type t
+
+val create : dir:string -> t
+(** The directory must exist and be writable. *)
+
+type outcome = {
+  build : Pipeline.build;
+  recompiled : string list;  (** Modules whose object was rebuilt. *)
+  reused : string list;  (** Modules whose object was up to date. *)
+}
+
+val build :
+  ?profile:Cmo_profile.Db.t ->
+  t ->
+  Options.t ->
+  Pipeline.source list ->
+  outcome
+(** Frontend (per changed module) to object files, then link.  For
+    [O4], object files carry IL payloads and the CMO happens here, at
+    link time, over the IL read back from disk.
+    @raise Pipeline.Compile_error on any failure. *)
+
+val object_path : t -> string -> string
+val clean : t -> unit
+(** Remove every object file in the workspace. *)

@@ -1,0 +1,54 @@
+type 'a probe_result = Good | Bad of 'a
+
+let isolate_modules ~compile ~check ~modules =
+  match check (compile ~cmo_modules:modules) with
+  | Good -> None
+  | Bad evidence ->
+    (* Delta-debugging style reduction: try removing halves, then
+       quarters, etc.; keep any removal that still fails. *)
+    let rec reduce current evidence chunk =
+      let n = List.length current in
+      if chunk < 1 || n <= 1 then (current, evidence)
+      else begin
+        let rec try_removals start =
+          if start >= n then None
+          else begin
+            let candidate =
+              List.filteri
+                (fun i _ -> i < start || i >= start + chunk)
+                current
+            in
+            if candidate = [] then try_removals (start + chunk)
+            else begin
+              match check (compile ~cmo_modules:candidate) with
+              | Bad e -> Some (candidate, e)
+              | Good -> try_removals (start + chunk)
+            end
+          end
+        in
+        match try_removals 0 with
+        | Some (smaller, e) -> reduce smaller e chunk
+        | None -> reduce current evidence (chunk / 2)
+      end
+    in
+    let n = List.length modules in
+    Some (reduce modules evidence (max 1 (n / 2)))
+
+let isolate_operation_limit ~compile ~check ~max_limit =
+  match check (compile ~limit:0) with
+  | Bad _ -> None  (* fails even with no operations: not these ops *)
+  | Good -> (
+    match check (compile ~limit:max_limit) with
+    | Good -> None  (* never fails *)
+    | Bad top_evidence ->
+      (* Invariant: lo Good, hi Bad. *)
+      let rec search lo hi evidence =
+        if hi - lo <= 1 then (hi, evidence)
+        else begin
+          let mid = lo + ((hi - lo) / 2) in
+          match check (compile ~limit:mid) with
+          | Good -> search mid hi evidence
+          | Bad e -> search lo mid e
+        end
+      in
+      Some (search 0 max_limit top_evidence))

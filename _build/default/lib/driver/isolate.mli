@@ -1,0 +1,44 @@
+(** Optimizer-bug isolation (paper section 6.3).
+
+    The paper's two-dimensional divide and conquer, automated:
+    reduce the amount of code exposed to cross-module optimization
+    (which modules are in the CMO set), then pinpoint the individual
+    optimizer operation (inline number, scalar rewrite count) whose
+    presence flips a working build into a failing one, via binary
+    search over the operation limit.
+
+    The searches only assume monotonicity ("more optimization keeps
+    the failure"), the same assumption Whalley's isolation tool [18]
+    makes; when it does not hold, the result is still a valid failing
+    configuration, just not a canonical one.
+
+    Everything is expressed against a user-supplied [compile] and
+    [check] so tests can inject synthetic miscompilations. *)
+
+type 'a probe_result = Good | Bad of 'a
+(** [check] verdicts: [Bad] carries evidence (e.g. the wrong
+    output). *)
+
+val isolate_modules :
+  compile:(cmo_modules:string list -> 'img) ->
+  check:('img -> 'evidence probe_result) ->
+  modules:string list ->
+  (string list * 'evidence) option
+(** Find a small CMO subset that still fails.  Starts from all
+    modules (returns [None] if that compiles Good); then repeatedly
+    tries dropping chunks (binary-split reduction, the "pure binary
+    search on the modules has limited applicability" refinement — it
+    keeps sets, not single modules, since several modules may be
+    needed to expose the bug).  Returns the reduced set and its
+    evidence. *)
+
+val isolate_operation_limit :
+  compile:(limit:int -> 'img) ->
+  check:('img -> 'evidence probe_result) ->
+  max_limit:int ->
+  (int * 'evidence) option
+(** Smallest operation limit whose build fails, by binary search:
+    limit 0 must check Good (else [None] — the bug is not in these
+    operations), [max_limit] must check Bad (else [None]).  The
+    returned limit identifies the guilty operation: operation number
+    [limit] is the one that makes the difference. *)

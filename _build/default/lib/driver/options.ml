@@ -1,0 +1,61 @@
+type level = O1 | O2 | O4
+
+type t = {
+  level : level;
+  pbo : bool;
+  instrument : bool;
+  selectivity : float option;
+  tiered : bool;
+  machine_memory : int;
+  naim_level : Cmo_naim.Loader.level option;
+  inline_config : Cmo_hlo.Inline.config option;
+  rewrite_limit : int option;
+  inline_limit : int option;
+  cmo_modules : string list option;
+  parallel_codegen : int;
+}
+
+let base =
+  {
+    level = O2;
+    pbo = false;
+    instrument = false;
+    selectivity = None;
+    tiered = false;
+    machine_memory = 256 * 1024 * 1024;
+    naim_level = None;
+    inline_config = None;
+    rewrite_limit = None;
+    inline_limit = None;
+    cmo_modules = None;
+    parallel_codegen = 1;
+  }
+
+let o1 = { base with level = O1 }
+let o2 = base
+let o2_pbo = { base with pbo = true }
+let o4 = { base with level = O4 }
+let o4_pbo = { base with level = O4; pbo = true }
+
+let o4_pbo_selective percent =
+  { base with level = O4; pbo = true; selectivity = Some percent }
+
+let o4_pbo_tiered percent =
+  { base with level = O4; pbo = true; selectivity = Some percent; tiered = true }
+
+let instrumented = { base with instrument = true }
+
+let to_string t =
+  let level =
+    match t.level with O1 -> "+O1" | O2 -> "+O2" | O4 -> "+O4"
+  in
+  String.concat ""
+    [
+      level;
+      (if t.pbo then " +P" else "");
+      (if t.instrument then " +I" else "");
+      (match t.selectivity with
+      | Some p -> Printf.sprintf " sel=%.1f%%" p
+      | None -> "");
+      (if t.tiered then " tiered" else "");
+    ]

@@ -1,0 +1,73 @@
+(** Compilation options: the paper's command-line surface.
+
+    Levels follow the HP-UX convention used throughout the paper:
+    - [O1]: optimize only within basic blocks (no global scalar
+      optimization, no layout) — the baseline Mcad3 had to use;
+    - [O2]: the default — full intraprocedural optimization, strictly
+      within routine boundaries;
+    - [O4]: cross-module optimization — frontends emit IL object
+      files and HLO runs over the whole CMO set at link time.
+
+    Orthogonal flags:
+    - [pbo] (+P): use the profile database — block frequencies,
+      call-site counts, inline guidance, block positioning, routine
+      clustering;
+    - [instrument] (+I): insert profile probes and skip optimization
+      (the training build);
+    - [selectivity]: with [O4]+[pbo], compile only the modules
+      containing the top given percent of call sites with CMO
+      (section 5); the rest get the [O2]+[pbo] treatment;
+    - [tiered]: the paper's multi-layered future work (section 8):
+      with selectivity, modules outside the CMO set that the profile
+      shows were never executed skip scalar optimization entirely
+      (an [O1]-grade compile), leaving three tiers:
+      hot -> CMO, warm -> default, cold -> minimal. *)
+
+type level = O1 | O2 | O4
+
+type t = {
+  level : level;
+  pbo : bool;
+  instrument : bool;
+  selectivity : float option;  (** Percent of call sites, 0-100. *)
+  tiered : bool;  (** Three-layer mode; needs [pbo] and [selectivity]. *)
+  machine_memory : int;  (** Modeled bytes for NAIM thresholds. *)
+  naim_level : Cmo_naim.Loader.level option;
+      (** Force a NAIM level (Figure 5 sweeps); [None] = dynamic
+          thresholds. *)
+  inline_config : Cmo_hlo.Inline.config option;
+      (** Override the level-implied inlining heuristics. *)
+  rewrite_limit : int option;  (** Bug isolation (section 6.3). *)
+  inline_limit : int option;  (** Bug isolation: max inline operations. *)
+  cmo_modules : string list option;
+      (** Bug isolation: with [O4], restrict the CMO set to exactly
+          these modules (overrides [selectivity]); the rest take the
+          default-level path. *)
+  parallel_codegen : int;
+      (** Number of domains for code generation (the paper's
+          section-8 parallelization); 1 = sequential.  The parallel
+          path produces bit-identical code but does not thread the
+          memory accountant, so memory experiments use 1. *)
+}
+
+val o1 : t
+val o2 : t
+(** No profile. *)
+
+val o2_pbo : t
+val o4 : t
+(** CMO without profile: the expensive thorough mode. *)
+
+val o4_pbo : t
+(** CMO + PBO, full program. *)
+
+val o4_pbo_selective : float -> t
+(** CMO + PBO with coarse-grained selectivity at the given percent. *)
+
+val o4_pbo_tiered : float -> t
+(** Selective CMO with the three-layer treatment of the remainder. *)
+
+val instrumented : t
+(** The +I training build. *)
+
+val to_string : t -> string

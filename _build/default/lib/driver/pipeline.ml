@@ -1,0 +1,459 @@
+module Ilmod = Cmo_il.Ilmod
+module Func = Cmo_il.Func
+module Instr = Cmo_il.Instr
+module Verify = Cmo_il.Verify
+module Callgraph = Cmo_il.Callgraph
+module Intrinsics = Cmo_il.Intrinsics
+module Frontend = Cmo_frontend.Frontend
+module Db = Cmo_profile.Db
+module Probe = Cmo_profile.Probe
+module Correlate = Cmo_profile.Correlate
+module Loader = Cmo_naim.Loader
+module Memstats = Cmo_naim.Memstats
+module Hlo = Cmo_hlo.Hlo
+module Inline = Cmo_hlo.Inline
+module Ipa = Cmo_hlo.Ipa
+module Phase = Cmo_hlo.Phase
+module Selectivity = Cmo_hlo.Selectivity
+module Llo = Cmo_llo.Llo
+module Objfile = Cmo_link.Objfile
+module Linker = Cmo_link.Linker
+module Cluster = Cmo_link.Cluster
+module Image = Cmo_link.Image
+module Vm = Cmo_vm.Vm
+
+let log_src = Logs.Src.create "cmo.driver" ~doc:"CMO compilation driver"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type source = { name : string; text : string }
+
+type report = {
+  options : Options.t;
+  hlo : Hlo.report option;
+  loader_stats : Loader.stats option;
+  mem_peak : int;
+  mem_peak_hlo : int;
+  selection : Selectivity.t option;
+  llo : Llo.stats;
+  frontend_seconds : float;
+  hlo_seconds : float;
+  llo_seconds : float;
+  link_seconds : float;
+  total_lines : int;
+  cmo_lines : int;
+  warm_lines : int;  (* default-level (+O2) lines outside the CMO set *)
+  cold_lines : int;  (* tiered mode: never-executed lines, minimal compile *)
+}
+
+type build = {
+  image : Image.t;
+  objects : Objfile.t list;
+  report : report;
+  manifest : Probe.manifest option;
+}
+
+exception Compile_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Compile_error s)) fmt
+
+let frontend_one { name; text } =
+  match Frontend.compile ~module_name:name text with
+  | Ok m -> (
+    match Verify.check_module m with
+    | [] -> m
+    | issues ->
+      error "@[<v>IL verification failed in %s:@,%a@]" name
+        (Format.pp_print_list ~pp_sep:Format.pp_print_cut Verify.pp_issue)
+        issues)
+  | Error errs ->
+    error "@[<v>%a@]"
+      (Format.pp_print_list ~pp_sep:Format.pp_print_cut Frontend.pp_error)
+      errs
+
+let frontend sources =
+  (* Duplicate module names would collide in every downstream table
+     (symbols, loader pools, object files); reject them up front. *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun { name; _ } ->
+      if Hashtbl.mem seen name then
+        error "duplicate module name %s among the sources" name
+      else Hashtbl.replace seen name ())
+    sources;
+  let modules = List.map frontend_one sources in
+  (match Verify.check_program modules with
+  | [] -> ()
+  | issues ->
+    error "@[<v>IL verification failed:@,%a@]"
+      (Format.pp_print_list ~pp_sep:Format.pp_print_cut Verify.pp_issue)
+      issues);
+  modules
+
+(* Dynamic call weights for routine clustering, from annotated IL. *)
+let cluster_weights modules =
+  let weights = Hashtbl.create 256 in
+  List.iter
+    (fun (m : Ilmod.t) ->
+      List.iter
+        (fun (f : Func.t) ->
+          List.iter
+            (fun (_, (c : Instr.call)) ->
+              if
+                (not (Intrinsics.is_intrinsic c.Instr.callee))
+                && c.Instr.call_count > 0.0
+              then begin
+                let key = (f.Func.name, c.Instr.callee) in
+                Hashtbl.replace weights key
+                  (c.Instr.call_count
+                  +. Option.value ~default:0.0 (Hashtbl.find_opt weights key))
+              end)
+            (Func.site_calls f))
+        m.Ilmod.funcs)
+    modules;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) weights []
+  |> List.sort compare
+
+let all_func_names modules =
+  List.concat_map
+    (fun (m : Ilmod.t) -> List.map (fun f -> f.Func.name) m.Ilmod.funcs)
+    modules
+
+(* Scan modules outside the CMO set for references into it. *)
+let external_context outside_modules =
+  let called = Hashtbl.create 64 in
+  let stored = Hashtbl.create 64 in
+  List.iter
+    (fun (m : Ilmod.t) ->
+      List.iter
+        (fun (f : Func.t) ->
+          List.iter
+            (fun (b : Func.block) ->
+              List.iter
+                (fun i ->
+                  match i with
+                  | Instr.Call { callee; _ } -> Hashtbl.replace called callee ()
+                  | Instr.Store ({ Instr.base; _ }, _) ->
+                    Hashtbl.replace stored base ()
+                  | Instr.Move _ | Instr.Unop _ | Instr.Binop _ | Instr.Load _
+                  | Instr.Probe _ -> ())
+                b.Func.instrs)
+            f.Func.blocks)
+        m.Ilmod.funcs)
+    outside_modules;
+  (called, stored)
+
+let llo_module ~mem ~layout stats_acc (m : Ilmod.t) =
+  let codes, stats = Llo.compile_module ?mem ~layout m in
+  stats_acc :=
+    {
+      Llo.routines = !stats_acc.Llo.routines + stats.Llo.routines;
+      mach_instrs = !stats_acc.Llo.mach_instrs + stats.Llo.mach_instrs;
+      spilled_vregs = !stats_acc.Llo.spilled_vregs + stats.Llo.spilled_vregs;
+      peephole_rewrites =
+        !stats_acc.Llo.peephole_rewrites + stats.Llo.peephole_rewrites;
+      layout_changes = !stats_acc.Llo.layout_changes + stats.Llo.layout_changes;
+    };
+  Objfile.of_code ~module_name:m.Ilmod.mname ~globals:m.Ilmod.globals
+    ~source_digest:"" codes
+
+let zero_llo_stats =
+  {
+    Llo.routines = 0;
+    mach_instrs = 0;
+    spilled_vregs = 0;
+    peephole_rewrites = 0;
+    layout_changes = 0;
+  }
+
+let link_or_fail ?routine_order objects =
+  match Linker.link ?routine_order objects with
+  | Ok image -> image
+  | Error errs ->
+    error "@[<v>link failed:@,%a@]"
+      (Format.pp_print_list ~pp_sep:Format.pp_print_cut Linker.pp_error)
+      errs
+
+let compile_modules ?profile (options : Options.t) modules =
+  let t0 = Sys.time () in
+  let total_lines =
+    List.fold_left (fun acc m -> acc + Ilmod.src_lines m) 0 modules
+  in
+  (* +I: instrument and build without optimization. *)
+  if options.Options.instrument then begin
+    let instrumented, manifest = Probe.instrument modules in
+    let mem = Memstats.create () in
+    let llo_stats = ref zero_llo_stats in
+    let objects =
+      List.map (llo_module ~mem:(Some mem) ~layout:false llo_stats) instrumented
+    in
+    let image = link_or_fail objects in
+    let t1 = Sys.time () in
+    {
+      image;
+      objects;
+      manifest = Some manifest;
+      report =
+        {
+          options;
+          hlo = None;
+          loader_stats = None;
+          mem_peak = Memstats.peak mem;
+          mem_peak_hlo = Memstats.peak_hlo mem;
+          selection = None;
+          llo = !llo_stats;
+          frontend_seconds = 0.0;
+          hlo_seconds = 0.0;
+          llo_seconds = t1 -. t0;
+          link_seconds = 0.0;
+          total_lines;
+          cmo_lines = 0;
+          warm_lines = 0;
+          cold_lines = 0;
+        };
+    }
+  end
+  else begin
+    (* Profile annotation. *)
+    (match (options.Options.pbo, profile) with
+    | true, Some db -> ignore (Correlate.annotate db modules)
+    | true, None -> Correlate.clear modules
+    | false, _ -> Correlate.clear modules);
+    let mem = Memstats.create () in
+    let hlo_report = ref None in
+    let loader_stats = ref None in
+    let selection = ref None in
+    let cmo_lines = ref 0 in
+    let warm_lines = ref 0 in
+    let cold_lines = ref 0 in
+    let hlo_t0 = Sys.time () in
+    (* Decide the CMO set and optimize it. *)
+    let processed_modules =
+      match options.Options.level with
+      | Options.O1 -> modules
+      | Options.O2 ->
+        List.iter
+          (fun (m : Ilmod.t) ->
+            List.iter
+              (fun f -> ignore (Phase.optimize_func ~mem f))
+              m.Ilmod.funcs)
+          modules;
+        modules
+      | Options.O4 ->
+        let cmo_set, outside =
+          match (options.Options.cmo_modules, options.Options.selectivity) with
+          | Some names, _ ->
+            (* Explicit set: the bug-isolation driver's reduction axis. *)
+            List.partition
+              (fun (m : Ilmod.t) -> List.mem m.Ilmod.mname names)
+              modules
+          | None, Some percent when options.Options.pbo ->
+            let sel = Selectivity.select ~percent modules in
+            selection := Some sel;
+            List.partition
+              (fun (m : Ilmod.t) ->
+                List.mem m.Ilmod.mname sel.Selectivity.cmo_modules)
+              modules
+          | None, (Some _ | None) -> (modules, [])
+        in
+        cmo_lines :=
+          List.fold_left (fun acc m -> acc + Ilmod.src_lines m) 0 cmo_set;
+        (* The paper, section 5: "The remaining modules bypass HLO
+           entirely, and are optimized at the default optimization
+           level using PBO."  Under the tiered mode (the section-8
+           multi-layered future work), modules the profile never saw
+           execute also skip the default-level scalar optimization. *)
+        let module_is_cold (m : Ilmod.t) =
+          List.for_all
+            (fun (f : Func.t) ->
+              List.for_all
+                (fun (b : Func.block) -> b.Func.freq = 0.0)
+                f.Func.blocks)
+            m.Ilmod.funcs
+        in
+        List.iter
+          (fun (m : Ilmod.t) ->
+            if options.Options.tiered && module_is_cold m then
+              cold_lines := !cold_lines + Ilmod.src_lines m
+            else begin
+              warm_lines := !warm_lines + Ilmod.src_lines m;
+              List.iter
+                (fun f -> ignore (Phase.optimize_func ~mem f))
+                m.Ilmod.funcs
+            end)
+          outside;
+        if cmo_set = [] then modules
+        else begin
+          let cg = Callgraph.build cmo_set in
+          (* Everything that reads module function lists must run
+             before registration: the loader takes ownership and
+             empties them. *)
+          let main_in_set =
+            List.exists
+              (fun (m : Ilmod.t) ->
+                List.exists (fun f -> f.Func.name = "main") m.Ilmod.funcs)
+              cmo_set
+          in
+          let called, stored = external_context outside in
+          let loader_config =
+            {
+              Loader.default_config with
+              Loader.machine_memory = options.Options.machine_memory;
+              forced_level = options.Options.naim_level;
+            }
+          in
+          let loader = Loader.create loader_config mem in
+          List.iter (Loader.register_module loader) cmo_set;
+          let ipa_context =
+            {
+              Ipa.externally_called = Hashtbl.mem called;
+              externally_stored = Hashtbl.mem stored;
+              entry = (if main_in_set then Some "main" else None);
+              keep_exported = true;
+            }
+          in
+          let base_options = Hlo.o4_options ~profile:options.Options.pbo in
+          let inline_config =
+            let config =
+              match options.Options.inline_config with
+              | Some c -> c
+              | None -> (
+                match base_options.Hlo.inline with
+                | Some c -> c
+                | None -> Inline.default_config)
+            in
+            { config with Inline.operation_limit = options.Options.inline_limit }
+          in
+          let hot_filter =
+            Option.map
+              (fun sel name -> Selectivity.is_hot_function sel name)
+              !selection
+          in
+          let hlo_options =
+            {
+              base_options with
+              Hlo.inline = Some inline_config;
+              hot_filter;
+              rewrite_limit = options.Options.rewrite_limit;
+            }
+          in
+          let report = Hlo.run loader cg ~ipa_context hlo_options in
+          hlo_report := Some report;
+          let optimized = Loader.extract_modules loader in
+          loader_stats := Some (Loader.stats loader);
+          Loader.close loader;
+          optimized @ outside
+        end
+    in
+    let hlo_t1 = Sys.time () in
+    Log.info (fun m ->
+        m "%s: hlo %.3fs, cmo %d/%d lines" (Options.to_string options)
+          (hlo_t1 -. hlo_t0) !cmo_lines total_lines);
+    (* Code generation: sequential (with memory accounting) or across
+       domains. *)
+    let llo_stats = ref zero_llo_stats in
+    let layout = options.Options.pbo && options.Options.level <> Options.O1 in
+    let objects =
+      if options.Options.parallel_codegen > 1 then begin
+        let grouped, stats =
+          Llo.compile_modules_parallel ~layout
+            ~domains:options.Options.parallel_codegen processed_modules
+        in
+        llo_stats := stats;
+        List.map
+          (fun ((m : Ilmod.t), codes) ->
+            Objfile.of_code ~module_name:m.Ilmod.mname
+              ~globals:m.Ilmod.globals ~source_digest:"" codes)
+          grouped
+      end
+      else
+        List.map (llo_module ~mem:(Some mem) ~layout llo_stats) processed_modules
+    in
+    let llo_t1 = Sys.time () in
+    (* Link, clustering routines when profiled. *)
+    let routine_order =
+      if options.Options.pbo then begin
+        let weights = cluster_weights processed_modules in
+        if weights = [] then None
+        else
+          Some
+            (Cluster.order ~names:(all_func_names processed_modules) ~weights)
+      end
+      else None
+    in
+    let image = link_or_fail ?routine_order objects in
+    let link_t1 = Sys.time () in
+    Log.info (fun m ->
+        m "%s: llo %.3fs, link %.3fs, %d instrs"
+          (Options.to_string options) (llo_t1 -. hlo_t1) (link_t1 -. llo_t1)
+          (Array.length image.Image.code));
+    {
+      image;
+      objects;
+      manifest = None;
+      report =
+        {
+          options;
+          hlo = !hlo_report;
+          loader_stats = !loader_stats;
+          mem_peak = Memstats.peak mem;
+          mem_peak_hlo = Memstats.peak_hlo mem;
+          selection = !selection;
+          llo = !llo_stats;
+          frontend_seconds = 0.0;
+          hlo_seconds = hlo_t1 -. hlo_t0;
+          llo_seconds = llo_t1 -. hlo_t1;
+          link_seconds = link_t1 -. llo_t1;
+          total_lines;
+          cmo_lines = !cmo_lines;
+          warm_lines = !warm_lines;
+          cold_lines = !cold_lines;
+        };
+    }
+  end
+
+let compile ?profile options sources =
+  let t0 = Sys.time () in
+  let modules = frontend sources in
+  let t1 = Sys.time () in
+  let build = compile_modules ?profile options modules in
+  { build with report = { build.report with frontend_seconds = t1 -. t0 } }
+
+let run ?input ?fuel ?attribute build = Vm.run ?input ?fuel ?attribute build.image
+
+let train ?(inputs = [ [||] ]) sources =
+  let build = compile Options.instrumented sources in
+  let manifest =
+    match build.manifest with
+    | Some m -> m
+    | None -> error "instrumented build produced no manifest"
+  in
+  let db = Db.create () in
+  List.iter
+    (fun input ->
+      let outcome = Vm.run ~input build.image in
+      Probe.record_counters manifest outcome.Vm.probes db)
+    inputs;
+  db
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>%s" (Options.to_string r.options);
+  Format.fprintf ppf "@,lines: %d total, %d in CMO set%s" r.total_lines
+    r.cmo_lines
+    (if r.warm_lines + r.cold_lines > 0 then
+       Printf.sprintf " (%d warm, %d cold)" r.warm_lines r.cold_lines
+     else "");
+  Format.fprintf ppf
+    "@,time: frontend %.3fs, hlo %.3fs, llo %.3fs, link %.3fs"
+    r.frontend_seconds r.hlo_seconds r.llo_seconds r.link_seconds;
+  Format.fprintf ppf "@,memory peak: %d bytes (hlo %d)" r.mem_peak r.mem_peak_hlo;
+  Format.fprintf ppf "@,llo: %d routines, %d instrs, %d spills, %d peeps"
+    r.llo.Llo.routines r.llo.Llo.mach_instrs r.llo.Llo.spilled_vregs
+    r.llo.Llo.peephole_rewrites;
+  (match r.hlo with
+  | Some h -> Format.fprintf ppf "@,%a" Hlo.pp_report h
+  | None -> ());
+  (match r.selection with
+  | Some s -> Format.fprintf ppf "@,%a" Selectivity.pp s
+  | None -> ());
+  Format.fprintf ppf "@]"

@@ -1,0 +1,84 @@
+(** The compilation pipeline (the paper's Figure 2, end to end).
+
+    - [O1]/[O2] (+P): per-module frontend, intraprocedural HLO phases
+      ([O2] only), LLO with profile-guided block positioning under
+      +P, code object files, link (with profile-guided routine
+      clustering under +P).
+    - [O4] (+P): frontends produce IL object payloads; at link time
+      the CMO set (all modules, or the selectivity-chosen subset) is
+      registered with a NAIM loader and optimized by HLO
+      (cloning/inlining/IPA/phases), then code-generated; modules
+      outside the set take the [O2]+P path.  The interprocedural
+      context for a partial set is derived by scanning the outside
+      modules for calls into and stores into the set.
+    - [+I]: probes are inserted and optimization suppressed; the
+      returned manifest ties VM counters to profile-database keys.
+
+    The pipeline works on in-memory values; {!Buildsys} adds the
+    on-disk object-file workflow. *)
+
+type source = { name : string; text : string }
+
+type report = {
+  options : Options.t;
+  hlo : Cmo_hlo.Hlo.report option;
+  loader_stats : Cmo_naim.Loader.stats option;
+  mem_peak : int;  (** Peak modeled bytes, all categories. *)
+  mem_peak_hlo : int;  (** Peak excluding LLO (Figure 4's HLO series). *)
+  selection : Cmo_hlo.Selectivity.t option;
+  llo : Cmo_llo.Llo.stats;
+  frontend_seconds : float;
+  hlo_seconds : float;
+  llo_seconds : float;
+  link_seconds : float;
+  total_lines : int;
+  cmo_lines : int;  (** Source lines in the CMO set. *)
+  warm_lines : int;
+      (** Lines outside the CMO set compiled at the default level. *)
+  cold_lines : int;
+      (** Tiered mode only: never-executed lines given the minimal
+          (+O1-grade) compile. *)
+}
+
+type build = {
+  image : Cmo_link.Image.t;
+  objects : Cmo_link.Objfile.t list;
+      (** The code objects that went into the final link. *)
+  report : report;
+  manifest : Cmo_profile.Probe.manifest option;  (** +I builds only. *)
+}
+
+exception Compile_error of string
+(** Frontend, verification or link failure, with rendered details. *)
+
+val frontend : source list -> Cmo_il.Ilmod.t list
+(** Compile sources to IL, verifying the result as a program.
+    @raise Compile_error on any error. *)
+
+val frontend_one : source -> Cmo_il.Ilmod.t
+(** Compile a single module with module-local verification only;
+    cross-module references are checked later, at link time — the
+    separate-compilation discipline the build system relies on.
+    @raise Compile_error on any error. *)
+
+val compile : ?profile:Cmo_profile.Db.t -> Options.t -> source list -> build
+
+val compile_modules :
+  ?profile:Cmo_profile.Db.t -> Options.t -> Cmo_il.Ilmod.t list -> build
+(** Takes ownership of [modules]: profile annotation and optimization
+    mutate them. *)
+
+val run :
+  ?input:int64 array -> ?fuel:int -> ?attribute:bool -> build ->
+  Cmo_vm.Vm.outcome
+(** Execute the built image on the VM.  [attribute] enables
+    per-routine cycle attribution (see {!Cmo_vm.Vm.run}). *)
+
+val train :
+  ?inputs:int64 array list ->
+  source list ->
+  Cmo_profile.Db.t
+(** Build instrumented (+I), run each training input on the VM, and
+    accumulate the profile database — the paper's training loop. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,1 @@
+lib/frontend/frontend.ml: Ast Format Lexer List Lower Parser Sema

@@ -1,0 +1,1 @@
+lib/frontend/frontend.mli: Cmo_il Format

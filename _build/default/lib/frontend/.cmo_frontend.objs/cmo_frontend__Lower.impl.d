@@ -1,0 +1,1 @@
+lib/frontend/lower.ml: Ast Cmo_il Hashtbl List Option Printf

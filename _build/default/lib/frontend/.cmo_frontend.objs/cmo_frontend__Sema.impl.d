@@ -1,0 +1,1 @@
+lib/frontend/sema.ml: Ast Cmo_il Format Hashtbl List Option

@@ -1,0 +1,54 @@
+type pos = { line : int; col : int }
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | And | Or | Xor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Land | Lor
+
+type unop = Neg | Not
+
+type expr = { desc : expr_desc; pos : pos }
+
+and expr_desc =
+  | Int of int64
+  | Var of string
+  | Global of string
+  | Index of string * expr
+  | Unary of unop * expr
+  | Binary of binop * expr * expr
+  | Call of string * expr list
+
+type stmt = { sdesc : stmt_desc; spos : pos }
+
+and stmt_desc =
+  | Decl of string * expr
+  | Assign of string * expr
+  | Store of string * expr * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of stmt option * expr option * stmt option * stmt list
+  | Break
+  | Continue
+  | Return of expr option
+  | Expr of expr
+
+type decl =
+  | Global_decl of {
+      name : string;
+      size : int;
+      init : int64 array;
+      static : bool;
+      extern_ : bool;
+      pos : pos;
+    }
+  | Func_decl of {
+      name : string;
+      params : string list;
+      body : stmt list;
+      static : bool;
+      pos : pos;
+      end_line : int;
+    }
+
+type unit_ = { module_name : string; decls : decl list }

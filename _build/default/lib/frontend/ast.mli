@@ -1,0 +1,68 @@
+(** Abstract syntax of MiniC, the source language of the frontend.
+
+    MiniC is a single-type (64-bit integer) C-like language with
+    modules, exported and [static] (module-private) functions and
+    globals, scalar and array globals, and the intrinsics [print] and
+    [arg].  It is deliberately small: the paper's machinery is
+    entirely IL-level, so the language only needs to produce realistic
+    IL shapes (calls, loops, global accesses, cross-module
+    references). *)
+
+type pos = { line : int; col : int }
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | And | Or | Xor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Land | Lor  (** Short-circuit logical forms. *)
+
+type unop = Neg | Not
+
+type expr = { desc : expr_desc; pos : pos }
+
+and expr_desc =
+  | Int of int64
+  | Var of string  (** Local variable or parameter. *)
+  | Global of string  (** Scalar global read (resolved by sema). *)
+  | Index of string * expr  (** Array global read. *)
+  | Unary of unop * expr
+  | Binary of binop * expr * expr
+  | Call of string * expr list
+
+type stmt = { sdesc : stmt_desc; spos : pos }
+
+and stmt_desc =
+  | Decl of string * expr  (** [var x = e;] *)
+  | Assign of string * expr  (** Local or scalar global. *)
+  | Store of string * expr * expr  (** [g\[e1\] = e2;] *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of stmt option * expr option * stmt option * stmt list
+      (** [for (init; cond; step) { body }]; a missing condition means
+          an infinite loop.  The init's scope is the loop. *)
+  | Break
+  | Continue
+  | Return of expr option
+  | Expr of expr  (** Expression statement (for call effects). *)
+
+type decl =
+  | Global_decl of {
+      name : string;
+      size : int;  (** 1 for scalars. *)
+      init : int64 array;
+      static : bool;
+      extern_ : bool;
+          (** Declared here, defined by another module; no storage is
+              emitted. *)
+      pos : pos;
+    }
+  | Func_decl of {
+      name : string;
+      params : string list;
+      body : stmt list;
+      static : bool;
+      pos : pos;
+      end_line : int;
+    }
+
+type unit_ = { module_name : string; decls : decl list }

@@ -1,0 +1,36 @@
+type error = {
+  module_name : string;
+  message : string;
+  line : int;
+  col : int;
+}
+
+let of_pos module_name message (pos : Ast.pos) =
+  { module_name; message; line = pos.Ast.line; col = pos.Ast.col }
+
+let compile ~module_name source =
+  match Parser.parse ~module_name source with
+  | exception Lexer.Lex_error (msg, pos) ->
+    Error [ of_pos module_name msg pos ]
+  | exception Parser.Parse_error (msg, pos) ->
+    Error [ of_pos module_name msg pos ]
+  | ast -> (
+    match Sema.analyze ast with
+    | Error errs ->
+      Error
+        (List.map
+           (fun (e : Sema.error) -> of_pos module_name e.Sema.msg e.Sema.pos)
+           errs)
+    | Ok resolved -> Ok (Lower.lower_unit resolved))
+
+let pp_error ppf { module_name; message; line; col } =
+  Format.fprintf ppf "%s:%d:%d: %s" module_name line col message
+
+let compile_exn ~module_name source =
+  match compile ~module_name source with
+  | Ok m -> m
+  | Error errs ->
+    failwith
+      (Format.asprintf "@[<v>%a@]"
+         (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_error)
+         errs)

@@ -1,0 +1,22 @@
+(** One-call frontend: source text to IL module.
+
+    This is the component labelled "frontends" in the paper's Figure 2
+    pipeline; in CMO mode the driver stores its output IL in object
+    files instead of passing it on to code generation. *)
+
+type error = {
+  module_name : string;
+  message : string;
+  line : int;
+  col : int;
+}
+
+val compile : module_name:string -> string -> (Cmo_il.Ilmod.t, error list) result
+(** Lex, parse, analyze and lower one compilation unit.  On success
+    the result verifies cleanly as a standalone module (see
+    {!Cmo_il.Verify.check_module}). *)
+
+val compile_exn : module_name:string -> string -> Cmo_il.Ilmod.t
+(** @raise Failure with a formatted message on any error. *)
+
+val pp_error : Format.formatter -> error -> unit

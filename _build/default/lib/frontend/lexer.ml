@@ -1,0 +1,181 @@
+type token =
+  | INT of int64
+  | IDENT of string
+  | KW_FUNC | KW_GLOBAL | KW_STATIC | KW_EXTERN | KW_VAR | KW_IF | KW_ELSE
+  | KW_WHILE | KW_FOR | KW_BREAK | KW_CONTINUE | KW_RETURN
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | COMMA | SEMI | ASSIGN
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | PIPE | CARET | SHL | SHR
+  | EQ | NE | LT | LE | GT | GE
+  | AMPAMP | PIPEPIPE | BANG
+  | EOF
+
+type located = { tok : token; pos : Ast.pos }
+
+exception Lex_error of string * Ast.pos
+
+let keyword_table =
+  [
+    ("func", KW_FUNC);
+    ("global", KW_GLOBAL);
+    ("static", KW_STATIC);
+    ("extern", KW_EXTERN);
+    ("var", KW_VAR);
+    ("if", KW_IF);
+    ("else", KW_ELSE);
+    ("while", KW_WHILE);
+    ("for", KW_FOR);
+    ("break", KW_BREAK);
+    ("continue", KW_CONTINUE);
+    ("return", KW_RETURN);
+  ]
+
+type cursor = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (* offset of beginning of current line *)
+}
+
+let here c : Ast.pos = { Ast.line = c.line; col = c.pos - c.bol + 1 }
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let advance c =
+  (match peek c with
+  | Some '\n' ->
+    c.line <- c.line + 1;
+    c.bol <- c.pos + 1
+  | _ -> ());
+  c.pos <- c.pos + 1
+
+let is_digit ch = ch >= '0' && ch <= '9'
+
+let is_ident_start ch =
+  (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') || ch = '_'
+
+let is_ident_char ch = is_ident_start ch || is_digit ch || ch = ':'
+
+let rec skip_ws c =
+  match peek c with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance c;
+    skip_ws c
+  | Some '/' when c.pos + 1 < String.length c.src && c.src.[c.pos + 1] = '/' ->
+    let rec to_eol () =
+      match peek c with
+      | Some '\n' | None -> ()
+      | Some _ ->
+        advance c;
+        to_eol ()
+    in
+    to_eol ();
+    skip_ws c
+  | _ -> ()
+
+let lex_number c pos =
+  let start = c.pos in
+  let neg = peek c = Some '-' in
+  if neg then advance c;
+  while (match peek c with Some ch -> is_digit ch | None -> false) do
+    advance c
+  done;
+  let text = String.sub c.src start (c.pos - start) in
+  match Int64.of_string_opt text with
+  | Some v -> { tok = INT v; pos }
+  | None -> raise (Lex_error (Printf.sprintf "malformed number %S" text, pos))
+
+let lex_ident c pos =
+  let start = c.pos in
+  while (match peek c with Some ch -> is_ident_char ch | None -> false) do
+    advance c
+  done;
+  let text = String.sub c.src start (c.pos - start) in
+  match List.assoc_opt text keyword_table with
+  | Some kw -> { tok = kw; pos }
+  | None -> { tok = IDENT text; pos }
+
+let two c pos first second tok_two tok_one =
+  advance c;
+  if peek c = Some second then begin
+    advance c;
+    { tok = tok_two; pos }
+  end
+  else
+    match tok_one with
+    | Some t -> { tok = t; pos }
+    | None ->
+      raise
+        (Lex_error (Printf.sprintf "expected %c after %c" second first, pos))
+
+let next_token c =
+  skip_ws c;
+  let pos = here c in
+  match peek c with
+  | None -> { tok = EOF; pos }
+  | Some ch ->
+    if is_digit ch then lex_number c pos
+    else if is_ident_start ch then lex_ident c pos
+    else begin
+      match ch with
+      | '(' -> advance c; { tok = LPAREN; pos }
+      | ')' -> advance c; { tok = RPAREN; pos }
+      | '{' -> advance c; { tok = LBRACE; pos }
+      | '}' -> advance c; { tok = RBRACE; pos }
+      | '[' -> advance c; { tok = LBRACKET; pos }
+      | ']' -> advance c; { tok = RBRACKET; pos }
+      | ',' -> advance c; { tok = COMMA; pos }
+      | ';' -> advance c; { tok = SEMI; pos }
+      | '+' -> advance c; { tok = PLUS; pos }
+      | '-' -> advance c; { tok = MINUS; pos }
+      | '*' -> advance c; { tok = STAR; pos }
+      | '/' -> advance c; { tok = SLASH; pos }
+      | '%' -> advance c; { tok = PERCENT; pos }
+      | '^' -> advance c; { tok = CARET; pos }
+      | '&' -> two c pos '&' '&' AMPAMP (Some AMP)
+      | '|' -> two c pos '|' '|' PIPEPIPE (Some PIPE)
+      | '=' -> two c pos '=' '=' EQ (Some ASSIGN)
+      | '!' -> two c pos '!' '=' NE (Some BANG)
+      | '<' ->
+        advance c;
+        (match peek c with
+        | Some '=' -> advance c; { tok = LE; pos }
+        | Some '<' -> advance c; { tok = SHL; pos }
+        | _ -> { tok = LT; pos })
+      | '>' ->
+        advance c;
+        (match peek c with
+        | Some '=' -> advance c; { tok = GE; pos }
+        | Some '>' -> advance c; { tok = SHR; pos }
+        | _ -> { tok = GT; pos })
+      | _ ->
+        raise (Lex_error (Printf.sprintf "illegal character %C" ch, pos))
+    end
+
+let tokenize src =
+  let c = { src; pos = 0; line = 1; bol = 0 } in
+  let rec go acc =
+    let t = next_token c in
+    if t.tok = EOF then List.rev (t :: acc) else go (t :: acc)
+  in
+  go []
+
+let token_name = function
+  | INT v -> Printf.sprintf "integer %Ld" v
+  | IDENT s -> Printf.sprintf "identifier %s" s
+  | KW_FUNC -> "'func'" | KW_GLOBAL -> "'global'" | KW_STATIC -> "'static'"
+  | KW_EXTERN -> "'extern'"
+  | KW_VAR -> "'var'" | KW_IF -> "'if'" | KW_ELSE -> "'else'"
+  | KW_WHILE -> "'while'" | KW_FOR -> "'for'" | KW_RETURN -> "'return'"
+  | KW_BREAK -> "'break'" | KW_CONTINUE -> "'continue'"
+  | LPAREN -> "'('" | RPAREN -> "')'" | LBRACE -> "'{'" | RBRACE -> "'}'"
+  | LBRACKET -> "'['" | RBRACKET -> "']'"
+  | COMMA -> "','" | SEMI -> "';'" | ASSIGN -> "'='"
+  | PLUS -> "'+'" | MINUS -> "'-'" | STAR -> "'*'" | SLASH -> "'/'"
+  | PERCENT -> "'%'"
+  | AMP -> "'&'" | PIPE -> "'|'" | CARET -> "'^'" | SHL -> "'<<'" | SHR -> "'>>'"
+  | EQ -> "'=='" | NE -> "'!='" | LT -> "'<'" | LE -> "'<='" | GT -> "'>'"
+  | GE -> "'>='"
+  | AMPAMP -> "'&&'" | PIPEPIPE -> "'||'" | BANG -> "'!'"
+  | EOF -> "end of input"

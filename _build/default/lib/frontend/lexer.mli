@@ -1,0 +1,26 @@
+(** Hand-written lexer for MiniC. *)
+
+type token =
+  | INT of int64
+  | IDENT of string
+  | KW_FUNC | KW_GLOBAL | KW_STATIC | KW_EXTERN | KW_VAR | KW_IF | KW_ELSE
+  | KW_WHILE | KW_FOR | KW_BREAK | KW_CONTINUE | KW_RETURN
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | COMMA | SEMI | ASSIGN
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | PIPE | CARET | SHL | SHR
+  | EQ | NE | LT | LE | GT | GE
+  | AMPAMP | PIPEPIPE | BANG
+  | EOF
+
+type located = { tok : token; pos : Ast.pos }
+
+exception Lex_error of string * Ast.pos
+
+val tokenize : string -> located list
+(** Tokenize a whole compilation unit.  Comments are [//] to end of
+    line.  @raise Lex_error on an illegal character or malformed
+    number. *)
+
+val token_name : token -> string
+(** Human-readable token description for parse errors. *)

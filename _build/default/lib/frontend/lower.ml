@@ -1,0 +1,301 @@
+module Instr = Cmo_il.Instr
+module Func = Cmo_il.Func
+module Ilmod = Cmo_il.Ilmod
+module Intrinsics = Cmo_il.Intrinsics
+
+let mangle module_name name = module_name ^ "::" ^ name
+
+type ctx = {
+  func : Func.t;
+  resolve : string -> string;  (* static-name mangling *)
+  mutable frames : (string, Instr.reg) Hashtbl.t list;
+  mutable cur : Func.block option;
+  mutable cur_instrs : Instr.instr list;  (* reversed *)
+  mutable loops : (Instr.label * Instr.label) list;
+      (* innermost first: (continue target, break target) *)
+}
+
+let fresh_block ctx =
+  (* Terminator is patched when the block is finished. *)
+  Func.add_block ctx.func [] (Instr.Ret None)
+
+let start ctx block =
+  ctx.cur <- Some block;
+  ctx.cur_instrs <- []
+
+let emit ctx instr = ctx.cur_instrs <- instr :: ctx.cur_instrs
+
+let finish ctx term =
+  match ctx.cur with
+  | None -> ()  (* unreachable code after a return: drop it *)
+  | Some b ->
+    b.Func.instrs <- List.rev ctx.cur_instrs;
+    b.Func.term <- term;
+    ctx.cur <- None;
+    ctx.cur_instrs <- []
+
+let in_block ctx = ctx.cur <> None
+
+let lookup_var ctx name =
+  let rec go = function
+    | [] -> None
+    | frame :: rest -> (
+      match Hashtbl.find_opt frame name with
+      | Some r -> Some r
+      | None -> go rest)
+  in
+  go ctx.frames
+
+let define_var ctx name =
+  let r = Func.new_reg ctx.func in
+  (match ctx.frames with
+  | frame :: _ -> Hashtbl.replace frame name r
+  | [] -> assert false);
+  r
+
+let scalar_addr ctx name = { Instr.base = ctx.resolve name; index = Instr.Imm 0L }
+
+let il_binop : Ast.binop -> Instr.binop = function
+  | Ast.Add -> Instr.Add | Ast.Sub -> Instr.Sub | Ast.Mul -> Instr.Mul
+  | Ast.Div -> Instr.Div | Ast.Rem -> Instr.Rem
+  | Ast.And -> Instr.And | Ast.Or -> Instr.Or | Ast.Xor -> Instr.Xor
+  | Ast.Shl -> Instr.Shl | Ast.Shr -> Instr.Shr
+  | Ast.Eq -> Instr.Eq | Ast.Ne -> Instr.Ne | Ast.Lt -> Instr.Lt
+  | Ast.Le -> Instr.Le | Ast.Gt -> Instr.Gt | Ast.Ge -> Instr.Ge
+  | Ast.Land | Ast.Lor -> assert false  (* handled by control flow *)
+
+let rec lower_expr ctx (e : Ast.expr) : Instr.operand =
+  match e.Ast.desc with
+  | Ast.Int v -> Instr.Imm v
+  | Ast.Var name -> (
+    match lookup_var ctx name with
+    | Some r -> Instr.Reg r
+    | None ->
+      (* Sema guarantees this cannot happen. *)
+      invalid_arg (Printf.sprintf "Lower: unresolved variable %s" name))
+  | Ast.Global name ->
+    let d = Func.new_reg ctx.func in
+    emit ctx (Instr.Load (d, scalar_addr ctx name));
+    Instr.Reg d
+  | Ast.Index (base, idx) ->
+    let index = lower_expr ctx idx in
+    let d = Func.new_reg ctx.func in
+    emit ctx (Instr.Load (d, { Instr.base = ctx.resolve base; index }));
+    Instr.Reg d
+  | Ast.Unary (op, a) ->
+    let a = lower_expr ctx a in
+    let d = Func.new_reg ctx.func in
+    let il_op = match op with Ast.Neg -> Instr.Neg | Ast.Not -> Instr.Not in
+    emit ctx (Instr.Unop (il_op, d, a));
+    Instr.Reg d
+  | Ast.Binary (Ast.Land, a, b) -> lower_short_circuit ctx ~is_and:true a b
+  | Ast.Binary (Ast.Lor, a, b) -> lower_short_circuit ctx ~is_and:false a b
+  | Ast.Binary (op, a, b) ->
+    let a = lower_expr ctx a in
+    let b = lower_expr ctx b in
+    let d = Func.new_reg ctx.func in
+    emit ctx (Instr.Binop (il_binop op, d, a, b));
+    Instr.Reg d
+  | Ast.Call (callee, args) -> Instr.Reg (lower_call ctx ~want_result:true callee args)
+
+and lower_call ctx ~want_result callee args =
+  let argv = List.map (lower_expr ctx) args in
+  let resolved =
+    if Intrinsics.is_intrinsic callee then callee else ctx.resolve callee
+  in
+  let dst = if want_result then Some (Func.new_reg ctx.func) else None in
+  let site = Func.new_site ctx.func in
+  emit ctx
+    (Instr.Call { Instr.dst; callee = resolved; args = argv; site; call_count = 0.0 });
+  match dst with Some d -> d | None -> 0
+
+and lower_short_circuit ctx ~is_and a b =
+  (* r = a && b  ==>
+       r = 0 (resp. 1); if a (resp. !a) then r = (b != 0) *)
+  let result = Func.new_reg ctx.func in
+  let a_val = lower_expr ctx a in
+  emit ctx (Instr.Move (result, Instr.Imm (if is_and then 0L else 1L)));
+  let b_block = fresh_block ctx in
+  let join = fresh_block ctx in
+  let ifso, ifnot =
+    if is_and then (b_block.Func.label, join.Func.label)
+    else (join.Func.label, b_block.Func.label)
+  in
+  finish ctx (Instr.Br { cond = a_val; ifso; ifnot });
+  start ctx b_block;
+  let b_val = lower_expr ctx b in
+  emit ctx (Instr.Binop (Instr.Ne, result, b_val, Instr.Imm 0L));
+  finish ctx (Instr.Jmp join.Func.label);
+  start ctx join;
+  Instr.Reg result
+
+let rec lower_stmt ctx (s : Ast.stmt) =
+  if in_block ctx then
+    match s.Ast.sdesc with
+    | Ast.Decl (name, e) ->
+      let v = lower_expr ctx e in
+      let r = define_var ctx name in
+      emit ctx (Instr.Move (r, v))
+    | Ast.Assign (name, e) -> (
+      let v = lower_expr ctx e in
+      match lookup_var ctx name with
+      | Some r -> emit ctx (Instr.Move (r, v))
+      | None -> emit ctx (Instr.Store (scalar_addr ctx name, v)))
+    | Ast.Store (base, idx, e) ->
+      let index = lower_expr ctx idx in
+      let v = lower_expr ctx e in
+      emit ctx (Instr.Store ({ Instr.base = ctx.resolve base; index }, v))
+    | Ast.If (cond, then_body, else_body) ->
+      let c = lower_expr ctx cond in
+      let then_block = fresh_block ctx in
+      if else_body = [] then begin
+        let join = fresh_block ctx in
+        finish ctx
+          (Instr.Br
+             { cond = c; ifso = then_block.Func.label; ifnot = join.Func.label });
+        start ctx then_block;
+        lower_body ctx then_body;
+        finish ctx (Instr.Jmp join.Func.label);
+        start ctx join
+      end
+      else begin
+        let else_block = fresh_block ctx in
+        let join = fresh_block ctx in
+        finish ctx
+          (Instr.Br
+             {
+               cond = c;
+               ifso = then_block.Func.label;
+               ifnot = else_block.Func.label;
+             });
+        start ctx then_block;
+        lower_body ctx then_body;
+        finish ctx (Instr.Jmp join.Func.label);
+        start ctx else_block;
+        lower_body ctx else_body;
+        finish ctx (Instr.Jmp join.Func.label);
+        start ctx join
+      end
+    | Ast.While (cond, body) ->
+      let header = fresh_block ctx in
+      let body_block = fresh_block ctx in
+      let exit_block = fresh_block ctx in
+      finish ctx (Instr.Jmp header.Func.label);
+      start ctx header;
+      let c = lower_expr ctx cond in
+      finish ctx
+        (Instr.Br
+           {
+             cond = c;
+             ifso = body_block.Func.label;
+             ifnot = exit_block.Func.label;
+           });
+      start ctx body_block;
+      ctx.loops <- (header.Func.label, exit_block.Func.label) :: ctx.loops;
+      lower_body ctx body;
+      ctx.loops <- List.tl ctx.loops;
+      finish ctx (Instr.Jmp header.Func.label);
+      start ctx exit_block
+    | Ast.For (init, cond, step, body) ->
+      (* continue jumps to the step block, then back to the header. *)
+      ctx.frames <- Hashtbl.create 4 :: ctx.frames;
+      Option.iter (lower_stmt ctx) init;
+      let header = fresh_block ctx in
+      let body_block = fresh_block ctx in
+      let step_block = fresh_block ctx in
+      let exit_block = fresh_block ctx in
+      finish ctx (Instr.Jmp header.Func.label);
+      start ctx header;
+      (match cond with
+      | Some cond ->
+        let c = lower_expr ctx cond in
+        finish ctx
+          (Instr.Br
+             {
+               cond = c;
+               ifso = body_block.Func.label;
+               ifnot = exit_block.Func.label;
+             })
+      | None -> finish ctx (Instr.Jmp body_block.Func.label));
+      start ctx body_block;
+      ctx.loops <- (step_block.Func.label, exit_block.Func.label) :: ctx.loops;
+      lower_body ctx body;
+      ctx.loops <- List.tl ctx.loops;
+      finish ctx (Instr.Jmp step_block.Func.label);
+      start ctx step_block;
+      Option.iter (lower_stmt ctx) step;
+      finish ctx (Instr.Jmp header.Func.label);
+      start ctx exit_block;
+      ctx.frames <- List.tl ctx.frames
+    | Ast.Break -> (
+      match ctx.loops with
+      | (_, break_target) :: _ -> finish ctx (Instr.Jmp break_target)
+      | [] -> invalid_arg "Lower: break outside a loop")
+    | Ast.Continue -> (
+      match ctx.loops with
+      | (continue_target, _) :: _ -> finish ctx (Instr.Jmp continue_target)
+      | [] -> invalid_arg "Lower: continue outside a loop")
+    | Ast.Return None -> finish ctx (Instr.Ret (Some (Instr.Imm 0L)))
+    | Ast.Return (Some e) ->
+      let v = lower_expr ctx e in
+      finish ctx (Instr.Ret (Some v))
+    | Ast.Expr ({ Ast.desc = Ast.Call (callee, args); _ }) ->
+      ignore (lower_call ctx ~want_result:false callee args)
+    | Ast.Expr e -> ignore (lower_expr ctx e)
+
+and lower_body ctx body =
+  ctx.frames <- Hashtbl.create 8 :: ctx.frames;
+  List.iter (lower_stmt ctx) body;
+  ctx.frames <- List.tl ctx.frames
+
+let lower_func ~module_name ~resolve (f : Ast.decl) =
+  match f with
+  | Ast.Global_decl _ -> assert false
+  | Ast.Func_decl { name; params; body; static; pos; end_line } ->
+    let linkage = if static then Func.Local else Func.Exported in
+    let fname = if static then mangle module_name name else name in
+    let func = Func.create ~name:fname ~arity:(List.length params) ~linkage in
+    func.Func.src_lines <- max 1 (end_line - pos.Ast.line + 1);
+    let frame = Hashtbl.create 8 in
+    List.iteri (fun i p -> Hashtbl.replace frame p i) params;
+    let ctx =
+      { func; resolve; frames = [ frame ]; cur = None; cur_instrs = [];
+        loops = [] }
+    in
+    let entry = fresh_block ctx in
+    func.Func.entry <- entry.Func.label;
+    start ctx entry;
+    List.iter (lower_stmt ctx) body;
+    (* Implicit return 0 when control falls off the end. *)
+    finish ctx (Instr.Ret (Some (Instr.Imm 0L)));
+    func
+
+let lower_unit (unit_ : Ast.unit_) =
+  let module_name = unit_.Ast.module_name in
+  let statics = Hashtbl.create 16 in
+  List.iter
+    (fun decl ->
+      match decl with
+      | Ast.Global_decl { name; static = true; _ }
+      | Ast.Func_decl { name; static = true; _ } ->
+        Hashtbl.replace statics name ()
+      | Ast.Global_decl _ | Ast.Func_decl _ -> ())
+    unit_.Ast.decls;
+  let resolve name =
+    if Hashtbl.mem statics name then mangle module_name name else name
+  in
+  let m = Ilmod.create module_name in
+  List.iter
+    (fun decl ->
+      match decl with
+      | Ast.Global_decl { extern_ = true; _ } ->
+        (* Declaration only; storage lives in the defining module. *)
+        ()
+      | Ast.Global_decl { name; size; init; static; _ } ->
+        ignore
+          (Ilmod.add_global m ~name:(resolve name) ~size ~init
+             ~exported:(not static) ())
+      | Ast.Func_decl _ ->
+        Ilmod.add_func m (lower_func ~module_name ~resolve decl))
+    unit_.Ast.decls;
+  m

@@ -1,0 +1,19 @@
+(** Lowering from resolved MiniC AST to IL.
+
+    - Locals and parameters become virtual registers.
+    - Scalar globals become size-1 global arrays accessed with
+      [Load]/[Store] at index 0.
+    - [&&]/[||] lower to short-circuit control flow producing 0/1.
+    - [static] names are mangled to ["module::name"] so that every
+      symbol in a linked program has a unique name while keeping
+      [Local] linkage (which interprocedural analysis exploits);
+      this mirrors the qualified names HLO uses for module-private
+      routines.
+    - Each call receives a fresh, deterministic call-site id; site
+      ids increase in source order, making profile correlation stable
+      for unchanged source.
+    - [Func.src_lines] is set from the source span of the function,
+      feeding the memory-per-line accounting. *)
+
+val lower_unit : Ast.unit_ -> Cmo_il.Ilmod.t
+(** Requires a unit that passed {!Sema.analyze}. *)

@@ -1,0 +1,375 @@
+exception Parse_error of string * Ast.pos
+
+type state = { mutable toks : Lexer.located list }
+
+let peek st =
+  match st.toks with
+  | t :: _ -> t
+  | [] -> { Lexer.tok = Lexer.EOF; pos = { Ast.line = 0; col = 0 } }
+
+let advance st = match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let error pos fmt =
+  Format.kasprintf (fun msg -> raise (Parse_error (msg, pos))) fmt
+
+let expect st tok =
+  let t = peek st in
+  if t.Lexer.tok = tok then advance st
+  else
+    error t.Lexer.pos "expected %s but found %s" (Lexer.token_name tok)
+      (Lexer.token_name t.Lexer.tok)
+
+let expect_ident st =
+  let t = peek st in
+  match t.Lexer.tok with
+  | Lexer.IDENT name ->
+    advance st;
+    (name, t.Lexer.pos)
+  | other -> error t.Lexer.pos "expected identifier, found %s" (Lexer.token_name other)
+
+let expect_int st =
+  let t = peek st in
+  match t.Lexer.tok with
+  | Lexer.INT v ->
+    advance st;
+    v
+  | other -> error t.Lexer.pos "expected integer, found %s" (Lexer.token_name other)
+
+(* Binary operator precedence, loosest first. *)
+let binop_of_token = function
+  | Lexer.PIPEPIPE -> Some (Ast.Lor, 1)
+  | Lexer.AMPAMP -> Some (Ast.Land, 2)
+  | Lexer.PIPE -> Some (Ast.Or, 3)
+  | Lexer.CARET -> Some (Ast.Xor, 4)
+  | Lexer.AMP -> Some (Ast.And, 5)
+  | Lexer.EQ -> Some (Ast.Eq, 6)
+  | Lexer.NE -> Some (Ast.Ne, 6)
+  | Lexer.LT -> Some (Ast.Lt, 7)
+  | Lexer.LE -> Some (Ast.Le, 7)
+  | Lexer.GT -> Some (Ast.Gt, 7)
+  | Lexer.GE -> Some (Ast.Ge, 7)
+  | Lexer.SHL -> Some (Ast.Shl, 8)
+  | Lexer.SHR -> Some (Ast.Shr, 8)
+  | Lexer.PLUS -> Some (Ast.Add, 9)
+  | Lexer.MINUS -> Some (Ast.Sub, 9)
+  | Lexer.STAR -> Some (Ast.Mul, 10)
+  | Lexer.SLASH -> Some (Ast.Div, 10)
+  | Lexer.PERCENT -> Some (Ast.Rem, 10)
+  | _ -> None
+
+let rec parse_primary st : Ast.expr =
+  let t = peek st in
+  match t.Lexer.tok with
+  | Lexer.INT v ->
+    advance st;
+    { Ast.desc = Ast.Int v; pos = t.Lexer.pos }
+  | Lexer.LPAREN ->
+    advance st;
+    let e = parse_expr_prec st 1 in
+    expect st Lexer.RPAREN;
+    e
+  | Lexer.MINUS ->
+    advance st;
+    let e = parse_unary st in
+    { Ast.desc = Ast.Unary (Ast.Neg, e); pos = t.Lexer.pos }
+  | Lexer.BANG ->
+    advance st;
+    let e = parse_unary st in
+    { Ast.desc = Ast.Unary (Ast.Not, e); pos = t.Lexer.pos }
+  | Lexer.IDENT name -> begin
+    advance st;
+    match (peek st).Lexer.tok with
+    | Lexer.LPAREN ->
+      advance st;
+      let args = parse_args st in
+      { Ast.desc = Ast.Call (name, args); pos = t.Lexer.pos }
+    | Lexer.LBRACKET ->
+      advance st;
+      let idx = parse_expr_prec st 1 in
+      expect st Lexer.RBRACKET;
+      { Ast.desc = Ast.Index (name, idx); pos = t.Lexer.pos }
+    | _ -> { Ast.desc = Ast.Var name; pos = t.Lexer.pos }
+  end
+  | other -> error t.Lexer.pos "expected expression, found %s" (Lexer.token_name other)
+
+and parse_unary st =
+  let t = peek st in
+  match t.Lexer.tok with
+  | Lexer.MINUS ->
+    advance st;
+    let e = parse_unary st in
+    { Ast.desc = Ast.Unary (Ast.Neg, e); pos = t.Lexer.pos }
+  | Lexer.BANG ->
+    advance st;
+    let e = parse_unary st in
+    { Ast.desc = Ast.Unary (Ast.Not, e); pos = t.Lexer.pos }
+  | _ -> parse_primary st
+
+and parse_args st =
+  if (peek st).Lexer.tok = Lexer.RPAREN then begin
+    advance st;
+    []
+  end
+  else begin
+    let rec go acc =
+      let e = parse_expr_prec st 1 in
+      match (peek st).Lexer.tok with
+      | Lexer.COMMA ->
+        advance st;
+        go (e :: acc)
+      | _ ->
+        expect st Lexer.RPAREN;
+        List.rev (e :: acc)
+    in
+    go []
+  end
+
+and parse_expr_prec st min_prec : Ast.expr =
+  let lhs = parse_unary st in
+  let rec loop lhs =
+    let t = peek st in
+    match binop_of_token t.Lexer.tok with
+    | Some (op, prec) when prec >= min_prec ->
+      advance st;
+      let rhs = parse_expr_prec st (prec + 1) in
+      loop { Ast.desc = Ast.Binary (op, lhs, rhs); pos = t.Lexer.pos }
+    | _ -> lhs
+  in
+  loop lhs
+
+let parse_expression st = parse_expr_prec st 1
+
+let rec parse_stmt st : Ast.stmt =
+  let t = peek st in
+  match t.Lexer.tok with
+  | Lexer.KW_VAR -> parse_simple_stmt st ~consume_semi:true
+  | Lexer.KW_IF ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let cond = parse_expression st in
+    expect st Lexer.RPAREN;
+    let then_body = parse_block st in
+    let else_body =
+      if (peek st).Lexer.tok = Lexer.KW_ELSE then begin
+        advance st;
+        if (peek st).Lexer.tok = Lexer.KW_IF then [ parse_stmt st ]
+        else parse_block st
+      end
+      else []
+    in
+    { Ast.sdesc = Ast.If (cond, then_body, else_body); spos = t.Lexer.pos }
+  | Lexer.KW_WHILE ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let cond = parse_expression st in
+    expect st Lexer.RPAREN;
+    let body = parse_block st in
+    { Ast.sdesc = Ast.While (cond, body); spos = t.Lexer.pos }
+  | Lexer.KW_FOR ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let init =
+      if (peek st).Lexer.tok = Lexer.SEMI then begin
+        advance st;
+        None
+      end
+      else Some (parse_simple_stmt st ~consume_semi:true)
+    in
+    let cond =
+      if (peek st).Lexer.tok = Lexer.SEMI then None
+      else Some (parse_expression st)
+    in
+    expect st Lexer.SEMI;
+    let step =
+      if (peek st).Lexer.tok = Lexer.RPAREN then None
+      else Some (parse_simple_stmt st ~consume_semi:false)
+    in
+    expect st Lexer.RPAREN;
+    let body = parse_block st in
+    { Ast.sdesc = Ast.For (init, cond, step, body); spos = t.Lexer.pos }
+  | Lexer.KW_BREAK ->
+    advance st;
+    expect st Lexer.SEMI;
+    { Ast.sdesc = Ast.Break; spos = t.Lexer.pos }
+  | Lexer.KW_CONTINUE ->
+    advance st;
+    expect st Lexer.SEMI;
+    { Ast.sdesc = Ast.Continue; spos = t.Lexer.pos }
+  | Lexer.KW_RETURN ->
+    advance st;
+    if (peek st).Lexer.tok = Lexer.SEMI then begin
+      advance st;
+      { Ast.sdesc = Ast.Return None; spos = t.Lexer.pos }
+    end
+    else begin
+      let e = parse_expression st in
+      expect st Lexer.SEMI;
+      { Ast.sdesc = Ast.Return (Some e); spos = t.Lexer.pos }
+    end
+  | _ -> parse_simple_stmt st ~consume_semi:true
+
+(* The statement forms legal in a [for] header: declaration,
+   assignment, array store, or expression statement. *)
+and parse_simple_stmt st ~consume_semi : Ast.stmt =
+  let t = peek st in
+  let finish sdesc =
+    if consume_semi then expect st Lexer.SEMI;
+    { Ast.sdesc; spos = t.Lexer.pos }
+  in
+  match t.Lexer.tok with
+  | Lexer.KW_VAR ->
+    advance st;
+    let name, _ = expect_ident st in
+    expect st Lexer.ASSIGN;
+    let e = parse_expression st in
+    finish (Ast.Decl (name, e))
+  | Lexer.IDENT name -> begin
+    (* Could be assignment, array store, or expression statement. *)
+    match st.toks with
+    | _ :: { Lexer.tok = Lexer.ASSIGN; _ } :: _ ->
+      advance st;
+      advance st;
+      let e = parse_expression st in
+      finish (Ast.Assign (name, e))
+    | _ :: { Lexer.tok = Lexer.LBRACKET; _ } :: _ ->
+      (* Either a store or an index expression; decide after ']'. *)
+      advance st;
+      advance st;
+      let idx = parse_expression st in
+      expect st Lexer.RBRACKET;
+      if (peek st).Lexer.tok = Lexer.ASSIGN then begin
+        advance st;
+        let v = parse_expression st in
+        finish (Ast.Store (name, idx, v))
+      end
+      else begin
+        (* Re-wrap as an index expression and continue as expression
+           statement (e.g. [a[i] ;] or [a[i] + f();]). *)
+        let base = { Ast.desc = Ast.Index (name, idx); pos = t.Lexer.pos } in
+        let e = parse_expr_continue st base in
+        finish (Ast.Expr e)
+      end
+    | _ -> finish (Ast.Expr (parse_expression st))
+  end
+  | _ -> finish (Ast.Expr (parse_expression st))
+
+and parse_expr_continue st lhs =
+  let rec loop lhs =
+    let t = peek st in
+    match binop_of_token t.Lexer.tok with
+    | Some (op, prec) ->
+      advance st;
+      let rhs = parse_expr_prec st (prec + 1) in
+      loop { Ast.desc = Ast.Binary (op, lhs, rhs); pos = t.Lexer.pos }
+    | None -> lhs
+  in
+  loop lhs
+
+and parse_block st =
+  expect st Lexer.LBRACE;
+  let rec go acc =
+    if (peek st).Lexer.tok = Lexer.RBRACE then begin
+      advance st;
+      List.rev acc
+    end
+    else go (parse_stmt st :: acc)
+  in
+  go []
+
+let parse_global_init st =
+  if (peek st).Lexer.tok = Lexer.ASSIGN then begin
+    advance st;
+    match (peek st).Lexer.tok with
+    | Lexer.LBRACE ->
+      advance st;
+      let rec go acc =
+        let v = expect_int st in
+        match (peek st).Lexer.tok with
+        | Lexer.COMMA ->
+          advance st;
+          go (v :: acc)
+        | _ ->
+          expect st Lexer.RBRACE;
+          List.rev (v :: acc)
+      in
+      Array.of_list (go [])
+    | Lexer.MINUS ->
+      advance st;
+      [| Int64.neg (expect_int st) |]
+    | _ -> [| expect_int st |]
+  end
+  else [||]
+
+let parse_decl ?(extern_ = false) st static : Ast.decl =
+  let t = peek st in
+  match t.Lexer.tok with
+  | Lexer.KW_GLOBAL ->
+    advance st;
+    let name, pos = expect_ident st in
+    let size =
+      if (peek st).Lexer.tok = Lexer.LBRACKET then begin
+        advance st;
+        let v = expect_int st in
+        expect st Lexer.RBRACKET;
+        Int64.to_int v
+      end
+      else 1
+    in
+    let init = parse_global_init st in
+    expect st Lexer.SEMI;
+    if size < 1 then error pos "global %s has non-positive size %d" name size;
+    if Array.length init > size then
+      error pos "global %s initializer longer than its size" name;
+    if extern_ && Array.length init > 0 then
+      error pos "extern global %s cannot have an initializer" name;
+    Ast.Global_decl { name; size; init; static; extern_; pos }
+  | Lexer.KW_FUNC ->
+    advance st;
+    let name, pos = expect_ident st in
+    expect st Lexer.LPAREN;
+    let params =
+      if (peek st).Lexer.tok = Lexer.RPAREN then begin
+        advance st;
+        []
+      end
+      else begin
+        let rec go acc =
+          let p, _ = expect_ident st in
+          match (peek st).Lexer.tok with
+          | Lexer.COMMA ->
+            advance st;
+            go (p :: acc)
+          | _ ->
+            expect st Lexer.RPAREN;
+            List.rev (p :: acc)
+        in
+        go []
+      end
+    in
+    let end_before = (peek st).Lexer.pos.Ast.line in
+    let body = parse_block st in
+    let end_line = max end_before (peek st).Lexer.pos.Ast.line in
+    if extern_ then error pos "extern functions are not declared in MiniC";
+    Ast.Func_decl { name; params; body; static; pos; end_line }
+  | other ->
+    error t.Lexer.pos "expected 'global' or 'func', found %s"
+      (Lexer.token_name other)
+
+let parse ~module_name source =
+  let st = { toks = Lexer.tokenize source } in
+  let rec go acc =
+    match (peek st).Lexer.tok with
+    | Lexer.EOF -> List.rev acc
+    | Lexer.KW_STATIC ->
+      advance st;
+      go (parse_decl st true :: acc)
+    | Lexer.KW_EXTERN ->
+      advance st;
+      go (parse_decl ~extern_:true st false :: acc)
+    | _ -> go (parse_decl st false :: acc)
+  in
+  { Ast.module_name; decls = go [] }
+
+let parse_expr source =
+  let st = { toks = Lexer.tokenize source } in
+  parse_expression st

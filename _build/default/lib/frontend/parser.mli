@@ -1,0 +1,15 @@
+(** Recursive-descent parser for MiniC.
+
+    Bare identifiers parse as {!Ast.Var}; semantic analysis
+    ({!Sema.analyze}) later reclassifies them as global references
+    once scopes are known. *)
+
+exception Parse_error of string * Ast.pos
+
+val parse : module_name:string -> string -> Ast.unit_
+(** [parse ~module_name source] parses a whole compilation unit.
+    @raise Parse_error on syntax errors,
+    @raise Lexer.Lex_error on lexical errors. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a single expression (testing convenience). *)

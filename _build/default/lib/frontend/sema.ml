@@ -1,0 +1,190 @@
+type error = { pos : Ast.pos; msg : string }
+
+type scope = {
+  globals : (string, int) Hashtbl.t;  (* name -> size *)
+  funcs : (string, int) Hashtbl.t;  (* name -> arity *)
+  mutable errors : error list;
+  mutable loop_depth : int;  (* break/continue legality *)
+}
+
+let err scope pos fmt =
+  Format.kasprintf (fun msg -> scope.errors <- { pos; msg } :: scope.errors) fmt
+
+let build_scope (unit_ : Ast.unit_) =
+  let scope =
+    { globals = Hashtbl.create 32; funcs = Hashtbl.create 32; errors = [];
+      loop_depth = 0 }
+  in
+  List.iter
+    (fun decl ->
+      match decl with
+      | Ast.Global_decl { name; size; pos; _ } ->
+        if Hashtbl.mem scope.globals name || Hashtbl.mem scope.funcs name then
+          err scope pos "duplicate declaration of %s" name
+        else Hashtbl.replace scope.globals name size
+      | Ast.Func_decl { name; params; pos; _ } ->
+        if Hashtbl.mem scope.globals name || Hashtbl.mem scope.funcs name then
+          err scope pos "duplicate declaration of %s" name
+        else if Cmo_il.Intrinsics.is_intrinsic name then
+          err scope pos "function %s shadows an intrinsic" name
+        else Hashtbl.replace scope.funcs name (List.length params))
+    unit_.Ast.decls;
+  scope
+
+(* Locals are block-scoped with shadowing; a simple association list
+   of frames suffices. *)
+type locals = (string, unit) Hashtbl.t list
+
+let local_defined (frames : locals) name =
+  List.exists (fun f -> Hashtbl.mem f name) frames
+
+let rec resolve_expr scope (frames : locals) (e : Ast.expr) : Ast.expr =
+  let desc =
+    match e.Ast.desc with
+    | Ast.Int _ as d -> d
+    | Ast.Var name ->
+      if local_defined frames name then Ast.Var name
+      else if Hashtbl.mem scope.globals name then begin
+        if Hashtbl.find scope.globals name <> 1 then
+          err scope e.Ast.pos "array global %s used as a scalar" name;
+        Ast.Global name
+      end
+      else begin
+        err scope e.Ast.pos "undeclared variable %s" name;
+        Ast.Var name
+      end
+    | Ast.Global _ as d -> d
+    | Ast.Index (base, idx) ->
+      if local_defined frames base then
+        err scope e.Ast.pos "cannot index local variable %s" base
+      else if not (Hashtbl.mem scope.globals base) then
+        err scope e.Ast.pos "undeclared global %s" base;
+      Ast.Index (base, resolve_expr scope frames idx)
+    | Ast.Unary (op, a) -> Ast.Unary (op, resolve_expr scope frames a)
+    | Ast.Binary (op, a, b) ->
+      Ast.Binary (op, resolve_expr scope frames a, resolve_expr scope frames b)
+    | Ast.Call (callee, args) ->
+      (if local_defined frames callee || Hashtbl.mem scope.globals callee then
+         err scope e.Ast.pos "%s is not a function" callee
+       else
+         match Cmo_il.Intrinsics.arity callee with
+         | Some a ->
+           if List.length args <> a then
+             err scope e.Ast.pos "intrinsic %s expects %d argument(s), got %d"
+               callee a (List.length args)
+         | None -> (
+           match Hashtbl.find_opt scope.funcs callee with
+           | Some arity ->
+             if List.length args <> arity then
+               err scope e.Ast.pos "%s expects %d argument(s), got %d" callee
+                 arity (List.length args)
+           | None -> (* extern: checked at link time *) ()));
+      Ast.Call (callee, List.map (resolve_expr scope frames) args)
+  in
+  { e with Ast.desc }
+
+let rec resolve_stmt scope (frames : locals) (s : Ast.stmt) : Ast.stmt =
+  let sdesc =
+    match s.Ast.sdesc with
+    | Ast.Decl (name, e) ->
+      let e = resolve_expr scope frames e in
+      (match frames with
+      | top :: _ ->
+        if Hashtbl.mem top name then
+          err scope s.Ast.spos "duplicate local %s in the same block" name
+        else Hashtbl.replace top name ()
+      | [] -> assert false);
+      Ast.Decl (name, e)
+    | Ast.Assign (name, e) ->
+      let e = resolve_expr scope frames e in
+      if local_defined frames name then Ast.Assign (name, e)
+      else if Hashtbl.mem scope.globals name then begin
+        if Hashtbl.find scope.globals name <> 1 then
+          err scope s.Ast.spos "cannot assign whole array %s" name;
+        Ast.Assign (name, e)
+      end
+      else begin
+        err scope s.Ast.spos "assignment to undeclared variable %s" name;
+        Ast.Assign (name, e)
+      end
+    | Ast.Store (base, idx, v) ->
+      if local_defined frames base then
+        err scope s.Ast.spos "cannot index local variable %s" base
+      else if not (Hashtbl.mem scope.globals base) then
+        err scope s.Ast.spos "undeclared global %s" base;
+      Ast.Store
+        (base, resolve_expr scope frames idx, resolve_expr scope frames v)
+    | Ast.If (cond, then_body, else_body) ->
+      let cond = resolve_expr scope frames cond in
+      let then_body = resolve_body scope frames then_body in
+      let else_body = resolve_body scope frames else_body in
+      Ast.If (cond, then_body, else_body)
+    | Ast.While (cond, body) ->
+      let cond = resolve_expr scope frames cond in
+      scope.loop_depth <- scope.loop_depth + 1;
+      let body = resolve_body scope frames body in
+      scope.loop_depth <- scope.loop_depth - 1;
+      Ast.While (cond, body)
+    | Ast.For (init, cond, step, body) ->
+      (* The init's bindings are visible to cond, step and body. *)
+      let frame = Hashtbl.create 4 in
+      let frames' = frame :: frames in
+      let init = Option.map (resolve_stmt scope frames') init in
+      let cond = Option.map (resolve_expr scope frames') cond in
+      scope.loop_depth <- scope.loop_depth + 1;
+      let body = resolve_body scope frames' body in
+      let step = Option.map (resolve_stmt scope frames') step in
+      scope.loop_depth <- scope.loop_depth - 1;
+      Ast.For (init, cond, step, body)
+    | Ast.Break ->
+      if scope.loop_depth = 0 then
+        err scope s.Ast.spos "break outside of a loop";
+      Ast.Break
+    | Ast.Continue ->
+      if scope.loop_depth = 0 then
+        err scope s.Ast.spos "continue outside of a loop";
+      Ast.Continue
+    | Ast.Return None -> Ast.Return None
+    | Ast.Return (Some e) -> Ast.Return (Some (resolve_expr scope frames e))
+    | Ast.Expr e -> Ast.Expr (resolve_expr scope frames e)
+  in
+  { s with Ast.sdesc }
+
+and resolve_body scope frames body =
+  let frame = Hashtbl.create 8 in
+  List.map (resolve_stmt scope (frame :: frames)) body
+
+let resolve_func scope name params body pos =
+  let frame = Hashtbl.create 8 in
+  List.iter
+    (fun p ->
+      if Hashtbl.mem frame p then err scope pos "duplicate parameter %s in %s" p name
+      else Hashtbl.replace frame p ())
+    params;
+  List.map (resolve_stmt scope [ frame ]) body
+
+let analyze (unit_ : Ast.unit_) =
+  let scope = build_scope unit_ in
+  let decls =
+    List.map
+      (fun decl ->
+        match decl with
+        | Ast.Global_decl _ -> decl
+        | Ast.Func_decl { name; params; body; static; pos; end_line } ->
+          Ast.Func_decl
+            {
+              name;
+              params;
+              body = resolve_func scope name params body pos;
+              static;
+              pos;
+              end_line;
+            })
+      unit_.Ast.decls
+  in
+  match scope.errors with
+  | [] -> Ok { unit_ with Ast.decls }
+  | errors -> Error (List.rev errors)
+
+let pp_error ppf { pos; msg } =
+  Format.fprintf ppf "line %d, col %d: %s" pos.Ast.line pos.Ast.col msg

@@ -1,0 +1,23 @@
+(** Semantic analysis for MiniC.
+
+    Resolves bare identifiers against the module's scopes (locals
+    shadow globals), reclassifying {!Ast.Var} nodes that refer to
+    module globals as {!Ast.Global}, and reports semantic errors:
+
+    - duplicate global/function/parameter/local declarations;
+    - use of an undeclared variable;
+    - assignment or address-taking on the wrong kind of name
+      (storing through a function, indexing a local, calling a
+      variable);
+    - wrong arity on calls to module-level functions and intrinsics
+      (calls to names defined in *other* modules are assumed extern
+      and are checked at CMO/link time by {!Cmo_il.Verify}, like a
+      pre-ANSI C compiler trusting an unprototyped call). *)
+
+type error = { pos : Ast.pos; msg : string }
+
+val analyze : Ast.unit_ -> (Ast.unit_, error list) result
+(** Returns the resolved unit, or all errors found (never an empty
+    error list). *)
+
+val pp_error : Format.formatter -> error -> unit

@@ -1,0 +1,1 @@
+lib/hlo/cfg.ml: Cmo_il Hashtbl List

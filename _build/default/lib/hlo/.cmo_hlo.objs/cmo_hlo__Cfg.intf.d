@@ -1,0 +1,1 @@
+lib/hlo/cfg.mli: Cmo_il

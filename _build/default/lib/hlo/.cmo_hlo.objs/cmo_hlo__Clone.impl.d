@@ -1,0 +1,1 @@
+lib/hlo/clone.ml: Cmo_il Cmo_naim Hashtbl List Printf

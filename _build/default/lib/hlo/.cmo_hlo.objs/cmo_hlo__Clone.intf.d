@@ -1,0 +1,1 @@
+lib/hlo/clone.mli: Cmo_il Cmo_naim

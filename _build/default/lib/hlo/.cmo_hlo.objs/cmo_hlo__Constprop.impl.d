@@ -1,0 +1,1 @@
+lib/hlo/constprop.ml: Array Cmo_il Dominators Hashtbl Int64 List

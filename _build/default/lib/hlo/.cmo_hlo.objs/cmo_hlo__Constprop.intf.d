@@ -1,0 +1,1 @@
+lib/hlo/constprop.mli: Cmo_il

@@ -1,0 +1,1 @@
+lib/hlo/copyprop.ml: Cmo_il Hashtbl List

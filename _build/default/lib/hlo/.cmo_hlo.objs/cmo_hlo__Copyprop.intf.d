@@ -1,0 +1,1 @@
+lib/hlo/copyprop.mli: Cmo_il

@@ -1,0 +1,1 @@
+lib/hlo/dce.ml: Cmo_il Hashtbl List Liveness Option

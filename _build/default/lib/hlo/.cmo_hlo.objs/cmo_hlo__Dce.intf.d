@@ -1,0 +1,1 @@
+lib/hlo/dce.mli: Cmo_il

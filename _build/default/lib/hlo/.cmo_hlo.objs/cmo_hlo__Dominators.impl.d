@@ -1,0 +1,1 @@
+lib/hlo/dominators.ml: Cmo_il Hashtbl List Option

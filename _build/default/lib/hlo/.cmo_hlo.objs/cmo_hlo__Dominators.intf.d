@@ -1,0 +1,1 @@
+lib/hlo/dominators.mli: Cmo_il

@@ -1,0 +1,1 @@
+lib/hlo/hlo.ml: Clone Cmo_naim Format Inline Ipa List Option Phase

@@ -1,0 +1,1 @@
+lib/hlo/hlo.mli: Clone Cmo_il Cmo_naim Format Inline Ipa

@@ -1,0 +1,1 @@
+lib/hlo/inline.ml: Cfg Cmo_il Cmo_naim Hashtbl List Option

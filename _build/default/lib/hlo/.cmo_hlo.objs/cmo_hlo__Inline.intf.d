@@ -1,0 +1,1 @@
+lib/hlo/inline.mli: Cmo_il Cmo_naim

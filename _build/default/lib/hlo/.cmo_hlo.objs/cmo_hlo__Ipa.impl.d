@@ -1,0 +1,1 @@
+lib/hlo/ipa.ml: Array Cmo_il Cmo_naim Hashtbl Int64 List Option

@@ -1,0 +1,1 @@
+lib/hlo/ipa.mli: Cmo_naim

@@ -1,0 +1,1 @@
+lib/hlo/licm.ml: Cmo_il Hashtbl List Liveness Loopinfo Option

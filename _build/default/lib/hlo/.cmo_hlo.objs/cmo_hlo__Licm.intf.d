@@ -1,0 +1,1 @@
+lib/hlo/licm.mli: Cmo_il

@@ -1,0 +1,1 @@
+lib/hlo/liveness.ml: Bytes Char Cmo_il Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/hlo/liveness.mli: Cmo_il

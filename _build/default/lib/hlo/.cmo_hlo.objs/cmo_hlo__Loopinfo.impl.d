@@ -1,0 +1,1 @@
+lib/hlo/loopinfo.ml: Cmo_il Dominators Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/hlo/loopinfo.mli: Cmo_il

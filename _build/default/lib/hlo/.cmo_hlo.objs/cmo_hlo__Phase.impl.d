@@ -1,0 +1,1 @@
+lib/hlo/phase.ml: Cfg Cmo_il Cmo_naim Constprop Copyprop Dce Dominators Licm Liveness Loopinfo Unroll Valnum

@@ -1,0 +1,1 @@
+lib/hlo/phase.mli: Cmo_il Cmo_naim

@@ -1,0 +1,1 @@
+lib/hlo/selectivity.ml: Cmo_il Float Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/hlo/selectivity.mli: Cmo_il Format

@@ -1,0 +1,1 @@
+lib/hlo/unroll.ml: Cfg Cmo_il Hashtbl Int64 List Loopinfo Option

@@ -1,0 +1,1 @@
+lib/hlo/unroll.mli: Cmo_il

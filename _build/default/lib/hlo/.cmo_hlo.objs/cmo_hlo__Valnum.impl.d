@@ -1,0 +1,1 @@
+lib/hlo/valnum.ml: Cmo_il Dominators Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/hlo/valnum.mli: Cmo_il

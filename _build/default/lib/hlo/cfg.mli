@@ -1,0 +1,30 @@
+(** Control-flow graph cleanup.
+
+    The janitor pass run between transformations: every optimization
+    is free to leave unreachable blocks, constant branches and trivial
+    jump chains behind, and calls {!simplify} to tidy up.  All
+    rewrites are semantics-preserving by construction.
+
+    Profile annotations are maintained: merged blocks keep the head's
+    frequency; a folded constant branch transfers the whole frequency
+    to the surviving edge. *)
+
+val remove_unreachable : Cmo_il.Func.t -> int
+(** Delete blocks not reachable from the entry; returns how many were
+    removed. *)
+
+val fold_constant_branches : Cmo_il.Func.t -> int
+(** Rewrite [Br] with an [Imm] condition (or identical targets) into
+    [Jmp]; returns the number of branches folded. *)
+
+val thread_jumps : Cmo_il.Func.t -> int
+(** Retarget edges that point at empty forwarding blocks ([Jmp]-only)
+    to their final destination; returns the number of retargets. *)
+
+val merge_straightline : Cmo_il.Func.t -> int
+(** Merge a block with its unique successor when that successor has no
+    other predecessors (and is not the entry); returns merges done. *)
+
+val simplify : Cmo_il.Func.t -> bool
+(** Run all of the above to a fixed point; [true] if anything
+    changed. *)

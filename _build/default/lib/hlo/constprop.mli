@@ -1,0 +1,21 @@
+(** Intraprocedural constant propagation and folding.
+
+    A forward iterative dataflow over the lattice
+    [Top > Const c > Bottom] per register, followed by a rewrite:
+    operands with known constant values become immediates, pure
+    instructions with all-constant inputs fold to [Move]s, and branch
+    conditions become immediates (which {!Cfg.simplify} then folds
+    into unconditional jumps, deleting the dead arm).
+
+    The propagation is sparse-conditional: a branch whose condition
+    has a known constant value feeds only its taken arm, so a join
+    between a feasible and an infeasible path keeps the feasible
+    path's constants instead of widening to [Bottom].
+
+    Loads and call results are [Bottom]; interprocedural constants are
+    the business of {!Ipa}, which funnels them in as entry [Move]s
+    that this pass then propagates. *)
+
+val run : Cmo_il.Func.t -> int
+(** Returns the number of operands and instructions rewritten;
+    0 means the function was left untouched. *)

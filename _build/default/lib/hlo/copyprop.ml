@@ -1,0 +1,41 @@
+module Instr = Cmo_il.Instr
+module Func = Cmo_il.Func
+
+let run (f : Func.t) =
+  let rewrites = ref 0 in
+  List.iter
+    (fun (b : Func.block) ->
+      (* copy_of.(d) = Some s when d currently equals register s. *)
+      let copy_of = Hashtbl.create 8 in
+      let subst op =
+        match op with
+        | Instr.Reg r -> (
+          match Hashtbl.find_opt copy_of r with
+          | Some s ->
+            incr rewrites;
+            Instr.Reg s
+          | None -> op)
+        | Instr.Imm _ -> op
+      in
+      let kill d =
+        Hashtbl.remove copy_of d;
+        (* Any copy pointing at d is now stale. *)
+        let stale =
+          Hashtbl.fold (fun k s acc -> if s = d then k :: acc else acc) copy_of []
+        in
+        List.iter (Hashtbl.remove copy_of) stale
+      in
+      b.Func.instrs <-
+        List.map
+          (fun i ->
+            let i = Instr.map_operands subst i in
+            (match Instr.def i with Some d -> kill d | None -> ());
+            (match i with
+            | Instr.Move (d, Instr.Reg s) when d <> s ->
+              Hashtbl.replace copy_of d s
+            | _ -> ());
+            i)
+          b.Func.instrs;
+      b.Func.term <- Instr.map_term_operands subst b.Func.term)
+    f.Func.blocks;
+  !rewrites

@@ -1,0 +1,11 @@
+(** Block-local copy propagation.
+
+    Within a basic block, after [d = r], later reads of [d] become
+    reads of [r] until either side is redefined.  (Global copy
+    propagation on non-SSA IL costs a full reaching-definitions
+    analysis for little extra benefit once value numbering and
+    constant propagation have run; the production HLO's cheap cleanup
+    passes were similarly scoped.) *)
+
+val run : Cmo_il.Func.t -> int
+(** Number of operand rewrites performed. *)

@@ -1,0 +1,47 @@
+module Instr = Cmo_il.Instr
+module Func = Cmo_il.Func
+
+let run (f : Func.t) =
+  let live = Liveness.compute f in
+  let deleted = ref 0 in
+  List.iter
+    (fun (b : Func.block) ->
+      (* Walk backward with a running live set (registers read later
+         in this block or live-out). *)
+      let live_now = Hashtbl.create 16 in
+      List.iter
+        (fun r -> Hashtbl.replace live_now r ())
+        (Liveness.live_out live b.Func.label);
+      List.iter (fun r -> Hashtbl.replace live_now r ()) (Instr.term_uses b.Func.term);
+      let keep_rev =
+        List.fold_left
+          (fun acc i ->
+            let needed =
+              match Instr.def i with
+              | Some d -> Hashtbl.mem live_now d
+              | None -> true
+            in
+            if Instr.is_pure i && not needed then begin
+              incr deleted;
+              acc
+            end
+            else begin
+              let i =
+                (* A call whose result is dead keeps its effects but
+                   drops the definition. *)
+                match i with
+                | Instr.Call ({ dst = Some d; _ } as c)
+                  when not (Hashtbl.mem live_now d) ->
+                  Instr.Call { c with Instr.dst = None }
+                | other -> other
+              in
+              Option.iter (fun d -> Hashtbl.remove live_now d) (Instr.def i);
+              List.iter (fun u -> Hashtbl.replace live_now u ()) (Instr.uses i);
+              i :: acc
+            end)
+          []
+          (List.rev b.Func.instrs)
+      in
+      b.Func.instrs <- keep_rev)
+    f.Func.blocks;
+  !deleted

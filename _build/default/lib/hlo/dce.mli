@@ -1,0 +1,10 @@
+(** Dead-code elimination.
+
+    Deletes pure instructions whose result is not used later in the
+    block and not live out of it (liveness-based), plus calls whose
+    unused results make them [dst = None] (the call itself stays — it
+    may have side effects).  Run after constant propagation and value
+    numbering, which strand exactly such instructions. *)
+
+val run : Cmo_il.Func.t -> int
+(** Number of instructions deleted. *)

@@ -1,0 +1,78 @@
+module Instr = Cmo_il.Instr
+module Func = Cmo_il.Func
+
+type t = {
+  entry : Instr.label;
+  idoms : (Instr.label, Instr.label) Hashtbl.t;  (* entry maps to itself *)
+  rpo : Instr.label list;
+  rpo_index : (Instr.label, int) Hashtbl.t;
+}
+
+let compute_rpo (f : Func.t) =
+  let visited = Hashtbl.create 16 in
+  let order = ref [] in
+  let rec dfs label =
+    if not (Hashtbl.mem visited label) then begin
+      Hashtbl.replace visited label ();
+      (match Func.find_block_opt f label with
+      | Some b -> List.iter dfs (Instr.targets b.Func.term)
+      | None -> ());
+      order := label :: !order
+    end
+  in
+  if f.Func.blocks <> [] then dfs f.Func.entry;
+  !order
+
+let compute (f : Func.t) =
+  let rpo = compute_rpo f in
+  let rpo_index = Hashtbl.create 16 in
+  List.iteri (fun i l -> Hashtbl.replace rpo_index l i) rpo;
+  let preds = Func.predecessors f in
+  let idoms = Hashtbl.create 16 in
+  Hashtbl.replace idoms f.Func.entry f.Func.entry;
+  let rec intersect a b =
+    if a = b then a
+    else begin
+      let ia = Hashtbl.find rpo_index a and ib = Hashtbl.find rpo_index b in
+      if ia > ib then intersect (Hashtbl.find idoms a) b
+      else intersect a (Hashtbl.find idoms b)
+    end
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun label ->
+        if label <> f.Func.entry then begin
+          let ps =
+            List.filter
+              (fun p -> Hashtbl.mem rpo_index p && Hashtbl.mem idoms p)
+              (Option.value ~default:[] (Hashtbl.find_opt preds label))
+          in
+          match ps with
+          | [] -> ()
+          | first :: rest ->
+            let new_idom = List.fold_left intersect first rest in
+            if Hashtbl.find_opt idoms label <> Some new_idom then begin
+              Hashtbl.replace idoms label new_idom;
+              changed := true
+            end
+          end)
+      rpo
+  done;
+  { entry = f.Func.entry; idoms; rpo; rpo_index }
+
+let idom t label =
+  if label = t.entry then None
+  else Hashtbl.find_opt t.idoms label
+
+let dominates t a b =
+  if not (Hashtbl.mem t.rpo_index a && Hashtbl.mem t.rpo_index b) then false
+  else begin
+    let rec walk x = if x = a then true else if x = t.entry then false else walk (Hashtbl.find t.idoms x) in
+    walk b
+  end
+
+let reverse_postorder t = t.rpo
+
+let modeled_bytes t = 64 + (48 * List.length t.rpo)

@@ -1,0 +1,24 @@
+(** Dominator tree (Cooper–Harvey–Kennedy iterative algorithm).
+
+    Derived data in the paper's sense: computed on demand from the
+    CFG, never updated incrementally, discarded freely (section 4.1). *)
+
+type t
+
+val compute : Cmo_il.Func.t -> t
+(** Considers only blocks reachable from the entry. *)
+
+val idom : t -> Cmo_il.Instr.label -> Cmo_il.Instr.label option
+(** Immediate dominator; [None] for the entry block or an unreachable
+    label. *)
+
+val dominates : t -> Cmo_il.Instr.label -> Cmo_il.Instr.label -> bool
+(** [dominates t a b] — every path from entry to [b] passes through
+    [a].  Reflexive.  False for unreachable labels. *)
+
+val reverse_postorder : t -> Cmo_il.Instr.label list
+(** Reachable labels in reverse postorder (the iteration order of
+    forward dataflow). *)
+
+val modeled_bytes : t -> int
+(** Modeled footprint for the Derived memory category. *)

@@ -1,0 +1,96 @@
+module Loader = Cmo_naim.Loader
+
+type options = {
+  clone : Clone.config option;
+  inline : Inline.config option;
+  ipa : bool;
+  hot_filter : (string -> bool) option;
+  rewrite_limit : int option;
+}
+
+let o2_options =
+  { clone = None; inline = None; ipa = false; hot_filter = None; rewrite_limit = None }
+
+let o4_options ~profile =
+  {
+    clone = (if profile then Some Clone.default_config else None);
+    inline =
+      Some (if profile then Inline.default_config else Inline.aggressive_no_profile);
+    ipa = true;
+    hot_filter = None;
+    rewrite_limit = None;
+  }
+
+type report = {
+  clones : int;
+  inline_stats : Inline.stats option;
+  ipa_stats : Ipa.stats option;
+  funcs_optimized : int;
+  funcs_skipped : int;
+  rewrites : int;
+}
+
+let run loader cg ?(ipa_context = Ipa.whole_program) options =
+  let clones =
+    match options.clone with
+    | Some config -> Clone.run loader cg config
+    | None -> 0
+  in
+  let inline_stats =
+    Option.map (fun config -> Inline.run loader cg config) options.inline
+  in
+  let ipa_stats =
+    if options.ipa then Some (Ipa.run loader ipa_context) else None
+  in
+  let budget =
+    match options.rewrite_limit with
+    | Some n -> Phase.limited n
+    | None -> Phase.unlimited ()
+  in
+  let mem = Loader.memstats loader in
+  let funcs_optimized = ref 0 in
+  let funcs_skipped = ref 0 in
+  let rewrites = ref 0 in
+  List.iter
+    (fun fname ->
+      let hot =
+        match options.hot_filter with Some f -> f fname | None -> true
+      in
+      if hot then begin
+        incr funcs_optimized;
+        Loader.with_func loader fname (fun f ->
+            rewrites := !rewrites + Phase.optimize_func ~mem ~budget f;
+            Loader.update loader f)
+      end
+      else incr funcs_skipped)
+    (Loader.func_names loader);
+  Loader.unload_all loader;
+  {
+    clones;
+    inline_stats;
+    ipa_stats;
+    funcs_optimized = !funcs_optimized;
+    funcs_skipped = !funcs_skipped;
+    rewrites = !rewrites;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>clones %d; funcs optimized %d, skipped %d; rewrites %d" r.clones
+    r.funcs_optimized r.funcs_skipped r.rewrites;
+  (match r.inline_stats with
+  | Some s ->
+    Format.fprintf ppf "@,inlines %d (%d cross-module), grew %d bytes"
+      s.Inline.operations s.Inline.cross_module s.Inline.bytes_grown;
+    Format.fprintf ppf
+      "@,sites not inlined: %d too big, %d cold, %d recursive, %d caller-full"
+      s.Inline.rejected_too_big s.Inline.rejected_cold
+      s.Inline.rejected_recursive s.Inline.rejected_caller_full
+  | None -> ());
+  (match r.ipa_stats with
+  | Some s ->
+    Format.fprintf ppf "@,ipa: %d const params, %d const loads, %d dead funcs"
+      s.Ipa.const_params s.Ipa.const_global_loads
+      (List.length s.Ipa.dead_functions)
+  | None -> ());
+  Format.fprintf ppf "@]"

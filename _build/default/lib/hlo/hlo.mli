@@ -1,0 +1,52 @@
+(** The high-level optimizer's top-level driver.
+
+    Orchestrates a CMO compilation over a {!Cmo_naim.Loader} holding
+    the modules of the CMO set:
+
+    + procedure cloning at hot constant call sites (optional);
+    + cross-module inlining in bottom-up call-graph order (optional);
+    + interprocedural constant propagation and dead-function removal
+      (optional);
+    + the intraprocedural phase pipeline per routine — under
+      fine-grained selectivity, only for hot routines; cold routines
+      are read once by the IPA scan and otherwise stay unloaded
+      (paper section 5);
+    + a final unload sweep.
+
+    The same driver with everything disabled but the phase pipeline is
+    the +O2-path optimizer used for non-CMO modules. *)
+
+type options = {
+  clone : Clone.config option;
+  inline : Inline.config option;
+  ipa : bool;
+  hot_filter : (string -> bool) option;
+      (** Fine-grained selectivity: [Some f] optimizes only routines
+          with [f name = true]. *)
+  rewrite_limit : int option;
+      (** Operation limit over scalar rewrites (bug isolation). *)
+}
+
+val o2_options : options
+(** Intraprocedural only: the default (+O2) optimization level. *)
+
+val o4_options : profile:bool -> options
+(** Full CMO: cloning (profile mode only), inlining (profile-guided
+    or aggressive), IPA. *)
+
+type report = {
+  clones : int;
+  inline_stats : Inline.stats option;
+  ipa_stats : Ipa.stats option;
+  funcs_optimized : int;
+  funcs_skipped : int;  (** Left unloaded by fine-grained selectivity. *)
+  rewrites : int;
+}
+
+val run :
+  Cmo_naim.Loader.t -> Cmo_il.Callgraph.t -> ?ipa_context:Ipa.context ->
+  options -> report
+(** [ipa_context] defaults to {!Ipa.whole_program}; partial (selective)
+    compilations must describe external callers/stores. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,63 @@
+(** Interprocedural analysis and optimization over the CMO set.
+
+    Implements the paper's "limited amount of interprocedural analysis
+    across all the modules being optimized" (section 2):
+
+    - {b Constant parameters}: when every call site in the program
+      passes the same immediate for a parameter and the function has
+      no callers outside the analyzed set, the constant is funneled
+      into the entry block as a [Move], which intraprocedural constant
+      propagation then exploits.
+    - {b Constant globals}: a global that is never stored anywhere —
+      MiniC has no address-of, so the store scan is exact — is a
+      constant; loads at immediate indices become immediates.
+    - {b Dead functions}: functions unreachable from the entry point
+      and from externally-callable functions are deleted (typically
+      routines fully swallowed by the inliner).
+
+    All three follow the paper's "read everything cheaply" discipline
+    (section 5: module-private information "can only be determined if
+    all routines that can access a variable are examined"): the scan
+    acquires one routine at a time through the loader and releases it
+    immediately, so the memory high-water mark stays at one expanded
+    pool plus accumulators.
+
+    When only part of the program is in the CMO set (selectivity), the
+    driver describes the rest through [context]: which functions the
+    outside may call and which globals it may store to. *)
+
+type context = {
+  externally_called : string -> bool;
+      (** The function may be invoked by code outside the analyzed
+          set (or by the runtime); its parameters are unknowable. *)
+  externally_stored : string -> bool;
+      (** The global may be written by code outside the analyzed set. *)
+  entry : string option;
+      (** Name of the program entry within the set, normally
+          ["main"]. *)
+  keep_exported : bool;
+      (** Treat every [Exported] function as externally callable.
+          This is the shipped-application reality the paper operates
+          in: an ISV binary's exported entry points stay callable, so
+          only module-private ([static]) routines — typically ones
+          fully swallowed by the inliner — can be proved dead or have
+          their parameters pinned. *)
+}
+
+val whole_program : context
+(** CMO over the full program as shipped: entry ["main"],
+    [keep_exported = true]. *)
+
+val closed_world : context
+(** [whole_program] with [keep_exported = false]: nothing outside the
+    set can call in, so unreachable exported functions are dead too.
+    The right context for a standalone executable built entirely from
+    the CMO set. *)
+
+type stats = {
+  const_params : int;  (** Parameters pinned to constants. *)
+  const_global_loads : int;  (** Loads folded to immediates. *)
+  dead_functions : string list;  (** Removed functions, in order. *)
+}
+
+val run : Cmo_naim.Loader.t -> context -> stats

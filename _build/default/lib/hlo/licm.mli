@@ -1,0 +1,20 @@
+(** Loop-invariant code motion.
+
+    Hoists pure instructions (and loads, when the loop contains no
+    store or call that could clobber memory) whose operands are
+    defined entirely outside the loop into a preheader block.
+
+    Because IL arithmetic cannot trap (division by zero yields 0),
+    hoisting is speculation-safe; the remaining correctness conditions
+    are about register clobbering in the non-SSA IL:
+    - the destination has exactly one definition in the function, and
+    - the destination is not live at any loop exit (so executing the
+      definition on the zero-iteration path cannot change an
+      observable value).
+
+    Inner loops are processed first so invariants percolate outward
+    one level per pass; the phase pipeline runs passes to a fixed
+    point. *)
+
+val run : Cmo_il.Func.t -> int
+(** Number of instructions hoisted. *)

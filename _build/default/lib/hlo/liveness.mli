@@ -1,0 +1,18 @@
+(** Backward liveness dataflow over virtual registers.
+
+    Per-block live-in/live-out sets, used by dead-code elimination in
+    HLO and by spill-cost estimation in the register allocator.
+    Derived data: recomputed per use. *)
+
+type t
+
+val compute : Cmo_il.Func.t -> t
+
+val live_out : t -> Cmo_il.Instr.label -> Cmo_il.Instr.reg list
+(** Registers live on exit from the block, ascending. *)
+
+val live_in : t -> Cmo_il.Instr.label -> Cmo_il.Instr.reg list
+
+val live_out_mem : t -> Cmo_il.Instr.label -> Cmo_il.Instr.reg -> bool
+
+val modeled_bytes : t -> int

@@ -1,0 +1,93 @@
+module Instr = Cmo_il.Instr
+module Func = Cmo_il.Func
+
+type loop = {
+  header : Instr.label;
+  body : Instr.label list;
+  depth : int;
+}
+
+type t = {
+  all : loop list;
+  innermost : (Instr.label, loop) Hashtbl.t;
+}
+
+let compute (f : Func.t) =
+  let doms = Dominators.compute f in
+  let preds = Func.predecessors f in
+  let reachable = Func.reachable f in
+  (* Collect back edges grouped by header. *)
+  let bodies = Hashtbl.create 8 in  (* header -> (label, unit) Hashtbl *)
+  let headers_rev = ref [] in
+  List.iter
+    (fun (b : Func.block) ->
+      if Hashtbl.mem reachable b.Func.label then
+        List.iter
+          (fun succ ->
+            if Dominators.dominates doms succ b.Func.label then begin
+              (* back edge b -> succ *)
+              let body =
+                match Hashtbl.find_opt bodies succ with
+                | Some body -> body
+                | None ->
+                  let body = Hashtbl.create 8 in
+                  Hashtbl.replace body succ ();
+                  Hashtbl.replace bodies succ body;
+                  headers_rev := succ :: !headers_rev;
+                  body
+              in
+              (* Walk predecessors from the back-edge source up to the
+                 header. *)
+              let rec pull label =
+                if not (Hashtbl.mem body label) then begin
+                  Hashtbl.replace body label ();
+                  List.iter pull
+                    (Option.value ~default:[] (Hashtbl.find_opt preds label))
+                end
+              in
+              pull b.Func.label
+            end)
+          (Instr.targets b.Func.term))
+    f.Func.blocks;
+  let headers = List.rev !headers_rev in
+  (* Depth: number of loop bodies a header is contained in. *)
+  let body_labels header =
+    let body = Hashtbl.find bodies header in
+    List.filter_map
+      (fun (b : Func.block) ->
+        if Hashtbl.mem body b.Func.label then Some b.Func.label else None)
+      f.Func.blocks
+  in
+  let depth_of_header h =
+    List.length
+      (List.filter
+         (fun h' -> h' <> h && Hashtbl.mem (Hashtbl.find bodies h') h)
+         headers)
+    + 1
+  in
+  let all =
+    List.map
+      (fun h -> { header = h; body = body_labels h; depth = depth_of_header h })
+      headers
+    |> List.sort (fun a b ->
+           match compare a.depth b.depth with
+           | 0 -> compare a.header b.header
+           | c -> c)
+  in
+  let innermost = Hashtbl.create 16 in
+  (* Process outermost to innermost so deeper loops overwrite. *)
+  List.iter
+    (fun loop ->
+      List.iter (fun label -> Hashtbl.replace innermost label loop) loop.body)
+    all;
+  { all; innermost }
+
+let loops t = t.all
+
+let loop_of t label = Hashtbl.find_opt t.innermost label
+
+let depth_of t label =
+  match loop_of t label with Some l -> l.depth | None -> 0
+
+let modeled_bytes t =
+  List.fold_left (fun acc l -> acc + 32 + (16 * List.length l.body)) 64 t.all

@@ -1,0 +1,28 @@
+(** Natural-loop discovery from back edges.
+
+    A back edge is an edge [t -> h] where [h] dominates [t]; the
+    natural loop of that edge is [h] plus every block that reaches
+    [t] without passing through [h].  Loops sharing a header are
+    merged.  Derived data: recomputed per use, never kept. *)
+
+type loop = {
+  header : Cmo_il.Instr.label;
+  body : Cmo_il.Instr.label list;
+      (** All member labels including the header, deterministic order. *)
+  depth : int;  (** 1 = outermost. *)
+}
+
+type t
+
+val compute : Cmo_il.Func.t -> t
+
+val loops : t -> loop list
+(** Outermost first, then by header label. *)
+
+val loop_of : t -> Cmo_il.Instr.label -> loop option
+(** The innermost loop containing the label, if any. *)
+
+val depth_of : t -> Cmo_il.Instr.label -> int
+(** 0 when outside all loops. *)
+
+val modeled_bytes : t -> int

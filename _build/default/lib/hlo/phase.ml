@@ -1,0 +1,79 @@
+module Func = Cmo_il.Func
+module Memstats = Cmo_naim.Memstats
+
+type budget = { mutable remaining : int option; mutable used : int }
+
+let unlimited () = { remaining = None; used = 0 }
+
+let limited n = { remaining = Some n; used = 0 }
+
+let spent b = b.used
+
+(* Consume up to the budget: returns how many of [n] operations are
+   allowed; phases are coarse-grained, so a pass that would exceed the
+   budget is simply not run (the binary search only needs monotonicity
+   in the limit, not exact cutting). *)
+let take budget n =
+  match budget.remaining with
+  | None ->
+    budget.used <- budget.used + n;
+    n
+  | Some r ->
+    let granted = min r n in
+    budget.remaining <- Some (r - granted);
+    budget.used <- budget.used + granted;
+    granted
+
+let exhausted budget =
+  match budget.remaining with Some 0 -> true | Some _ | None -> false
+
+let optimize_func ?mem ?(budget = unlimited ()) ?(max_rounds = 4) (f : Func.t) =
+  let charge_derived () =
+    match mem with
+    | None -> fun () -> ()
+    | Some mem ->
+      (* Model the transient analysis footprint: dominators + liveness
+         + loop info for this routine. *)
+      let doms = Dominators.compute f in
+      let live = Liveness.compute f in
+      let loops = Loopinfo.compute f in
+      let bytes =
+        Dominators.modeled_bytes doms
+        + Liveness.modeled_bytes live
+        + Loopinfo.modeled_bytes loops
+      in
+      Memstats.charge mem Memstats.Derived bytes;
+      fun () -> Memstats.release mem Memstats.Derived bytes
+  in
+  let total = ref 0 in
+  let rounds = ref 0 in
+  let changed = ref true in
+  while !changed && !rounds < max_rounds && not (exhausted budget) do
+    incr rounds;
+    let release = charge_derived () in
+    let apply pass =
+      if exhausted budget then 0
+      else begin
+        let n = pass f in
+        (* The pass already ran; the budget records what it did.  A
+           limited budget that goes negative simply stops later
+           passes, preserving monotonicity for the binary search. *)
+        ignore (take budget n);
+        n
+      end
+    in
+    let n =
+      apply Constprop.run
+      + apply (fun f -> if Cfg.simplify f then 1 else 0)
+      + apply (Unroll.run ?max_trip:None ?budget:None)
+      + apply Valnum.run
+      + apply Copyprop.run
+      + apply Licm.run
+      + apply Dce.run
+      + apply (fun f -> if Cfg.simplify f then 1 else 0)
+    in
+    release ();
+    total := !total + n;
+    changed := n > 0
+  done;
+  !total

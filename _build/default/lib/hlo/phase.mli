@@ -1,0 +1,32 @@
+(** The per-routine transformation pipeline and its bookkeeping.
+
+    Runs the intraprocedural phases — constant propagation, CFG
+    simplification, value numbering, copy propagation, loop-invariant
+    code motion, dead-code elimination — to a fixed point (bounded by
+    [max_rounds]).
+
+    Derived analysis data (dominators, liveness, loop info) created by
+    the phases is charged to the accountant's [Derived] category for
+    the duration of the routine's optimization and released at the end
+    — the paper's discipline of recompute-and-discard (section 4.1).
+
+    [operation_limit] counts individual rewrites across a whole
+    compilation and stops transforming when exhausted — the
+    controllable operation limits of section 6.3 used by the
+    bug-isolation driver's binary search. *)
+
+type budget
+(** Mutable program-wide rewrite budget. *)
+
+val unlimited : unit -> budget
+val limited : int -> budget
+val spent : budget -> int
+
+val optimize_func :
+  ?mem:Cmo_naim.Memstats.t ->
+  ?budget:budget ->
+  ?max_rounds:int ->
+  Cmo_il.Func.t ->
+  int
+(** Returns the total number of rewrites applied (0 = fixpoint on
+    entry).  Default [max_rounds] is 4. *)

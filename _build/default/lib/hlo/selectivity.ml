@@ -1,0 +1,114 @@
+module Instr = Cmo_il.Instr
+module Func = Cmo_il.Func
+module Ilmod = Cmo_il.Ilmod
+module Intrinsics = Cmo_il.Intrinsics
+
+type t = {
+  percent : float;
+  selected_sites : (string * Instr.site) list;
+  cmo_modules : string list;
+  hot_functions : string list;
+  sites_total : int;
+  lines_total : int;
+  lines_selected : int;
+}
+
+let select ~percent modules =
+  assert (percent >= 0.0 && percent <= 100.0);
+  (* Gather every call site with its count and coordinates. *)
+  let sites = ref [] in
+  let func_module = Hashtbl.create 256 in
+  List.iter
+    (fun (m : Ilmod.t) ->
+      List.iter
+        (fun (f : Func.t) ->
+          Hashtbl.replace func_module f.Func.name m.Ilmod.mname;
+          List.iter
+            (fun (site, (c : Instr.call)) ->
+              if not (Intrinsics.is_intrinsic c.Instr.callee) then
+                sites :=
+                  (c.Instr.call_count, m.Ilmod.mname, f.Func.name, site,
+                   c.Instr.callee)
+                  :: !sites)
+            (Func.site_calls f))
+        m.Ilmod.funcs)
+    modules;
+  let all_sites =
+    List.sort
+      (fun (c1, m1, f1, s1, _) (c2, m2, f2, s2, _) ->
+        match compare c2 c1 with
+        | 0 -> compare (m1, f1, s1) (m2, f2, s2)
+        | c -> c)
+      !sites
+  in
+  let sites_total = List.length all_sites in
+  let keep =
+    int_of_float (Float.round (percent /. 100.0 *. float_of_int sites_total))
+  in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | ((count, _, _, _, _) as x) :: rest ->
+      if count <= 0.0 then []  (* sorted: the rest are cold too *)
+      else x :: take (n - 1) rest
+  in
+  let selected = take keep all_sites in
+  let selected_sites = List.map (fun (_, _, f, s, _) -> (f, s)) selected in
+  let hot_set = Hashtbl.create 64 in
+  let module_set = Hashtbl.create 16 in
+  List.iter
+    (fun (_, m, caller, _, callee) ->
+      Hashtbl.replace hot_set caller ();
+      Hashtbl.replace hot_set callee ();
+      Hashtbl.replace module_set m ();
+      match Hashtbl.find_opt func_module callee with
+      | Some cm -> Hashtbl.replace module_set cm ()
+      | None -> ())
+    selected;
+  let cmo_modules =
+    List.filter_map
+      (fun (m : Ilmod.t) ->
+        if Hashtbl.mem module_set m.Ilmod.mname then Some m.Ilmod.mname
+        else None)
+      modules
+  in
+  let hot_functions =
+    List.concat_map
+      (fun (m : Ilmod.t) ->
+        List.filter_map
+          (fun (f : Func.t) ->
+            if Hashtbl.mem hot_set f.Func.name then Some f.Func.name else None)
+          m.Ilmod.funcs)
+      modules
+  in
+  let lines_total =
+    List.fold_left (fun acc m -> acc + Ilmod.src_lines m) 0 modules
+  in
+  let lines_selected =
+    List.fold_left
+      (fun acc (m : Ilmod.t) ->
+        if Hashtbl.mem module_set m.Ilmod.mname then acc + Ilmod.src_lines m
+        else acc)
+      0 modules
+  in
+  {
+    percent;
+    selected_sites;
+    cmo_modules;
+    hot_functions;
+    sites_total;
+    lines_total;
+    lines_selected;
+  }
+
+let is_hot_function t name = List.mem name t.hot_functions
+
+let pp ppf t =
+  Format.fprintf ppf
+    "selectivity %.1f%%: %d/%d sites, %d modules, %d hot functions, %d/%d lines"
+    t.percent
+    (List.length t.selected_sites)
+    t.sites_total
+    (List.length t.cmo_modules)
+    (List.length t.hot_functions)
+    t.lines_selected t.lines_total

@@ -1,0 +1,38 @@
+(** Profile-driven selectivity (paper section 5).
+
+    Coarse-grained: the user gives a selection percentage; all call
+    sites in the program are ordered by call frequency and the top
+    percentage retained; the modules containing the callers and
+    callees of the retained sites form the CMO set.  Everything else
+    is compiled at the default level (with PBO when enabled).
+
+    Fine-grained: within the CMO set, the functions that are callers
+    or callees of retained sites are the ones worth full optimization
+    effort; the rest are read in once for interprocedural facts and
+    then left unloaded ("routines not selected for optimization are
+    left unloaded until sent to LLO", section 5).
+
+    Requires modules already annotated by {!Cmo_profile.Correlate}. *)
+
+type t = {
+  percent : float;
+  selected_sites : (string * Cmo_il.Instr.site) list;
+      (** (caller, site), hottest first. *)
+  cmo_modules : string list;
+      (** Modules to compile in CMO mode, deterministic order. *)
+  hot_functions : string list;
+      (** Callers and callees of selected sites. *)
+  sites_total : int;
+  lines_total : int;
+  lines_selected : int;  (** Source lines in the CMO modules. *)
+}
+
+val select : percent:float -> Cmo_il.Ilmod.t list -> t
+(** [percent] in [\[0, 100\]].  Zero-count sites are never selected,
+    whatever the percentage: cold code cannot justify CMO effort.
+    Ties are broken by (module, function, site) order so selection is
+    reproducible (paper section 6.2). *)
+
+val is_hot_function : t -> string -> bool
+
+val pp : Format.formatter -> t -> unit

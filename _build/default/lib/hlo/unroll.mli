@@ -1,0 +1,31 @@
+(** Full unrolling of small constant-trip loops — one of the HLO
+    "locality and schedule-enhancing loop transformations" of the
+    paper's section 3.
+
+    Recognized shape (what the frontend emits for a counted [while]
+    after constant propagation has normalized the initializer):
+
+    {v
+      P:  ... ; i = <constant>        (unique out-of-loop predecessor)
+      H:  c = i < <constant-bound>    (header; condition may be < or <=)
+          br c, B, X
+      B:  <body>                      (single block; may call/store)
+          i = i + 1
+          jmp H
+    v}
+
+    The loop is replaced by [trip] straight-line copies of the header
+    and body instructions followed by one final copy of the header
+    instructions (the evaluation that would have exited), preserving
+    side-effect counts exactly; the register state after the unrolled
+    sequence equals the state after the original loop, including the
+    induction variable's final value, so no renaming is needed.
+    Duplicated call instructions receive fresh call-site ids.
+
+    Bails out unless [trip <= max_trip] and the duplicated instruction
+    count stays within [budget]; later constant propagation then folds
+    the induction variable through every copy. *)
+
+val run : ?max_trip:int -> ?budget:int -> Cmo_il.Func.t -> int
+(** Returns the number of loops unrolled.  Defaults: [max_trip] 16,
+    [budget] 96 duplicated instructions. *)

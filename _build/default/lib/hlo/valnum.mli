@@ -1,0 +1,26 @@
+(** Superlocal value numbering: the HLO's common-subexpression
+    elimination.
+
+    Pure computations with identical value numbers collapse to a
+    single computation plus [Move]s.  The scope is the extended basic
+    block: a block with a unique predecessor inherits (a copy of) the
+    predecessor's value table, so an expression computed before a
+    branch is available in both arms; join points start fresh.
+    Commutative operations are canonicalized so [a+b] and [b+a]
+    match.  Redundant loads of the same address are also collapsed.
+
+    Memory disambiguation (one of the HLO transformations the paper's
+    section 3 lists) is exact here: MiniC has no address-of, so
+    distinct globals never alias — a [Store] to global [g] only
+    invalidates loads of [g] (any index), while a [Call] invalidates
+    every global (the callee may store anywhere).
+
+    Redundant branch elimination (also on the paper's section-3 list)
+    falls out of the same tables: within an extended basic block, the
+    fall-through arm of a branch pins the condition's value number to
+    the constant 0 and the taken arm records it as non-zero, so a
+    dominating branch's condition re-tested downstream folds to an
+    unconditional jump (cleaned up by {!Cfg.simplify}). *)
+
+val run : Cmo_il.Func.t -> int
+(** Number of instructions replaced by [Move]s. *)

@@ -1,0 +1,1 @@
+lib/il/callgraph.ml: Func Hashtbl Ilmod Instr Intrinsics List Option

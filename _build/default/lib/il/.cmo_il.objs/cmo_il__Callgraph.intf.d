@@ -1,0 +1,1 @@
+lib/il/callgraph.mli: Func Ilmod Instr

@@ -1,0 +1,1 @@
+lib/il/func.ml: Format Hashtbl Instr List

@@ -1,0 +1,1 @@
+lib/il/func.mli: Format Hashtbl Instr

@@ -1,0 +1,1 @@
+lib/il/ilcodec.ml: Cmo_support Func Ilmod Instr Int64 List Printf

@@ -1,0 +1,1 @@
+lib/il/ilcodec.mli: Cmo_support Func Ilmod

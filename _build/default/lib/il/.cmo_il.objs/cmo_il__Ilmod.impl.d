@@ -1,0 +1,1 @@
+lib/il/ilmod.ml: Array Format Func List Printf

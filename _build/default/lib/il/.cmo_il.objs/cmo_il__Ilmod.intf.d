@@ -1,0 +1,1 @@
+lib/il/ilmod.mli: Format Func

@@ -1,0 +1,1 @@
+lib/il/instr.ml: Format Int64 List

@@ -1,0 +1,1 @@
+lib/il/instr.mli: Format

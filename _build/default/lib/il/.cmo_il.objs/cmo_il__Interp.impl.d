@@ -1,0 +1,1 @@
+lib/il/interp.ml: Array Format Func Hashtbl Ilmod Instr Int64 Intrinsics List Option

@@ -1,0 +1,1 @@
+lib/il/interp.mli: Ilmod

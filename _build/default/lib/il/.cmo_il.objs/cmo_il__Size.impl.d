@@ -1,0 +1,1 @@
+lib/il/size.ml: Array Func Ilmod Instr List String

@@ -1,0 +1,1 @@
+lib/il/size.mli: Func Ilmod

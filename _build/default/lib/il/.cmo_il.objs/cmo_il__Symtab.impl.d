@@ -1,0 +1,1 @@
+lib/il/symtab.ml: Format Func Hashtbl Ilmod Instr Intrinsics List

@@ -1,0 +1,1 @@
+lib/il/symtab.mli: Format Func Ilmod

@@ -1,0 +1,1 @@
+lib/il/verify.ml: Format Func Hashtbl Ilmod Instr Intrinsics List Option Symtab

@@ -1,0 +1,1 @@
+lib/il/verify.mli: Format Func Ilmod Symtab

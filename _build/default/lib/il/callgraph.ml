@@ -1,0 +1,184 @@
+type node = {
+  fname : string;
+  module_name : string;
+  arity : int;
+  linkage : Func.linkage;
+  mutable instr_count : int;
+}
+
+type edge = {
+  caller : string;
+  callee : string;
+  site : Instr.site;
+  mutable count : float;
+}
+
+type t = {
+  node_table : (string, node) Hashtbl.t;
+  mutable node_order : node list;  (* reverse definition order *)
+  mutable edge_list : edge list;  (* reverse discovery order *)
+  out_edges : (string, edge list) Hashtbl.t;  (* reverse site order *)
+  in_edges : (string, edge list) Hashtbl.t;
+  (* Cycle membership is queried once per call site by the inliner;
+     memoize it (the edge *structure* never grows during inlining —
+     sites only disappear — so cached cycles stay conservative). *)
+  mutable cycle_cache : (string, unit) Hashtbl.t option;
+}
+
+let build modules =
+  let t =
+    {
+      node_table = Hashtbl.create 256;
+      node_order = [];
+      edge_list = [];
+      out_edges = Hashtbl.create 256;
+      in_edges = Hashtbl.create 256;
+      cycle_cache = None;
+    }
+  in
+  List.iter
+    (fun m ->
+      List.iter
+        (fun (f : Func.t) ->
+          let n =
+            {
+              fname = f.Func.name;
+              module_name = m.Ilmod.mname;
+              arity = f.Func.arity;
+              linkage = f.Func.linkage;
+              instr_count = Func.instr_count f;
+            }
+          in
+          Hashtbl.replace t.node_table f.Func.name n;
+          t.node_order <- n :: t.node_order)
+        m.Ilmod.funcs)
+    modules;
+  let push table key edge =
+    let prev = Option.value ~default:[] (Hashtbl.find_opt table key) in
+    Hashtbl.replace table key (edge :: prev)
+  in
+  List.iter
+    (fun m ->
+      List.iter
+        (fun (f : Func.t) ->
+          List.iter
+            (fun (site, (c : Instr.call)) ->
+              if
+                (not (Intrinsics.is_intrinsic c.Instr.callee))
+                && Hashtbl.mem t.node_table c.Instr.callee
+              then begin
+                let e =
+                  {
+                    caller = f.Func.name;
+                    callee = c.Instr.callee;
+                    site;
+                    count = c.Instr.call_count;
+                  }
+                in
+                t.edge_list <- e :: t.edge_list;
+                push t.out_edges f.Func.name e;
+                push t.in_edges c.Instr.callee e
+              end)
+            (Func.site_calls f))
+        m.Ilmod.funcs)
+    modules;
+  t
+
+let node t name = Hashtbl.find_opt t.node_table name
+
+let nodes t = List.rev t.node_order
+
+let edges t = List.rev t.edge_list
+
+let callees t name =
+  List.rev (Option.value ~default:[] (Hashtbl.find_opt t.out_edges name))
+
+let callers t name =
+  List.rev (Option.value ~default:[] (Hashtbl.find_opt t.in_edges name))
+
+(* Tarjan's strongly-connected components, iterative over the
+   deterministic node order.  Produces SCCs in reverse topological
+   order of the condensation, i.e. callees-first, which is exactly the
+   bottom-up order the inliner wants. *)
+type scc_state = {
+  mutable index : int;
+  indices : (string, int) Hashtbl.t;
+  lowlinks : (string, int) Hashtbl.t;
+  on_stack : (string, unit) Hashtbl.t;
+  mutable stack : string list;
+  mutable sccs : string list list;  (* collected in completion order *)
+}
+
+let compute_sccs t =
+  let st =
+    {
+      index = 0;
+      indices = Hashtbl.create 256;
+      lowlinks = Hashtbl.create 256;
+      on_stack = Hashtbl.create 256;
+      stack = [];
+      sccs = [];
+    }
+  in
+  let rec strongconnect v =
+    Hashtbl.replace st.indices v st.index;
+    Hashtbl.replace st.lowlinks v st.index;
+    st.index <- st.index + 1;
+    st.stack <- v :: st.stack;
+    Hashtbl.replace st.on_stack v ();
+    List.iter
+      (fun e ->
+        let w = e.callee in
+        if not (Hashtbl.mem st.indices w) then begin
+          strongconnect w;
+          let lv = Hashtbl.find st.lowlinks v
+          and lw = Hashtbl.find st.lowlinks w in
+          Hashtbl.replace st.lowlinks v (min lv lw)
+        end
+        else if Hashtbl.mem st.on_stack w then begin
+          let lv = Hashtbl.find st.lowlinks v
+          and iw = Hashtbl.find st.indices w in
+          Hashtbl.replace st.lowlinks v (min lv iw)
+        end)
+      (callees t v);
+    if Hashtbl.find st.lowlinks v = Hashtbl.find st.indices v then begin
+      let rec pop acc =
+        match st.stack with
+        | [] -> acc
+        | w :: rest ->
+          st.stack <- rest;
+          Hashtbl.remove st.on_stack w;
+          if w = v then w :: acc else pop (w :: acc)
+      in
+      st.sccs <- pop [] :: st.sccs
+    end
+  in
+  List.iter
+    (fun n -> if not (Hashtbl.mem st.indices n.fname) then strongconnect n.fname)
+    (nodes t);
+  (* Completion order is callees-first already; sccs was built in
+     reverse completion order, so reverse it back. *)
+  List.rev st.sccs
+
+let bottom_up t = List.concat (compute_sccs t)
+
+let cycle_members t =
+  match t.cycle_cache with
+  | Some members -> members
+  | None ->
+    let members = Hashtbl.create 32 in
+    List.iter
+      (fun scc ->
+        match scc with
+        | [ single ] ->
+          if List.exists (fun e -> e.callee = single) (callees t single) then
+            Hashtbl.replace members single ()
+        | _ -> List.iter (fun n -> Hashtbl.replace members n ()) scc)
+      (compute_sccs t);
+    t.cycle_cache <- Some members;
+    members
+
+let in_cycle t name = Hashtbl.mem (cycle_members t) name
+
+let total_edge_count t =
+  List.fold_left (fun acc e -> acc +. e.count) 0.0 t.edge_list

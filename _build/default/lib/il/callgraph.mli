@@ -1,0 +1,59 @@
+(** The program call graph: a global object (Figure 3 of the paper),
+    always memory-resident during a CMO compilation.
+
+    Nodes are functions (identified by name — names are unique across
+    a linked program once local functions are qualified by the
+    frontend); edges are call sites.  Edge counts come from profile
+    correlation and drive both selectivity (section 5) and the
+    aggressive-inlining heuristics. *)
+
+type node = {
+  fname : string;
+  module_name : string;
+  arity : int;
+  linkage : Func.linkage;
+  mutable instr_count : int;
+      (** Size estimate used by inlining budgets; updated as
+          transformations grow or shrink the body. *)
+}
+
+type edge = {
+  caller : string;
+  callee : string;
+  site : Instr.site;
+  mutable count : float;  (** Profile executions of this site. *)
+}
+
+type t
+
+val build : Ilmod.t list -> t
+(** Edges to intrinsics are not represented. Unresolvable callees
+    (should have been rejected by {!Symtab.build}) are skipped. *)
+
+val node : t -> string -> node option
+val nodes : t -> node list
+(** Deterministic (module, definition) order. *)
+
+val edges : t -> edge list
+(** Deterministic (caller layout) order. *)
+
+val callees : t -> string -> edge list
+(** Out-edges of a function, in site order. *)
+
+val callers : t -> string -> edge list
+(** In-edges of a function. *)
+
+val bottom_up : t -> string list
+(** Function names in bottom-up order: within the condensation
+    (Tarjan SCCs), callees come before callers, so processing in this
+    order sees fully-optimized callees at each call site — the order
+    the inliner wants.  Members of a cycle appear in deterministic
+    discovery order. *)
+
+val in_cycle : t -> string -> bool
+(** Whether the function is part of a recursive cycle (including
+    self-recursion) — such functions are not inline candidates. *)
+
+val total_edge_count : t -> float
+(** Sum of all edge profile counts; the denominator of the
+    selectivity percentage. *)

@@ -1,0 +1,39 @@
+(** The relocatable (compacted) IL representation — section 4.2 of
+    the paper.
+
+    Expanded IL objects refer to symbols by name (OCaml strings shared
+    by pointer); the relocatable form replaces every such reference by
+    a persistent identifier (PID): an index into a name table owned by
+    the enclosing module.  Encoding an object pool "swizzles" pointers
+    to PIDs; decoding performs the paper's eager swizzling back.
+
+    Objects are laid out in stack form — a block is immediately
+    followed by its instructions, which are followed by their operands
+    — and derived/redundant fields (block frequencies excepted, which
+    are profile data, and list back-pointers, which simply do not
+    exist in the compact form) are dropped.  The same bytes serve as
+    the IL payload of object files and as the NAIM repository format,
+    as in the production system.
+
+    The compacted size of a pool is the honest [String.length] of its
+    encoding, so the compaction ratios the benchmarks report are
+    measured, not modeled. *)
+
+val encode_func : names:Cmo_support.Intern.t -> Func.t -> string
+(** Serialize one function; symbol references are interned into
+    [names], which the caller persists alongside (it is part of the
+    module symbol table pool). *)
+
+val decode_func : names:Cmo_support.Intern.t -> string -> Func.t
+(** Inverse of {!encode_func} given the same name table.
+    @raise Cmo_support.Codec.Reader.Corrupt on malformed input. *)
+
+val encode_module : Ilmod.t -> string
+(** Self-contained encoding: name table, globals, then functions. *)
+
+val decode_module : string -> Ilmod.t
+(** @raise Cmo_support.Codec.Reader.Corrupt on malformed input. *)
+
+val roundtrip_func : Func.t -> Func.t
+(** [decode (encode f)] through a private name table; used by tests
+    and by the bug-isolation driver to deep-snapshot functions. *)

@@ -1,0 +1,155 @@
+type outcome = {
+  ret : int64;
+  output : int64 list;
+  steps : int;
+  probes : (int * int64) list;
+}
+
+exception Runtime_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Runtime_error s)) fmt
+
+(* Names are globally unique (the frontend mangles statics), so
+   resolution is a single flat namespace. *)
+type state = {
+  funcs : (string, Func.t) Hashtbl.t;
+  globals : (string, int64 array) Hashtbl.t;
+  input : int64 array;
+  mutable output_rev : int64 list;
+  probes : (int, int64) Hashtbl.t;
+  mutable steps : int;
+  mutable fuel : int;
+  max_depth : int;
+}
+
+let build_state ?(input = [||]) ?(fuel = 200_000_000) ?(max_depth = 10_000)
+    modules =
+  let st =
+    {
+      funcs = Hashtbl.create 256;
+      globals = Hashtbl.create 256;
+      input;
+      output_rev = [];
+      probes = Hashtbl.create 64;
+      steps = 0;
+      fuel;
+      max_depth;
+    }
+  in
+  List.iter
+    (fun (m : Ilmod.t) ->
+      List.iter
+        (fun (g : Ilmod.global) ->
+          let cells = Array.make g.Ilmod.size 0L in
+          Array.blit g.Ilmod.init 0 cells 0 (Array.length g.Ilmod.init);
+          Hashtbl.replace st.globals g.Ilmod.gname cells)
+        m.Ilmod.globals;
+      List.iter
+        (fun (f : Func.t) -> Hashtbl.replace st.funcs f.Func.name f)
+        m.Ilmod.funcs)
+    modules;
+  st
+
+let tick st =
+  st.steps <- st.steps + 1;
+  if st.steps > st.fuel then error "fuel exhausted after %d steps" st.steps
+
+let rec exec_func st ~depth (f : Func.t) args =
+  if depth > st.max_depth then error "call depth exceeds %d" st.max_depth;
+  let regs = Array.make (max f.Func.next_reg 1) 0L in
+  List.iteri (fun i v -> if i < f.Func.arity then regs.(i) <- v) args;
+  let value = function
+    | Instr.Reg r -> regs.(r)
+    | Instr.Imm i -> i
+  in
+  let cell addr =
+    let base =
+      match Hashtbl.find_opt st.globals addr.Instr.base with
+      | Some cells -> cells
+      | None -> error "undefined global %s" addr.Instr.base
+    in
+    let idx = Int64.to_int (value addr.Instr.index) in
+    if idx < 0 || idx >= Array.length base then
+      error "out-of-bounds access %s[%d] (size %d) in %s" addr.Instr.base idx
+        (Array.length base) f.Func.name;
+    (base, idx)
+  in
+  let do_call (c : Instr.call) =
+    let argv = List.map value c.Instr.args in
+    let result =
+      if c.Instr.callee = Intrinsics.print_name then begin
+        let v = List.nth argv 0 in
+        st.output_rev <- v :: st.output_rev;
+        v
+      end
+      else if c.Instr.callee = Intrinsics.arg_name then begin
+        let i = Int64.to_int (List.nth argv 0) in
+        let n = Array.length st.input in
+        if n = 0 then 0L else st.input.(((i mod n) + n) mod n)
+      end
+      else begin
+        match Hashtbl.find_opt st.funcs c.Instr.callee with
+        | Some callee -> exec_func st ~depth:(depth + 1) callee argv
+        | None -> error "call to undefined function %s" c.Instr.callee
+      end
+    in
+    match c.Instr.dst with Some d -> regs.(d) <- result | None -> ()
+  in
+  let rec run_block label =
+    let b =
+      match Func.find_block_opt f label with
+      | Some b -> b
+      | None -> error "jump to missing block L%d in %s" label f.Func.name
+    in
+    List.iter
+      (fun i ->
+        tick st;
+        match i with
+        | Instr.Move (d, a) -> regs.(d) <- value a
+        | Instr.Unop (op, d, a) -> regs.(d) <- Instr.eval_unop op (value a)
+        | Instr.Binop (op, d, a, b) ->
+          regs.(d) <- Instr.eval_binop op (value a) (value b)
+        | Instr.Load (d, addr) ->
+          let base, idx = cell addr in
+          regs.(d) <- base.(idx)
+        | Instr.Store (addr, v) ->
+          let base, idx = cell addr in
+          base.(idx) <- value v
+        | Instr.Call c -> do_call c
+        | Instr.Probe p ->
+          let prev = Option.value ~default:0L (Hashtbl.find_opt st.probes p) in
+          Hashtbl.replace st.probes p (Int64.add prev 1L))
+      b.Func.instrs;
+    tick st;
+    match b.Func.term with
+    | Instr.Ret None -> 0L
+    | Instr.Ret (Some a) -> value a
+    | Instr.Jmp l -> run_block l
+    | Instr.Br { cond; ifso; ifnot } ->
+      if value cond <> 0L then run_block ifso else run_block ifnot
+  in
+  if f.Func.blocks = [] then error "function %s has no blocks" f.Func.name;
+  run_block f.Func.entry
+
+let collect st ret =
+  let probes =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) st.probes []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  { ret; output = List.rev st.output_rev; steps = st.steps; probes }
+
+let run ?input ?fuel ?max_depth modules =
+  let st = build_state ?input ?fuel ?max_depth modules in
+  match Hashtbl.find_opt st.funcs "main" with
+  | None -> error "no main function"
+  | Some main ->
+    let ret = exec_func st ~depth:0 main [] in
+    collect st ret
+
+let run_func ?input ?fuel modules name args =
+  let st = build_state ?input ?fuel modules in
+  match Hashtbl.find_opt st.funcs name with
+  | None -> error "no function %s" name
+  | Some f ->
+    let ret = exec_func st ~depth:0 f args in
+    collect st ret

@@ -1,0 +1,40 @@
+(** Reference interpreter for IL programs.
+
+    Defines the observable semantics that every optimization level
+    must preserve: the return value of [main], the sequence of values
+    printed, and (when instrumented) the probe counters.  Differential
+    tests run the same program unoptimized and optimized — here and on
+    the VM — and require identical observables.
+
+    Execution is metered in abstract steps (one per instruction or
+    terminator) with a fuel limit so runaway programs fail cleanly. *)
+
+type outcome = {
+  ret : int64;  (** Return value of [main]. *)
+  output : int64 list;  (** Values printed, in order. *)
+  steps : int;  (** Instructions plus terminators executed. *)
+  probes : (int * int64) list;
+      (** Probe counter values keyed by probe id, sorted by id; empty
+          for uninstrumented programs. *)
+}
+
+exception Runtime_error of string
+(** Missing main, unresolved call, out-of-bounds global access, fuel
+    exhaustion, stack overflow. *)
+
+val run :
+  ?input:int64 array -> ?fuel:int -> ?max_depth:int -> Ilmod.t list -> outcome
+(** [run modules] executes [main] (which must exist, be exported and
+    take no parameters).  [input] feeds the [arg] intrinsic; [fuel]
+    bounds total steps (default 200 million); [max_depth] bounds call
+    depth (default 10_000). *)
+
+val run_func :
+  ?input:int64 array ->
+  ?fuel:int ->
+  Ilmod.t list ->
+  string ->
+  int64 list ->
+  outcome
+(** Run a specific function with explicit arguments; for unit tests of
+    single transformations. *)

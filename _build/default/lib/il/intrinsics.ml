@@ -1,0 +1,6 @@
+let print_name = "print"
+let arg_name = "arg"
+
+let is_intrinsic name = name = print_name || name = arg_name
+
+let arity name = if is_intrinsic name then Some 1 else None

@@ -1,0 +1,19 @@
+(** Built-in routines available to every program.
+
+    These model the runtime-library boundary: they are never subject
+    to inlining or interprocedural analysis, and the call graph marks
+    them as external leaves.
+
+    - [print x] appends [x] to the program's observable output and
+      returns [x].
+    - [arg i] reads element [i] of the program input vector (cyclING
+      modulo its length; 0 when the vector is empty).  This is how
+      training and reference data sets reach the program. *)
+
+val print_name : string
+val arg_name : string
+
+val is_intrinsic : string -> bool
+val arity : string -> int option
+(** [arity name] is the intrinsic's arity, or [None] when [name] is
+    not an intrinsic. *)

@@ -1,0 +1,60 @@
+(* Calibration: the synthetic frontends lower roughly 2.5 IL
+   instructions per source line (measured by the calibration test in
+   test/test_size.ml), and the paper reports ~1.7 KB of expanded HLO
+   memory per source line, of which about 2/3 is derived-attribute
+   slots.  560 bytes per instruction (187 core + 373 derived) plus
+   block/function/symbol overheads lands in that band. *)
+
+let instr_core_bytes = 240
+let instr_derived_bytes = 480
+let block_overhead_bytes = 176
+let func_overhead_bytes = 576
+let symbol_entry_bytes = 96
+let operand_bytes = 24
+
+let instr_operand_count i =
+  (match Instr.def i with Some _ -> 1 | None -> 0) + List.length (Instr.uses i)
+
+let func_bytes ~with_derived (f : Func.t) =
+  let per_instr =
+    if with_derived then instr_core_bytes + instr_derived_bytes
+    else instr_core_bytes
+  in
+  List.fold_left
+    (fun acc b ->
+      List.fold_left
+        (fun acc i -> acc + per_instr + (operand_bytes * instr_operand_count i))
+        (acc + block_overhead_bytes) b.Func.instrs)
+    func_overhead_bytes f.Func.blocks
+
+let func_expanded_bytes f = func_bytes ~with_derived:true f
+
+let func_expanded_core_bytes f = func_bytes ~with_derived:false f
+
+(* The in-memory relocatable form: derived slots dropped, objects in
+   stack layout with list pointers and redundant fields removed
+   (paper 4.2.2) — modeled as half the pointer-free core.  (The
+   serialized byte stream used for the repository and object files is
+   denser still; HP's in-core compact form kept objects traversable
+   by the loader, hence word-aligned.) *)
+let func_compacted_bytes f = 128 + (func_bytes ~with_derived:false f / 2)
+
+let module_symtab_expanded_bytes (m : Ilmod.t) =
+  let name_bytes s = 24 + String.length s in
+  let globals =
+    List.fold_left
+      (fun acc (g : Ilmod.global) ->
+        acc + symbol_entry_bytes + name_bytes g.Ilmod.gname
+        + (8 * Array.length g.Ilmod.init))
+      0 m.Ilmod.globals
+  in
+  let funcs =
+    List.fold_left
+      (fun acc (f : Func.t) -> acc + symbol_entry_bytes + name_bytes f.Func.name)
+      0 m.Ilmod.funcs
+  in
+  256 + globals + funcs
+
+let module_expanded_bytes m =
+  module_symtab_expanded_bytes m
+  + List.fold_left (fun acc f -> acc + func_expanded_bytes f) 0 m.Ilmod.funcs

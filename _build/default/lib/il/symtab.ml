@@ -1,0 +1,102 @@
+type entry =
+  | Func_entry of { module_name : string; arity : int; linkage : Func.linkage }
+  | Global_entry of { module_name : string; size : int; exported : bool }
+
+type error =
+  | Duplicate of string * string * string
+  | Undefined of string * string
+
+type t = {
+  table : (string, entry) Hashtbl.t;
+  mutable order : string list;  (* reverse definition order *)
+}
+
+let entry_module = function
+  | Func_entry { module_name; _ } | Global_entry { module_name; _ } ->
+    module_name
+
+let entry_exported = function
+  | Func_entry { linkage = Func.Exported; _ } -> true
+  | Func_entry { linkage = Func.Local; _ } -> false
+  | Global_entry { exported; _ } -> exported
+
+let add t errors name entry =
+  match Hashtbl.find_opt t.table name with
+  | Some prev ->
+    errors := Duplicate (name, entry_module prev, entry_module entry) :: !errors
+  | None ->
+    Hashtbl.replace t.table name entry;
+    t.order <- name :: t.order
+
+let find t ~current_module:_ name = Hashtbl.find_opt t.table name
+
+let find_exported t name =
+  match Hashtbl.find_opt t.table name with
+  | Some e when entry_exported e -> Some e
+  | Some _ | None -> None
+
+let defined_names t = List.rev t.order
+
+(* Names referenced by a function: callees plus global bases. *)
+let referenced_names f =
+  let names = ref [] in
+  let note n = if not (List.mem n !names) then names := n :: !names in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun i ->
+          match i with
+          | Instr.Call { callee; _ } -> note callee
+          | Instr.Load (_, { base; _ }) | Instr.Store ({ base; _ }, _) ->
+            note base
+          | Instr.Move _ | Instr.Unop _ | Instr.Binop _ | Instr.Probe _ -> ())
+        b.Func.instrs)
+    f.Func.blocks;
+  List.rev !names
+
+let build modules =
+  let t = { table = Hashtbl.create 256; order = [] } in
+  let errors = ref [] in
+  List.iter
+    (fun m ->
+      List.iter
+        (fun (g : Ilmod.global) ->
+          add t errors g.Ilmod.gname
+            (Global_entry
+               {
+                 module_name = m.Ilmod.mname;
+                 size = g.Ilmod.size;
+                 exported = g.Ilmod.exported;
+               }))
+        m.Ilmod.globals;
+      List.iter
+        (fun (f : Func.t) ->
+          add t errors f.Func.name
+            (Func_entry
+               {
+                 module_name = m.Ilmod.mname;
+                 arity = f.Func.arity;
+                 linkage = f.Func.linkage;
+               }))
+        m.Ilmod.funcs)
+    modules;
+  List.iter
+    (fun m ->
+      List.iter
+        (fun f ->
+          List.iter
+            (fun name ->
+              if not (Intrinsics.is_intrinsic name) then
+                match find t ~current_module:m.Ilmod.mname name with
+                | Some _ -> ()
+                | None -> errors := Undefined (m.Ilmod.mname, name) :: !errors)
+            (referenced_names f))
+        m.Ilmod.funcs)
+    modules;
+  match !errors with [] -> Ok t | errs -> Error (List.rev errs)
+
+let pp_error ppf = function
+  | Duplicate (name, m1, m2) ->
+    Format.fprintf ppf "symbol %s multiply defined (in %s and %s)" name m1 m2
+  | Undefined (m, name) ->
+    Format.fprintf ppf "module %s references undefined symbol %s" m name

@@ -1,0 +1,42 @@
+(** The program-wide symbol table.
+
+    One of the paper's "global objects" (Figure 3): always resident in
+    memory, built once per CMO compilation from the modules being
+    linked, and referred to by transitory objects.
+
+    Names are globally unique: the frontend mangles module-private
+    ([static]) symbols to ["module::name"], so resolution is a single
+    flat namespace.  [Local] linkage survives as metadata meaning "no
+    reference from outside the defining module existed at frontend
+    time", which interprocedural analysis exploits (e.g. a Local
+    function with no remaining callers can be deleted). *)
+
+type entry =
+  | Func_entry of { module_name : string; arity : int; linkage : Func.linkage }
+  | Global_entry of { module_name : string; size : int; exported : bool }
+
+type error =
+  | Duplicate of string * string * string
+      (** name, first module, second module. *)
+  | Undefined of string * string
+      (** referencing module, missing name. *)
+
+type t
+
+val build : Ilmod.t list -> (t, error list) result
+(** Builds the table and checks that every callee and every global
+    address base used by any function is defined by some module or is
+    an intrinsic. *)
+
+val find : t -> current_module:string -> string -> entry option
+(** Resolution; [current_module] is kept for interface stability and
+    diagnostics (the namespace is flat). *)
+
+val find_exported : t -> string -> entry option
+(** Resolution restricted to non-[static] symbols, as a plain
+    (non-CMO) linker would see them. *)
+
+val defined_names : t -> string list
+(** All names in deterministic (module, definition) order. *)
+
+val pp_error : Format.formatter -> error -> unit

@@ -1,0 +1,100 @@
+type issue = {
+  func : string;
+  message : string;
+}
+
+let check_func ?symtab ~module_name (f : Func.t) =
+  let issues = ref [] in
+  let report fmt =
+    Format.kasprintf (fun message -> issues := { func = f.Func.name; message } :: !issues) fmt
+  in
+  if f.Func.blocks = [] then report "function has no blocks"
+  else begin
+    let labels = Hashtbl.create 16 in
+    List.iter
+      (fun b ->
+        if Hashtbl.mem labels b.Func.label then
+          report "duplicate block label L%d" b.Func.label
+        else Hashtbl.replace labels b.Func.label ();
+        if b.Func.label >= f.Func.next_label then
+          report "block label L%d exceeds label counter %d" b.Func.label
+            f.Func.next_label)
+      f.Func.blocks;
+    if not (Hashtbl.mem labels f.Func.entry) then
+      report "entry label L%d does not exist" f.Func.entry;
+    let check_reg r =
+      if r < 0 || r >= f.Func.next_reg then
+        report "register r%d out of range (next_reg=%d)" r f.Func.next_reg
+    in
+    let check_name_as_func callee nargs =
+      match Intrinsics.arity callee with
+      | Some a ->
+        if nargs <> a then
+          report "intrinsic %s called with %d args, expects %d" callee nargs a
+      | None -> (
+        match symtab with
+        | None -> ()
+        | Some st -> (
+          match Symtab.find st ~current_module:module_name callee with
+          | Some (Symtab.Func_entry { arity; _ }) ->
+            if nargs <> arity then
+              report "call to %s passes %d args, expects %d" callee nargs arity
+          | Some (Symtab.Global_entry _) ->
+            report "call target %s is a global, not a function" callee
+          | None -> report "call to undefined function %s" callee))
+    in
+    let check_base base =
+      match symtab with
+      | None -> ()
+      | Some st -> (
+        match Symtab.find st ~current_module:module_name base with
+        | Some (Symtab.Global_entry _) -> ()
+        | Some (Symtab.Func_entry _) ->
+          report "address base %s is a function, not a global" base
+        | None -> report "reference to undefined global %s" base)
+    in
+    let sites = Hashtbl.create 16 in
+    List.iter
+      (fun b ->
+        List.iter
+          (fun i ->
+            Option.iter check_reg (Instr.def i);
+            List.iter check_reg (Instr.uses i);
+            match i with
+            | Instr.Call { callee; args; site; _ } ->
+              check_name_as_func callee (List.length args);
+              if site < 0 || site >= f.Func.next_site then
+                report "call site s%d exceeds site counter %d" site
+                  f.Func.next_site;
+              if Hashtbl.mem sites site then
+                report "duplicate call site id s%d" site
+              else Hashtbl.replace sites site ()
+            | Instr.Load (_, { base; _ }) -> check_base base
+            | Instr.Store ({ base; _ }, _) -> check_base base
+            | Instr.Move _ | Instr.Unop _ | Instr.Binop _ | Instr.Probe _ -> ())
+          b.Func.instrs;
+        List.iter check_reg (Instr.term_uses b.Func.term);
+        List.iter
+          (fun target ->
+            if not (Hashtbl.mem labels target) then
+              report "branch to missing label L%d from L%d" target b.Func.label)
+          (Instr.targets b.Func.term))
+      f.Func.blocks
+  end;
+  List.rev !issues
+
+let check_module ?symtab (m : Ilmod.t) =
+  List.concat_map
+    (fun f -> check_func ?symtab ~module_name:m.Ilmod.mname f)
+    m.Ilmod.funcs
+
+let check_program modules =
+  match Symtab.build modules with
+  | Error errs ->
+    List.map
+      (fun e ->
+        { func = "<symtab>"; message = Format.asprintf "%a" Symtab.pp_error e })
+      errs
+  | Ok symtab -> List.concat_map (fun m -> check_module ~symtab m) modules
+
+let pp_issue ppf { func; message } = Format.fprintf ppf "[%s] %s" func message

@@ -1,0 +1,1 @@
+lib/link/cluster.mli:

@@ -1,0 +1,1 @@
+lib/link/image.ml: Array Cmo_llo Format List

@@ -1,0 +1,1 @@
+lib/link/image.mli: Cmo_llo Format

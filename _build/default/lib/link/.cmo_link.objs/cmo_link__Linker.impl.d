@@ -1,0 +1,1 @@
+lib/link/linker.ml: Array Cmo_il Cmo_llo Format Hashtbl Image Int64 List Objfile

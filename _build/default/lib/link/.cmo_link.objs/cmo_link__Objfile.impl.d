@@ -1,0 +1,1 @@
+lib/link/objfile.ml: Cmo_il Cmo_llo Cmo_support Fun List Printf

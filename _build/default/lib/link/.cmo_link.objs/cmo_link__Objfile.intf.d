@@ -1,0 +1,1 @@
+lib/link/objfile.mli: Cmo_il Cmo_llo

@@ -1,0 +1,59 @@
+type chain = { mutable members : string list }
+
+let order ~names ~weights =
+  let known = Hashtbl.create 64 in
+  List.iter (fun n -> Hashtbl.replace known n ()) names;
+  let positive =
+    List.filter
+      (fun ((a, b), w) ->
+        w > 0.0 && a <> b && Hashtbl.mem known a && Hashtbl.mem known b)
+      weights
+  in
+  if positive = [] then names
+  else begin
+    let sorted =
+      List.sort
+        (fun ((a1, b1), w1) ((a2, b2), w2) ->
+          match compare w2 w1 with
+          | 0 -> compare (a1, b1) (a2, b2)
+          | c -> c)
+        positive
+    in
+    let chain_of = Hashtbl.create 64 in
+    List.iter (fun n -> Hashtbl.replace chain_of n { members = [ n ] }) names;
+    List.iter
+      (fun ((a, b), _) ->
+        let ca = Hashtbl.find chain_of a in
+        let cb = Hashtbl.find chain_of b in
+        if ca != cb then begin
+          (* Join the callee's chain after the caller's. *)
+          ca.members <- ca.members @ cb.members;
+          List.iter (fun n -> Hashtbl.replace chain_of n ca) cb.members
+        end)
+      sorted;
+    (* Total weight per chain decides chain order. *)
+    let chain_weight = Hashtbl.create 16 in
+    List.iter
+      (fun ((a, _), w) ->
+        let c = Hashtbl.find chain_of a in
+        let key = List.hd c.members in
+        Hashtbl.replace chain_weight key
+          (w +. Option.value ~default:0.0 (Hashtbl.find_opt chain_weight key)))
+      positive;
+    let seen = Hashtbl.create 16 in
+    let chains =
+      List.filter_map
+        (fun n ->
+          let c = Hashtbl.find chain_of n in
+          let key = List.hd c.members in
+          if Hashtbl.mem seen key then None
+          else begin
+            Hashtbl.replace seen key ();
+            Some (Option.value ~default:0.0 (Hashtbl.find_opt chain_weight key), c)
+          end)
+        names
+    in
+    let hot, cold = List.partition (fun (w, _) -> w > 0.0) chains in
+    let hot_sorted = List.stable_sort (fun (w1, _) (w2, _) -> compare w2 w1) hot in
+    List.concat_map (fun (_, c) -> c.members) (hot_sorted @ cold)
+  end

@@ -1,0 +1,22 @@
+(** Profile-guided routine clustering (Pettis–Hansen procedure
+    positioning [13], as used for the HP-UX kernel in [15]).
+
+    The paper's section 2: "The linker also uses profile data to
+    cluster frequently-used routines together in the final program
+    image."  Routines that call each other often are placed adjacent
+    so the hot working set occupies fewer i-cache lines (and fewer
+    pages).
+
+    Greedy edge coalescing on the dynamic call multigraph: edges
+    sorted by weight, chains merged tail-to-head or head-to-tail;
+    chains ordered hottest-first, zero-weight routines last in their
+    original order. *)
+
+val order :
+  names:string list ->
+  weights:((string * string) * float) list ->
+  string list
+(** [order ~names ~weights] permutes [names] (every input name appears
+    exactly once in the result).  [weights] keys are (caller, callee)
+    pairs; unknown names in [weights] are ignored.  With no positive
+    weights, [names] is returned unchanged. *)

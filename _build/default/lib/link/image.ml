@@ -1,0 +1,31 @@
+module Mach = Cmo_llo.Mach
+type t = {
+  code : Mach.instr array;
+  entry : int;
+  funcs : (string * int * int) list;
+  globals : (string * int * int) list;
+  data_init : (int * int64) list;
+  data_cells : int;
+}
+
+let func_of_address t addr =
+  List.find_map
+    (fun (name, start, len) ->
+      if addr >= start && addr < start + len then Some name else None)
+    t.funcs
+
+let code_bytes t = Array.length t.code * Mach.instr_bytes
+
+let pp_map ppf t =
+  Format.fprintf ppf "@[<v>image: %d instrs (%d bytes), %d data cells"
+    (Array.length t.code) (code_bytes t) t.data_cells;
+  Format.fprintf ppf "@,entry: @%d" t.entry;
+  List.iter
+    (fun (name, start, len) ->
+      Format.fprintf ppf "@,  %8d +%-6d %s" start len name)
+    t.funcs;
+  List.iter
+    (fun (name, base, size) ->
+      Format.fprintf ppf "@,  data %6d [%d] %s" base size name)
+    t.globals;
+  Format.fprintf ppf "@]"

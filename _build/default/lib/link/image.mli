@@ -1,0 +1,28 @@
+(** The linked executable image: absolute machine code, a data
+    segment layout, and the symbol maps the VM and the debugger-style
+    reports need. *)
+
+module Mach := Cmo_llo.Mach
+
+
+type t = {
+  code : Mach.instr array;
+      (** All symbolic references resolved; branch/call targets are
+          absolute instruction addresses. *)
+  entry : int;  (** Address of [main]. *)
+  funcs : (string * int * int) list;
+      (** (name, start address, instruction count), in image order. *)
+  globals : (string * int * int) list;
+      (** (name, base cell address, size in cells), in layout order. *)
+  data_init : (int * int64) list;
+      (** Non-zero initial cells: (address, value). *)
+  data_cells : int;  (** Data segment size in cells. *)
+}
+
+val func_of_address : t -> int -> string option
+(** Which routine contains a code address (for traces/reports). *)
+
+val code_bytes : t -> int
+
+val pp_map : Format.formatter -> t -> unit
+(** Linker-map style summary. *)

@@ -1,0 +1,151 @@
+module Mach = Cmo_llo.Mach
+module Ilmod = Cmo_il.Ilmod
+
+type error =
+  | Undefined_symbol of string * string
+  | Duplicate_symbol of string * string * string
+  | No_entry
+  | Il_payload of string
+
+let pp_error ppf = function
+  | Undefined_symbol (m, s) ->
+    Format.fprintf ppf "undefined symbol %s (referenced from %s)" s m
+  | Duplicate_symbol (s, m1, m2) ->
+    Format.fprintf ppf "symbol %s defined in both %s and %s" s m1 m2
+  | No_entry -> Format.pp_print_string ppf "no main function"
+  | Il_payload m ->
+    Format.fprintf ppf
+      "module %s still carries IL; it must pass through HLO/LLO first" m
+
+let link ?routine_order objs =
+  let errors = ref [] in
+  (* Reject IL payloads up front. *)
+  List.iter
+    (fun (o : Objfile.t) ->
+      if Objfile.is_il o then errors := Il_payload o.Objfile.module_name :: !errors)
+    objs;
+  (* Gather functions and globals. *)
+  let func_def = Hashtbl.create 256 in  (* name -> (module, code) *)
+  let func_order_rev = ref [] in
+  let global_def = Hashtbl.create 256 in  (* name -> (module, global) *)
+  let global_order_rev = ref [] in
+  List.iter
+    (fun (o : Objfile.t) ->
+      List.iter
+        (fun (g : Ilmod.global) ->
+          match Hashtbl.find_opt global_def g.Ilmod.gname with
+          | Some (m, _) ->
+            errors :=
+              Duplicate_symbol (g.Ilmod.gname, m, o.Objfile.module_name)
+              :: !errors
+          | None ->
+            Hashtbl.replace global_def g.Ilmod.gname (o.Objfile.module_name, g);
+            global_order_rev := g.Ilmod.gname :: !global_order_rev)
+        o.Objfile.globals;
+      match o.Objfile.payload with
+      | Objfile.Il _ -> ()
+      | Objfile.Code codes ->
+        List.iter
+          (fun (fc : Mach.func_code) ->
+            match Hashtbl.find_opt func_def fc.Mach.fname with
+            | Some (m, _) ->
+              errors :=
+                Duplicate_symbol (fc.Mach.fname, m, o.Objfile.module_name)
+                :: !errors
+            | None ->
+              Hashtbl.replace func_def fc.Mach.fname (o.Objfile.module_name, fc);
+              func_order_rev := fc.Mach.fname :: !func_order_rev)
+          codes)
+    objs;
+  let input_order = List.rev !func_order_rev in
+  let placed =
+    match routine_order with
+    | None -> input_order
+    | Some order ->
+      let requested = List.filter (Hashtbl.mem func_def) order in
+      let mentioned = Hashtbl.create 64 in
+      List.iter (fun n -> Hashtbl.replace mentioned n ()) requested;
+      requested @ List.filter (fun n -> not (Hashtbl.mem mentioned n)) input_order
+  in
+  (* Data layout. *)
+  let global_base = Hashtbl.create 256 in
+  let data_cells = ref 0 in
+  let globals_layout =
+    List.map
+      (fun name ->
+        let _, (g : Ilmod.global) = Hashtbl.find global_def name in
+        let base = !data_cells in
+        Hashtbl.replace global_base name base;
+        data_cells := base + g.Ilmod.size;
+        (name, base, g.Ilmod.size))
+      (List.rev !global_order_rev)
+  in
+  let data_init =
+    List.concat_map
+      (fun (name, base, _) ->
+        let _, (g : Ilmod.global) = Hashtbl.find global_def name in
+        List.filteri (fun _ _ -> true)
+          (Array.to_list g.Ilmod.init)
+        |> List.mapi (fun i v -> (base + i, v))
+        |> List.filter (fun (_, v) -> not (Int64.equal v 0L)))
+      globals_layout
+  in
+  (* Code layout: compute bases, then resolve. *)
+  let func_base = Hashtbl.create 256 in
+  let total = ref 0 in
+  let funcs_layout =
+    List.map
+      (fun name ->
+        let _, (fc : Mach.func_code) = Hashtbl.find func_def name in
+        let base = !total in
+        Hashtbl.replace func_base name base;
+        total := base + Array.length fc.Mach.code;
+        (name, base, Array.length fc.Mach.code))
+      placed
+  in
+  let code = Array.make !total Mach.Halt in
+  List.iter
+    (fun (name, base, _) ->
+      let module_name, (fc : Mach.func_code) = Hashtbl.find func_def name in
+      Array.iteri
+        (fun i instr ->
+          let resolved =
+            match instr with
+            | Mach.B _ | Mach.Bz _ | Mach.Bnz _ ->
+              Mach.retarget (fun t -> t + base) instr
+            | Mach.Call_sym callee -> (
+              match Hashtbl.find_opt func_base callee with
+              | Some addr -> Mach.Call_abs addr
+              | None ->
+                errors := Undefined_symbol (module_name, callee) :: !errors;
+                Mach.Halt)
+            | Mach.Lga (d, g) -> (
+              match Hashtbl.find_opt global_base g with
+              | Some cell -> Mach.Li (d, Int64.of_int cell)
+              | None ->
+                errors := Undefined_symbol (module_name, g) :: !errors;
+                Mach.Halt)
+            | other -> other
+          in
+          code.(base + i) <- resolved)
+        fc.Mach.code)
+    funcs_layout;
+  let entry =
+    match Hashtbl.find_opt func_base "main" with
+    | Some addr -> addr
+    | None ->
+      errors := No_entry :: !errors;
+      0
+  in
+  match List.rev !errors with
+  | [] ->
+    Ok
+      {
+        Image.code;
+        entry;
+        funcs = funcs_layout;
+        globals = globals_layout;
+        data_init;
+        data_cells = !data_cells;
+      }
+  | errs -> Error errs

@@ -1,0 +1,25 @@
+(** The linker: symbol resolution and image assembly.
+
+    Accepts object files whose payloads are already machine code.  IL
+    payloads are a CMO-mode concern: the compilation driver detects
+    them, routes them through HLO and LLO (paper Figure 2), and calls
+    back here with the resulting code objects; handing an IL object
+    directly to [link] is reported as an error rather than silently
+    mislinked.
+
+    [routine_order], when given (profile-guided clustering, see
+    {!Cluster}), decides function placement in the image; routines
+    not mentioned keep their relative input order at the end. *)
+
+type error =
+  | Undefined_symbol of string * string  (** referencing module, name. *)
+  | Duplicate_symbol of string * string * string
+  | No_entry  (** No [main] function. *)
+  | Il_payload of string  (** Module still carrying IL. *)
+
+val link :
+  ?routine_order:string list ->
+  Objfile.t list ->
+  (Image.t, error list) result
+
+val pp_error : Format.formatter -> error -> unit

@@ -1,0 +1,94 @@
+module Mach = Cmo_llo.Mach
+module Codec = Cmo_support.Codec
+module W = Codec.Writer
+module R = Codec.Reader
+module Ilmod = Cmo_il.Ilmod
+
+type payload =
+  | Code of Mach.func_code list
+  | Il of Ilmod.t
+
+type t = {
+  module_name : string;
+  globals : Ilmod.global list;
+  payload : payload;
+  source_digest : string;
+}
+
+let of_code ~module_name ~globals ~source_digest codes =
+  { module_name; globals; payload = Code codes; source_digest }
+
+let of_il ~source_digest (m : Ilmod.t) =
+  {
+    module_name = m.Ilmod.mname;
+    globals = m.Ilmod.globals;
+    payload = Il m;
+    source_digest;
+  }
+
+let is_il t = match t.payload with Il _ -> true | Code _ -> false
+
+let magic = "CMOOBJ01"
+
+let write_global w (g : Ilmod.global) =
+  W.string w g.Ilmod.gname;
+  W.uvarint w g.Ilmod.size;
+  W.bool w g.Ilmod.exported;
+  W.array w (W.int64 w) g.Ilmod.init
+
+let read_global r : Ilmod.global =
+  let gname = R.string r in
+  let size = R.uvarint r in
+  let exported = R.bool r in
+  let init = R.array r R.int64 in
+  { Ilmod.gname; size; exported; init }
+
+let encode t =
+  let w = W.create () in
+  W.string w magic;
+  W.string w t.module_name;
+  W.string w t.source_digest;
+  W.list w (write_global w) t.globals;
+  (match t.payload with
+  | Code codes ->
+    W.byte w 0;
+    W.list w (fun fc -> W.string w (Mach.encode_func fc)) codes
+  | Il m ->
+    W.byte w 1;
+    W.string w (Cmo_il.Ilcodec.encode_module m));
+  W.contents w
+
+let decode bytes =
+  let r = R.of_string bytes in
+  let m = R.string r in
+  if m <> magic then R.corrupt "not a CMO object file";
+  let module_name = R.string r in
+  let source_digest = R.string r in
+  let globals = R.list r read_global in
+  let payload =
+    match R.byte r with
+    | 0 -> Code (R.list r (fun r -> Mach.decode_func (R.string r)))
+    | 1 -> Il (Cmo_il.Ilcodec.decode_module (R.string r))
+    | t -> R.corrupt (Printf.sprintf "bad object payload tag %d" t)
+  in
+  { module_name; globals; payload; source_digest }
+
+let save t path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (encode t))
+
+let load path =
+  let ic = open_in_bin path in
+  let data =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  decode data
+
+let func_names t =
+  match t.payload with
+  | Code codes -> List.map (fun fc -> fc.Mach.fname) codes
+  | Il m -> List.map (fun f -> f.Cmo_il.Func.name) m.Ilmod.funcs

@@ -1,0 +1,1 @@
+lib/llo/asm.ml: Array Buffer Cmo_il Format Int64 List Mach String

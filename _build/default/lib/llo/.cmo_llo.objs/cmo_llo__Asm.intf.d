@@ -1,0 +1,1 @@
+lib/llo/asm.mli: Cmo_il Format Mach

@@ -1,0 +1,1 @@
+lib/llo/codegen.ml: Array Format Hashtbl Isel List Mach Printf Regalloc

@@ -1,0 +1,1 @@
+lib/llo/codegen.mli: Format Mach Regalloc

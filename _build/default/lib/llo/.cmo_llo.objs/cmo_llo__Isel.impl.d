@@ -1,0 +1,1 @@
+lib/llo/isel.ml: Cmo_il Int64 List Mach

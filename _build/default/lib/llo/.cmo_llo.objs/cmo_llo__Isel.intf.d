@@ -1,0 +1,1 @@
+lib/llo/isel.mli: Cmo_il Mach

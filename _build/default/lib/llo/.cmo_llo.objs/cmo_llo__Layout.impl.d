@@ -1,0 +1,1 @@
+lib/llo/layout.ml: Cmo_il Float Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/llo/layout.mli: Cmo_il

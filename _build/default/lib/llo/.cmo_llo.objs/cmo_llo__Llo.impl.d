@@ -1,0 +1,1 @@
+lib/llo/llo.ml: Array Atomic Cmo_il Cmo_naim Codegen Domain Isel Layout List Mach Option Peephole Regalloc Sched

@@ -1,0 +1,1 @@
+lib/llo/llo.mli: Cmo_il Cmo_naim Mach

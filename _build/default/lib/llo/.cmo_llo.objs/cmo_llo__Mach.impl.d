@@ -1,0 +1,1 @@
+lib/llo/mach.ml: Array Cmo_il Cmo_support Format List Printf

@@ -1,0 +1,1 @@
+lib/llo/mach.mli: Cmo_il Format

@@ -1,0 +1,1 @@
+lib/llo/peephole.ml: Cmo_il Int64 Isel List Mach

@@ -1,0 +1,1 @@
+lib/llo/peephole.mli: Isel

@@ -1,0 +1,1 @@
+lib/llo/regalloc.ml: Float Hashtbl Isel List Mach

@@ -1,0 +1,1 @@
+lib/llo/regalloc.mli: Isel Mach

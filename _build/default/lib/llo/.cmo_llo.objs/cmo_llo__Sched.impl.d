@@ -1,0 +1,1 @@
+lib/llo/sched.ml: Array Isel List Mach

@@ -1,0 +1,1 @@
+lib/llo/sched.mli: Isel

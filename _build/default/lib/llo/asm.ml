@@ -1,0 +1,249 @@
+module Instr = Cmo_il.Instr
+module Ilmod = Cmo_il.Ilmod
+
+exception Parse_error of int * string
+
+let fail line fmt = Format.kasprintf (fun m -> raise (Parse_error (line, m))) fmt
+
+(* ---------- printing ---------- *)
+
+let mnemonic_of_binop op = Instr.binop_name op
+
+let print_instr ppf i =
+  match i with
+  | Mach.Li (d, v) -> Format.fprintf ppf "li    r%d, %Ld" d v
+  | Mach.Mv (d, s) -> Format.fprintf ppf "mv    r%d, r%d" d s
+  | Mach.Op (op, d, a, b) ->
+    Format.fprintf ppf "%-5s r%d, r%d, r%d" (mnemonic_of_binop op) d a b
+  | Mach.Opi (op, d, s, v) ->
+    Format.fprintf ppf "%-5s r%d, r%d, %Ld" (mnemonic_of_binop op ^ "i") d s v
+  | Mach.Un (Instr.Neg, d, s) -> Format.fprintf ppf "neg   r%d, r%d" d s
+  | Mach.Un (Instr.Not, d, s) -> Format.fprintf ppf "not   r%d, r%d" d s
+  | Mach.Ld (d, b, o) -> Format.fprintf ppf "ld    r%d, %d(r%d)" d o b
+  | Mach.St (v, b, o) -> Format.fprintf ppf "st    r%d, %d(r%d)" v o b
+  | Mach.Lga (d, s) -> Format.fprintf ppf "lga   r%d, %s" d s
+  | Mach.B t -> Format.fprintf ppf "b     %d" t
+  | Mach.Bz (r, t) -> Format.fprintf ppf "bz    r%d, %d" r t
+  | Mach.Bnz (r, t) -> Format.fprintf ppf "bnz   r%d, %d" r t
+  | Mach.Call_sym s -> Format.fprintf ppf "call  %s" s
+  | Mach.Call_abs a -> Format.fprintf ppf "calla %d" a
+  | Mach.Sys Mach.Sys_print -> Format.fprintf ppf "sys   print"
+  | Mach.Sys Mach.Sys_arg -> Format.fprintf ppf "sys   arg"
+  | Mach.Ret -> Format.fprintf ppf "ret"
+  | Mach.Adjsp n -> Format.fprintf ppf "adjsp %d" n
+  | Mach.Cnt p -> Format.fprintf ppf "cnt   %d" p
+  | Mach.Halt -> Format.fprintf ppf "halt"
+
+let print_func ppf (fc : Mach.func_code) =
+  Format.fprintf ppf ".func %s lines=%d@." fc.Mach.fname fc.Mach.src_lines;
+  Array.iter (fun i -> Format.fprintf ppf "    %a@." print_instr i) fc.Mach.code;
+  Format.fprintf ppf ".end@."
+
+let print_module ppf ~module_name ~globals codes =
+  Format.fprintf ppf ".module %s@." module_name;
+  List.iter
+    (fun (g : Ilmod.global) ->
+      Format.fprintf ppf ".global %s %d %s@." g.Ilmod.gname g.Ilmod.size
+        (if g.Ilmod.exported then "exported" else "local");
+      Array.iteri
+        (fun idx v ->
+          if not (Int64.equal v 0L) then
+            Format.fprintf ppf ".init %s %d %Ld@." g.Ilmod.gname idx v)
+        g.Ilmod.init)
+    globals;
+  List.iter (fun fc -> print_func ppf fc) codes
+
+(* ---------- parsing ---------- *)
+
+(* Tokenize one instruction line: words separated by spaces, commas
+   and the [OFF(rB)] parentheses. *)
+let tokenize line_text =
+  let buf = Buffer.create 8 in
+  let out = ref [] in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := Buffer.contents buf :: !out;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun ch ->
+      match ch with
+      | ' ' | '\t' | ',' | '(' | ')' -> flush ()
+      | c -> Buffer.add_char buf c)
+    line_text;
+  flush ();
+  List.rev !out
+
+let strip_comment s =
+  match String.index_opt s '#' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+let reg line tok =
+  if String.length tok >= 2 && tok.[0] = 'r' then
+    match int_of_string_opt (String.sub tok 1 (String.length tok - 1)) with
+    | Some r when r >= 0 && r < Mach.first_vreg -> r
+    | Some _ | None -> fail line "bad register %S" tok
+  else fail line "expected a register, found %S" tok
+
+let int_tok line tok =
+  match int_of_string_opt tok with
+  | Some v -> v
+  | None -> fail line "expected an integer, found %S" tok
+
+let int64_tok line tok =
+  match Int64.of_string_opt tok with
+  | Some v -> v
+  | None -> fail line "expected an integer, found %S" tok
+
+let binop_of_mnemonic m =
+  List.find_opt
+    (fun op -> Instr.binop_name op = m)
+    [ Instr.Add; Instr.Sub; Instr.Mul; Instr.Div; Instr.Rem; Instr.And;
+      Instr.Or; Instr.Xor; Instr.Shl; Instr.Shr; Instr.Eq; Instr.Ne;
+      Instr.Lt; Instr.Le; Instr.Gt; Instr.Ge ]
+
+let parse_instr line toks =
+  match toks with
+  | [ "li"; d; v ] -> Mach.Li (reg line d, int64_tok line v)
+  | [ "mv"; d; s ] -> Mach.Mv (reg line d, reg line s)
+  | [ "neg"; d; s ] -> Mach.Un (Instr.Neg, reg line d, reg line s)
+  | [ "not"; d; s ] -> Mach.Un (Instr.Not, reg line d, reg line s)
+  | [ "ld"; d; o; b ] -> Mach.Ld (reg line d, reg line b, int_tok line o)
+  | [ "st"; v; o; b ] -> Mach.St (reg line v, reg line b, int_tok line o)
+  | [ "lga"; d; s ] -> Mach.Lga (reg line d, s)
+  | [ "b"; t ] -> Mach.B (int_tok line t)
+  | [ "bz"; r; t ] -> Mach.Bz (reg line r, int_tok line t)
+  | [ "bnz"; r; t ] -> Mach.Bnz (reg line r, int_tok line t)
+  | [ "call"; s ] -> Mach.Call_sym s
+  | [ "calla"; t ] -> Mach.Call_abs (int_tok line t)
+  | [ "sys"; "print" ] -> Mach.Sys Mach.Sys_print
+  | [ "sys"; "arg" ] -> Mach.Sys Mach.Sys_arg
+  | [ "ret" ] -> Mach.Ret
+  | [ "adjsp"; n ] -> Mach.Adjsp (int_tok line n)
+  | [ "cnt"; p ] -> Mach.Cnt (int_tok line p)
+  | [ "halt" ] -> Mach.Halt
+  | [ m; d; a; b ] -> (
+    (* Three-operand ALU forms: [op rD, rA, rB] or [opi rD, rS, IMM]. *)
+    match binop_of_mnemonic m with
+    | Some op -> Mach.Op (op, reg line d, reg line a, reg line b)
+    | None ->
+      if String.length m > 1 && m.[String.length m - 1] = 'i' then begin
+        match binop_of_mnemonic (String.sub m 0 (String.length m - 1)) with
+        | Some op -> Mach.Opi (op, reg line d, reg line a, int64_tok line b)
+        | None -> fail line "unknown mnemonic %S" m
+      end
+      else fail line "unknown mnemonic %S" m)
+  | m :: _ -> fail line "unknown or malformed instruction %S" m
+  | [] -> fail line "empty instruction"
+
+type parse_state = {
+  mutable module_name : string option;
+  mutable globals_rev : Ilmod.global list;
+  mutable funcs_rev : Mach.func_code list;
+  mutable current : (string * int * Mach.instr list) option;
+      (* (name, src_lines, reversed instrs) *)
+}
+
+let key_value line tok key =
+  match String.index_opt tok '=' with
+  | Some i when String.sub tok 0 i = key ->
+    int_tok line (String.sub tok (i + 1) (String.length tok - i - 1))
+  | _ -> fail line "expected %s=N, found %S" key tok
+
+let parse_module text =
+  let st =
+    { module_name = None; globals_rev = []; funcs_rev = []; current = None }
+  in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun idx raw ->
+      let line = idx + 1 in
+      let toks = tokenize (strip_comment raw) in
+      match (toks, st.current) with
+      | [], _ -> ()
+      | ".module" :: rest, None -> (
+        match rest with
+        | [ name ] ->
+          if st.module_name <> None then fail line "duplicate .module";
+          st.module_name <- Some name
+        | _ -> fail line ".module takes one name")
+      | ".global" :: rest, None -> (
+        match rest with
+        | [ name; size; vis ] ->
+          let exported =
+            match vis with
+            | "exported" -> true
+            | "local" -> false
+            | other -> fail line "bad visibility %S" other
+          in
+          let size = int_tok line size in
+          if size < 1 then fail line "global %s has bad size" name;
+          st.globals_rev <-
+            { Ilmod.gname = name; size; exported; init = Array.make size 0L }
+            :: st.globals_rev
+        | _ -> fail line ".global NAME SIZE exported|local")
+      | ".init" :: rest, None -> (
+        match rest with
+        | [ name; idx_tok; v ] -> (
+          match
+            List.find_opt
+              (fun g -> g.Ilmod.gname = name)
+              st.globals_rev
+          with
+          | Some g ->
+            let i = int_tok line idx_tok in
+            if i < 0 || i >= g.Ilmod.size then
+              fail line ".init index %d out of bounds for %s" i name;
+            g.Ilmod.init.(i) <- int64_tok line v
+          | None -> fail line ".init for undeclared global %s" name)
+        | _ -> fail line ".init NAME INDEX VALUE")
+      | ".func" :: rest, None -> (
+        match rest with
+        | [ name; kv ] ->
+          st.current <- Some (name, key_value line kv "lines", [])
+        | [ name ] -> st.current <- Some (name, 0, [])
+        | _ -> fail line ".func NAME [lines=N]")
+      | [ ".end" ], Some (name, src_lines, instrs_rev) ->
+        let module_name =
+          match st.module_name with
+          | Some m -> m
+          | None -> fail line ".end before .module"
+        in
+        st.funcs_rev <-
+          {
+            Mach.fname = name;
+            module_name;
+            src_lines;
+            code = Array.of_list (List.rev instrs_rev);
+          }
+          :: st.funcs_rev;
+        st.current <- None
+      | directive :: _, None when String.length directive > 0 && directive.[0] = '.'
+        -> fail line "unknown directive %S" directive
+      | _ :: _, None -> fail line "instruction outside .func/.end"
+      | toks, Some (name, src_lines, instrs_rev) ->
+        let i = parse_instr line toks in
+        st.current <- Some (name, src_lines, i :: instrs_rev))
+    lines;
+  (match st.current with
+  | Some (name, _, _) ->
+    fail (List.length lines) "missing .end for function %s" name
+  | None -> ());
+  match st.module_name with
+  | None -> fail 1 "missing .module directive"
+  | Some name ->
+    (* Trim trailing zero cells from initializers so round-trips are
+       tidy (the loader zero-fills anyway). *)
+    let globals =
+      List.rev_map
+        (fun (g : Ilmod.global) ->
+          let last_nonzero = ref (-1) in
+          Array.iteri
+            (fun i v -> if not (Int64.equal v 0L) then last_nonzero := i)
+            g.Ilmod.init;
+          { g with Ilmod.init = Array.sub g.Ilmod.init 0 (!last_nonzero + 1) })
+        st.globals_rev
+    in
+    (name, globals, List.rev st.funcs_rev)

@@ -1,0 +1,197 @@
+module Instr = Cmo_il.Instr
+module Func = Cmo_il.Func
+module Intrinsics = Cmo_il.Intrinsics
+
+type vterm =
+  | Vjmp of Instr.label
+  | Vbr of Mach.reg * Instr.label * Instr.label
+  | Vret
+
+type vblock = {
+  vlabel : Instr.label;
+  mutable body : Mach.instr list;
+  mutable vterm : vterm;
+  vfreq : float;
+}
+
+type vcode = {
+  vname : string;
+  vmodule : string;
+  arity : int;
+  ventry : Instr.label;
+  vblocks : vblock list;
+  mutable next_vreg : int;
+  max_outgoing : int;
+  vsrc_lines : int;
+}
+
+let incoming_base = 1_000_000
+
+let vreg_of_il r = Mach.first_vreg + r
+
+type ctx = {
+  mutable next : int;
+  mutable out_rev : Mach.instr list;
+  mutable outgoing : int;
+}
+
+let fresh ctx =
+  let v = ctx.next in
+  ctx.next <- v + 1;
+  v
+
+let emit ctx i = ctx.out_rev <- i :: ctx.out_rev
+
+(* Materialize an operand into a register (possibly a fresh temp). *)
+let operand_reg ctx = function
+  | Instr.Reg r -> vreg_of_il r
+  | Instr.Imm 0L -> Mach.reg_zero
+  | Instr.Imm c ->
+    let t = fresh ctx in
+    emit ctx (Mach.Li (t, c));
+    t
+
+let commutative = function
+  | Instr.Add | Instr.Mul | Instr.And | Instr.Or | Instr.Xor | Instr.Eq
+  | Instr.Ne -> true
+  | Instr.Sub | Instr.Div | Instr.Rem | Instr.Shl | Instr.Shr | Instr.Lt
+  | Instr.Le | Instr.Gt | Instr.Ge -> false
+
+let select_call ctx (c : Instr.call) =
+  (* Register arguments. *)
+  List.iteri
+    (fun i a ->
+      if i < Mach.num_arg_regs then
+        match a with
+        | Instr.Imm v -> emit ctx (Mach.Li (Mach.reg_arg i, v))
+        | Instr.Reg r -> emit ctx (Mach.Mv (Mach.reg_arg i, vreg_of_il r))
+      else begin
+        (* Outgoing stack argument in the caller frame's bottom. *)
+        let slot = i - Mach.num_arg_regs in
+        ctx.outgoing <- max ctx.outgoing (slot + 1);
+        let src = operand_reg ctx a in
+        emit ctx (Mach.St (src, Mach.reg_sp, slot))
+      end)
+    c.Instr.args;
+  (if c.Instr.callee = Intrinsics.print_name then emit ctx (Mach.Sys Mach.Sys_print)
+   else if c.Instr.callee = Intrinsics.arg_name then emit ctx (Mach.Sys Mach.Sys_arg)
+   else emit ctx (Mach.Call_sym c.Instr.callee));
+  match c.Instr.dst with
+  | Some d -> emit ctx (Mach.Mv (vreg_of_il d, Mach.reg_rv))
+  | None -> ()
+
+let select ~module_name (f : Func.t) =
+  let ctx =
+    { next = Mach.first_vreg + f.Func.next_reg; out_rev = []; outgoing = 0 }
+  in
+  (* Leaf-function optimization: when the body performs no calls (so
+     nothing can clobber the argument registers), register parameters
+     live directly in their argument registers — a frameless leaf
+     needs neither landing moves nor callee-saved registers for its
+     parameters. *)
+  let is_leaf =
+    f.Func.arity <= Mach.num_arg_regs
+    && List.for_all
+         (fun (b : Func.block) ->
+           List.for_all
+             (fun i -> match i with Instr.Call _ -> false | _ -> true)
+             b.Func.instrs)
+         f.Func.blocks
+  in
+  let vreg_of_il r =
+    if is_leaf && r < f.Func.arity then Mach.reg_arg r else vreg_of_il r
+  in
+  let operand_reg ctx = function
+    | Instr.Reg r -> vreg_of_il r
+    | Instr.Imm 0L -> Mach.reg_zero
+    | Instr.Imm c ->
+      let t = fresh ctx in
+      emit ctx (Mach.Li (t, c));
+      t
+  in
+  let select_binop ctx op d a b =
+    let d = vreg_of_il d in
+    match (a, b) with
+    | Instr.Imm x, Instr.Imm y -> emit ctx (Mach.Li (d, Instr.eval_binop op x y))
+    | Instr.Reg ra, Instr.Imm y -> emit ctx (Mach.Opi (op, d, vreg_of_il ra, y))
+    | Instr.Imm x, Instr.Reg rb when commutative op ->
+      emit ctx (Mach.Opi (op, d, vreg_of_il rb, x))
+    | Instr.Imm _, Instr.Reg rb ->
+      let t = operand_reg ctx a in
+      emit ctx (Mach.Op (op, d, t, vreg_of_il rb))
+    | Instr.Reg ra, Instr.Reg rb ->
+      emit ctx (Mach.Op (op, d, vreg_of_il ra, vreg_of_il rb))
+  in
+  let select_addr ctx { Instr.base; index } =
+    match index with
+    | Instr.Imm k ->
+      let t = fresh ctx in
+      emit ctx (Mach.Lga (t, base));
+      (t, Int64.to_int k)
+    | Instr.Reg r ->
+      let t = fresh ctx in
+      emit ctx (Mach.Lga (t, base));
+      let addr = fresh ctx in
+      emit ctx (Mach.Op (Instr.Add, addr, t, vreg_of_il r));
+      (addr, 0)
+  in
+  let select_instr ctx i =
+    match i with
+    | Instr.Move (d, Instr.Imm c) -> emit ctx (Mach.Li (vreg_of_il d, c))
+    | Instr.Move (d, Instr.Reg s) ->
+      emit ctx (Mach.Mv (vreg_of_il d, vreg_of_il s))
+    | Instr.Unop (op, d, a) ->
+      let s = operand_reg ctx a in
+      emit ctx (Mach.Un (op, vreg_of_il d, s))
+    | Instr.Binop (op, d, a, b) -> select_binop ctx op d a b
+    | Instr.Load (d, addr) ->
+      let base, off = select_addr ctx addr in
+      emit ctx (Mach.Ld (vreg_of_il d, base, off))
+    | Instr.Store (addr, v) ->
+      let src = operand_reg ctx v in
+      let base, off = select_addr ctx addr in
+      emit ctx (Mach.St (src, base, off))
+    | Instr.Call c -> select_call ctx c
+    | Instr.Probe p -> emit ctx (Mach.Cnt p)
+  in
+  let select_block (b : Func.block) =
+    ctx.out_rev <- [];
+    (* Parameter landing code in the entry block (non-leaf only). *)
+    if b.Func.label = f.Func.entry && not is_leaf then
+      for i = 0 to f.Func.arity - 1 do
+        if i < Mach.num_arg_regs then
+          emit ctx (Mach.Mv (vreg_of_il i, Mach.reg_arg i))
+        else
+          emit ctx
+            (Mach.Ld
+               (vreg_of_il i, Mach.reg_sp,
+                incoming_base + (i - Mach.num_arg_regs)))
+      done;
+    List.iter (select_instr ctx) b.Func.instrs;
+    let vterm =
+      match b.Func.term with
+      | Instr.Jmp l -> Vjmp l
+      | Instr.Br { cond; ifso; ifnot } -> (
+        match cond with
+        | Instr.Imm c -> Vjmp (if c <> 0L then ifso else ifnot)
+        | Instr.Reg r -> Vbr (vreg_of_il r, ifso, ifnot))
+      | Instr.Ret v ->
+        (match v with
+        | Some (Instr.Imm c) -> emit ctx (Mach.Li (Mach.reg_rv, c))
+        | Some (Instr.Reg r) -> emit ctx (Mach.Mv (Mach.reg_rv, vreg_of_il r))
+        | None -> emit ctx (Mach.Li (Mach.reg_rv, 0L)));
+        Vret
+    in
+    { vlabel = b.Func.label; body = List.rev ctx.out_rev; vterm; vfreq = b.Func.freq }
+  in
+  let vblocks = List.map select_block f.Func.blocks in
+  {
+    vname = f.Func.name;
+    vmodule = module_name;
+    arity = f.Func.arity;
+    ventry = f.Func.entry;
+    vblocks;
+    next_vreg = ctx.next;
+    max_outgoing = ctx.outgoing;
+    vsrc_lines = f.Func.src_lines;
+  }

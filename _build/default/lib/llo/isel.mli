@@ -1,0 +1,49 @@
+(** Instruction selection: IL to virtual machine code.
+
+    Produces {!vcode}: per-block machine instructions over an infinite
+    virtual register file (IL register [r] becomes virtual register
+    [Mach.first_vreg + r]; selection temporaries follow).  Physical
+    registers appear only where the ABI demands them — argument
+    registers around calls, the return-value register, the stack
+    pointer — and are never touched by the register allocator.
+
+    Calls pass the first four arguments in registers and the rest in
+    the caller's outgoing-argument area at the bottom of its frame
+    ([max_outgoing] records how many cells that needs).  Incoming
+    stack arguments are read frame-relative through the
+    {!incoming_base} offset sentinel, which {!Codegen} rewrites once
+    the frame size is known. *)
+
+type vterm =
+  | Vjmp of Cmo_il.Instr.label
+  | Vbr of Mach.reg * Cmo_il.Instr.label * Cmo_il.Instr.label
+      (** Branch if register non-zero. *)
+  | Vret  (** Return value already in [Mach.reg_rv]. *)
+
+type vblock = {
+  vlabel : Cmo_il.Instr.label;
+  mutable body : Mach.instr list;
+  mutable vterm : vterm;
+  vfreq : float;
+}
+
+type vcode = {
+  vname : string;
+  vmodule : string;
+  arity : int;
+  ventry : Cmo_il.Instr.label;
+  vblocks : vblock list;  (** In the function's layout order. *)
+  mutable next_vreg : int;
+  max_outgoing : int;  (** Cells of outgoing stack arguments. *)
+  vsrc_lines : int;
+}
+
+val incoming_base : int
+(** Sentinel added to incoming-stack-argument offsets; rewritten by
+    {!Codegen} to [frame + k]. *)
+
+val select : module_name:string -> Cmo_il.Func.t -> vcode
+(** The function's block list order is taken as the layout order
+    (run {!Layout.run} first for profile-guided positioning). *)
+
+val vreg_of_il : Cmo_il.Instr.reg -> Mach.reg

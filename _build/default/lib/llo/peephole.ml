@@ -1,0 +1,68 @@
+module Instr = Cmo_il.Instr
+
+let log2_exact v =
+  if Int64.compare v 1L <= 0 then None
+  else begin
+    let rec go shift =
+      if shift > 62 then None
+      else begin
+        let p = Int64.shift_left 1L shift in
+        if Int64.equal p v then Some shift
+        else if Int64.compare p v > 0 then None
+        else go (shift + 1)
+      end
+    in
+    go 1
+  end
+
+let rewrite_instr count i =
+  match i with
+  | Mach.Opi (Instr.Mul, d, s, v) -> (
+    match log2_exact v with
+    | Some shift ->
+      incr count;
+      Some (Mach.Opi (Instr.Shl, d, s, Int64.of_int shift))
+    | None ->
+      if Int64.equal v 1L then begin
+        incr count;
+        Some (Mach.Mv (d, s))
+      end
+      else if Int64.equal v 0L then begin
+        incr count;
+        Some (Mach.Li (d, 0L))
+      end
+      else Some i)
+  | Mach.Opi ((Instr.Add | Instr.Sub | Instr.Or | Instr.Xor | Instr.Shl | Instr.Shr), d, s, 0L) ->
+    incr count;
+    Some (Mach.Mv (d, s))
+  | Mach.Opi (Instr.And, d, _, 0L) ->
+    incr count;
+    Some (Mach.Li (d, 0L))
+  | Mach.Mv (d, s) when d = s ->
+    incr count;
+    None
+  | _ -> Some i
+
+(* Delete [Li r, c] when the previous instruction already was
+   [Li r, c] (same register, same constant, no intervening def). *)
+let dedup_li count instrs =
+  let rec go prev acc = function
+    | [] -> List.rev acc
+    | (Mach.Li (d, c) as i) :: rest -> (
+      match prev with
+      | Some (pd, pc) when pd = d && Int64.equal pc c ->
+        incr count;
+        go prev acc rest
+      | _ -> go (Some (d, c)) (i :: acc) rest)
+    | i :: rest -> go None (i :: acc) rest
+  in
+  go None [] instrs
+
+let run (vc : Isel.vcode) =
+  let count = ref 0 in
+  List.iter
+    (fun (b : Isel.vblock) ->
+      b.Isel.body <-
+        List.filter_map (rewrite_instr count) b.Isel.body |> dedup_li count)
+    vc.Isel.vblocks;
+  !count

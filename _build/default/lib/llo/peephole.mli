@@ -1,0 +1,14 @@
+(** Machine-level peephole optimization.
+
+    Local rewrites on allocated code:
+    - strength reduction: multiply by a power of two becomes a shift
+      (division is left alone: arithmetic shift right disagrees with
+      truncating division on negative values);
+    - algebraic identities: [x+0], [x-0], [x*1], [x|0], [x^0],
+      [x<<0], [x>>0] become moves; [x*0], [x&0] become zero loads;
+    - self-moves are deleted;
+    - a [Li] immediately re-materializing the same constant into the
+      same register is deleted. *)
+
+val run : Isel.vcode -> int
+(** Number of rewrites applied. *)

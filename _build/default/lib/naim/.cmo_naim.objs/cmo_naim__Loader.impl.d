@@ -1,0 +1,1 @@
+lib/naim/loader.ml: Cmo_il Cmo_support Fun Hashtbl List Logs Memstats Printf Repository

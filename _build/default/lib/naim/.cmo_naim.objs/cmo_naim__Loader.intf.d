@@ -1,0 +1,1 @@
+lib/naim/loader.mli: Cmo_il Memstats Repository

@@ -1,0 +1,1 @@
+lib/naim/memstats.ml: Array Format List Printf

@@ -1,0 +1,1 @@
+lib/naim/memstats.mli: Format

@@ -1,0 +1,1 @@
+lib/naim/repository.ml: Buffer Option String Sys

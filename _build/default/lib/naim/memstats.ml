@@ -1,0 +1,81 @@
+type category =
+  | Global
+  | Ir_expanded
+  | Ir_compacted
+  | Symtab_expanded
+  | Symtab_compacted
+  | Derived
+  | Llo
+
+let all_categories =
+  [ Global; Ir_expanded; Ir_compacted; Symtab_expanded; Symtab_compacted;
+    Derived; Llo ]
+
+let index = function
+  | Global -> 0
+  | Ir_expanded -> 1
+  | Ir_compacted -> 2
+  | Symtab_expanded -> 3
+  | Symtab_compacted -> 4
+  | Derived -> 5
+  | Llo -> 6
+
+let name = function
+  | Global -> "global"
+  | Ir_expanded -> "ir-expanded"
+  | Ir_compacted -> "ir-compacted"
+  | Symtab_expanded -> "symtab-expanded"
+  | Symtab_compacted -> "symtab-compacted"
+  | Derived -> "derived"
+  | Llo -> "llo"
+
+type t = {
+  bytes : int array;
+  mutable peak : int;
+  mutable peak_hlo : int;
+}
+
+let create () = { bytes = Array.make 7 0; peak = 0; peak_hlo = 0 }
+
+let resident t = Array.fold_left ( + ) 0 t.bytes
+
+let hlo_resident t = resident t - t.bytes.(index Llo)
+
+let update_peaks t =
+  let r = resident t in
+  if r > t.peak then t.peak <- r;
+  let h = hlo_resident t in
+  if h > t.peak_hlo then t.peak_hlo <- h
+
+let charge t cat n =
+  assert (n >= 0);
+  t.bytes.(index cat) <- t.bytes.(index cat) + n;
+  update_peaks t
+
+let release t cat n =
+  assert (n >= 0);
+  if n > t.bytes.(index cat) then
+    invalid_arg
+      (Printf.sprintf "Memstats.release: %s underflow (%d > %d)" (name cat) n
+         t.bytes.(index cat));
+  t.bytes.(index cat) <- t.bytes.(index cat) - n
+
+let resident_of t cat = t.bytes.(index cat)
+
+let peak t = t.peak
+
+let peak_hlo t = t.peak_hlo
+
+let reset_peak t =
+  t.peak <- resident t;
+  t.peak_hlo <- hlo_resident t
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>resident %d bytes (peak %d, hlo peak %d)"
+    (resident t) t.peak t.peak_hlo;
+  List.iter
+    (fun cat ->
+      if t.bytes.(index cat) > 0 then
+        Format.fprintf ppf "@,  %-18s %d" (name cat) t.bytes.(index cat))
+    all_categories;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,53 @@
+(** The optimizer memory accountant.
+
+    Tracks modeled resident bytes by category, with a running peak.
+    This is the measurement instrument behind Figures 4 and 5 of the
+    paper: each pool charges its expanded (modeled, see
+    {!Cmo_il.Size}) or compacted (measured encoding length) bytes to
+    the appropriate category as the loader moves it between states.
+
+    Categories follow the paper's data-structure taxonomy
+    (Figure 3):
+    - [Global]: program symbol table, call graph — always resident;
+    - [Ir_expanded] / [Ir_compacted]: routine IR pools;
+    - [Symtab_expanded] / [Symtab_compacted]: module symbol tables;
+    - [Derived]: analysis results (recomputed, never persisted);
+    - [Llo]: the low-level optimizer's working set. *)
+
+type category =
+  | Global
+  | Ir_expanded
+  | Ir_compacted
+  | Symtab_expanded
+  | Symtab_compacted
+  | Derived
+  | Llo
+
+type t
+
+val create : unit -> t
+
+val charge : t -> category -> int -> unit
+val release : t -> category -> int -> unit
+(** Releasing more than is resident in a category is a programming
+    error and raises [Invalid_argument]. *)
+
+val resident : t -> int
+(** Total currently-resident modeled bytes across all categories. *)
+
+val resident_of : t -> category -> int
+
+val hlo_resident : t -> int
+(** Everything but [Llo] — the "HLO" series of Figure 4. *)
+
+val peak : t -> int
+(** High-water mark of {!resident}. *)
+
+val peak_hlo : t -> int
+(** High-water mark of {!hlo_resident}. *)
+
+val reset_peak : t -> unit
+
+val all_categories : category list
+
+val pp : Format.formatter -> t -> unit

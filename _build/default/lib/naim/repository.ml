@@ -1,0 +1,76 @@
+type backing =
+  | File of { path : string; mutable oc : out_channel option; mutable ic : in_channel option }
+  | Memory of Buffer.t
+
+type t = {
+  backing : backing;
+  mutable next_offset : int;
+  mutable stores : int;
+  mutable fetches : int;
+  id : int;  (* guards against foreign handles *)
+}
+
+type handle = { repo_id : int; offset : int; length : int }
+
+let next_id = ref 0
+
+let make backing =
+  incr next_id;
+  { backing; next_offset = 0; stores = 0; fetches = 0; id = !next_id }
+
+let create ~path =
+  let oc = open_out_bin path in
+  make (File { path; oc = Some oc; ic = None })
+
+let in_memory () = make (Memory (Buffer.create 4096))
+
+let store t bytes =
+  let offset = t.next_offset in
+  let length = String.length bytes in
+  (match t.backing with
+  | File f -> (
+    match f.oc with
+    | Some oc ->
+      output_string oc bytes;
+      flush oc
+    | None -> invalid_arg "Repository.store: closed repository")
+  | Memory buf -> Buffer.add_string buf bytes);
+  t.next_offset <- offset + length;
+  t.stores <- t.stores + 1;
+  { repo_id = t.id; offset; length }
+
+let fetch t handle =
+  if handle.repo_id <> t.id then
+    invalid_arg "Repository.fetch: handle from another repository";
+  if handle.offset + handle.length > t.next_offset then
+    invalid_arg "Repository.fetch: handle beyond stored data";
+  t.fetches <- t.fetches + 1;
+  match t.backing with
+  | Memory buf -> Buffer.sub buf handle.offset handle.length
+  | File f ->
+    let ic =
+      match f.ic with
+      | Some ic -> ic
+      | None ->
+        let ic = open_in_bin f.path in
+        f.ic <- Some ic;
+        ic
+    in
+    seek_in ic handle.offset;
+    really_input_string ic handle.length
+
+let stored_bytes t = t.next_offset
+
+let stores t = t.stores
+
+let fetches t = t.fetches
+
+let close t =
+  match t.backing with
+  | Memory _ -> ()
+  | File f ->
+    Option.iter close_out f.oc;
+    Option.iter close_in f.ic;
+    f.oc <- None;
+    f.ic <- None;
+    if Sys.file_exists f.path then Sys.remove f.path

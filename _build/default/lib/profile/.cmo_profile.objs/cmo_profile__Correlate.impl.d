@@ -1,0 +1,1 @@
+lib/profile/correlate.ml: Cmo_il Db Format List

@@ -1,0 +1,1 @@
+lib/profile/correlate.mli: Cmo_il Db Format

@@ -1,0 +1,1 @@
+lib/profile/db.ml: Cmo_support Format Fun Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/profile/probe.ml: Cmo_il Db Hashtbl Int64 List Option

@@ -1,0 +1,1 @@
+lib/profile/probe.mli: Cmo_il Db

@@ -1,0 +1,1 @@
+lib/profile/train.ml: Cmo_il List Probe

@@ -1,0 +1,1 @@
+lib/profile/train.mli: Cmo_il Db

@@ -1,0 +1,80 @@
+module Func = Cmo_il.Func
+module Ilmod = Cmo_il.Ilmod
+module Instr = Cmo_il.Instr
+
+type stats = {
+  functions : int;
+  functions_with_profile : int;
+  blocks : int;
+  blocks_matched : int;
+  total_count : float;
+}
+
+let annotate db modules =
+  let functions = ref 0 in
+  let functions_with_profile = ref 0 in
+  let blocks = ref 0 in
+  let blocks_matched = ref 0 in
+  let total_count = ref 0.0 in
+  List.iter
+    (fun (m : Ilmod.t) ->
+      List.iter
+        (fun (f : Func.t) ->
+          incr functions;
+          let any = ref false in
+          List.iter
+            (fun (b : Func.block) ->
+              incr blocks;
+              let key = Db.Block (f.Func.name, b.Func.label) in
+              let count = Db.get db key in
+              if Db.mem db key then begin
+                incr blocks_matched;
+                any := true
+              end;
+              b.Func.freq <- count;
+              total_count := !total_count +. count;
+              List.iter
+                (fun i ->
+                  match i with
+                  | Instr.Call c -> c.Instr.call_count <- count
+                  | Instr.Move _ | Instr.Unop _ | Instr.Binop _ | Instr.Load _
+                  | Instr.Store _ | Instr.Probe _ -> ())
+                b.Func.instrs)
+            f.Func.blocks;
+          if !any then incr functions_with_profile)
+        m.Ilmod.funcs)
+    modules;
+  {
+    functions = !functions;
+    functions_with_profile = !functions_with_profile;
+    blocks = !blocks;
+    blocks_matched = !blocks_matched;
+    total_count = !total_count;
+  }
+
+let clear modules =
+  List.iter
+    (fun (m : Ilmod.t) ->
+      List.iter
+        (fun (f : Func.t) ->
+          List.iter
+            (fun (b : Func.block) ->
+              b.Func.freq <- 0.0;
+              List.iter
+                (fun i ->
+                  match i with
+                  | Instr.Call c -> c.Instr.call_count <- 0.0
+                  | Instr.Move _ | Instr.Unop _ | Instr.Binop _ | Instr.Load _
+                  | Instr.Store _ | Instr.Probe _ -> ())
+                b.Func.instrs)
+            f.Func.blocks)
+        m.Ilmod.funcs)
+    modules
+
+let edge_count db ~fname ~src ~dst = Db.get db (Db.Edge (fname, src, dst))
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "functions %d/%d with profile, blocks %d/%d matched, total count %.0f"
+    s.functions_with_profile s.functions s.blocks_matched s.blocks
+    s.total_count

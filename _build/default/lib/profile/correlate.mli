@@ -1,0 +1,33 @@
+(** Correlation of profile data with current program structures.
+
+    The paper (section 3): "The compiler correlates profile
+    information from the database with current program structures, and
+    uses the data to improve various heuristics."  Correlation is
+    name-and-label based: the frontend is deterministic, so unchanged
+    source produces identical block labels and the counts attach
+    exactly; changed functions simply match fewer (or no) keys and are
+    treated as cold — the graceful degradation under stale profiles
+    discussed in section 6.2.
+
+    Annotation writes [Func.block.freq] (block execution counts) and
+    [Instr.call.call_count] (the count of the containing block). *)
+
+type stats = {
+  functions : int;
+  functions_with_profile : int;
+      (** Functions where at least one block key matched. *)
+  blocks : int;
+  blocks_matched : int;  (** Blocks whose key was present in the db. *)
+  total_count : float;  (** Sum of all annotated block counts. *)
+}
+
+val annotate : Db.t -> Cmo_il.Ilmod.t list -> stats
+(** Annotate in place. Probe instructions, if present, are ignored. *)
+
+val clear : Cmo_il.Ilmod.t list -> unit
+(** Reset all annotations to 0 (an unprofiled compilation). *)
+
+val edge_count : Db.t -> fname:string -> src:int -> dst:int -> float
+(** Measured traversal count of a conditional edge, 0 when absent. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,93 @@
+module Codec = Cmo_support.Codec
+
+type key =
+  | Fentry of string
+  | Block of string * int
+  | Edge of string * int * int
+
+type t = { counts : (key, float) Hashtbl.t }
+
+let create () = { counts = Hashtbl.create 256 }
+
+let add t key v =
+  let prev = Option.value ~default:0.0 (Hashtbl.find_opt t.counts key) in
+  Hashtbl.replace t.counts key (prev +. v)
+
+let get t key = Option.value ~default:0.0 (Hashtbl.find_opt t.counts key)
+
+let mem t key = Hashtbl.mem t.counts key
+
+let is_empty t = Hashtbl.length t.counts = 0
+
+let entries t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.counts []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let merge ~into src = Hashtbl.iter (fun k v -> add into k v) src.counts
+
+let total t = Hashtbl.fold (fun _ v acc -> acc +. v) t.counts 0.0
+
+let version = 1
+
+let save t path =
+  let w = Codec.Writer.create () in
+  Codec.Writer.byte w version;
+  Codec.Writer.uvarint w (Hashtbl.length t.counts);
+  List.iter
+    (fun (key, count) ->
+      (match key with
+      | Fentry f ->
+        Codec.Writer.byte w 0;
+        Codec.Writer.string w f
+      | Block (f, l) ->
+        Codec.Writer.byte w 1;
+        Codec.Writer.string w f;
+        Codec.Writer.uvarint w l
+      | Edge (f, a, b) ->
+        Codec.Writer.byte w 2;
+        Codec.Writer.string w f;
+        Codec.Writer.uvarint w a;
+        Codec.Writer.uvarint w b);
+      Codec.Writer.float w count)
+    (entries t);
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Codec.Writer.contents w))
+
+let load path =
+  let ic = open_in_bin path in
+  let data =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let r = Codec.Reader.of_string data in
+  let v = Codec.Reader.byte r in
+  if v <> version then
+    Codec.Reader.corrupt
+      (Printf.sprintf "profile db version mismatch: %d vs %d" v version);
+  let t = create () in
+  let n = Codec.Reader.uvarint r in
+  for _ = 1 to n do
+    let key =
+      match Codec.Reader.byte r with
+      | 0 -> Fentry (Codec.Reader.string r)
+      | 1 ->
+        let f = Codec.Reader.string r in
+        Block (f, Codec.Reader.uvarint r)
+      | 2 ->
+        let f = Codec.Reader.string r in
+        let a = Codec.Reader.uvarint r in
+        let b = Codec.Reader.uvarint r in
+        Edge (f, a, b)
+      | tag -> Codec.Reader.corrupt (Printf.sprintf "bad key tag %d" tag)
+    in
+    add t key (Codec.Reader.float r)
+  done;
+  t
+
+let pp_key ppf = function
+  | Fentry f -> Format.fprintf ppf "entry(%s)" f
+  | Block (f, l) -> Format.fprintf ppf "block(%s, L%d)" f l
+  | Edge (f, a, b) -> Format.fprintf ppf "edge(%s, L%d->L%d)" f a b

@@ -1,0 +1,49 @@
+(** The profile database.
+
+    Persistent store of execution counts keyed by stable program
+    coordinates (function name, block label, edge).  It is the only
+    persistent state of the system that does not live in object files
+    (paper section 6.1: "our system works with existing processes by
+    maintaining all persistent information (save for profile data) in
+    object files").
+
+    Counts are floats: merging and scaling (stale-profile decay,
+    inline distribution) produce fractional values. *)
+
+type key =
+  | Fentry of string  (** Function entry count. *)
+  | Block of string * int  (** (function, block label) execution count. *)
+  | Edge of string * int * int
+      (** (function, from label, to label) traversal count of a
+          conditional edge. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> key -> float -> unit
+(** Accumulate into the existing count. *)
+
+val get : t -> key -> float
+(** 0 when absent. *)
+
+val mem : t -> key -> bool
+
+val is_empty : t -> bool
+
+val entries : t -> (key * float) list
+(** Deterministically ordered (by key). *)
+
+val merge : into:t -> t -> unit
+(** Accumulate every count of the second database into [into]. *)
+
+val total : t -> float
+
+val save : t -> string -> unit
+(** Write to a file (binary, versioned). *)
+
+val load : string -> t
+(** @raise Cmo_support.Codec.Reader.Corrupt on malformed input,
+    [Sys_error] if unreadable. *)
+
+val pp_key : Format.formatter -> key -> unit

@@ -1,0 +1,74 @@
+module Instr = Cmo_il.Instr
+module Func = Cmo_il.Func
+module Ilmod = Cmo_il.Ilmod
+module Ilcodec = Cmo_il.Ilcodec
+
+type manifest = { keys : (int, Db.key) Hashtbl.t; mutable next : int }
+
+let fresh manifest key =
+  let id = manifest.next in
+  manifest.next <- id + 1;
+  Hashtbl.replace manifest.keys id key;
+  id
+
+let instrument_func manifest (f : Func.t) =
+  (* Copy deeply via the codec so the original stays untouched. *)
+  let f = Ilcodec.roundtrip_func f in
+  (* Block probes first: labels are still the frontend's. *)
+  List.iter
+    (fun (b : Func.block) ->
+      let id = fresh manifest (Db.Block (f.Func.name, b.Func.label)) in
+      b.Func.instrs <- Instr.Probe id :: b.Func.instrs)
+    f.Func.blocks;
+  (* Split conditional edges through probe trampolines. *)
+  let original_blocks = f.Func.blocks in
+  List.iter
+    (fun (b : Func.block) ->
+      match b.Func.term with
+      | Instr.Br { cond; ifso; ifnot } ->
+        let split target =
+          let id = fresh manifest (Db.Edge (f.Func.name, b.Func.label, target)) in
+          let tramp = Func.add_block f [ Instr.Probe id ] (Instr.Jmp target) in
+          tramp.Func.label
+        in
+        let ifso' = split ifso in
+        let ifnot' = split ifnot in
+        b.Func.term <- Instr.Br { cond; ifso = ifso'; ifnot = ifnot' }
+      | Instr.Ret _ | Instr.Jmp _ -> ())
+    original_blocks;
+  f
+
+let instrument modules =
+  let manifest = { keys = Hashtbl.create 1024; next = 0 } in
+  let instrumented =
+    List.map
+      (fun (m : Ilmod.t) ->
+        {
+          m with
+          Ilmod.funcs = List.map (instrument_func manifest) m.Ilmod.funcs;
+        })
+      modules
+  in
+  (instrumented, manifest)
+
+let probe_count manifest = manifest.next
+
+let key_of_probe manifest id = Hashtbl.find_opt manifest.keys id
+
+let record_counters manifest counters db =
+  (* The counter array of a real instrumented binary contains a slot
+     for every probe; execution engines report only touched probes, so
+     fill the untouched ones with explicit zeros — a zero count
+     ("cold") is information, distinct from a missing key ("stale"). *)
+  let touched = Hashtbl.create (List.length counters) in
+  List.iter
+    (fun (id, count) ->
+      if Hashtbl.mem manifest.keys id then Hashtbl.replace touched id count)
+    counters;
+  for id = 0 to manifest.next - 1 do
+    match key_of_probe manifest id with
+    | Some key ->
+      let count = Option.value ~default:0L (Hashtbl.find_opt touched id) in
+      Db.add db key (Int64.to_float count)
+    | None -> ()
+  done

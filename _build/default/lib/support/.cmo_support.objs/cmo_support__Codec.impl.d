@@ -1,0 +1,1 @@
+lib/support/codec.ml: Array Buffer Char Int64 List String Sys

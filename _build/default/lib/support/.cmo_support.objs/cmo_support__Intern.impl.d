@@ -1,0 +1,1 @@
+lib/support/intern.ml: Array Hashtbl

@@ -1,0 +1,26 @@
+(** String interning.
+
+    The optimizer keys every container on dense integer ids rather
+    than strings or addresses (paper section 6.2: sorting or hashing
+    on virtual addresses had to be rewritten for reproducibility).
+    An interner provides a bijection between strings and dense ids. *)
+
+type t
+
+val create : unit -> t
+
+val intern : t -> string -> int
+(** [intern t s] returns the id for [s], allocating one if new.  Ids
+    are dense, starting at 0, in first-interned order. *)
+
+val find_opt : t -> string -> int option
+(** Lookup without allocating. *)
+
+val name : t -> int -> string
+(** Inverse mapping. Raises [Invalid_argument] on an unknown id. *)
+
+val count : t -> int
+(** Number of interned strings. *)
+
+val iter : t -> (int -> string -> unit) -> unit
+(** Iterate in id order. *)

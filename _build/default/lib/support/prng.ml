@@ -1,0 +1,79 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let s = next_int64 t in
+  { state = mix64 s }
+
+let copy t = { state = t.state }
+
+let int t bound =
+  assert (bound > 0);
+  let v = Int64.to_int (next_int64 t) land max_int in
+  v mod bound
+
+let int_in t lo hi =
+  assert (lo <= hi);
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  let v = Int64.to_int (Int64.shift_right_logical (next_int64 t) 11) land max_int in
+  let unit = float_of_int v /. 9007199254740992.0 in
+  unit *. bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let chance t p = float t 1.0 < p
+
+let choose t arr =
+  assert (Array.length arr > 0);
+  arr.(int t (Array.length arr))
+
+let choose_weighted t items =
+  let total = Array.fold_left (fun acc (_, w) -> acc +. w) 0.0 items in
+  assert (total > 0.0);
+  let target = float t total in
+  let rec go i acc =
+    if i = Array.length items - 1 then fst items.(i)
+    else
+      let acc = acc +. snd items.(i) in
+      if target < acc then fst items.(i) else go (i + 1) acc
+  in
+  go 0 0.0
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+(* Inverse-CDF sampling over the finite harmonic weights.  [n] is
+   typically small enough (call sites per function, functions per
+   module) that the O(n) walk is irrelevant; for large [n] callers
+   cache ranks themselves. *)
+let zipf t ~n ~s =
+  assert (n > 0);
+  let weights = Array.init n (fun i -> 1.0 /. ((float_of_int (i + 1)) ** s)) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let target = float t total in
+  let rec go i acc =
+    if i = n - 1 then i
+    else
+      let acc = acc +. weights.(i) in
+      if target < acc then i else go (i + 1) acc
+  in
+  go 0 0.0

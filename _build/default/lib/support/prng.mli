@@ -1,0 +1,54 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in the system flows through this module so that a
+    given seed reproduces an identical compilation and workload,
+    mirroring the paper's reproducibility requirement (section 6.2:
+    "the compiler must behave in exactly the same way ... from run to
+    run").  The generator is a splitmix64 variant: cheap, splittable
+    and platform-independent. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator from an integer seed. *)
+
+val split : t -> t
+(** [split t] derives an independent generator; [t] advances. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state without advancing [t]. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val chance : t -> float -> bool
+(** [chance t p] is [true] with probability [p]. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val choose_weighted : t -> ('a * float) array -> 'a
+(** [choose_weighted t items] picks proportionally to the weights,
+    which must be non-negative and not all zero. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val zipf : t -> n:int -> s:float -> int
+(** [zipf t ~n ~s] samples a rank in [\[0, n)] from a Zipf
+    distribution with exponent [s]; rank 0 is the most likely.  Used
+    to generate the skewed call-frequency profiles that drive the
+    paper's selectivity results. *)

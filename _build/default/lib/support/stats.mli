@@ -1,0 +1,18 @@
+(** Small numeric helpers for the benchmark harness and reports. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 for an empty array. *)
+
+val geomean : float array -> float
+(** Geometric mean of positive values; 0 for an empty array. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0,100\]], linear interpolation.
+    The input need not be sorted. *)
+
+val sum : float array -> float
+val min_max : float array -> float * float
+(** Raises [Invalid_argument] on an empty array. *)
+
+val ratio : float -> float -> float
+(** [ratio a b] is [a /. b], or 0 when [b = 0]. *)

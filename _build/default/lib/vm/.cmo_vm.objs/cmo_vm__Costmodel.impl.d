@@ -1,0 +1,1 @@
+lib/vm/costmodel.ml: Cmo_il

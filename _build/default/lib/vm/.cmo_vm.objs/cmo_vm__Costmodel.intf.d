@@ -1,0 +1,1 @@
+lib/vm/costmodel.mli: Cmo_il

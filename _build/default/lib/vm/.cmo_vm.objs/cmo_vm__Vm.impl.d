@@ -1,0 +1,1 @@
+lib/vm/vm.ml: Array Cmo_il Cmo_link Cmo_llo Costmodel Format Hashtbl Icache Int64 List Option

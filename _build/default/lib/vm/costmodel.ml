@@ -1,0 +1,50 @@
+type t = {
+  alu_cycles : int;
+  mul_cycles : int;
+  div_cycles : int;
+  mem_cycles : int;
+  load_use_stall : int;
+  taken_branch_penalty : int;
+  call_cycles : int;
+  ret_cycles : int;
+  sys_cycles : int;
+  icache_bytes : int;
+  line_bytes : int;
+  miss_cycles : int;
+  dcache_bytes : int;
+  dcache_line_bytes : int;
+  dcache_miss_cycles : int;
+}
+
+let default =
+  {
+    alu_cycles = 1;
+    mul_cycles = 3;
+    div_cycles = 12;
+    mem_cycles = 2;
+    load_use_stall = 2;
+    taken_branch_penalty = 2;
+    call_cycles = 3;
+    ret_cycles = 3;
+    sys_cycles = 20;
+    icache_bytes = 16 * 1024;
+    line_bytes = 32;
+    miss_cycles = 20;
+    dcache_bytes = 32 * 1024;
+    dcache_line_bytes = 32;
+    dcache_miss_cycles = 30;
+  }
+
+let no_icache = { default with miss_cycles = 0 }
+
+let no_dcache = { default with dcache_miss_cycles = 0 }
+
+let no_stall = { default with load_use_stall = 0 }
+
+let op_cycles t = function
+  | Cmo_il.Instr.Mul -> t.mul_cycles
+  | Cmo_il.Instr.Div | Cmo_il.Instr.Rem -> t.div_cycles
+  | Cmo_il.Instr.Add | Cmo_il.Instr.Sub | Cmo_il.Instr.And | Cmo_il.Instr.Or
+  | Cmo_il.Instr.Xor | Cmo_il.Instr.Shl | Cmo_il.Instr.Shr | Cmo_il.Instr.Eq
+  | Cmo_il.Instr.Ne | Cmo_il.Instr.Lt | Cmo_il.Instr.Le | Cmo_il.Instr.Gt
+  | Cmo_il.Instr.Ge -> t.alu_cycles

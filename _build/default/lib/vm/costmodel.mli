@@ -1,0 +1,63 @@
+(** The machine cost model.
+
+    Prices exactly the effects the paper's optimizations exploit (the
+    reproduction substitutes this simulator for the PA-8000
+    measurements — see DESIGN.md):
+
+    - ALU/immediate operations: 1 cycle; multiply 3; divide 12;
+    - loads/stores: 2 cycles (flat data memory; the locality effects
+      the paper leverages are in the *instruction* stream);
+    - branches: 1 cycle, +[taken_branch_penalty] when taken — what
+      profile-guided block positioning saves;
+    - calls/returns: [call_cycles]/[ret_cycles] for the control
+      transfer and hardware link stack; the callee's
+      prologue/epilogue instructions are explicit code and price
+      themselves — what inlining saves;
+    - instruction fetch through a direct-mapped i-cache
+      ([icache_bytes], [line_bytes], [miss_cycles]) — what both block
+      positioning and routine clustering save;
+    - [Sys] (runtime services): a fixed, deliberately expensive cost
+      so optimization cannot "win" by perturbing I/O.
+
+    All numbers live here so experiments can ablate them. *)
+
+type t = {
+  alu_cycles : int;
+  mul_cycles : int;
+  div_cycles : int;
+  mem_cycles : int;
+  load_use_stall : int;
+      (** Extra cycles when an instruction consumes the result of the
+          immediately preceding load — the pipeline hazard the LLO
+          list scheduler exists to hide. *)
+  taken_branch_penalty : int;
+  call_cycles : int;
+  ret_cycles : int;
+  sys_cycles : int;
+  icache_bytes : int;
+  line_bytes : int;
+  miss_cycles : int;
+  dcache_bytes : int;
+  dcache_line_bytes : int;
+  dcache_miss_cycles : int;
+      (** The data cache prices data locality (the paper's section
+          4.4 note that "memory system implementations increasingly
+          reward memory access locality"); set [dcache_miss_cycles]
+          to 0 to disable. *)
+}
+
+val default : t
+(** 16 KB direct-mapped i-cache, 32-byte lines, 20-cycle miss. *)
+
+val no_icache : t
+(** [default] with a zero i-cache miss penalty — ablation for layout
+    experiments. *)
+
+val no_dcache : t
+(** [default] with a zero d-cache miss penalty. *)
+
+val no_stall : t
+(** [default] with a zero load-use stall — ablation for the
+    scheduler. *)
+
+val op_cycles : t -> Cmo_il.Instr.binop -> int

@@ -1,0 +1,43 @@
+module Mach = Cmo_llo.Mach
+type t = {
+  lines : int array;  (* tag per line; -1 = invalid *)
+  num_lines : int;
+  instrs_per_line : int;
+  mutable accesses : int;
+  mutable misses : int;
+}
+
+let create_custom ~total_bytes ~line_bytes ~item_bytes =
+  let num_lines = max 1 (total_bytes / line_bytes) in
+  {
+    lines = Array.make num_lines (-1);
+    num_lines;
+    instrs_per_line = max 1 (line_bytes / item_bytes);
+    accesses = 0;
+    misses = 0;
+  }
+
+let create (cm : Costmodel.t) =
+  create_custom ~total_bytes:cm.Costmodel.icache_bytes
+    ~line_bytes:cm.Costmodel.line_bytes ~item_bytes:Mach.instr_bytes
+
+let fetch t addr =
+  t.accesses <- t.accesses + 1;
+  let line_no = addr / t.instrs_per_line in
+  let index = line_no mod t.num_lines in
+  let tag = line_no / t.num_lines in
+  if t.lines.(index) = tag then true
+  else begin
+    t.lines.(index) <- tag;
+    t.misses <- t.misses + 1;
+    false
+  end
+
+let accesses t = t.accesses
+
+let misses t = t.misses
+
+let reset t =
+  Array.fill t.lines 0 t.num_lines (-1);
+  t.accesses <- 0;
+  t.misses <- 0

@@ -1,0 +1,28 @@
+(** Direct-mapped instruction cache simulator.
+
+    Code addresses are instruction indices; each instruction occupies
+    {!Mach.instr_bytes} bytes of code space.  A fetch hits when the
+    line holding the instruction's byte address carries the right tag.
+    This is what makes code placement (block positioning within a
+    routine, routine clustering across the image) measurable. *)
+
+module Mach := Cmo_llo.Mach
+
+
+type t
+
+val create : Costmodel.t -> t
+(** The instruction cache of the model. *)
+
+val create_custom : total_bytes:int -> line_bytes:int -> item_bytes:int -> t
+(** A direct-mapped cache over any address space; [item_bytes] is the
+    size of one addressable unit (4 for instructions, 8 for data
+    cells).  Used for the data-cache model too. *)
+
+val fetch : t -> int -> bool
+(** [fetch t addr] simulates fetching the instruction at address
+    [addr]; returns [true] on a hit (and updates the cache). *)
+
+val accesses : t -> int
+val misses : t -> int
+val reset : t -> unit

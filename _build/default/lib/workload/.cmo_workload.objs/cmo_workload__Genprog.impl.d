@@ -1,0 +1,1 @@
+lib/workload/genprog.ml: Array Buffer Cmo_support Float Int64 List Option Printf String

@@ -1,0 +1,344 @@
+module Prng = Cmo_support.Prng
+
+type config = {
+  name : string;
+  seed : int;
+  modules : int;
+  hot_modules : int;
+  funcs_per_module : int * int;
+  hot_weight : int;
+  main_iters : int;
+  leaf_iters : int * int;
+  tiny_leaf_percent : int;
+}
+
+let scale c f =
+  let modules = max 2 (int_of_float (Float.round (float_of_int c.modules *. f))) in
+  let hot_modules =
+    max 1
+      (int_of_float
+         (Float.round (float_of_int c.hot_modules *. float_of_int modules
+                       /. float_of_int c.modules)))
+  in
+  { c with modules; hot_modules = min hot_modules modules }
+
+let module_name i = Printf.sprintf "m%03d" i
+
+let entry_name i = Printf.sprintf "m%03d_f0" i
+
+let func_name i j = Printf.sprintf "m%03d_f%d" i j
+
+let state_name i = Printf.sprintf "state_m%03d" i
+
+(* --- function body generators ------------------------------------- *)
+
+type kind = Entry | Tiny | Loop | Rec | Comb
+
+type ctx = {
+  mutable rng : Prng.t;
+  cfg : config;
+  buf : Buffer.t;
+  mutable kinds : kind array;  (* current module's function plan *)
+  mutable cur_module : int;
+}
+
+let line ctx fmt = Printf.ksprintf (fun s -> Buffer.add_string ctx.buf s; Buffer.add_char ctx.buf '\n') fmt
+
+let is_hot cfg i = i < cfg.hot_modules
+
+(* Cross-module calls are layered: each temperature region is split
+   into four bands and a module only calls entries in the next band.
+   This keeps the graph acyclic AND bounds the dynamic call-tree
+   depth at four cross-module hops regardless of program size — per-
+   iteration work must not grow with the module count, or scaling the
+   program (Figure 4) would also scale its run time. *)
+let bands = 4
+
+let region_of cfg i =
+  if is_hot cfg i then (0, cfg.hot_modules) else (cfg.hot_modules, cfg.modules - cfg.hot_modules)
+
+let callee_module ctx i =
+  let cfg = ctx.cfg in
+  let start, size = region_of cfg i in
+  let pos = i - start in
+  let band = bands * pos / max 1 size in
+  if band >= bands - 1 then None
+  else begin
+    let lo = start + (size * (band + 1) / bands) in
+    let hi = start + (size * (band + 2) / bands) - 1 in
+    let lo = max lo (i + 1) in
+    if lo > hi then None else Some (Prng.int_in ctx.rng lo hi)
+  end
+
+(* A leaf (non-calling) helper of the current module with index > j,
+   if any; used for hot call loops, which must not amplify through
+   further calls. *)
+let leaf_after ctx j =
+  let tiny = ref [] in
+  let loops = ref [] in
+  Array.iteri
+    (fun idx k ->
+      match k with
+      | Tiny when idx > j -> tiny := idx :: !tiny
+      | Loop when idx > j -> loops := idx :: !loops
+      | Tiny | Loop | Entry | Rec | Comb -> ())
+    ctx.kinds;
+  (* Prefer tiny leaves: a call whose callee does almost no work is
+     pure call overhead, the inliner's best case. *)
+  match (!tiny, !loops) with
+  | [], [] -> None
+  | (_ :: _ as l), _ | [], l ->
+    Some (func_name ctx.cur_module (Prng.choose ctx.rng (Array.of_list l)))
+
+(* Non-entry helpers are [static] about a third of the time: they get
+   Local linkage, making them fair game for interprocedural constant
+   propagation and dead-static removal once the inliner swallows their
+   bodies. *)
+let func_kw ctx = if Prng.chance ctx.rng 0.35 then "static func" else "func"
+
+let tiny_leaf ctx i j =
+  let a = Prng.choose ctx.rng [| 2; 3; 5; 7; 8; 9; 11 |] in
+  let b = Prng.int_in ctx.rng 1 63 in
+  line ctx "%s %s(x, seed) {" (func_kw ctx) (func_name i j);
+  if Prng.chance ctx.rng 0.3 then
+    (* Constant-index read of the static table: IPA folds this. *)
+    line ctx "  return (x * %d + seed + tbl[%d]) & 65535;" a
+      (Prng.int_in ctx.rng 0 15)
+  else line ctx "  return (x * %d + seed + %d) & 65535;" a b;
+  line ctx "}"
+
+let loop_leaf ctx i j =
+  let lo, hi = ctx.cfg.leaf_iters in
+  let iters = Prng.int_in ctx.rng lo hi in
+  let mult = Prng.choose ctx.rng [| 2; 3; 4; 5; 7; 8 |] in
+  let use_for = Prng.chance ctx.rng 0.5 in
+  line ctx "%s %s(x, seed) {" (func_kw ctx) (func_name i j);
+  line ctx "  var acc = seed & 1048575;";
+  if use_for then line ctx "  for (var k = 0; k < %d; k = k + 1) {" iters
+  else begin
+    line ctx "  var k = 0;";
+    line ctx "  while (k < %d) {" iters
+  end;
+  line ctx "    acc = (acc + tbl[k & 15] * (x + k) * %d) & 1048575;" mult;
+  (* A heavily biased branch: taken 7 of 8 iterations. *)
+  line ctx "    if ((k & 7) != 7) { acc = acc + 1; } else { acc = (acc * 3) & 1048575; }";
+  if not use_for then line ctx "    k = k + 1;";
+  line ctx "  }";
+  line ctx "  return acc;";
+  line ctx "}"
+
+(* Depth is bounded by masking the control argument, so the deepest
+   chain is ~64 frames regardless of caller values. *)
+let rec_leaf ctx i j =
+  line ctx "%s %s(x, seed) {" (func_kw ctx) (func_name i j);
+  line ctx "  var m = x & 127;";
+  line ctx "  if (m <= 1) { return seed & 65535; }";
+  line ctx "  return (%s(m - 2, seed + m) + m) & 65535;" (func_name i j);
+  line ctx "}"
+
+(* Helper call targets available to function j of module i: own
+   helpers with a larger index, or the entry of a later same-
+   temperature module. *)
+let pick_callee ctx i j nfuncs =
+  let local =
+    if j + 1 <= nfuncs - 1 then Some (func_name i (Prng.int_in ctx.rng (j + 1) (nfuncs - 1)))
+    else None
+  in
+  let remote = Option.map entry_name (callee_module ctx i) in
+  match (local, remote) with
+  | Some l, Some r -> Some (if Prng.chance ctx.rng 0.55 then l else r)
+  | Some l, None -> Some l
+  | None, Some r -> Some r
+  | None, None -> None
+
+let combinator ctx i j nfuncs =
+  line ctx "%s %s(x, seed) {" (func_kw ctx) (func_name i j);
+  let c1 = Prng.int_in ctx.rng 0 31 in
+  (match pick_callee ctx i j nfuncs with
+  | Some callee -> line ctx "  var a = %s((x + %d) & 4095, seed & 65535);" callee c1
+  | None -> line ctx "  var a = (x * 17 + seed + %d) & 65535;" c1);
+  (* Hot regions are call-dense: combinators drive a *leaf* helper
+     from a small loop, concentrating execution and call-site counts
+     in the hot code — the structure aggressive inlining feeds on.
+     Only leaves go in the loop: a combinator or remote entry here
+     would multiply the call-tree fan-out at every level and make
+     per-iteration work explode with program size. *)
+  (if is_hot ctx.cfg i then
+     match leaf_after ctx j with
+     | Some callee ->
+       let fan = Prng.int_in ctx.rng 4 7 in
+       line ctx "  var k = 0;";
+       line ctx "  while (k < %d) {" fan;
+       line ctx "    a = (a + %s((x + k) & 4095, a & 65535)) & 1048575;" callee;
+       line ctx "    k = k + 1;";
+       line ctx "  }"
+     | None -> ());
+  (match pick_callee ctx i j nfuncs with
+  | Some callee ->
+    (* Sometimes pass a literal constant: cloning / IPA fodder. *)
+    if Prng.chance ctx.rng 0.4 then
+      line ctx "  var b = %s(a & 255, %d);" callee (Prng.int_in ctx.rng 1 7)
+    else line ctx "  var b = %s(a & 255, (seed + %d) & 65535);" callee c1
+  | None -> line ctx "  var b = (a * 3 + x) & 65535;");
+  (* Biased branch: the else is the rare path. *)
+  line ctx "  if ((x & 15) != 15) {";
+  line ctx "    a = (a + b) & 1048575;";
+  line ctx "  } else {";
+  line ctx "    a = (a * b + tbl[x & 15]) & 1048575;";
+  line ctx "    %s[(x + a) & 63] = a;" (state_name i);
+  line ctx "  }";
+  line ctx "  %s[x & 63] = (a + %s[(x + 1) & 63]) & 1048575;" (state_name i) (state_name i);
+  line ctx "  return (a + b) & 1048575;";
+  line ctx "}"
+
+let entry_func ctx i nfuncs =
+  line ctx "func %s(x, seed) {" (entry_name i);
+  line ctx "  var acc = (x + seed) & 65535;";
+  let ncalls = Prng.int_in ctx.rng 2 3 in
+  for k = 1 to ncalls do
+    match pick_callee ctx i 0 nfuncs with
+    | Some callee ->
+      line ctx "  acc = (acc + %s((x + %d) & 4095, acc)) & 1048575;" callee (k * 13)
+    | None -> line ctx "  acc = (acc * 29 + %d) & 1048575;" (k * 7)
+  done;
+  line ctx "  %s[x & 63] = acc;" (state_name i);
+  line ctx "  return acc;";
+  line ctx "}"
+
+let gen_module ctx i =
+  let cfg = ctx.cfg in
+  Buffer.clear ctx.buf;
+  let lo, hi = cfg.funcs_per_module in
+  let nfuncs = Prng.int_in ctx.rng (max 2 lo) (max 2 hi) in
+  (* Plan the module's function kinds first so combinators can aim
+     their hot call loops at leaves. *)
+  let kinds =
+    Array.init nfuncs (fun j ->
+        if j = 0 then Entry
+        else begin
+          let tiny = Prng.int ctx.rng 100 < cfg.tiny_leaf_percent in
+          let is_last = j = nfuncs - 1 in
+          if is_last || tiny then
+            if Prng.chance ctx.rng 0.08 then Rec
+            else if tiny then Tiny
+            else Loop
+          else if Prng.chance ctx.rng 0.45 then Comb
+          else if Prng.chance ctx.rng 0.5 then Loop
+          else Tiny
+        end)
+  in
+  ctx.kinds <- kinds;
+  ctx.cur_module <- i;
+  line ctx "// synthetic module %s (%s)" (module_name i)
+    (if is_hot cfg i then "hot" else "cold");
+  (* Constant table: static, never stored, so IPA can fold loads at
+     immediate indices. *)
+  let consts = List.init 16 (fun k -> string_of_int (3 + (k * k * 7 mod 91))) in
+  line ctx "static global tbl[16] = {%s};" (String.concat ", " consts);
+  line ctx "global %s[64];" (state_name i);
+  entry_func ctx i nfuncs;
+  Array.iteri
+    (fun j kind ->
+      match kind with
+      | Entry -> ()
+      | Tiny -> tiny_leaf ctx i j
+      | Loop -> loop_leaf ctx i j
+      | Rec -> rec_leaf ctx i j
+      | Comb -> combinator ctx i j nfuncs)
+    kinds;
+  (module_name i, Buffer.contents ctx.buf)
+
+(* --- main module --------------------------------------------------- *)
+
+let gen_main ctx =
+  let cfg = ctx.cfg in
+  Buffer.clear ctx.buf;
+  line ctx "// dispatcher for %s" cfg.name;
+  (* Observability: read a couple of hot state arrays at the end. *)
+  line ctx "extern global %s[64];" (state_name 0);
+  if cfg.hot_modules > 1 then line ctx "extern global %s[64];" (state_name 1);
+  line ctx "func main() {";
+  line ctx "  var n = arg(0);";
+  line ctx "  if (n <= 0) { n = %d; }" cfg.main_iters;
+  line ctx "  var mix = arg(1) & 127;";
+  line ctx "  var s = 0;";
+  line ctx "  var i = 0;";
+  line ctx "  while (i < n) {";
+  line ctx "    var r = ((i * 1103515245 + mix * 12345) >> 5) & 127;";
+  (* Hot entries split the hot mass zipf-style; cold entries split the
+     rest round-robin over the first few cold modules. *)
+  let hot_mass = cfg.hot_weight * 128 / 100 in
+  let hot_entries = min cfg.hot_modules 4 in
+  let cold_entries = min (cfg.modules - cfg.hot_modules) 3 in
+  let threshold = ref 0 in
+  let remaining = ref hot_mass in
+  for k = 0 to hot_entries - 1 do
+    let share = if k = hot_entries - 1 then !remaining else (!remaining + 1) / 2 in
+    threshold := !threshold + share;
+    remaining := !remaining - share;
+    let kw = if k = 0 then "if" else "} else if" in
+    line ctx "    %s (r < %d) {" kw !threshold;
+    line ctx "      s = (s + %s(i & 4095, s & 65535)) & 1048575;" (entry_name k)
+  done;
+  if cold_entries > 0 then begin
+    let cold_mass = 128 - !threshold in
+    for k = 0 to cold_entries - 1 do
+      let share = cold_mass * (k + 1) / cold_entries + !threshold in
+      let mod_idx = cfg.hot_modules + k in
+      if k = cold_entries - 1 then line ctx "    } else {"
+      else line ctx "    } else if (r < %d) {" share;
+      line ctx "      s = (s + %s(i & 63, s & 255)) & 1048575;" (entry_name mod_idx)
+    done;
+    line ctx "    }"
+  end
+  else line ctx "    }";
+  line ctx "    i = i + 1;";
+  line ctx "  }";
+  line ctx "  print(s);";
+  line ctx "  print(%s[1]);" (state_name 0);
+  if cfg.hot_modules > 1 then line ctx "  print(%s[2]);" (state_name 1);
+  line ctx "  return s;";
+  line ctx "}";
+  ("main_mod", Buffer.contents ctx.buf)
+
+(* Each module draws from its own generator, derived from (seed,
+   module index): module i's source is a function of the seed and i
+   alone, so the program can evolve module-locally (a changed module
+   does not perturb its neighbours) — the substrate of the
+   stale-profile experiment. *)
+let module_rng seed i = Prng.create ((seed * 1_000_003) + (i * 7919) + 17)
+
+let generate_with cfg ~module_seed =
+  assert (cfg.modules >= 2);
+  assert (cfg.hot_modules >= 1 && cfg.hot_modules <= cfg.modules);
+  let ctx =
+    { rng = Prng.create cfg.seed; cfg; buf = Buffer.create 4096;
+      kinds = [||]; cur_module = 0 }
+  in
+  let mods =
+    List.init cfg.modules (fun i ->
+        ctx.rng <- module_rng (module_seed i) i;
+        gen_module ctx i)
+  in
+  ctx.rng <- module_rng cfg.seed (-1);
+  let main = gen_main ctx in
+  main :: mods
+
+let generate cfg = generate_with cfg ~module_seed:(fun _ -> cfg.seed)
+
+let evolve cfg ~changed ~evolution =
+  generate_with cfg
+    ~module_seed:(fun i ->
+      if List.mem i changed then cfg.seed + ((evolution + 1) * 7_654_321)
+      else cfg.seed)
+
+let source_lines sources =
+  List.fold_left
+    (fun acc (_, text) ->
+      acc + List.length (String.split_on_char '\n' text))
+    0 sources
+
+let training_input cfg =
+  [| Int64.of_int (max 50 (cfg.main_iters / 5)); 17L |]
+
+let reference_input cfg = [| Int64.of_int cfg.main_iters; 23L |]

@@ -1,0 +1,66 @@
+(** Synthetic MiniC program generator.
+
+    Stands in for the paper's SPECint95 sources and the Mcad1/2/3
+    ISV applications (multi-million-line proprietary code we cannot
+    ship).  The experiments don't need those exact programs — they
+    need programs with the properties the paper's techniques exploit,
+    which the generator produces by construction:
+
+    - many separately-compiled modules with cross-module call chains
+      (module [i]'s routines call into modules [j > i], so the call
+      graph is acyclic across modules, plus a sprinkling of genuine
+      recursion inside modules);
+    - a dispatcher [main] whose iteration mix makes a small set of
+      "hot" modules carry almost all execution (configurable split),
+      giving the skewed call-site profile selectivity relies on;
+    - inline fodder (tiny arithmetic leaves called from hot loops),
+      constant arguments at hot sites (cloning/IPA fodder), [static]
+      constant tables (interprocedural constant propagation fodder),
+      and biased branches (block-positioning fodder);
+    - module-private state arrays and cross-module [extern] globals.
+
+    Everything is deterministic in [seed].  All array indices are
+    masked with power-of-two sizes, so generated programs never trap;
+    [main] reads [arg 0] (iteration count) and [arg 1] (path-mix
+    perturbation), which is how training and reference data sets
+    differ. *)
+
+type config = {
+  name : string;
+  seed : int;
+  modules : int;  (** Excluding the main module. *)
+  hot_modules : int;  (** Leading modules forming the hot region. *)
+  funcs_per_module : int * int;  (** Inclusive range. *)
+  hot_weight : int;
+      (** Percent of dispatcher iterations entering hot modules. *)
+  main_iters : int;  (** Default dispatcher trip count. *)
+  leaf_iters : int * int;  (** Work-loop range inside loop leaves. *)
+  tiny_leaf_percent : int;  (** Chance a leaf is an inline candidate. *)
+}
+
+val generate : config -> (string * string) list
+(** [(module name, MiniC source)] pairs, main module first.  Each
+    module's source is a function of [(seed, module index)] alone, so
+    programs can evolve module-locally. *)
+
+val evolve : config -> changed:int list -> evolution:int -> (string * string) list
+(** The same program after "development": the modules whose indices
+    are listed in [changed] are regenerated from a different stream
+    (same entry-point interface, different bodies and call sites),
+    everything else byte-identical.  [evolution] distinguishes
+    successive rounds of change.  Used to study stale-profile decay
+    (paper section 6.2). *)
+
+val source_lines : (string * string) list -> int
+(** Total newline-counted source lines. *)
+
+val training_input : config -> int64 array
+(** Smaller trip count, training path mix. *)
+
+val reference_input : config -> int64 array
+(** Full trip count, a (configurably) different path mix. *)
+
+val scale : config -> float -> config
+(** [scale c f] multiplies the module count by [f] (at least 1
+    module), keeping proportions — used for the memory-growth sweeps
+    of Figure 4. *)

@@ -1,0 +1,53 @@
+let mk name ~seed ~modules ~hot ~funcs ~weight ~iters ~leaf ~tiny =
+  ( name,
+    {
+      Genprog.name;
+      seed;
+      modules;
+      hot_modules = hot;
+      funcs_per_module = funcs;
+      hot_weight = weight;
+      main_iters = iters;
+      leaf_iters = leaf;
+      tiny_leaf_percent = tiny;
+    } )
+
+(* Personalities: branchy (go), kernel-dominated (compress, ijpeg),
+   call-heavy with small functions (li), large and flat (gcc, vortex,
+   perl).  Seeds fixed for reproducibility. *)
+let spec =
+  [
+    mk "go" ~seed:101 ~modules:12 ~hot:3 ~funcs:(8, 14) ~weight:80 ~iters:3000
+      ~leaf:(8, 20) ~tiny:25;
+    mk "m88ksim" ~seed:102 ~modules:10 ~hot:2 ~funcs:(6, 12) ~weight:90
+      ~iters:4000 ~leaf:(10, 24) ~tiny:35;
+    mk "gcc" ~seed:103 ~modules:60 ~hot:10 ~funcs:(10, 18) ~weight:75
+      ~iters:2500 ~leaf:(6, 16) ~tiny:30;
+    (* compress is loop-dominated, not call-dominated: long work
+       loops, few tiny leaves, so inlining has little to remove --
+       matching its small gain in the paper. *)
+    mk "compress" ~seed:104 ~modules:4 ~hot:1 ~funcs:(4, 6) ~weight:95
+      ~iters:2500 ~leaf:(40, 80) ~tiny:8;
+    mk "li" ~seed:105 ~modules:8 ~hot:2 ~funcs:(6, 12) ~weight:88 ~iters:5000
+      ~leaf:(6, 14) ~tiny:45;
+    mk "ijpeg" ~seed:106 ~modules:9 ~hot:2 ~funcs:(8, 14) ~weight:92
+      ~iters:4000 ~leaf:(16, 36) ~tiny:30;
+    mk "perl" ~seed:107 ~modules:25 ~hot:5 ~funcs:(8, 16) ~weight:82
+      ~iters:3000 ~leaf:(6, 16) ~tiny:35;
+    mk "vortex" ~seed:108 ~modules:30 ~hot:6 ~funcs:(8, 16) ~weight:85
+      ~iters:3000 ~leaf:(8, 18) ~tiny:30;
+  ]
+
+let mcad =
+  [
+    mk "mcad1" ~seed:201 ~modules:220 ~hot:40 ~funcs:(10, 18) ~weight:85
+      ~iters:1500 ~leaf:(8, 18) ~tiny:30;
+    mk "mcad2" ~seed:202 ~modules:160 ~hot:30 ~funcs:(10, 18) ~weight:85
+      ~iters:1500 ~leaf:(8, 18) ~tiny:30;
+    mk "mcad3" ~seed:203 ~modules:280 ~hot:50 ~funcs:(10, 18) ~weight:85
+      ~iters:1200 ~leaf:(8, 18) ~tiny:30;
+  ]
+
+let all = spec @ mcad
+
+let find name = List.assoc name all

@@ -1,0 +1,23 @@
+(** The benchmark suite: personalities standing in for the paper's
+    evaluation programs.
+
+    Eight SPECint95-flavoured personalities and three MCAD-flavoured
+    ISV application personalities (Figure 1's x-axis).  The absolute
+    sizes are scaled down from the paper's (which ranged from ~10K to
+    9M source lines) to keep the harness runnable in minutes; the
+    *relative* proportions are preserved: the MCAD personalities are
+    one to two orders of magnitude larger than the SPEC ones, with a
+    small hot region inside a large cold mass, while SPEC personalities
+    concentrate execution in a handful of modules. *)
+
+val spec : (string * Genprog.config) list
+(** go, m88ksim, gcc, compress, li, ijpeg, perl, vortex. *)
+
+val mcad : (string * Genprog.config) list
+(** mcad1, mcad2, mcad3. *)
+
+val all : (string * Genprog.config) list
+(** [spec @ mcad], Figure 1 order. *)
+
+val find : string -> Genprog.config
+(** @raise Not_found for an unknown benchmark name. *)

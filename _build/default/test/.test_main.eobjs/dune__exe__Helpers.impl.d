@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Cmo_frontend Cmo_il Format Int64 List

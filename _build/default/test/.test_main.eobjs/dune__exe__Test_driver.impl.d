@@ -1,0 +1,1 @@
+test/test_driver.ml: Alcotest Array Cmo_driver Cmo_hlo Cmo_il Cmo_link Cmo_profile Cmo_vm Filename Fun List Printf String Sys

@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Cmo_frontend Cmo_hlo Cmo_il Helpers List Option

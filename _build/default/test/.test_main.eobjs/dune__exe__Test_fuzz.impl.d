@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Cmo_driver Cmo_frontend Cmo_hlo Cmo_il Cmo_link Cmo_llo Cmo_naim Cmo_profile Cmo_support Cmo_vm Cmo_workload Gen Hashtbl Int64 List Printf QCheck QCheck_alcotest String

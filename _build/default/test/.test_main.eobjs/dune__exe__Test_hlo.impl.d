@@ -1,0 +1,1 @@
+test/test_hlo.ml: Alcotest Cmo_hlo Cmo_il Cmo_naim Cmo_profile Helpers List Option Printf String

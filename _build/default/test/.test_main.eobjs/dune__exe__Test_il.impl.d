@@ -1,0 +1,1 @@
+test/test_il.ml: Alcotest Cmo_il Cmo_support Hashtbl Helpers List Printf String

@@ -1,0 +1,1 @@
+test/test_link.ml: Alcotest Array Cmo_il Cmo_link Cmo_llo Cmo_support Cmo_vm Filename Format Fun Helpers List Sys

@@ -1,0 +1,1 @@
+test/test_llo.ml: Alcotest Array Cmo_il Cmo_link Cmo_llo Cmo_profile Cmo_vm Format Helpers Int64 List Option Printf String

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_driver Test_frontend Test_fuzz Test_hlo Test_il Test_link Test_llo Test_misc Test_naim Test_profile Test_support Test_workload

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Cmo_driver Cmo_il Cmo_link Cmo_llo Cmo_naim Cmo_profile Cmo_vm Format Helpers List String

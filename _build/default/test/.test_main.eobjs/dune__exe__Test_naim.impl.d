@@ -1,0 +1,1 @@
+test/test_naim.ml: Alcotest Cmo_il Cmo_naim Filename Fun Helpers Int64 List Printf String Sys

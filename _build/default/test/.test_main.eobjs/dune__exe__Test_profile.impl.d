@@ -1,0 +1,1 @@
+test/test_profile.ml: Alcotest Cmo_il Cmo_profile Filename Fun Helpers List Option Sys

@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Array Cmo_support Fun Int64 List QCheck QCheck_alcotest String

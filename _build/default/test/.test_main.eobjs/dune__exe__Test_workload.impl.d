@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Cmo_driver Cmo_il Cmo_profile Cmo_vm Cmo_workload List Printf String

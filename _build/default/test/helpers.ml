@@ -1,0 +1,53 @@
+(* Shared helpers for the test suites: MiniC snippets, tiny IL
+   builders, and outcome comparison. *)
+
+module Instr = Cmo_il.Instr
+module Func = Cmo_il.Func
+module Ilmod = Cmo_il.Ilmod
+module Interp = Cmo_il.Interp
+
+let compile ?(name = "test") source =
+  Cmo_frontend.Frontend.compile_exn ~module_name:name source
+
+let compile_all sources =
+  List.map (fun (name, src) -> compile ~name src) sources
+
+let run ?input modules = Interp.run ?input modules
+
+let run_main ?input source = run ?input [ compile source ]
+
+(* A function [name(a, b) = a*2 + b] built directly in IL. *)
+let make_linear_func ?(linkage = Func.Exported) name =
+  let f = Func.create ~name ~arity:2 ~linkage in
+  let t1 = Func.new_reg f in
+  let t2 = Func.new_reg f in
+  let b =
+    Func.add_block f
+      [
+        Instr.Binop (Instr.Mul, t1, Instr.Reg 0, Instr.Imm 2L);
+        Instr.Binop (Instr.Add, t2, Instr.Reg t1, Instr.Reg 1);
+      ]
+      (Instr.Ret (Some (Instr.Reg t2)))
+  in
+  f.Func.entry <- b.Func.label;
+  f.Func.src_lines <- 3;
+  f
+
+let outcome_testable =
+  let pp ppf (o : Interp.outcome) =
+    Format.fprintf ppf "ret=%Ld output=[%a]" o.Interp.ret
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+         (fun ppf v -> Format.fprintf ppf "%Ld" v))
+      o.Interp.output
+  in
+  let eq (a : Interp.outcome) (b : Interp.outcome) =
+    Int64.equal a.Interp.ret b.Interp.ret && a.Interp.output = b.Interp.output
+  in
+  Alcotest.testable pp eq
+
+(* Check two program variants have identical observable behaviour. *)
+let check_same_behaviour ?input msg modules_a modules_b =
+  let a = run ?input modules_a in
+  let b = run ?input modules_b in
+  Alcotest.check outcome_testable msg a b

@@ -1,0 +1,420 @@
+(* Randomized differential testing.
+
+   Three layers:
+   - random arithmetic programs: expression trees rendered to MiniC,
+     compiled through the full backend, executed on the VM, compared
+     against the reference interpreter;
+   - random whole programs: workload-generator output over random
+     seeds, compiled at +O4 +P (the most aggressive configuration) and
+     compared against the interpreter;
+   - random loader traffic: arbitrary acquire/release/mutate/unload
+     sequences against the NAIM loader, checking the accounting and
+     the code's integrity afterwards. *)
+
+module Interp = Cmo_il.Interp
+module Func = Cmo_il.Func
+module Ilmod = Cmo_il.Ilmod
+module Options = Cmo_driver.Options
+module Pipeline = Cmo_driver.Pipeline
+module Genprog = Cmo_workload.Genprog
+module Vm = Cmo_vm.Vm
+module Loader = Cmo_naim.Loader
+module Memstats = Cmo_naim.Memstats
+
+(* ---------- random expressions ---------- *)
+
+(* A QCheck generator of MiniC expression strings over variables
+   a, b, c and bounded constants.  Division and shifts are included
+   deliberately: their edge cases (zero, negatives, large shift
+   amounts) are where IL, interpreter and VM must agree exactly. *)
+let gen_expr =
+  let open QCheck.Gen in
+  let var = oneofl [ "a"; "b"; "c" ] in
+  let const = map Int64.to_string (map Int64.of_int (int_range (-100) 100)) in
+  let rec expr n =
+    if n = 0 then oneof [ var; const ]
+    else
+      frequency
+        [
+          (2, var);
+          (1, const);
+          ( 6,
+            let* op =
+              oneofl
+                [ "+"; "-"; "*"; "/"; "%"; "&"; "|"; "^"; "<<"; ">>";
+                  "=="; "!="; "<"; "<="; ">"; ">="; "&&"; "||" ]
+            in
+            let* l = expr (n - 1) in
+            let* r = expr (n - 1) in
+            return (Printf.sprintf "(%s %s %s)" l op r) );
+          ( 1,
+            let* e = expr (n - 1) in
+            return (Printf.sprintf "(-%s)" e) );
+          ( 1,
+            let* e = expr (n - 1) in
+            return (Printf.sprintf "(!%s)" e) );
+        ]
+  in
+  expr 4
+
+let arbitrary_expr_program =
+  QCheck.make
+    ~print:(fun (e, a, b, c) -> Printf.sprintf "%s with a=%Ld b=%Ld c=%Ld" e a b c)
+    QCheck.Gen.(
+      let* e = gen_expr in
+      let* a = map Int64.of_int (int_range (-1000) 1000) in
+      let* b = map Int64.of_int (int_range (-1000) 1000) in
+      let* c = map Int64.of_int (int_range (-1000) 1000) in
+      return (e, a, b, c))
+
+let compile_and_both_run src input =
+  let modules = [ Cmo_frontend.Frontend.compile_exn ~module_name:"fz" src ] in
+  let expected = Interp.run ~input modules in
+  let build = Pipeline.compile_modules Options.o2 modules in
+  let actual = Pipeline.run ~input build in
+  (expected, actual)
+
+let fuzz_expressions =
+  QCheck.Test.make ~name:"random expressions: VM = interpreter" ~count:150
+    arbitrary_expr_program (fun (e, a, b, c) ->
+      let src =
+        Printf.sprintf
+          "func main() { var a = arg(0); var b = arg(1); var c = arg(2); return %s; }"
+          e
+      in
+      let expected, actual = compile_and_both_run src [| a; b; c |] in
+      Int64.equal expected.Interp.ret actual.Vm.ret)
+
+(* The same expressions must also survive the full optimizer: compare
+   +O1 (no scalar optimization) against +O2 (full pipeline) on the VM. *)
+let fuzz_expressions_optimized =
+  QCheck.Test.make ~name:"random expressions: O2 = O1" ~count:100
+    arbitrary_expr_program (fun (e, a, b, c) ->
+      let src =
+        Printf.sprintf
+          "func main() { var a = arg(0); var b = arg(1); var c = arg(2); return %s; }"
+          e
+      in
+      let input = [| a; b; c |] in
+      let run options =
+        let modules = [ Cmo_frontend.Frontend.compile_exn ~module_name:"fz" src ] in
+        (Pipeline.run ~input (Pipeline.compile_modules options modules)).Vm.ret
+      in
+      Int64.equal (run Options.o1) (run Options.o2))
+
+(* ---------- random whole programs ---------- *)
+
+let config_of_seed seed =
+  {
+    Genprog.name = "fuzz";
+    seed;
+    modules = 4 + (seed mod 5);
+    hot_modules = 1 + (seed mod 2);
+    funcs_per_module = (3, 7);
+    hot_weight = 80 + (seed mod 15);
+    main_iters = 120;
+    leaf_iters = (3, 8);
+    tiny_leaf_percent = 20 + (seed mod 40);
+  }
+
+let fuzz_whole_programs =
+  QCheck.Test.make ~name:"random programs: O4+P behaves like the interpreter"
+    ~count:12
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_range 1 10_000))
+    (fun seed ->
+      let cfg = config_of_seed seed in
+      let sources =
+        List.map
+          (fun (name, text) -> { Pipeline.name; text })
+          (Genprog.generate cfg)
+      in
+      let input = Genprog.reference_input cfg in
+      let expected = Interp.run ~input (Pipeline.frontend sources) in
+      let db = Pipeline.train ~inputs:[ Genprog.training_input cfg ] sources in
+      let build = Pipeline.compile ~profile:db Options.o4_pbo sources in
+      let actual = Pipeline.run ~input build in
+      Int64.equal expected.Interp.ret actual.Vm.ret
+      && expected.Interp.output = actual.Vm.output)
+
+let fuzz_whole_programs_tiered =
+  QCheck.Test.make ~name:"random programs: tiered selective = interpreter"
+    ~count:8
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_range 1 10_000))
+    (fun seed ->
+      let cfg = config_of_seed seed in
+      let sources =
+        List.map
+          (fun (name, text) -> { Pipeline.name; text })
+          (Genprog.generate cfg)
+      in
+      let input = Genprog.reference_input cfg in
+      let expected = Interp.run ~input (Pipeline.frontend sources) in
+      let db = Pipeline.train ~inputs:[ Genprog.training_input cfg ] sources in
+      let build =
+        Pipeline.compile ~profile:db
+          (Options.o4_pbo_tiered (float_of_int (5 + (seed mod 30))))
+          sources
+      in
+      let actual = Pipeline.run ~input build in
+      Int64.equal expected.Interp.ret actual.Vm.ret
+      && expected.Interp.output = actual.Vm.output)
+
+(* ---------- per-pass differential on realistic modules ---------- *)
+
+(* Apply one scalar pass in isolation to every function of a
+   generated program and require unchanged behaviour — pinpointing a
+   faulty pass directly, where the whole-pipeline fuzz would only say
+   "something broke". *)
+let passes : (string * (Cmo_il.Func.t -> int)) list =
+  [
+    ("constprop", Cmo_hlo.Constprop.run);
+    ("copyprop", Cmo_hlo.Copyprop.run);
+    ("valnum", Cmo_hlo.Valnum.run);
+    ("dce", Cmo_hlo.Dce.run);
+    ("licm", Cmo_hlo.Licm.run);
+    ("unroll", fun f -> Cmo_hlo.Unroll.run f);
+    ("cfg", fun f -> if Cmo_hlo.Cfg.simplify f then 1 else 0);
+    ("layout", fun f -> if Cmo_llo.Layout.run f then 1 else 0);
+  ]
+
+let fuzz_single_pass =
+  QCheck.Test.make ~name:"random programs: each pass alone preserves behaviour"
+    ~count:16
+    (QCheck.make
+       ~print:(fun (seed, p) -> Printf.sprintf "seed %d, pass %s" seed (fst (List.nth passes p)))
+       QCheck.Gen.(
+         let* seed = int_range 1 10_000 in
+         let* p = int_range 0 (List.length passes - 1) in
+         return (seed, p)))
+    (fun (seed, p) ->
+      let pass_name, pass = List.nth passes p in
+      ignore pass_name;
+      let cfg = config_of_seed seed in
+      let sources =
+        List.map
+          (fun (name, text) -> { Pipeline.name; text })
+          (Genprog.generate cfg)
+      in
+      let input = Genprog.reference_input cfg in
+      let baseline = Pipeline.frontend sources in
+      let transformed = Pipeline.frontend sources in
+      (* Annotate with a profile so layout has frequencies to chew on. *)
+      let db = Pipeline.train ~inputs:[ Genprog.training_input cfg ] sources in
+      ignore (Cmo_profile.Correlate.annotate db transformed);
+      List.iter
+        (fun (m : Ilmod.t) ->
+          List.iter (fun f -> ignore (pass f)) m.Ilmod.funcs)
+        transformed;
+      let expected = Interp.run ~input baseline in
+      let got = Interp.run ~input transformed in
+      Int64.equal expected.Interp.ret got.Interp.ret
+      && expected.Interp.output = got.Interp.output
+      && Cmo_il.Verify.check_program transformed = [])
+
+(* ---------- random loader traffic ---------- *)
+
+type loader_op = Acquire of int | Release | Mutate | Unload_all
+
+let arbitrary_ops =
+  let open QCheck.Gen in
+  let op =
+    frequency
+      [
+        (5, map (fun i -> Acquire i) (int_range 0 9));
+        (4, return Release);
+        (2, return Mutate);
+        (1, return Unload_all);
+      ]
+  in
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map
+           (function
+             | Acquire i -> Printf.sprintf "A%d" i
+             | Release -> "R"
+             | Mutate -> "M"
+             | Unload_all -> "U")
+           ops))
+    (list_size (int_range 5 60) op)
+
+(* A module with ten distinctive functions to push through the
+   loader. *)
+let fuzz_module () =
+  let m = Ilmod.create "fz" in
+  for i = 0 to 9 do
+    let f =
+      Func.create ~name:(Printf.sprintf "fz_f%d" i) ~arity:1
+        ~linkage:Func.Exported
+    in
+    let r = Func.new_reg f in
+    let b =
+      Func.add_block f
+        [ Cmo_il.Instr.Binop
+            (Cmo_il.Instr.Mul, r, Cmo_il.Instr.Reg 0,
+             Cmo_il.Instr.Imm (Int64.of_int (i + 2))) ]
+        (Cmo_il.Instr.Ret (Some (Cmo_il.Instr.Reg r)))
+    in
+    f.Func.entry <- b.Func.label;
+    f.Func.src_lines <- 2;
+    Ilmod.add_func m f
+  done;
+  m
+
+let fuzz_loader_traffic =
+  QCheck.Test.make ~name:"loader: random traffic keeps accounting sound"
+    ~count:60 arbitrary_ops (fun ops ->
+      let mem = Memstats.create () in
+      let loader =
+        Loader.create
+          { Loader.default_config with
+            Loader.machine_memory = 20_000;
+            forced_level = Some Loader.Offloading }
+          mem
+      in
+      Loader.register_module loader (fuzz_module ());
+      let pinned = ref [] in  (* stack of names we hold *)
+      let expected_growth = Hashtbl.create 4 in
+      List.iter
+        (fun op ->
+          match op with
+          | Acquire i ->
+            let name = Printf.sprintf "fz_f%d" i in
+            ignore (Loader.acquire loader name);
+            pinned := name :: !pinned
+          | Release -> (
+            match !pinned with
+            | name :: rest ->
+              Loader.release loader name;
+              pinned := rest
+            | [] -> ())
+          | Mutate -> (
+            match !pinned with
+            | name :: _ ->
+              let f = Loader.acquire loader name in
+              let r = Func.new_reg f in
+              ignore
+                (Func.add_block f
+                   [ Cmo_il.Instr.Move (r, Cmo_il.Instr.Imm 7L) ]
+                   (Cmo_il.Instr.Ret None));
+              Loader.update loader f;
+              Loader.release loader name;
+              Hashtbl.replace expected_growth name ()
+            | [] -> ())
+          | Unload_all -> Loader.unload_all loader)
+        ops;
+      (* Drain pins and unload everything. *)
+      List.iter (fun name -> Loader.release loader name) !pinned;
+      Loader.unload_all loader;
+      (* Accounting: no expanded IR left, nothing negative. *)
+      let sound =
+        Memstats.resident_of mem Memstats.Ir_expanded = 0
+        && Memstats.resident mem >= 0
+      in
+      (* Integrity: every function still decodes with the right name
+         and a sane block count. *)
+      let intact =
+        List.for_all
+          (fun name ->
+            Loader.with_func loader name (fun f ->
+                f.Func.name = name && List.length f.Func.blocks >= 1))
+          (Loader.func_names loader)
+      in
+      Loader.close loader;
+      sound && intact)
+
+(* ---------- structural properties ---------- *)
+
+let fuzz_cluster_permutation =
+  QCheck.Test.make ~name:"cluster: any weights produce a permutation" ~count:100
+    QCheck.(pair (int_range 1 12) (small_list (pair (pair small_nat small_nat) (float_range 0.0 100.0))))
+    (fun (n, raw_weights) ->
+      let names = List.init n (fun i -> Printf.sprintf "f%d" i) in
+      let weights =
+        List.map
+          (fun ((a, b), w) ->
+            ((Printf.sprintf "f%d" (a mod (n + 2)), Printf.sprintf "f%d" (b mod (n + 2))), w))
+          raw_weights
+      in
+      let order = Cmo_link.Cluster.order ~names ~weights in
+      List.sort compare order = List.sort compare names)
+
+let fuzz_selectivity_monotone =
+  QCheck.Test.make ~name:"selectivity: larger percent selects a superset"
+    ~count:10
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_range 1 10_000))
+    (fun seed ->
+      let cfg = config_of_seed seed in
+      let sources =
+        List.map
+          (fun (name, text) -> { Pipeline.name; text })
+          (Genprog.generate cfg)
+      in
+      let modules = Pipeline.frontend sources in
+      let db = Pipeline.train ~inputs:[ Genprog.training_input cfg ] sources in
+      ignore (Cmo_profile.Correlate.annotate db modules);
+      let subset a b = List.for_all (fun x -> List.mem x b) a in
+      let sel p = Cmo_hlo.Selectivity.select ~percent:p modules in
+      let s5 = sel 5.0 and s20 = sel 20.0 and s100 = sel 100.0 in
+      subset s5.Cmo_hlo.Selectivity.selected_sites
+        s20.Cmo_hlo.Selectivity.selected_sites
+      && subset s20.Cmo_hlo.Selectivity.selected_sites
+           s100.Cmo_hlo.Selectivity.selected_sites
+      && subset s5.Cmo_hlo.Selectivity.cmo_modules
+           s20.Cmo_hlo.Selectivity.cmo_modules
+      && subset s20.Cmo_hlo.Selectivity.cmo_modules
+           s100.Cmo_hlo.Selectivity.cmo_modules)
+
+(* ---------- decoder robustness ---------- *)
+
+(* Malformed bytes must raise [Corrupt] (or produce a value), never
+   crash, loop, or allocate absurdly.  Exercises the same decoders
+   that parse object files and the NAIM repository. *)
+let fuzz_decoders_robust =
+  QCheck.Test.make ~name:"decoders: garbage in, Corrupt (not crash) out"
+    ~count:200
+    QCheck.(string_of_size (Gen.int_range 0 300))
+    (fun bytes ->
+      let safe f =
+        match f () with
+        | _ -> true
+        | exception Cmo_support.Codec.Reader.Corrupt _ -> true
+        | exception Invalid_argument _ -> true
+      in
+      safe (fun () -> Cmo_il.Ilcodec.decode_module bytes)
+      && safe (fun () -> Cmo_link.Objfile.decode bytes)
+      && safe (fun () -> Cmo_llo.Mach.decode_func bytes))
+
+(* Truncations of VALID encodings are the realistic corruption (torn
+   writes); every prefix must be rejected cleanly too. *)
+let fuzz_truncated_valid_encoding =
+  QCheck.Test.make ~name:"decoders: every truncation of a valid module rejected"
+    ~count:60
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_range 0 1000))
+    (fun cut ->
+      let m =
+        Cmo_frontend.Frontend.compile_exn ~module_name:"t"
+          "global g[4] = {1,2,3,4}; func main() { return g[2]; }"
+      in
+      let bytes = Cmo_il.Ilcodec.encode_module m in
+      let n = String.length bytes in
+      let cut = cut mod n in
+      let truncated = String.sub bytes 0 cut in
+      match Cmo_il.Ilcodec.decode_module truncated with
+      | _ -> false  (* a strict prefix can never be a complete module *)
+      | exception Cmo_support.Codec.Reader.Corrupt _ -> true
+      | exception Invalid_argument _ -> true)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest fuzz_expressions;
+    QCheck_alcotest.to_alcotest fuzz_expressions_optimized;
+    QCheck_alcotest.to_alcotest fuzz_whole_programs;
+    QCheck_alcotest.to_alcotest fuzz_whole_programs_tiered;
+    QCheck_alcotest.to_alcotest fuzz_single_pass;
+    QCheck_alcotest.to_alcotest fuzz_loader_traffic;
+    QCheck_alcotest.to_alcotest fuzz_cluster_permutation;
+    QCheck_alcotest.to_alcotest fuzz_selectivity_monotone;
+    QCheck_alcotest.to_alcotest fuzz_decoders_robust;
+    QCheck_alcotest.to_alcotest fuzz_truncated_valid_encoding;
+  ]

@@ -1,0 +1,194 @@
+(* Tests for object files, clustering and the linker. *)
+
+module Ilmod = Cmo_il.Ilmod
+module Mach = Cmo_llo.Mach
+module Llo = Cmo_llo.Llo
+module Objfile = Cmo_link.Objfile
+module Cluster = Cmo_link.Cluster
+module Linker = Cmo_link.Linker
+module Image = Cmo_link.Image
+module Vm = Cmo_vm.Vm
+
+let code_object (m : Ilmod.t) =
+  let codes, _ = Llo.compile_module m in
+  Objfile.of_code ~module_name:m.Ilmod.mname ~globals:m.Ilmod.globals
+    ~source_digest:"d0" codes
+
+let sample_objects () =
+  Helpers.compile_all
+    [
+      ("app", "global counter; func main() { counter = lib_fn(5); return counter; }");
+      ("lib", "func lib_fn(x) { return x * 3; }");
+    ]
+  |> List.map code_object
+
+let test_objfile_roundtrip_code () =
+  let obj = List.hd (sample_objects ()) in
+  let obj' = Objfile.decode (Objfile.encode obj) in
+  Alcotest.(check string) "module" obj.Objfile.module_name obj'.Objfile.module_name;
+  Alcotest.(check string) "digest" "d0" obj'.Objfile.source_digest;
+  Alcotest.(check (list string)) "funcs" (Objfile.func_names obj)
+    (Objfile.func_names obj');
+  Alcotest.(check bool) "not IL" false (Objfile.is_il obj')
+
+let test_objfile_roundtrip_il () =
+  let m = Helpers.compile ~name:"x" "global g[3] = {1,2,3}; func main() { return g[1]; }" in
+  let obj = Objfile.of_il ~source_digest:"abc" m in
+  let obj' = Objfile.decode (Objfile.encode obj) in
+  Alcotest.(check bool) "is IL" true (Objfile.is_il obj');
+  Alcotest.(check (list string)) "globals carried" [ "g" ]
+    (List.map (fun (g : Ilmod.global) -> g.Ilmod.gname) obj'.Objfile.globals);
+  match obj'.Objfile.payload with
+  | Objfile.Il m' ->
+    Helpers.check_same_behaviour "decoded module runs" [ m ] [ m' ]
+  | Objfile.Code _ -> Alcotest.fail "expected IL payload"
+
+let test_objfile_save_load () =
+  let obj = List.hd (sample_objects ()) in
+  let path = Filename.temp_file "cmo_obj" ".o" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      Objfile.save obj path;
+      let obj' = Objfile.load path in
+      Alcotest.(check string) "roundtrip via disk" obj.Objfile.module_name
+        obj'.Objfile.module_name)
+
+let test_objfile_bad_magic () =
+  Alcotest.(check bool) "garbage rejected" true
+    (try
+       ignore (Objfile.decode "not an object file");
+       false
+     with Cmo_support.Codec.Reader.Corrupt _ -> true)
+
+let test_linker_resolves_and_runs () =
+  match Linker.link (sample_objects ()) with
+  | Ok image ->
+    let o = Vm.run image in
+    Alcotest.(check int64) "15" 15L o.Vm.ret;
+    (* No symbolic instructions left. *)
+    Array.iter
+      (fun i ->
+        match i with
+        | Mach.Call_sym s -> Alcotest.failf "unresolved call %s" s
+        | Mach.Lga (_, s) -> Alcotest.failf "unresolved global %s" s
+        | _ -> ())
+      image.Image.code
+  | Error errs ->
+    Alcotest.failf "link failed: %a" (Format.pp_print_list Linker.pp_error) errs
+
+let test_linker_undefined_symbol () =
+  let objs =
+    [ code_object (Helpers.compile ~name:"app" "func main() { return missing(); }") ]
+  in
+  match Linker.link objs with
+  | Error errs ->
+    Alcotest.(check bool) "undefined reported" true
+      (List.exists
+         (function Linker.Undefined_symbol (_, "missing") -> true | _ -> false)
+         errs)
+  | Ok _ -> Alcotest.fail "expected link error"
+
+let test_linker_duplicate_symbol () =
+  let m1 = Helpers.compile ~name:"m1" "func dup() { return 1; } func main() { return dup(); }" in
+  let m2 = Helpers.compile ~name:"m2" "func dup() { return 2; }" in
+  match Linker.link [ code_object m1; code_object m2 ] with
+  | Error errs ->
+    Alcotest.(check bool) "duplicate reported" true
+      (List.exists
+         (function Linker.Duplicate_symbol ("dup", _, _) -> true | _ -> false)
+         errs)
+  | Ok _ -> Alcotest.fail "expected link error"
+
+let test_linker_no_main () =
+  let m = Helpers.compile ~name:"lib" "func f() { return 1; }" in
+  match Linker.link [ code_object m ] with
+  | Error errs ->
+    Alcotest.(check bool) "no entry reported" true (List.mem Linker.No_entry errs)
+  | Ok _ -> Alcotest.fail "expected link error"
+
+let test_linker_rejects_il_payload () =
+  let m = Helpers.compile ~name:"x" "func main() { return 1; }" in
+  match Linker.link [ Objfile.of_il ~source_digest:"" m ] with
+  | Error errs ->
+    Alcotest.(check bool) "IL payload reported" true
+      (List.exists (function Linker.Il_payload "x" -> true | _ -> false) errs)
+  | Ok _ -> Alcotest.fail "expected link error"
+
+let test_linker_routine_order_respected () =
+  let objs = sample_objects () in
+  match Linker.link ~routine_order:[ "lib_fn"; "main" ] objs with
+  | Ok image ->
+    Alcotest.(check (list string)) "placement order" [ "lib_fn"; "main" ]
+      (List.map (fun (n, _, _) -> n) image.Image.funcs);
+    Alcotest.(check int64) "still runs" 15L (Vm.run image).Vm.ret
+  | Error errs ->
+    Alcotest.failf "link failed: %a" (Format.pp_print_list Linker.pp_error) errs
+
+let test_linker_data_init () =
+  let m =
+    Helpers.compile ~name:"m"
+      "global t[4] = {5, 0, 7}; global s = 3; func main() { return t[0] + t[1] + t[2] + s; }"
+  in
+  match Linker.link [ code_object m ] with
+  | Ok image ->
+    Alcotest.(check int) "data cells" 5 image.Image.data_cells;
+    Alcotest.(check int64) "initialized data" 15L (Vm.run image).Vm.ret
+  | Error _ -> Alcotest.fail "link failed"
+
+let test_image_func_of_address () =
+  match Linker.link (sample_objects ()) with
+  | Ok image ->
+    let name, start, _ = List.hd image.Image.funcs in
+    Alcotest.(check (option string)) "address maps to function" (Some name)
+      (Image.func_of_address image start)
+  | Error _ -> Alcotest.fail "link failed"
+
+let test_cluster_basic () =
+  let order =
+    Cluster.order
+      ~names:[ "a"; "b"; "c"; "d" ]
+      ~weights:[ (("a", "c"), 100.0); (("c", "d"), 50.0) ]
+  in
+  (* a-c-d chain together, hot chain first, b (cold) last. *)
+  Alcotest.(check (list string)) "chained" [ "a"; "c"; "d"; "b" ] order
+
+let test_cluster_permutation () =
+  let names = [ "w"; "x"; "y"; "z" ] in
+  let order =
+    Cluster.order ~names
+      ~weights:[ (("z", "w"), 5.0); (("x", "y"), 50.0); (("y", "z"), 2.0) ]
+  in
+  Alcotest.(check (list string)) "is a permutation" (List.sort compare names)
+    (List.sort compare order)
+
+let test_cluster_no_weights_identity () =
+  let names = [ "m1"; "m2"; "m3" ] in
+  Alcotest.(check (list string)) "unchanged" names
+    (Cluster.order ~names ~weights:[])
+
+let test_cluster_ignores_unknown_names () =
+  let order =
+    Cluster.order ~names:[ "a"; "b" ] ~weights:[ (("ghost", "a"), 9.0) ]
+  in
+  Alcotest.(check (list string)) "unknowns ignored" [ "a"; "b" ] order
+
+let suite =
+  [
+    ("objfile code roundtrip", `Quick, test_objfile_roundtrip_code);
+    ("objfile IL roundtrip", `Quick, test_objfile_roundtrip_il);
+    ("objfile save/load", `Quick, test_objfile_save_load);
+    ("objfile bad magic", `Quick, test_objfile_bad_magic);
+    ("linker resolves and runs", `Quick, test_linker_resolves_and_runs);
+    ("linker undefined symbol", `Quick, test_linker_undefined_symbol);
+    ("linker duplicate symbol", `Quick, test_linker_duplicate_symbol);
+    ("linker no main", `Quick, test_linker_no_main);
+    ("linker rejects IL payloads", `Quick, test_linker_rejects_il_payload);
+    ("linker routine order", `Quick, test_linker_routine_order_respected);
+    ("linker data initialization", `Quick, test_linker_data_init);
+    ("image address map", `Quick, test_image_func_of_address);
+    ("cluster chains hot pairs", `Quick, test_cluster_basic);
+    ("cluster is a permutation", `Quick, test_cluster_permutation);
+    ("cluster identity without weights", `Quick, test_cluster_no_weights_identity);
+    ("cluster ignores unknown names", `Quick, test_cluster_ignores_unknown_names);
+  ]

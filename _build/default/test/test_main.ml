@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "cmo"
+    [
+      ("support", Test_support.suite);
+      ("il", Test_il.suite);
+      ("frontend", Test_frontend.suite);
+      ("profile", Test_profile.suite);
+      ("naim", Test_naim.suite);
+      ("hlo", Test_hlo.suite);
+      ("llo", Test_llo.suite);
+      ("link", Test_link.suite);
+      ("driver", Test_driver.suite);
+      ("workload", Test_workload.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("misc", Test_misc.suite);
+    ]

@@ -1,0 +1,205 @@
+(* Tests for the synthetic workload generator: determinism, structural
+   properties, and full end-to-end compile-and-run at every
+   optimization level on a generated benchmark. *)
+
+module Genprog = Cmo_workload.Genprog
+module Suite = Cmo_workload.Suite
+module Interp = Cmo_il.Interp
+module Options = Cmo_driver.Options
+module Pipeline = Cmo_driver.Pipeline
+module Vm = Cmo_vm.Vm
+
+let sources_of cfg =
+  List.map
+    (fun (name, text) -> { Pipeline.name; text })
+    (Genprog.generate cfg)
+
+let small_cfg =
+  {
+    Genprog.name = "unit";
+    seed = 42;
+    modules = 8;
+    hot_modules = 3;
+    funcs_per_module = (4, 8);
+    hot_weight = 88;
+    main_iters = 300;
+    leaf_iters = (4, 10);
+    tiny_leaf_percent = 35;
+  }
+
+let test_generator_deterministic () =
+  let a = Genprog.generate small_cfg in
+  let b = Genprog.generate small_cfg in
+  Alcotest.(check bool) "same sources" true (a = b)
+
+let test_generator_seed_changes_program () =
+  let a = Genprog.generate small_cfg in
+  let b = Genprog.generate { small_cfg with Genprog.seed = 43 } in
+  Alcotest.(check bool) "different sources" true (a <> b)
+
+let test_generator_module_count () =
+  let sources = Genprog.generate small_cfg in
+  Alcotest.(check int) "main + modules" 9 (List.length sources);
+  Alcotest.(check string) "main first" "main_mod" (fst (List.hd sources))
+
+let test_generated_program_compiles_and_verifies () =
+  let modules = Pipeline.frontend (sources_of small_cfg) in
+  Alcotest.(check int) "frontend ok" 9 (List.length modules);
+  ignore modules
+
+let test_generated_program_runs () =
+  let modules = Pipeline.frontend (sources_of small_cfg) in
+  let o = Interp.run ~input:(Genprog.reference_input small_cfg) modules in
+  Alcotest.(check bool) "produces output" true (o.Interp.output <> [])
+
+let test_generated_hot_cold_split () =
+  (* Train, then check execution is concentrated: hot-module blocks
+     must account for the overwhelming majority of counts. *)
+  let modules = Pipeline.frontend (sources_of small_cfg) in
+  let db = Cmo_profile.Db.create () in
+  let _ =
+    Cmo_profile.Train.run ~input:(Genprog.training_input small_cfg) modules db
+  in
+  let hot_names = [ "m000"; "m001"; "m002" ] in
+  let is_hot_func f =
+    List.exists (fun m -> String.length f >= 4 && String.sub f 0 4 = m) hot_names
+  in
+  let hot, total =
+    List.fold_left
+      (fun (hot, total) (k, v) ->
+        match k with
+        | Cmo_profile.Db.Block (f, _) ->
+          ((if is_hot_func f || f = "main" then hot +. v else hot), total +. v)
+        | _ -> (hot, total))
+      (0.0, 0.0)
+      (Cmo_profile.Db.entries db)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "hot fraction %.2f > 0.7" (hot /. total))
+    true
+    (hot /. total > 0.7)
+
+let test_source_lines_counts () =
+  let sources = Genprog.generate small_cfg in
+  Alcotest.(check bool) "plausible line count" true
+    (Genprog.source_lines sources > 100)
+
+let test_scale () =
+  let doubled = Genprog.scale small_cfg 2.0 in
+  Alcotest.(check int) "modules doubled" 16 doubled.Genprog.modules;
+  let halved = Genprog.scale small_cfg 0.5 in
+  Alcotest.(check int) "modules halved" 4 halved.Genprog.modules;
+  Alcotest.(check bool) "hot modules scale" true
+    (halved.Genprog.hot_modules >= 1)
+
+let test_suite_shapes () =
+  Alcotest.(check int) "8 SPEC personalities" 8 (List.length Suite.spec);
+  Alcotest.(check int) "3 MCAD personalities" 3 (List.length Suite.mcad);
+  List.iter
+    (fun (name, cfg) ->
+      Alcotest.(check string) "name matches" name cfg.Genprog.name;
+      Alcotest.(check bool) "hot subset" true
+        (cfg.Genprog.hot_modules <= cfg.Genprog.modules))
+    Suite.all;
+  (* MCAD personalities are much larger than SPEC ones. *)
+  let lines name =
+    Genprog.source_lines (Genprog.generate (Suite.find name))
+  in
+  Alcotest.(check bool) "mcad1 >> compress" true
+    (lines "mcad1" > 10 * lines "compress")
+
+let test_evolve_locality () =
+  let v0 = Genprog.generate small_cfg in
+  let v1 = Genprog.evolve small_cfg ~changed:[ 2; 5 ] ~evolution:1 in
+  List.iter2
+    (fun (n0, t0) (n1, t1) ->
+      Alcotest.(check string) "same module names" n0 n1;
+      let should_change = n0 = "m002" || n0 = "m005" in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s %s" n0 (if should_change then "changed" else "identical"))
+        should_change (t0 <> t1))
+    v0 v1
+
+let test_evolve_rounds_differ () =
+  let v1 = Genprog.evolve small_cfg ~changed:[ 1 ] ~evolution:1 in
+  let v2 = Genprog.evolve small_cfg ~changed:[ 1 ] ~evolution:2 in
+  Alcotest.(check bool) "evolution rounds differ" true (v1 <> v2)
+
+let test_evolved_program_runs_with_stale_profile () =
+  (* The paper: old profile data can be used with new code.  The
+     evolved program must compile and behave correctly when optimized
+     with the profile of its previous version. *)
+  let stale_db =
+    Pipeline.train ~inputs:[ Genprog.training_input small_cfg ]
+      (sources_of small_cfg)
+  in
+  let evolved =
+    List.map
+      (fun (name, text) -> { Pipeline.name; text })
+      (Genprog.evolve small_cfg ~changed:[ 0; 3 ] ~evolution:1)
+  in
+  let input = Genprog.reference_input small_cfg in
+  let expected = Interp.run ~input (Pipeline.frontend evolved) in
+  let build = Pipeline.compile ~profile:stale_db Options.o4_pbo evolved in
+  let o = Pipeline.run ~input build in
+  Alcotest.(check int64) "stale-profile build correct" expected.Interp.ret
+    o.Vm.ret;
+  Alcotest.(check (list int64)) "same output" expected.Interp.output o.Vm.output
+
+let test_end_to_end_all_levels () =
+  let sources = sources_of small_cfg in
+  let input = Genprog.reference_input small_cfg in
+  let expected = Interp.run ~input (Pipeline.frontend sources) in
+  let db =
+    Pipeline.train ~inputs:[ Genprog.training_input small_cfg ] sources
+  in
+  List.iter
+    (fun (label, options, profile) ->
+      let build = Pipeline.compile ?profile options sources in
+      let o = Pipeline.run ~input build in
+      Alcotest.(check int64) (label ^ " ret") expected.Interp.ret o.Vm.ret;
+      Alcotest.(check (list int64)) (label ^ " output") expected.Interp.output
+        o.Vm.output)
+    [
+      ("O1", Options.o1, None);
+      ("O2", Options.o2, None);
+      ("O2+P", Options.o2_pbo, Some db);
+      ("O4", Options.o4, None);
+      ("O4+P", Options.o4_pbo, Some db);
+      ("O4+P sel 20", Options.o4_pbo_selective 20.0, Some db);
+      ("O4+P sel 5", Options.o4_pbo_selective 5.0, Some db);
+    ]
+
+let test_end_to_end_speedup_ordering () =
+  let sources = sources_of small_cfg in
+  let input = Genprog.reference_input small_cfg in
+  let db =
+    Pipeline.train ~inputs:[ Genprog.training_input small_cfg ] sources
+  in
+  let cycles options profile =
+    let build = Pipeline.compile ?profile options sources in
+    (Pipeline.run ~input build).Vm.cycles
+  in
+  let o2 = cycles Options.o2 None in
+  let o4p = cycles Options.o4_pbo (Some db) in
+  Alcotest.(check bool)
+    (Printf.sprintf "O4+P %d < O2 %d" o4p o2)
+    true (o4p < o2)
+
+let suite =
+  [
+    ("generator deterministic", `Quick, test_generator_deterministic);
+    ("generator seed sensitivity", `Quick, test_generator_seed_changes_program);
+    ("generator module count", `Quick, test_generator_module_count);
+    ("generated program verifies", `Quick, test_generated_program_compiles_and_verifies);
+    ("generated program runs", `Quick, test_generated_program_runs);
+    ("generated hot/cold split", `Quick, test_generated_hot_cold_split);
+    ("source line counting", `Quick, test_source_lines_counts);
+    ("config scaling", `Quick, test_scale);
+    ("suite shapes", `Quick, test_suite_shapes);
+    ("evolve is module-local", `Quick, test_evolve_locality);
+    ("evolve rounds differ", `Quick, test_evolve_rounds_differ);
+    ("evolved + stale profile correct", `Quick, test_evolved_program_runs_with_stale_profile);
+    ("end-to-end all levels", `Quick, test_end_to_end_all_levels);
+    ("end-to-end speedup", `Quick, test_end_to_end_speedup_ordering);
+  ]
