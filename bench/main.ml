@@ -5,7 +5,8 @@
    Usage:
      dune exec bench/main.exe            -- run everything
      dune exec bench/main.exe -- fig1    -- one experiment
-   Experiments: fig1 fig4 fig5 fig6 bytes-per-line ablation stale micro *)
+   Experiments: fig1 fig4 fig5 fig6 bytes-per-line ablation stale micro
+   incremental incremental-smoke *)
 
 module Genprog = Cmo_workload.Genprog
 module Suite = Cmo_workload.Suite
@@ -17,6 +18,9 @@ module Vm = Cmo_vm.Vm
 module Ilcodec = Cmo_il.Ilcodec
 module Size = Cmo_il.Size
 module Ilmod = Cmo_il.Ilmod
+module Buildsys = Cmo_driver.Buildsys
+module Phase = Cmo_hlo.Phase
+module Store = Cmo_cache.Store
 
 let mb bytes = float_of_int bytes /. 1024.0 /. 1024.0
 
@@ -601,9 +605,100 @@ let stale () =
   Printf.printf
     "(paper: stale-profile benefit diminishes as the code diverges [Grove et al.])\n"
 
+(* ------------------------------------------------------------------ *)
+(* Incremental rebuilds through the link-time artifact cache: a cold
+   build, a no-change rebuild (must skip HLO entirely) and a
+   one-module edit, driven through Buildsys like a make-style tool
+   would.  `incremental` uses the gcc personality; `incremental-smoke`
+   is the same experiment on the small li personality for CI. *)
+(* ------------------------------------------------------------------ *)
+
+let rec remove_tree path =
+  match Sys.is_directory path with
+  | true ->
+    Array.iter
+      (fun entry -> remove_tree (Filename.concat path entry))
+      (Sys.readdir path);
+    Sys.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
+let incremental_for name =
+  header
+    (Printf.sprintf "Incremental re-optimization through the cache (%s, +O4)"
+       name);
+  let cfg = Suite.find name in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      ("cmo-bench-incremental-" ^ name)
+  in
+  remove_tree dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> remove_tree dir) @@ fun () ->
+  let ws = Buildsys.create ~dir () in
+  let sources_of_listing listing =
+    List.map (fun (name, text) -> { Pipeline.name; text }) listing
+  in
+  let timed sources =
+    let before = Sys.time () in
+    let hlo_before = Phase.funcs_processed () in
+    let outcome = Buildsys.build ws Options.o4 sources in
+    let seconds = Sys.time () -. before in
+    (outcome, seconds, Phase.funcs_processed () - hlo_before)
+  in
+  Printf.printf "%-20s | %8s | %6s | %14s | %17s | %s\n" "build" "seconds"
+    "front" "module cache" "cmo set" "funcs through HLO";
+  let describe label (outcome, seconds, hlo_funcs) =
+    let cache = outcome.Buildsys.build.Pipeline.report.Pipeline.cache in
+    let hits, misses, cached, reopt =
+      match cache with
+      | Some c ->
+        ( c.Pipeline.hits,
+          c.Pipeline.misses,
+          List.length c.Pipeline.cmo_cached,
+          List.length c.Pipeline.cmo_reoptimized )
+      | None -> (0, 0, 0, 0)
+    in
+    Printf.printf "%-20s | %8.2f | %6d | %4d hit %4d miss | %4d cached %4d reopt | %d\n%!"
+      label seconds
+      (List.length outcome.Buildsys.recompiled)
+      hits misses cached reopt hlo_funcs
+  in
+  let image (outcome, _, _) = outcome.Buildsys.build.Pipeline.image in
+  let cycles (outcome, _, _) =
+    (Pipeline.run ~input:(Genprog.reference_input cfg) outcome.Buildsys.build)
+      .Vm.cycles
+  in
+  let sources = sources_of_listing (Genprog.generate cfg) in
+  let cold = timed sources in
+  describe "cold" cold;
+  let warm = timed sources in
+  describe "warm (no change)" warm;
+  let edited = sources_of_listing (Genprog.evolve cfg ~changed:[ 0 ] ~evolution:1) in
+  let one_edit = timed edited in
+  describe "one-module edit" one_edit;
+  let back = timed sources in
+  describe "edit reverted" back;
+  let _, _, warm_hlo = warm in
+  Printf.printf "warm rebuild bit-identical to cold: %b, zero HLO work: %b\n"
+    (image cold = image warm) (warm_hlo = 0);
+  Printf.printf "reverted rebuild bit-identical to cold: %b (%d Mcycles)\n"
+    (image cold = image back)
+    (cycles back / 1_000_000);
+  let store = Store.open_ ~dir:(Buildsys.cache_dir ws) () in
+  Fun.protect
+    ~finally:(fun () -> Store.close store)
+    (fun () ->
+      Format.printf "artifact store (all tiers, all builds): %a@."
+        Store.pp_stats (Store.stats store))
+
+let incremental () = incremental_for "gcc"
+let incremental_smoke () = incremental_for "li"
+
 let all = [ "fig1", fig1; "fig4", fig4; "fig5", fig5; "fig6", fig6;
             "bytes-per-line", bytes_per_line; "ablation", ablation;
-            "stale", stale; "micro", micro ]
+            "stale", stale; "micro", micro; "incremental", incremental;
+            "incremental-smoke", incremental_smoke ]
 
 let () =
   let requested =

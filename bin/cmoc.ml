@@ -439,6 +439,128 @@ let profile_show_cmd =
   Cmd.v (Cmd.info "profile-show" ~doc)
     Term.(ret (const action $ db_arg $ top_arg))
 
+(* ---- build ---- *)
+
+let cache_dir_arg =
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR"
+         ~doc:"Artifact cache directory (default: the workspace's DIR/.cmo-cache).")
+
+let cache_capacity_arg =
+  Arg.(value & opt (some int) None & info [ "cache-capacity" ] ~docv:"MB"
+         ~doc:"Artifact cache capacity in MiB (default 256).")
+
+let build_cmd =
+  let dir_arg =
+    Arg.(value & opt dir "." & info [ "dir" ] ~docv:"DIR"
+           ~doc:"Workspace directory for object files and the artifact cache.")
+  in
+  let no_cache_flag =
+    Arg.(value & flag & info [ "no-cache" ]
+           ~doc:"Disable the link-time artifact cache.")
+  in
+  let run_flag =
+    Arg.(value & flag & info [ "run" ] ~doc:"Execute the linked image on the VM.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the compilation report.")
+  in
+  let action paths level pbo profile selectivity machine_mb jobs log input dir
+      no_cache cache_dir cache_capacity run_it verbose =
+    try
+      setup_logs log;
+      let sources = List.map source_of_path paths in
+      let options = make_options level pbo selectivity machine_mb jobs in
+      let ws =
+        Buildsys.create ~cache:(not no_cache) ?cache_dir
+          ?cache_capacity:(Option.map (fun mb -> mb * 1024 * 1024) cache_capacity)
+          ~dir ()
+      in
+      let outcome =
+        Buildsys.build ?profile:(load_profile profile) ws options sources
+      in
+      Printf.printf "frontend: %d recompiled, %d reused\n"
+        (List.length outcome.Buildsys.recompiled)
+        (List.length outcome.Buildsys.reused);
+      let report = outcome.Buildsys.build.Pipeline.report in
+      (match report.Pipeline.cache with
+      | Some c ->
+        Printf.printf
+          "link cache: %d hits, %d misses; %d cmo modules cached, %d re-optimized\n"
+          c.Pipeline.hits c.Pipeline.misses
+          (List.length c.Pipeline.cmo_cached)
+          (List.length c.Pipeline.cmo_reoptimized)
+      | None -> ());
+      if verbose then Format.printf "%a@." Pipeline.pp_report report;
+      if run_it then begin
+        let o = Pipeline.run ~input:(parse_input input) outcome.Buildsys.build in
+        List.iter (Printf.printf "%Ld\n") o.Vm.output;
+        Printf.printf "exit: %Ld  (%d cycles)\n" o.Vm.ret o.Vm.cycles
+      end
+      else
+        Printf.printf "linked %d instructions\n"
+          (Array.length outcome.Buildsys.build.Pipeline.image.Cmo_link.Image.code);
+      `Ok ()
+    with
+    | Pipeline.Compile_error msg -> `Error (false, msg)
+    | Vm.Fault msg -> `Error (false, "runtime fault: " ^ msg)
+  in
+  let doc =
+    "Incremental build over on-disk object files, with cached link-time \
+     cross-module optimization."
+  in
+  Cmd.v (Cmd.info "build" ~doc)
+    Term.(ret (const action $ sources_arg $ level_arg $ pbo_arg $ profile_arg
+               $ selectivity_arg $ machine_memory_arg $ jobs_arg $ log_arg
+               $ input_arg $ dir_arg $ no_cache_flag $ cache_dir_arg
+               $ cache_capacity_arg $ run_flag $ verbose))
+
+(* ---- cache ---- *)
+
+let cache_cmd =
+  let module Store = Cmo_cache.Store in
+  let what_arg =
+    Arg.(required
+         & pos 0 (some (enum [ ("stats", `Stats); ("clear", `Clear) ])) None
+         & info [] ~docv:"ACTION"
+             ~doc:"$(b,stats) prints hit/miss/eviction counters and sizes; \
+                   $(b,clear) drops every artifact.")
+  in
+  let dir_of = function Some d -> d | None -> ".cmo-cache" in
+  let action what cache_dir capacity =
+    let dir = dir_of cache_dir in
+    match what with
+    | `Stats ->
+      if Sys.file_exists dir then begin
+        let store =
+          Store.open_
+            ?capacity:(Option.map (fun mb -> mb * 1024 * 1024) capacity)
+            ~dir ()
+        in
+        Fun.protect
+          ~finally:(fun () -> Store.close store)
+          (fun () ->
+            Format.printf "%s:@.%a@." dir Store.pp_stats (Store.stats store));
+        `Ok ()
+      end
+      else begin
+        Printf.printf "no cache at %s\n" dir;
+        `Ok ()
+      end
+    | `Clear ->
+      if Sys.file_exists dir then begin
+        let store = Store.open_ ~dir () in
+        Fun.protect
+          ~finally:(fun () -> Store.close store)
+          (fun () -> Store.clear store);
+        Printf.printf "cleared %s\n" dir
+      end
+      else Printf.printf "no cache at %s\n" dir;
+      `Ok ()
+  in
+  let doc = "Inspect or clear a link-time artifact cache." in
+  Cmd.v (Cmd.info "cache" ~doc)
+    Term.(ret (const action $ what_arg $ cache_dir_arg $ cache_capacity_arg))
+
 (* ---- bench-info ---- *)
 
 let bench_info_cmd =
@@ -459,7 +581,7 @@ let main_cmd =
   let doc = "scalable cross-module optimization toolchain (PLDI 1998 reproduction)" in
   Cmd.group
     (Cmd.info "cmoc" ~version:"1.0" ~doc)
-    [ compile_cmd; train_cmd; dump_cmd; gen_cmd; assemble_cmd; link_cmd;
-      isolate_cmd; profile_show_cmd; bench_info_cmd ]
+    [ compile_cmd; build_cmd; cache_cmd; train_cmd; dump_cmd; gen_cmd;
+      assemble_cmd; link_cmd; isolate_cmd; profile_show_cmd; bench_info_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,17 @@
+#!/bin/sh
+# Tier-1 gate: full build, the complete test suite, and the
+# incremental-cache smoke benchmark (li personality; asserts nothing
+# but fails on any crash and prints the cold/warm/edit table for the
+# log).  Run from the repository root.
+set -eu
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== incremental cache smoke =="
+dune exec bench/main.exe -- incremental-smoke
+
+echo "CI OK"

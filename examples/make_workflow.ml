@@ -44,7 +44,7 @@ let () =
   let dir = Filename.temp_file "cmo_make" "" in
   Sys.remove dir;
   Sys.mkdir dir 0o755;
-  let ws = Buildsys.create ~dir in
+  let ws = Buildsys.create ~dir () in
   let profile = Pipeline.train sources in
 
   let first = Buildsys.build ~profile ws Options.o4_pbo sources in

@@ -89,7 +89,7 @@ let () =
   let dir = Filename.temp_file "cmo_tour" "" in
   Sys.remove dir;
   Sys.mkdir dir 0o755;
-  let ws = Cmo_driver.Buildsys.create ~dir in
+  let ws = Cmo_driver.Buildsys.create ~dir () in
   let first = Cmo_driver.Buildsys.build ~profile ws Options.o4_pbo sources in
   let second = Cmo_driver.Buildsys.build ~profile ws Options.o4_pbo sources in
   Printf.printf "  full build compiled %d modules; null build reused %d objects\n"

@@ -1,0 +1,30 @@
+module Func = Cmo_il.Func
+module Ilcodec = Cmo_il.Ilcodec
+module Intern = Cmo_support.Intern
+module W = Cmo_support.Codec.Writer
+module R = Cmo_support.Codec.Reader
+
+let encode f =
+  let names = Intern.create () in
+  let body = Ilcodec.encode_func ~names f in
+  let w = W.create () in
+  let table = ref [] in
+  Intern.iter names (fun _ s -> table := s :: !table);
+  W.list w (W.string w) (List.rev !table);
+  W.string w body;
+  W.contents w
+
+let decode bytes =
+  let r = R.of_string bytes in
+  let names = Intern.create () in
+  List.iter (fun s -> ignore (Intern.intern names s)) (R.list r R.string);
+  Ilcodec.decode_func ~names (R.string r)
+
+let overwrite ~(dst : Func.t) (src : Func.t) =
+  dst.Func.linkage <- src.Func.linkage;
+  dst.Func.entry <- src.Func.entry;
+  dst.Func.blocks <- src.Func.blocks;
+  dst.Func.next_reg <- src.Func.next_reg;
+  dst.Func.next_label <- src.Func.next_label;
+  dst.Func.next_site <- src.Func.next_site;
+  dst.Func.src_lines <- src.Func.src_lines

@@ -1,0 +1,20 @@
+(** Self-contained single-function codec for the per-function phase
+    cache.
+
+    {!Cmo_il.Ilcodec.encode_func} interns symbol names into a shared
+    module-level table; for content-addressed keying each function
+    must instead be a closed byte string.  [encode] therefore bundles
+    a private name table (built fresh, so identical functions encode
+    identically) with the function body. *)
+
+val encode : Cmo_il.Func.t -> string
+
+val decode : string -> Cmo_il.Func.t
+(** @raise Cmo_support.Codec.Reader.Corrupt on malformed input. *)
+
+val overwrite : dst:Cmo_il.Func.t -> Cmo_il.Func.t -> unit
+(** Replace [dst]'s mutable content (linkage, entry, blocks, counter
+    watermarks, source lines) with [src]'s.  [name] and [arity] are
+    immutable; the caller must have checked they agree.  Used to
+    apply a cached post-phase body to a loader-acquired function in
+    place, which is what {!Cmo_naim.Loader.update} requires. *)

@@ -1,0 +1,114 @@
+module Ilmod = Cmo_il.Ilmod
+module Func = Cmo_il.Func
+module Instr = Cmo_il.Instr
+module Intrinsics = Cmo_il.Intrinsics
+
+type t = {
+  order : string list;  (* module names in CMO-set order *)
+  root_of : (string, string) Hashtbl.t;  (* module -> component root *)
+  grefs : (string, string list) Hashtbl.t;  (* module -> sorted global names *)
+}
+
+(* Union-find over module names, with path compression. *)
+let rec find parent x =
+  match Hashtbl.find_opt parent x with
+  | Some p when not (String.equal p x) ->
+    let r = find parent p in
+    Hashtbl.replace parent x r;
+    r
+  | Some _ -> x
+  | None ->
+    Hashtbl.replace parent x x;
+    x
+
+let union parent a b =
+  let ra = find parent a and rb = find parent b in
+  if not (String.equal ra rb) then Hashtbl.replace parent ra rb
+
+let compute modules =
+  let parent = Hashtbl.create 64 in
+  let func_module = Hashtbl.create 256 in
+  List.iter
+    (fun (m : Ilmod.t) ->
+      ignore (find parent m.Ilmod.mname);
+      List.iter
+        (fun (f : Func.t) ->
+          Hashtbl.replace func_module f.Func.name m.Ilmod.mname)
+        m.Ilmod.funcs)
+    modules;
+  (* One bucket per global name: every module touching it is coupled. *)
+  let global_bucket = Hashtbl.create 64 in
+  let grefs = Hashtbl.create 64 in
+  List.iter
+    (fun (m : Ilmod.t) ->
+      let mname = m.Ilmod.mname in
+      let touched = Hashtbl.create 8 in
+      let touch g = Hashtbl.replace touched g () in
+      List.iter (fun (g : Ilmod.global) -> touch g.Ilmod.gname) m.Ilmod.globals;
+      List.iter
+        (fun (f : Func.t) ->
+          List.iter
+            (fun (b : Func.block) ->
+              List.iter
+                (fun i ->
+                  match i with
+                  | Instr.Load (_, { Instr.base; _ }) -> touch base
+                  | Instr.Store ({ Instr.base; _ }, _) -> touch base
+                  | Instr.Call { Instr.callee; _ }
+                    when not (Intrinsics.is_intrinsic callee) -> (
+                    match Hashtbl.find_opt func_module callee with
+                    | Some callee_module -> union parent mname callee_module
+                    | None -> ())
+                  | Instr.Call _ | Instr.Move _ | Instr.Unop _ | Instr.Binop _
+                  | Instr.Probe _ -> ())
+                b.Func.instrs)
+            f.Func.blocks)
+        m.Ilmod.funcs;
+      Hashtbl.iter
+        (fun g () ->
+          (match Hashtbl.find_opt global_bucket g with
+          | Some other -> union parent mname other
+          | None -> Hashtbl.replace global_bucket g mname);
+          ())
+        touched;
+      Hashtbl.replace grefs mname
+        (Hashtbl.fold (fun g () acc -> g :: acc) touched []
+        |> List.sort String.compare))
+    modules;
+  let order = List.map (fun (m : Ilmod.t) -> m.Ilmod.mname) modules in
+  let root_of = Hashtbl.create 64 in
+  List.iter (fun name -> Hashtbl.replace root_of name (find parent name)) order;
+  { order; root_of; grefs }
+
+let root t name =
+  match Hashtbl.find_opt t.root_of name with Some r -> r | None -> name
+
+let component t name =
+  let r = root t name in
+  match List.filter (fun n -> String.equal (root t n) r) t.order with
+  | [] -> [ name ]
+  | members -> members
+
+let components t =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun name ->
+      let r = root t name in
+      if Hashtbl.mem seen r then None
+      else begin
+        Hashtbl.replace seen r ();
+        Some (component t name)
+      end)
+    t.order
+
+let closure t ~changed =
+  let roots = Hashtbl.create 8 in
+  List.iter (fun name -> Hashtbl.replace roots (root t name) ()) changed;
+  let inside = List.filter (fun n -> Hashtbl.mem roots (root t n)) t.order in
+  let outside_set =
+    List.filter (fun n -> not (List.mem n t.order)) changed
+  in
+  inside @ outside_set
+
+let global_refs t name =
+  match Hashtbl.find_opt t.grefs name with Some gs -> gs | None -> []

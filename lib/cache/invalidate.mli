@@ -1,0 +1,45 @@
+(** Invalidation closures for incremental CMO.
+
+    Which modules must be re-optimized when one changes?  Within the
+    link-time optimizer, two modules can observe each other through
+    exactly two channels:
+
+    - call edges — inlining grafts callee bodies into callers
+      (transitively, in bottom-up order), and IPA derives per-callee
+      argument pins and reachability from call sites in callers;
+    - shared globals — IPA folds loads of never-stored globals, so a
+      module defining, loading or storing a global is coupled to
+      every other module touching that global.  Module-local statics
+      are name-mangled by the frontend, so coupling by name is exact.
+
+    Both channels are symmetric in effect, so the invalidation
+    closure of a change is its weakly-connected component in the
+    module graph whose edges are call edges plus shared-global
+    coupling — the analogue of a WHOPR partition.  A component is an
+    independent unit of link-time optimization: re-running CMO over
+    one component reproduces bit-for-bit what a full run produces for
+    its modules (the growth budgets in {!Cmo_hlo.Inline} are tracked
+    per component for exactly this reason). *)
+
+type t
+
+val compute : Cmo_il.Ilmod.t list -> t
+(** Analyze a CMO set.  Call sites whose callee is not defined in the
+    set are external and do not create edges (the driver folds the
+    external context into cache keys separately). *)
+
+val component : t -> string -> string list
+(** The weakly-connected component containing the module, in CMO-set
+    order.  A module not in the analyzed set is its own component. *)
+
+val components : t -> string list list
+(** All components, each in CMO-set order, ordered by first member. *)
+
+val closure : t -> changed:string list -> string list
+(** Union of the components of the changed modules, in CMO-set
+    order. *)
+
+val global_refs : t -> string -> string list
+(** Sorted names of the globals a module defines, loads or stores —
+    the slice of the external store context that can influence its
+    component's optimization. *)

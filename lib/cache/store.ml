@@ -1,0 +1,302 @@
+module W = Cmo_support.Codec.Writer
+module R = Cmo_support.Codec.Reader
+
+let magic = "CMOCACHE1"
+
+type entry = { mutable offset : int; length : int; mutable last_use : int }
+
+type t = {
+  dir : string;
+  index_path : string;
+  payload_path : string;
+  capacity : int;
+  entries : (string, entry) Hashtbl.t;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable stores : int;
+  mutable evictions : int;
+  mutable live_bytes : int;
+  mutable payload_len : int;  (* includes dead bytes *)
+  mutable out : out_channel option;  (* lazy append channel *)
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  stores : int;
+  evictions : int;
+  entries : int;
+  live_bytes : int;
+  payload_bytes : int;
+  capacity : int;
+}
+
+let rec mkdirs dir =
+  if not (Sys.file_exists dir) then begin
+    mkdirs (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let file_size path =
+  match open_in_bin path with
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> in_channel_length ic)
+  | exception Sys_error _ -> 0
+
+(* A missing or malformed index reads as empty: artifacts are then
+   rediscovered as misses and the orphaned payload bytes are dead
+   until the next compaction. *)
+let load_index (t : t) =
+  match read_file t.index_path with
+  | exception Sys_error _ -> ()
+  | bytes -> (
+    try
+      let r = R.of_string bytes in
+      if R.string r <> magic then R.corrupt "bad cache magic";
+      t.hits <- R.uvarint r;
+      t.misses <- R.uvarint r;
+      t.stores <- R.uvarint r;
+      t.evictions <- R.uvarint r;
+      t.tick <- R.uvarint r;
+      List.iter
+        (fun (key, offset, length, last_use) ->
+          if offset >= 0 && length >= 0 && offset + length <= t.payload_len
+          then begin
+            Hashtbl.replace t.entries key { offset; length; last_use };
+            t.live_bytes <- t.live_bytes + length
+          end)
+        (R.list r (fun r ->
+             let key = R.string r in
+             let offset = R.uvarint r in
+             let length = R.uvarint r in
+             let last_use = R.uvarint r in
+             (key, offset, length, last_use)))
+    with R.Corrupt _ | End_of_file ->
+      Hashtbl.reset t.entries;
+      t.live_bytes <- 0)
+
+let save_index (t : t) =
+  let w = W.create () in
+  W.string w magic;
+  W.uvarint w t.hits;
+  W.uvarint w t.misses;
+  W.uvarint w t.stores;
+  W.uvarint w t.evictions;
+  W.uvarint w t.tick;
+  let items =
+    Hashtbl.fold (fun key e acc -> (key, e) :: acc) t.entries []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  W.list w
+    (fun (key, (e : entry)) ->
+      W.string w key;
+      W.uvarint w e.offset;
+      W.uvarint w e.length;
+      W.uvarint w e.last_use)
+    items;
+  let tmp = t.index_path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (W.contents w));
+  Sys.rename tmp t.index_path
+
+let open_ ?(capacity = 256 * 1024 * 1024) ~dir () =
+  mkdirs dir;
+  let t =
+    {
+      dir;
+      index_path = Filename.concat dir "index";
+      payload_path = Filename.concat dir "payload";
+      capacity;
+      entries = Hashtbl.create 64;
+      tick = 0;
+      hits = 0;
+      misses = 0;
+      stores = 0;
+      evictions = 0;
+      live_bytes = 0;
+      payload_len = 0;
+      out = None;
+    }
+  in
+  t.payload_len <- file_size t.payload_path;
+  load_index t;
+  t
+
+let next_tick (t : t) =
+  t.tick <- t.tick + 1;
+  t.tick
+
+let read_payload (t : t) offset length =
+  let ic = open_in_bin t.payload_path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      seek_in ic offset;
+      really_input_string ic length)
+
+let find (t : t) key =
+  match Hashtbl.find_opt t.entries key with
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+  | Some e -> (
+    match read_payload t e.offset e.length with
+    | data ->
+      t.hits <- t.hits + 1;
+      e.last_use <- next_tick t;
+      Some data
+    | exception (Sys_error _ | End_of_file) ->
+      (* Truncated payload: drop the record and degrade to a miss. *)
+      Hashtbl.remove t.entries key;
+      t.live_bytes <- t.live_bytes - e.length;
+      t.misses <- t.misses + 1;
+      None)
+
+let append_channel (t : t) =
+  match t.out with
+  | Some oc -> oc
+  | None ->
+    let oc =
+      open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 t.payload_path
+    in
+    t.out <- Some oc;
+    oc
+
+let close_append (t : t) =
+  match t.out with
+  | Some oc ->
+    close_out_noerr oc;
+    t.out <- None
+  | None -> ()
+
+let drop (t : t) key (e : entry) =
+  Hashtbl.remove t.entries key;
+  t.live_bytes <- t.live_bytes - e.length
+
+let evict (t : t) =
+  (* Down to the capacity, never below one entry: a single oversized
+     artifact is more useful kept than thrashed. *)
+  while t.live_bytes > t.capacity && Hashtbl.length t.entries > 1 do
+    let victim =
+      Hashtbl.fold
+        (fun key e acc ->
+          match acc with
+          | Some (_, best) when best.last_use <= e.last_use -> acc
+          | _ -> Some (key, e))
+        t.entries None
+    in
+    match victim with
+    | Some (key, e) ->
+      drop t key e;
+      t.evictions <- t.evictions + 1
+    | None -> ()
+  done
+
+(* Rewrite the payload keeping only live artifacts, streamed in offset
+   order so compaction memory stays at one artifact. *)
+let compact (t : t) =
+  let dead = t.payload_len - t.live_bytes in
+  if dead > max (1 lsl 20) t.live_bytes then begin
+    close_append t;
+    let live =
+      Hashtbl.fold (fun key e acc -> (key, e) :: acc) t.entries []
+      |> List.sort (fun (_, a) (_, b) -> compare a.offset b.offset)
+    in
+    let tmp = t.payload_path ^ ".tmp" in
+    let oc = open_out_bin tmp in
+    (try
+       let pos = ref 0 in
+       List.iter
+         (fun (_, (e : entry)) ->
+           let data = read_payload t e.offset e.length in
+           e.offset <- !pos;
+           output_string oc data;
+           pos := !pos + e.length)
+         live;
+       close_out oc;
+       Sys.rename tmp t.payload_path;
+       t.payload_len <- t.live_bytes
+     with Sys_error _ | End_of_file ->
+       close_out_noerr oc;
+       (try Sys.remove tmp with Sys_error _ -> ()))
+  end
+
+let add (t : t) key data =
+  (match Hashtbl.find_opt t.entries key with
+  | Some old -> drop t key old
+  | None -> ());
+  let oc = append_channel t in
+  output_string oc data;
+  flush oc;
+  let e =
+    { offset = t.payload_len; length = String.length data; last_use = next_tick t }
+  in
+  t.payload_len <- t.payload_len + e.length;
+  t.live_bytes <- t.live_bytes + e.length;
+  t.stores <- t.stores + 1;
+  Hashtbl.replace t.entries key e;
+  evict t;
+  compact t
+
+let flush (t : t) =
+  (match t.out with Some oc -> flush oc | None -> ());
+  save_index t
+
+let close (t : t) =
+  flush t;
+  close_append t
+
+let clear (t : t) =
+  close_append t;
+  Hashtbl.reset t.entries;
+  t.tick <- 0;
+  t.hits <- 0;
+  t.misses <- 0;
+  t.stores <- 0;
+  t.evictions <- 0;
+  t.live_bytes <- 0;
+  t.payload_len <- 0;
+  (try Sys.remove t.payload_path with Sys_error _ -> ());
+  save_index t
+
+let wipe ~dir =
+  List.iter
+    (fun f ->
+      let path = Filename.concat dir f in
+      if Sys.file_exists path then try Sys.remove path with Sys_error _ -> ())
+    [ "index"; "index.tmp"; "payload"; "payload.tmp" ];
+  if Sys.file_exists dir then try Sys.rmdir dir with Sys_error _ -> ()
+
+let stats (t : t) =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    stores = t.stores;
+    evictions = t.evictions;
+    entries = Hashtbl.length t.entries;
+    live_bytes = t.live_bytes;
+    payload_bytes = t.payload_len;
+    capacity = t.capacity;
+  }
+
+let pp_stats ppf s =
+  let ratio =
+    if s.hits + s.misses = 0 then 0.0
+    else 100.0 *. float_of_int s.hits /. float_of_int (s.hits + s.misses)
+  in
+  Format.fprintf ppf
+    "@[<v>hits %d, misses %d (%.1f%% hit rate)@,stores %d, evictions %d@,%d \
+     entries, %d live bytes (%d on disk, capacity %d)@]"
+    s.hits s.misses ratio s.stores s.evictions s.entries s.live_bytes
+    s.payload_bytes s.capacity

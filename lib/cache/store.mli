@@ -1,0 +1,64 @@
+(** Persistent content-addressed artifact store.
+
+    Link-time CMO results are cached on disk under keys produced by
+    {!Cmo_support.Fingerprint.of_strings}.  A store directory holds
+    two files:
+
+    - [index] — {!Cmo_support.Codec}-framed: magic, the persisted
+      hit/miss/store/eviction counters, the LRU clock, and one
+      (key, offset, length, last-use) record per live artifact;
+    - [payload] — the artifact bytes, append-only.
+
+    The store is capacity-bounded: when live bytes exceed the
+    capacity, least-recently-used artifacts are evicted (their index
+    records dropped).  Dead payload bytes — from eviction and from
+    replaced keys — are reclaimed by compaction once they outweigh
+    the live bytes.
+
+    Robustness over cleverness: a missing, truncated or corrupt index
+    simply reads as an empty store (every lookup misses and the next
+    compaction reclaims the orphaned payload), never as an error.
+    The index is written atomically (temp file + rename) on
+    {!flush}/{!close}. *)
+
+type t
+
+val open_ : ?capacity:int -> dir:string -> unit -> t
+(** Opens (creating the directory and files as needed) a store.
+    [capacity] bounds live payload bytes; default 256 MiB.  A single
+    artifact larger than the capacity is kept — the bound is enforced
+    by evicting down to at most one entry. *)
+
+val find : t -> string -> string option
+(** Lookup by key; counts a hit or a miss and refreshes LRU order.
+    An unreadable payload (truncated file) degrades to a miss. *)
+
+val add : t -> string -> string -> unit
+(** [add t key data] stores (or replaces) an artifact and evicts as
+    needed.  The payload write is flushed immediately; the index is
+    persisted on {!flush}/{!close}. *)
+
+val flush : t -> unit
+val close : t -> unit
+
+val clear : t -> unit
+(** Drop every artifact and reset all counters; persists. *)
+
+val wipe : dir:string -> unit
+(** Remove a store's files (and the directory if then empty) without
+    opening it; a no-op when nothing is there.  [Buildsys.clean] uses
+    this. *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  stores : int;
+  evictions : int;
+  entries : int;
+  live_bytes : int;
+  payload_bytes : int;  (** On-disk payload size, including dead bytes. *)
+  capacity : int;
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit

@@ -5,13 +5,29 @@ module Llo = Cmo_llo.Llo
 module Objfile = Cmo_link.Objfile
 module Linker = Cmo_link.Linker
 module Memstats = Cmo_naim.Memstats
+module Store = Cmo_cache.Store
 
-type t = { dir : string }
+type t = {
+  dir : string;
+  cache_enabled : bool;
+  cache_dir : string;
+  cache_capacity : int option;
+}
 
-let create ~dir =
+let create ?(cache = true) ?cache_dir ?cache_capacity ~dir () =
   if not (Sys.file_exists dir && Sys.is_directory dir) then
     invalid_arg (Printf.sprintf "Buildsys.create: %s is not a directory" dir);
-  { dir }
+  {
+    dir;
+    cache_enabled = cache;
+    cache_dir =
+      (match cache_dir with
+      | Some d -> d
+      | None -> Filename.concat dir ".cmo-cache");
+    cache_capacity;
+  }
+
+let cache_dir t = t.cache_dir
 
 type outcome = {
   build : Pipeline.build;
@@ -27,7 +43,8 @@ let clean t =
   Array.iter
     (fun f ->
       if Filename.check_suffix f ".o" then Sys.remove (Filename.concat t.dir f))
-    (Sys.readdir t.dir)
+    (Sys.readdir t.dir);
+  Store.wipe ~dir:t.cache_dir
 
 (* Compile one module to a code object (the non-CMO path). *)
 let compile_code_object ?profile (options : Options.t) ~source_digest m =
@@ -106,7 +123,16 @@ let build ?profile t (options : Options.t) sources =
                       o.Objfile.module_name)))
           objects
       in
-      Pipeline.compile_modules ?profile options modules
+      if t.cache_enabled then begin
+        let store =
+          Store.open_ ?capacity:t.cache_capacity ~dir:t.cache_dir ()
+        in
+        Fun.protect
+          ~finally:(fun () -> Store.close store)
+          (fun () ->
+            Pipeline.compile_modules ?profile ~cache:store options modules)
+      end
+      else Pipeline.compile_modules ?profile options modules
     end
     else begin
       let image =
@@ -149,6 +175,7 @@ let build ?profile t (options : Options.t) sources =
             cmo_lines = 0;
             warm_lines = 0;
             cold_lines = 0;
+            cache = None;
           };
       }
     end

@@ -13,12 +13,30 @@
     optimization over the IL payloads, reproducing the paper's
     trade-off that "a change in one module potentially requires
     recompilation of all modules in the CMO set" being replaced by
-    re-optimization at link time. *)
+    re-optimization at link time.
+
+    That trade-off is softened by a persistent artifact cache (on by
+    default): link-time CMO results are stored content-addressed
+    under [<dir>/.cmo-cache] (two files, [index] and [payload] — see
+    {!Cmo_cache.Store}), so a rebuild with no effective change skips
+    the optimizer entirely and an incremental change re-optimizes
+    only its invalidation closure.  {!clean} wipes the cache along
+    with the object files. *)
 
 type t
 
-val create : dir:string -> t
-(** The directory must exist and be writable. *)
+val create :
+  ?cache:bool -> ?cache_dir:string -> ?cache_capacity:int -> dir:string ->
+  unit -> t
+(** The directory must exist and be writable.  [cache] (default
+    [true]) enables the link-time artifact cache; [cache_dir]
+    overrides its location (default [<dir>/.cmo-cache]) and
+    [cache_capacity] its live-byte bound (default 256 MiB, see
+    {!Cmo_cache.Store.open_}). *)
+
+val cache_dir : t -> string
+(** Where this workspace's artifact cache lives (whether enabled or
+    not). *)
 
 type outcome = {
   build : Pipeline.build;
@@ -39,4 +57,5 @@ val build :
 
 val object_path : t -> string -> string
 val clean : t -> unit
-(** Remove every object file in the workspace. *)
+(** Remove every object file in the workspace and wipe the artifact
+    cache directory. *)

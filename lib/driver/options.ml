@@ -45,6 +45,37 @@ let o4_pbo_tiered percent =
 
 let instrumented = { base with instrument = true }
 
+(* Canonical rendering of every field that can change generated code.
+   machine_memory, naim_level and parallel_codegen are deliberately
+   excluded: NAIM compaction/offload round-trips losslessly and
+   parallel codegen is bit-identical (both are tested invariants), so
+   artifacts cached under one memory configuration stay valid under
+   another. *)
+let cache_fingerprint t =
+  let opt f = function Some v -> f v | None -> "-" in
+  let inline_config =
+    opt
+      (fun (c : Cmo_hlo.Inline.config) ->
+        Printf.sprintf "%d/%h/%h/%d/%d/%d/%h/%b/%s" c.Cmo_hlo.Inline.always_threshold
+          c.Cmo_hlo.Inline.hot_count_threshold c.Cmo_hlo.Inline.hot_density_ratio
+          c.Cmo_hlo.Inline.hot_size_limit c.Cmo_hlo.Inline.cold_size_limit
+          c.Cmo_hlo.Inline.caller_size_limit c.Cmo_hlo.Inline.program_growth
+          c.Cmo_hlo.Inline.use_profile
+          (opt string_of_int c.Cmo_hlo.Inline.operation_limit))
+      t.inline_config
+  in
+  String.concat ";"
+    [
+      (match t.level with O1 -> "O1" | O2 -> "O2" | O4 -> "O4");
+      string_of_bool t.pbo;
+      opt (Printf.sprintf "%h") t.selectivity;
+      string_of_bool t.tiered;
+      opt string_of_int t.rewrite_limit;
+      opt string_of_int t.inline_limit;
+      opt (String.concat ",") t.cmo_modules;
+      inline_config;
+    ]
+
 let to_string t =
   let level =
     match t.level with O1 -> "+O1" | O2 -> "+O2" | O4 -> "+O4"

@@ -71,3 +71,10 @@ val instrumented : t
 (** The +I training build. *)
 
 val to_string : t -> string
+
+val cache_fingerprint : t -> string
+(** Canonical rendering of every field that influences generated
+    code, for artifact-cache keys.  [machine_memory], [naim_level]
+    and [parallel_codegen] are excluded on purpose: they are
+    behaviour-preserving (tested invariants), so cached artifacts
+    survive memory-configuration changes. *)

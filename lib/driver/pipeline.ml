@@ -4,6 +4,10 @@ module Instr = Cmo_il.Instr
 module Verify = Cmo_il.Verify
 module Callgraph = Cmo_il.Callgraph
 module Intrinsics = Cmo_il.Intrinsics
+module Ilcodec = Cmo_il.Ilcodec
+module Fingerprint = Cmo_support.Fingerprint
+module Store = Cmo_cache.Store
+module Invalidate = Cmo_cache.Invalidate
 module Frontend = Cmo_frontend.Frontend
 module Db = Cmo_profile.Db
 module Probe = Cmo_profile.Probe
@@ -28,6 +32,16 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 
 type source = { name : string; text : string }
 
+(* Module-level artifact traffic for one build; the store's own
+   counters additionally include the per-routine phase cache. *)
+type cache_usage = {
+  hits : int;  (** Module artifacts served from the store. *)
+  misses : int;
+  cmo_cached : string list;  (** CMO-set modules taken from the store. *)
+  cmo_reoptimized : string list;
+      (** CMO-set modules whose link-time optimization actually ran. *)
+}
+
 type report = {
   options : Options.t;
   hlo : Hlo.report option;
@@ -44,6 +58,7 @@ type report = {
   cmo_lines : int;
   warm_lines : int;  (* default-level (+O2) lines outside the CMO set *)
   cold_lines : int;  (* tiered mode: never-executed lines, minimal compile *)
+  cache : cache_usage option;  (* None when no artifact store was given *)
 }
 
 type build = {
@@ -174,7 +189,7 @@ let link_or_fail ?routine_order objects =
       (Format.pp_print_list ~pp_sep:Format.pp_print_cut Linker.pp_error)
       errs
 
-let compile_modules ?profile (options : Options.t) modules =
+let compile_modules ?profile ?cache (options : Options.t) modules =
   let t0 = Sys.time () in
   let total_lines =
     List.fold_left (fun acc m -> acc + Ilmod.src_lines m) 0 modules
@@ -210,6 +225,7 @@ let compile_modules ?profile (options : Options.t) modules =
           cmo_lines = 0;
           warm_lines = 0;
           cold_lines = 0;
+          cache = None;
         };
     }
   end
@@ -226,6 +242,10 @@ let compile_modules ?profile (options : Options.t) modules =
     let cmo_lines = ref 0 in
     let warm_lines = ref 0 in
     let cold_lines = ref 0 in
+    let cache_hits = ref 0 in
+    let cache_misses = ref 0 in
+    let cmo_cached = ref [] in
+    let cmo_reoptimized = ref [] in
     let hlo_t0 = Sys.time () in
     (* Decide the CMO set and optimize it. *)
     let processed_modules =
@@ -271,78 +291,304 @@ let compile_modules ?profile (options : Options.t) modules =
                 f.Func.blocks)
             m.Ilmod.funcs
         in
-        List.iter
-          (fun (m : Ilmod.t) ->
-            if options.Options.tiered && module_is_cold m then
-              cold_lines := !cold_lines + Ilmod.src_lines m
-            else begin
-              warm_lines := !warm_lines + Ilmod.src_lines m;
+        (* Decode a stored module artifact; anything unexpected —
+           corrupt bytes, a key collision surfacing as the wrong
+           module — degrades to a miss. *)
+        let fetch_module store key mname =
+          match Store.find store key with
+          | None ->
+            incr cache_misses;
+            None
+          | Some bytes -> (
+            match Ilcodec.decode_module bytes with
+            | m when m.Ilmod.mname = mname ->
+              incr cache_hits;
+              Some m
+            | _ ->
+              incr cache_misses;
+              None
+            | exception Cmo_support.Codec.Reader.Corrupt _ ->
+              incr cache_misses;
+              None)
+        in
+        (* The +O2 path outside the CMO set is per-module work keyed
+           on the annotated IL alone. *)
+        let optimize_outside (m : Ilmod.t) =
+          if options.Options.tiered && module_is_cold m then begin
+            cold_lines := !cold_lines + Ilmod.src_lines m;
+            m
+          end
+          else begin
+            warm_lines := !warm_lines + Ilmod.src_lines m;
+            let optimize () =
               List.iter
                 (fun f -> ignore (Phase.optimize_func ~mem f))
                 m.Ilmod.funcs
-            end)
-          outside;
-        if cmo_set = [] then modules
-        else begin
-          let cg = Callgraph.build cmo_set in
-          (* Everything that reads module function lists must run
-             before registration: the loader takes ownership and
-             empties them. *)
-          let main_in_set =
-            List.exists
-              (fun (m : Ilmod.t) ->
-                List.exists (fun f -> f.Func.name = "main") m.Ilmod.funcs)
-              cmo_set
-          in
-          let called, stored = external_context outside in
-          let loader_config =
-            {
-              Loader.default_config with
-              Loader.machine_memory = options.Options.machine_memory;
-              forced_level = options.Options.naim_level;
-            }
-          in
-          let loader = Loader.create loader_config mem in
-          List.iter (Loader.register_module loader) cmo_set;
-          let ipa_context =
-            {
-              Ipa.externally_called = Hashtbl.mem called;
-              externally_stored = Hashtbl.mem stored;
-              entry = (if main_in_set then Some "main" else None);
-              keep_exported = true;
-            }
-          in
-          let base_options = Hlo.o4_options ~profile:options.Options.pbo in
-          let inline_config =
-            let config =
-              match options.Options.inline_config with
-              | Some c -> c
-              | None -> (
-                match base_options.Hlo.inline with
-                | Some c -> c
-                | None -> Inline.default_config)
             in
-            { config with Inline.operation_limit = options.Options.inline_limit }
+            match cache with
+            | None ->
+              optimize ();
+              m
+            | Some store -> (
+              let key =
+                Fingerprint.of_strings [ "o2out1"; Ilcodec.encode_module m ]
+              in
+              match fetch_module store key m.Ilmod.mname with
+              | Some cached -> cached
+              | None ->
+                optimize ();
+                Store.add store key (Ilcodec.encode_module m);
+                m)
+          end
+        in
+        let outside = List.map optimize_outside outside in
+        if cmo_set = [] then outside
+        else begin
+          let called, stored = external_context outside in
+          (* Run link-time CMO over [subset] (the whole set, or one
+             invalidation closure).  The external context is always
+             the non-CMO modules: components are closed under calls
+             and shared globals, so modules of other components
+             cannot observe this subset. *)
+          let run_cmo subset =
+            let cg = Callgraph.build subset in
+            (* Everything that reads module function lists must run
+               before registration: the loader takes ownership and
+               empties them. *)
+            let main_in_set =
+              List.exists
+                (fun (m : Ilmod.t) ->
+                  List.exists (fun f -> f.Func.name = "main") m.Ilmod.funcs)
+                subset
+            in
+            let loader_config =
+              {
+                Loader.default_config with
+                Loader.machine_memory = options.Options.machine_memory;
+                forced_level = options.Options.naim_level;
+              }
+            in
+            let loader = Loader.create loader_config mem in
+            List.iter (Loader.register_module loader) subset;
+            let ipa_context =
+              {
+                Ipa.externally_called = Hashtbl.mem called;
+                externally_stored = Hashtbl.mem stored;
+                entry = (if main_in_set then Some "main" else None);
+                keep_exported = true;
+              }
+            in
+            let base_options = Hlo.o4_options ~profile:options.Options.pbo in
+            let inline_config =
+              let config =
+                match options.Options.inline_config with
+                | Some c -> c
+                | None -> (
+                  match base_options.Hlo.inline with
+                  | Some c -> c
+                  | None -> Inline.default_config)
+              in
+              { config with Inline.operation_limit = options.Options.inline_limit }
+            in
+            let hot_filter =
+              Option.map
+                (fun sel name -> Selectivity.is_hot_function sel name)
+                !selection
+            in
+            let hlo_options =
+              {
+                base_options with
+                Hlo.inline = Some inline_config;
+                hot_filter;
+                rewrite_limit = options.Options.rewrite_limit;
+                phase_cache = cache;
+              }
+            in
+            let report = Hlo.run loader cg ~ipa_context hlo_options in
+            hlo_report := Some report;
+            let optimized = Loader.extract_modules loader in
+            loader_stats := Some (Loader.stats loader);
+            Loader.close loader;
+            optimized
           in
-          let hot_filter =
-            Option.map
-              (fun sel name -> Selectivity.is_hot_function sel name)
-              !selection
-          in
-          let hlo_options =
-            {
-              base_options with
-              Hlo.inline = Some inline_config;
-              hot_filter;
-              rewrite_limit = options.Options.rewrite_limit;
-            }
-          in
-          let report = Hlo.run loader cg ~ipa_context hlo_options in
-          hlo_report := Some report;
-          let optimized = Loader.extract_modules loader in
-          loader_stats := Some (Loader.stats loader);
-          Loader.close loader;
-          optimized @ outside
+          match cache with
+          | None -> run_cmo cmo_set @ outside
+          | Some store ->
+            let all_names =
+              List.map (fun (m : Ilmod.t) -> m.Ilmod.mname) cmo_set
+            in
+            let part = Invalidate.compute cmo_set in
+            (* Snapshot digests and function lists before any loader
+               registration empties the modules. *)
+            let il_fp = Hashtbl.create 16 in
+            let mod_funcs = Hashtbl.create 16 in
+            List.iter
+              (fun (m : Ilmod.t) ->
+                Hashtbl.replace il_fp m.Ilmod.mname
+                  (Fingerprint.of_strings [ Ilcodec.encode_module m ]);
+                Hashtbl.replace mod_funcs m.Ilmod.mname
+                  (List.map
+                     (fun (f : Func.t) -> (f.Func.name, f.Func.linkage))
+                     m.Ilmod.funcs))
+              cmo_set;
+            let has_root names =
+              List.exists
+                (fun n ->
+                  List.exists
+                    (fun (fname, linkage) ->
+                      fname = "main" || linkage = Func.Exported
+                      || Hashtbl.mem called fname)
+                    (Option.value ~default:[] (Hashtbl.find_opt mod_funcs n)))
+                names
+            in
+            let roots_exist = has_root all_names in
+            (* Per-component caching is exact only when every global
+               decision decomposes by component: profile-guided
+               cloning uses program-wide counters and name allocation,
+               and the bug-isolation operation limits are program-wide
+               budgets, so those modes fall back to whole-set keys
+               (all-or-nothing reuse).  Likewise the degenerate
+               rootless program, where IPA's keep-everything guard is
+               not component-local. *)
+            let decomposable =
+              (not options.Options.pbo)
+              && options.Options.inline_limit = None
+              && options.Options.rewrite_limit = None
+              && roots_exist
+            in
+            let opt_fp = Options.cache_fingerprint options in
+            let sel_fp =
+              match !selection with
+              | None -> "nosel"
+              | Some sel ->
+                Fingerprint.of_strings
+                  (("sel" :: sel.Selectivity.cmo_modules)
+                  @ ("|" :: sel.Selectivity.hot_functions))
+            in
+            (* The key of a module: its component's (name, digest)
+               pairs plus the slice of the external context its
+               component can observe — external callers pin IPA
+               argument lattices and keep functions alive; external
+               stores block const-global folding. *)
+            let comp_parts_memo = Hashtbl.create 8 in
+            let component_parts comp =
+              let head = List.hd comp in
+              match Hashtbl.find_opt comp_parts_memo head with
+              | Some parts -> parts
+              | None ->
+                let ext_called =
+                  List.concat_map
+                    (fun n ->
+                      Option.value ~default:[] (Hashtbl.find_opt mod_funcs n)
+                      |> List.filter_map (fun (fname, _) ->
+                             if Hashtbl.mem called fname then Some fname
+                             else None))
+                    comp
+                  |> List.sort String.compare
+                in
+                let ext_stored =
+                  List.concat_map (Invalidate.global_refs part) comp
+                  |> List.sort_uniq String.compare
+                  |> List.filter (Hashtbl.mem stored)
+                in
+                let parts =
+                  List.concat_map
+                    (fun n ->
+                      [ n; Option.value ~default:"" (Hashtbl.find_opt il_fp n) ])
+                    comp
+                  @ ("|called" :: ext_called)
+                  @ ("|stored" :: ext_stored)
+                in
+                Hashtbl.replace comp_parts_memo head parts;
+                parts
+            in
+            let keys = Hashtbl.create 16 in
+            List.iter
+              (fun name ->
+                let comp =
+                  if decomposable then Invalidate.component part name
+                  else all_names
+                in
+                Hashtbl.replace keys name
+                  (Fingerprint.of_strings
+                     ("cmo1" :: opt_fp :: sel_fp :: name :: "|comp"
+                     :: component_parts comp)))
+              all_names;
+            let fetched = Hashtbl.create 16 in
+            let missing =
+              List.filter
+                (fun name ->
+                  match fetch_module store (Hashtbl.find keys name) name with
+                  | Some cached ->
+                    Hashtbl.replace fetched name cached;
+                    false
+                  | None -> true)
+                all_names
+            in
+            let store_results optimized =
+              List.iter
+                (fun (m' : Ilmod.t) ->
+                  match Hashtbl.find_opt keys m'.Ilmod.mname with
+                  | Some key -> Store.add store key (Ilcodec.encode_module m')
+                  | None -> ())
+                optimized
+            in
+            if missing = [] then begin
+              (* Every artifact current: the link step skips HLO
+                 entirely. *)
+              cmo_cached := all_names;
+              List.map (Hashtbl.find fetched) all_names @ outside
+            end
+            else begin
+              let rerun_names =
+                if decomposable then Invalidate.closure part ~changed:missing
+                else all_names
+              in
+              if List.length rerun_names = List.length all_names then begin
+                cmo_reoptimized := all_names;
+                let optimized = run_cmo cmo_set in
+                store_results optimized;
+                optimized @ outside
+              end
+              else begin
+                let rerun_set =
+                  List.filter
+                    (fun (m : Ilmod.t) -> List.mem m.Ilmod.mname rerun_names)
+                    cmo_set
+                in
+                cmo_reoptimized := rerun_names;
+                cmo_cached :=
+                  List.filter
+                    (fun n -> not (List.mem n rerun_names))
+                    all_names;
+                let optimized =
+                  if has_root rerun_names then run_cmo rerun_set
+                  else
+                    (* A rootless closure (while roots exist
+                       elsewhere): the full run's IPA removes every
+                       one of its functions as unreachable, so the
+                       re-optimized form is just the empty-bodied
+                       modules — running HLO here would instead hit
+                       IPA's keep-everything guard. *)
+                    List.map
+                      (fun (m : Ilmod.t) -> { m with Ilmod.funcs = [] })
+                      rerun_set
+                in
+                store_results optimized;
+                let opt_tbl = Hashtbl.create 16 in
+                List.iter
+                  (fun (m' : Ilmod.t) ->
+                    Hashtbl.replace opt_tbl m'.Ilmod.mname m')
+                  optimized;
+                List.map
+                  (fun name ->
+                    match Hashtbl.find_opt opt_tbl name with
+                    | Some m' -> m'
+                    | None -> Hashtbl.find fetched name)
+                  all_names
+                @ outside
+              end
+            end
         end
     in
     let hlo_t1 = Sys.time () in
@@ -408,15 +654,25 @@ let compile_modules ?profile (options : Options.t) modules =
           cmo_lines = !cmo_lines;
           warm_lines = !warm_lines;
           cold_lines = !cold_lines;
+          cache =
+            Option.map
+              (fun _ ->
+                {
+                  hits = !cache_hits;
+                  misses = !cache_misses;
+                  cmo_cached = !cmo_cached;
+                  cmo_reoptimized = !cmo_reoptimized;
+                })
+              cache;
         };
     }
   end
 
-let compile ?profile options sources =
+let compile ?profile ?cache options sources =
   let t0 = Sys.time () in
   let modules = frontend sources in
   let t1 = Sys.time () in
-  let build = compile_modules ?profile options modules in
+  let build = compile_modules ?profile ?cache options modules in
   { build with report = { build.report with frontend_seconds = t1 -. t0 } }
 
 let run ?input ?fuel ?attribute build = Vm.run ?input ?fuel ?attribute build.image
@@ -452,6 +708,14 @@ let pp_report ppf r =
     r.llo.Llo.peephole_rewrites;
   (match r.hlo with
   | Some h -> Format.fprintf ppf "@,%a" Hlo.pp_report h
+  | None -> ());
+  (match r.cache with
+  | Some c ->
+    Format.fprintf ppf
+      "@,cache: %d module hits, %d misses; %d cmo cached, %d re-optimized"
+      c.hits c.misses
+      (List.length c.cmo_cached)
+      (List.length c.cmo_reoptimized)
   | None -> ());
   (match r.selection with
   | Some s -> Format.fprintf ppf "@,%a" Selectivity.pp s

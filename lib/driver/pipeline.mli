@@ -19,6 +19,19 @@
 
 type source = { name : string; text : string }
 
+type cache_usage = {
+  hits : int;  (** Module-level artifacts served from the store. *)
+  misses : int;  (** Module-level artifact lookups that missed. *)
+  cmo_cached : string list;
+      (** CMO-set modules whose post-CMO IL came from the store. *)
+  cmo_reoptimized : string list;
+      (** CMO-set modules whose link-time optimization actually ran
+          (the invalidation closure of the changed modules). *)
+}
+(** Artifact-cache traffic for one build.  Module-level only: the
+    store's own {!Cmo_cache.Store.stats} additionally count the
+    per-routine phase cache. *)
+
 type report = {
   options : Options.t;
   hlo : Cmo_hlo.Hlo.report option;
@@ -38,6 +51,7 @@ type report = {
   cold_lines : int;
       (** Tiered mode only: never-executed lines given the minimal
           (+O1-grade) compile. *)
+  cache : cache_usage option;  (** [None] when built without a store. *)
 }
 
 type build = {
@@ -61,12 +75,32 @@ val frontend_one : source -> Cmo_il.Ilmod.t
     separate-compilation discipline the build system relies on.
     @raise Compile_error on any error. *)
 
-val compile : ?profile:Cmo_profile.Db.t -> Options.t -> source list -> build
+val compile :
+  ?profile:Cmo_profile.Db.t ->
+  ?cache:Cmo_cache.Store.t ->
+  Options.t ->
+  source list ->
+  build
 
 val compile_modules :
-  ?profile:Cmo_profile.Db.t -> Options.t -> Cmo_il.Ilmod.t list -> build
+  ?profile:Cmo_profile.Db.t ->
+  ?cache:Cmo_cache.Store.t ->
+  Options.t ->
+  Cmo_il.Ilmod.t list ->
+  build
 (** Takes ownership of [modules]: profile annotation and optimization
-    mutate them. *)
+    mutate them.
+
+    With [cache], the O4 link step becomes incremental: post-CMO
+    per-module IL is stored content-addressed, keyed on the module's
+    invalidation-closure component (see {!Cmo_cache.Invalidate}), the
+    canonical option fingerprint, and the external context visible to
+    the component.  When every artifact is current the HLO phase runs
+    not at all (the report's [hlo] is [None]); otherwise only the
+    invalidation closure of the changed modules is re-optimized —
+    falling back to the whole set under profile-guided cloning or the
+    bug-isolation limits, whose budgets are program-wide.  Cached or
+    not, the resulting image is bit-identical. *)
 
 val run :
   ?input:int64 array -> ?fuel:int -> ?attribute:bool -> build ->

@@ -1,4 +1,10 @@
 module Loader = Cmo_naim.Loader
+module Func = Cmo_il.Func
+module Fingerprint = Cmo_support.Fingerprint
+module Store = Cmo_cache.Store
+module Funcodec = Cmo_cache.Funcodec
+module W = Cmo_support.Codec.Writer
+module R = Cmo_support.Codec.Reader
 
 type options = {
   clone : Clone.config option;
@@ -6,10 +12,18 @@ type options = {
   ipa : bool;
   hot_filter : (string -> bool) option;
   rewrite_limit : int option;
+  phase_cache : Store.t option;
 }
 
 let o2_options =
-  { clone = None; inline = None; ipa = false; hot_filter = None; rewrite_limit = None }
+  {
+    clone = None;
+    inline = None;
+    ipa = false;
+    hot_filter = None;
+    rewrite_limit = None;
+    phase_cache = None;
+  }
 
 let o4_options ~profile =
   {
@@ -19,7 +33,44 @@ let o4_options ~profile =
     ipa = true;
     hot_filter = None;
     rewrite_limit = None;
+    phase_cache = None;
   }
+
+(* The phase pipeline is purely intraprocedural, so its result is a
+   function of the routine body alone: cache it content-addressed.
+   The envelope also records the rewrite count so reports stay
+   identical between cached and uncached builds.  Disabled under a
+   rewrite limit, whose budget is shared across routines. *)
+let phase_version = "fn1"
+
+let optimize_func_cached store ~mem ~budget (f : Func.t) =
+  let before = Funcodec.encode f in
+  let key = Fingerprint.of_strings [ phase_version; before ] in
+  let hit =
+    match Store.find store key with
+    | None -> None
+    | Some entry -> (
+      match
+        let r = R.of_string entry in
+        let n = R.uvarint r in
+        (n, Funcodec.decode (R.string r))
+      with
+      | n, g when g.Func.name = f.Func.name && g.Func.arity = f.Func.arity ->
+        Some (n, g)
+      | _ -> None
+      | exception R.Corrupt _ -> None)
+  in
+  match hit with
+  | Some (n, g) ->
+    Funcodec.overwrite ~dst:f g;
+    n
+  | None ->
+    let n = Phase.optimize_func ~mem ~budget f in
+    let w = W.create () in
+    W.uvarint w n;
+    W.string w (Funcodec.encode f);
+    Store.add store key (W.contents w);
+    n
 
 type report = {
   clones : int;
@@ -59,7 +110,12 @@ let run loader cg ?(ipa_context = Ipa.whole_program) options =
       if hot then begin
         incr funcs_optimized;
         Loader.with_func loader fname (fun f ->
-            rewrites := !rewrites + Phase.optimize_func ~mem ~budget f;
+            let n =
+              match (options.phase_cache, options.rewrite_limit) with
+              | Some store, None -> optimize_func_cached store ~mem ~budget f
+              | _ -> Phase.optimize_func ~mem ~budget f
+            in
+            rewrites := !rewrites + n;
             Loader.update loader f)
       end
       else incr funcs_skipped)

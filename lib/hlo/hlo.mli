@@ -25,6 +25,13 @@ type options = {
           with [f name = true]. *)
   rewrite_limit : int option;
       (** Operation limit over scalar rewrites (bug isolation). *)
+  phase_cache : Cmo_cache.Store.t option;
+      (** Content-addressed cache for per-routine phase results: the
+          phase pipeline is purely intraprocedural, so a routine whose
+          post-inline/IPA body is unchanged since a previous build is
+          fetched instead of re-optimized.  Ignored when
+          [rewrite_limit] is set (the budget is shared across
+          routines). *)
 }
 
 val o2_options : options

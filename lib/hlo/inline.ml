@@ -208,16 +208,65 @@ let decide config cg ~avg_density ~caller_name ~caller_size (c : Instr.call) =
       else Too_big
     end
 
+(* Weakly-connected call-graph components, by union-find.  Growth is
+   budgeted per component rather than program-wide so that inlining a
+   component in isolation makes exactly the decisions a full-program
+   run makes for it — the independence the incremental artifact cache
+   relies on.  (Inlining never crosses a component boundary: an edge
+   implies membership in the same weak component.) *)
+let weak_components cg =
+  let parent = Hashtbl.create 64 in
+  let rec find x =
+    match Hashtbl.find_opt parent x with
+    | Some p when not (String.equal p x) ->
+      let r = find p in
+      Hashtbl.replace parent x r;
+      r
+    | Some _ -> x
+    | None ->
+      Hashtbl.replace parent x x;
+      x
+  in
+  let union a b =
+    let ra = find a and rb = find b in
+    if not (String.equal ra rb) then Hashtbl.replace parent ra rb
+  in
+  List.iter (fun n -> ignore (find n.Callgraph.fname)) (Callgraph.nodes cg);
+  List.iter
+    (fun (e : Callgraph.edge) -> union e.Callgraph.caller e.Callgraph.callee)
+    (Callgraph.edges cg);
+  find
+
 let run loader cg config =
   let initial_total =
     List.fold_left
       (fun acc n -> acc + n.Callgraph.instr_count)
       0 (Callgraph.nodes cg)
   in
-  let max_total =
-    int_of_float (config.program_growth *. float_of_int initial_total)
+  let component_of = weak_components cg in
+  (* Per-component growth budget: initial size and running total. *)
+  let budgets = Hashtbl.create 16 in
+  List.iter
+    (fun n ->
+      let root = component_of n.Callgraph.fname in
+      let initial, total =
+        match Hashtbl.find_opt budgets root with
+        | Some b -> b
+        | None ->
+          let b = (ref 0, ref 0) in
+          Hashtbl.replace budgets root b;
+          b
+      in
+      initial := !initial + n.Callgraph.instr_count;
+      total := !total + n.Callgraph.instr_count)
+    (Callgraph.nodes cg);
+  let budget_of fname =
+    let initial, total = Hashtbl.find budgets (component_of fname) in
+    let max_total =
+      int_of_float (config.program_growth *. float_of_int !initial)
+    in
+    (total, max_total)
   in
-  let total = ref initial_total in
   let operations = ref 0 in
   let cross_module = ref 0 in
   let bytes_grown = ref 0 in
@@ -241,6 +290,7 @@ let run loader cg config =
   List.iter
     (fun caller_name ->
       if not (limit_reached ()) then begin
+        let total, max_total = budget_of caller_name in
         let caller = Loader.acquire loader caller_name in
         let caller_module = Loader.module_of_func loader caller_name in
         let bytes_before = Size.func_expanded_bytes caller in

@@ -23,7 +23,13 @@
       everywhere — the thorough-but-expensive mode whose compile-time
       consequences section 5 describes;
     - the caller stops growing at [caller_size_limit] instructions and
-      the whole program at [program_growth] times its initial size.
+      each weakly-connected call-graph component at [program_growth]
+      times its initial size.  The growth budget is per component (not
+      program-wide) so that re-optimizing a component in isolation
+      makes exactly the decisions a full run makes for it — the
+      independence the incremental artifact cache relies on; inlining
+      never crosses component boundaries, so the cap is equally
+      binding.
 
     Profile annotations are scaled on the way in: inlined block
     frequencies and call counts are multiplied by

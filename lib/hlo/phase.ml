@@ -27,7 +27,15 @@ let take budget n =
 let exhausted budget =
   match budget.remaining with Some 0 -> true | Some _ | None -> false
 
+(* Process-wide count of optimize_func invocations: the phase-work
+   meter the incremental-cache tests assert against (a fully
+   cache-warm rebuild must not move it). *)
+let processed = ref 0
+
+let funcs_processed () = !processed
+
 let optimize_func ?mem ?(budget = unlimited ()) ?(max_rounds = 4) (f : Func.t) =
+  incr processed;
   let charge_derived () =
     match mem with
     | None -> fun () -> ()

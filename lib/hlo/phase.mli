@@ -30,3 +30,8 @@ val optimize_func :
   int
 (** Returns the total number of rewrites applied (0 = fixpoint on
     entry).  Default [max_rounds] is 4. *)
+
+val funcs_processed : unit -> int
+(** Process-wide count of {!optimize_func} invocations — the
+    phase-work meter: the artifact cache's warm-rebuild tests assert
+    this does not move across a fully cached build. *)

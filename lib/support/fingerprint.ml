@@ -1,0 +1,31 @@
+type t = int64
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let add_byte h b = Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) fnv_prime
+
+let empty = fnv_offset
+
+let add_int64 h v =
+  let h = ref h in
+  for shift = 0 to 7 do
+    h := add_byte !h (Int64.to_int (Int64.shift_right_logical v (shift * 8)))
+  done;
+  !h
+
+let seeded seed = add_int64 empty seed
+
+let add_int h n = add_int64 h (Int64.of_int n)
+
+let add_string h s =
+  let h = ref (add_int h (String.length s)) in
+  String.iter (fun c -> h := add_byte !h (Char.code c)) s;
+  !h
+
+let to_hex = Printf.sprintf "%016Lx"
+
+let of_strings parts =
+  let h1 = List.fold_left add_string (seeded 0x9e3779b97f4a7c15L) parts in
+  let h2 = List.fold_left add_string (seeded 0xc2b2ae3d27d4eb4fL) parts in
+  to_hex h1 ^ to_hex h2

@@ -1,0 +1,33 @@
+(** Deterministic content fingerprints for the artifact cache.
+
+    FNV-1a over length-framed byte strings: dependency-free, fast,
+    and stable across processes and platforms (unlike [Hashtbl.hash],
+    which is documented to vary).  Framing each field with its length
+    keeps concatenation injective, so ["ab"; "c"] and ["a"; "bc"]
+    hash differently.
+
+    A single 64-bit FNV state is cheap but collision-prone at cache
+    scale; {!of_strings} therefore combines two independently seeded
+    passes into a 128-bit hex key, which is what the cache store uses
+    as its index key. *)
+
+type t
+(** A running 64-bit hash state (immutable; adders return the new
+    state). *)
+
+val empty : t
+
+val seeded : int64 -> t
+(** A state whose initial value mixes in the given seed. *)
+
+val add_string : t -> string -> t
+(** Hash the string's length, then its bytes. *)
+
+val add_int : t -> int -> t
+
+val to_hex : t -> string
+(** 16 lowercase hex characters. *)
+
+val of_strings : string list -> string
+(** The 32-hex-character (128-bit) cache key of a field list: two
+    independently seeded passes over the length-framed fields. *)

@@ -1,0 +1,453 @@
+(* The artifact-cache subsystem: fingerprints, the on-disk store, the
+   invalidation-closure analysis, and — the load-bearing part — the
+   differential guarantee that builds through the cache are
+   bit-identical to builds without it, whatever was or wasn't
+   cached. *)
+
+module Fingerprint = Cmo_support.Fingerprint
+module Store = Cmo_cache.Store
+module Invalidate = Cmo_cache.Invalidate
+module Funcodec = Cmo_cache.Funcodec
+module Func = Cmo_il.Func
+module Ilmod = Cmo_il.Ilmod
+module Interp = Cmo_il.Interp
+module Phase = Cmo_hlo.Phase
+module Options = Cmo_driver.Options
+module Pipeline = Cmo_driver.Pipeline
+module Buildsys = Cmo_driver.Buildsys
+module Vm = Cmo_vm.Vm
+
+(* ---------- scaffolding ---------- *)
+
+let rec remove_tree path =
+  match Sys.is_directory path with
+  | true ->
+    Array.iter
+      (fun entry -> remove_tree (Filename.concat path entry))
+      (Sys.readdir path);
+    Sys.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
+let with_store_dir f =
+  let dir = Filename.temp_file "cmo_cache" "" in
+  Sys.remove dir;
+  Fun.protect ~finally:(fun () -> remove_tree dir) (fun () -> f dir)
+
+let with_store ?capacity f =
+  with_store_dir (fun dir ->
+      let store = Store.open_ ?capacity ~dir () in
+      Fun.protect ~finally:(fun () -> Store.close store) (fun () -> f store))
+
+(* A four-module application that splits into two weakly-connected
+   components of the module graph:
+
+   - [mod_a] (main) calls into [mod_b] — the live component;
+   - [mod_c] (exported [report]) calls into [mod_d] and shares the
+     [tally] global with it — exported library code no call reaches,
+     kept by IPA because [report] and [pack] are roots.
+
+   [kb] and [kd] are editable constants standing in for source
+   changes local to one component. *)
+let app ?(kb = 3) ?(kd = 10) () : Pipeline.source list =
+  [
+    {
+      Pipeline.name = "mod_a";
+      text =
+        {|
+        func main() {
+          var n = 25;
+          var s = 0;
+          var i = 0;
+          while (i < n) { s = s + mix(i, s); i = i + 1; }
+          print(s);
+          return s & 255;
+        }
+        |};
+    };
+    {
+      Pipeline.name = "mod_b";
+      text =
+        Printf.sprintf
+          {|
+          static func twist(v) { return v * %d + 1; }
+          func mix(x, seed) { return (seed / 3) + twist(x); }
+          |}
+          kb;
+    };
+    {
+      Pipeline.name = "mod_c";
+      text =
+        {|
+        extern global tally;
+        func report(v) { tally = tally + pack(v); return tally; }
+        |};
+    };
+    {
+      Pipeline.name = "mod_d";
+      text =
+        Printf.sprintf
+          {|
+          global tally = 0;
+          func pack(v) { return v * %d; }
+          |}
+          kd;
+    };
+  ]
+
+let interp_reference sources =
+  Interp.run
+    (List.map
+       (fun { Pipeline.name; text } -> Helpers.compile ~name text)
+       sources)
+
+let image (build : Pipeline.build) = build.Pipeline.image
+
+let check_same_image msg a b =
+  Alcotest.(check bool) (msg ^ ": code") true
+    (a.Cmo_link.Image.code = b.Cmo_link.Image.code);
+  Alcotest.(check bool) (msg ^ ": data/symbols") true
+    (a.Cmo_link.Image.data_init = b.Cmo_link.Image.data_init
+    && a.Cmo_link.Image.funcs = b.Cmo_link.Image.funcs
+    && a.Cmo_link.Image.globals = b.Cmo_link.Image.globals)
+
+let cache_usage (build : Pipeline.build) =
+  match build.Pipeline.report.Pipeline.cache with
+  | Some c -> c
+  | None -> Alcotest.fail "expected a cache-usage report"
+
+(* ---------- fingerprints ---------- *)
+
+let test_fingerprint_basics () =
+  let k = Fingerprint.of_strings [ "alpha"; "beta" ] in
+  Alcotest.(check string) "deterministic" k
+    (Fingerprint.of_strings [ "alpha"; "beta" ]);
+  Alcotest.(check int) "128-bit hex" 32 (String.length k);
+  Alcotest.(check bool) "content-sensitive" true
+    (k <> Fingerprint.of_strings [ "alpha"; "gamma" ]);
+  Alcotest.(check bool) "order-sensitive" true
+    (k <> Fingerprint.of_strings [ "beta"; "alpha" ]);
+  Alcotest.(check bool) "framing keeps concatenation injective" true
+    (Fingerprint.of_strings [ "ab"; "c" ]
+    <> Fingerprint.of_strings [ "a"; "bc" ]);
+  let one = Fingerprint.(to_hex (add_string empty "x")) in
+  Alcotest.(check int) "64-bit hex" 16 (String.length one)
+
+(* ---------- the store ---------- *)
+
+let test_store_roundtrip_and_counters () =
+  with_store (fun store ->
+      Alcotest.(check (option string)) "empty store misses" None
+        (Store.find store "k1");
+      Store.add store "k1" "payload-one";
+      Alcotest.(check (option string)) "hit after add" (Some "payload-one")
+        (Store.find store "k1");
+      let s = Store.stats store in
+      Alcotest.(check int) "one hit" 1 s.Store.hits;
+      Alcotest.(check int) "one miss" 1 s.Store.misses;
+      Alcotest.(check int) "one store" 1 s.Store.stores;
+      Alcotest.(check int) "one entry" 1 s.Store.entries;
+      Alcotest.(check int) "live bytes" (String.length "payload-one")
+        s.Store.live_bytes)
+
+let test_store_persistence () =
+  with_store_dir (fun dir ->
+      let store = Store.open_ ~dir () in
+      Store.add store "k1" "first";
+      Store.add store "k2" "second";
+      ignore (Store.find store "k1");
+      Store.close store;
+      let store = Store.open_ ~dir () in
+      Fun.protect
+        ~finally:(fun () -> Store.close store)
+        (fun () ->
+          Alcotest.(check (option string)) "k1 survives reopen" (Some "first")
+            (Store.find store "k1");
+          Alcotest.(check (option string)) "k2 survives reopen" (Some "second")
+            (Store.find store "k2");
+          let s = Store.stats store in
+          Alcotest.(check int) "hit counter persisted (1 old + 2 new)" 3
+            s.Store.hits;
+          Alcotest.(check int) "stores persisted" 2 s.Store.stores))
+
+let test_store_replace () =
+  with_store (fun store ->
+      Store.add store "k" "old-bytes";
+      Store.add store "k" "new";
+      Alcotest.(check (option string)) "latest wins" (Some "new")
+        (Store.find store "k");
+      let s = Store.stats store in
+      Alcotest.(check int) "one entry" 1 s.Store.entries;
+      Alcotest.(check int) "live bytes are the replacement's" 3
+        s.Store.live_bytes)
+
+let test_store_lru_eviction () =
+  with_store ~capacity:100 (fun store ->
+      let blob c = String.make 60 c in
+      Store.add store "a" (blob 'a');
+      Store.add store "b" (blob 'b');
+      (* 120 live > 100: the LRU entry (a) must have gone. *)
+      Alcotest.(check (option string)) "a evicted" None (Store.find store "a");
+      Alcotest.(check (option string)) "b kept" (Some (blob 'b'))
+        (Store.find store "b");
+      (* Touch b, add c: b is now the most recent, so c's arrival
+         evicts nothing else than... b and c are 120 again, and b was
+         touched after a died; the victim is the older of b/c. *)
+      Store.add store "c" (blob 'c');
+      Alcotest.(check (option string)) "b evicted as LRU" None
+        (Store.find store "b");
+      Alcotest.(check (option string)) "c kept" (Some (blob 'c'))
+        (Store.find store "c");
+      let s = Store.stats store in
+      Alcotest.(check int) "two evictions" 2 s.Store.evictions;
+      (* A single artifact over capacity is kept rather than thrashed. *)
+      Store.add store "huge" (String.make 500 'h');
+      Alcotest.(check (option string)) "oversized artifact kept"
+        (Some (String.make 500 'h'))
+        (Store.find store "huge");
+      Alcotest.(check int) "never evicts below one entry" 1
+        (Store.stats store).Store.entries)
+
+let test_store_clear () =
+  with_store (fun store ->
+      Store.add store "k" "v";
+      ignore (Store.find store "k");
+      Store.clear store;
+      let s = Store.stats store in
+      Alcotest.(check int) "no entries" 0 s.Store.entries;
+      Alcotest.(check int) "counters reset" 0
+        (s.Store.hits + s.Store.misses + s.Store.stores);
+      Alcotest.(check (option string)) "lookup misses" None
+        (Store.find store "k"))
+
+let test_store_corrupt_index_tolerated () =
+  with_store_dir (fun dir ->
+      let store = Store.open_ ~dir () in
+      Store.add store "k" "precious";
+      Store.close store;
+      let oc = open_out_bin (Filename.concat dir "index") in
+      output_string oc "this is not an index";
+      close_out oc;
+      let store = Store.open_ ~dir () in
+      Fun.protect
+        ~finally:(fun () -> Store.close store)
+        (fun () ->
+          Alcotest.(check int) "reads as empty" 0
+            (Store.stats store).Store.entries;
+          Alcotest.(check (option string)) "lookup degrades to miss" None
+            (Store.find store "k");
+          Store.add store "k2" "fresh";
+          Alcotest.(check (option string)) "store still works" (Some "fresh")
+            (Store.find store "k2")))
+
+(* ---------- the function codec ---------- *)
+
+let test_funcodec_roundtrip_and_overwrite () =
+  let f = Helpers.make_linear_func "fn" in
+  let bytes = Funcodec.encode f in
+  let g = Funcodec.decode bytes in
+  Alcotest.(check string) "name" f.Func.name g.Func.name;
+  Alcotest.(check int) "arity" f.Func.arity g.Func.arity;
+  Alcotest.(check string) "identical functions encode identically" bytes
+    (Funcodec.encode g);
+  (* Overwrite a sibling in place, as the phase cache does to a
+     loader-acquired function. *)
+  let dst = Func.create ~name:"fn" ~arity:2 ~linkage:Func.Exported in
+  Funcodec.overwrite ~dst g;
+  Alcotest.(check string) "overwrite reproduces the body" bytes
+    (Funcodec.encode dst)
+
+(* ---------- invalidation closures ---------- *)
+
+let frontend sources = Pipeline.frontend sources
+
+let test_invalidate_components () =
+  let part = Invalidate.compute (frontend (app ())) in
+  Alcotest.(check (list (list string))) "two components"
+    [ [ "mod_a"; "mod_b" ]; [ "mod_c"; "mod_d" ] ]
+    (Invalidate.components part);
+  Alcotest.(check (list string)) "closure of mod_d" [ "mod_c"; "mod_d" ]
+    (Invalidate.closure part ~changed:[ "mod_d" ]);
+  Alcotest.(check (list string)) "closure of mod_b" [ "mod_a"; "mod_b" ]
+    (Invalidate.closure part ~changed:[ "mod_b" ]);
+  Alcotest.(check (list string)) "closure of both"
+    [ "mod_a"; "mod_b"; "mod_c"; "mod_d" ]
+    (Invalidate.closure part ~changed:[ "mod_b"; "mod_d" ]);
+  Alcotest.(check bool) "tally couples mod_c and mod_d" true
+    (List.mem "tally" (Invalidate.global_refs part "mod_d"))
+
+let test_invalidate_global_only_coupling () =
+  (* No call edge between the two modules — only the shared global
+     must merge them, because IPA folds never-stored globals. *)
+  let sources =
+    [
+      { Pipeline.name = "g1"; text = "global shared = 5; func main() { return shared; }" };
+      { Pipeline.name = "g2"; text = "extern global shared; func peek() { return shared + 1; }" };
+    ]
+  in
+  let part = Invalidate.compute (frontend sources) in
+  Alcotest.(check (list (list string))) "one component" [ [ "g1"; "g2" ] ]
+    (Invalidate.components part)
+
+(* ---------- differential: cached builds are bit-identical ---------- *)
+
+let test_warm_rebuild_identical_and_free () =
+  with_store (fun store ->
+      let sources = app () in
+      let cold = Pipeline.compile ~cache:store Options.o4 sources in
+      let hlo_before = Phase.funcs_processed () in
+      let warm = Pipeline.compile ~cache:store Options.o4 sources in
+      Alcotest.(check int) "zero HLO phase work when warm" 0
+        (Phase.funcs_processed () - hlo_before);
+      Alcotest.(check bool) "HLO skipped entirely" true
+        (warm.Pipeline.report.Pipeline.hlo = None);
+      let usage = cache_usage warm in
+      Alcotest.(check int) "no module misses" 0 usage.Pipeline.misses;
+      Alcotest.(check (list string)) "all four modules from the store"
+        [ "mod_a"; "mod_b"; "mod_c"; "mod_d" ]
+        (List.sort compare usage.Pipeline.cmo_cached);
+      Alcotest.(check (list string)) "nothing re-optimized" []
+        usage.Pipeline.cmo_reoptimized;
+      check_same_image "warm = cold" (image cold) (image warm);
+      let expected = interp_reference sources in
+      let o = Pipeline.run warm in
+      Alcotest.(check int64) "warm build runs right" expected.Interp.ret
+        o.Vm.ret;
+      Alcotest.(check (list int64)) "warm build prints right"
+        expected.Interp.output o.Vm.output)
+
+let test_warm_rebuild_identical_under_pbo () =
+  (* +P disables partial reuse (cloning budgets are program-wide) but
+     whole-set reuse must still hit and stay bit-identical. *)
+  with_store (fun store ->
+      let sources = app () in
+      let db = Pipeline.train sources in
+      let cold = Pipeline.compile ~profile:db ~cache:store Options.o4_pbo sources in
+      let hlo_before = Phase.funcs_processed () in
+      let warm = Pipeline.compile ~profile:db ~cache:store Options.o4_pbo sources in
+      Alcotest.(check int) "zero HLO phase work when warm" 0
+        (Phase.funcs_processed () - hlo_before);
+      check_same_image "warm = cold (+O4 +P)" (image cold) (image warm);
+      let uncached = Pipeline.compile ~profile:db Options.o4_pbo sources in
+      check_same_image "cached = uncached (+O4 +P)" (image uncached)
+        (image warm))
+
+let test_one_module_edit_reoptimizes_closure_only () =
+  with_store (fun store ->
+      ignore (Pipeline.compile ~cache:store Options.o4 (app ()));
+      (* Edit the dead-library component: only {mod_c, mod_d} may be
+         re-optimized, and the image must match a fresh uncached
+         compile of the edited program. *)
+      let edited = app ~kd:77 () in
+      let incr = Pipeline.compile ~cache:store Options.o4 edited in
+      let usage = cache_usage incr in
+      Alcotest.(check (list string)) "closure re-optimized"
+        [ "mod_c"; "mod_d" ]
+        (List.sort compare usage.Pipeline.cmo_reoptimized);
+      Alcotest.(check (list string)) "live component untouched"
+        [ "mod_a"; "mod_b" ]
+        (List.sort compare usage.Pipeline.cmo_cached);
+      let fresh = Pipeline.compile Options.o4 edited in
+      check_same_image "incremental = fresh" (image fresh) (image incr);
+      (* Now edit the live component; behaviour must track the edit. *)
+      let edited = app ~kd:77 ~kb:9 () in
+      let incr = Pipeline.compile ~cache:store Options.o4 edited in
+      let usage = cache_usage incr in
+      Alcotest.(check (list string)) "live closure re-optimized"
+        [ "mod_a"; "mod_b" ]
+        (List.sort compare usage.Pipeline.cmo_reoptimized);
+      let fresh = Pipeline.compile Options.o4 edited in
+      check_same_image "incremental = fresh (live edit)" (image fresh)
+        (image incr);
+      let expected = interp_reference edited in
+      let o = Pipeline.run incr in
+      Alcotest.(check (list int64)) "edited behaviour tracks the edit"
+        expected.Interp.output o.Vm.output)
+
+let test_edit_revert_full_hit () =
+  with_store (fun store ->
+      let original = Pipeline.compile ~cache:store Options.o4 (app ()) in
+      ignore (Pipeline.compile ~cache:store Options.o4 (app ~kb:9 ()));
+      let reverted = Pipeline.compile ~cache:store Options.o4 (app ()) in
+      Alcotest.(check (list string)) "revert is a full hit" []
+        (cache_usage reverted).Pipeline.cmo_reoptimized;
+      check_same_image "revert = original" (image original) (image reverted))
+
+let test_buildsys_warm_build_skips_hlo () =
+  (* The acceptance criterion end to end: a make-style null rebuild
+     through Buildsys performs zero HLO phase work yet produces the
+     same image. *)
+  let dir = Filename.temp_file "cmo_ws_cache" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () -> remove_tree dir)
+    (fun () ->
+      let ws = Buildsys.create ~dir () in
+      let sources = app () in
+      let first = Buildsys.build ws Options.o4 sources in
+      let hlo_before = Phase.funcs_processed () in
+      let second = Buildsys.build ws Options.o4 sources in
+      Alcotest.(check int) "null rebuild: zero HLO work" 0
+        (Phase.funcs_processed () - hlo_before);
+      Alcotest.(check int) "null rebuild: no frontend work" 0
+        (List.length second.Buildsys.recompiled);
+      check_same_image "null rebuild image"
+        (image first.Buildsys.build)
+        (image second.Buildsys.build);
+      (* clean wipes the cache directory too. *)
+      Buildsys.clean ws;
+      Alcotest.(check bool) "clean removed the cache dir" false
+        (Sys.file_exists (Buildsys.cache_dir ws)))
+
+(* ---------- property: random edit histories never go stale ---------- *)
+
+let edit_history_arb =
+  (* A history is a sequence of (which constant, new value) edits. *)
+  QCheck.make
+    ~print:(fun h ->
+      String.concat ";"
+        (List.map (fun (w, v) -> Printf.sprintf "%c=%d" w v) h))
+    QCheck.Gen.(
+      list_size (int_range 1 4)
+        (pair (map (fun b -> if b then 'b' else 'd') bool) (int_range 1 50)))
+
+let test_random_edits_never_stale =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"random edit histories: cached = uncached"
+       ~count:12 edit_history_arb (fun history ->
+         with_store (fun store ->
+             let kb = ref 3 and kd = ref 10 in
+             ignore (Pipeline.compile ~cache:store Options.o4 (app ()));
+             List.for_all
+               (fun (which, v) ->
+                 Printf.printf "edit %c=%d\n%!" which v;
+                 if which = 'b' then kb := v else kd := v;
+                 let sources = app ~kb:!kb ~kd:!kd () in
+                 let cached = Pipeline.compile ~cache:store Options.o4 sources in
+                 let fresh = Pipeline.compile Options.o4 sources in
+                 (image cached).Cmo_link.Image.code
+                 = (image fresh).Cmo_link.Image.code
+                 && (Pipeline.run ~fuel:100_000_000 cached).Vm.output
+                    = (Pipeline.run ~fuel:100_000_000 fresh).Vm.output)
+               history)))
+
+let suite =
+  [
+    ("fingerprint basics", `Quick, test_fingerprint_basics);
+    ("store roundtrip/counters", `Quick, test_store_roundtrip_and_counters);
+    ("store persistence", `Quick, test_store_persistence);
+    ("store replace", `Quick, test_store_replace);
+    ("store LRU eviction", `Quick, test_store_lru_eviction);
+    ("store clear", `Quick, test_store_clear);
+    ("store corrupt index", `Quick, test_store_corrupt_index_tolerated);
+    ("funcodec roundtrip", `Quick, test_funcodec_roundtrip_and_overwrite);
+    ("invalidate components", `Quick, test_invalidate_components);
+    ("invalidate global coupling", `Quick, test_invalidate_global_only_coupling);
+    ("warm rebuild identical+free", `Quick, test_warm_rebuild_identical_and_free);
+    ("warm rebuild under +P", `Quick, test_warm_rebuild_identical_under_pbo);
+    ("one-module edit closure", `Quick, test_one_module_edit_reoptimizes_closure_only);
+    ("edit then revert", `Quick, test_edit_revert_full_hit);
+    ("buildsys warm build", `Quick, test_buildsys_warm_build_skips_hlo);
+    test_random_edits_never_stale;
+  ]

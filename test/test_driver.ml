@@ -307,17 +307,22 @@ let test_untiered_has_no_cold_lines () =
 
 (* ---------- build system ---------- *)
 
+let rec remove_tree path =
+  if Sys.is_directory path then begin
+    Array.iter
+      (fun file -> remove_tree (Filename.concat path file))
+      (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
 let with_workspace f =
   let dir = Filename.temp_file "cmo_ws" "" in
   Sys.remove dir;
   Sys.mkdir dir 0o755;
   Fun.protect
-    ~finally:(fun () ->
-      Array.iter
-        (fun file -> Sys.remove (Filename.concat dir file))
-        (Sys.readdir dir);
-      Sys.rmdir dir)
-    (fun () -> f (Buildsys.create ~dir))
+    ~finally:(fun () -> remove_tree dir)
+    (fun () -> f (Buildsys.create ~dir ()))
 
 let test_buildsys_full_then_null_build () =
   with_workspace (fun ws ->

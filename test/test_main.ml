@@ -10,6 +10,7 @@ let () =
       ("llo", Test_llo.suite);
       ("link", Test_link.suite);
       ("driver", Test_driver.suite);
+      ("cache", Test_cache.suite);
       ("workload", Test_workload.suite);
       ("fuzz", Test_fuzz.suite);
       ("misc", Test_misc.suite);

@@ -161,7 +161,7 @@ let test_db_load_missing_file () =
 let test_buildsys_bad_dir_rejected () =
   Alcotest.(check bool) "missing dir rejected" true
     (try
-       ignore (Buildsys.create ~dir:"/nonexistent/cmo_ws");
+       ignore (Buildsys.create ~dir:"/nonexistent/cmo_ws" ());
        false
      with Invalid_argument _ -> true)
 
