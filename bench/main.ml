@@ -6,7 +6,7 @@
      dune exec bench/main.exe            -- run everything
      dune exec bench/main.exe -- fig1    -- one experiment
    Experiments: fig1 fig4 fig5 fig6 bytes-per-line ablation stale micro
-   incremental incremental-smoke *)
+   incremental incremental-smoke parallel parallel-smoke *)
 
 module Genprog = Cmo_workload.Genprog
 module Suite = Cmo_workload.Suite
@@ -695,10 +695,79 @@ let incremental_for name =
 let incremental () = incremental_for "gcc"
 let incremental_smoke () = incremental_for "li"
 
+(* ------------------------------------------------------------------ *)
+(* Parallel link-time CMO (the paper's section-8 future work): a
+   sharded workload gives the link step several independent
+   invalidation components; we build it at j in {1,2,4} and record
+   per-phase wall time and the realized cpu/wall speedup.  The
+   headline claim is determinism, which the harness enforces: any
+   output divergence from the j=1 oracle is a benchmark failure. *)
+(* ------------------------------------------------------------------ *)
+
+let parallel_for name ~shards =
+  header
+    (Printf.sprintf "Parallel link-time CMO (%s x %d shards, +O4)" name shards);
+  let cfg = Suite.find name in
+  let listing = Genprog.sharded cfg ~shards in
+  Printf.printf "%d modules, %d lines\n" (List.length listing)
+    (Genprog.source_lines listing);
+  let sources =
+    List.map (fun (name, text) -> { Pipeline.name; text }) listing
+  in
+  (* The driver couples every shard it calls into one component, so it
+     stays outside the CMO set — its two-line main has nothing to gain
+     from CMO anyway. *)
+  let cmo_set =
+    List.filter_map
+      (fun (n, _) -> if String.equal n "main_mod" then None else Some n)
+      listing
+  in
+  let build jobs =
+    let options = { Options.o4 with Options.cmo_modules = Some cmo_set; jobs } in
+    Pipeline.compile options sources
+  in
+  Printf.printf "%-5s | %8s %8s %8s | %8s | %8s | %s\n" "jobs" "fe wall"
+    "hlo wall" "llo wall" "cpu s" "speedup" "output";
+  let oracle = build 1 in
+  let failures = ref 0 in
+  List.iter
+    (fun jobs ->
+      let b = if jobs = 1 then oracle else build jobs in
+      let r = b.Pipeline.report in
+      let identical =
+        b.Pipeline.image.Cmo_link.Image.code
+          = oracle.Pipeline.image.Cmo_link.Image.code
+        && b.Pipeline.image.Cmo_link.Image.funcs
+             = oracle.Pipeline.image.Cmo_link.Image.funcs
+        && b.Pipeline.objects = oracle.Pipeline.objects
+      in
+      if not identical then incr failures;
+      Printf.printf "%-5d | %8.3f %8.3f %8.3f | %8.3f | %7.2fx | %s\n%!" jobs
+        r.Pipeline.frontend_wall_seconds r.Pipeline.hlo_wall_seconds
+        r.Pipeline.llo_wall_seconds
+        (r.Pipeline.frontend_seconds +. r.Pipeline.hlo_seconds
+        +. r.Pipeline.llo_seconds)
+        (Pipeline.par_speedup r)
+        (if identical then "identical to j=1" else "DIVERGED from j=1"))
+    [ 1; 2; 4 ];
+  Printf.printf
+    "(speedup is cpu/wall; it tracks the hardware thread count, so on a\n\
+    \ single-core host it sits at ~1.0 for every j while the determinism\n\
+    \ check still exercises the full parallel machinery)\n";
+  if !failures > 0 then begin
+    Printf.eprintf "parallel benchmark: %d job level(s) diverged from j=1\n"
+      !failures;
+    exit 1
+  end
+
+let parallel () = parallel_for "gcc" ~shards:4
+let parallel_smoke () = parallel_for "li" ~shards:3
+
 let all = [ "fig1", fig1; "fig4", fig4; "fig5", fig5; "fig6", fig6;
             "bytes-per-line", bytes_per_line; "ablation", ablation;
             "stale", stale; "micro", micro; "incremental", incremental;
-            "incremental-smoke", incremental_smoke ]
+            "incremental-smoke", incremental_smoke;
+            "parallel", parallel; "parallel-smoke", parallel_smoke ]
 
 let () =
   let requested =

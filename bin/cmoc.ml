@@ -64,8 +64,11 @@ let input_arg =
          ~doc:"Program input vector (read by the arg intrinsic).")
 
 let jobs_arg =
-  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
-         ~doc:"Domains for parallel code generation.")
+  Arg.(value & opt int Options.default_jobs & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Worker domains for the parallel pipeline phases \
+               (frontend, link-time CMO components, codegen).  Any N \
+               produces byte-identical output; defaults to \\$CMO_JOBS \
+               or 1.")
 
 let machine_memory_arg =
   Arg.(value & opt int 256 & info [ "machine-mb" ] ~docv:"MB"
@@ -78,7 +81,7 @@ let make_options level pbo selectivity machine_mb jobs =
     pbo;
     selectivity;
     machine_memory = machine_mb * 1024 * 1024;
-    parallel_codegen = max 1 jobs;
+    jobs = max 1 jobs;
   }
 
 let load_profile = Option.map Db.load
@@ -490,6 +493,9 @@ let build_cmd =
           (List.length c.Pipeline.cmo_cached)
           (List.length c.Pipeline.cmo_reoptimized)
       | None -> ());
+      if report.Pipeline.workers_used > 1 then
+        Printf.printf "parallel: %d workers, %.2fx speedup (cpu/wall)\n"
+          report.Pipeline.workers_used (Pipeline.par_speedup report);
       if verbose then Format.printf "%a@." Pipeline.pp_report report;
       if run_it then begin
         let o = Pipeline.run ~input:(parse_input input) outcome.Buildsys.build in

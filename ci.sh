@@ -1,17 +1,25 @@
 #!/bin/sh
-# Tier-1 gate: full build, the complete test suite, and the
-# incremental-cache smoke benchmark (li personality; asserts nothing
-# but fails on any crash and prints the cold/warm/edit table for the
-# log).  Run from the repository root.
+# Tier-1 gate: full build, the complete test suite at both the
+# sequential oracle (CMO_JOBS=1) and a worker pool (CMO_JOBS=4), the
+# incremental-cache smoke benchmark, and the parallel-determinism
+# smoke benchmark (li personality, sharded; exits nonzero if any
+# worker count's image, objects or cached bytes diverge from the
+# j=1 oracle).  Run from the repository root.
 set -eu
 
 echo "== dune build =="
 dune build
 
-echo "== dune runtest =="
-dune runtest
+echo "== dune runtest (CMO_JOBS=1) =="
+CMO_JOBS=1 dune runtest --force
+
+echo "== dune runtest (CMO_JOBS=4) =="
+CMO_JOBS=4 dune runtest --force
 
 echo "== incremental cache smoke =="
 dune exec bench/main.exe -- incremental-smoke
+
+echo "== parallel determinism smoke =="
+dune exec bench/main.exe -- parallel-smoke
 
 echo "CI OK"

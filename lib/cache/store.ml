@@ -11,6 +11,7 @@ type t = {
   payload_path : string;
   capacity : int;
   entries : (string, entry) Hashtbl.t;
+  lock : Mutex.t;  (* guards every public operation *)
   mutable tick : int;
   mutable hits : int;
   mutable misses : int;
@@ -20,6 +21,10 @@ type t = {
   mutable payload_len : int;  (* includes dead bytes *)
   mutable out : out_channel option;  (* lazy append channel *)
 }
+
+let locked (t : t) f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 type stats = {
   hits : int;
@@ -119,6 +124,7 @@ let open_ ?(capacity = 256 * 1024 * 1024) ~dir () =
       payload_path = Filename.concat dir "payload";
       capacity;
       entries = Hashtbl.create 64;
+      lock = Mutex.create ();
       tick = 0;
       hits = 0;
       misses = 0;
@@ -145,7 +151,7 @@ let read_payload (t : t) offset length =
       seek_in ic offset;
       really_input_string ic length)
 
-let find (t : t) key =
+let find_unlocked (t : t) key =
   match Hashtbl.find_opt t.entries key with
   | None ->
     t.misses <- t.misses + 1;
@@ -162,6 +168,21 @@ let find (t : t) key =
       t.live_bytes <- t.live_bytes - e.length;
       t.misses <- t.misses + 1;
       None)
+
+let find (t : t) key = locked t (fun () -> find_unlocked t key)
+
+(* Read without observation: no counter bump, no LRU refresh, no
+   entry dropped on a truncated payload.  This is what transactions
+   read through — their logged operations are replayed against the
+   real store at commit, which is when the counters move. *)
+let peek (t : t) key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.entries key with
+      | None -> None
+      | Some e -> (
+        match read_payload t e.offset e.length with
+        | data -> Some data
+        | exception (Sys_error _ | End_of_file) -> None))
 
 let append_channel (t : t) =
   match t.out with
@@ -232,7 +253,7 @@ let compact (t : t) =
        (try Sys.remove tmp with Sys_error _ -> ()))
   end
 
-let add (t : t) key data =
+let add_unlocked (t : t) key data =
   (match Hashtbl.find_opt t.entries key with
   | Some old -> drop t key old
   | None -> ());
@@ -249,26 +270,30 @@ let add (t : t) key data =
   evict t;
   compact t
 
+let add (t : t) key data = locked t (fun () -> add_unlocked t key data)
+
 let flush (t : t) =
-  (match t.out with Some oc -> flush oc | None -> ());
-  save_index t
+  locked t (fun () ->
+      (match t.out with Some oc -> flush oc | None -> ());
+      save_index t)
 
 let close (t : t) =
   flush t;
-  close_append t
+  locked t (fun () -> close_append t)
 
 let clear (t : t) =
-  close_append t;
-  Hashtbl.reset t.entries;
-  t.tick <- 0;
-  t.hits <- 0;
-  t.misses <- 0;
-  t.stores <- 0;
-  t.evictions <- 0;
-  t.live_bytes <- 0;
-  t.payload_len <- 0;
-  (try Sys.remove t.payload_path with Sys_error _ -> ());
-  save_index t
+  locked t (fun () ->
+      close_append t;
+      Hashtbl.reset t.entries;
+      t.tick <- 0;
+      t.hits <- 0;
+      t.misses <- 0;
+      t.stores <- 0;
+      t.evictions <- 0;
+      t.live_bytes <- 0;
+      t.payload_len <- 0;
+      (try Sys.remove t.payload_path with Sys_error _ -> ());
+      save_index t)
 
 let wipe ~dir =
   List.iter
@@ -279,16 +304,61 @@ let wipe ~dir =
   if Sys.file_exists dir then try Sys.rmdir dir with Sys_error _ -> ()
 
 let stats (t : t) =
-  {
-    hits = t.hits;
-    misses = t.misses;
-    stores = t.stores;
-    evictions = t.evictions;
-    entries = Hashtbl.length t.entries;
-    live_bytes = t.live_bytes;
-    payload_bytes = t.payload_len;
-    capacity = t.capacity;
-  }
+  locked t (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        stores = t.stores;
+        evictions = t.evictions;
+        entries = Hashtbl.length t.entries;
+        live_bytes = t.live_bytes;
+        payload_bytes = t.payload_len;
+        capacity = t.capacity;
+      })
+
+(* ---- transactions -------------------------------------------------
+
+   A transaction gives one parallel worker an isolated view: it reads
+   the store as it stood when the transaction began (via [peek], which
+   observes nothing) plus its own buffered writes, and it logs every
+   find/add it performs.  Nothing touches the store's counters, LRU
+   clock or files until [txn_commit] replays the log through the
+   ordinary [find]/[add] path on the committing thread.
+
+   Determinism: a worker's log is a function of the snapshot and its
+   own inputs alone, so as long as transactions are begun against the
+   same snapshot and committed in a fixed order, the store's on-disk
+   bytes are identical no matter how many workers ran or how their
+   execution interleaved. *)
+
+type op = Ofind of string | Oadd of string * string
+
+type txn = {
+  origin : t;
+  writes : (string, string) Hashtbl.t;
+  mutable ops : op list;  (* newest first *)
+}
+
+let txn_begin (t : t) = { origin = t; writes = Hashtbl.create 16; ops = [] }
+
+let txn_find (txn : txn) key =
+  txn.ops <- Ofind key :: txn.ops;
+  match Hashtbl.find_opt txn.writes key with
+  | Some data -> Some data
+  | None -> peek txn.origin key
+
+let txn_add (txn : txn) key data =
+  txn.ops <- Oadd (key, data) :: txn.ops;
+  Hashtbl.replace txn.writes key data
+
+let txn_commit (txn : txn) =
+  List.iter
+    (function
+      | Ofind key -> ignore (find txn.origin key)
+      | Oadd (key, data) -> add txn.origin key data)
+    (List.rev txn.ops);
+  txn.ops <- [];
+  Hashtbl.reset txn.writes
 
 let pp_stats ppf s =
   let ratio =

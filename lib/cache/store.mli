@@ -19,7 +19,14 @@
     simply reads as an empty store (every lookup misses and the next
     compaction reclaims the orphaned payload), never as an error.
     The index is written atomically (temp file + rename) on
-    {!flush}/{!close}. *)
+    {!flush}/{!close}.
+
+    Every public operation is guarded by an internal mutex, so a
+    store may be shared between domains.  Parallel link-time CMO does
+    not rely on that alone: workers read through {!type-txn}
+    transactions (snapshot reads, buffered writes, logged operations)
+    committed in a fixed order, which keeps the on-disk index and
+    payload byte-identical whatever the worker count. *)
 
 type t
 
@@ -32,6 +39,10 @@ val open_ : ?capacity:int -> dir:string -> unit -> t
 val find : t -> string -> string option
 (** Lookup by key; counts a hit or a miss and refreshes LRU order.
     An unreadable payload (truncated file) degrades to a miss. *)
+
+val peek : t -> string -> string option
+(** Lookup without observation: no counters, no LRU refresh, no
+    recovery side effects.  Transactions read through this. *)
 
 val add : t -> string -> string -> unit
 (** [add t key data] stores (or replaces) an artifact and evicts as
@@ -48,6 +59,30 @@ val wipe : dir:string -> unit
 (** Remove a store's files (and the directory if then empty) without
     opening it; a no-op when nothing is there.  [Buildsys.clean] uses
     this. *)
+
+type txn
+(** An isolated view for one parallel worker: reads see the store as
+    it stood at {!txn_begin} plus the transaction's own writes, and
+    every operation is logged.  Nothing reaches the store (counters,
+    LRU clock, files) until {!txn_commit} replays the log through the
+    ordinary find/add path.  Workers run transactions concurrently;
+    the committing thread commits them in a fixed (component) order,
+    which makes the store's on-disk bytes independent of the worker
+    count. *)
+
+val txn_begin : t -> txn
+
+val txn_find : txn -> string -> string option
+(** Logged lookup: the transaction's own writes shadow the snapshot. *)
+
+val txn_add : txn -> string -> string -> unit
+(** Buffered, logged write; visible to this transaction's later
+    [txn_find]s only. *)
+
+val txn_commit : txn -> unit
+(** Replay the log against the store in operation order.  Call from
+    one thread at a time, in a deterministic transaction order.  The
+    transaction is spent afterwards (its log and buffer are cleared). *)
 
 type stats = {
   hits : int;

@@ -171,6 +171,10 @@ let build ?profile t (options : Options.t) sources =
             hlo_seconds = 0.0;
             llo_seconds = 0.0;
             link_seconds = 0.0;
+            frontend_wall_seconds = 0.0;
+            hlo_wall_seconds = 0.0;
+            llo_wall_seconds = 0.0;
+            workers_used = 1;
             total_lines = 0;
             cmo_lines = 0;
             warm_lines = 0;

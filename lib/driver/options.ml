@@ -12,8 +12,19 @@ type t = {
   rewrite_limit : int option;
   inline_limit : int option;
   cmo_modules : string list option;
-  parallel_codegen : int;
+  jobs : int;
 }
+
+(* Default worker count.  CMO_JOBS lets a whole process tree (the
+   test suite under CI, notably) exercise the parallel paths without
+   touching every call site; the -j flag still overrides per build. *)
+let default_jobs =
+  match Sys.getenv_opt "CMO_JOBS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some _ | None -> 1)
+  | None -> 1
 
 let base =
   {
@@ -28,7 +39,7 @@ let base =
     rewrite_limit = None;
     inline_limit = None;
     cmo_modules = None;
-    parallel_codegen = 1;
+    jobs = default_jobs;
   }
 
 let o1 = { base with level = O1 }
@@ -46,11 +57,11 @@ let o4_pbo_tiered percent =
 let instrumented = { base with instrument = true }
 
 (* Canonical rendering of every field that can change generated code.
-   machine_memory, naim_level and parallel_codegen are deliberately
-   excluded: NAIM compaction/offload round-trips losslessly and
-   parallel codegen is bit-identical (both are tested invariants), so
-   artifacts cached under one memory configuration stay valid under
-   another. *)
+   machine_memory, naim_level and jobs are deliberately excluded:
+   NAIM compaction/offload round-trips losslessly and parallel builds
+   are bit-identical to sequential ones (both are tested invariants),
+   so artifacts cached under one memory or worker configuration stay
+   valid under another. *)
 let cache_fingerprint t =
   let opt f = function Some v -> f v | None -> "-" in
   let inline_config =

@@ -43,12 +43,18 @@ type t = {
       (** Bug isolation: with [O4], restrict the CMO set to exactly
           these modules (overrides [selectivity]); the rest take the
           default-level path. *)
-  parallel_codegen : int;
-      (** Number of domains for code generation (the paper's
-          section-8 parallelization); 1 = sequential.  The parallel
-          path produces bit-identical code but does not thread the
-          memory accountant, so memory experiments use 1. *)
+  jobs : int;
+      (** Worker domains for the pipeline's parallel points —
+          per-module frontend, per-component link-time HLO,
+          per-module codegen (the paper's section-8 parallelization).
+          1 = sequential, the default and the oracle; any [jobs]
+          produces byte-identical images, objects and cache bytes
+          (the determinism suite's headline invariant).  Defaults to
+          [$CMO_JOBS] when set, else 1. *)
 }
+
+val default_jobs : int
+(** What [base.jobs] was initialized to: [$CMO_JOBS] or 1. *)
 
 val o1 : t
 val o2 : t
@@ -75,6 +81,6 @@ val to_string : t -> string
 val cache_fingerprint : t -> string
 (** Canonical rendering of every field that influences generated
     code, for artifact-cache keys.  [machine_memory], [naim_level]
-    and [parallel_codegen] are excluded on purpose: they are
-    behaviour-preserving (tested invariants), so cached artifacts
-    survive memory-configuration changes. *)
+    and [jobs] are excluded on purpose: they are behaviour-preserving
+    (tested invariants), so cached artifacts survive memory- and
+    worker-configuration changes. *)

@@ -1,0 +1,39 @@
+(** Bounded Domain-pool executor for the pipeline's embarrassingly
+    parallel points (per-module frontend, per-component link-time HLO,
+    per-module codegen).
+
+    Determinism contract: results are delivered in submission order
+    regardless of completion order, and a failed task re-raises its
+    exception (with the worker's backtrace) at the position the
+    sequential run would have raised it — the first failure in input
+    order.  With [jobs = 1] no domain is ever spawned and every task
+    runs inline at submission, so the sequential path is not merely
+    equivalent to the parallel one, it is the same code. *)
+
+type pool
+type 'a future
+
+val create : jobs:int -> pool
+(** [create ~jobs] spawns [jobs] worker domains when [jobs > 1]; with
+    [jobs <= 1] the pool is inline (no domains). *)
+
+val jobs : pool -> int
+(** The worker count the pool was created with (at least 1). *)
+
+val submit : pool -> (unit -> 'a) -> 'a future
+(** Enqueue a task.  On an inline pool the task runs immediately. *)
+
+val await : 'a future -> 'a
+(** Block until the task completes; re-raises a captured exception
+    with its original backtrace. *)
+
+val map : pool -> ('a -> 'b) -> 'a list -> 'b list
+(** Submit one task per element and await them in input order.  The
+    first failure (by input order, as in [List.map]) is re-raised. *)
+
+val shutdown : pool -> unit
+(** Join every worker domain.  Submitting afterwards is an error.
+    Idempotent; an inline pool's shutdown is a no-op. *)
+
+val with_pool : jobs:int -> (pool -> 'a) -> 'a
+(** [create], run, [shutdown] (also on exception). *)

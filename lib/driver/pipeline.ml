@@ -54,12 +54,26 @@ type report = {
   hlo_seconds : float;
   llo_seconds : float;
   link_seconds : float;
+  (* cpu-seconds above (process-wide, all domains); wall-clock below
+     for the three parallelizable phases — their ratio is the
+     realized parallel speedup. *)
+  frontend_wall_seconds : float;
+  hlo_wall_seconds : float;
+  llo_wall_seconds : float;
+  workers_used : int;
   total_lines : int;
   cmo_lines : int;
   warm_lines : int;  (* default-level (+O2) lines outside the CMO set *)
   cold_lines : int;  (* tiered mode: never-executed lines, minimal compile *)
   cache : cache_usage option;  (* None when no artifact store was given *)
 }
+
+let par_speedup r =
+  let cpu = r.frontend_seconds +. r.hlo_seconds +. r.llo_seconds in
+  let wall =
+    r.frontend_wall_seconds +. r.hlo_wall_seconds +. r.llo_wall_seconds
+  in
+  if wall <= 0.0 || cpu <= 0.0 then 1.0 else cpu /. wall
 
 type build = {
   image : Image.t;
@@ -86,7 +100,7 @@ let frontend_one { name; text } =
       (Format.pp_print_list ~pp_sep:Format.pp_print_cut Frontend.pp_error)
       errs
 
-let frontend sources =
+let frontend ?(jobs = 1) sources =
   (* Duplicate module names would collide in every downstream table
      (symbols, loader pools, object files); reject them up front. *)
   let seen = Hashtbl.create 16 in
@@ -96,7 +110,13 @@ let frontend sources =
         error "duplicate module name %s among the sources" name
       else Hashtbl.replace seen name ())
     sources;
-  let modules = List.map frontend_one sources in
+  (* Per-module lowering is independent; Parwork keeps result order
+     and raises the first error by input order, like List.map. *)
+  let modules =
+    if jobs > 1 then
+      Parwork.with_pool ~jobs (fun pool -> Parwork.map pool frontend_one sources)
+    else List.map frontend_one sources
+  in
   (match Verify.check_program modules with
   | [] -> ()
   | issues ->
@@ -158,17 +178,29 @@ let external_context outside_modules =
     outside_modules;
   (called, stored)
 
+let add_llo_stats a b =
+  {
+    Llo.routines = a.Llo.routines + b.Llo.routines;
+    mach_instrs = a.Llo.mach_instrs + b.Llo.mach_instrs;
+    spilled_vregs = a.Llo.spilled_vregs + b.Llo.spilled_vregs;
+    peephole_rewrites = a.Llo.peephole_rewrites + b.Llo.peephole_rewrites;
+    layout_changes = a.Llo.layout_changes + b.Llo.layout_changes;
+  }
+
+let merge_loader_stats (a : Loader.stats) (b : Loader.stats) =
+  {
+    Loader.acquires = a.Loader.acquires + b.Loader.acquires;
+    cache_hits = a.Loader.cache_hits + b.Loader.cache_hits;
+    uncompactions = a.Loader.uncompactions + b.Loader.uncompactions;
+    repo_loads = a.Loader.repo_loads + b.Loader.repo_loads;
+    compactions = a.Loader.compactions + b.Loader.compactions;
+    offloads = a.Loader.offloads + b.Loader.offloads;
+    symtab_compactions = a.Loader.symtab_compactions + b.Loader.symtab_compactions;
+  }
+
 let llo_module ~mem ~layout stats_acc (m : Ilmod.t) =
   let codes, stats = Llo.compile_module ?mem ~layout m in
-  stats_acc :=
-    {
-      Llo.routines = !stats_acc.Llo.routines + stats.Llo.routines;
-      mach_instrs = !stats_acc.Llo.mach_instrs + stats.Llo.mach_instrs;
-      spilled_vregs = !stats_acc.Llo.spilled_vregs + stats.Llo.spilled_vregs;
-      peephole_rewrites =
-        !stats_acc.Llo.peephole_rewrites + stats.Llo.peephole_rewrites;
-      layout_changes = !stats_acc.Llo.layout_changes + stats.Llo.layout_changes;
-    };
+  stats_acc := add_llo_stats !stats_acc stats;
   Objfile.of_code ~module_name:m.Ilmod.mname ~globals:m.Ilmod.globals
     ~source_digest:"" codes
 
@@ -190,11 +222,14 @@ let link_or_fail ?routine_order objects =
       errs
 
 let compile_modules ?profile ?cache (options : Options.t) modules =
+  let jobs = max 1 options.Options.jobs in
   let t0 = Sys.time () in
+  let w0 = Unix.gettimeofday () in
   let total_lines =
     List.fold_left (fun acc m -> acc + Ilmod.src_lines m) 0 modules
   in
-  (* +I: instrument and build without optimization. *)
+  (* +I: instrument and build without optimization.  Probe numbering
+     is a global sequence, so this path stays sequential. *)
   if options.Options.instrument then begin
     let instrumented, manifest = Probe.instrument modules in
     let mem = Memstats.create () in
@@ -204,6 +239,7 @@ let compile_modules ?profile ?cache (options : Options.t) modules =
     in
     let image = link_or_fail objects in
     let t1 = Sys.time () in
+    let w1 = Unix.gettimeofday () in
     {
       image;
       objects;
@@ -221,6 +257,10 @@ let compile_modules ?profile ?cache (options : Options.t) modules =
           hlo_seconds = 0.0;
           llo_seconds = t1 -. t0;
           link_seconds = 0.0;
+          frontend_wall_seconds = 0.0;
+          hlo_wall_seconds = 0.0;
+          llo_wall_seconds = w1 -. w0;
+          workers_used = 1;
           total_lines;
           cmo_lines = 0;
           warm_lines = 0;
@@ -247,6 +287,7 @@ let compile_modules ?profile ?cache (options : Options.t) modules =
     let cmo_cached = ref [] in
     let cmo_reoptimized = ref [] in
     let hlo_t0 = Sys.time () in
+    let hlo_w0 = Unix.gettimeofday () in
     (* Decide the CMO set and optimize it. *)
     let processed_modules =
       match options.Options.level with
@@ -345,12 +386,54 @@ let compile_modules ?profile ?cache (options : Options.t) modules =
         if cmo_set = [] then outside
         else begin
           let called, stored = external_context outside in
+          let all_names =
+            List.map (fun (m : Ilmod.t) -> m.Ilmod.mname) cmo_set
+          in
+          let by_name = Hashtbl.create 16 in
+          List.iter
+            (fun (m : Ilmod.t) -> Hashtbl.replace by_name m.Ilmod.mname m)
+            cmo_set;
+          (* Snapshot function lists before any loader registration
+             empties the modules. *)
+          let mod_funcs = Hashtbl.create 16 in
+          List.iter
+            (fun (m : Ilmod.t) ->
+              Hashtbl.replace mod_funcs m.Ilmod.mname
+                (List.map
+                   (fun (f : Func.t) -> (f.Func.name, f.Func.linkage))
+                   m.Ilmod.funcs))
+            cmo_set;
+          let has_root names =
+            List.exists
+              (fun n ->
+                List.exists
+                  (fun (fname, linkage) ->
+                    fname = "main" || linkage = Func.Exported
+                    || Hashtbl.mem called fname)
+                  (Option.value ~default:[] (Hashtbl.find_opt mod_funcs n)))
+              names
+          in
+          let roots_exist = has_root all_names in
+          (* Per-component treatment (caching and parallelism alike)
+             is exact only when every global decision decomposes by
+             component: profile-guided cloning uses program-wide
+             counters and name allocation, and the bug-isolation
+             operation limits are program-wide budgets, so those
+             modes fall back to whole-set, sequential runs.  Likewise
+             the degenerate rootless program, where IPA's
+             keep-everything guard is not component-local. *)
+          let decomposable =
+            (not options.Options.pbo)
+            && options.Options.inline_limit = None
+            && options.Options.rewrite_limit = None
+            && roots_exist
+          in
           (* Run link-time CMO over [subset] (the whole set, or one
-             invalidation closure).  The external context is always
-             the non-CMO modules: components are closed under calls
-             and shared globals, so modules of other components
-             cannot observe this subset. *)
-          let run_cmo subset =
+             component).  The external context is always the non-CMO
+             modules: components are closed under calls and shared
+             globals, so modules of other components cannot observe
+             this subset. *)
+          let run_cmo ?phase_cache ~mem subset =
             let cg = Callgraph.build subset in
             (* Everything that reads module function lists must run
                before registration: the loader takes ownership and
@@ -401,61 +484,124 @@ let compile_modules ?profile ?cache (options : Options.t) modules =
                 Hlo.inline = Some inline_config;
                 hot_filter;
                 rewrite_limit = options.Options.rewrite_limit;
-                phase_cache = cache;
+                phase_cache;
               }
             in
             let report = Hlo.run loader cg ~ipa_context hlo_options in
-            hlo_report := Some report;
             let optimized = Loader.extract_modules loader in
-            loader_stats := Some (Loader.stats loader);
+            let lstats = Loader.stats loader in
             Loader.close loader;
-            optimized
+            (optimized, report, lstats)
+          in
+          let record_hlo (report, lstats) =
+            hlo_report :=
+              Some
+                (match !hlo_report with
+                | None -> report
+                | Some r -> Hlo.merge_reports r report);
+            loader_stats :=
+              Some
+                (match !loader_stats with
+                | None -> lstats
+                | Some s -> merge_loader_stats s lstats)
+          in
+          (* Per-component execution: each component runs in its own
+             loader and accountant (and store transaction when
+             caching) on the worker pool.  Results, reports,
+             accountants and transactions merge in deterministic
+             component order after the join, so every artifact — and
+             every cache byte — is independent of [jobs].  Whenever a
+             store is attached this is the code path at every job
+             count, j=1 included: the transaction logs, not the
+             interleaving, decide what the store sees. *)
+          let run_components ~txns comps_names =
+            let comps =
+              List.map
+                (fun comp ->
+                  let txn =
+                    if txns then Option.map Store.txn_begin cache else None
+                  in
+                  (List.map (Hashtbl.find by_name) comp, has_root comp, txn))
+                comps_names
+            in
+            let results =
+              Parwork.with_pool ~jobs (fun pool ->
+                  Parwork.map pool
+                    (fun (subset, rooted, txn) ->
+                      if not rooted then
+                        (* A rootless component (while roots exist
+                           elsewhere): the whole-set run's IPA removes
+                           every one of its functions as unreachable,
+                           so the optimized form is just the
+                           empty-bodied modules — running HLO here
+                           would instead hit IPA's keep-everything
+                           guard. *)
+                        ( List.map
+                            (fun (m : Ilmod.t) -> { m with Ilmod.funcs = [] })
+                            subset,
+                          None,
+                          Memstats.create () )
+                      else begin
+                        let wmem = Memstats.create () in
+                        let phase_cache =
+                          Option.map
+                            (fun txn ->
+                              {
+                                Hlo.pc_find = Store.txn_find txn;
+                                pc_add = Store.txn_add txn;
+                              })
+                            txn
+                        in
+                        let optimized, report, lstats =
+                          run_cmo ?phase_cache ~mem:wmem subset
+                        in
+                        (optimized, Some (report, lstats), wmem)
+                      end)
+                    comps)
+            in
+            List.iter2
+              (fun (_, _, txn) (_, stats, wmem) ->
+                Memstats.merge mem wmem;
+                Option.iter record_hlo stats;
+                Option.iter Store.txn_commit txn)
+              comps results;
+            List.concat_map (fun (optimized, _, _) -> optimized) results
+          in
+          let table_of optimized =
+            let opt_tbl = Hashtbl.create 16 in
+            List.iter
+              (fun (m' : Ilmod.t) -> Hashtbl.replace opt_tbl m'.Ilmod.mname m')
+              optimized;
+            opt_tbl
           in
           match cache with
-          | None -> run_cmo cmo_set @ outside
+          | None ->
+            if decomposable && jobs > 1 then begin
+              (* Same partition as cache invalidation, used here as
+                 the unit of parallel link-time CMO (the WHOPR
+                 LTRANS analogy). *)
+              let part = Invalidate.compute cmo_set in
+              let optimized =
+                run_components ~txns:false (Invalidate.components part)
+              in
+              let opt_tbl = table_of optimized in
+              List.map (fun name -> Hashtbl.find opt_tbl name) all_names
+              @ outside
+            end
+            else begin
+              let optimized, report, lstats = run_cmo ~mem cmo_set in
+              record_hlo (report, lstats);
+              optimized @ outside
+            end
           | Some store ->
-            let all_names =
-              List.map (fun (m : Ilmod.t) -> m.Ilmod.mname) cmo_set
-            in
             let part = Invalidate.compute cmo_set in
-            (* Snapshot digests and function lists before any loader
-               registration empties the modules. *)
+            (* Snapshot digests before registration, like mod_funcs. *)
             let il_fp = Hashtbl.create 16 in
-            let mod_funcs = Hashtbl.create 16 in
             List.iter
               (fun (m : Ilmod.t) ->
                 Hashtbl.replace il_fp m.Ilmod.mname
-                  (Fingerprint.of_strings [ Ilcodec.encode_module m ]);
-                Hashtbl.replace mod_funcs m.Ilmod.mname
-                  (List.map
-                     (fun (f : Func.t) -> (f.Func.name, f.Func.linkage))
-                     m.Ilmod.funcs))
+                  (Fingerprint.of_strings [ Ilcodec.encode_module m ]))
               cmo_set;
-            let has_root names =
-              List.exists
-                (fun n ->
-                  List.exists
-                    (fun (fname, linkage) ->
-                      fname = "main" || linkage = Func.Exported
-                      || Hashtbl.mem called fname)
-                    (Option.value ~default:[] (Hashtbl.find_opt mod_funcs n)))
-                names
-            in
-            let roots_exist = has_root all_names in
-            (* Per-component caching is exact only when every global
-               decision decomposes by component: profile-guided
-               cloning uses program-wide counters and name allocation,
-               and the bug-isolation operation limits are program-wide
-               budgets, so those modes fall back to whole-set keys
-               (all-or-nothing reuse).  Likewise the degenerate
-               rootless program, where IPA's keep-everything guard is
-               not component-local. *)
-            let decomposable =
-              (not options.Options.pbo)
-              && options.Options.inline_limit = None
-              && options.Options.rewrite_limit = None
-              && roots_exist
-            in
             let opt_fp = Options.cache_fingerprint options in
             let sel_fp =
               match !selection with
@@ -544,78 +690,76 @@ let compile_modules ?profile ?cache (options : Options.t) modules =
                 if decomposable then Invalidate.closure part ~changed:missing
                 else all_names
               in
-              if List.length rerun_names = List.length all_names then begin
-                cmo_reoptimized := all_names;
-                let optimized = run_cmo cmo_set in
-                store_results optimized;
-                optimized @ outside
-              end
-              else begin
-                let rerun_set =
-                  List.filter
-                    (fun (m : Ilmod.t) -> List.mem m.Ilmod.mname rerun_names)
-                    cmo_set
-                in
-                cmo_reoptimized := rerun_names;
-                cmo_cached :=
-                  List.filter
-                    (fun n -> not (List.mem n rerun_names))
-                    all_names;
-                let optimized =
-                  if has_root rerun_names then run_cmo rerun_set
-                  else
-                    (* A rootless closure (while roots exist
-                       elsewhere): the full run's IPA removes every
-                       one of its functions as unreachable, so the
-                       re-optimized form is just the empty-bodied
-                       modules — running HLO here would instead hit
-                       IPA's keep-everything guard. *)
-                    List.map
-                      (fun (m : Ilmod.t) -> { m with Ilmod.funcs = [] })
-                      rerun_set
-                in
-                store_results optimized;
-                let opt_tbl = Hashtbl.create 16 in
-                List.iter
-                  (fun (m' : Ilmod.t) ->
-                    Hashtbl.replace opt_tbl m'.Ilmod.mname m')
-                  optimized;
-                List.map
-                  (fun name ->
-                    match Hashtbl.find_opt opt_tbl name with
-                    | Some m' -> m'
-                    | None -> Hashtbl.find fetched name)
-                  all_names
-                @ outside
-              end
+              cmo_reoptimized := rerun_names;
+              cmo_cached :=
+                List.filter (fun n -> not (List.mem n rerun_names)) all_names;
+              let optimized =
+                if decomposable then
+                  (* Exactly the components holding a stale module
+                     rerun; every fetch above already happened, so the
+                     transactions' snapshot view of the store is fixed
+                     before any worker starts. *)
+                  run_components ~txns:true
+                    (List.filter
+                       (fun comp ->
+                         List.exists (fun n -> List.mem n missing) comp)
+                       (Invalidate.components part))
+                else begin
+                  let optimized, report, lstats =
+                    run_cmo ~phase_cache:(Hlo.store_phase_cache store) ~mem
+                      cmo_set
+                  in
+                  record_hlo (report, lstats);
+                  optimized
+                end
+              in
+              store_results optimized;
+              let opt_tbl = table_of optimized in
+              List.map
+                (fun name ->
+                  match Hashtbl.find_opt opt_tbl name with
+                  | Some m' -> m'
+                  | None -> Hashtbl.find fetched name)
+                all_names
+              @ outside
             end
         end
     in
     let hlo_t1 = Sys.time () in
+    let hlo_w1 = Unix.gettimeofday () in
     Log.info (fun m ->
         m "%s: hlo %.3fs, cmo %d/%d lines" (Options.to_string options)
           (hlo_t1 -. hlo_t0) !cmo_lines total_lines);
-    (* Code generation: sequential (with memory accounting) or across
-       domains. *)
+    (* Code generation: per-module and independent.  Parallel workers
+       carry their own stats accumulator and accountant, merged in
+       module order after the join, so objects, stats and modeled
+       peaks match the sequential run. *)
     let llo_stats = ref zero_llo_stats in
     let layout = options.Options.pbo && options.Options.level <> Options.O1 in
     let objects =
-      if options.Options.parallel_codegen > 1 then begin
-        let grouped, stats =
-          Llo.compile_modules_parallel ~layout
-            ~domains:options.Options.parallel_codegen processed_modules
+      if jobs > 1 then begin
+        let results =
+          Parwork.with_pool ~jobs (fun pool ->
+              Parwork.map pool
+                (fun m ->
+                  let wmem = Memstats.create () in
+                  let acc = ref zero_llo_stats in
+                  let obj = llo_module ~mem:(Some wmem) ~layout acc m in
+                  (obj, !acc, wmem))
+                processed_modules)
         in
-        llo_stats := stats;
         List.map
-          (fun ((m : Ilmod.t), codes) ->
-            Objfile.of_code ~module_name:m.Ilmod.mname
-              ~globals:m.Ilmod.globals ~source_digest:"" codes)
-          grouped
+          (fun (obj, stats, wmem) ->
+            llo_stats := add_llo_stats !llo_stats stats;
+            Memstats.merge mem wmem;
+            obj)
+          results
       end
       else
         List.map (llo_module ~mem:(Some mem) ~layout llo_stats) processed_modules
     in
     let llo_t1 = Sys.time () in
+    let llo_w1 = Unix.gettimeofday () in
     (* Link, clustering routines when profiled. *)
     let routine_order =
       if options.Options.pbo then begin
@@ -650,6 +794,10 @@ let compile_modules ?profile ?cache (options : Options.t) modules =
           hlo_seconds = hlo_t1 -. hlo_t0;
           llo_seconds = llo_t1 -. hlo_t1;
           link_seconds = link_t1 -. llo_t1;
+          frontend_wall_seconds = 0.0;
+          hlo_wall_seconds = hlo_w1 -. hlo_w0;
+          llo_wall_seconds = llo_w1 -. hlo_w1;
+          workers_used = jobs;
           total_lines;
           cmo_lines = !cmo_lines;
           warm_lines = !warm_lines;
@@ -670,10 +818,20 @@ let compile_modules ?profile ?cache (options : Options.t) modules =
 
 let compile ?profile ?cache options sources =
   let t0 = Sys.time () in
-  let modules = frontend sources in
+  let w0 = Unix.gettimeofday () in
+  let modules = frontend ~jobs:(max 1 options.Options.jobs) sources in
   let t1 = Sys.time () in
+  let w1 = Unix.gettimeofday () in
   let build = compile_modules ?profile ?cache options modules in
-  { build with report = { build.report with frontend_seconds = t1 -. t0 } }
+  {
+    build with
+    report =
+      {
+        build.report with
+        frontend_seconds = t1 -. t0;
+        frontend_wall_seconds = w1 -. w0;
+      };
+  }
 
 let run ?input ?fuel ?attribute build = Vm.run ?input ?fuel ?attribute build.image
 
@@ -702,6 +860,12 @@ let pp_report ppf r =
   Format.fprintf ppf
     "@,time: frontend %.3fs, hlo %.3fs, llo %.3fs, link %.3fs"
     r.frontend_seconds r.hlo_seconds r.llo_seconds r.link_seconds;
+  if r.workers_used > 1 then
+    Format.fprintf ppf
+      "@,parallel: %d workers; wall frontend %.3fs, hlo %.3fs, llo %.3fs; \
+       speedup %.2fx"
+      r.workers_used r.frontend_wall_seconds r.hlo_wall_seconds
+      r.llo_wall_seconds (par_speedup r);
   Format.fprintf ppf "@,memory peak: %d bytes (hlo %d)" r.mem_peak r.mem_peak_hlo;
   Format.fprintf ppf "@,llo: %d routines, %d instrs, %d spills, %d peeps"
     r.llo.Llo.routines r.llo.Llo.mach_instrs r.llo.Llo.spilled_vregs

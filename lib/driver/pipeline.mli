@@ -44,6 +44,15 @@ type report = {
   hlo_seconds : float;
   llo_seconds : float;
   link_seconds : float;
+  frontend_wall_seconds : float;
+      (** Wall clock for the phases that run on the worker pool; the
+          [*_seconds] fields above are process CPU time across every
+          domain, so cpu/wall is the realized parallel speedup (see
+          {!par_speedup}).  Zero when measured via {!compile_modules}
+          directly (the frontend ran elsewhere). *)
+  hlo_wall_seconds : float;
+  llo_wall_seconds : float;
+  workers_used : int;  (** The [jobs] the build ran with. *)
   total_lines : int;
   cmo_lines : int;  (** Source lines in the CMO set. *)
   warm_lines : int;
@@ -65,8 +74,15 @@ type build = {
 exception Compile_error of string
 (** Frontend, verification or link failure, with rendered details. *)
 
-val frontend : source list -> Cmo_il.Ilmod.t list
+val par_speedup : report -> float
+(** Summed cpu over summed wall of the three parallelizable phases;
+    1.0 when either is unmeasured.  On a single hardware thread this
+    sits at or slightly below 1 regardless of [workers_used]. *)
+
+val frontend : ?jobs:int -> source list -> Cmo_il.Ilmod.t list
 (** Compile sources to IL, verifying the result as a program.
+    Per-module lowering runs on [jobs] worker domains (default 1);
+    results and error choice are independent of [jobs].
     @raise Compile_error on any error. *)
 
 val frontend_one : source -> Cmo_il.Ilmod.t

@@ -6,13 +6,25 @@ module Funcodec = Cmo_cache.Funcodec
 module W = Cmo_support.Codec.Writer
 module R = Cmo_support.Codec.Reader
 
+(* The phase tier is accessed through closures rather than a store
+   handle: the sequential pipeline passes the store's own find/add,
+   parallel component workers pass their transaction's logged
+   operations. *)
+type phase_cache = {
+  pc_find : string -> string option;
+  pc_add : string -> string -> unit;
+}
+
+let store_phase_cache store =
+  { pc_find = Store.find store; pc_add = Store.add store }
+
 type options = {
   clone : Clone.config option;
   inline : Inline.config option;
   ipa : bool;
   hot_filter : (string -> bool) option;
   rewrite_limit : int option;
-  phase_cache : Store.t option;
+  phase_cache : phase_cache option;
 }
 
 let o2_options =
@@ -43,11 +55,11 @@ let o4_options ~profile =
    rewrite limit, whose budget is shared across routines. *)
 let phase_version = "fn1"
 
-let optimize_func_cached store ~mem ~budget (f : Func.t) =
+let optimize_func_cached pc ~mem ~budget (f : Func.t) =
   let before = Funcodec.encode f in
   let key = Fingerprint.of_strings [ phase_version; before ] in
   let hit =
-    match Store.find store key with
+    match pc.pc_find key with
     | None -> None
     | Some entry -> (
       match
@@ -69,7 +81,7 @@ let optimize_func_cached store ~mem ~budget (f : Func.t) =
     let w = W.create () in
     W.uvarint w n;
     W.string w (Funcodec.encode f);
-    Store.add store key (W.contents w);
+    pc.pc_add key (W.contents w);
     n
 
 type report = {
@@ -80,6 +92,47 @@ type report = {
   funcs_skipped : int;
   rewrites : int;
 }
+
+(* Component reports fold into one program report: counters add,
+   dead-function lists concatenate in merge (= component) order. *)
+let merge_reports a b =
+  let opt2 f = function
+    | Some x, Some y -> Some (f x y)
+    | (Some _ as s), None | None, (Some _ as s) -> s
+    | None, None -> None
+  in
+  {
+    clones = a.clones + b.clones;
+    inline_stats =
+      opt2
+        (fun (x : Inline.stats) (y : Inline.stats) ->
+          {
+            Inline.operations = x.Inline.operations + y.Inline.operations;
+            cross_module = x.Inline.cross_module + y.Inline.cross_module;
+            bytes_grown = x.Inline.bytes_grown + y.Inline.bytes_grown;
+            rejected_too_big =
+              x.Inline.rejected_too_big + y.Inline.rejected_too_big;
+            rejected_cold = x.Inline.rejected_cold + y.Inline.rejected_cold;
+            rejected_recursive =
+              x.Inline.rejected_recursive + y.Inline.rejected_recursive;
+            rejected_caller_full =
+              x.Inline.rejected_caller_full + y.Inline.rejected_caller_full;
+          })
+        (a.inline_stats, b.inline_stats);
+    ipa_stats =
+      opt2
+        (fun (x : Ipa.stats) (y : Ipa.stats) ->
+          {
+            Ipa.const_params = x.Ipa.const_params + y.Ipa.const_params;
+            const_global_loads =
+              x.Ipa.const_global_loads + y.Ipa.const_global_loads;
+            dead_functions = x.Ipa.dead_functions @ y.Ipa.dead_functions;
+          })
+        (a.ipa_stats, b.ipa_stats);
+    funcs_optimized = a.funcs_optimized + b.funcs_optimized;
+    funcs_skipped = a.funcs_skipped + b.funcs_skipped;
+    rewrites = a.rewrites + b.rewrites;
+  }
 
 let run loader cg ?(ipa_context = Ipa.whole_program) options =
   let clones =
@@ -112,7 +165,7 @@ let run loader cg ?(ipa_context = Ipa.whole_program) options =
         Loader.with_func loader fname (fun f ->
             let n =
               match (options.phase_cache, options.rewrite_limit) with
-              | Some store, None -> optimize_func_cached store ~mem ~budget f
+              | Some pc, None -> optimize_func_cached pc ~mem ~budget f
               | _ -> Phase.optimize_func ~mem ~budget f
             in
             rewrites := !rewrites + n;

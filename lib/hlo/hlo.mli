@@ -16,6 +16,18 @@
     The same driver with everything disabled but the phase pipeline is
     the +O2-path optimizer used for non-CMO modules. *)
 
+type phase_cache = {
+  pc_find : string -> string option;
+  pc_add : string -> string -> unit;
+}
+(** Access to the per-routine phase tier of the artifact store.  The
+    sequential pipeline passes {!store_phase_cache}; parallel
+    component workers pass their {!Cmo_cache.Store.txn}'s logged
+    find/add so store bytes stay independent of the worker count. *)
+
+val store_phase_cache : Cmo_cache.Store.t -> phase_cache
+(** Direct store access (the sequential whole-set path). *)
+
 type options = {
   clone : Clone.config option;
   inline : Inline.config option;
@@ -25,7 +37,7 @@ type options = {
           with [f name = true]. *)
   rewrite_limit : int option;
       (** Operation limit over scalar rewrites (bug isolation). *)
-  phase_cache : Cmo_cache.Store.t option;
+  phase_cache : phase_cache option;
       (** Content-addressed cache for per-routine phase results: the
           phase pipeline is purely intraprocedural, so a routine whose
           post-inline/IPA body is unchanged since a previous build is
@@ -49,6 +61,11 @@ type report = {
   funcs_skipped : int;  (** Left unloaded by fine-grained selectivity. *)
   rewrites : int;
 }
+
+val merge_reports : report -> report -> report
+(** Fold per-component reports into one program report: counters add,
+    IPA dead-function lists concatenate in merge order.  Used by the
+    parallel pipeline after joining component workers. *)
 
 val run :
   Cmo_naim.Loader.t -> Cmo_il.Callgraph.t -> ?ipa_context:Ipa.context ->

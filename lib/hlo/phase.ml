@@ -29,13 +29,14 @@ let exhausted budget =
 
 (* Process-wide count of optimize_func invocations: the phase-work
    meter the incremental-cache tests assert against (a fully
-   cache-warm rebuild must not move it). *)
-let processed = ref 0
+   cache-warm rebuild must not move it).  Atomic: parallel HLO
+   workers optimize routines from several domains at once. *)
+let processed = Atomic.make 0
 
-let funcs_processed () = !processed
+let funcs_processed () = Atomic.get processed
 
 let optimize_func ?mem ?(budget = unlimited ()) ?(max_rounds = 4) (f : Func.t) =
-  incr processed;
+  Atomic.incr processed;
   let charge_derived () =
     match mem with
     | None -> fun () -> ()

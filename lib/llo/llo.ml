@@ -37,75 +37,6 @@ let compile_func ?mem ?(layout = false) ?(schedule = true) ~module_name f =
   let code, _, _, _ = compile_internal ?mem ~layout ~schedule ~module_name f in
   code
 
-let compile_modules_parallel ?(layout = false) ~domains modules =
-  let work =
-    Array.of_list
-      (List.concat_map
-         (fun (m : Cmo_il.Ilmod.t) ->
-           List.map (fun f -> (m.Cmo_il.Ilmod.mname, f)) m.Cmo_il.Ilmod.funcs)
-         modules)
-  in
-  let results : (Mach.func_code * int * int) option array =
-    Array.make (Array.length work) None
-  in
-  let next = Atomic.make 0 in
-  let worker () =
-    let rec go () =
-      let i = Atomic.fetch_and_add next 1 in
-      if i < Array.length work then begin
-        let module_name, f = work.(i) in
-        let code, spills, peeps, _ =
-          compile_internal ~layout ~schedule:true ~module_name f
-        in
-        results.(i) <- Some (code, spills, peeps);
-        go ()
-      end
-    in
-    go ()
-  in
-  let helpers =
-    List.init (max 0 (domains - 1)) (fun _ -> Domain.spawn worker)
-  in
-  worker ();
-  List.iter Domain.join helpers;
-  (* Regroup per module, preserving input order. *)
-  let stats =
-    ref
-      {
-        routines = 0;
-        mach_instrs = 0;
-        spilled_vregs = 0;
-        peephole_rewrites = 0;
-        layout_changes = 0;
-      }
-  in
-  let cursor = ref 0 in
-  let grouped =
-    List.map
-      (fun (m : Cmo_il.Ilmod.t) ->
-        let codes =
-          List.map
-            (fun _ ->
-              match results.(!cursor) with
-              | Some (code, spills, peeps) ->
-                incr cursor;
-                stats :=
-                  {
-                    routines = !stats.routines + 1;
-                    mach_instrs = !stats.mach_instrs + Array.length code.Mach.code;
-                    spilled_vregs = !stats.spilled_vregs + spills;
-                    peephole_rewrites = !stats.peephole_rewrites + peeps;
-                    layout_changes = !stats.layout_changes;
-                  };
-                code
-              | None -> assert false)
-            m.Cmo_il.Ilmod.funcs
-        in
-        (m, codes))
-      modules
-  in
-  (grouped, !stats)
-
 let compile_module ?mem ?(layout = false) ?(schedule = true) (m : Cmo_il.Ilmod.t) =
   let stats =
     ref

@@ -43,21 +43,6 @@ val compile_module :
 (** [schedule] (default true) runs the list scheduler; disable for
     the scheduling ablation. *)
 
-val compile_modules_parallel :
-  ?layout:bool ->
-  domains:int ->
-  Cmo_il.Ilmod.t list ->
-  (Cmo_il.Ilmod.t * Mach.func_code list) list * stats
-(** Code-generate every routine of every module across [domains]
-    OCaml domains (the paper's section-8 future work: "the optimizer
-    itself can be parallelized").  Per-routine compilation is
-    embarrassingly parallel — each routine's IL is owned by exactly
-    one worker — and results are assembled in deterministic input
-    order, so the output is bit-identical to the sequential path
-    (checked by tests).  The memory accountant is not threaded
-    through (its single-owner discipline is part of its contract);
-    use the sequential path when modeled memory matters. *)
-
 val modeled_llo_bytes : int -> int
 (** Modeled LLO working set for a routine of the given machine
     instruction count. *)

@@ -70,6 +70,20 @@ let reset_peak t =
   t.peak <- resident t;
   t.peak_hlo <- hlo_resident t
 
+(* Fold a parallel worker's accountant into [dst].  The worker's
+   charges are taken as having happened on top of whatever [dst] had
+   resident when the worker started (which is what a sequential run
+   would have seen), so on a single worker the merged peaks equal the
+   sequential peaks exactly; with several concurrent workers the
+   result is a deterministic sequential-equivalent model, not a
+   measurement of true simultaneous residency. *)
+let merge dst src =
+  let base = resident dst in
+  let base_hlo = hlo_resident dst in
+  dst.peak <- max dst.peak (base + src.peak);
+  dst.peak_hlo <- max dst.peak_hlo (base_hlo + src.peak_hlo);
+  Array.iteri (fun i n -> dst.bytes.(i) <- dst.bytes.(i) + n) src.bytes
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>resident %d bytes (peak %d, hlo peak %d)"
     (resident t) t.peak t.peak_hlo;

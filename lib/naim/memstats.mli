@@ -48,6 +48,14 @@ val peak_hlo : t -> int
 
 val reset_peak : t -> unit
 
+val merge : t -> t -> unit
+(** [merge dst src] folds a parallel worker's accountant into [dst]:
+    residency adds per category, and the worker's peaks are rebased
+    onto [dst]'s residency at merge time.  Merging one worker's
+    accountant reproduces the sequential peaks exactly; merging
+    several (in a fixed order) is the deterministic
+    sequential-equivalent model the parallel pipeline reports. *)
+
 val all_categories : category list
 
 val pp : Format.formatter -> t -> unit

@@ -12,11 +12,13 @@ type t = {
 
 type handle = { repo_id : int; offset : int; length : int }
 
-let next_id = ref 0
+(* Atomic: parallel HLO workers each create their own in-memory
+   repository through their loaders. *)
+let next_id = Atomic.make 0
 
 let make backing =
-  incr next_id;
-  { backing; next_offset = 0; stores = 0; fetches = 0; id = !next_id }
+  { backing; next_offset = 0; stores = 0; fetches = 0;
+    id = 1 + Atomic.fetch_and_add next_id 1 }
 
 let create ~path =
   let oc = open_out_bin path in

@@ -326,6 +326,70 @@ let generate_with cfg ~module_seed =
 
 let generate cfg = generate_with cfg ~module_seed:(fun _ -> cfg.seed)
 
+(* --- sharded variant ----------------------------------------------- *)
+
+(* Every cross-module identifier the generator emits embeds an
+   [m<3 digits>] module tag (module names, entries, helpers, state
+   arrays), so prefixing exactly those occurrences renames a whole
+   copy of the program into a fresh namespace.  [static] names are
+   module-mangled by the frontend and need no care. *)
+let shard_text k text =
+  let prefix = Printf.sprintf "s%d" k in
+  let is_digit c = c >= '0' && c <= '9' in
+  let n = String.length text in
+  let buf = Buffer.create (n + 512) in
+  for i = 0 to n - 1 do
+    if
+      text.[i] = 'm'
+      && i + 3 < n
+      && is_digit text.[i + 1]
+      && is_digit text.[i + 2]
+      && is_digit text.[i + 3]
+      && not (i + 4 < n && is_digit text.[i + 4])
+    then Buffer.add_string buf prefix;
+    Buffer.add_char buf text.[i]
+  done;
+  Buffer.contents buf
+
+let replace_once ~sub ~by s =
+  let ls = String.length sub and l = String.length s in
+  let rec go i =
+    if i + ls > l then s
+    else if String.sub s i ls = sub then
+      String.sub s 0 i ^ by ^ String.sub s (i + ls) (l - i - ls)
+    else go (i + 1)
+  in
+  go 0
+
+let sharded cfg ~shards =
+  assert (shards >= 1);
+  let base = generate cfg in
+  let shard k =
+    List.map
+      (fun (name, text) ->
+        let text = shard_text k text in
+        if String.equal name "main_mod" then
+          ( Printf.sprintf "s%d_main_mod" k,
+            replace_once ~sub:"func main()"
+              ~by:(Printf.sprintf "func s%d_main()" k)
+              text )
+        else (shard_text k name, text))
+      base
+  in
+  let driver =
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf "// sharded driver\n";
+    Buffer.add_string buf "func main() {\n";
+    Buffer.add_string buf "  var s = 0;\n";
+    for k = 0 to shards - 1 do
+      Buffer.add_string buf
+        (Printf.sprintf "  s = (s + s%d_main()) & 1048575;\n" k)
+    done;
+    Buffer.add_string buf "  print(s);\n  return s;\n}\n";
+    ("main_mod", Buffer.contents buf)
+  in
+  driver :: List.concat (List.init shards shard)
+
 let evolve cfg ~changed ~evolution =
   generate_with cfg
     ~module_seed:(fun i ->

@@ -43,6 +43,17 @@ val generate : config -> (string * string) list
     module's source is a function of [(seed, module index)] alone, so
     programs can evolve module-locally. *)
 
+val sharded : config -> shards:int -> (string * string) list
+(** [shards] renamed copies of [generate cfg] side by side, plus a
+    driver [main_mod] whose [main] calls each copy's renamed
+    (exported) dispatcher [s<k>_main].  The copies share no function
+    or global names, so with the driver kept out of the CMO set
+    (e.g. [cmo_modules] = every module but ["main_mod"]) the link
+    step sees [shards] independent invalidation components — the
+    workload for the parallel-CMO benchmark and determinism tests.
+    Shard-local structure is byte-for-byte that of [generate cfg]
+    modulo the renaming. *)
+
 val evolve : config -> changed:int list -> evolution:int -> (string * string) list
 (** The same program after "development": the modules whose indices
     are listed in [changed] are regenerated from a different stream

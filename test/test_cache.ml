@@ -373,6 +373,41 @@ let test_edit_revert_full_hit () =
         (cache_usage reverted).Pipeline.cmo_reoptimized;
       check_same_image "revert = original" (image original) (image reverted))
 
+let test_cache_usage_job_invariant () =
+  (* The usage report — hit/miss traffic included — is part of the
+     deterministic build output: a worker pool must produce the same
+     accounting as the sequential oracle, cold, warm, and across an
+     edit. *)
+  let snapshot (u : Pipeline.cache_usage) =
+    ( u.Pipeline.hits,
+      u.Pipeline.misses,
+      List.sort compare u.Pipeline.cmo_cached,
+      List.sort compare u.Pipeline.cmo_reoptimized )
+  in
+  let lifecycle jobs =
+    with_store (fun store ->
+        let build sources =
+          snapshot
+            (cache_usage
+               (Pipeline.compile ~cache:store
+                  { Options.o4 with Options.jobs }
+                  sources))
+        in
+        [ build (app ()); build (app ()); build (app ~kd:77 ()) ])
+  in
+  let seq = lifecycle 1 and par = lifecycle 4 in
+  List.iteri
+    (fun i (s, p) ->
+      let stage = List.nth [ "cold"; "warm"; "edited" ] i in
+      let pp (h, m, c, r) =
+        Printf.sprintf "hits=%d misses=%d cached=[%s] reopt=[%s]" h m
+          (String.concat "," c) (String.concat "," r)
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "%s usage: j=4 matches j=1" stage)
+        (pp s) (pp p))
+    (List.combine seq par)
+
 let test_buildsys_warm_build_skips_hlo () =
   (* The acceptance criterion end to end: a make-style null rebuild
      through Buildsys performs zero HLO phase work yet produces the
@@ -448,6 +483,7 @@ let suite =
     ("warm rebuild under +P", `Quick, test_warm_rebuild_identical_under_pbo);
     ("one-module edit closure", `Quick, test_one_module_edit_reoptimizes_closure_only);
     ("edit then revert", `Quick, test_edit_revert_full_hit);
+    ("cache usage job-invariant", `Quick, test_cache_usage_job_invariant);
     ("buildsys warm build", `Quick, test_buildsys_warm_build_skips_hlo);
     test_random_edits_never_stale;
   ]

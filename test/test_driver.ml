@@ -228,7 +228,7 @@ let test_duplicate_module_names_rejected () =
 let test_parallel_codegen_bit_identical () =
   let db = profile_db () in
   let image_with jobs =
-    let options = { Options.o4_pbo with Options.parallel_codegen = jobs } in
+    let options = { Options.o4_pbo with Options.jobs } in
     (Pipeline.compile ~profile:db options app_sources).Pipeline.image
   in
   let seq = image_with 1 in
@@ -242,7 +242,7 @@ let test_parallel_codegen_correct () =
   let db = profile_db () in
   ignore
     (check_level
-       { Options.o4_pbo with Options.parallel_codegen = 4 }
+       { Options.o4_pbo with Options.jobs = 4 }
        (Some db))
 
 (* ---------- explicit CMO module sets (isolation axis) ---------- *)

@@ -12,6 +12,7 @@ let () =
       ("driver", Test_driver.suite);
       ("cache", Test_cache.suite);
       ("workload", Test_workload.suite);
+      ("parallel", Test_parallel.suite);
       ("fuzz", Test_fuzz.suite);
       ("misc", Test_misc.suite);
     ]
