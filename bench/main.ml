@@ -6,7 +6,8 @@
      dune exec bench/main.exe            -- run everything
      dune exec bench/main.exe -- fig1    -- one experiment
    Experiments: fig1 fig4 fig5 fig6 bytes-per-line ablation stale micro
-   incremental incremental-smoke parallel parallel-smoke *)
+   incremental incremental-smoke parallel parallel-smoke fuzz-smoke
+   check-overhead *)
 
 module Genprog = Cmo_workload.Genprog
 module Suite = Cmo_workload.Suite
@@ -763,11 +764,73 @@ let parallel_for name ~shards =
 let parallel () = parallel_for "gcc" ~shards:4
 let parallel_smoke () = parallel_for "li" ~shards:3
 
+(* ------------------------------------------------------------------ *)
+(* The differential-fuzz campaign (smoke): a fixed seed stream of
+   generated programs held to the oracle's smoke matrix (all four
+   O-levels cold, plus O4+P warm at j=4).  Any divergence is shrunk,
+   persisted under test/corpus/, and fails the run — CI's end-to-end
+   semantic-preservation gate. *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz_smoke () =
+  header "Differential fuzz campaign (smoke matrix, fixed seeds)";
+  let module Campaign = Cmo_campaign.Campaign in
+  let module Oracle = Cmo_campaign.Oracle in
+  let seed =
+    match Sys.getenv_opt "CMO_FUZZ_SEED" with
+    | Some s -> (try int_of_string s with _ -> 1)
+    | None -> 1
+  in
+  Printf.printf "seed %d (override with CMO_FUZZ_SEED)\n%!" seed;
+  let r =
+    Campaign.run ~points:Oracle.smoke_matrix ~save_dir:"test/corpus"
+      ~log:(fun line -> Printf.printf "  %s\n%!" line)
+      ~seed ~count:4 ()
+  in
+  Format.printf "%a@." Campaign.pp_result r;
+  if r.Campaign.findings <> [] then begin
+    Printf.eprintf
+      "fuzz-smoke: %d divergence(s); shrunk reproducers saved to test/corpus\n"
+      (List.length r.Campaign.findings);
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Verifier overhead: the same +O4 +P build of the gcc personality
+   with and without --check, reported as % of compile wall time (the
+   EXPERIMENTS.md row). *)
+(* ------------------------------------------------------------------ *)
+
+let check_overhead () =
+  header "IL-verifier overhead (--check) at +O4 +P (gcc personality)";
+  let cfg = Suite.find "gcc" in
+  let sources = sources_of cfg in
+  let db = Pipeline.train ~inputs:[ Genprog.training_input cfg ] sources in
+  let wall options =
+    (* Best of three: the verifier cost is deterministic, the noise
+       is not. *)
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      ignore (Pipeline.compile ~profile:db options sources);
+      let t = Unix.gettimeofday () -. t0 in
+      if t < !best then best := t
+    done;
+    !best
+  in
+  let plain = wall Options.o4_pbo in
+  let checked = wall { Options.o4_pbo with Options.check = true } in
+  Printf.printf "%-22s | %8.3f s\n" "without --check" plain;
+  Printf.printf "%-22s | %8.3f s\n" "with --check" checked;
+  Printf.printf "%-22s | %+7.1f%%\n" "overhead"
+    (100.0 *. (checked -. plain) /. plain)
+
 let all = [ "fig1", fig1; "fig4", fig4; "fig5", fig5; "fig6", fig6;
             "bytes-per-line", bytes_per_line; "ablation", ablation;
             "stale", stale; "micro", micro; "incremental", incremental;
             "incremental-smoke", incremental_smoke;
-            "parallel", parallel; "parallel-smoke", parallel_smoke ]
+            "parallel", parallel; "parallel-smoke", parallel_smoke;
+            "fuzz-smoke", fuzz_smoke; "check-overhead", check_overhead ]
 
 let () =
   let requested =

@@ -74,7 +74,14 @@ let machine_memory_arg =
   Arg.(value & opt int 256 & info [ "machine-mb" ] ~docv:"MB"
          ~doc:"Modeled machine memory for NAIM thresholds.")
 
-let make_options level pbo selectivity machine_mb jobs =
+let check_arg =
+  Arg.(value & flag & info [ "check" ]
+         ~doc:"Run the IL verifier after every optimization phase of \
+               every routine, failing the build with a named \
+               phase/function/instruction diagnostic on the first \
+               broken invariant.  Also enabled by \\$CMO_CHECK.")
+
+let make_options level pbo selectivity machine_mb jobs check =
   {
     Options.o2 with
     Options.level;
@@ -82,6 +89,7 @@ let make_options level pbo selectivity machine_mb jobs =
     selectivity;
     machine_memory = machine_mb * 1024 * 1024;
     jobs = max 1 jobs;
+    check = check || Options.default_check;
   }
 
 let load_profile = Option.map Db.load
@@ -114,11 +122,11 @@ let compile_cmd =
     Arg.(value & flag & info [ "hot-report" ]
            ~doc:"With --run: print the routines the cycles went to, hottest first.")
   in
-  let action paths level pbo profile selectivity machine_mb jobs log input run_it verbose map_it hot_report =
+  let action paths level pbo profile selectivity machine_mb jobs check log input run_it verbose map_it hot_report =
     try
       setup_logs log;
       let sources = List.map source_of_path paths in
-      let options = make_options level pbo selectivity machine_mb jobs in
+      let options = make_options level pbo selectivity machine_mb jobs check in
       let build = Pipeline.compile ?profile:(load_profile profile) options sources in
       if verbose then
         Format.printf "%a@." Pipeline.pp_report build.Pipeline.report;
@@ -153,8 +161,8 @@ let compile_cmd =
   let doc = "Compile (and optionally run) MiniC modules." in
   Cmd.v (Cmd.info "compile" ~doc)
     Term.(ret (const action $ sources_arg $ level_arg $ pbo_arg $ profile_arg
-               $ selectivity_arg $ machine_memory_arg $ jobs_arg $ log_arg
-               $ input_arg $ run_flag $ verbose $ map_flag $ hot_flag))
+               $ selectivity_arg $ machine_memory_arg $ jobs_arg $ check_arg
+               $ log_arg $ input_arg $ run_flag $ verbose $ map_flag $ hot_flag))
 
 (* ---- train ---- *)
 
@@ -467,12 +475,12 @@ let build_cmd =
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the compilation report.")
   in
-  let action paths level pbo profile selectivity machine_mb jobs log input dir
-      no_cache cache_dir cache_capacity run_it verbose =
+  let action paths level pbo profile selectivity machine_mb jobs check log
+      input dir no_cache cache_dir cache_capacity run_it verbose =
     try
       setup_logs log;
       let sources = List.map source_of_path paths in
-      let options = make_options level pbo selectivity machine_mb jobs in
+      let options = make_options level pbo selectivity machine_mb jobs check in
       let ws =
         Buildsys.create ~cache:(not no_cache) ?cache_dir
           ?cache_capacity:(Option.map (fun mb -> mb * 1024 * 1024) cache_capacity)
@@ -516,8 +524,8 @@ let build_cmd =
   in
   Cmd.v (Cmd.info "build" ~doc)
     Term.(ret (const action $ sources_arg $ level_arg $ pbo_arg $ profile_arg
-               $ selectivity_arg $ machine_memory_arg $ jobs_arg $ log_arg
-               $ input_arg $ dir_arg $ no_cache_flag $ cache_dir_arg
+               $ selectivity_arg $ machine_memory_arg $ jobs_arg $ check_arg
+               $ log_arg $ input_arg $ dir_arg $ no_cache_flag $ cache_dir_arg
                $ cache_capacity_arg $ run_flag $ verbose))
 
 (* ---- cache ---- *)

@@ -1,10 +1,13 @@
 #!/bin/sh
-# Tier-1 gate: full build, the complete test suite at both the
-# sequential oracle (CMO_JOBS=1) and a worker pool (CMO_JOBS=4), the
-# incremental-cache smoke benchmark, and the parallel-determinism
-# smoke benchmark (li personality, sharded; exits nonzero if any
-# worker count's image, objects or cached bytes diverge from the
-# j=1 oracle).  Run from the repository root.
+# Tier-1 gate: full build, the complete test suite at the sequential
+# oracle (CMO_JOBS=1), then again at a worker pool (CMO_JOBS=4) with
+# the between-phase IL verifier enabled (CMO_CHECK=1), the
+# incremental-cache smoke benchmark, the parallel-determinism smoke
+# benchmark (li personality, sharded; exits nonzero if any worker
+# count's image, objects or cached bytes diverge from the j=1
+# oracle), and the fixed-seed differential-fuzz campaign smoke (any
+# divergence from the reference interpreter is shrunk, saved under
+# test/corpus/, and fails the gate).  Run from the repository root.
 set -eu
 
 echo "== dune build =="
@@ -13,13 +16,16 @@ dune build
 echo "== dune runtest (CMO_JOBS=1) =="
 CMO_JOBS=1 dune runtest --force
 
-echo "== dune runtest (CMO_JOBS=4) =="
-CMO_JOBS=4 dune runtest --force
+echo "== dune runtest (CMO_JOBS=4, CMO_CHECK=1) =="
+CMO_JOBS=4 CMO_CHECK=1 dune runtest --force
 
 echo "== incremental cache smoke =="
 dune exec bench/main.exe -- incremental-smoke
 
 echo "== parallel determinism smoke =="
 dune exec bench/main.exe -- parallel-smoke
+
+echo "== differential fuzz smoke (seed 1) =="
+dune exec bench/main.exe -- fuzz-smoke
 
 echo "CI OK"

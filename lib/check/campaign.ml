@@ -1,0 +1,91 @@
+module Genprog = Cmo_workload.Genprog
+
+type program = Shrink.program
+
+type finding = {
+  seed : int;
+  divergences : Oracle.divergence list;
+  reproducer : program;
+  saved : string option;
+  shrink : Shrink.stats;
+}
+
+type result = {
+  programs : int;
+  points_checked : int;
+  skipped : int;
+  findings : finding list;
+}
+
+let shrink_divergence ?input ?max_candidates point program =
+  Shrink.shrink ?max_candidates
+    ~interesting:(fun p -> Oracle.diverges_at ?input point p)
+    program
+
+let run ?(points = Oracle.smoke_matrix) ?save_dir ?(log = ignore)
+    ?shrink_budget ~seed ~count () =
+  let points_checked = ref 0 in
+  let skipped = ref 0 in
+  let findings = ref [] in
+  for i = 0 to count - 1 do
+    let seed = seed + i in
+    let cfg = Genprog.fuzz_config ~name:"campaign" seed in
+    let program = Genprog.generate cfg in
+    let input = Genprog.reference_input cfg in
+    match Oracle.check ~input ~points program with
+    | Oracle.Agreed n ->
+      points_checked := !points_checked + n;
+      log
+        (Printf.sprintf "seed %d: %d modules, %d lines — %d points agree" seed
+           (List.length program)
+           (Shrink.total_lines program)
+           n)
+    | Oracle.Skipped msg ->
+      incr skipped;
+      log (Printf.sprintf "seed %d: skipped (%s)" seed msg)
+    | Oracle.Diverged ds ->
+      points_checked := !points_checked + List.length points;
+      let first = List.hd ds in
+      let point = List.find (fun p -> p.Oracle.label = first.Oracle.point) points in
+      log
+        (Printf.sprintf "seed %d: DIVERGENCE at %s — %s; shrinking..." seed
+           first.Oracle.point first.Oracle.detail);
+      let reproducer, stats =
+        shrink_divergence ~input ?max_candidates:shrink_budget point program
+      in
+      let saved =
+        Option.map
+          (fun dir ->
+            Corpus.save ~dir
+              ~name:(Printf.sprintf "div_seed%d_%s" seed first.Oracle.point)
+              reproducer)
+          save_dir
+      in
+      log
+        (Printf.sprintf "seed %d: shrunk %d -> %d lines (%d candidates)%s" seed
+           stats.Shrink.start_lines stats.Shrink.final_lines
+           stats.Shrink.candidates
+           (match saved with Some p -> " saved to " ^ p | None -> ""));
+      findings :=
+        { seed; divergences = ds; reproducer; saved; shrink = stats }
+        :: !findings
+  done;
+  {
+    programs = count;
+    points_checked = !points_checked;
+    skipped = !skipped;
+    findings = List.rev !findings;
+  }
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "campaign: %d programs, %d matrix points checked, %d skipped, %d divergences"
+    r.programs r.points_checked r.skipped (List.length r.findings);
+  List.iter
+    (fun f ->
+      Format.fprintf ppf "@.  seed %d: %s (%d -> %d lines%s)" f.seed
+        (String.concat ", "
+           (List.map (fun d -> d.Oracle.point) f.divergences))
+        f.shrink.Shrink.start_lines f.shrink.Shrink.final_lines
+        (match f.saved with Some p -> ", " ^ p | None -> ""))
+    r.findings

@@ -1,0 +1,49 @@
+(** The fuzz-campaign driver: generate workload programs from a seed
+    stream, hold each to the {!Oracle} matrix, and when a build
+    diverges from the interpreter, {!Shrink} the program against that
+    failing point and persist the reproducer into the {!Corpus}.
+
+    Deterministic in [seed]: the programs, the order, and (modulo an
+    actual compiler bug) the outcome are reproducible from the one
+    number CI prints. *)
+
+type program = Shrink.program
+
+type finding = {
+  seed : int;  (** The generator seed that produced the program. *)
+  divergences : Oracle.divergence list;
+  reproducer : program;  (** Shrunk against the first failing point. *)
+  saved : string option;  (** Corpus path, when [save_dir] was given. *)
+  shrink : Shrink.stats;
+}
+
+type result = {
+  programs : int;
+  points_checked : int;
+  skipped : int;  (** Programs whose reference itself failed. *)
+  findings : finding list;
+}
+
+val shrink_divergence :
+  ?input:int64 array ->
+  ?max_candidates:int ->
+  Oracle.point ->
+  program ->
+  program * Shrink.stats
+(** Reduce [program] while {!Oracle.diverges_at} the given point keeps
+    holding.  The program must diverge there to begin with. *)
+
+val run :
+  ?points:Oracle.point list ->
+  ?save_dir:string ->
+  ?log:(string -> unit) ->
+  ?shrink_budget:int ->
+  seed:int ->
+  count:int ->
+  unit ->
+  result
+(** Check [count] generated programs (seeds [seed, seed+1, ...])
+    against [points] (default {!Oracle.smoke_matrix}).  [log] receives
+    one line per program and per finding. *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,87 @@
+type program = Shrink.program
+
+let marker = "// module: "
+
+let render (program : program) =
+  match program with
+  | [ (_, text) ] -> text ^ if String.length text > 0 && text.[String.length text - 1] = '\n' then "" else "\n"
+  | _ ->
+    String.concat ""
+      (List.map
+         (fun (name, text) ->
+           let text =
+             if String.length text > 0 && text.[String.length text - 1] = '\n'
+             then text
+             else text ^ "\n"
+           in
+           marker ^ name ^ "\n" ^ text)
+         program)
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let parse ~default_name text =
+  let lines = String.split_on_char '\n' text in
+  let flush name acc_rev out =
+    (* Splitting ate the newline separators; restore the trailing one
+       so [parse] inverts [render] exactly on well-formed bodies. *)
+    let text = String.concat "\n" (List.rev acc_rev) in
+    let text =
+      if text = "" || text.[String.length text - 1] = '\n' then text
+      else text ^ "\n"
+    in
+    (name, text) :: out
+  in
+  let rec go name acc_rev out = function
+    | [] -> List.rev (flush name acc_rev out)
+    | line :: rest when starts_with ~prefix:marker (String.trim line) ->
+      let next =
+        String.trim
+          (String.sub (String.trim line) (String.length marker)
+             (String.length (String.trim line) - String.length marker))
+      in
+      if acc_rev = [] && out = [] && name = default_name then
+        (* Marker opens the file: no leading anonymous module. *)
+        go next [] out rest
+      else go next [] (flush name acc_rev out) rest
+    | line :: rest -> go name (line :: acc_rev) out rest
+  in
+  go default_name [] [] lines
+
+let module_name_of_path path =
+  Filename.remove_extension (Filename.basename path)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_file path =
+  parse ~default_name:(module_name_of_path path) (read_file path)
+
+let load_dir dir =
+  match Sys.readdir dir with
+  | entries ->
+    Array.to_list entries
+    |> List.filter (fun e -> Filename.check_suffix e ".mc")
+    |> List.sort compare
+    |> List.map (fun e -> (e, load_file (Filename.concat dir e)))
+  | exception Sys_error _ -> []
+
+let save ~dir ~name program =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let rec fresh i =
+    let file =
+      if i = 0 then name ^ ".mc" else Printf.sprintf "%s_%d.mc" name i
+    in
+    let path = Filename.concat dir file in
+    if Sys.file_exists path then fresh (i + 1) else path
+  in
+  let path = fresh 0 in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (render program));
+  path

@@ -1,0 +1,41 @@
+(** The persistent regression corpus under [test/corpus/].
+
+    Each corpus entry is one [.mc] file holding a whole (possibly
+    multi-module) MiniC program.  Modules are delimited by a marker
+    comment the MiniC lexer already skips:
+
+    {v
+// module: main
+func main() { return lib_f(3); }
+// module: lib
+func lib_f(x) { return x * 2; }
+    v}
+
+    A file without any marker is a single module named after the file.
+    The replay test compiles every entry at every O-level and holds it
+    to the interpreter's observables; the campaign appends new
+    (shrunk) divergences here. *)
+
+type program = Shrink.program
+
+val marker : string
+(** ["// module: "]. *)
+
+val render : program -> string
+(** One [.mc] body; single-module programs get no marker. *)
+
+val parse : default_name:string -> string -> program
+(** Inverse of {!render}; [default_name] names a marker-less file's
+    module. *)
+
+val load_file : string -> program
+(** Read and {!parse} one [.mc] file ([default_name] = basename). *)
+
+val load_dir : string -> (string * program) list
+(** Every [.mc] file in [dir], sorted by filename; [[]] when the
+    directory does not exist. *)
+
+val save : dir:string -> name:string -> program -> string
+(** Write [render program] to [dir/name.mc] (creating [dir],
+    uniquifying [name] with a numeric suffix if taken); returns the
+    path. *)

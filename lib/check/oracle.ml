@@ -1,0 +1,170 @@
+module Ilcheck = Cmo_check.Ilcheck
+module Interp = Cmo_il.Interp
+module Options = Cmo_driver.Options
+module Pipeline = Cmo_driver.Pipeline
+module Store = Cmo_cache.Store
+module Vm = Cmo_vm.Vm
+
+type program = Shrink.program
+
+type point = {
+  label : string;
+  options : Options.t;
+  warm : bool;
+}
+
+let with_jobs jobs (o : Options.t) = { o with Options.jobs }
+
+let levels =
+  [
+    ("O1", Options.o1, false);
+    ("O2", Options.o2, false);
+    ("O4", Options.o4, true);
+    ("O4P", Options.o4_pbo, true);
+  ]
+
+let full_matrix =
+  List.concat_map
+    (fun (lname, opts, cacheable) ->
+      List.concat_map
+        (fun warm ->
+          List.map
+            (fun jobs ->
+              {
+                label =
+                  Printf.sprintf "%s-%s-j%d" lname
+                    (if warm then "warm" else "cold")
+                    jobs;
+                options = with_jobs jobs opts;
+                warm;
+              })
+            [ 1; 4 ])
+        (if cacheable then [ false; true ] else [ false ]))
+    levels
+
+let find_point label = List.find (fun p -> p.label = label) full_matrix
+
+let smoke_matrix =
+  [
+    find_point "O1-cold-j1";
+    find_point "O2-cold-j1";
+    find_point "O4-cold-j1";
+    find_point "O4P-cold-j1";
+    find_point "O4P-warm-j4";
+  ]
+
+type divergence = {
+  point : string;
+  detail : string;
+}
+
+type verdict =
+  | Agreed of int
+  | Diverged of divergence list
+  | Skipped of string
+
+let sources_of program =
+  List.map (fun (name, text) -> { Pipeline.name; text }) program
+
+(* Everything a broken reduction or a caught miscompile legitimately
+   raises.  Deliberately not a catch-all: a Stack_overflow or assert
+   failure in the compiler should crash the campaign loudly. *)
+let describe_failure = function
+  | Pipeline.Compile_error msg -> Some ("compile error: " ^ msg)
+  | Ilcheck.Violation vs ->
+    Some
+      (Format.asprintf "verifier: %a"
+         (Format.pp_print_list ~pp_sep:Format.pp_print_newline
+            Ilcheck.pp_violation)
+         vs)
+  | Vm.Fault msg -> Some ("vm fault: " ^ msg)
+  | Interp.Runtime_error msg -> Some ("interpreter fault: " ^ msg)
+  | Failure msg -> Some ("failure: " ^ msg)
+  | _ -> None
+
+let reference ?(input = [||]) program =
+  match Interp.run ~input (Pipeline.frontend (sources_of program)) with
+  | outcome -> Ok outcome
+  | exception e -> (
+    match describe_failure e with Some msg -> Error msg | None -> raise e)
+
+let pp_observables ppf (ret, output) =
+  Format.fprintf ppf "ret=%Ld output=[%a]" ret
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       (fun ppf v -> Format.fprintf ppf "%Ld" v))
+    output
+
+let rec remove_tree path =
+  match Sys.is_directory path with
+  | true ->
+    Array.iter (fun e -> remove_tree (Filename.concat path e)) (Sys.readdir path);
+    Sys.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
+let with_temp_store f =
+  let dir = Filename.temp_file "cmo_oracle" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () -> remove_tree dir)
+    (fun () ->
+      let store = Store.open_ ~dir () in
+      Fun.protect ~finally:(fun () -> Store.close store) (fun () -> f store))
+
+let build_at ?(input = [||]) point program =
+  let sources = sources_of program in
+  let profile =
+    if point.options.Options.pbo then
+      Some (Pipeline.train ~inputs:[ input ] sources)
+    else None
+  in
+  if point.warm then
+    with_temp_store (fun store ->
+        ignore (Pipeline.compile ?profile ~cache:store point.options sources);
+        Pipeline.compile ?profile ~cache:store point.options sources)
+  else Pipeline.compile ?profile point.options sources
+
+let check_point ?(input = [||]) ~expected point program =
+  match
+    let build = build_at ~input point program in
+    Pipeline.run ~input build
+  with
+  | actual ->
+    if
+      Int64.equal expected.Interp.ret actual.Vm.ret
+      && expected.Interp.output = actual.Vm.output
+    then None
+    else
+      Some
+        {
+          point = point.label;
+          detail =
+            Format.asprintf "interpreter %a, vm %a" pp_observables
+              (expected.Interp.ret, expected.Interp.output)
+              pp_observables
+              (actual.Vm.ret, actual.Vm.output);
+        }
+  | exception e -> (
+    match describe_failure e with
+    | Some msg -> Some { point = point.label; detail = msg }
+    | None -> raise e)
+
+let check ?(input = [||]) ?(points = full_matrix) program =
+  match reference ~input program with
+  | Error msg -> Skipped msg
+  | Ok expected -> (
+    match
+      List.filter_map
+        (fun point -> check_point ~input ~expected point program)
+        points
+    with
+    | [] -> Agreed (List.length points)
+    | ds -> Diverged ds)
+
+let diverges_at ?(input = [||]) point program =
+  try
+    match reference ~input program with
+    | Error _ -> false
+    | Ok expected -> check_point ~input ~expected point program <> None
+  with _ -> false

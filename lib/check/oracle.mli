@@ -1,0 +1,66 @@
+(** The differential-testing oracle: compile a MiniC program across a
+    matrix of pipeline configurations and require every build to
+    reproduce the reference interpreter's observables (return value of
+    [main] and the printed sequence) exactly.
+
+    The matrix spans the axes the last two PRs multiplied:
+    optimization level ({b O1, O2, O4, O4+P}), artifact cache
+    ({b cold} — no store — vs {b warm} — compile twice through one
+    store and run the cache-served second build), and worker count
+    ({b j=1} vs {b j=4}).  Any disagreement — wrong observables, a
+    compile failure, a verifier violation, a VM fault — is a
+    {!divergence} naming the offending point. *)
+
+type program = Shrink.program
+
+type point = {
+  label : string;  (** E.g. ["O4+P/warm/j4"]; stable, filename-safe. *)
+  options : Cmo_driver.Options.t;
+  warm : bool;
+      (** Compile twice through a fresh store; judge the second
+          (cache-served) build. *)
+}
+
+val full_matrix : point list
+(** {O1, O2, O4, O4+P} × {cold, warm} × {j=1, j=4}, with the
+    redundant points removed: the cache axis only exists at O4 (the
+    store keys link-time CMO artifacts), so O1/O2 appear cold-only. *)
+
+val smoke_matrix : point list
+(** The four O-levels, cold, j=1 — plus O4+P warm/j4, the single most
+    loaded point.  For time-bounded CI smokes. *)
+
+type divergence = {
+  point : string;  (** [point.label] of the failing configuration. *)
+  detail : string;  (** What disagreed, rendered for humans. *)
+}
+
+type verdict =
+  | Agreed of int  (** All points checked and matching (the count). *)
+  | Diverged of divergence list  (** Non-empty. *)
+  | Skipped of string
+      (** The program is not a valid oracle subject: the {e reference}
+          itself failed (doesn't compile, interpreter fault).  Not a
+          compiler bug; generators and shrink predicates treat it as
+          uninteresting. *)
+
+val reference :
+  ?input:int64 array -> program -> (Cmo_il.Interp.outcome, string) result
+(** Frontend + reference interpreter — the semantics to preserve. *)
+
+val check_point :
+  ?input:int64 array ->
+  expected:Cmo_il.Interp.outcome ->
+  point ->
+  program ->
+  divergence option
+(** Compile and run [program] at one matrix point (training a profile
+    first when the point wants PBO) and compare against [expected]. *)
+
+val check : ?input:int64 array -> ?points:point list -> program -> verdict
+(** The whole matrix ([points] defaults to {!full_matrix}). *)
+
+val diverges_at : ?input:int64 array -> point -> program -> bool
+(** [true] iff the reference succeeds and this point disagrees with
+    it — the shrink predicate for a divergence found by {!check}:
+    total, never raises. *)

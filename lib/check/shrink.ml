@@ -1,0 +1,165 @@
+type program = (string * string) list
+
+type stats = {
+  candidates : int;
+  start_lines : int;
+  final_lines : int;
+}
+
+let split_lines s = String.split_on_char '\n' s
+let join_lines ls = String.concat "\n" ls
+
+let is_code line =
+  let t = String.trim line in
+  t <> "" && not (String.length t >= 2 && t.[0] = '/' && t.[1] = '/')
+
+let total_lines program =
+  List.fold_left
+    (fun acc (_, text) ->
+      acc + List.length (List.filter is_code (split_lines text)))
+    0 program
+
+(* Brace-balanced units.  For each line, track the depth before and
+   after it; a line that opens net depth starts a unit ending at the
+   first later line whose end-depth returns to the start-depth.  That
+   rule swallows `} else {` chains whole, so an if/else removes as one
+   candidate. *)
+let units_of lines =
+  let arr = Array.of_list lines in
+  let n = Array.length arr in
+  let depth_start = Array.make n 0 in
+  let depth_end = Array.make n 0 in
+  let d = ref 0 in
+  for i = 0 to n - 1 do
+    depth_start.(i) <- !d;
+    String.iter
+      (fun c -> if c = '{' then incr d else if c = '}' then decr d)
+      arr.(i);
+    depth_end.(i) <- !d
+  done;
+  let spans = ref [] in
+  for i = 0 to n - 1 do
+    if String.contains arr.(i) '{' && depth_end.(i) > depth_start.(i) then begin
+      let j = ref i in
+      while !j < n && depth_end.(!j) > depth_start.(i) do
+        incr j
+      done;
+      if !j < n then spans := (i, !j) :: !spans
+    end
+  done;
+  (* Biggest first: a whole function beats its inner loop. *)
+  List.sort (fun (a, b) (c, d) -> compare (d - c, a) (b - a, c)) !spans
+
+let remove_span lines (lo, hi) =
+  List.filteri (fun i _ -> i < lo || i > hi) lines
+
+let replace_module program idx text =
+  List.mapi (fun i (name, t) -> if i = idx then (name, text) else (name, t))
+    program
+
+let shrink ?(max_candidates = 4000) ~interesting program =
+  if not (interesting program) then
+    invalid_arg "Shrink.shrink: input does not satisfy the predicate";
+  let budget = ref max_candidates in
+  let spent = ref 0 in
+  let current = ref program in
+  let try_program candidate =
+    !budget > 0
+    && begin
+         decr budget;
+         incr spent;
+         if interesting candidate then begin
+           current := candidate;
+           true
+         end
+         else false
+       end
+  in
+  (* Each pass returns whether it removed anything, retrying its own
+     granularity to fixpoint before handing back. *)
+  let drop_modules () =
+    let changed = ref false in
+    let progress = ref true in
+    while !progress && !budget > 0 do
+      progress := false;
+      let n = List.length !current in
+      if n > 1 then
+        (* Later modules first: main (conventionally first) usually
+           has to stay for the program to run at all. *)
+        let idx = ref (n - 1) in
+        while !idx >= 0 && not !progress do
+          let candidate = List.filteri (fun i _ -> i <> !idx) !current in
+          if List.length !current > 1 && try_program candidate then begin
+            progress := true;
+            changed := true
+          end;
+          decr idx
+        done
+    done;
+    !changed
+  in
+  let drop_in_module ~candidates_of idx =
+    let changed = ref false in
+    let progress = ref true in
+    while !progress && !budget > 0 do
+      progress := false;
+      let _, text = List.nth !current idx in
+      let lines = split_lines text in
+      let rec attempt = function
+        | [] -> ()
+        | span :: rest ->
+          let candidate =
+            replace_module !current idx (join_lines (remove_span lines span))
+          in
+          if try_program candidate then begin
+            progress := true;
+            changed := true
+          end
+          else attempt rest
+      in
+      attempt (candidates_of lines)
+    done;
+    !changed
+  in
+  let line_candidates lines =
+    List.mapi (fun i line -> (i, line)) lines
+    |> List.filter (fun (_, line) ->
+           (not (String.contains line '{')) && String.trim line <> "}")
+    |> List.map (fun (i, _) -> (i, i))
+  in
+  let sweep () =
+    let changed = ref false in
+    if drop_modules () then changed := true;
+    let n_mods () = List.length !current in
+    for idx = 0 to n_mods () - 1 do
+      if idx < n_mods () && drop_in_module ~candidates_of:units_of idx then
+        changed := true
+    done;
+    for idx = 0 to n_mods () - 1 do
+      if idx < n_mods () && drop_in_module ~candidates_of:line_candidates idx
+      then changed := true
+    done;
+    !changed
+  in
+  let continue_ = ref true in
+  while !continue_ && !budget > 0 do
+    continue_ := sweep ()
+  done;
+  (* Blank and comment-only lines carry no behaviour; sweep them
+     without spending predicate budget, then confirm once. *)
+  let cleaned =
+    List.map
+      (fun (name, text) ->
+        (name, join_lines (List.filter is_code (split_lines text))))
+      !current
+  in
+  if cleaned <> !current && interesting cleaned then begin
+    incr spent;
+    current := cleaned
+  end;
+  ( !current,
+    {
+      candidates = !spent;
+      start_lines = total_lines program;
+      final_lines = total_lines !current;
+    } )

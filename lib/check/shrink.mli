@@ -1,0 +1,41 @@
+(** Delta-debugging reducer for multi-module MiniC programs.
+
+    Given a program that exhibits some property (it miscompiles, it
+    trips the verifier, ...) and a predicate that re-checks the
+    property, [shrink] greedily removes structure while the predicate
+    keeps holding, in decreasing granularity:
+
+    + whole modules;
+    + brace-balanced units — function definitions, then [if] /
+      [while] / [for] bodies (header line through matching brace);
+    + single lines (statements, declarations, blanks, comments).
+
+    Each pass runs to fixpoint before the next, and the whole ladder
+    repeats until one full sweep removes nothing.  The predicate must
+    be total: it is expected to return [false] (not raise) on programs
+    that no longer compile — reductions routinely produce syntax and
+    scoping errors, and "doesn't compile" simply means "not
+    interesting, keep the bigger program". *)
+
+type program = (string * string) list
+(** [(module name, MiniC source)] pairs, as {!Cmo_workload.Genprog}
+    produces and the pipeline consumes. *)
+
+type stats = {
+  candidates : int;  (** Predicate evaluations spent. *)
+  start_lines : int;
+  final_lines : int;
+}
+
+val total_lines : program -> int
+(** Non-blank, non-comment-only source lines, summed over modules. *)
+
+val shrink :
+  ?max_candidates:int ->
+  interesting:(program -> bool) ->
+  program ->
+  program * stats
+(** Reduce [program] to a local minimum of [interesting].  The input
+    itself must satisfy the predicate.  [max_candidates] (default
+    [4000]) bounds predicate evaluations; when exhausted the best
+    reduction so far is returned — still guaranteed interesting. *)

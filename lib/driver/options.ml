@@ -13,6 +13,7 @@ type t = {
   inline_limit : int option;
   cmo_modules : string list option;
   jobs : int;
+  check : bool;
 }
 
 (* Default worker count.  CMO_JOBS lets a whole process tree (the
@@ -25,6 +26,14 @@ let default_jobs =
     | Some n when n >= 1 -> n
     | Some _ | None -> 1)
   | None -> 1
+
+(* CMO_CHECK turns the between-phase IL verifier on for a whole
+   process tree, the way CMO_JOBS sets the worker count: CI runs the
+   entire suite under it without touching call sites. *)
+let default_check =
+  match Sys.getenv_opt "CMO_CHECK" with
+  | Some ("" | "0") | None -> false
+  | Some _ -> true
 
 let base =
   {
@@ -40,6 +49,7 @@ let base =
     inline_limit = None;
     cmo_modules = None;
     jobs = default_jobs;
+    check = default_check;
   }
 
 let o1 = { base with level = O1 }
@@ -57,11 +67,12 @@ let o4_pbo_tiered percent =
 let instrumented = { base with instrument = true }
 
 (* Canonical rendering of every field that can change generated code.
-   machine_memory, naim_level and jobs are deliberately excluded:
+   machine_memory, naim_level, jobs and check are deliberately excluded:
    NAIM compaction/offload round-trips losslessly and parallel builds
    are bit-identical to sequential ones (both are tested invariants),
    so artifacts cached under one memory or worker configuration stay
-   valid under another. *)
+   valid under another; the verifier observes and never rewrites, so
+   checked and unchecked builds share artifacts too. *)
 let cache_fingerprint t =
   let opt f = function Some v -> f v | None -> "-" in
   let inline_config =

@@ -51,10 +51,22 @@ type t = {
           produces byte-identical images, objects and cache bytes
           (the determinism suite's headline invariant).  Defaults to
           [$CMO_JOBS] when set, else 1. *)
+  check : bool;
+      (** Run the between-phase IL verifier ({!Cmo_check.Ilcheck})
+          after every transformation of every routine — clone,
+          inline, IPA, each scalar pass, cache-served bodies, block
+          layout — failing the build with a named
+          phase/function/instruction diagnostic on the first broken
+          invariant.  Observes only; checked and unchecked builds
+          produce identical artifacts.  Defaults to [$CMO_CHECK]
+          (any value but empty or [0]) or [cmoc --check]. *)
 }
 
 val default_jobs : int
 (** What [base.jobs] was initialized to: [$CMO_JOBS] or 1. *)
+
+val default_check : bool
+(** What [base.check] was initialized to: [$CMO_CHECK] or false. *)
 
 val o1 : t
 val o2 : t

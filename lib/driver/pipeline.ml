@@ -25,6 +25,7 @@ module Linker = Cmo_link.Linker
 module Cluster = Cmo_link.Cluster
 module Image = Cmo_link.Image
 module Vm = Cmo_vm.Vm
+module Ilcheck = Cmo_check.Ilcheck
 
 let log_src = Logs.Src.create "cmo.driver" ~doc:"CMO compilation driver"
 
@@ -198,8 +199,8 @@ let merge_loader_stats (a : Loader.stats) (b : Loader.stats) =
     symtab_compactions = a.Loader.symtab_compactions + b.Loader.symtab_compactions;
   }
 
-let llo_module ~mem ~layout stats_acc (m : Ilmod.t) =
-  let codes, stats = Llo.compile_module ?mem ~layout m in
+let llo_module ?check ~mem ~layout stats_acc (m : Ilmod.t) =
+  let codes, stats = Llo.compile_module ?mem ?check ~layout m in
   stats_acc := add_llo_stats !stats_acc stats;
   Objfile.of_code ~module_name:m.Ilmod.mname ~globals:m.Ilmod.globals
     ~source_digest:"" codes
@@ -221,8 +222,41 @@ let link_or_fail ?routine_order objects =
       (Format.pp_print_list ~pp_sep:Format.pp_print_cut Linker.pp_error)
       errs
 
-let compile_modules ?profile ?cache (options : Options.t) modules =
+(* --- the between-phase verifier (Options.check) ------------------- *)
+
+let render_violations vs =
+  Format.asprintf "@[<v>IL verification failed:@,%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut Ilcheck.pp_violation)
+    vs
+
+(* A loader-backed resolution environment: function arities straight
+   from the pool headers (clones included, IPA-removed routines
+   absent — exactly the NAIM ownership the verifier polices) and the
+   globals of every registered module. *)
+let loader_env loader =
+  {
+    Ilcheck.resolve =
+      (fun name ->
+        match Loader.arity_of loader name with
+        | Some arity -> Some (Ilcheck.Func_binding { arity })
+        | None ->
+          Option.map
+            (fun size -> Ilcheck.Global_binding { size })
+            (Loader.global_size_of loader name));
+  }
+
+let compile_modules_inner ?profile ?cache (options : Options.t) modules =
   let jobs = max 1 options.Options.jobs in
+  (* Checker factory: [None] when [check] is off, so the optimizers
+     skip the hook entirely; environments are lazy because snapshots
+     cost a pass over the program. *)
+  let checker_of env_lazy =
+    if not options.Options.check then None
+    else
+      Some
+        (fun ~phase f ->
+          Ilcheck.check_func_exn ~env:(Lazy.force env_lazy) ~phase f)
+  in
   let t0 = Sys.time () in
   let w0 = Unix.gettimeofday () in
   let total_lines =
@@ -275,6 +309,10 @@ let compile_modules ?profile ?cache (options : Options.t) modules =
     | true, Some db -> ignore (Correlate.annotate db modules)
     | true, None -> Correlate.clear modules
     | false, _ -> Correlate.clear modules);
+    (* The whole-program view as the frontends delivered it: valid
+       for every check until HLO starts adding and removing
+       functions. *)
+    let snapshot_env = lazy (Ilcheck.env_of_modules modules) in
     let mem = Memstats.create () in
     let hlo_report = ref None in
     let loader_stats = ref None in
@@ -296,7 +334,9 @@ let compile_modules ?profile ?cache (options : Options.t) modules =
         List.iter
           (fun (m : Ilmod.t) ->
             List.iter
-              (fun f -> ignore (Phase.optimize_func ~mem f))
+              (fun f ->
+                ignore
+                  (Phase.optimize_func ~mem ?check:(checker_of snapshot_env) f))
               m.Ilmod.funcs)
           modules;
         modules
@@ -363,7 +403,10 @@ let compile_modules ?profile ?cache (options : Options.t) modules =
             warm_lines := !warm_lines + Ilmod.src_lines m;
             let optimize () =
               List.iter
-                (fun f -> ignore (Phase.optimize_func ~mem f))
+                (fun f ->
+                  ignore
+                    (Phase.optimize_func ~mem ?check:(checker_of snapshot_env)
+                       f))
                 m.Ilmod.funcs
             in
             match cache with
@@ -383,6 +426,10 @@ let compile_modules ?profile ?cache (options : Options.t) modules =
           end
         in
         let outside = List.map optimize_outside outside in
+        (* What link-time CMO may reference beyond its own loader:
+           the non-CMO modules' functions and globals.  Snapshot once;
+           component workers share it read-only. *)
+        let outside_env = lazy (Ilcheck.env_of_modules outside) in
         if cmo_set = [] then outside
         else begin
           let called, stored = external_context outside in
@@ -453,6 +500,11 @@ let compile_modules ?profile ?cache (options : Options.t) modules =
             in
             let loader = Loader.create loader_config mem in
             List.iter (Loader.register_module loader) subset;
+            let check =
+              checker_of
+                (lazy
+                  (Ilcheck.compose (loader_env loader) (Lazy.force outside_env)))
+            in
             let ipa_context =
               {
                 Ipa.externally_called = Hashtbl.mem called;
@@ -485,6 +537,7 @@ let compile_modules ?profile ?cache (options : Options.t) modules =
                 hot_filter;
                 rewrite_limit = options.Options.rewrite_limit;
                 phase_cache;
+                check;
               }
             in
             let report = Hlo.run loader cg ~ipa_context hlo_options in
@@ -736,6 +789,11 @@ let compile_modules ?profile ?cache (options : Options.t) modules =
        peaks match the sequential run. *)
     let llo_stats = ref zero_llo_stats in
     let layout = options.Options.pbo && options.Options.level <> Options.O1 in
+    (* Post-CMO view: clones present, IPA-removed routines gone — a
+       reference that dangles here would dangle at link time too. *)
+    let llo_check =
+      checker_of (lazy (Ilcheck.env_of_modules processed_modules))
+    in
     let objects =
       if jobs > 1 then begin
         let results =
@@ -744,7 +802,9 @@ let compile_modules ?profile ?cache (options : Options.t) modules =
                 (fun m ->
                   let wmem = Memstats.create () in
                   let acc = ref zero_llo_stats in
-                  let obj = llo_module ~mem:(Some wmem) ~layout acc m in
+                  let obj =
+                    llo_module ?check:llo_check ~mem:(Some wmem) ~layout acc m
+                  in
                   (obj, !acc, wmem))
                 processed_modules)
         in
@@ -756,7 +816,9 @@ let compile_modules ?profile ?cache (options : Options.t) modules =
           results
       end
       else
-        List.map (llo_module ~mem:(Some mem) ~layout llo_stats) processed_modules
+        List.map
+          (llo_module ?check:llo_check ~mem:(Some mem) ~layout llo_stats)
+          processed_modules
     in
     let llo_t1 = Sys.time () in
     let llo_w1 = Unix.gettimeofday () in
@@ -815,6 +877,10 @@ let compile_modules ?profile ?cache (options : Options.t) modules =
         };
     }
   end
+
+let compile_modules ?profile ?cache options modules =
+  try compile_modules_inner ?profile ?cache options modules
+  with Ilcheck.Violation vs -> error "%s" (render_violations vs)
 
 let compile ?profile ?cache options sources =
   let t0 = Sys.time () in

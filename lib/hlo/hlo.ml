@@ -25,6 +25,7 @@ type options = {
   hot_filter : (string -> bool) option;
   rewrite_limit : int option;
   phase_cache : phase_cache option;
+  check : (phase:string -> Func.t -> unit) option;
 }
 
 let o2_options =
@@ -35,6 +36,7 @@ let o2_options =
     hot_filter = None;
     rewrite_limit = None;
     phase_cache = None;
+    check = None;
   }
 
 let o4_options ~profile =
@@ -46,6 +48,7 @@ let o4_options ~profile =
     hot_filter = None;
     rewrite_limit = None;
     phase_cache = None;
+    check = None;
   }
 
 (* The phase pipeline is purely intraprocedural, so its result is a
@@ -55,7 +58,7 @@ let o4_options ~profile =
    rewrite limit, whose budget is shared across routines. *)
 let phase_version = "fn1"
 
-let optimize_func_cached pc ~mem ~budget (f : Func.t) =
+let optimize_func_cached pc ~mem ~budget ?check (f : Func.t) =
   let before = Funcodec.encode f in
   let key = Fingerprint.of_strings [ phase_version; before ] in
   let hit =
@@ -75,9 +78,14 @@ let optimize_func_cached pc ~mem ~budget (f : Func.t) =
   match hit with
   | Some (n, g) ->
     Funcodec.overwrite ~dst:f g;
+    (* Cached bodies were verified when first produced, but the cache
+       itself is now part of the trusted path: re-check the decode. *)
+    (match check with
+    | Some run_check -> run_check ~phase:"phase-cache" f
+    | None -> ());
     n
   | None ->
-    let n = Phase.optimize_func ~mem ~budget f in
+    let n = Phase.optimize_func ~mem ~budget ?check f in
     let w = W.create () in
     W.uvarint w n;
     W.string w (Funcodec.encode f);
@@ -135,17 +143,33 @@ let merge_reports a b =
   }
 
 let run loader cg ?(ipa_context = Ipa.whole_program) options =
+  (* With [check] on, sweep the whole loader after each
+     interprocedural stage: these stages mint registers, labels and
+     call sites (clone/inline) and delete functions (IPA), exactly
+     the invariants the verifier polices. *)
+  let sweep phase =
+    match options.check with
+    | None -> ()
+    | Some run_check ->
+      List.iter
+        (fun fname ->
+          Loader.with_func loader fname (fun f -> run_check ~phase f))
+        (Loader.func_names loader)
+  in
   let clones =
     match options.clone with
     | Some config -> Clone.run loader cg config
     | None -> 0
   in
+  if options.clone <> None then sweep "clone";
   let inline_stats =
     Option.map (fun config -> Inline.run loader cg config) options.inline
   in
+  if options.inline <> None then sweep "inline";
   let ipa_stats =
     if options.ipa then Some (Ipa.run loader ipa_context) else None
   in
+  if options.ipa then sweep "ipa";
   let budget =
     match options.rewrite_limit with
     | Some n -> Phase.limited n
@@ -165,8 +189,9 @@ let run loader cg ?(ipa_context = Ipa.whole_program) options =
         Loader.with_func loader fname (fun f ->
             let n =
               match (options.phase_cache, options.rewrite_limit) with
-              | Some pc, None -> optimize_func_cached pc ~mem ~budget f
-              | _ -> Phase.optimize_func ~mem ~budget f
+              | Some pc, None ->
+                optimize_func_cached pc ~mem ~budget ?check:options.check f
+              | _ -> Phase.optimize_func ~mem ~budget ?check:options.check f
             in
             rewrites := !rewrites + n;
             Loader.update loader f)

@@ -44,6 +44,12 @@ type options = {
           fetched instead of re-optimized.  Ignored when
           [rewrite_limit] is set (the budget is shared across
           routines). *)
+  check : (phase:string -> Cmo_il.Func.t -> unit) option;
+      (** Between-phase verification hook ([Options.check] passes the
+          IL verifier here): called on every routine after each
+          interprocedural stage ([clone], [inline], [ipa]), after
+          each rewriting scalar pass, and on cache-served bodies
+          ([phase-cache]).  Should raise to stop compilation. *)
 }
 
 val o2_options : options

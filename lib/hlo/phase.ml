@@ -35,7 +35,22 @@ let processed = Atomic.make 0
 
 let funcs_processed () = Atomic.get processed
 
-let optimize_func ?mem ?(budget = unlimited ()) ?(max_rounds = 4) (f : Func.t) =
+(* The scalar pass ladder, named so the verifier hook can say which
+   pass broke the IL. *)
+let passes : (string * (Func.t -> int)) list =
+  [
+    ("constprop", Constprop.run);
+    ("cfg", fun f -> if Cfg.simplify f then 1 else 0);
+    ("unroll", Unroll.run ?max_trip:None ?budget:None);
+    ("valnum", Valnum.run);
+    ("copyprop", Copyprop.run);
+    ("licm", Licm.run);
+    ("dce", Dce.run);
+    ("cfg2", fun f -> if Cfg.simplify f then 1 else 0);
+  ]
+
+let optimize_func ?mem ?(budget = unlimited ()) ?(max_rounds = 4) ?check
+    (f : Func.t) =
   Atomic.incr processed;
   let charge_derived () =
     match mem with
@@ -60,7 +75,7 @@ let optimize_func ?mem ?(budget = unlimited ()) ?(max_rounds = 4) (f : Func.t) =
   while !changed && !rounds < max_rounds && not (exhausted budget) do
     incr rounds;
     let release = charge_derived () in
-    let apply pass =
+    let apply (name, pass) =
       if exhausted budget then 0
       else begin
         let n = pass f in
@@ -68,19 +83,13 @@ let optimize_func ?mem ?(budget = unlimited ()) ?(max_rounds = 4) (f : Func.t) =
            limited budget that goes negative simply stops later
            passes, preserving monotonicity for the binary search. *)
         ignore (take budget n);
+        (match check with
+        | Some run_check when n > 0 -> run_check ~phase:name f
+        | Some _ | None -> ());
         n
       end
     in
-    let n =
-      apply Constprop.run
-      + apply (fun f -> if Cfg.simplify f then 1 else 0)
-      + apply (Unroll.run ?max_trip:None ?budget:None)
-      + apply Valnum.run
-      + apply Copyprop.run
-      + apply Licm.run
-      + apply Dce.run
-      + apply (fun f -> if Cfg.simplify f then 1 else 0)
-    in
+    let n = List.fold_left (fun acc pass -> acc + apply pass) 0 passes in
     release ();
     total := !total + n;
     changed := n > 0

@@ -22,14 +22,21 @@ val unlimited : unit -> budget
 val limited : int -> budget
 val spent : budget -> int
 
+val passes : (string * (Cmo_il.Func.t -> int)) list
+(** The scalar ladder in application order, under the names the
+    verifier hook reports ([cfg2] is the second CFG cleanup). *)
+
 val optimize_func :
   ?mem:Cmo_naim.Memstats.t ->
   ?budget:budget ->
   ?max_rounds:int ->
+  ?check:(phase:string -> Cmo_il.Func.t -> unit) ->
   Cmo_il.Func.t ->
   int
 (** Returns the total number of rewrites applied (0 = fixpoint on
-    entry).  Default [max_rounds] is 4. *)
+    entry).  Default [max_rounds] is 4.  [check] runs after every
+    pass application that rewrote something ([Options.check] passes
+    the IL verifier here); it should raise to stop compilation. *)
 
 val funcs_processed : unit -> int
 (** Process-wide count of {!optimize_func} invocations — the

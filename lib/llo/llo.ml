@@ -12,8 +12,13 @@ type stats = {
    live ranges).  Quadratic term: interference/dependence edges. *)
 let modeled_llo_bytes n = (300 * n) + (n * n)
 
-let compile_internal ?mem ~layout ~schedule ~module_name f =
+let compile_internal ?mem ?check ~layout ~schedule ~module_name f =
   let layout_changed = if layout then Layout.run f else false in
+  (* Layout is the one LLO stage that rewrites IL (block order); the
+     later stages work on vcode/mach forms the verifier cannot see. *)
+  (match check with
+  | Some run_check when layout -> run_check ~phase:"layout" f
+  | Some _ | None -> ());
   let vc = Isel.select ~module_name f in
   if schedule then ignore (Sched.run vc);
   let mach_count =
@@ -33,11 +38,14 @@ let compile_internal ?mem ~layout ~schedule ~module_name f =
   Option.iter (fun (m, bytes) -> Memstats.release m Memstats.Llo bytes) charged;
   (code, result.Regalloc.spilled_vregs, peeps, layout_changed)
 
-let compile_func ?mem ?(layout = false) ?(schedule = true) ~module_name f =
-  let code, _, _, _ = compile_internal ?mem ~layout ~schedule ~module_name f in
+let compile_func ?mem ?check ?(layout = false) ?(schedule = true) ~module_name f =
+  let code, _, _, _ =
+    compile_internal ?mem ?check ~layout ~schedule ~module_name f
+  in
   code
 
-let compile_module ?mem ?(layout = false) ?(schedule = true) (m : Cmo_il.Ilmod.t) =
+let compile_module ?mem ?check ?(layout = false) ?(schedule = true)
+    (m : Cmo_il.Ilmod.t) =
   let stats =
     ref
       {
@@ -52,7 +60,7 @@ let compile_module ?mem ?(layout = false) ?(schedule = true) (m : Cmo_il.Ilmod.t
     List.map
       (fun f ->
         let code, spills, peeps, layout_changed =
-          compile_internal ?mem ~layout ~schedule
+          compile_internal ?mem ?check ~layout ~schedule
             ~module_name:m.Cmo_il.Ilmod.mname f
         in
         stats :=

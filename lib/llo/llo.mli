@@ -25,6 +25,7 @@ type stats = {
 
 val compile_func :
   ?mem:Cmo_naim.Memstats.t ->
+  ?check:(phase:string -> Cmo_il.Func.t -> unit) ->
   ?layout:bool ->
   ?schedule:bool ->
   module_name:string ->
@@ -36,12 +37,15 @@ val compile_func :
 
 val compile_module :
   ?mem:Cmo_naim.Memstats.t ->
+  ?check:(phase:string -> Cmo_il.Func.t -> unit) ->
   ?layout:bool ->
   ?schedule:bool ->
   Cmo_il.Ilmod.t ->
   Mach.func_code list * stats
 (** [schedule] (default true) runs the list scheduler; disable for
-    the scheduling ablation. *)
+    the scheduling ablation.  [check] runs after block layout — the
+    one LLO stage that rewrites IL — under the phase name
+    ["layout"]. *)
 
 val modeled_llo_bytes : int -> int
 (** Modeled LLO working set for a routine of the given machine

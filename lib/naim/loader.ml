@@ -48,6 +48,7 @@ type pool_state =
 type pool = {
   fname : string;
   pool_module : string;
+  arity : int;  (* interface datum: readable without expanding *)
   mutable state : pool_state;
   mutable expanded_bytes : int;  (* modeled size of the expanded form *)
   mutable compact_charge : int;  (* modeled resident size when Compacted *)
@@ -298,6 +299,7 @@ let register_module t (m : Ilmod.t) =
         {
           fname = f.Func.name;
           pool_module = m.Ilmod.mname;
+          arity = f.Func.arity;
           state = Expanded f;
           expanded_bytes = Size.func_expanded_bytes f;
           compact_charge = 0;
@@ -359,6 +361,7 @@ let add_func t ~module_name (f : Func.t) =
     {
       fname = f.Func.name;
       pool_module = module_name;
+      arity = f.Func.arity;
       state = Expanded f;
       expanded_bytes = Size.func_expanded_bytes f;
       compact_charge = 0;
@@ -395,6 +398,21 @@ let with_func t fname f =
   Fun.protect ~finally:(fun () -> release t fname) (fun () -> f func)
 
 let func_names t = List.rev t.func_order_rev
+
+let arity_of t fname =
+  Option.map (fun p -> p.arity) (Hashtbl.find_opt t.pools fname)
+
+let global_size_of t gname =
+  Hashtbl.fold
+    (fun _ m acc ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+        List.find_map
+          (fun (g : Ilmod.global) ->
+            if g.Ilmod.gname = gname then Some g.Ilmod.size else None)
+          m.globals)
+    t.modules None
 
 let module_names t = List.rev t.module_order_rev
 

@@ -100,6 +100,14 @@ val with_func : t -> string -> (Cmo_il.Func.t -> 'a) -> 'a
 val func_names : t -> string list
 (** All registered routines, in deterministic registration order. *)
 
+val arity_of : t -> string -> int option
+(** A routine's arity without expanding it — interface data kept in
+    the pool header.  [None] when no such routine is registered (a
+    dangling reference, as far as this loader knows). *)
+
+val global_size_of : t -> string -> int option
+(** Size of a global owned by any registered module, by name. *)
+
 val module_names : t -> string list
 
 val funcs_of_module : t -> string -> string list

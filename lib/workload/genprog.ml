@@ -12,6 +12,22 @@ type config = {
   tiny_leaf_percent : int;
 }
 
+(* Small programs whose shape still varies with the seed — the
+   differential-fuzz configuration (shared by the qcheck suites and
+   the campaign driver, so a printed seed reproduces either way). *)
+let fuzz_config ?(name = "fuzz") seed =
+  {
+    name;
+    seed;
+    modules = 4 + (seed mod 5);
+    hot_modules = 1 + (seed mod 2);
+    funcs_per_module = (3, 7);
+    hot_weight = 80 + (seed mod 15);
+    main_iters = 120;
+    leaf_iters = (3, 8);
+    tiny_leaf_percent = 20 + (seed mod 40);
+  }
+
 let scale c f =
   let modules = max 2 (int_of_float (Float.round (float_of_int c.modules *. f))) in
   let hot_modules =

@@ -71,6 +71,12 @@ val training_input : config -> int64 array
 val reference_input : config -> int64 array
 (** Full trip count, a (configurably) different path mix. *)
 
+val fuzz_config : ?name:string -> int -> config
+(** A small (4-8 module) configuration whose module count, hot split
+    and leaf mix still vary with the seed — the shape the
+    differential-fuzz suites and the campaign driver compile, so a
+    printed seed reproduces the same program in either harness. *)
+
 val scale : config -> float -> config
 (** [scale c f] multiplies the module count by [f] (at least 1
     module), keeping proportions — used for the memory-growth sweeps

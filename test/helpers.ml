@@ -51,3 +51,39 @@ let check_same_behaviour ?input msg modules_a modules_b =
   let a = run ?input modules_a in
   let b = run ?input modules_b in
   Alcotest.check outcome_testable msg a b
+
+(* ---------- deterministic fuzz seeds ---------- *)
+
+(* Every property-based suite draws its randomness from one seed so a
+   CI failure is reproducible from a single number.  [CMO_FUZZ_SEED]
+   wins, then qcheck's own [QCHECK_SEED], then a fresh random seed;
+   whichever it was, a failing property prints it with the command to
+   replay (see HACKING.md). *)
+let fuzz_seed =
+  lazy
+    (let from_env name =
+       Option.bind (Sys.getenv_opt name) int_of_string_opt
+     in
+     match from_env "CMO_FUZZ_SEED" with
+     | Some s -> s
+     | None -> (
+       match from_env "QCHECK_SEED" with
+       | Some s -> s
+       | None ->
+         Random.self_init ();
+         Random.int 1_000_000_000))
+
+(* [QCheck_alcotest.to_alcotest] with the shared seed, and the seed
+   printed on failure so the exact run can be replayed. *)
+let to_alcotest test =
+  let seed = Lazy.force fuzz_seed in
+  let name, speed, run =
+    QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| seed |]) test
+  in
+  let run () =
+    try run ()
+    with e ->
+      Printf.printf "fuzz seed: %d (replay with CMO_FUZZ_SEED=%d)\n%!" seed seed;
+      raise e
+  in
+  (name, speed, run)

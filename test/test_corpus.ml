@@ -1,0 +1,67 @@
+(* Corpus replay: every MiniC program under [test/corpus/] (shrunk
+   regression reproducers) and [examples/minic/] (documentation
+   examples) compiles at every optimization level and matches the
+   reference interpreter byte-for-byte — on everything printed and on
+   the exit value.  A divergence the campaign once found can never
+   quietly come back. *)
+
+module Interp = Cmo_il.Interp
+module Options = Cmo_driver.Options
+module Pipeline = Cmo_driver.Pipeline
+module Corpus = Cmo_campaign.Corpus
+module Vm = Cmo_vm.Vm
+
+let replay_input = [| 7L; 3L; 11L; 2L |]
+
+let levels =
+  [
+    ("O1", Options.o1);
+    ("O2", Options.o2);
+    ("O4", Options.o4);
+    ("O4+P", Options.o4_pbo);
+  ]
+
+let replay name program () =
+  let sources =
+    List.map (fun (name, text) -> { Pipeline.name; text }) program
+  in
+  let expected = Interp.run ~input:replay_input (Pipeline.frontend sources) in
+  List.iter
+    (fun (label, options) ->
+      let profile =
+        if options.Options.pbo then
+          Some (Pipeline.train ~inputs:[ replay_input ] sources)
+        else None
+      in
+      let build = Pipeline.compile ?profile options sources in
+      let actual = Pipeline.run ~input:replay_input build in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s at %s: ret %Ld = %Ld, %d printed" name label
+           expected.Interp.ret actual.Vm.ret
+           (List.length expected.Interp.output))
+        true
+        (Int64.equal expected.Interp.ret actual.Vm.ret
+        && expected.Interp.output = actual.Vm.output))
+    levels
+
+(* Both directories are declared as test deps in [test/dune], so dune
+   copies them next to the test binary and reruns on changes. *)
+let dirs = [ "corpus"; Filename.concat (Filename.concat ".." "examples") "minic" ]
+
+let entries = List.concat_map (fun dir -> Corpus.load_dir dir) dirs
+
+let test_corpus_is_populated () =
+  (* An empty corpus means the dune deps broke, not that there is
+     nothing to replay. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "found %d corpus entries" (List.length entries))
+    true
+    (List.length entries >= 4)
+
+let suite =
+  Alcotest.test_case "corpus directories populated" `Quick
+    test_corpus_is_populated
+  :: List.map
+       (fun (name, program) ->
+         Alcotest.test_case ("replay " ^ name) `Quick (replay name program))
+       entries

@@ -23,13 +23,14 @@ module Memstats = Cmo_naim.Memstats
 
 (* ---------- random expressions ---------- *)
 
-(* A QCheck generator of MiniC expression strings over variables
-   a, b, c and bounded constants.  Division and shifts are included
+(* A QCheck generator of MiniC expression strings over the given
+   atoms (variables, global reads, indexed array reads, call forms)
+   and bounded constants.  Division and shifts are included
    deliberately: their edge cases (zero, negatives, large shift
    amounts) are where IL, interpreter and VM must agree exactly. *)
-let gen_expr =
+let gen_expr_over ?(depth = 4) atoms =
   let open QCheck.Gen in
-  let var = oneofl [ "a"; "b"; "c" ] in
+  let var = oneofl atoms in
   let const = map Int64.to_string (map Int64.of_int (int_range (-100) 100)) in
   let rec expr n =
     if n = 0 then oneof [ var; const ]
@@ -55,7 +56,9 @@ let gen_expr =
             return (Printf.sprintf "(!%s)" e) );
         ]
   in
-  expr 4
+  expr depth
+
+let gen_expr = gen_expr_over [ "a"; "b"; "c" ]
 
 let arbitrary_expr_program =
   QCheck.make
@@ -102,20 +105,117 @@ let fuzz_expressions_optimized =
       in
       Int64.equal (run Options.o1) (run Options.o2))
 
+(* ---------- random statement-level programs ---------- *)
+
+(* Beyond pure expressions: programs with a scalar global, an array
+   indexed by masked random expressions, helper-function calls (one of
+   them mutating the global), prints, and bounded while/for loops.
+   Every loop counts a fresh local down from a masked bound, so the
+   generated programs always terminate. *)
+let gen_stmt_program =
+  let open QCheck.Gen in
+  let fresh = ref 0 in
+  let atoms =
+    [ "a"; "b"; "c"; "g"; "arr[(a & 7)]"; "arr[(b & 7)]";
+      "h1(a, b)"; "h2(c)" ]
+  in
+  let expr = gen_expr_over ~depth:3 atoms in
+  let rec stmts depth n =
+    if n = 0 then return ""
+    else
+      let* s = stmt depth in
+      let* rest = stmts depth (n - 1) in
+      return (s ^ "\n  " ^ rest)
+  and stmt depth =
+    let leaf =
+      [
+        ( 4,
+          let* lhs = oneofl [ "a"; "b"; "c"; "g" ] in
+          let* e = expr in
+          return (Printf.sprintf "%s = %s;" lhs e) );
+        ( 2,
+          let* i = expr in
+          let* e = expr in
+          return (Printf.sprintf "arr[(%s) & 7] = %s;" i e) );
+        ( 1,
+          let* e = expr in
+          return (Printf.sprintf "print(%s);" e) );
+        ( 1,
+          let* e = expr in
+          return (Printf.sprintf "c = h1(%s, b);" e) );
+      ]
+    in
+    let nested =
+      [
+        ( 2,
+          let* cond = expr in
+          let* t = stmts (depth - 1) 2 in
+          let* f = stmts (depth - 1) 2 in
+          return (Printf.sprintf "if (%s) { %s } else { %s }" cond t f) );
+        ( 2,
+          let* bound = expr in
+          let* body = stmts (depth - 1) 2 in
+          incr fresh;
+          let i = Printf.sprintf "i%d" !fresh in
+          return
+            (Printf.sprintf
+               "var %s = (%s) & 15; while (%s > 0) { %s = %s - 1; %s }" i
+               bound i i i body) );
+        ( 1,
+          let* bound = expr in
+          let* body = stmts (depth - 1) 2 in
+          incr fresh;
+          let j = Printf.sprintf "j%d" !fresh in
+          return
+            (Printf.sprintf
+               "for (var %s = 0; %s < ((%s) & 7); %s = %s + 1) { %s }" j j
+               bound j j body) );
+      ]
+    in
+    frequency (if depth = 0 then leaf else leaf @ nested)
+  in
+  let* body = stmts 2 6 in
+  return
+    (Printf.sprintf
+       "global g = 3;\n\
+        global arr[8] = {1, 2, 3, 4, 5, 6, 7, 8};\n\
+        func h1(x, y) { return (x * 3) ^ (y + arr[x & 7]); }\n\
+        static func h2(x) { g = g + 1; return x + g; }\n\
+        func main() {\n\
+       \  var a = arg(0); var b = arg(1); var c = arg(2);\n\
+       \  %s\n\
+       \  return (a ^ b) + (c ^ g) + arr[(a - b) & 7];\n\
+        }\n"
+       body)
+
+let arbitrary_stmt_program =
+  QCheck.make
+    ~print:(fun (src, a, b, c) ->
+      Printf.sprintf "%s\nwith a=%Ld b=%Ld c=%Ld" src a b c)
+    QCheck.Gen.(
+      let* src = gen_stmt_program in
+      let* a = map Int64.of_int (int_range (-1000) 1000) in
+      let* b = map Int64.of_int (int_range (-1000) 1000) in
+      let* c = map Int64.of_int (int_range (-1000) 1000) in
+      return (src, a, b, c))
+
+(* The statement-level programs run through the most aggressive
+   single-module configuration and must match the interpreter on both
+   the return value and everything printed. *)
+let fuzz_statement_programs =
+  QCheck.Test.make ~name:"random statement programs: O2 = interpreter"
+    ~count:80 arbitrary_stmt_program (fun (src, a, b, c) ->
+      let input = [| a; b; c |] in
+      let modules = [ Cmo_frontend.Frontend.compile_exn ~module_name:"fz" src ] in
+      let expected = Interp.run ~input modules in
+      let build = Pipeline.compile_modules Options.o2 modules in
+      let actual = Pipeline.run ~input build in
+      Int64.equal expected.Interp.ret actual.Vm.ret
+      && expected.Interp.output = actual.Vm.output)
+
 (* ---------- random whole programs ---------- *)
 
-let config_of_seed seed =
-  {
-    Genprog.name = "fuzz";
-    seed;
-    modules = 4 + (seed mod 5);
-    hot_modules = 1 + (seed mod 2);
-    funcs_per_module = (3, 7);
-    hot_weight = 80 + (seed mod 15);
-    main_iters = 120;
-    leaf_iters = (3, 8);
-    tiny_leaf_percent = 20 + (seed mod 40);
-  }
+let config_of_seed seed = Genprog.fuzz_config ~name:"fuzz" seed
 
 let fuzz_whole_programs =
   QCheck.Test.make ~name:"random programs: O4+P behaves like the interpreter"
@@ -407,14 +507,15 @@ let fuzz_truncated_valid_encoding =
 
 let suite =
   [
-    QCheck_alcotest.to_alcotest fuzz_expressions;
-    QCheck_alcotest.to_alcotest fuzz_expressions_optimized;
-    QCheck_alcotest.to_alcotest fuzz_whole_programs;
-    QCheck_alcotest.to_alcotest fuzz_whole_programs_tiered;
-    QCheck_alcotest.to_alcotest fuzz_single_pass;
-    QCheck_alcotest.to_alcotest fuzz_loader_traffic;
-    QCheck_alcotest.to_alcotest fuzz_cluster_permutation;
-    QCheck_alcotest.to_alcotest fuzz_selectivity_monotone;
-    QCheck_alcotest.to_alcotest fuzz_decoders_robust;
-    QCheck_alcotest.to_alcotest fuzz_truncated_valid_encoding;
+    Helpers.to_alcotest fuzz_expressions;
+    Helpers.to_alcotest fuzz_expressions_optimized;
+    Helpers.to_alcotest fuzz_statement_programs;
+    Helpers.to_alcotest fuzz_whole_programs;
+    Helpers.to_alcotest fuzz_whole_programs_tiered;
+    Helpers.to_alcotest fuzz_single_pass;
+    Helpers.to_alcotest fuzz_loader_traffic;
+    Helpers.to_alcotest fuzz_cluster_permutation;
+    Helpers.to_alcotest fuzz_selectivity_monotone;
+    Helpers.to_alcotest fuzz_decoders_robust;
+    Helpers.to_alcotest fuzz_truncated_valid_encoding;
   ]

@@ -13,6 +13,8 @@ let () =
       ("cache", Test_cache.suite);
       ("workload", Test_workload.suite);
       ("parallel", Test_parallel.suite);
+      ("check", Test_check.suite);
+      ("corpus", Test_corpus.suite);
       ("fuzz", Test_fuzz.suite);
       ("misc", Test_misc.suite);
     ]
