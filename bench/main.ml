@@ -7,7 +7,7 @@
      dune exec bench/main.exe -- fig1    -- one experiment
    Experiments: fig1 fig4 fig5 fig6 bytes-per-line ablation stale micro
    incremental incremental-smoke parallel parallel-smoke fuzz-smoke
-   check-overhead *)
+   check-overhead trace-smoke *)
 
 module Genprog = Cmo_workload.Genprog
 module Suite = Cmo_workload.Suite
@@ -746,8 +746,7 @@ let parallel_for name ~shards =
       Printf.printf "%-5d | %8.3f %8.3f %8.3f | %8.3f | %7.2fx | %s\n%!" jobs
         r.Pipeline.frontend_wall_seconds r.Pipeline.hlo_wall_seconds
         r.Pipeline.llo_wall_seconds
-        (r.Pipeline.frontend_seconds +. r.Pipeline.hlo_seconds
-        +. r.Pipeline.llo_seconds)
+        (Pipeline.phase_cpu_seconds r)
         (Pipeline.par_speedup r)
         (if identical then "identical to j=1" else "DIVERGED from j=1"))
     [ 1; 2; 4 ];
@@ -777,9 +776,8 @@ let fuzz_smoke () =
   let module Campaign = Cmo_campaign.Campaign in
   let module Oracle = Cmo_campaign.Oracle in
   let seed =
-    match Sys.getenv_opt "CMO_FUZZ_SEED" with
-    | Some s -> (try int_of_string s with _ -> 1)
-    | None -> 1
+    Option.value ~default:1
+      (Options.from_env ()).Options.env_fuzz_seed
   in
   Printf.printf "seed %d (override with CMO_FUZZ_SEED)\n%!" seed;
   let r =
@@ -825,12 +823,136 @@ let check_overhead () =
   Printf.printf "%-22s | %+7.1f%%\n" "overhead"
     (100.0 *. (checked -. plain) /. plain)
 
+(* ------------------------------------------------------------------ *)
+(* Tracing overhead and Chrome-trace validation: the fig1 smoke
+   personality (li) at +O4 j=4, built plain and with --trace.  The
+   harness enforces the observability acceptance bar — byte-identical
+   outputs, a parseable trace with balanced spans, the four stage
+   spans, per-worker tracks, cache counters and the NAIM memory
+   timeline — and reports the wall-time overhead (the EXPERIMENTS.md
+   row) plus the machine-readable report. *)
+(* ------------------------------------------------------------------ *)
+
+let trace_smoke () =
+  header "Tracing overhead + Chrome-trace validation (li, +O4, j=4)";
+  let module Json = Cmo_obs.Json in
+  let cfg = Suite.find "li" in
+  let sources = sources_of cfg in
+  let options = { Options.o4 with Options.jobs = 4; trace = None } in
+  (* Each build gets its own cold store so plain and traced runs see
+     identical cache traffic (and the trace records cache.* counters). *)
+  let build options =
+    let dir =
+      Filename.concat (Filename.get_temp_dir_name ()) "cmo-bench-trace-cache"
+    in
+    remove_tree dir;
+    Sys.mkdir dir 0o755;
+    Fun.protect ~finally:(fun () -> remove_tree dir) @@ fun () ->
+    let store = Store.open_ ~dir () in
+    Fun.protect ~finally:(fun () -> Store.close store) @@ fun () ->
+    let t0 = Unix.gettimeofday () in
+    let b = Pipeline.compile ~cache:store options sources in
+    (b, Unix.gettimeofday () -. t0)
+  in
+  ignore (build options);  (* warm-up: exclude first-run noise *)
+  let plain, plain_wall = build options in
+  let path = Filename.temp_file "cmo-trace" ".json" in
+  let traced, traced_wall = build { options with Options.trace = Some path } in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  let require cond fmt =
+    Printf.ksprintf (fun m -> if not cond then failures := m :: !failures) fmt
+  in
+  (* 1. Tracing is observational: identical image and objects. *)
+  require
+    (plain.Pipeline.image.Cmo_link.Image.code
+       = traced.Pipeline.image.Cmo_link.Image.code
+    && plain.Pipeline.image.Cmo_link.Image.funcs
+         = traced.Pipeline.image.Cmo_link.Image.funcs
+    && plain.Pipeline.objects = traced.Pipeline.objects)
+    "traced build diverged from untraced build";
+  (* 2. The trace parses and has the right shape. *)
+  let text =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  Sys.remove path;
+  (match Json.parse text with
+  | Error e -> fail "trace is not valid JSON: %s" e
+  | Ok (Json.Arr events) ->
+    let stage_names = ref [] in
+    let worker_tracks = ref 0 in
+    let naim_samples = ref 0 in
+    let cache_counters = ref 0 in
+    let depth : (float, int) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun ev ->
+        let field f conv = Option.bind (Json.member f ev) conv in
+        let tid = Option.value ~default:(-1.0) (field "tid" Json.num) in
+        let name = Option.value ~default:"" (field "name" Json.str) in
+        match field "ph" Json.str with
+        | Some "B" ->
+          Hashtbl.replace depth tid
+            (1 + Option.value ~default:0 (Hashtbl.find_opt depth tid));
+          if field "cat" Json.str = Some "stage" then
+            stage_names := name :: !stage_names
+        | Some "E" ->
+          let d = Option.value ~default:0 (Hashtbl.find_opt depth tid) in
+          if d <= 0 then fail "unbalanced E event on tid %g" tid
+          else Hashtbl.replace depth tid (d - 1)
+        | Some "M" ->
+          (match Option.bind (field "args" (Json.member "name")) Json.str with
+          | Some track
+            when String.length track > 7 && String.sub track 0 7 = "worker-" ->
+            incr worker_tracks
+          | Some _ | None -> ())
+        | Some "C" ->
+          let starts_with p =
+            String.length name >= String.length p
+            && String.sub name 0 (String.length p) = p
+          in
+          if starts_with "NAIM memory" then incr naim_samples
+          else if starts_with "cache." then incr cache_counters
+        | Some "i" -> ()
+        | Some ph -> fail "unknown phase type %S" ph
+        | None -> fail "event without ph")
+      events;
+    Hashtbl.iter
+      (fun tid d -> if d <> 0 then fail "%d unclosed span(s) on tid %g" d tid)
+      depth;
+    List.iter
+      (fun stage ->
+        require
+          (List.mem stage !stage_names)
+          "missing stage span %S in trace" stage)
+      [ "frontend"; "hlo"; "llo"; "link" ];
+    require (!worker_tracks >= 1) "no worker-* track in a -j 4 trace";
+    require (!naim_samples >= 1) "no NAIM memory timeline samples";
+    require (!cache_counters >= 1) "no cache.* counter events";
+    Printf.printf "trace: %d events, %d worker tracks, %d NAIM samples\n"
+      (List.length events) !worker_tracks !naim_samples
+  | Ok _ -> fail "trace is not a JSON array of events");
+  (* 3. Overhead row + machine-readable report. *)
+  Printf.printf "%-22s | %8.3f s\n" "without --trace" plain_wall;
+  Printf.printf "%-22s | %8.3f s\n" "with --trace" traced_wall;
+  Printf.printf "%-22s | %+7.1f%%\n" "overhead"
+    (100.0 *. (traced_wall -. plain_wall) /. plain_wall);
+  Printf.printf "report: %s\n"
+    (Json.to_string (Pipeline.report_to_json traced.Pipeline.report));
+  if !failures <> [] then begin
+    List.iter (Printf.eprintf "trace-smoke: %s\n") (List.rev !failures);
+    exit 1
+  end
+
 let all = [ "fig1", fig1; "fig4", fig4; "fig5", fig5; "fig6", fig6;
             "bytes-per-line", bytes_per_line; "ablation", ablation;
             "stale", stale; "micro", micro; "incremental", incremental;
             "incremental-smoke", incremental_smoke;
             "parallel", parallel; "parallel-smoke", parallel_smoke;
-            "fuzz-smoke", fuzz_smoke; "check-overhead", check_overhead ]
+            "fuzz-smoke", fuzz_smoke; "check-overhead", check_overhead;
+            "trace-smoke", trace_smoke ]
 
 let () =
   let requested =

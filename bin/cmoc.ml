@@ -81,16 +81,28 @@ let check_arg =
                phase/function/instruction diagnostic on the first \
                broken invariant.  Also enabled by \\$CMO_CHECK.")
 
-let make_options level pbo selectivity machine_mb jobs check =
-  {
-    Options.o2 with
-    Options.level;
-    pbo;
-    selectivity;
-    machine_memory = machine_mb * 1024 * 1024;
-    jobs = max 1 jobs;
-    check = check || Options.default_check;
-  }
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Write a Chrome-trace (Perfetto-loadable) JSON of the \
+               build to FILE: stage and per-module spans, per-worker \
+               tracks, cache and loader counters, and the NAIM memory \
+               timeline.  Also enabled by \\$CMO_TRACE.  Tracing never \
+               changes the built image or the cache keys.")
+
+let make_options level pbo selectivity machine_mb jobs check trace =
+  let base =
+    {
+      Options.o2 with
+      Options.level;
+      pbo;
+      selectivity;
+      machine_memory = machine_mb * 1024 * 1024;
+      jobs = max 1 jobs;
+      check = check || Options.default_check;
+    }
+  in
+  (* [Options.base] already carries \$CMO_TRACE; the flag overrides. *)
+  match trace with None -> base | Some _ -> { base with Options.trace }
 
 let load_profile = Option.map Db.load
 
@@ -122,11 +134,11 @@ let compile_cmd =
     Arg.(value & flag & info [ "hot-report" ]
            ~doc:"With --run: print the routines the cycles went to, hottest first.")
   in
-  let action paths level pbo profile selectivity machine_mb jobs check log input run_it verbose map_it hot_report =
+  let action paths level pbo profile selectivity machine_mb jobs check trace log input run_it verbose map_it hot_report =
     try
       setup_logs log;
       let sources = List.map source_of_path paths in
-      let options = make_options level pbo selectivity machine_mb jobs check in
+      let options = make_options level pbo selectivity machine_mb jobs check trace in
       let build = Pipeline.compile ?profile:(load_profile profile) options sources in
       if verbose then
         Format.printf "%a@." Pipeline.pp_report build.Pipeline.report;
@@ -162,7 +174,8 @@ let compile_cmd =
   Cmd.v (Cmd.info "compile" ~doc)
     Term.(ret (const action $ sources_arg $ level_arg $ pbo_arg $ profile_arg
                $ selectivity_arg $ machine_memory_arg $ jobs_arg $ check_arg
-               $ log_arg $ input_arg $ run_flag $ verbose $ map_flag $ hot_flag))
+               $ trace_arg $ log_arg $ input_arg $ run_flag $ verbose $ map_flag
+               $ hot_flag))
 
 (* ---- train ---- *)
 
@@ -475,12 +488,12 @@ let build_cmd =
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the compilation report.")
   in
-  let action paths level pbo profile selectivity machine_mb jobs check log
-      input dir no_cache cache_dir cache_capacity run_it verbose =
+  let action paths level pbo profile selectivity machine_mb jobs check trace
+      log input dir no_cache cache_dir cache_capacity run_it verbose =
     try
       setup_logs log;
       let sources = List.map source_of_path paths in
-      let options = make_options level pbo selectivity machine_mb jobs check in
+      let options = make_options level pbo selectivity machine_mb jobs check trace in
       let ws =
         Buildsys.create ~cache:(not no_cache) ?cache_dir
           ?cache_capacity:(Option.map (fun mb -> mb * 1024 * 1024) cache_capacity)
@@ -525,8 +538,8 @@ let build_cmd =
   Cmd.v (Cmd.info "build" ~doc)
     Term.(ret (const action $ sources_arg $ level_arg $ pbo_arg $ profile_arg
                $ selectivity_arg $ machine_memory_arg $ jobs_arg $ check_arg
-               $ log_arg $ input_arg $ dir_arg $ no_cache_flag $ cache_dir_arg
-               $ cache_capacity_arg $ run_flag $ verbose))
+               $ trace_arg $ log_arg $ input_arg $ dir_arg $ no_cache_flag
+               $ cache_dir_arg $ cache_capacity_arg $ run_flag $ verbose))
 
 (* ---- cache ---- *)
 

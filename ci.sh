@@ -5,9 +5,12 @@
 # incremental-cache smoke benchmark, the parallel-determinism smoke
 # benchmark (li personality, sharded; exits nonzero if any worker
 # count's image, objects or cached bytes diverge from the j=1
-# oracle), and the fixed-seed differential-fuzz campaign smoke (any
+# oracle), the fixed-seed differential-fuzz campaign smoke (any
 # divergence from the reference interpreter is shrunk, saved under
-# test/corpus/, and fails the gate).  Run from the repository root.
+# test/corpus/, and fails the gate), and the traced-build smoke (a
+# --trace build must be byte-identical to a plain one and emit a
+# Chrome-trace JSON that parses, has balanced spans, and names every
+# pipeline stage).  Run from the repository root.
 set -eu
 
 echo "== dune build =="
@@ -27,5 +30,8 @@ dune exec bench/main.exe -- parallel-smoke
 
 echo "== differential fuzz smoke (seed 1) =="
 dune exec bench/main.exe -- fuzz-smoke
+
+echo "== traced build smoke =="
+dune exec bench/main.exe -- trace-smoke
 
 echo "CI OK"

@@ -169,7 +169,10 @@ let find_unlocked (t : t) key =
       t.misses <- t.misses + 1;
       None)
 
-let find (t : t) key = locked t (fun () -> find_unlocked t key)
+let find (t : t) key =
+  let r = locked t (fun () -> find_unlocked t key) in
+  Cmo_obs.Obs.tick "cache.store" (if r = None then "misses" else "hits") 1;
+  r
 
 (* Read without observation: no counter bump, no LRU refresh, no
    entry dropped on a truncated payload.  This is what transactions
@@ -270,7 +273,10 @@ let add_unlocked (t : t) key data =
   evict t;
   compact t
 
-let add (t : t) key data = locked t (fun () -> add_unlocked t key data)
+let add (t : t) key data =
+  locked t (fun () -> add_unlocked t key data);
+  Cmo_obs.Obs.tick "cache.store" "stores" 1;
+  Cmo_obs.Obs.tick "cache.store" "store_bytes" (String.length data)
 
 let flush (t : t) =
   locked t (fun () ->
@@ -352,6 +358,7 @@ let txn_add (txn : txn) key data =
   Hashtbl.replace txn.writes key data
 
 let txn_commit (txn : txn) =
+  Cmo_obs.Obs.tick "cache.store" "txn_commits" 1;
   List.iter
     (function
       | Ofind key -> ignore (find txn.origin key)

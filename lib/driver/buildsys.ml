@@ -80,10 +80,12 @@ let build ?profile t (options : Options.t) sources =
     raise
       (Pipeline.Compile_error
          "instrumented builds are in-memory only; use Pipeline.train");
+  Pipeline.with_tracing options @@ fun () ->
   let want_il = options.Options.level = Options.O4 in
   let recompiled = ref [] in
   let reused = ref [] in
   let objects =
+    Cmo_obs.Obs.with_span ~cat:"stage" "frontend" @@ fun () ->
     List.map
       (fun (s : Pipeline.source) ->
         let current =
@@ -94,6 +96,7 @@ let build ?profile t (options : Options.t) sources =
         match current with
         | Some obj ->
           reused := s.Pipeline.name :: !reused;
+          Cmo_obs.Obs.instant ~cat:"frontend" s.Pipeline.name;
           obj
         | None ->
           recompiled := s.Pipeline.name :: !recompiled;
@@ -136,6 +139,7 @@ let build ?profile t (options : Options.t) sources =
     end
     else begin
       let image =
+        Cmo_obs.Obs.with_span ~cat:"stage" "link" @@ fun () ->
         match Linker.link objects with
         | Ok image -> image
         | Error errs ->
@@ -180,6 +184,9 @@ let build ?profile t (options : Options.t) sources =
             warm_lines = 0;
             cold_lines = 0;
             cache = None;
+            obs =
+              (if Cmo_obs.Obs.enabled () then Some (Cmo_obs.Obs.summary ())
+               else None);
           };
       }
     end

@@ -14,26 +14,40 @@ type t = {
   cmo_modules : string list option;
   jobs : int;
   check : bool;
+  trace : string option;
 }
 
-(* Default worker count.  CMO_JOBS lets a whole process tree (the
-   test suite under CI, notably) exercise the parallel paths without
-   touching every call site; the -j flag still overrides per build. *)
-let default_jobs =
-  match Sys.getenv_opt "CMO_JOBS" with
-  | Some s -> (
-    match int_of_string_opt (String.trim s) with
-    | Some n when n >= 1 -> n
-    | Some _ | None -> 1)
-  | None -> 1
+(* All process-tree environment knobs parse in one place.  CMO_JOBS /
+   CMO_CHECK / CMO_TRACE let CI and whole test runs exercise the
+   parallel, verified or traced paths without touching call sites;
+   the corresponding flags (-j, --check, --trace) still override per
+   build.  The fuzz seed lives here too so test helpers and the bench
+   campaign resolve it identically. *)
+type env = {
+  env_jobs : int;  (* CMO_JOBS, >= 1; else 1 *)
+  env_check : bool;  (* CMO_CHECK: anything but unset/""/"0" *)
+  env_trace : string option;  (* CMO_TRACE: trace output path *)
+  env_fuzz_seed : int option;  (* CMO_FUZZ_SEED, else QCHECK_SEED *)
+}
 
-(* CMO_CHECK turns the between-phase IL verifier on for a whole
-   process tree, the way CMO_JOBS sets the worker count: CI runs the
-   entire suite under it without touching call sites. *)
-let default_check =
-  match Sys.getenv_opt "CMO_CHECK" with
-  | Some ("" | "0") | None -> false
-  | Some _ -> true
+let from_env ?(get = Sys.getenv_opt) () =
+  let int_of name =
+    Option.bind (get name) (fun s -> int_of_string_opt (String.trim s))
+  in
+  {
+    env_jobs = (match int_of "CMO_JOBS" with Some n when n >= 1 -> n | _ -> 1);
+    env_check =
+      (match get "CMO_CHECK" with Some ("" | "0") | None -> false | Some _ -> true);
+    env_trace = (match get "CMO_TRACE" with Some "" | None -> None | some -> some);
+    env_fuzz_seed =
+      (match int_of "CMO_FUZZ_SEED" with
+      | Some _ as s -> s
+      | None -> int_of "QCHECK_SEED");
+  }
+
+let env = from_env ()
+let default_jobs = env.env_jobs
+let default_check = env.env_check
 
 let base =
   {
@@ -50,6 +64,7 @@ let base =
     cmo_modules = None;
     jobs = default_jobs;
     check = default_check;
+    trace = env.env_trace;
   }
 
 let o1 = { base with level = O1 }
@@ -67,12 +82,13 @@ let o4_pbo_tiered percent =
 let instrumented = { base with instrument = true }
 
 (* Canonical rendering of every field that can change generated code.
-   machine_memory, naim_level, jobs and check are deliberately excluded:
-   NAIM compaction/offload round-trips losslessly and parallel builds
-   are bit-identical to sequential ones (both are tested invariants),
-   so artifacts cached under one memory or worker configuration stay
-   valid under another; the verifier observes and never rewrites, so
-   checked and unchecked builds share artifacts too. *)
+   machine_memory, naim_level, jobs, check and trace are deliberately
+   excluded: NAIM compaction/offload round-trips losslessly and
+   parallel builds are bit-identical to sequential ones (both are
+   tested invariants), so artifacts cached under one memory or worker
+   configuration stay valid under another; the verifier and the trace
+   sink observe and never rewrite, so checked/traced and plain builds
+   share artifacts too. *)
 let cache_fingerprint t =
   let opt f = function Some v -> f v | None -> "-" in
   let inline_config =

@@ -60,13 +60,37 @@ type t = {
           invariant.  Observes only; checked and unchecked builds
           produce identical artifacts.  Defaults to [$CMO_CHECK]
           (any value but empty or [0]) or [cmoc --check]. *)
+  trace : string option;
+      (** Write a Chrome-trace/Perfetto JSON timeline of the build
+          ({!Cmo_obs.Obs}) to this path.  Observational only: traced
+          and untraced builds produce byte-identical artifacts, and
+          the flag never enters {!cache_fingerprint}.  Defaults to
+          [$CMO_TRACE] or [cmoc --trace FILE]. *)
 }
 
+(** Process-tree environment defaults, parsed once by {!from_env}.
+    Every [CMO_*] knob resolves here so [cmoc], the test helpers and
+    the bench campaigns agree on the parse. *)
+type env = {
+  env_jobs : int;  (** [$CMO_JOBS] when >= 1, else 1. *)
+  env_check : bool;  (** [$CMO_CHECK]: any value but unset, [""], ["0"]. *)
+  env_trace : string option;  (** [$CMO_TRACE] when non-empty. *)
+  env_fuzz_seed : int option;
+      (** [$CMO_FUZZ_SEED], else [$QCHECK_SEED] — the shared seed for
+          every property-based suite and the fuzz campaign. *)
+}
+
+val from_env : ?get:(string -> string option) -> unit -> env
+(** Parse the environment ([?get] is injectable for tests). *)
+
+val env : env
+(** [from_env ()] evaluated at startup; what [base] is built from. *)
+
 val default_jobs : int
-(** What [base.jobs] was initialized to: [$CMO_JOBS] or 1. *)
+(** What [base.jobs] was initialized to: [env.env_jobs]. *)
 
 val default_check : bool
-(** What [base.check] was initialized to: [$CMO_CHECK] or false. *)
+(** What [base.check] was initialized to: [env.env_check]. *)
 
 val o1 : t
 val o2 : t
@@ -92,7 +116,8 @@ val to_string : t -> string
 
 val cache_fingerprint : t -> string
 (** Canonical rendering of every field that influences generated
-    code, for artifact-cache keys.  [machine_memory], [naim_level]
-    and [jobs] are excluded on purpose: they are behaviour-preserving
-    (tested invariants), so cached artifacts survive memory- and
-    worker-configuration changes. *)
+    code, for artifact-cache keys.  [machine_memory], [naim_level],
+    [jobs], [check] and [trace] are excluded on purpose: they are
+    behaviour-preserving (tested invariants), so cached artifacts
+    survive memory-, worker-, verifier- and tracing-configuration
+    changes. *)

@@ -62,7 +62,16 @@ let create ~jobs =
     }
   in
   if jobs > 1 then
-    pool.domains <- List.init jobs (fun _ -> Domain.spawn (fun () -> worker pool));
+    pool.domains <-
+      List.init jobs (fun i ->
+          Domain.spawn (fun () ->
+              (* Name the worker's trace track by pool index.  Pools
+                 are created and joined sequentially, so successive
+                 pools reuse the same names and their events merge
+                 chronologically into one track per index. *)
+              Cmo_obs.Obs.set_track (Printf.sprintf "worker-%d" (i + 1));
+              Cmo_obs.Obs.with_span ~cat:"worker" "worker" (fun () ->
+                  worker pool)));
   pool
 
 let jobs pool = pool.jobs

@@ -26,6 +26,8 @@ module Cluster = Cmo_link.Cluster
 module Image = Cmo_link.Image
 module Vm = Cmo_vm.Vm
 module Ilcheck = Cmo_check.Ilcheck
+module Obs = Cmo_obs.Obs
+module Json = Cmo_obs.Json
 
 let log_src = Logs.Src.create "cmo.driver" ~doc:"CMO compilation driver"
 
@@ -67,13 +69,19 @@ type report = {
   warm_lines : int;  (* default-level (+O2) lines outside the CMO set *)
   cold_lines : int;  (* tiered mode: never-executed lines, minimal compile *)
   cache : cache_usage option;  (* None when no artifact store was given *)
+  obs : Obs.summary option;  (* trace summary; None when not tracing *)
 }
 
+(* The one definition of the cpu/wall arithmetic: [par_speedup],
+   [report_to_json] and the bench tables all read these accessors. *)
+let phase_cpu_seconds r = r.frontend_seconds +. r.hlo_seconds +. r.llo_seconds
+
+let phase_wall_seconds r =
+  r.frontend_wall_seconds +. r.hlo_wall_seconds +. r.llo_wall_seconds
+
 let par_speedup r =
-  let cpu = r.frontend_seconds +. r.hlo_seconds +. r.llo_seconds in
-  let wall =
-    r.frontend_wall_seconds +. r.hlo_wall_seconds +. r.llo_wall_seconds
-  in
+  let cpu = phase_cpu_seconds r in
+  let wall = phase_wall_seconds r in
   if wall <= 0.0 || cpu <= 0.0 then 1.0 else cpu /. wall
 
 type build = {
@@ -87,7 +95,7 @@ exception Compile_error of string
 
 let error fmt = Format.kasprintf (fun s -> raise (Compile_error s)) fmt
 
-let frontend_one { name; text } =
+let frontend_one_inner { name; text } =
   match Frontend.compile ~module_name:name text with
   | Ok m -> (
     match Verify.check_module m with
@@ -100,6 +108,9 @@ let frontend_one { name; text } =
     error "@[<v>%a@]"
       (Format.pp_print_list ~pp_sep:Format.pp_print_cut Frontend.pp_error)
       errs
+
+let frontend_one src =
+  Obs.with_span ~cat:"frontend" src.name (fun () -> frontend_one_inner src)
 
 let frontend ?(jobs = 1) sources =
   (* Duplicate module names would collide in every downstream table
@@ -229,6 +240,9 @@ let render_violations vs =
     (Format.pp_print_list ~pp_sep:Format.pp_print_cut Ilcheck.pp_violation)
     vs
 
+(* Trace summary for the report, captured while the sink is live. *)
+let obs_summary () = if Obs.enabled () then Some (Obs.summary ()) else None
+
 (* A loader-backed resolution environment: function arities straight
    from the pool headers (clones included, IPA-removed routines
    absent — exactly the NAIM ownership the verifier polices) and the
@@ -245,17 +259,32 @@ let loader_env loader =
             (Loader.global_size_of loader name));
   }
 
+(* A domain-safe lazy.  Checker environments are shared read-only
+   across the worker pool, and [Lazy.force] raises [Undefined] when
+   two domains race to force the same suspension — so memoize behind
+   a mutex instead. *)
+let memo_locked f =
+  let m = Mutex.create () in
+  let cell = ref None in
+  fun () ->
+    Mutex.lock m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock m) @@ fun () ->
+    match !cell with
+    | Some v -> v
+    | None ->
+      let v = f () in
+      cell := Some v;
+      v
+
 let compile_modules_inner ?profile ?cache (options : Options.t) modules =
   let jobs = max 1 options.Options.jobs in
   (* Checker factory: [None] when [check] is off, so the optimizers
-     skip the hook entirely; environments are lazy because snapshots
-     cost a pass over the program. *)
-  let checker_of env_lazy =
+     skip the hook entirely; environments are deferred (memoized
+     thunks) because snapshots cost a pass over the program. *)
+  let checker_of env_fn =
     if not options.Options.check then None
     else
-      Some
-        (fun ~phase f ->
-          Ilcheck.check_func_exn ~env:(Lazy.force env_lazy) ~phase f)
+      Some (fun ~phase f -> Ilcheck.check_func_exn ~env:(env_fn ()) ~phase f)
   in
   let t0 = Sys.time () in
   let w0 = Unix.gettimeofday () in
@@ -300,6 +329,7 @@ let compile_modules_inner ?profile ?cache (options : Options.t) modules =
           warm_lines = 0;
           cold_lines = 0;
           cache = None;
+          obs = obs_summary ();
         };
     }
   end
@@ -312,7 +342,7 @@ let compile_modules_inner ?profile ?cache (options : Options.t) modules =
     (* The whole-program view as the frontends delivered it: valid
        for every check until HLO starts adding and removing
        functions. *)
-    let snapshot_env = lazy (Ilcheck.env_of_modules modules) in
+    let snapshot_env = memo_locked (fun () -> Ilcheck.env_of_modules modules) in
     let mem = Memstats.create () in
     let hlo_report = ref None in
     let loader_stats = ref None in
@@ -328,6 +358,7 @@ let compile_modules_inner ?profile ?cache (options : Options.t) modules =
     let hlo_w0 = Unix.gettimeofday () in
     (* Decide the CMO set and optimize it. *)
     let processed_modules =
+      Obs.with_span ~cat:"stage" "hlo" @@ fun () ->
       match options.Options.level with
       | Options.O1 -> modules
       | Options.O2 ->
@@ -379,17 +410,21 @@ let compile_modules_inner ?profile ?cache (options : Options.t) modules =
           match Store.find store key with
           | None ->
             incr cache_misses;
+            Obs.tick "cache.module" "misses" 1;
             None
           | Some bytes -> (
             match Ilcodec.decode_module bytes with
             | m when m.Ilmod.mname = mname ->
               incr cache_hits;
+              Obs.tick "cache.module" "hits" 1;
               Some m
             | _ ->
               incr cache_misses;
+              Obs.tick "cache.module" "misses" 1;
               None
             | exception Cmo_support.Codec.Reader.Corrupt _ ->
               incr cache_misses;
+              Obs.tick "cache.module" "misses" 1;
               None)
         in
         (* The +O2 path outside the CMO set is per-module work keyed
@@ -429,7 +464,7 @@ let compile_modules_inner ?profile ?cache (options : Options.t) modules =
         (* What link-time CMO may reference beyond its own loader:
            the non-CMO modules' functions and globals.  Snapshot once;
            component workers share it read-only. *)
-        let outside_env = lazy (Ilcheck.env_of_modules outside) in
+        let outside_env = memo_locked (fun () -> Ilcheck.env_of_modules outside) in
         if cmo_set = [] then outside
         else begin
           let called, stored = external_context outside in
@@ -502,8 +537,8 @@ let compile_modules_inner ?profile ?cache (options : Options.t) modules =
             List.iter (Loader.register_module loader) subset;
             let check =
               checker_of
-                (lazy
-                  (Ilcheck.compose (loader_env loader) (Lazy.force outside_env)))
+                (memo_locked (fun () ->
+                     Ilcheck.compose (loader_env loader) (outside_env ())))
             in
             let ipa_context =
               {
@@ -581,6 +616,9 @@ let compile_modules_inner ?profile ?cache (options : Options.t) modules =
               Parwork.with_pool ~jobs (fun pool ->
                   Parwork.map pool
                     (fun (subset, rooted, txn) ->
+                      Obs.with_span ~cat:"component"
+                        (List.hd subset).Ilmod.mname
+                      @@ fun () ->
                       if not rooted then
                         (* A rootless component (while roots exist
                            elsewhere): the whole-set run's IPA removes
@@ -792,9 +830,11 @@ let compile_modules_inner ?profile ?cache (options : Options.t) modules =
     (* Post-CMO view: clones present, IPA-removed routines gone — a
        reference that dangles here would dangle at link time too. *)
     let llo_check =
-      checker_of (lazy (Ilcheck.env_of_modules processed_modules))
+      checker_of
+        (memo_locked (fun () -> Ilcheck.env_of_modules processed_modules))
     in
     let objects =
+      Obs.with_span ~cat:"stage" "llo" @@ fun () ->
       if jobs > 1 then begin
         let results =
           Parwork.with_pool ~jobs (fun pool ->
@@ -823,17 +863,23 @@ let compile_modules_inner ?profile ?cache (options : Options.t) modules =
     let llo_t1 = Sys.time () in
     let llo_w1 = Unix.gettimeofday () in
     (* Link, clustering routines when profiled. *)
-    let routine_order =
-      if options.Options.pbo then begin
-        let weights = cluster_weights processed_modules in
-        if weights = [] then None
-        else
-          Some
-            (Cluster.order ~names:(all_func_names processed_modules) ~weights)
-      end
-      else None
+    let image =
+      Obs.with_span ~cat:"stage" "link" @@ fun () ->
+      let routine_order =
+        if options.Options.pbo then begin
+          let weights = cluster_weights processed_modules in
+          if weights = [] then None
+          else
+            Some
+              (Obs.with_span ~cat:"link" "cluster" (fun () ->
+                   Cluster.order
+                     ~names:(all_func_names processed_modules)
+                     ~weights))
+        end
+        else None
+      in
+      link_or_fail ?routine_order objects
     in
-    let image = link_or_fail ?routine_order objects in
     let link_t1 = Sys.time () in
     Log.info (fun m ->
         m "%s: llo %.3fs, link %.3fs, %d instrs"
@@ -874,6 +920,7 @@ let compile_modules_inner ?profile ?cache (options : Options.t) modules =
                   cmo_reoptimized = !cmo_reoptimized;
                 })
               cache;
+          obs = obs_summary ();
         };
     }
   end
@@ -882,10 +929,33 @@ let compile_modules ?profile ?cache options modules =
   try compile_modules_inner ?profile ?cache options modules
   with Ilcheck.Violation vs -> error "%s" (render_violations vs)
 
+(* The trace lifecycle lives with whoever owns the whole build
+   ([compile] here, [Buildsys.build] for the on-disk workflow):
+   start the sink, run the build, write the file, stop.  A failed
+   build stops the sink without writing — a partial trace with
+   dangling spans would mislead more than it helps. *)
+let with_tracing (options : Options.t) f =
+  match options.Options.trace with
+  | None -> f ()
+  | Some path -> (
+    Obs.start ();
+    match f () with
+    | v ->
+      Obs.write_file path;
+      Obs.stop ();
+      v
+    | exception e ->
+      Obs.stop ();
+      raise e)
+
 let compile ?profile ?cache options sources =
+  with_tracing options @@ fun () ->
   let t0 = Sys.time () in
   let w0 = Unix.gettimeofday () in
-  let modules = frontend ~jobs:(max 1 options.Options.jobs) sources in
+  let modules =
+    Obs.with_span ~cat:"stage" "frontend" (fun () ->
+        frontend ~jobs:(max 1 options.Options.jobs) sources)
+  in
   let t1 = Sys.time () in
   let w1 = Unix.gettimeofday () in
   let build = compile_modules ?profile ?cache options modules in
@@ -950,4 +1020,116 @@ let pp_report ppf r =
   (match r.selection with
   | Some s -> Format.fprintf ppf "@,%a" Selectivity.pp s
   | None -> ());
+  (match r.obs with
+  | Some s -> Format.fprintf ppf "@,%a" Obs.pp_summary s
+  | None -> ());
   Format.fprintf ppf "@]"
+
+(* Machine-readable report: every numeric field plus the derived
+   cpu/wall aggregates, so downstream consumers (the bench tables,
+   scripts diffing two builds) stop re-deriving arithmetic from the
+   pretty-printer. *)
+let report_to_json r =
+  let num_i n = Json.Num (float_of_int n) in
+  let opt f = function Some v -> f v | None -> Json.Null in
+  Json.Obj
+    [
+      ("options", Json.Str (Options.to_string r.options));
+      ( "lines",
+        Json.Obj
+          [
+            ("total", num_i r.total_lines);
+            ("cmo", num_i r.cmo_lines);
+            ("warm", num_i r.warm_lines);
+            ("cold", num_i r.cold_lines);
+          ] );
+      ( "cpu_seconds",
+        Json.Obj
+          [
+            ("frontend", Json.Num r.frontend_seconds);
+            ("hlo", Json.Num r.hlo_seconds);
+            ("llo", Json.Num r.llo_seconds);
+            ("link", Json.Num r.link_seconds);
+            ("phases", Json.Num (phase_cpu_seconds r));
+          ] );
+      ( "wall_seconds",
+        Json.Obj
+          [
+            ("frontend", Json.Num r.frontend_wall_seconds);
+            ("hlo", Json.Num r.hlo_wall_seconds);
+            ("llo", Json.Num r.llo_wall_seconds);
+            ("phases", Json.Num (phase_wall_seconds r));
+          ] );
+      ("workers_used", num_i r.workers_used);
+      ("par_speedup", Json.Num (par_speedup r));
+      ( "memory",
+        Json.Obj
+          [ ("peak", num_i r.mem_peak); ("peak_hlo", num_i r.mem_peak_hlo) ]
+      );
+      ( "llo",
+        Json.Obj
+          [
+            ("routines", num_i r.llo.Llo.routines);
+            ("mach_instrs", num_i r.llo.Llo.mach_instrs);
+            ("spilled_vregs", num_i r.llo.Llo.spilled_vregs);
+            ("peephole_rewrites", num_i r.llo.Llo.peephole_rewrites);
+            ("layout_changes", num_i r.llo.Llo.layout_changes);
+          ] );
+      ( "hlo",
+        opt
+          (fun (h : Hlo.report) ->
+            Json.Obj
+              [
+                ("clones", num_i h.Hlo.clones);
+                ("funcs_optimized", num_i h.Hlo.funcs_optimized);
+                ("funcs_skipped", num_i h.Hlo.funcs_skipped);
+                ("rewrites", num_i h.Hlo.rewrites);
+                ( "inline_operations",
+                  opt
+                    (fun (s : Inline.stats) -> num_i s.Inline.operations)
+                    h.Hlo.inline_stats );
+              ])
+          r.hlo );
+      ( "loader",
+        opt
+          (fun (s : Loader.stats) ->
+            Json.Obj
+              [
+                ("acquires", num_i s.Loader.acquires);
+                ("cache_hits", num_i s.Loader.cache_hits);
+                ("uncompactions", num_i s.Loader.uncompactions);
+                ("repo_loads", num_i s.Loader.repo_loads);
+                ("compactions", num_i s.Loader.compactions);
+                ("offloads", num_i s.Loader.offloads);
+                ("symtab_compactions", num_i s.Loader.symtab_compactions);
+              ])
+          r.loader_stats );
+      ( "cache",
+        opt
+          (fun c ->
+            Json.Obj
+              [
+                ("hits", num_i c.hits);
+                ("misses", num_i c.misses);
+                ( "cmo_cached",
+                  Json.Arr (List.map (fun n -> Json.Str n) c.cmo_cached) );
+                ( "cmo_reoptimized",
+                  Json.Arr (List.map (fun n -> Json.Str n) c.cmo_reoptimized)
+                );
+              ])
+          r.cache );
+      ( "trace",
+        opt
+          (fun (s : Obs.summary) ->
+            Json.Obj
+              [
+                ("events", num_i s.Obs.event_count);
+                ("tracks", num_i s.Obs.track_count);
+                ("open_spans", num_i s.Obs.open_spans);
+                ( "counters",
+                  Json.Obj
+                    (List.map (fun (k, v) -> (k, Json.Num v)) s.Obs.counters)
+                );
+              ])
+          r.obs );
+    ]

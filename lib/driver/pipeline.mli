@@ -61,6 +61,10 @@ type report = {
       (** Tiered mode only: never-executed lines given the minimal
           (+O1-grade) compile. *)
   cache : cache_usage option;  (** [None] when built without a store. *)
+  obs : Cmo_obs.Obs.summary option;
+      (** Compact trace summary (event/track counts, per-stage span
+          time, final counter values) when the build ran with
+          [Options.trace]; [None] otherwise. *)
 }
 
 type build = {
@@ -74,10 +78,24 @@ type build = {
 exception Compile_error of string
 (** Frontend, verification or link failure, with rendered details. *)
 
+val phase_cpu_seconds : report -> float
+(** Summed cpu seconds of the three parallelizable phases
+    (frontend + hlo + llo) — the single definition of that sum. *)
+
+val phase_wall_seconds : report -> float
+(** Summed wall seconds of the same three phases. *)
+
 val par_speedup : report -> float
-(** Summed cpu over summed wall of the three parallelizable phases;
+(** {!phase_cpu_seconds} over {!phase_wall_seconds};
     1.0 when either is unmeasured.  On a single hardware thread this
     sits at or slightly below 1 regardless of [workers_used]. *)
+
+val with_tracing : Options.t -> (unit -> 'a) -> 'a
+(** Run [f] under the trace sink when [options.trace] is set: start
+    recording, run, write the Chrome-trace file, stop.  No-op without
+    [trace].  {!compile} applies it itself; [Buildsys.build] wraps its
+    own workflow with it.  A failing build stops the sink without
+    writing a file. *)
 
 val frontend : ?jobs:int -> source list -> Cmo_il.Ilmod.t list
 (** Compile sources to IL, verifying the result as a program.
@@ -132,3 +150,8 @@ val train :
     accumulate the profile database — the paper's training loop. *)
 
 val pp_report : Format.formatter -> report -> unit
+
+val report_to_json : report -> Cmo_obs.Json.t
+(** Machine-readable report: every numeric field plus the derived
+    aggregates ([phase_cpu_seconds], [phase_wall_seconds],
+    [par_speedup]) so consumers never re-derive arithmetic. *)

@@ -158,18 +158,42 @@ let run loader cg ?(ipa_context = Ipa.whole_program) options =
   in
   let clones =
     match options.clone with
-    | Some config -> Clone.run loader cg config
+    | Some config ->
+      Cmo_obs.Obs.with_span ~cat:"hlo" "clone" (fun () ->
+          Clone.run loader cg config)
     | None -> 0
   in
   if options.clone <> None then sweep "clone";
   let inline_stats =
-    Option.map (fun config -> Inline.run loader cg config) options.inline
+    Option.map
+      (fun config ->
+        Cmo_obs.Obs.with_span ~cat:"hlo" "inline" (fun () ->
+            Inline.run loader cg config))
+      options.inline
   in
   if options.inline <> None then sweep "inline";
   let ipa_stats =
-    if options.ipa then Some (Ipa.run loader ipa_context) else None
+    if options.ipa then
+      Some
+        (Cmo_obs.Obs.with_span ~cat:"hlo" "ipa" (fun () ->
+             Ipa.run loader ipa_context))
+    else None
   in
   if options.ipa then sweep "ipa";
+  if Cmo_obs.Obs.enabled () then begin
+    if clones > 0 then Cmo_obs.Obs.tick "hlo" "clones" clones;
+    (match inline_stats with
+    | Some (s : Inline.stats) ->
+      Cmo_obs.Obs.tick "hlo" "inline_operations" s.Inline.operations;
+      Cmo_obs.Obs.tick "hlo" "inline_cross_module" s.Inline.cross_module
+    | None -> ());
+    match ipa_stats with
+    | Some (s : Ipa.stats) ->
+      Cmo_obs.Obs.tick "hlo" "ipa_const_params" s.Ipa.const_params;
+      Cmo_obs.Obs.tick "hlo" "ipa_dead_functions"
+        (List.length s.Ipa.dead_functions)
+    | None -> ()
+  end;
   let budget =
     match options.rewrite_limit with
     | Some n -> Phase.limited n

@@ -52,6 +52,12 @@ let passes : (string * (Func.t -> int)) list =
 let optimize_func ?mem ?(budget = unlimited ()) ?(max_rounds = 4) ?check
     (f : Func.t) =
   Atomic.incr processed;
+  (* Per-routine span with the section-6.3 operation count attached at
+     close.  [traced] is latched so a begin always meets its end even
+     if tracing is switched off mid-routine; with tracing off this is
+     one atomic load and no allocation. *)
+  let traced = Cmo_obs.Obs.enabled () in
+  if traced then Cmo_obs.Obs.span_begin ~cat:"phase" f.Func.name;
   let charge_derived () =
     match mem with
     | None -> fun () -> ()
@@ -94,4 +100,12 @@ let optimize_func ?mem ?(budget = unlimited ()) ?(max_rounds = 4) ?check
     total := !total + n;
     changed := n > 0
   done;
+  if traced then
+    Cmo_obs.Obs.span_end
+      ~args:
+        [
+          ("rewrites", string_of_int !total);
+          ("rounds", string_of_int !rounds);
+        ]
+      ();
   !total

@@ -17,7 +17,7 @@ let pp_error ppf = function
     Format.fprintf ppf
       "module %s still carries IL; it must pass through HLO/LLO first" m
 
-let link ?routine_order objs =
+let link_inner ?routine_order objs =
   let errors = ref [] in
   (* Reject IL payloads up front. *)
   List.iter
@@ -130,6 +130,8 @@ let link ?routine_order objs =
           code.(base + i) <- resolved)
         fc.Mach.code)
     funcs_layout;
+  Cmo_obs.Obs.tick "link" "code_words" !total;
+  Cmo_obs.Obs.tick "link" "data_cells" !data_cells;
   let entry =
     match Hashtbl.find_opt func_base "main" with
     | Some addr -> addr
@@ -149,3 +151,7 @@ let link ?routine_order objs =
         data_cells = !data_cells;
       }
   | errs -> Error errs
+
+let link ?routine_order objs =
+  Cmo_obs.Obs.with_span ~cat:"link" "resolve+layout" (fun () ->
+      link_inner ?routine_order objs)

@@ -46,6 +46,9 @@ let compile_func ?mem ?check ?(layout = false) ?(schedule = true) ~module_name f
 
 let compile_module ?mem ?check ?(layout = false) ?(schedule = true)
     (m : Cmo_il.Ilmod.t) =
+  (* Per-module codegen span; instruction count attached at close. *)
+  let traced = Cmo_obs.Obs.enabled () in
+  if traced then Cmo_obs.Obs.span_begin ~cat:"llo" m.Cmo_il.Ilmod.mname;
   let stats =
     ref
       {
@@ -74,4 +77,12 @@ let compile_module ?mem ?check ?(layout = false) ?(schedule = true)
         code)
       m.Cmo_il.Ilmod.funcs
   in
+  if traced then
+    Cmo_obs.Obs.span_end
+      ~args:
+        [
+          ("routines", string_of_int !stats.routines);
+          ("mach_instrs", string_of_int !stats.mach_instrs);
+        ]
+      ();
   (codes, !stats)

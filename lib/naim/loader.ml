@@ -8,6 +8,7 @@ module Ilcodec = Cmo_il.Ilcodec
 module Size = Cmo_il.Size
 module Intern = Cmo_support.Intern
 module Codec = Cmo_support.Codec
+module Obs = Cmo_obs.Obs
 
 type level = Off | Ir_compaction | St_compaction | Offloading
 
@@ -157,7 +158,8 @@ let compact_symtab t m =
     Memstats.release t.mem Memstats.Symtab_expanded m.symtab_bytes;
     Memstats.charge t.mem Memstats.Symtab_compacted m.symtab_compact_bytes;
     m.symtab_compacted <- true;
-    t.s_symtab_compactions <- t.s_symtab_compactions + 1
+    t.s_symtab_compactions <- t.s_symtab_compactions + 1;
+    Obs.tick "naim.loader" "symtab_compactions" 1
   end
 
 let expand_symtab t m =
@@ -184,6 +186,7 @@ let compact_pool t pool =
     pool.pending <- false;
     m.expanded_count <- m.expanded_count - 1;
     t.s_compactions <- t.s_compactions + 1;
+    Obs.tick "naim.loader" "compactions" 1;
     Log.debug (fun log ->
         log "compacted %s (%d -> %d bytes)" pool.fname pool.expanded_bytes
           pool.compact_charge)
@@ -198,6 +201,7 @@ let offload_pool t pool =
     pool.compact_charge <- 0;
     pool.state <- Offloaded handle;
     t.s_offloads <- t.s_offloads + 1;
+    Obs.tick "naim.loader" "offloads" 1;
     Log.debug (fun log -> log "offloaded %s to the repository" pool.fname)
   | Expanded _ | Offloaded _ -> ()
 
@@ -205,6 +209,7 @@ let expand_pool t pool =
   match pool.state with
   | Expanded f ->
     t.s_cache_hits <- t.s_cache_hits + 1;
+    Obs.tick "naim.loader" "cache_hits" 1;
     f
   | Compacted bytes ->
     let m = find_module t pool.pool_module in
@@ -216,6 +221,7 @@ let expand_pool t pool =
     pool.state <- Expanded f;
     m.expanded_count <- m.expanded_count + 1;
     t.s_uncompactions <- t.s_uncompactions + 1;
+    Obs.tick "naim.loader" "uncompactions" 1;
     f
   | Offloaded handle ->
     let m = find_module t pool.pool_module in
@@ -227,6 +233,8 @@ let expand_pool t pool =
     m.expanded_count <- m.expanded_count + 1;
     t.s_repo_loads <- t.s_repo_loads + 1;
     t.s_uncompactions <- t.s_uncompactions + 1;
+    Obs.tick "naim.loader" "repo_loads" 1;
+    Obs.tick "naim.loader" "uncompactions" 1;
     f
 
 (* --- the lazy unloader --- *)
@@ -320,6 +328,7 @@ let register_module t (m : Ilmod.t) =
 let acquire t fname =
   let pool = find_pool t fname in
   t.s_acquires <- t.s_acquires + 1;
+  Obs.tick "naim.loader" "acquires" 1;
   pool.last_touch <- tick t;
   let f = expand_pool t pool in
   pool.pending <- false;

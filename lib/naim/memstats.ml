@@ -33,13 +33,37 @@ type t = {
   bytes : int array;
   mutable peak : int;
   mutable peak_hlo : int;
+  mutable trace_ticks : int;  (* updates seen while tracing, for throttle *)
 }
 
-let create () = { bytes = Array.make 7 0; peak = 0; peak_hlo = 0 }
+let create () =
+  { bytes = Array.make 7 0; peak = 0; peak_hlo = 0; trace_ticks = 0 }
 
 let resident t = Array.fold_left ( + ) 0 t.bytes
 
 let hlo_resident t = resident t - t.bytes.(index Llo)
+
+(* The trace sampler: every accountant update while tracing is on
+   bumps [trace_ticks]; one update in [trace_interval] lands a
+   multi-series gauge sample (per-category bytes + total) on the
+   calling domain's track, giving the Perfetto memory-timeline view.
+   Off the traced path this is one atomic load; [trace_ticks] is only
+   touched when tracing, so untraced behaviour is bit-for-bit the
+   old code. *)
+let trace_interval = 32
+
+let trace_sample t =
+  Cmo_obs.Obs.sample "NAIM memory"
+    (List.map
+       (fun cat -> (name cat, float_of_int t.bytes.(index cat)))
+       all_categories
+    @ [ ("resident", float_of_int (resident t)) ])
+
+let maybe_trace t =
+  if Cmo_obs.Obs.enabled () then begin
+    t.trace_ticks <- t.trace_ticks + 1;
+    if t.trace_ticks mod trace_interval = 1 then trace_sample t
+  end
 
 let update_peaks t =
   let r = resident t in
@@ -50,7 +74,8 @@ let update_peaks t =
 let charge t cat n =
   assert (n >= 0);
   t.bytes.(index cat) <- t.bytes.(index cat) + n;
-  update_peaks t
+  update_peaks t;
+  maybe_trace t
 
 let release t cat n =
   assert (n >= 0);
@@ -58,7 +83,8 @@ let release t cat n =
     invalid_arg
       (Printf.sprintf "Memstats.release: %s underflow (%d > %d)" (name cat) n
          t.bytes.(index cat));
-  t.bytes.(index cat) <- t.bytes.(index cat) - n
+  t.bytes.(index cat) <- t.bytes.(index cat) - n;
+  maybe_trace t
 
 let resident_of t cat = t.bytes.(index cat)
 
@@ -82,7 +108,8 @@ let merge dst src =
   let base_hlo = hlo_resident dst in
   dst.peak <- max dst.peak (base + src.peak);
   dst.peak_hlo <- max dst.peak_hlo (base_hlo + src.peak_hlo);
-  Array.iteri (fun i n -> dst.bytes.(i) <- dst.bytes.(i) + n) src.bytes
+  Array.iteri (fun i n -> dst.bytes.(i) <- dst.bytes.(i) + n) src.bytes;
+  maybe_trace dst
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>resident %d bytes (peak %d, hlo peak %d)"

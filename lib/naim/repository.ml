@@ -39,6 +39,8 @@ let store t bytes =
   | Memory buf -> Buffer.add_string buf bytes);
   t.next_offset <- offset + length;
   t.stores <- t.stores + 1;
+  Cmo_obs.Obs.tick "naim.repo" "stores" 1;
+  Cmo_obs.Obs.tick "naim.repo" "store_bytes" length;
   { repo_id = t.id; offset; length }
 
 let fetch t handle =
@@ -47,6 +49,8 @@ let fetch t handle =
   if handle.offset + handle.length > t.next_offset then
     invalid_arg "Repository.fetch: handle beyond stored data";
   t.fetches <- t.fetches + 1;
+  Cmo_obs.Obs.tick "naim.repo" "fetches" 1;
+  Cmo_obs.Obs.tick "naim.repo" "fetch_bytes" handle.length;
   match t.backing with
   | Memory buf -> Buffer.sub buf handle.offset handle.length
   | File f ->

@@ -1,0 +1,34 @@
+(** Minimal JSON tree, writer and parser.
+
+    The observability subsystem sits below every other library, and
+    the container has no JSON package, so this is a small, dependency
+    free implementation: enough to emit Chrome-trace files and
+    machine-readable reports, and to parse them back for validation in
+    tests and [bench trace-smoke].  Numbers are floats (as in JSON
+    itself); integral values print without a decimal point. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering.  Non-finite numbers render as 0,
+    so output is always valid JSON. *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+val parse : string -> (t, string) result
+(** Recursive-descent parser for the full value grammar (objects,
+    arrays, strings with escapes, numbers incl. exponents, literals).
+    Rejects trailing garbage.  Errors carry a byte offset. *)
+
+(** {2 Accessors} — each returns [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+val str : t -> string option
+val num : t -> float option
+val arr : t -> t list option

@@ -55,23 +55,18 @@ let check_same_behaviour ?input msg modules_a modules_b =
 (* ---------- deterministic fuzz seeds ---------- *)
 
 (* Every property-based suite draws its randomness from one seed so a
-   CI failure is reproducible from a single number.  [CMO_FUZZ_SEED]
-   wins, then qcheck's own [QCHECK_SEED], then a fresh random seed;
-   whichever it was, a failing property prints it with the command to
-   replay (see HACKING.md). *)
+   CI failure is reproducible from a single number.  The environment
+   lookup ([CMO_FUZZ_SEED] wins, then qcheck's own [QCHECK_SEED]) is
+   [Options.from_env]'s, shared with the bench fuzz campaign; absent
+   both, a fresh random seed.  Whichever it was, a failing property
+   prints it with the command to replay (see HACKING.md). *)
 let fuzz_seed =
   lazy
-    (let from_env name =
-       Option.bind (Sys.getenv_opt name) int_of_string_opt
-     in
-     match from_env "CMO_FUZZ_SEED" with
-     | Some s -> s
-     | None -> (
-       match from_env "QCHECK_SEED" with
-       | Some s -> s
-       | None ->
-         Random.self_init ();
-         Random.int 1_000_000_000))
+    (match (Cmo_driver.Options.from_env ()).Cmo_driver.Options.env_fuzz_seed with
+    | Some s -> s
+    | None ->
+      Random.self_init ();
+      Random.int 1_000_000_000)
 
 (* [QCheck_alcotest.to_alcotest] with the shared seed, and the seed
    printed on failure so the exact run can be replayed. *)

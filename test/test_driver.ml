@@ -182,6 +182,47 @@ let test_report_o4_fields () =
       | None -> false)
   | None -> ()
 
+let test_par_speedup_edges () =
+  (* Degenerate timing fields must not divide by zero: either side
+     unmeasured pins the speedup at 1.0.  Start from a real report so
+     the test tracks the record's shape. *)
+  let r = (Pipeline.compile Options.o2 app_sources).Pipeline.report in
+  let timed =
+    {
+      r with
+      Pipeline.frontend_seconds = 1.2;
+      hlo_seconds = 0.6;
+      llo_seconds = 0.2;
+      frontend_wall_seconds = 0.6;
+      hlo_wall_seconds = 0.3;
+      llo_wall_seconds = 0.1;
+    }
+  in
+  Alcotest.(check (float 1e-9)) "cpu/wall" 2.0 (Pipeline.par_speedup timed);
+  Alcotest.(check (float 1e-9)) "cpu sums" 2.0 (Pipeline.phase_cpu_seconds timed);
+  Alcotest.(check (float 1e-9)) "wall sums" 1.0
+    (Pipeline.phase_wall_seconds timed);
+  let zero_wall =
+    {
+      timed with
+      Pipeline.frontend_wall_seconds = 0.0;
+      hlo_wall_seconds = 0.0;
+      llo_wall_seconds = 0.0;
+    }
+  in
+  Alcotest.(check (float 1e-9)) "zero wall -> 1.0" 1.0
+    (Pipeline.par_speedup zero_wall);
+  let zero_cpu =
+    {
+      timed with
+      Pipeline.frontend_seconds = 0.0;
+      hlo_seconds = 0.0;
+      llo_seconds = 0.0;
+    }
+  in
+  Alcotest.(check (float 1e-9)) "zero cpu -> 1.0" 1.0
+    (Pipeline.par_speedup zero_cpu)
+
 let test_report_selective_fields () =
   let db = profile_db () in
   let build =
@@ -480,6 +521,7 @@ let suite =
     ("O4+P removes calls", `Quick, test_o4_pbo_fewer_calls);
     ("report O4 fields", `Quick, test_report_o4_fields);
     ("report selective fields", `Quick, test_report_selective_fields);
+    ("par_speedup edge cases", `Quick, test_par_speedup_edges);
     ("instrumented build behaviour", `Quick, test_instrumented_build_behaviour);
     ("training produces counts", `Quick, test_train_produces_counts);
     ("duplicate module names", `Quick, test_duplicate_module_names_rejected);

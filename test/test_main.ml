@@ -2,6 +2,7 @@ let () =
   Alcotest.run "cmo"
     [
       ("support", Test_support.suite);
+      ("obs", Test_obs.suite);
       ("il", Test_il.suite);
       ("frontend", Test_frontend.suite);
       ("profile", Test_profile.suite);

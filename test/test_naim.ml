@@ -37,6 +37,42 @@ let test_memstats_hlo_excludes_llo () =
   Alcotest.(check int) "total resident" 600 (Memstats.resident m);
   Alcotest.(check int) "hlo peak" 100 (Memstats.peak_hlo m)
 
+let test_memstats_merge_empty () =
+  (* Merging a fresh accountant is a no-op: no residency moves, no
+     peak inflation in either direction. *)
+  let dst = Memstats.create () in
+  Memstats.charge dst Memstats.Ir_expanded 100;
+  Memstats.release dst Memstats.Ir_expanded 60;
+  Memstats.merge dst (Memstats.create ());
+  Alcotest.(check int) "resident unchanged" 40 (Memstats.resident dst);
+  Alcotest.(check int) "peak unchanged" 100 (Memstats.peak dst);
+  let empty = Memstats.create () in
+  Memstats.merge empty (Memstats.create ());
+  Alcotest.(check int) "empty into empty" 0 (Memstats.resident empty);
+  Alcotest.(check int) "empty peak" 0 (Memstats.peak empty)
+
+let test_memstats_merge_residency () =
+  (* The worker's peak is modeled on top of dst's residency at merge
+     time; a worker peak smaller than dst's own never lowers it. *)
+  let dst = Memstats.create () in
+  Memstats.charge dst Memstats.Ir_expanded 100;
+  Memstats.release dst Memstats.Ir_expanded 50;
+  let src = Memstats.create () in
+  Memstats.charge src Memstats.Ir_compacted 30;
+  Memstats.release src Memstats.Ir_compacted 30;
+  Memstats.merge dst src;
+  Alcotest.(check int) "resident sums" 50 (Memstats.resident dst);
+  (* dst resident 50 + src peak 30 = 80 < dst's own peak 100 *)
+  Alcotest.(check int) "peak stays" 100 (Memstats.peak dst);
+  let src2 = Memstats.create () in
+  Memstats.charge src2 Memstats.Llo 70;
+  Memstats.merge dst src2;
+  Alcotest.(check int) "resident includes src2" 120 (Memstats.resident dst);
+  (* dst resident 50 + src2 peak 70 = 120 > 100 *)
+  Alcotest.(check int) "peak grows" 120 (Memstats.peak dst);
+  (* LLO bytes stay out of the HLO series across the merge. *)
+  Alcotest.(check int) "hlo peak untouched by llo" 100 (Memstats.peak_hlo dst)
+
 let test_memstats_underflow_rejected () =
   let m = Memstats.create () in
   Memstats.charge m Memstats.Derived 10;
@@ -371,6 +407,8 @@ let suite =
     ("memstats charge/release", `Quick, test_memstats_charge_release);
     ("memstats peak", `Quick, test_memstats_peak);
     ("memstats hlo vs llo", `Quick, test_memstats_hlo_excludes_llo);
+    ("memstats merge empty", `Quick, test_memstats_merge_empty);
+    ("memstats merge residency", `Quick, test_memstats_merge_residency);
     ("memstats underflow rejected", `Quick, test_memstats_underflow_rejected);
     ("repository in-memory", `Quick, test_repository_memory_roundtrip);
     ("repository file-backed", `Quick, test_repository_file_roundtrip);
