@@ -7,7 +7,7 @@
      dune exec bench/main.exe -- fig1    -- one experiment
    Experiments: fig1 fig4 fig5 fig6 bytes-per-line ablation stale micro
    incremental incremental-smoke parallel parallel-smoke fuzz-smoke
-   check-overhead trace-smoke *)
+   check-overhead trace-smoke fault-sweep fault-sweep-smoke *)
 
 module Genprog = Cmo_workload.Genprog
 module Suite = Cmo_workload.Suite
@@ -22,6 +22,7 @@ module Ilmod = Cmo_il.Ilmod
 module Buildsys = Cmo_driver.Buildsys
 module Phase = Cmo_hlo.Phase
 module Store = Cmo_cache.Store
+module Fsio = Cmo_support.Fsio
 
 let mb bytes = float_of_int bytes /. 1024.0 /. 1024.0
 
@@ -946,13 +947,151 @@ let trace_smoke () =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* Crash-point sweep: count the I/O operations of a cold +O4
+   workspace build, then for every operation index k run a cold build
+   with a simulated power cut at k followed by a recovery build over
+   whatever torn state the crash left, holding the recovery image to
+   a never-faulted oracle.  A second pass cycles the non-crash fault
+   kinds (enospc, eio, short, transient) through every site and
+   requires the faulted build itself to succeed with the oracle's
+   image — graceful degradation, never a failed build. *)
+(* ------------------------------------------------------------------ *)
+
+(* Small enough that the exhaustive sweep stays in CI budget, yet it
+   exercises every artifact path: object save/load, the cache store's
+   index, payload appends, and compaction-adjacent recovery. *)
+let fault_mini_sources : Pipeline.source list =
+  [
+    { Pipeline.name = "fm_main";
+      text =
+        {|
+        func main() {
+          var n = 12;
+          var s = 0;
+          var i = 0;
+          while (i < n) { s = s + mix(i, s); i = i + 1; }
+          print(s);
+          return s & 255;
+        }
+        |} };
+    { Pipeline.name = "fm_lib";
+      text =
+        {|
+        static func twist(v) { return v * 3 + 1; }
+        func mix(x, seed) { return (seed / 3) + twist(x); }
+        |} };
+    { Pipeline.name = "fm_aux";
+      text =
+        {|
+        global tally = 0;
+        func pack(v) { tally = tally + v * 5; return tally; }
+        |} };
+  ]
+
+(* A planned crash can fire inside an unwind-time finalizer (e.g. the
+   store close), where [Fun.protect] wraps it — that is still the
+   simulated power cut. *)
+let rec is_crash = function
+  | Fsio.Crash -> true
+  | Fun.Finally_raised e -> is_crash e
+  | _ -> false
+
+let fault_sweep_over label sources =
+  header (Printf.sprintf "Crash-point sweep (%s, +O4, jobs=1)" label);
+  (* Operation numbering is only deterministic single-threaded. *)
+  let options = { Options.o4 with Options.jobs = 1 } in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) ("cmo-bench-fault-" ^ label)
+  in
+  let fresh () =
+    remove_tree dir;
+    Sys.mkdir dir 0o755
+  in
+  let build () = Buildsys.build (Buildsys.create ~dir ()) options sources in
+  let install spec =
+    match Fsio.install_plan spec with
+    | Ok () -> ()
+    | Error m -> failwith ("fault-sweep: bad plan: " ^ m)
+  in
+  let failures = ref 0 in
+  let fail fmt =
+    incr failures;
+    Printf.eprintf fmt
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Fsio.clear_plan ();
+      remove_tree dir)
+  @@ fun () ->
+  fresh ();
+  let oracle = build () in
+  let same (o : Buildsys.outcome) =
+    let a = o.Buildsys.build and b = oracle.Buildsys.build in
+    a.Pipeline.image.Cmo_link.Image.code = b.Pipeline.image.Cmo_link.Image.code
+    && a.Pipeline.image.Cmo_link.Image.funcs
+         = b.Pipeline.image.Cmo_link.Image.funcs
+    && a.Pipeline.objects = b.Pipeline.objects
+  in
+  fresh ();
+  install "count";
+  ignore (build ());
+  let n = Fsio.op_count () in
+  Fsio.clear_plan ();
+  Printf.printf "cold build: %d injection sites\n%!" n;
+  let t0 = Unix.gettimeofday () in
+  for k = 1 to n do
+    fresh ();
+    install (Printf.sprintf "crash@%d,seed=%d" k k);
+    (match build () with
+    | _ -> fail "crash@%d: the planned crash never fired\n" k
+    | exception e when is_crash e -> ());
+    Fsio.clear_plan ();
+    (* Recovery: a fresh "process" over the torn workspace. *)
+    match build () with
+    | recovered ->
+      if not (same recovered) then fail "crash@%d: recovery diverged\n" k
+    | exception e ->
+      fail "crash@%d: recovery failed: %s\n" k (Printexc.to_string e)
+  done;
+  let crash_seconds = Unix.gettimeofday () -. t0 in
+  Printf.printf "crash sweep: %d crash points, %.1fs, %s\n%!" n crash_seconds
+    (if !failures = 0 then "all recovered byte-identical" else "FAILURES");
+  let kinds = [| "enospc"; "eio"; "short"; "transient" |] in
+  let t1 = Unix.gettimeofday () in
+  for k = 1 to n do
+    let kind = kinds.(k mod Array.length kinds) in
+    fresh ();
+    install (Printf.sprintf "%s@%d,seed=%d" kind k k);
+    (match build () with
+    | faulted ->
+      if not (same faulted) then fail "%s@%d: image diverged\n" kind k
+    | exception e ->
+      fail "%s@%d: build failed instead of degrading: %s\n" kind k
+        (Printexc.to_string e));
+    Fsio.clear_plan ()
+  done;
+  Printf.printf
+    "degradation sweep: %d sites (kinds cycled), %.1fs, %s\n%!" n
+    (Unix.gettimeofday () -. t1)
+    (if !failures = 0 then "every faulted build succeeded identically"
+     else "FAILURES");
+  if !failures > 0 then begin
+    Printf.eprintf "fault-sweep: %d failure(s)\n" !failures;
+    exit 1
+  end
+
+let fault_sweep () = fault_sweep_over "li" (sources_of (Suite.find "li"))
+let fault_sweep_smoke () = fault_sweep_over "mini" fault_mini_sources
+
 let all = [ "fig1", fig1; "fig4", fig4; "fig5", fig5; "fig6", fig6;
             "bytes-per-line", bytes_per_line; "ablation", ablation;
             "stale", stale; "micro", micro; "incremental", incremental;
             "incremental-smoke", incremental_smoke;
             "parallel", parallel; "parallel-smoke", parallel_smoke;
             "fuzz-smoke", fuzz_smoke; "check-overhead", check_overhead;
-            "trace-smoke", trace_smoke ]
+            "trace-smoke", trace_smoke;
+            "fault-sweep", fault_sweep; "fault-sweep-smoke", fault_sweep_smoke ]
 
 let () =
   let requested =

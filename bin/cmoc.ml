@@ -17,6 +17,7 @@ module Db = Cmo_profile.Db
 module Vm = Cmo_vm.Vm
 module Genprog = Cmo_workload.Genprog
 module Suite = Cmo_workload.Suite
+module Fsio = Cmo_support.Fsio
 open Cmdliner
 
 let read_file path =
@@ -89,6 +90,37 @@ let trace_arg =
                timeline.  Also enabled by \\$CMO_TRACE.  Tracing never \
                changes the built image or the cache keys.")
 
+let fault_plan_arg =
+  Arg.(value & opt (some string) None & info [ "fault-plan" ] ~docv:"SPEC"
+         ~doc:"Install a deterministic I/O fault plan before building: \
+               a comma-separated spec such as $(b,count), \
+               $(b,crash@12,seed=3) or $(b,enospc@5) (grammar in \
+               lib/support/fsio.mli).  Also read from \\$CMO_FAULT; \
+               the flag wins.  When a plan is active the operation and \
+               injection counts are reported on stderr after the \
+               build.")
+
+let install_fault_plan flag =
+  match (match flag with Some _ -> flag | None -> Options.env.Options.env_fault) with
+  | None -> ()
+  | Some spec -> (
+    match Fsio.install_plan spec with
+    | Ok () -> ()
+    | Error m ->
+      raise (Pipeline.Compile_error (Printf.sprintf "bad fault plan %S: %s" spec m)))
+
+(* A planned crash can fire inside an unwind-time finalizer, where
+   [Fun.protect] wraps it; either way it is the simulated power cut. *)
+let rec is_crash = function
+  | Fsio.Crash -> true
+  | Fun.Finally_raised e -> is_crash e
+  | _ -> false
+
+let report_fault_plan () =
+  if Fsio.plan_active () then
+    Printf.eprintf "fault plan: %d io ops, %d injected, %d retries\n%!"
+      (Fsio.op_count ()) (Fsio.injected ()) (Fsio.retries ())
+
 let make_options level pbo selectivity machine_mb jobs check trace =
   let base =
     {
@@ -104,7 +136,21 @@ let make_options level pbo selectivity machine_mb jobs check trace =
   (* [Options.base] already carries \$CMO_TRACE; the flag overrides. *)
   match trace with None -> base | Some _ -> { base with Options.trace }
 
-let load_profile = Option.map Db.load
+(* A missing, unreadable or corrupt profile degrades to building
+   without one — PBO is an optimization, not a correctness input. *)
+let load_profile = function
+  | None -> None
+  | Some path -> (
+    match Db.load path with
+    | db -> Some db
+    | exception (Sys_error reason | Cmo_support.Codec.Reader.Corrupt reason) ->
+      Logs.warn (fun f ->
+          f "profile %s unusable (%s); building without it" path reason);
+      None
+    | exception End_of_file ->
+      Logs.warn (fun f ->
+          f "profile %s truncated; building without it" path);
+      None)
 
 let log_arg =
   let level =
@@ -134,9 +180,10 @@ let compile_cmd =
     Arg.(value & flag & info [ "hot-report" ]
            ~doc:"With --run: print the routines the cycles went to, hottest first.")
   in
-  let action paths level pbo profile selectivity machine_mb jobs check trace log input run_it verbose map_it hot_report =
+  let action paths level pbo profile selectivity machine_mb jobs check trace fault log input run_it verbose map_it hot_report =
     try
       setup_logs log;
+      install_fault_plan fault;
       let sources = List.map source_of_path paths in
       let options = make_options level pbo selectivity machine_mb jobs check trace in
       let build = Pipeline.compile ?profile:(load_profile profile) options sources in
@@ -165,17 +212,21 @@ let compile_cmd =
       end
       else Printf.printf "linked %d instructions\n"
              (Array.length build.Pipeline.image.Cmo_link.Image.code);
+      report_fault_plan ();
       `Ok ()
     with
     | Pipeline.Compile_error msg -> `Error (false, msg)
     | Vm.Fault msg -> `Error (false, "runtime fault: " ^ msg)
+    | e when is_crash e ->
+      report_fault_plan ();
+      `Error (false, "simulated crash (fault plan): build aborted")
   in
   let doc = "Compile (and optionally run) MiniC modules." in
   Cmd.v (Cmd.info "compile" ~doc)
     Term.(ret (const action $ sources_arg $ level_arg $ pbo_arg $ profile_arg
                $ selectivity_arg $ machine_memory_arg $ jobs_arg $ check_arg
-               $ trace_arg $ log_arg $ input_arg $ run_flag $ verbose $ map_flag
-               $ hot_flag))
+               $ trace_arg $ fault_plan_arg $ log_arg $ input_arg $ run_flag
+               $ verbose $ map_flag $ hot_flag))
 
 (* ---- train ---- *)
 
@@ -261,6 +312,7 @@ let gen_cmd =
     | cfg ->
       let cfg = if factor = 1.0 then cfg else Genprog.scale cfg factor in
       let sources = Genprog.generate cfg in
+      Fsio.mkdirs dir;
       List.iter
         (fun (name, text) ->
           let path = Filename.concat dir (name ^ ".mc") in
@@ -489,9 +541,10 @@ let build_cmd =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the compilation report.")
   in
   let action paths level pbo profile selectivity machine_mb jobs check trace
-      log input dir no_cache cache_dir cache_capacity run_it verbose =
+      fault log input dir no_cache cache_dir cache_capacity run_it verbose =
     try
       setup_logs log;
+      install_fault_plan fault;
       let sources = List.map source_of_path paths in
       let options = make_options level pbo selectivity machine_mb jobs check trace in
       let ws =
@@ -526,10 +579,14 @@ let build_cmd =
       else
         Printf.printf "linked %d instructions\n"
           (Array.length outcome.Buildsys.build.Pipeline.image.Cmo_link.Image.code);
+      report_fault_plan ();
       `Ok ()
     with
     | Pipeline.Compile_error msg -> `Error (false, msg)
     | Vm.Fault msg -> `Error (false, "runtime fault: " ^ msg)
+    | e when is_crash e ->
+      report_fault_plan ();
+      `Error (false, "simulated crash (fault plan): build aborted")
   in
   let doc =
     "Incremental build over on-disk object files, with cached link-time \
@@ -538,8 +595,9 @@ let build_cmd =
   Cmd.v (Cmd.info "build" ~doc)
     Term.(ret (const action $ sources_arg $ level_arg $ pbo_arg $ profile_arg
                $ selectivity_arg $ machine_memory_arg $ jobs_arg $ check_arg
-               $ trace_arg $ log_arg $ input_arg $ dir_arg $ no_cache_flag
-               $ cache_dir_arg $ cache_capacity_arg $ run_flag $ verbose))
+               $ trace_arg $ fault_plan_arg $ log_arg $ input_arg $ dir_arg
+               $ no_cache_flag $ cache_dir_arg $ cache_capacity_arg $ run_flag
+               $ verbose))
 
 (* ---- cache ---- *)
 

@@ -10,7 +10,13 @@
 # test/corpus/, and fails the gate), and the traced-build smoke (a
 # --trace build must be byte-identical to a plain one and emit a
 # Chrome-trace JSON that parses, has balanced spans, and names every
-# pipeline stage).  Run from the repository root.
+# pipeline stage), and the crash-point sweep smoke (every I/O
+# operation of a small cold build is crashed in turn; each recovery
+# build must be byte-identical to a never-faulted oracle, and every
+# non-crash fault kind must degrade gracefully).  The fault test
+# suite also reruns alone at a fixed fuzz seed so the corruption
+# property is reproducible in CI logs.  Run from the repository
+# root.
 set -eu
 
 echo "== dune build =="
@@ -33,5 +39,11 @@ dune exec bench/main.exe -- fuzz-smoke
 
 echo "== traced build smoke =="
 dune exec bench/main.exe -- trace-smoke
+
+echo "== crash-point sweep smoke =="
+dune exec bench/main.exe -- fault-sweep-smoke
+
+echo "== fault suite (fixed seed) =="
+CMO_JOBS=1 CMO_FUZZ_SEED=1 dune exec test/test_main.exe -- test fault
 
 echo "CI OK"

@@ -1,9 +1,22 @@
 module W = Cmo_support.Codec.Writer
 module R = Cmo_support.Codec.Reader
+module Fsio = Cmo_support.Fsio
 
-let magic = "CMOCACHE1"
+let log_src = Logs.Src.create "cmo.cache" ~doc:"Artifact cache store"
 
-type entry = { mutable offset : int; length : int; mutable last_use : int }
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* CMOCACHE2: payload records gained length+CRC framing and index
+   entries remember each record's CRC, so a CMOCACHE1 store reads as
+   empty (a cold rebuild, not an error). *)
+let magic = "CMOCACHE2"
+
+type entry = {
+  mutable offset : int;  (* of the framed record, not the payload *)
+  length : int;  (* of the payload *)
+  crc : int32;
+  mutable last_use : int;
+}
 
 type t = {
   dir : string;
@@ -18,8 +31,8 @@ type t = {
   mutable stores : int;
   mutable evictions : int;
   mutable live_bytes : int;
-  mutable payload_len : int;  (* includes dead bytes *)
-  mutable out : out_channel option;  (* lazy append channel *)
+  mutable payload_len : int;  (* includes dead bytes and framing *)
+  mutable out : Fsio.appender option;  (* lazy append stream *)
 }
 
 let locked (t : t) f =
@@ -37,31 +50,14 @@ type stats = {
   capacity : int;
 }
 
-let rec mkdirs dir =
-  if not (Sys.file_exists dir) then begin
-    mkdirs (Filename.dirname dir);
-    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
-  end
-
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
-let file_size path =
-  match open_in_bin path with
-  | ic ->
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> in_channel_length ic)
-  | exception Sys_error _ -> 0
+(* On-disk footprint of an entry's record. *)
+let disk_size (e : entry) = Fsio.frame_overhead + e.length
 
 (* A missing or malformed index reads as empty: artifacts are then
    rediscovered as misses and the orphaned payload bytes are dead
    until the next compaction. *)
 let load_index (t : t) =
-  match read_file t.index_path with
+  match Fsio.read_file t.index_path with
   | exception Sys_error _ -> ()
   | bytes -> (
     try
@@ -73,18 +69,21 @@ let load_index (t : t) =
       t.evictions <- R.uvarint r;
       t.tick <- R.uvarint r;
       List.iter
-        (fun (key, offset, length, last_use) ->
-          if offset >= 0 && length >= 0 && offset + length <= t.payload_len
+        (fun (key, offset, length, crc, last_use) ->
+          if
+            offset >= 0 && length >= 0
+            && offset + Fsio.frame_overhead + length <= t.payload_len
           then begin
-            Hashtbl.replace t.entries key { offset; length; last_use };
+            Hashtbl.replace t.entries key { offset; length; crc; last_use };
             t.live_bytes <- t.live_bytes + length
           end)
         (R.list r (fun r ->
              let key = R.string r in
              let offset = R.uvarint r in
              let length = R.uvarint r in
+             let crc = Int32.of_int (R.uvarint r) in
              let last_use = R.uvarint r in
-             (key, offset, length, last_use)))
+             (key, offset, length, crc, last_use)))
     with R.Corrupt _ | End_of_file ->
       Hashtbl.reset t.entries;
       t.live_bytes <- 0)
@@ -106,17 +105,24 @@ let save_index (t : t) =
       W.string w key;
       W.uvarint w e.offset;
       W.uvarint w e.length;
+      W.uvarint w (Int32.to_int e.crc land 0xffffffff);
       W.uvarint w e.last_use)
     items;
-  let tmp = t.index_path ^ ".tmp" in
-  let oc = open_out_bin tmp in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc (W.contents w));
-  Sys.rename tmp t.index_path
+  Fsio.atomic_write t.index_path (W.contents w)
+
+(* An index that cannot be saved is a stale index, not a failed
+   build: the affected artifacts are recomputed next time. *)
+let save_index_soft (t : t) =
+  try save_index t
+  with Sys_error m ->
+    Cmo_obs.Obs.tick "cache.store" "index_errors" 1;
+    Log.warn (fun f -> f "cache index not saved (%s); will recompute" m)
 
 let open_ ?(capacity = 256 * 1024 * 1024) ~dir () =
-  mkdirs dir;
+  (try Fsio.mkdirs dir
+   with Sys_error m ->
+     Cmo_obs.Obs.tick "cache.store" "io_errors" 1;
+     Log.warn (fun f -> f "cache directory unavailable (%s)" m));
   let t =
     {
       dir;
@@ -135,7 +141,18 @@ let open_ ?(capacity = 256 * 1024 * 1024) ~dir () =
       out = None;
     }
   in
-  t.payload_len <- file_size t.payload_path;
+  (* Resynchronize after a torn append: keep the structurally whole
+     record prefix, truncate the tail a crash left behind. *)
+  let valid_end, size =
+    try Fsio.valid_prefix t.payload_path with Sys_error _ -> (0, 0)
+  in
+  if valid_end < size then begin
+    Cmo_obs.Obs.tick "cache.store" "torn_tail_truncated" 1;
+    Log.warn (fun f ->
+        f "cache payload torn at byte %d (of %d); truncating" valid_end size);
+    try Fsio.truncate t.payload_path valid_end with Sys_error _ -> ()
+  end;
+  t.payload_len <- valid_end;
   load_index t;
   t
 
@@ -143,13 +160,31 @@ let next_tick (t : t) =
   t.tick <- t.tick + 1;
   t.tick
 
-let read_payload (t : t) offset length =
-  let ic = open_in_bin t.payload_path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () ->
-      seek_in ic offset;
-      really_input_string ic length)
+let read_entry (t : t) (e : entry) =
+  Fsio.read_record ~expect_crc:e.crc t.payload_path ~offset:e.offset
+    ~length:e.length
+
+let drop (t : t) key (e : entry) =
+  Hashtbl.remove t.entries key;
+  t.live_bytes <- t.live_bytes - e.length
+
+(* A record whose framing or CRC fails is data corruption, not an
+   I/O error: preserve the damaged bytes for a post-mortem, then
+   treat the key as a miss. *)
+let quarantine (t : t) key (e : entry) reason =
+  Cmo_obs.Obs.tick "cache.store" "quarantined" 1;
+  Log.warn (fun f ->
+      f "corrupt cache record at offset %d (%s); quarantined, key %s is a miss"
+        e.offset reason
+        (String.sub key 0 (min 12 (String.length key))));
+  try
+    let qdir = Filename.concat t.dir "quarantine" in
+    Fsio.mkdirs qdir;
+    let raw =
+      Fsio.read_span t.payload_path ~offset:e.offset ~length:(disk_size e)
+    in
+    Fsio.atomic_write (Filename.concat qdir (Printf.sprintf "rec-%d" e.offset)) raw
+  with Sys_error _ -> ()
 
 let find_unlocked (t : t) key =
   match Hashtbl.find_opt t.entries key with
@@ -157,15 +192,20 @@ let find_unlocked (t : t) key =
     t.misses <- t.misses + 1;
     None
   | Some e -> (
-    match read_payload t e.offset e.length with
+    match read_entry t e with
     | data ->
       t.hits <- t.hits + 1;
       e.last_use <- next_tick t;
       Some data
+    | exception Fsio.Corrupt_record { reason; _ } ->
+      quarantine t key e reason;
+      drop t key e;
+      t.misses <- t.misses + 1;
+      None
     | exception (Sys_error _ | End_of_file) ->
-      (* Truncated payload: drop the record and degrade to a miss. *)
-      Hashtbl.remove t.entries key;
-      t.live_bytes <- t.live_bytes - e.length;
+      (* Unreadable payload: drop the record and degrade to a miss. *)
+      Cmo_obs.Obs.tick "cache.store" "io_errors" 1;
+      drop t key e;
       t.misses <- t.misses + 1;
       None)
 
@@ -175,38 +215,33 @@ let find (t : t) key =
   r
 
 (* Read without observation: no counter bump, no LRU refresh, no
-   entry dropped on a truncated payload.  This is what transactions
-   read through — their logged operations are replayed against the
-   real store at commit, which is when the counters move. *)
+   entry dropped or quarantined on a damaged payload.  This is what
+   transactions read through — their logged operations are replayed
+   against the real store at commit, which is when the counters
+   move. *)
 let peek (t : t) key =
   locked t (fun () ->
       match Hashtbl.find_opt t.entries key with
       | None -> None
       | Some e -> (
-        match read_payload t e.offset e.length with
+        match read_entry t e with
         | data -> Some data
-        | exception (Sys_error _ | End_of_file) -> None))
+        | exception (Fsio.Corrupt_record _ | Sys_error _ | End_of_file) -> None))
 
-let append_channel (t : t) =
+let append_stream (t : t) =
   match t.out with
-  | Some oc -> oc
+  | Some a -> a
   | None ->
-    let oc =
-      open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 t.payload_path
-    in
-    t.out <- Some oc;
-    oc
+    let a = Fsio.open_append t.payload_path in
+    t.out <- Some a;
+    a
 
 let close_append (t : t) =
   match t.out with
-  | Some oc ->
-    close_out_noerr oc;
+  | Some a ->
+    Fsio.close_append a;
     t.out <- None
   | None -> ()
-
-let drop (t : t) key (e : entry) =
-  Hashtbl.remove t.entries key;
-  t.live_bytes <- t.live_bytes - e.length
 
 let evict (t : t) =
   (* Down to the capacity, never below one entry: a single oversized
@@ -228,45 +263,60 @@ let evict (t : t) =
   done
 
 (* Rewrite the payload keeping only live artifacts, streamed in offset
-   order so compaction memory stays at one artifact. *)
+   order so compaction memory stays at one artifact.  New offsets are
+   staged on the side and committed only once the replacement file is
+   in place — a failure at any point leaves the store untouched. *)
 let compact (t : t) =
-  let dead = t.payload_len - t.live_bytes in
-  if dead > max (1 lsl 20) t.live_bytes then begin
+  let live_disk =
+    Hashtbl.fold (fun _ e acc -> acc + disk_size e) t.entries 0
+  in
+  let dead = t.payload_len - live_disk in
+  if dead > max (1 lsl 20) live_disk then begin
     close_append t;
     let live =
       Hashtbl.fold (fun key e acc -> (key, e) :: acc) t.entries []
       |> List.sort (fun (_, a) (_, b) -> compare a.offset b.offset)
     in
     let tmp = t.payload_path ^ ".tmp" in
-    let oc = open_out_bin tmp in
-    (try
-       let pos = ref 0 in
-       List.iter
-         (fun (_, (e : entry)) ->
-           let data = read_payload t e.offset e.length in
-           e.offset <- !pos;
-           output_string oc data;
-           pos := !pos + e.length)
-         live;
-       close_out oc;
-       Sys.rename tmp t.payload_path;
-       t.payload_len <- t.live_bytes
-     with Sys_error _ | End_of_file ->
-       close_out_noerr oc;
-       (try Sys.remove tmp with Sys_error _ -> ()))
+    match
+      let a = Fsio.open_append ~trunc:true tmp in
+      let moved =
+        Fun.protect
+          ~finally:(fun () -> Fsio.close_append ~fsync:true a)
+          (fun () ->
+            List.map (fun (_, e) -> (e, Fsio.append_record a (read_entry t e))) live)
+      in
+      Fsio.rename tmp t.payload_path;
+      (moved, Fsio.append_pos a)
+    with
+    | moved, new_len ->
+      List.iter (fun ((e : entry), off) -> e.offset <- off) moved;
+      t.payload_len <- new_len
+    | exception (Sys_error _ | Fsio.Corrupt_record _ | End_of_file) ->
+      (* Abandon this compaction; the dead bytes stay until the next
+         attempt and every entry still points into the old file. *)
+      Cmo_obs.Obs.tick "cache.store" "io_errors" 1;
+      Log.warn (fun f -> f "cache compaction abandoned");
+      (try Fsio.remove tmp with Sys_error _ -> ())
   end
 
 let add_unlocked (t : t) key data =
+  (* Append before dropping any replaced entry: a failed append then
+     leaves the old artifact still reachable. *)
+  let a = append_stream t in
+  let offset = Fsio.append_record a data in
   (match Hashtbl.find_opt t.entries key with
   | Some old -> drop t key old
   | None -> ());
-  let oc = append_channel t in
-  output_string oc data;
-  flush oc;
   let e =
-    { offset = t.payload_len; length = String.length data; last_use = next_tick t }
+    {
+      offset;
+      length = String.length data;
+      crc = Fsio.crc32 data;
+      last_use = next_tick t;
+    }
   in
-  t.payload_len <- t.payload_len + e.length;
+  t.payload_len <- Fsio.append_pos a;
   t.live_bytes <- t.live_bytes + e.length;
   t.stores <- t.stores + 1;
   Hashtbl.replace t.entries key e;
@@ -274,18 +324,26 @@ let add_unlocked (t : t) key data =
   compact t
 
 let add (t : t) key data =
-  locked t (fun () -> add_unlocked t key data);
-  Cmo_obs.Obs.tick "cache.store" "stores" 1;
-  Cmo_obs.Obs.tick "cache.store" "store_bytes" (String.length data)
+  match locked t (fun () -> add_unlocked t key data) with
+  | () ->
+    Cmo_obs.Obs.tick "cache.store" "stores" 1;
+    Cmo_obs.Obs.tick "cache.store" "store_bytes" (String.length data)
+  | exception Sys_error m ->
+    (* A store that cannot be written is a cache miss next time, not
+       a failed build. *)
+    Cmo_obs.Obs.tick "cache.store" "write_errors" 1;
+    Log.warn (fun f -> f "cache write failed (%s); artifact not cached" m)
 
-let flush (t : t) =
-  locked t (fun () ->
-      (match t.out with Some oc -> flush oc | None -> ());
-      save_index t)
+let flush (t : t) = locked t (fun () -> save_index_soft t)
 
 let close (t : t) =
   flush t;
-  locked t (fun () -> close_append t)
+  locked t (fun () ->
+      match t.out with
+      | Some a ->
+        Fsio.close_append ~fsync:true a;
+        t.out <- None
+      | None -> ())
 
 let clear (t : t) =
   locked t (fun () ->
@@ -298,15 +356,22 @@ let clear (t : t) =
       t.evictions <- 0;
       t.live_bytes <- 0;
       t.payload_len <- 0;
-      (try Sys.remove t.payload_path with Sys_error _ -> ());
-      save_index t)
+      (try Fsio.remove t.payload_path with Sys_error _ -> ());
+      save_index_soft t)
 
 let wipe ~dir =
+  let rm path =
+    if Sys.file_exists path then try Fsio.remove path with Sys_error _ -> ()
+  in
   List.iter
-    (fun f ->
-      let path = Filename.concat dir f in
-      if Sys.file_exists path then try Sys.remove path with Sys_error _ -> ())
+    (fun f -> rm (Filename.concat dir f))
     [ "index"; "index.tmp"; "payload"; "payload.tmp" ];
+  let qdir = Filename.concat dir "quarantine" in
+  if Sys.file_exists qdir then begin
+    (try Array.iter (fun f -> rm (Filename.concat qdir f)) (Sys.readdir qdir)
+     with Sys_error _ -> ());
+    try Sys.rmdir qdir with Sys_error _ -> ()
+  end;
   if Sys.file_exists dir then try Sys.rmdir dir with Sys_error _ -> ()
 
 let stats (t : t) =

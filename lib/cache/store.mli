@@ -6,8 +6,11 @@
 
     - [index] — {!Cmo_support.Codec}-framed: magic, the persisted
       hit/miss/store/eviction counters, the LRU clock, and one
-      (key, offset, length, last-use) record per live artifact;
-    - [payload] — the artifact bytes, append-only.
+      (key, offset, length, crc, last-use) record per live artifact;
+    - [payload] — the artifact bytes, append-only, each artifact
+      wrapped in a {!Cmo_support.Fsio} length+CRC record frame;
+    - [quarantine/] — raw bytes of records whose CRC failed,
+      preserved for post-mortems (created on demand).
 
     The store is capacity-bounded: when live bytes exceed the
     capacity, least-recently-used artifacts are evicted (their index
@@ -18,8 +21,15 @@
     Robustness over cleverness: a missing, truncated or corrupt index
     simply reads as an empty store (every lookup misses and the next
     compaction reclaims the orphaned payload), never as an error.
-    The index is written atomically (temp file + rename) on
-    {!flush}/{!close}.
+    The index is written atomically (temp file + fsync + rename) on
+    {!flush}/{!close}.  A torn payload tail — the state a crash
+    mid-append leaves — is detected structurally on open and
+    truncated away; a record whose CRC fails at read time is copied
+    to [quarantine/] and degrades to a miss; an I/O failure while
+    writing degrades to "not cached", never a failed build.  All
+    file traffic goes through {!Cmo_support.Fsio}, so every one of
+    those paths is exercised deterministically by the fault-injection
+    sweep ([bench fault-sweep]).
 
     Every public operation is guarded by an internal mutex, so a
     store may be shared between domains.  Parallel link-time CMO does
@@ -38,7 +48,8 @@ val open_ : ?capacity:int -> dir:string -> unit -> t
 
 val find : t -> string -> string option
 (** Lookup by key; counts a hit or a miss and refreshes LRU order.
-    An unreadable payload (truncated file) degrades to a miss. *)
+    An unreadable payload degrades to a miss; a record whose framing
+    or CRC fails is quarantined first. *)
 
 val peek : t -> string -> string option
 (** Lookup without observation: no counters, no LRU refresh, no
@@ -56,9 +67,9 @@ val clear : t -> unit
 (** Drop every artifact and reset all counters; persists. *)
 
 val wipe : dir:string -> unit
-(** Remove a store's files (and the directory if then empty) without
-    opening it; a no-op when nothing is there.  [Buildsys.clean] uses
-    this. *)
+(** Remove a store's files, its quarantine directory, and the
+    directory itself if then empty, without opening it; a no-op when
+    nothing is there.  [Buildsys.clean] uses this. *)
 
 type txn
 (** An isolated view for one parallel worker: reads see the store as

@@ -6,6 +6,11 @@ module Objfile = Cmo_link.Objfile
 module Linker = Cmo_link.Linker
 module Memstats = Cmo_naim.Memstats
 module Store = Cmo_cache.Store
+module Fsio = Cmo_support.Fsio
+
+let log_src = Logs.Src.create "cmo.buildsys" ~doc:"Incremental build system"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
 
 type t = {
   dir : string;
@@ -42,7 +47,7 @@ let digest text = Digest.to_hex (Digest.string text)
 let clean t =
   Array.iter
     (fun f ->
-      if Filename.check_suffix f ".o" then Sys.remove (Filename.concat t.dir f))
+      if Filename.check_suffix f ".o" then Fsio.remove (Filename.concat t.dir f))
     (Sys.readdir t.dir);
   Store.wipe ~dir:t.cache_dir
 
@@ -71,7 +76,12 @@ let load_if_current t (s : Pipeline.source) =
          needs IL payloads, non-CMO needs code. *)
       Some obj
     | _ -> None
-    | exception _ -> None
+    (* An unreadable or corrupt object is stale, and only that —
+       [Fsio.Crash] in particular must keep propagating, or a
+       simulated power cut would degrade into a silent rebuild. *)
+    | exception (Sys_error _ | Cmo_support.Codec.Reader.Corrupt _ | End_of_file)
+      ->
+      None
   end
   else None
 
@@ -107,7 +117,13 @@ let build ?profile t (options : Options.t) sources =
               { (Objfile.of_il ~source_digest m) with Objfile.source_digest = source_digest }
             else compile_code_object ?profile options ~source_digest m
           in
-          Objfile.save obj (object_path t s.Pipeline.name);
+          (try Objfile.save obj (object_path t s.Pipeline.name)
+           with Sys_error m ->
+             (* The object stays in memory for this build and is
+                recompiled next time; not a failed build. *)
+             Cmo_obs.Obs.tick "buildsys" "object_write_errors" 1;
+             Log.warn (fun f ->
+                 f "object for %s not saved (%s)" s.Pipeline.name m));
           obj)
       sources
   in

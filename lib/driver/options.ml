@@ -28,6 +28,7 @@ type env = {
   env_check : bool;  (* CMO_CHECK: anything but unset/""/"0" *)
   env_trace : string option;  (* CMO_TRACE: trace output path *)
   env_fuzz_seed : int option;  (* CMO_FUZZ_SEED, else QCHECK_SEED *)
+  env_fault : string option;  (* CMO_FAULT: fsio fault-plan spec *)
 }
 
 let from_env ?(get = Sys.getenv_opt) () =
@@ -43,6 +44,7 @@ let from_env ?(get = Sys.getenv_opt) () =
       (match int_of "CMO_FUZZ_SEED" with
       | Some _ as s -> s
       | None -> int_of "QCHECK_SEED");
+    env_fault = (match get "CMO_FAULT" with Some "" | None -> None | some -> some);
   }
 
 let env = from_env ()

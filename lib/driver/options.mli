@@ -78,6 +78,10 @@ type env = {
   env_fuzz_seed : int option;
       (** [$CMO_FUZZ_SEED], else [$QCHECK_SEED] — the shared seed for
           every property-based suite and the fuzz campaign. *)
+  env_fault : string option;
+      (** [$CMO_FAULT] when non-empty: an {!Cmo_support.Fsio}
+          fault-plan spec the driver installs before building
+          ([cmoc --fault-plan] overrides it). *)
 }
 
 val from_env : ?get:(string -> string option) -> unit -> env

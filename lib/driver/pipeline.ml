@@ -6,6 +6,7 @@ module Callgraph = Cmo_il.Callgraph
 module Intrinsics = Cmo_il.Intrinsics
 module Ilcodec = Cmo_il.Ilcodec
 module Fingerprint = Cmo_support.Fingerprint
+module Fsio = Cmo_support.Fsio
 module Store = Cmo_cache.Store
 module Invalidate = Cmo_cache.Invalidate
 module Frontend = Cmo_frontend.Frontend
@@ -941,7 +942,10 @@ let with_tracing (options : Options.t) f =
     Obs.start ();
     match f () with
     | v ->
-      Obs.write_file path;
+      (try Fsio.atomic_write path (Obs.export ())
+       with Sys_error m ->
+         Obs.tick "obs" "export_errors" 1;
+         Log.warn (fun f -> f "trace not written to %s (%s)" path m));
       Obs.stop ();
       v
     | exception e ->

@@ -73,20 +73,11 @@ let decode bytes =
   in
   { module_name; globals; payload; source_digest }
 
-let save t path =
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (encode t))
+(* Atomic: an interrupted save leaves the previous object (or none),
+   never a torn one that [load] would report as corrupt. *)
+let save t path = Cmo_support.Fsio.atomic_write path (encode t)
 
-let load path =
-  let ic = open_in_bin path in
-  let data =
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  in
-  decode data
+let load path = decode (Cmo_support.Fsio.read_file path)
 
 let func_names t =
   match t.payload with

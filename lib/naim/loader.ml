@@ -195,14 +195,21 @@ let compact_pool t pool =
 let offload_pool t pool =
   compact_pool t pool;
   match pool.state with
-  | Compacted bytes ->
-    let handle = Repository.store t.repo bytes in
-    Memstats.release t.mem Memstats.Ir_compacted pool.compact_charge;
-    pool.compact_charge <- 0;
-    pool.state <- Offloaded handle;
-    t.s_offloads <- t.s_offloads + 1;
-    Obs.tick "naim.loader" "offloads" 1;
-    Log.debug (fun log -> log "offloaded %s to the repository" pool.fname)
+  | Compacted bytes -> (
+    match Repository.store t.repo bytes with
+    | handle ->
+      Memstats.release t.mem Memstats.Ir_compacted pool.compact_charge;
+      pool.compact_charge <- 0;
+      pool.state <- Offloaded handle;
+      t.s_offloads <- t.s_offloads + 1;
+      Obs.tick "naim.loader" "offloads" 1;
+      Log.debug (fun log -> log "offloaded %s to the repository" pool.fname)
+    | exception Sys_error m ->
+      (* An unwritable repository costs memory headroom, not the
+         build: the pool simply stays resident in compacted form. *)
+      Obs.tick "naim.loader" "offload_skipped" 1;
+      Log.warn (fun log ->
+          log "repository store failed (%s); keeping %s in memory" m pool.fname))
   | Expanded _ | Offloaded _ -> ()
 
 let expand_pool t pool =

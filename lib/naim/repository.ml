@@ -1,5 +1,11 @@
+module Fsio = Cmo_support.Fsio
+
+(* The file backing writes each pool as an Fsio length+CRC framed
+   record: a torn or corrupted pool is then detected at fetch time
+   instead of silently decoding garbage IL.  The memory backing
+   (tests, parallel workers) stays raw — it cannot tear. *)
 type backing =
-  | File of { path : string; mutable oc : out_channel option; mutable ic : in_channel option }
+  | File of { path : string; mutable app : Fsio.appender option }
   | Memory of Buffer.t
 
 type t = {
@@ -10,7 +16,7 @@ type t = {
   id : int;  (* guards against foreign handles *)
 }
 
-type handle = { repo_id : int; offset : int; length : int }
+type handle = { repo_id : int; offset : int; length : int; crc : int32 }
 
 (* Atomic: parallel HLO workers each create their own in-memory
    repository through their loaders. *)
@@ -21,32 +27,41 @@ let make backing =
     id = 1 + Atomic.fetch_and_add next_id 1 }
 
 let create ~path =
-  let oc = open_out_bin path in
-  make (File { path; oc = Some oc; ic = None })
+  let app = Fsio.open_append ~trunc:true path in
+  make (File { path; app = Some app })
 
 let in_memory () = make (Memory (Buffer.create 4096))
 
 let store t bytes =
-  let offset = t.next_offset in
   let length = String.length bytes in
-  (match t.backing with
-  | File f -> (
-    match f.oc with
-    | Some oc ->
-      output_string oc bytes;
-      flush oc
-    | None -> invalid_arg "Repository.store: closed repository")
-  | Memory buf -> Buffer.add_string buf bytes);
-  t.next_offset <- offset + length;
+  let offset, crc, next =
+    match t.backing with
+    | File f -> (
+      match f.app with
+      | Some app ->
+        let offset = Fsio.append_record app bytes in
+        (offset, Fsio.crc32 bytes, Fsio.append_pos app)
+      | None -> invalid_arg "Repository.store: closed repository")
+    | Memory buf ->
+      let offset = t.next_offset in
+      Buffer.add_string buf bytes;
+      (offset, 0l, offset + length)
+  in
+  t.next_offset <- next;
   t.stores <- t.stores + 1;
   Cmo_obs.Obs.tick "naim.repo" "stores" 1;
   Cmo_obs.Obs.tick "naim.repo" "store_bytes" length;
-  { repo_id = t.id; offset; length }
+  { repo_id = t.id; offset; length; crc }
 
 let fetch t handle =
   if handle.repo_id <> t.id then
     invalid_arg "Repository.fetch: handle from another repository";
-  if handle.offset + handle.length > t.next_offset then
+  let payload_end =
+    match t.backing with
+    | File _ -> handle.offset + Fsio.frame_overhead + handle.length
+    | Memory _ -> handle.offset + handle.length
+  in
+  if payload_end > t.next_offset then
     invalid_arg "Repository.fetch: handle beyond stored data";
   t.fetches <- t.fetches + 1;
   Cmo_obs.Obs.tick "naim.repo" "fetches" 1;
@@ -54,16 +69,8 @@ let fetch t handle =
   match t.backing with
   | Memory buf -> Buffer.sub buf handle.offset handle.length
   | File f ->
-    let ic =
-      match f.ic with
-      | Some ic -> ic
-      | None ->
-        let ic = open_in_bin f.path in
-        f.ic <- Some ic;
-        ic
-    in
-    seek_in ic handle.offset;
-    really_input_string ic handle.length
+    Fsio.read_record ~expect_crc:handle.crc f.path ~offset:handle.offset
+      ~length:handle.length
 
 let stored_bytes t = t.next_offset
 
@@ -75,8 +82,7 @@ let close t =
   match t.backing with
   | Memory _ -> ()
   | File f ->
-    Option.iter close_out f.oc;
-    Option.iter close_in f.ic;
-    f.oc <- None;
-    f.ic <- None;
-    if Sys.file_exists f.path then Sys.remove f.path
+    Option.iter Fsio.close_append f.app;
+    f.app <- None;
+    if Sys.file_exists f.path then
+      try Fsio.remove f.path with Sys_error _ -> ()

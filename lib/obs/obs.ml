@@ -357,9 +357,3 @@ let to_json () =
   Json.Arr (List.rev !events)
 
 let export () = Json.to_string (to_json ())
-
-let write_file path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (export ()))

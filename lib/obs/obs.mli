@@ -111,5 +111,6 @@ val to_json : unit -> Json.t
     distinct in the viewer). *)
 
 val export : unit -> string
-
-val write_file : string -> unit
+(** The trace as a Chrome-trace JSON string.  Callers persist it
+    themselves (the driver uses [Fsio.atomic_write]; this module
+    sits below the I/O layer and does not write files). *)

@@ -50,18 +50,12 @@ let save t path =
         Codec.Writer.uvarint w b);
       Codec.Writer.float w count)
     (entries t);
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (Codec.Writer.contents w))
+  (* Atomic (temp + fsync + rename): a crash mid-save leaves the old
+     profile, never a torn one that a later build chokes on. *)
+  Cmo_support.Fsio.atomic_write path (Codec.Writer.contents w)
 
 let load path =
-  let ic = open_in_bin path in
-  let data =
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  in
+  let data = Cmo_support.Fsio.read_file path in
   let r = Codec.Reader.of_string data in
   let v = Codec.Reader.byte r in
   if v <> version then

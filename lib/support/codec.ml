@@ -103,12 +103,21 @@ module Reader = struct
 
   let float t = Int64.float_of_bits (int64 t)
 
-  let list t read_elem =
+  (* Every element consumes at least one byte, so a length prefix
+     larger than the remaining input is corruption — check before
+     allocating, lest a garbage prefix demand a huge array. *)
+  let seq_length t =
     let len = uvarint t in
+    if len < 0 || len > String.length t.data - t.pos then
+      corrupt "sequence length overruns input";
+    len
+
+  let list t read_elem =
+    let len = seq_length t in
     List.init len (fun _ -> read_elem t)
 
   let array t read_elem =
-    let len = uvarint t in
+    let len = seq_length t in
     Array.init len (fun _ -> read_elem t)
 
   let at_end t = t.pos = String.length t.data

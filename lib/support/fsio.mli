@@ -1,0 +1,165 @@
+(** The single chokepoint for file I/O, with deterministic fault
+    injection.
+
+    Every artifact family the system persists — the CMO cache store,
+    the NAIM disk repository, the profile database, trace exports,
+    object files — performs its reads and writes through this module,
+    which gives the whole toolchain one place to implement the
+    durability discipline (temp + fsync + rename for whole files,
+    length+CRC framing for appended records, bounded retries for
+    transient errors) and one place to inject faults for testing.
+
+    {2 Error model}
+
+    Real failures and injected failures surface identically, as
+    [Sys_error] — consumers that degrade gracefully under injection
+    therefore degrade identically under a real full disk.  Two
+    conditions get their own exceptions:
+
+    - {!Corrupt_record}: a framed record whose magic, length or CRC
+      does not check out.  The store quarantines these; they are data
+      corruption, not I/O failure.
+    - {!Crash}: a simulated power cut.  Raised at the planned
+      operation after writing a seeded prefix of the data (the torn
+      state a kill would leave), and the process-wide I/O layer then
+      goes inert: subsequent writes silently do nothing (so
+      unwind-time finalizers cannot touch the disk a "dead" process
+      could not have touched) and subsequent reads re-raise.  [Crash]
+      is never raised unless a plan with a [crash@k] directive is
+      installed; production code must let it propagate.
+
+    {2 Fault plans}
+
+    A plan is a comma-separated spec, installed process-wide:
+
+    - [count] — inject nothing, just number the operations (the sweep
+      harness uses this to size a sweep);
+    - [crash@K] — simulated power cut at operation K;
+    - [enospc@K] / [eio@K] — fail operation K with the corresponding
+      error;
+    - [short@K] — write only a seeded prefix at operation K, then
+      fail (the torn tail is repaired back to the record boundary
+      where the framing allows it);
+    - [transient@K] — operation K fails with an EINTR-class error
+      that succeeds on retry (exercises the backoff path);
+    - [seed=N] — seeds the torn-write prefix lengths and the retry
+      jitter.
+
+    Operations are numbered from 1 in execution order; with [jobs = 1]
+    a build's sequence is deterministic, which is what makes
+    "crash at the k-th operation" a meaningful sweep axis.
+
+    With no plan installed every entry point's injection check is a
+    single atomic load — the hot path costs nothing else. *)
+
+exception Crash
+(** Simulated power cut (see above).  Only a fault plan raises this. *)
+
+exception Corrupt_record of { path : string; offset : int; reason : string }
+(** A framed record failed its magic, length or CRC check. *)
+
+(** {2 Fault plans} *)
+
+val install_plan : string -> (unit, string) result
+(** Parse and install a plan spec (see above); replaces any current
+    plan and resets the operation counter.  [Error] describes the
+    first bad token. *)
+
+val clear_plan : unit -> unit
+(** Remove the plan; injection checks return to the single-load fast
+    path and the crashed state is reset. *)
+
+val plan_active : unit -> bool
+
+val op_count : unit -> int
+(** Operations performed under the current plan (0 with no plan).
+    Retries of one logical operation do not re-count. *)
+
+val injected : unit -> int
+(** Faults injected so far under the current plan. *)
+
+val retries : unit -> int
+(** Process-lifetime count of I/O retries (also ticked to the
+    [io/retries] Obs counter). *)
+
+(** {2 Whole files} *)
+
+val read_file : string -> string
+(** The file's entire contents.  [Sys_error] on any failure. *)
+
+val atomic_write : string -> string -> unit
+(** Write via [path ^ ".tmp"], fsync, rename — after a crash at any
+    point the target holds either the old bytes or the new bytes,
+    never a mixture.  Three injection sites: write, fsync, rename. *)
+
+val remove : string -> unit
+(** [Sys_error] when missing, like [Sys.remove]. *)
+
+val rename : string -> string -> unit
+(** [rename src dst], one injection site; [Sys_error] on failure.
+    {!atomic_write} covers the common whole-file case — this is for
+    owners that stream a replacement file themselves (compaction). *)
+
+val mkdirs : string -> unit
+(** Create the directory and its missing parents; existing
+    directories are fine. *)
+
+val truncate : string -> int -> unit
+
+(** {2 Framed record streams}
+
+    An append-only file of records, each framed as magic (4 bytes),
+    payload length (4 bytes LE), CRC-32 of the payload (4 bytes LE),
+    then the payload.  A torn append is structurally detectable
+    ({!valid_prefix}) and a corrupted payload is content-detectable
+    (the CRC), so a reader can always resynchronize: truncate at the
+    first structurally bad record, quarantine records whose CRC
+    fails. *)
+
+val frame_overhead : int
+(** Bytes of framing per record (12). *)
+
+val crc32 : string -> int32
+(** CRC-32 (IEEE 802.3) of a string; exposed for tests and for index
+    entries that want to remember a record's expected checksum. *)
+
+type appender
+(** An open append channel to a record stream.  Appends are flushed
+    per record; {!close_append} optionally fsyncs. *)
+
+val open_append : ?trunc:bool -> string -> appender
+(** Open (creating as needed) for appending; [trunc] starts the file
+    over.  The initial position is the current end of file. *)
+
+val append_pos : appender -> int
+(** Current end-of-file position (the offset the next record will
+    start at). *)
+
+val append_record : appender -> string -> int
+(** Append one framed record and flush; returns the record's start
+    offset (pass to {!read_record} with the payload's length).  On a
+    short write the file is repaired back to the record boundary
+    (best effort) before [Sys_error] is raised, so one failed append
+    does not poison the records after it. *)
+
+val close_append : ?fsync:bool -> appender -> unit
+(** Never raises except {!Crash}-inertly (a crashed plan makes it a
+    no-op). *)
+
+val read_record : ?expect_crc:int32 -> string -> offset:int -> length:int -> string
+(** Read and verify the record at [offset] whose payload is [length]
+    bytes.  Raises {!Corrupt_record} when the magic, stored length,
+    stored CRC, computed CRC or (when given) [expect_crc] disagree;
+    [Sys_error] on I/O failure. *)
+
+val read_span : string -> offset:int -> length:int -> string
+(** Best-effort raw read of up to [length] bytes at [offset] (short
+    when the file ends sooner); for quarantining damaged records.
+    [Sys_error] on I/O failure. *)
+
+val valid_prefix : string -> int * int
+(** [(valid_end, size)]: walk the record structure from offset 0 and
+    return the end of the last structurally whole record along with
+    the physical file size; [valid_end < size] means a torn tail that
+    the owner should {!truncate} away.  A missing file is [(0, 0)];
+    an unreadable one degrades to [(0, size_if_known)]. *)

@@ -1,0 +1,431 @@
+(* The fault-injected I/O layer: plan grammar, record framing,
+   atomic-write crash states, retry, and the consumers' graceful
+   degradation — including the property that any single corruption of
+   the cache store (index or payload, flip or truncation) still
+   yields a successful, byte-identical rebuild. *)
+
+module Fsio = Cmo_support.Fsio
+module Store = Cmo_cache.Store
+module Repository = Cmo_naim.Repository
+module Pipeline = Cmo_driver.Pipeline
+module Options = Cmo_driver.Options
+module Buildsys = Cmo_driver.Buildsys
+
+let rec remove_tree path =
+  match Sys.is_directory path with
+  | true ->
+    Array.iter
+      (fun entry -> remove_tree (Filename.concat path entry))
+      (Sys.readdir path);
+    Sys.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
+let with_dir f =
+  let dir = Filename.temp_file "cmo_fault" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Fsio.clear_plan ();
+      remove_tree dir)
+    (fun () -> f dir)
+
+let install spec =
+  match Fsio.install_plan spec with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "plan %S rejected: %s" spec m
+
+let contains_sub haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let rec is_crash = function
+  | Fsio.Crash -> true
+  | Fun.Finally_raised e -> is_crash e
+  | _ -> false
+
+let read_raw path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_raw path data =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc data)
+
+(* ---------- plan grammar ---------- *)
+
+let test_plan_parse () =
+  Fun.protect ~finally:Fsio.clear_plan @@ fun () ->
+  List.iter
+    (fun spec -> install spec)
+    [ "count"; "crash@1"; "enospc@5,seed=3"; "eio@2,short@7,transient@9";
+      " crash@4 , seed=12 " ];
+  List.iter
+    (fun spec ->
+      match Fsio.install_plan spec with
+      | Ok () -> Alcotest.failf "plan %S accepted" spec
+      | Error _ -> ())
+    [ ""; "bogus"; "crash@0"; "crash@x"; "flip@3"; "seed=x"; "crash=3" ]
+
+let test_counters_without_plan () =
+  Fsio.clear_plan ();
+  Alcotest.(check bool) "no plan" false (Fsio.plan_active ());
+  Alcotest.(check int) "no ops counted" 0 (Fsio.op_count ());
+  Alcotest.(check int) "no injections" 0 (Fsio.injected ())
+
+(* ---------- crc32 ---------- *)
+
+let test_crc32_vector () =
+  (* The IEEE 802.3 check value. *)
+  Alcotest.(check int32) "123456789" 0xCBF43926l (Fsio.crc32 "123456789");
+  Alcotest.(check int32) "empty" 0l (Fsio.crc32 "")
+
+(* ---------- whole files ---------- *)
+
+let test_atomic_write_roundtrip () =
+  with_dir @@ fun dir ->
+  let path = Filename.concat dir "f" in
+  Fsio.atomic_write path "one";
+  Alcotest.(check string) "written" "one" (Fsio.read_file path);
+  Fsio.atomic_write path "two";
+  Alcotest.(check string) "replaced" "two" (Fsio.read_file path)
+
+let test_atomic_write_crash_states () =
+  (* atomic_write is three operations (write, fsync, rename); a crash
+     at any of them leaves the previous contents intact. *)
+  with_dir @@ fun dir ->
+  let path = Filename.concat dir "f" in
+  Fsio.atomic_write path "old-bytes";
+  for k = 1 to 3 do
+    install (Printf.sprintf "crash@%d,seed=%d" k k);
+    (match Fsio.atomic_write path "NEW-BYTES!" with
+    | () -> Alcotest.failf "crash@%d did not fire" k
+    | exception e when is_crash e -> ());
+    Fsio.clear_plan ();
+    Alcotest.(check string)
+      (Printf.sprintf "target intact after crash@%d" k)
+      "old-bytes" (read_raw path)
+  done
+
+let test_injected_errors_look_real () =
+  with_dir @@ fun dir ->
+  let path = Filename.concat dir "f" in
+  Fsio.atomic_write path "data";
+  install "eio@1";
+  (match Fsio.read_file path with
+  | _ -> Alcotest.fail "eio@1 did not fire"
+  | exception Sys_error m ->
+    Alcotest.(check bool) "message names the injection" true
+      (contains_sub m "injected eio"));
+  Alcotest.(check int) "one injection" 1 (Fsio.injected ())
+
+(* ---------- record framing ---------- *)
+
+let test_record_roundtrip_and_torn_tail () =
+  with_dir @@ fun dir ->
+  let path = Filename.concat dir "log" in
+  let a = Fsio.open_append path in
+  let payloads = [ "alpha"; ""; String.make 300 'q' ] in
+  let offsets = List.map (fun p -> (Fsio.append_record a p, p)) payloads in
+  Fsio.close_append ~fsync:true a;
+  List.iter
+    (fun (off, p) ->
+      Alcotest.(check string) "roundtrip" p
+        (Fsio.read_record path ~offset:off ~length:(String.length p)))
+    offsets;
+  let whole = read_raw path in
+  Alcotest.(check (pair int int)) "structurally whole"
+    (String.length whole, String.length whole)
+    (Fsio.valid_prefix path);
+  (* A torn append: half a header at the end of the file. *)
+  write_raw path (whole ^ "CMR1\x99");
+  let valid_end, size = Fsio.valid_prefix path in
+  Alcotest.(check int) "torn tail detected" (String.length whole) valid_end;
+  Alcotest.(check int) "physical size seen" (String.length whole + 5) size;
+  Fsio.truncate path valid_end;
+  Alcotest.(check (pair int int)) "repaired"
+    (valid_end, valid_end) (Fsio.valid_prefix path)
+
+let test_record_corruption_detected () =
+  with_dir @@ fun dir ->
+  let path = Filename.concat dir "log" in
+  let a = Fsio.open_append path in
+  let off = Fsio.append_record a "payload-bytes" in
+  Fsio.close_append a;
+  let raw = read_raw path in
+  let flipped = Bytes.of_string raw in
+  let pos = Fsio.frame_overhead + 3 in
+  Bytes.set flipped pos (Char.chr (Char.code (Bytes.get flipped pos) lxor 0x40));
+  write_raw path (Bytes.to_string flipped);
+  match Fsio.read_record path ~offset:off ~length:(String.length "payload-bytes") with
+  | _ -> Alcotest.fail "corrupt record read back"
+  | exception Fsio.Corrupt_record { reason; _ } ->
+    Alcotest.(check string) "crc failure" "crc mismatch" reason
+
+let test_short_write_repair () =
+  (* Operation 1 is the open; the short write hits the append.  The
+     file must be repaired to the record boundary so the next append
+     is readable. *)
+  with_dir @@ fun dir ->
+  let path = Filename.concat dir "log" in
+  install "short@2,seed=11";
+  let a = Fsio.open_append path in
+  (match Fsio.append_record a (String.make 100 'x') with
+  | _ -> Alcotest.fail "short@2 did not fire"
+  | exception Sys_error _ -> ());
+  let off = Fsio.append_record a "after-the-fault" in
+  Fsio.close_append a;
+  Fsio.clear_plan ();
+  Alcotest.(check string) "append after repair readable" "after-the-fault"
+    (Fsio.read_record path ~offset:off ~length:(String.length "after-the-fault"));
+  let valid_end, size = Fsio.valid_prefix path in
+  Alcotest.(check int) "no torn bytes left behind" size valid_end
+
+let test_transient_retry () =
+  with_dir @@ fun dir ->
+  let path = Filename.concat dir "log" in
+  let before = Fsio.retries () in
+  install "transient@2,seed=5";
+  let a = Fsio.open_append path in
+  let off = Fsio.append_record a "eventually" in
+  Fsio.close_append a;
+  Fsio.clear_plan ();
+  Alcotest.(check string) "append succeeded through retries" "eventually"
+    (Fsio.read_record path ~offset:off ~length:(String.length "eventually"));
+  Alcotest.(check int) "two retries burned" (before + 2) (Fsio.retries ())
+
+(* ---------- repository framing ---------- *)
+
+let test_repository_detects_corruption () =
+  let path = Filename.temp_file "cmo_fault_repo" ".bin" in
+  let r = Repository.create ~path in
+  Fun.protect
+    ~finally:(fun () ->
+      Repository.close r;
+      if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let h = Repository.store r "pool-bytes" in
+      Alcotest.(check string) "clean fetch" "pool-bytes" (Repository.fetch r h);
+      let raw = read_raw path in
+      let flipped = Bytes.of_string raw in
+      let pos = Fsio.frame_overhead + 1 in
+      Bytes.set flipped pos
+        (Char.chr (Char.code (Bytes.get flipped pos) lxor 0x01));
+      write_raw path (Bytes.to_string flipped);
+      match Repository.fetch r h with
+      | _ -> Alcotest.fail "corrupt pool fetched"
+      | exception Fsio.Corrupt_record _ -> ())
+
+(* ---------- store degradation ---------- *)
+
+let test_store_quarantines_corrupt_record () =
+  with_dir @@ fun dir ->
+  let store = Store.open_ ~dir () in
+  Store.add store "key" "precious-artifact";
+  Store.close store;
+  let path = Filename.concat dir "payload" in
+  let raw = read_raw path in
+  let flipped = Bytes.of_string raw in
+  let pos = Fsio.frame_overhead + 4 in
+  Bytes.set flipped pos (Char.chr (Char.code (Bytes.get flipped pos) lxor 0x10));
+  write_raw path (Bytes.to_string flipped);
+  let store = Store.open_ ~dir () in
+  Fun.protect
+    ~finally:(fun () -> Store.close store)
+    (fun () ->
+      Alcotest.(check (option string)) "corrupt record is a miss" None
+        (Store.find store "key");
+      let qdir = Filename.concat dir "quarantine" in
+      Alcotest.(check bool) "quarantine directory created" true
+        (Sys.file_exists qdir && Sys.is_directory qdir);
+      Alcotest.(check bool) "damaged bytes preserved" true
+        (Array.length (Sys.readdir qdir) > 0);
+      (* The store stays usable. *)
+      Store.add store "key" "recomputed";
+      Alcotest.(check (option string)) "recomputed artifact cached"
+        (Some "recomputed") (Store.find store "key"))
+
+let test_store_add_degrades_on_fault () =
+  with_dir @@ fun dir ->
+  let store = Store.open_ ~dir () in
+  Fun.protect ~finally:(fun () -> Fsio.clear_plan (); Store.close store)
+  @@ fun () ->
+  Store.add store "good" "kept-bytes";
+  (* Fault the next payload append (op 1 under this fresh plan). *)
+  install "enospc@1";
+  Store.add store "doomed" "lost-bytes";
+  Fsio.clear_plan ();
+  Alcotest.(check (option string)) "faulted add degraded to absence" None
+    (Store.find store "doomed");
+  Alcotest.(check (option string)) "earlier artifact unharmed"
+    (Some "kept-bytes") (Store.find store "good");
+  Store.add store "doomed" "second-try";
+  Alcotest.(check (option string)) "store usable after the fault"
+    (Some "second-try") (Store.find store "doomed")
+
+(* ---------- whole-build degradation ---------- *)
+
+let mini_sources : Pipeline.source list =
+  [
+    { Pipeline.name = "fm_main";
+      text =
+        {|
+        func main() {
+          var n = 12;
+          var s = 0;
+          var i = 0;
+          while (i < n) { s = s + mix(i, s); i = i + 1; }
+          print(s);
+          return s & 255;
+        }
+        |} };
+    { Pipeline.name = "fm_lib";
+      text =
+        {|
+        static func twist(v) { return v * 3 + 1; }
+        func mix(x, seed) { return (seed / 3) + twist(x); }
+        |} };
+  ]
+
+(* Operation numbering, and therefore the sweep, is only meaningful
+   single-threaded; CI runs the suite at CMO_JOBS=4 as well, so pin
+   jobs here. *)
+let o4_serial = { Options.o4 with Options.jobs = 1 }
+
+let build_in dir =
+  Buildsys.build (Buildsys.create ~dir ()) o4_serial mini_sources
+
+let same_build (a : Buildsys.outcome) (b : Buildsys.outcome) =
+  let a = a.Buildsys.build and b = b.Buildsys.build in
+  a.Pipeline.image.Cmo_link.Image.code = b.Pipeline.image.Cmo_link.Image.code
+  && a.Pipeline.image.Cmo_link.Image.funcs
+       = b.Pipeline.image.Cmo_link.Image.funcs
+  && a.Pipeline.objects = b.Pipeline.objects
+
+let test_injection_off_is_pure () =
+  (* A counting plan must observe without perturbing: same image,
+     same store bytes as a plain build. *)
+  with_dir @@ fun dir ->
+  let plain_dir = Filename.concat dir "plain" in
+  let counted_dir = Filename.concat dir "counted" in
+  Sys.mkdir plain_dir 0o755;
+  Sys.mkdir counted_dir 0o755;
+  let plain = build_in plain_dir in
+  install "count";
+  let counted = build_in counted_dir in
+  let n = Fsio.op_count () in
+  Fsio.clear_plan ();
+  Alcotest.(check bool) "identical build" true (same_build plain counted);
+  Alcotest.(check bool) "operations counted" true (n > 0);
+  List.iter
+    (fun file ->
+      Alcotest.(check string)
+        (file ^ " bytes identical")
+        (read_raw (Filename.concat (Filename.concat plain_dir ".cmo-cache") file))
+        (read_raw
+           (Filename.concat (Filename.concat counted_dir ".cmo-cache") file)))
+    [ "index"; "payload" ]
+
+let test_crash_sweep_recovers () =
+  (* The exhaustive sweep: for every operation of a cold build, crash
+     there, then require the recovery build to match the oracle.
+     (bench fault-sweep runs the same loop over a larger program.) *)
+  with_dir @@ fun dir ->
+  let fresh () =
+    remove_tree dir;
+    Sys.mkdir dir 0o755
+  in
+  let oracle = build_in dir in
+  fresh ();
+  install "count";
+  ignore (build_in dir);
+  let n = Fsio.op_count () in
+  Fsio.clear_plan ();
+  Alcotest.(check bool) "sites found" true (n > 0);
+  for k = 1 to n do
+    fresh ();
+    install (Printf.sprintf "crash@%d,seed=%d" k k);
+    (match build_in dir with
+    | _ -> Alcotest.failf "crash@%d never fired" k
+    | exception e when is_crash e -> ());
+    Fsio.clear_plan ();
+    match build_in dir with
+    | recovered ->
+      if not (same_build oracle recovered) then
+        Alcotest.failf "crash@%d: recovery diverged" k
+    | exception e ->
+      Alcotest.failf "crash@%d: recovery failed: %s" k (Printexc.to_string e)
+  done
+
+let test_trace_export_degrades () =
+  let options =
+    { o4_serial with Options.trace = Some "/nonexistent-dir/trace.json" }
+  in
+  let build = Pipeline.compile options mini_sources in
+  Alcotest.(check bool) "build survived unwritable trace path" true
+    (Array.length build.Pipeline.image.Cmo_link.Image.code > 0)
+
+(* ---------- the corruption property ---------- *)
+
+(* Any single corruption — a byte flip or a truncation, anywhere in
+   the index or the payload — must leave the next build successful
+   and byte-identical to the oracle. *)
+let corruption_arbitrary =
+  QCheck.make
+    ~print:(fun (in_index, truncate_it, where, bits) ->
+      Printf.sprintf "{file=%s; kind=%s; where=%f; bits=%x}"
+        (if in_index then "index" else "payload")
+        (if truncate_it then "truncate" else "flip")
+        where bits)
+    QCheck.Gen.(
+      quad bool bool (float_bound_inclusive 1.0) (int_range 1 255))
+
+let test_corruption_rebuild =
+  QCheck.Test.make ~name:"any index/payload corruption rebuilds identically"
+    ~count:60 corruption_arbitrary
+    (fun (in_index, truncate_it, where, bits) ->
+      with_dir @@ fun dir ->
+      let oracle = build_in dir in
+      let cache = Filename.concat dir ".cmo-cache" in
+      let victim = Filename.concat cache (if in_index then "index" else "payload") in
+      let raw = read_raw victim in
+      let size = String.length raw in
+      QCheck.assume (size > 0);
+      let pos = min (size - 1) (int_of_float (where *. float_of_int size)) in
+      if truncate_it then Unix.truncate victim pos
+      else begin
+        let b = Bytes.of_string raw in
+        Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor bits));
+        write_raw victim (Bytes.to_string b)
+      end;
+      match build_in dir with
+      | rebuilt -> same_build oracle rebuilt
+      | exception e ->
+        QCheck.Test.fail_reportf "rebuild failed: %s" (Printexc.to_string e))
+
+let suite =
+  [
+    ("plan grammar", `Quick, test_plan_parse);
+    ("counters without a plan", `Quick, test_counters_without_plan);
+    ("crc32 check value", `Quick, test_crc32_vector);
+    ("atomic write roundtrip", `Quick, test_atomic_write_roundtrip);
+    ("atomic write crash states", `Quick, test_atomic_write_crash_states);
+    ("injected errors look real", `Quick, test_injected_errors_look_real);
+    ("record roundtrip and torn tail", `Quick, test_record_roundtrip_and_torn_tail);
+    ("record corruption detected", `Quick, test_record_corruption_detected);
+    ("short write repaired", `Quick, test_short_write_repair);
+    ("transient errors retried", `Quick, test_transient_retry);
+    ("repository detects corruption", `Quick, test_repository_detects_corruption);
+    ("store quarantines corrupt record", `Quick, test_store_quarantines_corrupt_record);
+    ("store add degrades on fault", `Quick, test_store_add_degrades_on_fault);
+    ("counting plan is pure", `Quick, test_injection_off_is_pure);
+    ("crash sweep recovers", `Slow, test_crash_sweep_recovers);
+    ("trace export degrades", `Quick, test_trace_export_degrades);
+    Helpers.to_alcotest test_corruption_rebuild;
+  ]

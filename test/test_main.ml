@@ -18,4 +18,5 @@ let () =
       ("corpus", Test_corpus.suite);
       ("fuzz", Test_fuzz.suite);
       ("misc", Test_misc.suite);
+      ("fault", Test_fault.suite);
     ]

@@ -495,14 +495,14 @@ let test_store_truncated_payload_recovery () =
       Store.add store "early" "first-bytes";
       Store.add store "late" (String.make 64 'z');
       Store.close store;
-      (* A crash between the payload write and fsync: the tail of the
-         payload is gone but the index still names it.  On reopen the
-         stale entry degrades to a miss and the store keeps going. *)
-      let oc = open_out_gen [ Open_wronly; Open_trunc ] 0o644
-          (Filename.concat dir "payload")
+      (* A crash between the payload append and fsync: the second
+         record is torn mid-frame but the index still names it.  On
+         reopen the torn tail is truncated away, the stale entry
+         degrades to a miss and the store keeps going. *)
+      let first_record =
+        Cmo_support.Fsio.frame_overhead + String.length "first-bytes"
       in
-      output_string oc "first-bytes";
-      close_out oc;
+      Unix.truncate (Filename.concat dir "payload") (first_record + 7);
       let store = Store.open_ ~dir () in
       Fun.protect
         ~finally:(fun () -> Store.close store)
