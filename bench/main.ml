@@ -7,7 +7,8 @@
      dune exec bench/main.exe -- fig1    -- one experiment
    Experiments: fig1 fig4 fig5 fig6 bytes-per-line ablation stale micro
    incremental incremental-smoke parallel parallel-smoke fuzz-smoke
-   check-overhead trace-smoke fault-sweep fault-sweep-smoke *)
+   check-overhead trace-smoke fault-sweep fault-sweep-smoke storm
+   storm-smoke *)
 
 module Genprog = Cmo_workload.Genprog
 module Suite = Cmo_workload.Suite
@@ -1084,6 +1085,201 @@ let fault_sweep_over label sources =
 let fault_sweep () = fault_sweep_over "li" (sources_of (Suite.find "li"))
 let fault_sweep_smoke () = fault_sweep_over "mini" fault_mini_sources
 
+(* ------------------------------------------------------------------ *)
+(* The IDE edit storm: an in-process cmocd serving concurrent clients
+   that replay an editing session (Genprog.storm) as overlapping build
+   requests.  The harness holds every reply to a one-shot oracle build
+   of the same tree state (byte-identity over the encoded objects),
+   requires the warm-cache hit rate to rise as the storm revisits
+   states, and ends with a chaos request: a per-request crash plan
+   must kill that request only — the daemon keeps serving and the
+   retry is byte-identical. *)
+(* ------------------------------------------------------------------ *)
+
+let storm_for ~label ~clients ~per_client ~steps =
+  let module Server = Cmo_server.Server in
+  let module Client = Cmo_server.Client in
+  let module Proto = Cmo_server.Proto in
+  let module Json = Cmo_obs.Json in
+  let module Objfile = Cmo_link.Objfile in
+  header
+    (Printf.sprintf "IDE edit storm (%s): %d clients x %d requests, %d states"
+       label clients per_client (steps + 1));
+  let cfg = Suite.storm in
+  let states = Genprog.storm cfg ~steps ~seed:11 in
+  let to_sources listing =
+    List.map (fun (name, text) -> { Pipeline.name; text }) listing
+  in
+  (* One-shot oracle: a cold, cacheless compile of every tree state.
+     The daemon must reproduce these bytes from warm state. *)
+  let oracle_options = { Options.o4 with Options.jobs = 1 } in
+  let oracle =
+    Array.map
+      (fun listing ->
+        List.map Objfile.encode
+          (Pipeline.compile oracle_options (to_sources listing)).Pipeline.objects)
+      states
+  in
+  Printf.printf "%d modules, ~%d lines per state; oracle built all states\n%!"
+    (cfg.Genprog.modules + 1)
+    (Genprog.source_lines states.(0));
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) ("cmo-bench-storm-" ^ label)
+  in
+  remove_tree dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> remove_tree dir) @@ fun () ->
+  let config =
+    {
+      Server.socket = Filename.concat dir "cmocd.sock";
+      builders = 2;
+      queue_max = 64;
+      state_dir = Filename.concat dir "state";
+      cache_capacity = None;
+      trace = Some (Filename.concat dir "trace.json");
+    }
+  in
+  let server = Server.start config in
+  let failures = ref 0 in
+  let fail fmt =
+    incr failures;
+    Printf.eprintf fmt
+  in
+  let total = clients * per_client in
+  let results = Array.make total None in
+  let request ?fault ~tag idx =
+    {
+      Proto.tag;
+      level = Options.O4;
+      pbo = false;
+      jobs = 1;
+      check = false;
+      fault;
+      sources = to_sources states.(idx);
+    }
+  in
+  (* Each client walks the state sequence from its own offset; with
+     per_client > steps + 1 the tail rounds revisit states, which is
+     where the warm store should already hold everything. *)
+  let client_thread c =
+    try
+      Client.with_connect ~socket:config.Server.socket @@ fun conn ->
+      for k = 0 to per_client - 1 do
+        let idx = (c + k) mod (steps + 1) in
+        let tag = Printf.sprintf "c%d-r%d" c k in
+        let resp = Client.build conn (request ~tag idx) in
+        results.((c * per_client) + k) <- Some (idx, resp)
+      done
+    with e ->
+      fail "storm: client %d died: %s\n" c (Printexc.to_string e)
+  in
+  let threads = List.init clients (fun c -> Thread.create client_thread c) in
+  List.iter Thread.join threads;
+  (* Every reply must be Built and byte-identical to the oracle. *)
+  let json_int path j =
+    let rec walk j = function
+      | [] -> Option.map int_of_float (Json.num j)
+      | f :: rest -> Option.bind (Json.member f j) (fun j -> walk j rest)
+    in
+    walk j path
+  in
+  let report_cache = Array.make total (0, 0) in
+  let report_obs = Array.make total None in
+  Array.iteri
+    (fun i -> function
+      | None -> fail "storm: request %d has no reply\n" i
+      | Some (idx, Proto.Built { objects; report; _ }) ->
+        if objects <> oracle.(idx) then
+          fail "storm: request %d diverged from the one-shot build of state %d\n"
+            i idx;
+        (match Json.parse report with
+        | Error e -> fail "storm: request %d report is not JSON: %s\n" i e
+        | Ok j ->
+          let n path = Option.value ~default:0 (json_int path j) in
+          report_cache.(i) <- (n [ "cache"; "hits" ], n [ "cache"; "misses" ]);
+          (* The daemon owns the trace sink, so per-request reports
+             carry the store's *cumulative* counters.  A counter that
+             has never ticked (e.g. no hit yet, storm-opening miss
+             burst) is absent, which reads as zero. *)
+          (match json_int [ "trace"; "events" ] j with
+          | None -> fail "storm: request %d report lacks a trace summary\n" i
+          | Some _ ->
+            let c name =
+              Option.value ~default:0
+                (json_int [ "trace"; "counters"; "cache.store/" ^ name ] j)
+            in
+            report_obs.(i) <- Some (c "hits", c "misses")))
+      | Some (_, Proto.Rejected { tag; reason }) ->
+        fail "storm: request %s rejected: %s\n" tag reason
+      | Some (_, Proto.Failed { tag; reason }) ->
+        fail "storm: request %s failed: %s\n" tag reason
+      | Some (_, _) -> fail "storm: request %d got a non-build reply\n" i)
+    results;
+  (* Warm-cache hit rate must rise across the storm: aggregate the
+     per-request (race-free) cache counts over the first and last
+     third of each client's request sequence. *)
+  let rate lo hi =
+    let h = ref 0 and m = ref 0 in
+    for c = 0 to clients - 1 do
+      for k = lo to hi - 1 do
+        let hits, misses = report_cache.((c * per_client) + k) in
+        h := !h + hits;
+        m := !m + misses
+      done
+    done;
+    (100.0 *. float_of_int !h /. float_of_int (max 1 (!h + !m)), !h, !m)
+  in
+  let early, eh, em = rate 0 (per_client / 3) in
+  let late, lh, lm = rate (2 * per_client / 3) per_client in
+  Printf.printf
+    "module-cache hit rate: first third %.1f%% (%d/%d), last third %.1f%% (%d/%d)\n"
+    early eh (eh + em) late lh (lh + lm);
+  if late <= early then
+    fail "storm: warm-cache hit rate did not rise (%.1f%% -> %.1f%%)\n" early
+      late;
+  (* The same rise is visible in the daemon-lifetime obs counters the
+     reports carry: compare the earliest and latest snapshots. *)
+  (match (report_obs.(0), report_obs.(total - 1)) with
+  | Some (h0, m0), Some (h1, m1) ->
+    let r h m = 100.0 *. float_of_int h /. float_of_int (max 1 (h + m)) in
+    Printf.printf
+      "obs cache.store counters: early %d hits/%d misses (%.1f%%), late %d/%d (%.1f%%)\n"
+      h0 m0 (r h0 m0) h1 m1 (r h1 m1);
+    if h1 < h0 || m1 < m0 then
+      fail "storm: obs counters went backwards\n"
+  | _ -> ());
+  (* Chaos: a per-request crash plan kills that request only. *)
+  Client.with_connect ~socket:config.Server.socket (fun conn ->
+      let idx = steps in
+      (match Client.build conn (request ~fault:"crash@2,seed=7" ~tag:"chaos" idx)
+       with
+      | Proto.Failed { reason; _ } ->
+        Printf.printf "chaos: injected crash killed the request (%s)\n" reason
+      | Proto.Built _ -> fail "storm: chaos crash plan never fired\n"
+      | _ -> fail "storm: chaos request got an unexpected reply\n");
+      (match Client.build conn (request ~tag:"chaos-retry" idx) with
+      | Proto.Built { objects; _ } ->
+        if objects = oracle.(idx) then
+          Printf.printf "chaos: daemon kept serving; retry byte-identical\n"
+        else fail "storm: post-crash retry diverged\n"
+      | _ -> fail "storm: post-crash retry did not build\n");
+      let st = Client.stats conn in
+      Printf.printf
+        "daemon stats: %d accepted, %d completed, %d failed, %d rejected\n"
+        st.Proto.accepted st.Proto.completed st.Proto.failed st.Proto.rejected;
+      Client.shutdown_server conn);
+  Server.wait server;
+  if Sys.file_exists config.Server.socket then
+    fail "storm: socket file left behind after shutdown\n";
+  Printf.printf "shutdown clean: socket removed, %d requests verified\n%!" total;
+  if !failures > 0 then begin
+    Printf.eprintf "storm: %d failure(s)\n" !failures;
+    exit 1
+  end
+
+let storm () = storm_for ~label:"full" ~clients:6 ~per_client:36 ~steps:17
+let storm_smoke () = storm_for ~label:"smoke" ~clients:3 ~per_client:12 ~steps:8
+
 let all = [ "fig1", fig1; "fig4", fig4; "fig5", fig5; "fig6", fig6;
             "bytes-per-line", bytes_per_line; "ablation", ablation;
             "stale", stale; "micro", micro; "incremental", incremental;
@@ -1091,7 +1287,8 @@ let all = [ "fig1", fig1; "fig4", fig4; "fig5", fig5; "fig6", fig6;
             "parallel", parallel; "parallel-smoke", parallel_smoke;
             "fuzz-smoke", fuzz_smoke; "check-overhead", check_overhead;
             "trace-smoke", trace_smoke;
-            "fault-sweep", fault_sweep; "fault-sweep-smoke", fault_sweep_smoke ]
+            "fault-sweep", fault_sweep; "fault-sweep-smoke", fault_sweep_smoke;
+            "storm", storm; "storm-smoke", storm_smoke ]
 
 let () =
   let requested =

@@ -18,6 +18,9 @@ module Vm = Cmo_vm.Vm
 module Genprog = Cmo_workload.Genprog
 module Suite = Cmo_workload.Suite
 module Fsio = Cmo_support.Fsio
+module Json = Cmo_obs.Json
+module Proto = Cmo_server.Proto
+module Client = Cmo_server.Client
 open Cmdliner
 
 let read_file path =
@@ -164,6 +167,75 @@ let setup_logs level =
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level level
 
+let report_json_arg =
+  Arg.(value & opt (some string) None & info [ "report-json" ] ~docv:"FILE"
+         ~doc:"Write the machine-readable compilation report (every \
+               numeric report field plus derived aggregates) to FILE as \
+               JSON.")
+
+let write_report_json file json_string =
+  Option.iter (fun f -> Fsio.atomic_write f json_string) file
+
+(* ---- remote mode (the cmocd client) ---- *)
+
+let remote_flag =
+  Arg.(value & flag & info [ "remote" ]
+         ~doc:"Send the build to a running $(b,cmocd) instead of \
+               compiling in-process; the daemon's warm cache serves \
+               unchanged modules.  The socket comes from --socket or \
+               \\$CMO_SOCKET.  Artifacts are byte-identical to a local \
+               build.")
+
+let socket_arg =
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+         ~doc:"The $(b,cmocd) Unix-domain socket (with --remote).  \
+               Defaults to \\$CMO_SOCKET.")
+
+let resolve_socket = function
+  | Some s -> s
+  | None -> (
+    match Options.env.Options.env_socket with
+    | Some s -> s
+    | None ->
+      raise
+        (Pipeline.Compile_error "--remote needs --socket or $CMO_SOCKET"))
+
+(* One build over the wire: returns the relinked image (deterministic
+   from the returned object bytes) and the server's report JSON.  A
+   fault plan given with --fault-plan travels inside the request and
+   applies on the server, to this request only. *)
+let remote_compile ~socket ~(options : Options.t) ~fault sources =
+  let req =
+    {
+      Proto.tag = Printf.sprintf "cmoc-%d" (Unix.getpid ());
+      level = options.Options.level;
+      pbo = options.Options.pbo;
+      jobs = options.Options.jobs;
+      check = options.Options.check;
+      fault;
+      sources;
+    }
+  in
+  let fail fmt = Printf.ksprintf (fun m -> raise (Pipeline.Compile_error m)) fmt in
+  match Client.with_connect ~socket (fun c -> Client.build c req) with
+  | exception Unix.Unix_error (e, _, _) ->
+    fail "cannot reach cmocd at %s: %s" socket (Unix.error_message e)
+  | exception Client.Protocol_error m -> fail "cmocd protocol error: %s" m
+  | Proto.Rejected { reason; _ } -> fail "cmocd rejected the build: %s" reason
+  | Proto.Failed { reason; _ } -> fail "cmocd build failed: %s" reason
+  | Proto.Pong | Proto.Stats_reply _ | Proto.Shutting_down ->
+    fail "cmocd protocol error: unexpected reply"
+  | Proto.Built { objects; report; _ } -> (
+    let objects = List.map Cmo_link.Objfile.decode objects in
+    match Cmo_link.Linker.link objects with
+    | Ok image -> (image, report)
+    | Error errs ->
+      fail "%s"
+        (Format.asprintf "@[<v>link of remote objects failed:@,%a@]"
+           (Format.pp_print_list ~pp_sep:Format.pp_print_cut
+              Cmo_link.Linker.pp_error)
+           errs))
+
 (* ---- compile ---- *)
 
 let compile_cmd =
@@ -180,39 +252,63 @@ let compile_cmd =
     Arg.(value & flag & info [ "hot-report" ]
            ~doc:"With --run: print the routines the cycles went to, hottest first.")
   in
-  let action paths level pbo profile selectivity machine_mb jobs check trace fault log input run_it verbose map_it hot_report =
+  let print_outcome ~hot_report (outcome : Vm.outcome) =
+    List.iter (Printf.printf "%Ld\n") outcome.Vm.output;
+    Printf.printf "exit: %Ld  (%d cycles, %d instructions, %d calls, %d icache misses)\n"
+      outcome.Vm.ret outcome.Vm.cycles outcome.Vm.instructions
+      outcome.Vm.calls outcome.Vm.icache_misses;
+    if hot_report then begin
+      Printf.printf "\nflat profile (top 15 routines by cycles):\n";
+      List.iteri
+        (fun i (name, cyc) ->
+          if i < 15 then
+            Printf.printf "  %6.2f%%  %10d  %s\n"
+              (100.0 *. float_of_int cyc /. float_of_int outcome.Vm.cycles)
+              cyc name)
+        outcome.Vm.func_cycles
+    end
+  in
+  let action paths level pbo profile selectivity machine_mb jobs check trace fault log input run_it verbose map_it hot_report remote socket report_json =
     try
       setup_logs log;
-      install_fault_plan fault;
       let sources = List.map source_of_path paths in
       let options = make_options level pbo selectivity machine_mb jobs check trace in
-      let build = Pipeline.compile ?profile:(load_profile profile) options sources in
-      if verbose then
-        Format.printf "%a@." Pipeline.pp_report build.Pipeline.report;
-      if map_it then
-        Format.printf "%a@." Cmo_link.Image.pp_map build.Pipeline.image;
-      if run_it then begin
-        let outcome =
-          Pipeline.run ~input:(parse_input input) ~attribute:hot_report build
-        in
-        List.iter (Printf.printf "%Ld\n") outcome.Vm.output;
-        Printf.printf "exit: %Ld  (%d cycles, %d instructions, %d calls, %d icache misses)\n"
-          outcome.Vm.ret outcome.Vm.cycles outcome.Vm.instructions
-          outcome.Vm.calls outcome.Vm.icache_misses;
-        if hot_report then begin
-          Printf.printf "\nflat profile (top 15 routines by cycles):\n";
-          List.iteri
-            (fun i (name, cyc) ->
-              if i < 15 then
-                Printf.printf "  %6.2f%%  %10d  %s\n"
-                  (100.0 *. float_of_int cyc /. float_of_int outcome.Vm.cycles)
-                  cyc name)
-            outcome.Vm.func_cycles
-        end
+      (* The flag wins over $CMO_FAULT, like the local path. *)
+      let fault =
+        match fault with
+        | Some _ -> fault
+        | None -> Options.env.Options.env_fault
+      in
+      if remote then begin
+        let socket = resolve_socket socket in
+        let image, report = remote_compile ~socket ~options ~fault sources in
+        write_report_json report_json report;
+        if verbose then print_endline report;
+        if map_it then Format.printf "%a@." Cmo_link.Image.pp_map image;
+        if run_it then
+          print_outcome ~hot_report
+            (Vm.run ~input:(parse_input input) ~attribute:hot_report image)
+        else
+          Printf.printf "linked %d instructions\n"
+            (Array.length image.Cmo_link.Image.code)
       end
-      else Printf.printf "linked %d instructions\n"
-             (Array.length build.Pipeline.image.Cmo_link.Image.code);
-      report_fault_plan ();
+      else begin
+        install_fault_plan fault;
+        let build = Pipeline.compile ?profile:(load_profile profile) options sources in
+        write_report_json report_json
+          (Json.to_string (Pipeline.report_to_json build.Pipeline.report));
+        if verbose then
+          Format.printf "%a@." Pipeline.pp_report build.Pipeline.report;
+        if map_it then
+          Format.printf "%a@." Cmo_link.Image.pp_map build.Pipeline.image;
+        if run_it then
+          print_outcome ~hot_report
+            (Pipeline.run ~input:(parse_input input) ~attribute:hot_report build)
+        else
+          Printf.printf "linked %d instructions\n"
+            (Array.length build.Pipeline.image.Cmo_link.Image.code);
+        report_fault_plan ()
+      end;
       `Ok ()
     with
     | Pipeline.Compile_error msg -> `Error (false, msg)
@@ -221,12 +317,13 @@ let compile_cmd =
       report_fault_plan ();
       `Error (false, "simulated crash (fault plan): build aborted")
   in
-  let doc = "Compile (and optionally run) MiniC modules." in
+  let doc = "Compile (and optionally run) MiniC modules, locally or via cmocd." in
   Cmd.v (Cmd.info "compile" ~doc)
     Term.(ret (const action $ sources_arg $ level_arg $ pbo_arg $ profile_arg
                $ selectivity_arg $ machine_memory_arg $ jobs_arg $ check_arg
                $ trace_arg $ fault_plan_arg $ log_arg $ input_arg $ run_flag
-               $ verbose $ map_flag $ hot_flag))
+               $ verbose $ map_flag $ hot_flag $ remote_flag $ socket_arg
+               $ report_json_arg))
 
 (* ---- train ---- *)
 
@@ -541,7 +638,8 @@ let build_cmd =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the compilation report.")
   in
   let action paths level pbo profile selectivity machine_mb jobs check trace
-      fault log input dir no_cache cache_dir cache_capacity run_it verbose =
+      fault log input dir no_cache cache_dir cache_capacity run_it verbose
+      report_json =
     try
       setup_logs log;
       install_fault_plan fault;
@@ -553,8 +651,33 @@ let build_cmd =
           ~dir ()
       in
       let outcome =
-        Buildsys.build ?profile:(load_profile profile) ws options sources
+        (* ^C mid-build must not leave half-written [.tmp] artifacts
+           around the workspace: Break unwinds through the build's
+           finalizers (closing the store), then the sweep below picks
+           up whatever an interrupted atomic_write abandoned. *)
+        let previous =
+          Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> raise Sys.Break))
+        in
+        match Buildsys.build ?profile:(load_profile profile) ws options sources with
+        | outcome ->
+          Sys.set_signal Sys.sigint previous;
+          outcome
+        | exception Sys.Break ->
+          List.iter
+            (fun d ->
+              if Sys.file_exists d && Sys.is_directory d then
+                Array.iter
+                  (fun f ->
+                    if Filename.check_suffix f ".tmp" then
+                      try Sys.remove (Filename.concat d f) with Sys_error _ -> ())
+                  (Sys.readdir d))
+            [ dir; Buildsys.cache_dir ws ];
+          prerr_endline "cmoc: interrupted; temp artifacts cleaned";
+          exit 130
       in
+      write_report_json report_json
+        (Json.to_string
+           (Pipeline.report_to_json outcome.Buildsys.build.Pipeline.report));
       Printf.printf "frontend: %d recompiled, %d reused\n"
         (List.length outcome.Buildsys.recompiled)
         (List.length outcome.Buildsys.reused);
@@ -597,7 +720,7 @@ let build_cmd =
                $ selectivity_arg $ machine_memory_arg $ jobs_arg $ check_arg
                $ trace_arg $ fault_plan_arg $ log_arg $ input_arg $ dir_arg
                $ no_cache_flag $ cache_dir_arg $ cache_capacity_arg $ run_flag
-               $ verbose))
+               $ verbose $ report_json_arg))
 
 (* ---- cache ---- *)
 
@@ -656,7 +779,9 @@ let bench_info_cmd =
         Printf.printf "%-10s %8d %6d %5d%% %7d\n" name cfg.Genprog.modules
           cfg.Genprog.hot_modules cfg.Genprog.hot_weight
           (Genprog.source_lines (Genprog.generate cfg)))
-      Suite.all;
+      (Suite.all @ [ ("storm", Suite.storm) ]);
+    Printf.printf
+      "(storm is the build-server load personality; not part of the figure suite)\n";
     `Ok ()
   in
   let doc = "List the benchmark personalities." in

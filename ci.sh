@@ -15,8 +15,14 @@
 # build must be byte-identical to a never-faulted oracle, and every
 # non-crash fault kind must degrade gracefully).  The fault test
 # suite also reruns alone at a fixed fuzz seed so the corruption
-# property is reproducible in CI logs.  Run from the repository
-# root.
+# property is reproducible in CI logs.  Finally the build server is
+# exercised twice: the in-process edit-storm smoke (concurrent
+# clients held byte-identical to one-shot builds, warm-cache hit
+# rate rising, per-request crash isolation), and a process-level
+# cmocd smoke — daemon start, concurrent cmoc --remote builds at j=1
+# and j=4 compared against a local one-shot, one $CMO_FAULT chaos
+# request that must fail alone, and a SIGTERM shutdown that must
+# remove the socket.  Run from the repository root.
 set -eu
 
 echo "== dune build =="
@@ -45,5 +51,64 @@ dune exec bench/main.exe -- fault-sweep-smoke
 
 echo "== fault suite (fixed seed) =="
 CMO_JOBS=1 CMO_FUZZ_SEED=1 dune exec test/test_main.exe -- test fault
+
+echo "== edit-storm smoke (in-process daemon, concurrent clients) =="
+dune exec bench/main.exe -- storm-smoke
+
+echo "== cmocd daemon smoke (process level) =="
+CMOC=_build/default/bin/cmoc.exe
+CMOCD=_build/default/bin/cmocd.exe
+SMOKE_DIR=$(mktemp -d)
+CMOCD_PID=
+cleanup() {
+  [ -n "$CMOCD_PID" ] && kill "$CMOCD_PID" 2>/dev/null || true
+  rm -rf "$SMOKE_DIR"
+}
+trap cleanup EXIT INT TERM
+mkdir -p "$SMOKE_DIR/src"
+"$CMOC" gen --bench storm --dir "$SMOKE_DIR/src"
+SOCK="$SMOKE_DIR/cmocd.sock"
+"$CMOCD" --socket "$SOCK" --state-dir "$SMOKE_DIR/state" -j 2 &
+CMOCD_PID=$!
+i=0
+while [ ! -S "$SOCK" ] && [ "$i" -lt 100 ]; do sleep 0.1; i=$((i + 1)); done
+[ -S "$SOCK" ] || { echo "cmocd never came up"; exit 1; }
+
+# Local one-shot oracle, then concurrent remote builds at j=1 and
+# j=4: all three must run to the same output (the remote path relinks
+# byte-identical objects).
+"$CMOC" compile -O 4 -j 1 --run --input 64,3 "$SMOKE_DIR"/src/*.mc \
+  > "$SMOKE_DIR/local.out"
+"$CMOC" compile -O 4 -j 1 --remote --socket "$SOCK" --run --input 64,3 \
+  "$SMOKE_DIR"/src/*.mc > "$SMOKE_DIR/remote1.out" &
+R1=$!
+"$CMOC" compile -O 4 -j 4 --remote --socket "$SOCK" --run --input 64,3 \
+  "$SMOKE_DIR"/src/*.mc > "$SMOKE_DIR/remote4.out" &
+R4=$!
+wait "$R1"
+wait "$R4"
+cmp "$SMOKE_DIR/local.out" "$SMOKE_DIR/remote1.out"
+cmp "$SMOKE_DIR/local.out" "$SMOKE_DIR/remote4.out"
+
+# Chaos: a per-request $CMO_FAULT crash plan must fail that request
+# only — the daemon keeps serving, byte-identically.
+if CMO_FAULT=crash@2,seed=7 "$CMOC" compile -O 4 --remote --socket "$SOCK" \
+  "$SMOKE_DIR"/src/*.mc >/dev/null 2>&1; then
+  echo "daemon smoke: crash-plan request unexpectedly succeeded"
+  exit 1
+fi
+"$CMOC" compile -O 4 -j 1 --remote --socket "$SOCK" --run --input 64,3 \
+  "$SMOKE_DIR"/src/*.mc > "$SMOKE_DIR/retry.out"
+cmp "$SMOKE_DIR/local.out" "$SMOKE_DIR/retry.out"
+
+# Graceful shutdown: SIGTERM drains and removes the socket file.
+kill -TERM "$CMOCD_PID"
+wait "$CMOCD_PID" || true
+CMOCD_PID=
+if [ -S "$SOCK" ]; then
+  echo "daemon smoke: socket left behind after shutdown"
+  exit 1
+fi
+echo "daemon smoke OK"
 
 echo "CI OK"

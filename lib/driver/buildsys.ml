@@ -85,7 +85,56 @@ let load_if_current t (s : Pipeline.source) =
   end
   else None
 
-let build ?profile t (options : Options.t) sources =
+(* ---- sessions ----
+
+   A session is the warm state a build request runs against: the open
+   artifact store and (optionally) a shared NAIM repository.  One-shot
+   [build] opens a session, runs one request, closes it; the build
+   server keeps one session open for its whole lifetime so every
+   request after the first hits a warm store. *)
+
+type session = {
+  sconfig : t;
+  mutable sstore : Store.t option;
+  srepo : Cmo_naim.Repository.t option;
+  mutable sclosed : bool;
+}
+
+let open_store t =
+  if t.cache_enabled then
+    Some (Store.open_ ?capacity:t.cache_capacity ~dir:t.cache_dir ())
+  else None
+
+let open_session ?(naim = false) t =
+  let srepo =
+    if naim then begin
+      Fsio.mkdirs t.cache_dir;
+      Some (Cmo_naim.Repository.create
+              ~path:(Filename.concat t.cache_dir "naim.repo"))
+    end
+    else None
+  in
+  { sconfig = t; sstore = open_store t; srepo; sclosed = false }
+
+let session_store s = s.sstore
+
+let session_repo s = s.srepo
+
+let reopen_store s =
+  Option.iter (fun store -> try Store.close store with Sys_error _ -> ()) s.sstore;
+  s.sstore <- open_store s.sconfig
+
+let close_session s =
+  if not s.sclosed then begin
+    s.sclosed <- true;
+    Option.iter Store.close s.sstore;
+    s.sstore <- None;
+    Option.iter Cmo_naim.Repository.close s.srepo
+  end
+
+let request ?profile s (options : Options.t) sources =
+  if s.sclosed then invalid_arg "Buildsys.request: session is closed";
+  let t = s.sconfig in
   if options.Options.instrument then
     raise
       (Pipeline.Compile_error
@@ -142,16 +191,18 @@ let build ?profile t (options : Options.t) sources =
                       o.Objfile.module_name)))
           objects
       in
-      if t.cache_enabled then begin
-        let store =
-          Store.open_ ?capacity:t.cache_capacity ~dir:t.cache_dir ()
+      match s.sstore with
+      | Some store ->
+        let b =
+          Pipeline.compile_modules ?profile ~cache:store ?naim_repo:s.srepo
+            options modules
         in
-        Fun.protect
-          ~finally:(fun () -> Store.close store)
-          (fun () ->
-            Pipeline.compile_modules ?profile ~cache:store options modules)
-      end
-      else Pipeline.compile_modules ?profile options modules
+        (* Keep the warm store durable between requests: the session
+           outlives this build, so flush now rather than at close. *)
+        Store.flush store;
+        b
+      | None ->
+        Pipeline.compile_modules ?profile ?naim_repo:s.srepo options modules
     end
     else begin
       let image =
@@ -212,3 +263,9 @@ let build ?profile t (options : Options.t) sources =
     recompiled = List.rev !recompiled;
     reused = List.rev !reused;
   }
+
+let build ?profile t options sources =
+  let s = open_session t in
+  Fun.protect
+    ~finally:(fun () -> close_session s)
+    (fun () -> request ?profile s options sources)

@@ -44,15 +44,66 @@ type outcome = {
   reused : string list;  (** Modules whose object was up to date. *)
 }
 
+(** {2 Sessions}
+
+    A build is a value: {!open_session} captures the warm state — the
+    open artifact store and (optionally) a shared NAIM repository —
+    and {!request} runs one build against it.  One-shot {!build}
+    is open → request → close; the build server ([cmocd]) keeps one
+    session open for its whole lifetime instead, so every request
+    after the first sees a warm store, and shares the session's store
+    and repository across concurrent in-flight requests (the store's
+    operations and transactions are internally synchronized, as is
+    the repository). *)
+
+type session
+
+val open_session : ?naim:bool -> t -> session
+(** Open the workspace's warm state: the artifact store when the
+    workspace has caching enabled, plus — with [naim] (default
+    [false]) — a shared on-disk NAIM repository under the cache
+    directory that every request's O4 loaders offload to. *)
+
+val session_store : session -> Cmo_cache.Store.t option
+val session_repo : session -> Cmo_naim.Repository.t option
+
+val reopen_store : session -> unit
+(** Close (best effort) and reopen the session's store, revalidating
+    it from disk.  The server calls this after a request ran under a
+    crash fault plan: the simulated power cut makes the I/O layer
+    inert, so the in-memory store state can be ahead of the bytes
+    actually on disk — reopening discards it and recovers exactly as
+    a restarted process would. *)
+
+val request :
+  ?profile:Cmo_profile.Db.t ->
+  session ->
+  Options.t ->
+  Pipeline.source list ->
+  outcome
+(** One build against the session: frontend (per changed module) to
+    object files, then link.  For [O4], object files carry IL
+    payloads and the CMO happens here, at link time, over the IL read
+    back from disk — against the session's warm store, which is
+    flushed (not closed) afterwards.  Concurrent requests on one
+    session must not share the workspace directory's object files;
+    the server avoids this by compiling in memory via {!Pipeline}
+    against {!session_store}/{!session_repo}.
+    @raise Pipeline.Compile_error on any failure.
+    @raise Invalid_argument on a closed session. *)
+
+val close_session : session -> unit
+(** Flush and close the store and close (and delete) the repository.
+    Idempotent. *)
+
 val build :
   ?profile:Cmo_profile.Db.t ->
   t ->
   Options.t ->
   Pipeline.source list ->
   outcome
-(** Frontend (per changed module) to object files, then link.  For
-    [O4], object files carry IL payloads and the CMO happens here, at
-    link time, over the IL read back from disk.
+(** [open_session] → {!request} → [close_session], the one-shot
+    workflow.
     @raise Pipeline.Compile_error on any failure. *)
 
 val object_path : t -> string -> string

@@ -29,6 +29,9 @@ type env = {
   env_trace : string option;  (* CMO_TRACE: trace output path *)
   env_fuzz_seed : int option;  (* CMO_FUZZ_SEED, else QCHECK_SEED *)
   env_fault : string option;  (* CMO_FAULT: fsio fault-plan spec *)
+  env_socket : string option;  (* CMO_SOCKET: cmocd socket path *)
+  env_daemon_jobs : int;  (* CMO_DAEMON_JOBS, >= 1; else 2 *)
+  env_queue_max : int;  (* CMO_QUEUE_MAX, >= 1; else 64 *)
 }
 
 let from_env ?(get = Sys.getenv_opt) () =
@@ -45,6 +48,12 @@ let from_env ?(get = Sys.getenv_opt) () =
       | Some _ as s -> s
       | None -> int_of "QCHECK_SEED");
     env_fault = (match get "CMO_FAULT" with Some "" | None -> None | some -> some);
+    env_socket =
+      (match get "CMO_SOCKET" with Some "" | None -> None | some -> some);
+    env_daemon_jobs =
+      (match int_of "CMO_DAEMON_JOBS" with Some n when n >= 1 -> n | _ -> 2);
+    env_queue_max =
+      (match int_of "CMO_QUEUE_MAX" with Some n when n >= 1 -> n | _ -> 64);
   }
 
 let env = from_env ()

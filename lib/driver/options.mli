@@ -82,6 +82,15 @@ type env = {
       (** [$CMO_FAULT] when non-empty: an {!Cmo_support.Fsio}
           fault-plan spec the driver installs before building
           ([cmoc --fault-plan] overrides it). *)
+  env_socket : string option;
+      (** [$CMO_SOCKET] when non-empty: the Unix-domain socket path
+          [cmocd] listens on and [cmoc --remote] connects to. *)
+  env_daemon_jobs : int;
+      (** [$CMO_DAEMON_JOBS] when >= 1, else 2: how many build
+          requests [cmocd] executes concurrently. *)
+  env_queue_max : int;
+      (** [$CMO_QUEUE_MAX] when >= 1, else 64: the daemon's admission
+          bound — requests beyond this many queued are rejected. *)
 }
 
 val from_env : ?get:(string -> string option) -> unit -> env

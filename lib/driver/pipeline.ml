@@ -277,7 +277,8 @@ let memo_locked f =
       cell := Some v;
       v
 
-let compile_modules_inner ?profile ?cache (options : Options.t) modules =
+let compile_modules_inner ?profile ?cache ?naim_repo (options : Options.t)
+    modules =
   let jobs = max 1 options.Options.jobs in
   (* Checker factory: [None] when [check] is off, so the optimizers
      skip the hook entirely; environments are deferred (memoized
@@ -534,7 +535,7 @@ let compile_modules_inner ?profile ?cache (options : Options.t) modules =
                 forced_level = options.Options.naim_level;
               }
             in
-            let loader = Loader.create loader_config mem in
+            let loader = Loader.create ?repo:naim_repo loader_config mem in
             List.iter (Loader.register_module loader) subset;
             let check =
               checker_of
@@ -926,8 +927,8 @@ let compile_modules_inner ?profile ?cache (options : Options.t) modules =
     }
   end
 
-let compile_modules ?profile ?cache options modules =
-  try compile_modules_inner ?profile ?cache options modules
+let compile_modules ?profile ?cache ?naim_repo options modules =
+  try compile_modules_inner ?profile ?cache ?naim_repo options modules
   with Ilcheck.Violation vs -> error "%s" (render_violations vs)
 
 (* The trace lifecycle lives with whoever owns the whole build
@@ -952,7 +953,7 @@ let with_tracing (options : Options.t) f =
       Obs.stop ();
       raise e)
 
-let compile ?profile ?cache options sources =
+let compile ?profile ?cache ?naim_repo options sources =
   with_tracing options @@ fun () ->
   let t0 = Sys.time () in
   let w0 = Unix.gettimeofday () in
@@ -962,7 +963,7 @@ let compile ?profile ?cache options sources =
   in
   let t1 = Sys.time () in
   let w1 = Unix.gettimeofday () in
-  let build = compile_modules ?profile ?cache options modules in
+  let build = compile_modules ?profile ?cache ?naim_repo options modules in
   {
     build with
     report =

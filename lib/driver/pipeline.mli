@@ -112,6 +112,7 @@ val frontend_one : source -> Cmo_il.Ilmod.t
 val compile :
   ?profile:Cmo_profile.Db.t ->
   ?cache:Cmo_cache.Store.t ->
+  ?naim_repo:Cmo_naim.Repository.t ->
   Options.t ->
   source list ->
   build
@@ -119,11 +120,19 @@ val compile :
 val compile_modules :
   ?profile:Cmo_profile.Db.t ->
   ?cache:Cmo_cache.Store.t ->
+  ?naim_repo:Cmo_naim.Repository.t ->
   Options.t ->
   Cmo_il.Ilmod.t list ->
   build
 (** Takes ownership of [modules]: profile annotation and optimization
     mutate them.
+
+    With [naim_repo], the O4 loaders offload to the given repository
+    instead of a private in-memory one — the build server passes its
+    long-lived repository here so NAIM state stays warm across
+    requests (loaders never close a repository they were given).
+    Offloaded pools round-trip byte-identically, so sharing the
+    repository does not change artifacts.
 
     With [cache], the O4 link step becomes incremental: post-CMO
     per-module IL is stored content-addressed, keyed on the module's

@@ -14,6 +14,10 @@ type t = {
   mutable stores : int;
   mutable fetches : int;
   id : int;  (* guards against foreign handles *)
+  lock : Mutex.t;
+      (* One repository can back the loaders of several concurrent
+         build requests (the daemon's warm NAIM state), so offset
+         allocation and the counters are serialized here. *)
 }
 
 type handle = { repo_id : int; offset : int; length : int; crc : int32 }
@@ -24,7 +28,11 @@ let next_id = Atomic.make 0
 
 let make backing =
   { backing; next_offset = 0; stores = 0; fetches = 0;
-    id = 1 + Atomic.fetch_and_add next_id 1 }
+    id = 1 + Atomic.fetch_and_add next_id 1; lock = Mutex.create () }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 let create ~path =
   let app = Fsio.open_append ~trunc:true path in
@@ -33,6 +41,7 @@ let create ~path =
 let in_memory () = make (Memory (Buffer.create 4096))
 
 let store t bytes =
+  locked t @@ fun () ->
   let length = String.length bytes in
   let offset, crc, next =
     match t.backing with
@@ -54,6 +63,7 @@ let store t bytes =
   { repo_id = t.id; offset; length; crc }
 
 let fetch t handle =
+  locked t @@ fun () ->
   if handle.repo_id <> t.id then
     invalid_arg "Repository.fetch: handle from another repository";
   let payload_end =
@@ -72,13 +82,14 @@ let fetch t handle =
     Fsio.read_record ~expect_crc:handle.crc f.path ~offset:handle.offset
       ~length:handle.length
 
-let stored_bytes t = t.next_offset
+let stored_bytes t = locked t (fun () -> t.next_offset)
 
-let stores t = t.stores
+let stores t = locked t (fun () -> t.stores)
 
-let fetches t = t.fetches
+let fetches t = locked t (fun () -> t.fetches)
 
 let close t =
+  locked t @@ fun () ->
   match t.backing with
   | Memory _ -> ()
   | File f ->

@@ -15,7 +15,12 @@
     bit-flipped pool surfaces as {!Cmo_support.Fsio.Corrupt_record}
     rather than decoding garbage IL.  Store failures (disk full)
     surface as [Sys_error]; the loader degrades them by keeping the
-    pool in memory. *)
+    pool in memory.
+
+    Operations are serialized by an internal mutex, so one repository
+    can back the loaders of several concurrent build requests — the
+    build server shares a single warm repository across its whole
+    lifetime (loaders created with [?repo] never close it). *)
 
 type t
 

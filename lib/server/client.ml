@@ -1,0 +1,62 @@
+type t = { fd : Unix.file_descr; mutable open_ : bool }
+
+exception Protocol_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Protocol_error m)) fmt
+
+let connect ~socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX socket)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  { fd; open_ = true }
+
+let close t =
+  if t.open_ then begin
+    t.open_ <- false;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let with_connect ~socket f =
+  let t = connect ~socket in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+
+let roundtrip t req =
+  if not t.open_ then fail "connection is closed";
+  (try Proto.write_message t.fd (Proto.string_of_request req)
+   with Unix.Unix_error (e, _, _) ->
+     fail "send failed: %s" (Unix.error_message e));
+  match Proto.read_message t.fd with
+  | Ok payload -> (
+    match Proto.response_of_string payload with
+    | Ok resp -> resp
+    | Error m -> fail "bad response: %s" m)
+  | Error `Eof -> fail "server closed the connection"
+  | Error (`Bad m) -> fail "bad frame: %s" m
+
+let ping t = match roundtrip t Proto.Ping with
+  | Proto.Pong -> true
+  | _ -> false
+
+let build t req = roundtrip t (Proto.Build req)
+
+let stats t =
+  match roundtrip t Proto.Stats with
+  | Proto.Stats_reply s -> s
+  | r ->
+    fail "unexpected reply to Stats: %s"
+      (match r with
+      | Proto.Pong -> "Pong"
+      | Proto.Built _ -> "Built"
+      | Proto.Rejected _ -> "Rejected"
+      | Proto.Failed { reason; _ } -> "Failed: " ^ reason
+      | Proto.Stats_reply _ -> assert false
+      | Proto.Shutting_down -> "Shutting_down")
+
+let shutdown_server t =
+  match roundtrip t Proto.Shutdown with
+  | Proto.Shutting_down -> ()
+  | _ -> fail "unexpected reply to Shutdown"

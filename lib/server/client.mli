@@ -1,0 +1,28 @@
+(** Synchronous client for the build server: one outstanding request
+    per connection, blocking until its response arrives.  [cmoc
+    --remote], the storm load driver and the tests all speak through
+    this. *)
+
+type t
+
+exception Protocol_error of string
+(** The server answered with something other than the protocol allows
+    (bad frame, bad message, wrong reply shape, early close). *)
+
+val connect : socket:string -> t
+(** Raises [Unix.Unix_error] when the daemon is not there. *)
+
+val close : t -> unit
+
+val with_connect : socket:string -> (t -> 'a) -> 'a
+
+val ping : t -> bool
+
+val build : t -> Proto.build_req -> Proto.response
+(** [Built], [Rejected] or [Failed] (never the other arms). *)
+
+val stats : t -> Proto.stats
+
+val shutdown_server : t -> unit
+(** Ask the daemon to shut down gracefully; returns once acknowledged
+    (drain completes after). *)

@@ -1,0 +1,230 @@
+module Codec = Cmo_support.Codec
+module Fsio = Cmo_support.Fsio
+module Options = Cmo_driver.Options
+module Pipeline = Cmo_driver.Pipeline
+
+type build_req = {
+  tag : string;
+  level : Options.level;
+  pbo : bool;
+  jobs : int;
+  check : bool;
+  fault : string option;
+  sources : Pipeline.source list;
+}
+
+type request = Ping | Build of build_req | Stats | Shutdown
+
+type stats = {
+  accepted : int;
+  completed : int;
+  failed : int;
+  rejected : int;
+  queue_depth : int;
+  inflight : int;
+  store_hits : int;
+  store_misses : int;
+}
+
+type response =
+  | Pong
+  | Built of { tag : string; objects : string list; report : string }
+  | Rejected of { tag : string; reason : string }
+  | Failed of { tag : string; reason : string }
+  | Stats_reply of stats
+  | Shutting_down
+
+(* ---- binary encoding (Codec, same substrate as object files) ---- *)
+
+let level_tag = function Options.O1 -> 1 | Options.O2 -> 2 | Options.O4 -> 4
+
+let level_of_tag r = function
+  | 1 -> Options.O1
+  | 2 -> Options.O2
+  | 4 -> Options.O4
+  | n -> ignore r; Codec.Reader.corrupt (Printf.sprintf "bad level tag %d" n)
+
+let write_option w f = function
+  | None -> Codec.Writer.bool w false
+  | Some v ->
+    Codec.Writer.bool w true;
+    f v
+
+let read_option r f = if Codec.Reader.bool r then Some (f r) else None
+
+let write_build_req w (b : build_req) =
+  Codec.Writer.string w b.tag;
+  Codec.Writer.byte w (level_tag b.level);
+  Codec.Writer.bool w b.pbo;
+  Codec.Writer.uvarint w b.jobs;
+  Codec.Writer.bool w b.check;
+  write_option w (Codec.Writer.string w) b.fault;
+  Codec.Writer.list w
+    (fun (s : Pipeline.source) ->
+      Codec.Writer.string w s.Pipeline.name;
+      Codec.Writer.string w s.Pipeline.text)
+    b.sources
+
+let read_build_req r =
+  let tag = Codec.Reader.string r in
+  let level = level_of_tag r (Codec.Reader.byte r) in
+  let pbo = Codec.Reader.bool r in
+  let jobs = Codec.Reader.uvarint r in
+  let check = Codec.Reader.bool r in
+  let fault = read_option r Codec.Reader.string in
+  let sources =
+    Codec.Reader.list r (fun r ->
+        let name = Codec.Reader.string r in
+        let text = Codec.Reader.string r in
+        { Pipeline.name; text })
+  in
+  { tag; level; pbo; jobs; check; fault; sources }
+
+let string_of_request req =
+  let w = Codec.Writer.create () in
+  (match req with
+  | Ping -> Codec.Writer.byte w 1
+  | Build b ->
+    Codec.Writer.byte w 2;
+    write_build_req w b
+  | Stats -> Codec.Writer.byte w 3
+  | Shutdown -> Codec.Writer.byte w 4);
+  Codec.Writer.contents w
+
+let request_of_reader r =
+  match Codec.Reader.byte r with
+  | 1 -> Ping
+  | 2 -> Build (read_build_req r)
+  | 3 -> Stats
+  | 4 -> Shutdown
+  | n -> Codec.Reader.corrupt (Printf.sprintf "bad request tag %d" n)
+
+let write_stats w (s : stats) =
+  Codec.Writer.uvarint w s.accepted;
+  Codec.Writer.uvarint w s.completed;
+  Codec.Writer.uvarint w s.failed;
+  Codec.Writer.uvarint w s.rejected;
+  Codec.Writer.uvarint w s.queue_depth;
+  Codec.Writer.uvarint w s.inflight;
+  Codec.Writer.uvarint w s.store_hits;
+  Codec.Writer.uvarint w s.store_misses
+
+let read_stats r =
+  let accepted = Codec.Reader.uvarint r in
+  let completed = Codec.Reader.uvarint r in
+  let failed = Codec.Reader.uvarint r in
+  let rejected = Codec.Reader.uvarint r in
+  let queue_depth = Codec.Reader.uvarint r in
+  let inflight = Codec.Reader.uvarint r in
+  let store_hits = Codec.Reader.uvarint r in
+  let store_misses = Codec.Reader.uvarint r in
+  { accepted; completed; failed; rejected; queue_depth; inflight;
+    store_hits; store_misses }
+
+let string_of_response resp =
+  let w = Codec.Writer.create () in
+  (match resp with
+  | Pong -> Codec.Writer.byte w 1
+  | Built { tag; objects; report } ->
+    Codec.Writer.byte w 2;
+    Codec.Writer.string w tag;
+    Codec.Writer.list w (Codec.Writer.string w) objects;
+    Codec.Writer.string w report
+  | Rejected { tag; reason } ->
+    Codec.Writer.byte w 3;
+    Codec.Writer.string w tag;
+    Codec.Writer.string w reason
+  | Failed { tag; reason } ->
+    Codec.Writer.byte w 4;
+    Codec.Writer.string w tag;
+    Codec.Writer.string w reason
+  | Stats_reply s ->
+    Codec.Writer.byte w 5;
+    write_stats w s
+  | Shutting_down -> Codec.Writer.byte w 6);
+  Codec.Writer.contents w
+
+let response_of_reader r =
+  match Codec.Reader.byte r with
+  | 1 -> Pong
+  | 2 ->
+    let tag = Codec.Reader.string r in
+    let objects = Codec.Reader.list r Codec.Reader.string in
+    let report = Codec.Reader.string r in
+    Built { tag; objects; report }
+  | 3 ->
+    let tag = Codec.Reader.string r in
+    let reason = Codec.Reader.string r in
+    Rejected { tag; reason }
+  | 4 ->
+    let tag = Codec.Reader.string r in
+    let reason = Codec.Reader.string r in
+    Failed { tag; reason }
+  | 5 -> Stats_reply (read_stats r)
+  | 6 -> Shutting_down
+  | n -> Codec.Reader.corrupt (Printf.sprintf "bad response tag %d" n)
+
+let decode of_reader payload =
+  match
+    let r = Codec.Reader.of_string payload in
+    let v = of_reader r in
+    if Codec.Reader.at_end r then v
+    else Codec.Reader.corrupt "trailing bytes after message"
+  with
+  | v -> Ok v
+  | exception Codec.Reader.Corrupt m -> Error m
+
+let request_of_string = decode request_of_reader
+
+let response_of_string = decode response_of_reader
+
+(* ---- socket framing: CMR1 records over a stream ---- *)
+
+let max_payload = 1 lsl 26 (* 64 MiB: far beyond any workload here *)
+
+(* Raw fd I/O on purpose: the wire is not a durability surface, so it
+   stays outside Fsio's fault-injection chokepoint — a fault plan
+   aimed at a build must not corrupt the transport carrying it. *)
+let rec write_all fd s off len =
+  if len > 0 then begin
+    let n =
+      try Unix.write_substring fd s off len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd s (off + n) (len - n)
+  end
+
+let write_message fd payload =
+  let data = Fsio.frame payload in
+  write_all fd data 0 (String.length data)
+
+(* Read exactly [n] bytes; [`Eof of got] when the peer closes early. *)
+let read_exact fd n =
+  let buf = Bytes.create n in
+  let rec go off =
+    if off = n then Ok (Bytes.unsafe_to_string buf)
+    else
+      match Unix.read fd buf off (n - off) with
+      | 0 -> Error (`Eof off)
+      | k -> go (off + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let read_message fd =
+  match read_exact fd Fsio.frame_overhead with
+  | Error (`Eof 0) -> Error `Eof
+  | Error (`Eof _) -> Error (`Bad "connection closed inside a frame header")
+  | Ok header -> (
+    match Fsio.scan_frame header ~pos:0 with
+    | Fsio.Bad m -> Error (`Bad m)
+    | Fsio.Frame { payload; _ } -> Ok payload (* zero-length payload *)
+    | Fsio.Need n when n > max_payload -> Error (`Bad "oversized frame")
+    | Fsio.Need n -> (
+      match read_exact fd n with
+      | Error (`Eof _) -> Error (`Bad "connection closed inside a frame body")
+      | Ok body -> (
+        match Fsio.scan_frame (header ^ body) ~pos:0 with
+        | Fsio.Frame { payload; _ } -> Ok payload
+        | Fsio.Bad m -> Error (`Bad m)
+        | Fsio.Need _ -> Error (`Bad "incomplete frame"))))

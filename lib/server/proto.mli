@@ -1,0 +1,78 @@
+(** The build-server wire protocol.
+
+    Messages are {!Cmo_support.Codec} binary payloads framed on the
+    socket with the same CMR1 magic + length + CRC-32 header the
+    on-disk record streams use ({!Cmo_support.Fsio.frame}), so the
+    transport inherits the store's corruption detection: a torn or
+    bit-flipped message fails the frame scan instead of decoding
+    garbage.  Framing violations are fatal for a connection — unlike a
+    record file there is no authority for where the next record
+    starts, so the peer closes rather than resynchronizing.
+
+    One request is outstanding per connection at a time (the client is
+    synchronous); concurrency comes from multiple connections. *)
+
+type build_req = {
+  tag : string;  (** Echoed in the response; client's correlation id. *)
+  level : Cmo_driver.Options.level;
+  pbo : bool;
+      (** Accepted on the wire, but the daemon builds without a
+          profile database, so +P degrades to the no-profile path. *)
+  jobs : int;  (** Worker domains for this request's pipeline phases. *)
+  check : bool;  (** Run the between-phase IL verifier. *)
+  fault : string option;
+      (** A per-request {!Cmo_support.Fsio} fault-plan spec.  Fault
+          plans are process-wide, so the server runs such a request
+          exclusively (no other request in flight) and restores the
+          store afterwards; a crash plan kills this request only. *)
+  sources : Cmo_driver.Pipeline.source list;
+}
+
+type request = Ping | Build of build_req | Stats | Shutdown
+
+type stats = {
+  accepted : int;  (** Build requests admitted to the queue, ever. *)
+  completed : int;
+  failed : int;
+  rejected : int;  (** Refused by admission control (or shutdown). *)
+  queue_depth : int;
+  inflight : int;
+  store_hits : int;  (** Warm-store traffic, daemon lifetime. *)
+  store_misses : int;
+}
+
+type response =
+  | Pong
+  | Built of {
+      tag : string;
+      objects : string list;
+          (** {!Cmo_link.Objfile.encode} of each linked object, in
+              link order — the byte-identity surface: a one-shot build
+              of the same tree yields these exact strings, and the
+              image relinks deterministically from them. *)
+      report : string;  (** {!Cmo_driver.Pipeline.report_to_json}. *)
+    }
+  | Rejected of { tag : string; reason : string }  (** Never attempted. *)
+  | Failed of { tag : string; reason : string }  (** Attempted, failed. *)
+  | Stats_reply of stats
+  | Shutting_down
+
+val string_of_request : request -> string
+val request_of_string : string -> (request, string) result
+val string_of_response : response -> string
+val response_of_string : string -> (response, string) result
+(** Decoders reject bad tags, truncation and trailing bytes. *)
+
+val max_payload : int
+(** Frames advertising more than this many payload bytes are a
+    protocol violation (64 MiB). *)
+
+val write_message : Unix.file_descr -> string -> unit
+(** Frame and send one message payload.  Raises [Unix.Unix_error] on
+    transport failure (e.g. the peer vanished). *)
+
+val read_message : Unix.file_descr -> (string, [ `Eof | `Bad of string ]) result
+(** Read one framed message.  [`Eof] is a clean close between
+    messages; [`Bad] is a framing violation (bad magic, CRC mismatch,
+    oversized, or a close mid-frame) after which the connection is
+    unusable. *)

@@ -1,0 +1,91 @@
+type 'a entry = { seq : int; cost : int; round : int; item : 'a }
+
+type 'a t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  queue_max : int;
+  small_cost : int;
+  age_rounds : int;
+  mutable entries : 'a entry list;  (* admission order; scan is O(depth) *)
+  mutable next_seq : int;
+  mutable dispatch_round : int;
+  mutable closed : bool;
+}
+
+let create ?(small_cost = 200) ?(age_rounds = 4) ~queue_max () =
+  if queue_max < 1 then invalid_arg "Sched.create: queue_max < 1";
+  {
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+    queue_max;
+    small_cost;
+    age_rounds;
+    entries = [];
+    next_seq = 0;
+    dispatch_round = 0;
+    closed = false;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let depth t = locked t (fun () -> List.length t.entries)
+
+let closed t = locked t (fun () -> t.closed)
+
+let submit t ~cost item =
+  locked t @@ fun () ->
+  if t.closed || List.length t.entries >= t.queue_max then false
+  else begin
+    let e =
+      { seq = t.next_seq; cost; round = t.dispatch_round; item }
+    in
+    t.next_seq <- t.next_seq + 1;
+    t.entries <- t.entries @ [ e ];
+    Condition.signal t.nonempty;
+    true
+  end
+
+(* Effective class: small requests dispatch ahead of large ones (an
+   edit-storm burst of little builds does not sit behind one huge
+   build), but a large entry that has been passed over for
+   [age_rounds] dispatches is promoted to the small class — so the
+   storm cannot starve it.  Within a class, FIFO by admission seq. *)
+let key t e =
+  let cls =
+    if e.cost <= t.small_cost || t.dispatch_round - e.round >= t.age_rounds
+    then 0
+    else 1
+  in
+  (cls, e.seq)
+
+let take t =
+  locked t @@ fun () ->
+  let rec wait () =
+    if t.entries <> [] then begin
+      let best =
+        List.fold_left
+          (fun acc e ->
+            match acc with
+            | None -> Some e
+            | Some b -> if key t e < key t b then Some e else acc)
+          None t.entries
+        |> Option.get
+      in
+      t.entries <- List.filter (fun e -> e.seq <> best.seq) t.entries;
+      t.dispatch_round <- t.dispatch_round + 1;
+      Some best.item
+    end
+    else if t.closed then None
+    else begin
+      Condition.wait t.nonempty t.lock;
+      wait ()
+    end
+  in
+  wait ()
+
+let close t =
+  locked t @@ fun () ->
+  t.closed <- true;
+  Condition.broadcast t.nonempty

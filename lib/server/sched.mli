@@ -1,0 +1,37 @@
+(** Admission control and fair dispatch for the build server.
+
+    A bounded queue with two-class FIFO-with-aging dispatch:
+
+    - {b Admission}: at most [queue_max] entries wait at once; beyond
+      that {!submit} refuses (the daemon answers [Rejected], which an
+      interactive client can retry — better than unbounded latency).
+    - {b Dispatch}: entries whose [cost] is at most [small_cost] form
+      the interactive class and dispatch first, FIFO; larger entries
+      dispatch FIFO behind them, but any entry passed over for
+      [age_rounds] dispatches is promoted to the interactive class.
+      An edit storm of small builds therefore jumps ahead of a big
+      batch build, while the big build waits at most [age_rounds]
+      dispatches — neither side starves.
+
+    Consumers block in {!take}; after {!close}, submission refuses,
+    already-admitted entries still drain (graceful shutdown finishes
+    what it accepted), and [take] returns [None] once empty. *)
+
+type 'a t
+
+val create : ?small_cost:int -> ?age_rounds:int -> queue_max:int -> unit -> 'a t
+(** [small_cost] defaults to 200 (source lines), [age_rounds] to 4. *)
+
+val submit : 'a t -> cost:int -> 'a -> bool
+(** [false]: refused — the queue is full or closed.  Never blocks. *)
+
+val take : 'a t -> 'a option
+(** Block until an entry is available ([Some]) or the queue is closed
+    and drained ([None]). *)
+
+val depth : 'a t -> int
+
+val close : 'a t -> unit
+(** Refuse new entries, let the rest drain, wake all waiters. *)
+
+val closed : 'a t -> bool

@@ -1,0 +1,423 @@
+module Obs = Cmo_obs.Obs
+module Fsio = Cmo_support.Fsio
+module Store = Cmo_cache.Store
+module Options = Cmo_driver.Options
+module Pipeline = Cmo_driver.Pipeline
+module Buildsys = Cmo_driver.Buildsys
+module Objfile = Cmo_link.Objfile
+
+let log_src = Logs.Src.create "cmo.server" ~doc:"Build-server daemon"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type config = {
+  socket : string;
+  builders : int;
+  queue_max : int;
+  state_dir : string;
+  cache_capacity : int option;
+  trace : string option;
+}
+
+let default_config =
+  {
+    socket = "cmocd.sock";
+    builders = Options.env.Options.env_daemon_jobs;
+    queue_max = Options.env.Options.env_queue_max;
+    state_dir = ".cmocd";
+    cache_capacity = None;
+    trace = None;
+  }
+
+(* Requests holding a fault plan run exclusively: plans are
+   process-wide, so a plan meant for one request must not see another
+   request's I/O.  Normal requests hold the gate shared. *)
+type gate = {
+  glock : Mutex.t;
+  gcond : Condition.t;
+  mutable shared : int;
+  mutable exclusive : bool;
+}
+
+let gate_create () =
+  { glock = Mutex.create (); gcond = Condition.create ();
+    shared = 0; exclusive = false }
+
+let with_shared g f =
+  Mutex.lock g.glock;
+  while g.exclusive do Condition.wait g.gcond g.glock done;
+  g.shared <- g.shared + 1;
+  Mutex.unlock g.glock;
+  Fun.protect f ~finally:(fun () ->
+      Mutex.lock g.glock;
+      g.shared <- g.shared - 1;
+      Condition.broadcast g.gcond;
+      Mutex.unlock g.glock)
+
+let with_exclusive g f =
+  Mutex.lock g.glock;
+  while g.exclusive do Condition.wait g.gcond g.glock done;
+  g.exclusive <- true;
+  while g.shared > 0 do Condition.wait g.gcond g.glock done;
+  Mutex.unlock g.glock;
+  Fun.protect f ~finally:(fun () ->
+      Mutex.lock g.glock;
+      g.exclusive <- false;
+      Condition.broadcast g.gcond;
+      Mutex.unlock g.glock)
+
+type job = { req : Proto.build_req; reply : Proto.response -> unit }
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  session : Buildsys.session;
+  session_lock : Mutex.t;  (* guards reopen_store vs. stats reads *)
+  sched : job Sched.t;
+  gate : gate;
+  stop : bool Atomic.t;
+  accepted : int Atomic.t;
+  completed : int Atomic.t;
+  failed : int Atomic.t;
+  rejected : int Atomic.t;
+  inflight : int Atomic.t;
+  conns : (int, Unix.file_descr) Hashtbl.t;
+  conns_lock : Mutex.t;
+  mutable accept_thread : Thread.t option;
+  mutable builder_threads : Thread.t list;
+}
+
+let stats t =
+  let store_hits, store_misses =
+    Mutex.lock t.session_lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.session_lock) @@ fun () ->
+    match Buildsys.session_store t.session with
+    | None -> (0, 0)
+    | Some store ->
+      let s = Store.stats store in
+      (s.Store.hits, s.Store.misses)
+  in
+  {
+    Proto.accepted = Atomic.get t.accepted;
+    completed = Atomic.get t.completed;
+    failed = Atomic.get t.failed;
+    rejected = Atomic.get t.rejected;
+    queue_depth = Sched.depth t.sched;
+    inflight = Atomic.get t.inflight;
+    store_hits;
+    store_misses;
+  }
+
+let rec is_crash = function
+  | Fsio.Crash -> true
+  | Fun.Finally_raised e -> is_crash e
+  | _ -> false
+
+let options_of_req (b : Proto.build_req) =
+  let base =
+    match (b.Proto.level, b.Proto.pbo) with
+    | Options.O1, _ -> Options.o1
+    | Options.O2, false -> Options.o2
+    | Options.O2, true -> Options.o2_pbo
+    | Options.O4, false -> Options.o4
+    | Options.O4, true -> Options.o4_pbo
+  in
+  {
+    base with
+    Options.jobs = max 1 b.Proto.jobs;
+    check = b.Proto.check;
+    (* The daemon owns the trace sink for its whole lifetime; a
+       request must not start/stop/export it. *)
+    trace = None;
+    instrument = false;
+  }
+
+let source_lines (sources : Pipeline.source list) =
+  List.fold_left
+    (fun acc (s : Pipeline.source) ->
+      acc + 1
+      + String.fold_left
+          (fun n c -> if c = '\n' then n + 1 else n)
+          0 s.Pipeline.text)
+    0 sources
+
+let compile_once t options sources =
+  Pipeline.compile
+    ?cache:(Buildsys.session_store t.session)
+    ?naim_repo:(Buildsys.session_repo t.session)
+    options sources
+
+(* One build request, against the shared warm session.  A fault plan
+   makes the request exclusive; afterwards the plan is cleared and the
+   store reopened from disk — a simulated power cut leaves the
+   in-memory store state ahead of the bytes actually written, and
+   reopening recovers exactly as a restarted process would, so a
+   crashed request never poisons the requests after it. *)
+let execute t (b : Proto.build_req) =
+  let options = options_of_req b in
+  let build () = compile_once t options b.Proto.sources in
+  match
+    match b.Proto.fault with
+    | None -> with_shared t.gate build
+    | Some spec ->
+      with_exclusive t.gate @@ fun () ->
+      (match Fsio.install_plan spec with
+      | Error m ->
+        raise (Pipeline.Compile_error (Printf.sprintf "bad fault plan: %s" m))
+      | Ok () -> ());
+      Fun.protect build ~finally:(fun () ->
+          Fsio.clear_plan ();
+          Mutex.lock t.session_lock;
+          Fun.protect
+            ~finally:(fun () -> Mutex.unlock t.session_lock)
+            (fun () -> Buildsys.reopen_store t.session))
+  with
+  | build ->
+    Atomic.incr t.completed;
+    if Obs.enabled () then Obs.tick "server" "completed" 1;
+    Proto.Built
+      {
+        tag = b.Proto.tag;
+        objects = List.map Objfile.encode build.Pipeline.objects;
+        report =
+          Cmo_obs.Json.to_string
+            (Pipeline.report_to_json build.Pipeline.report);
+      }
+  | exception e ->
+    Atomic.incr t.failed;
+    if Obs.enabled () then Obs.tick "server" "failed" 1;
+    let reason =
+      match e with
+      | Pipeline.Compile_error m -> m
+      | e when is_crash e -> "injected crash killed this request"
+      | Sys_error m -> "i/o failure: " ^ m
+      (* A builder thread must survive anything a request throws at
+         it; the failure is the request's, not the daemon's. *)
+      | e -> "internal error: " ^ Printexc.to_string e
+    in
+    Proto.Failed { tag = b.Proto.tag; reason }
+
+let builder_loop t =
+  let rec loop () =
+    match Sched.take t.sched with
+    | None -> ()
+    | Some job ->
+      Atomic.incr t.inflight;
+      if Obs.enabled () then begin
+        Obs.tick "server" "dispatched" 1;
+        Obs.sample "server.queue"
+          [ ("depth", float_of_int (Sched.depth t.sched)) ]
+      end;
+      let resp =
+        Obs.with_span ~cat:"server"
+          ("request:" ^ job.req.Proto.tag)
+          (fun () -> execute t job.req)
+      in
+      Atomic.decr t.inflight;
+      job.reply resp;
+      loop ()
+  in
+  loop ()
+
+let shutdown t =
+  if not (Atomic.exchange t.stop true) then begin
+    Log.info (fun f -> f "shutting down: draining %d queued request(s)"
+                 (Sched.depth t.sched));
+    Sched.close t.sched;
+    (* Wake the accept loop: it checks the stop flag per connection. *)
+    match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+    | fd -> (
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          try Unix.connect fd (Unix.ADDR_UNIX t.cfg.socket)
+          with Unix.Unix_error _ -> ()))
+    | exception Unix.Unix_error _ -> ()
+  end
+
+let conn_loop t id fd =
+  let send_lock = Mutex.create () in
+  let reply resp =
+    Mutex.lock send_lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock send_lock) @@ fun () ->
+    try Proto.write_message fd (Proto.string_of_response resp)
+    with Unix.Unix_error _ | Sys_error _ ->
+      (* The client vanished; its build is already done or doomed. *)
+      Log.debug (fun f -> f "conn %d: reply dropped, peer gone" id)
+  in
+  let forget () =
+    Mutex.lock t.conns_lock;
+    Hashtbl.remove t.conns id;
+    Mutex.unlock t.conns_lock;
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
+  let rec loop () =
+    match Proto.read_message fd with
+    | Error `Eof -> ()
+    | Error (`Bad m) ->
+      (* Framing violation: answer if the pipe still works, then drop
+         the connection — there is no trustworthy next-frame offset. *)
+      Log.warn (fun f -> f "conn %d: bad frame (%s)" id m);
+      reply (Proto.Failed { tag = ""; reason = "protocol: " ^ m })
+    | Ok payload -> (
+      match Proto.request_of_string payload with
+      | Error m ->
+        Log.warn (fun f -> f "conn %d: bad message (%s)" id m);
+        reply (Proto.Failed { tag = ""; reason = "protocol: " ^ m })
+      | Ok Proto.Ping ->
+        reply Proto.Pong;
+        loop ()
+      | Ok Proto.Stats ->
+        reply (Proto.Stats_reply (stats t));
+        loop ()
+      | Ok Proto.Shutdown ->
+        reply Proto.Shutting_down;
+        shutdown t
+      | Ok (Proto.Build b) ->
+        if Obs.enabled () then Obs.tick "server" "requests" 1;
+        let cost = source_lines b.Proto.sources in
+        let job = { req = b; reply } in
+        if Sched.submit t.sched ~cost job then begin
+          Atomic.incr t.accepted;
+          if Obs.enabled () then
+            Obs.sample "server.queue"
+              [ ("depth", float_of_int (Sched.depth t.sched)) ]
+        end
+        else begin
+          Atomic.incr t.rejected;
+          if Obs.enabled () then Obs.tick "server" "rejected" 1;
+          let reason =
+            if Atomic.get t.stop then "shutting down" else "queue full"
+          in
+          reply (Proto.Rejected { tag = b.Proto.tag; reason })
+        end;
+        loop ())
+  in
+  Fun.protect loop ~finally:forget
+
+let accept_loop t =
+  let next_conn = ref 0 in
+  let rec loop () =
+    match Unix.accept t.listen_fd with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+      if Atomic.get t.stop then () else loop ()
+    | exception Unix.Unix_error _ -> ()
+    | fd, _ ->
+      if Atomic.get t.stop then (
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        ())
+      else begin
+        incr next_conn;
+        let id = !next_conn in
+        Mutex.lock t.conns_lock;
+        Hashtbl.replace t.conns id fd;
+        Mutex.unlock t.conns_lock;
+        ignore (Thread.create (fun () -> conn_loop t id fd) ());
+        loop ()
+      end
+  in
+  loop ()
+
+let start cfg =
+  if cfg.builders < 1 then invalid_arg "Server.start: builders < 1";
+  Fsio.mkdirs cfg.state_dir;
+  if cfg.trace <> None then Obs.start ();
+  let ws =
+    Cmo_driver.Buildsys.create ?cache_capacity:cfg.cache_capacity
+      ~dir:cfg.state_dir ()
+  in
+  let session = Buildsys.open_session ~naim:true ws in
+  (* A stale socket file from a dead daemon would make bind fail. *)
+  if Sys.file_exists cfg.socket then (
+    try Unix.unlink cfg.socket with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket)
+   with e ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     Buildsys.close_session session;
+     raise e);
+  Unix.listen listen_fd 64;
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  (* Deliver SIGINT/SIGTERM to the main thread only: the spawned
+     threads inherit a mask blocking them, so the kernel cannot hand
+     the signal to a thread parked in accept(2) or a condvar, where
+     the OCaml-level handler would never get a safepoint to run. *)
+  let old_mask =
+    try Thread.sigmask Unix.SIG_BLOCK [ Sys.sigint; Sys.sigterm ]
+    with Invalid_argument _ -> []
+  in
+  ignore old_mask;
+  let t =
+    {
+      cfg;
+      listen_fd;
+      session;
+      session_lock = Mutex.create ();
+      sched = Sched.create ~queue_max:cfg.queue_max ();
+      gate = gate_create ();
+      stop = Atomic.make false;
+      accepted = Atomic.make 0;
+      completed = Atomic.make 0;
+      failed = Atomic.make 0;
+      rejected = Atomic.make 0;
+      inflight = Atomic.make 0;
+      conns = Hashtbl.create 16;
+      conns_lock = Mutex.create ();
+      accept_thread = None;
+      builder_threads = [];
+    }
+  in
+  t.builder_threads <-
+    List.init cfg.builders (fun _ -> Thread.create builder_loop t);
+  t.accept_thread <- Some (Thread.create accept_loop t);
+  (try ignore (Thread.sigmask Unix.SIG_UNBLOCK [ Sys.sigint; Sys.sigterm ])
+   with Invalid_argument _ -> ());
+  Log.info (fun f ->
+      f "listening on %s (%d builder(s), queue <= %d)" cfg.socket cfg.builders
+        cfg.queue_max);
+  t
+
+let stopped t = Atomic.get t.stop
+
+let wait t =
+  (* Poll rather than park in Thread.join right away: a thread blocked
+     in pthread_join never reaches an OCaml safepoint, so a signal
+     handler (the daemon's shutdown path) would never run.  Sleeping
+     is interruptible and re-enters OCaml each tick. *)
+  while not (Atomic.get t.stop) do
+    Unix.sleepf 0.05
+  done;
+  Option.iter Thread.join t.accept_thread;
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  List.iter Thread.join t.builder_threads;
+  (* In-flight and queued work is done; cut the remaining readers
+     loose (their threads exit on the resulting EOF/error). *)
+  Mutex.lock t.conns_lock;
+  let fds = Hashtbl.fold (fun _ fd acc -> fd :: acc) t.conns [] in
+  Mutex.unlock t.conns_lock;
+  List.iter
+    (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    fds;
+  Buildsys.close_session t.session;
+  if Sys.file_exists t.cfg.socket then (
+    try Unix.unlink t.cfg.socket with Unix.Unix_error _ -> ());
+  (match t.cfg.trace with
+  | None -> ()
+  | Some path ->
+    (try Fsio.atomic_write path (Obs.export ())
+     with Sys_error m ->
+       Log.warn (fun f -> f "trace not written to %s (%s)" path m));
+    Obs.stop ());
+  Log.info (fun f -> f "shutdown complete")
+
+let run cfg =
+  let t = start cfg in
+  let handler _ = shutdown t in
+  let old_int = Sys.signal Sys.sigint (Sys.Signal_handle handler) in
+  let old_term = Sys.signal Sys.sigterm (Sys.Signal_handle handler) in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.set_signal Sys.sigint old_int;
+      Sys.set_signal Sys.sigterm old_term)
+    (fun () -> wait t)

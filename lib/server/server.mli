@@ -1,0 +1,73 @@
+(** The build-server daemon ([cmocd]'s engine).
+
+    A long-lived process serving {!Proto} build requests over a
+    Unix-domain socket against warm state that one-shot [cmoc] throws
+    away after every run: one open {!Cmo_cache.Store} (so an edit
+    storm's unchanged modules are served from cache) and one shared
+    NAIM repository (so loaders offload into a single long-lived
+    pool file), both held by a {!Cmo_driver.Buildsys} session.
+
+    {b Concurrency.}  One thread accepts connections and each
+    connection gets a reader thread; build requests pass through
+    {!Sched} (admission control + FIFO-with-aging fairness) to a
+    fixed pool of builder threads ([builders], i.e. $CMO_DAEMON_JOBS).
+    Each in-flight build parallelizes internally on its own
+    {!Cmo_driver.Parwork} domain pool per its requested [jobs].
+    Requests are isolated by the store's snapshot-read/ordered-commit
+    transactions; shared structures (store, repository, scheduler)
+    are internally synchronized.
+
+    {b Chaos.}  A request carrying a fault plan runs exclusively (the
+    plan is process-wide), and the plan is cleared and the store
+    reopened from disk afterwards — an injected crash kills that
+    request only, and a retry finds the daemon serving and produces
+    byte-identical artifacts.
+
+    {b Shutdown} ({!shutdown}, or a {!Proto.Shutdown} request, or
+    SIGINT/SIGTERM under {!run}): stop accepting, refuse new builds,
+    drain admitted ones, close the session, remove the socket file. *)
+
+type config = {
+  socket : string;  (** Unix-domain socket path to listen on. *)
+  builders : int;  (** Concurrent build requests (>= 1). *)
+  queue_max : int;  (** Admission bound; beyond it requests are rejected. *)
+  state_dir : string;
+      (** Created if missing; holds the warm store and the NAIM
+          repository (under [<state_dir>/.cmo-cache]). *)
+  cache_capacity : int option;  (** Store live-byte bound override. *)
+  trace : string option;
+      (** Record the daemon's whole lifetime with {!Cmo_obs.Obs} and
+          write a Chrome-trace file here on shutdown.  Per-request
+          reports then carry the cumulative counters ([report.obs]),
+          which is how the storm bench watches the warm-cache hit
+          rate rise. *)
+}
+
+val default_config : config
+(** Socket ["cmocd.sock"], state dir [".cmocd"], builders and queue
+    bound from [$CMO_DAEMON_JOBS] / [$CMO_QUEUE_MAX]. *)
+
+type t
+
+val start : config -> t
+(** Bind the socket, open the warm session, spawn the accept and
+    builder threads, return immediately. *)
+
+val shutdown : t -> unit
+(** Initiate graceful shutdown; idempotent, callable from a signal
+    handler or any thread.  Returns without waiting — {!wait}
+    observes completion. *)
+
+val wait : t -> unit
+(** Block until the daemon has fully shut down (someone must call
+    {!shutdown}, or a client must send {!Proto.Shutdown}); then the
+    socket file is gone and the warm session closed. *)
+
+val stats : t -> Proto.stats
+
+val stopped : t -> bool
+(** Shutdown has been initiated (drain may still be in progress). *)
+
+val run : config -> unit
+(** [start], install SIGINT/SIGTERM handlers that [shutdown], then
+    [wait] — the [cmocd] main loop. *)

@@ -325,6 +325,34 @@ let frame payload =
   record_magic ^ le32 (String.length payload) ^ le32 (crc_bits (crc32 payload))
   ^ payload
 
+type scan =
+  | Frame of { payload : string; next : int }
+  | Need of int
+  | Bad of string
+
+let scan_frame s ~pos =
+  let n = String.length s in
+  if pos < 0 || pos > n then invalid_arg "Fsio.scan_frame";
+  if n - pos < frame_overhead then Need (frame_overhead - (n - pos))
+  else if String.sub s pos 4 <> record_magic then Bad "bad record magic"
+  else
+    let len = get_le32 s (pos + 4) in
+    if len < 0 then Bad "negative record length"
+    else if n - pos - frame_overhead < len then
+      Need (len - (n - pos - frame_overhead))
+    else
+      let payload = String.sub s (pos + frame_overhead) len in
+      if crc_bits (crc32 payload) <> get_le32 s (pos + 8) then Bad "crc mismatch"
+      else Frame { payload; next = pos + frame_overhead + len }
+
+let valid_prefix_string s =
+  let rec walk pos =
+    match scan_frame s ~pos with
+    | Frame { next; _ } -> walk next
+    | Need _ | Bad _ -> pos
+  in
+  walk 0
+
 type appender = {
   apath : string;
   mutable oc : out_channel option;  (* None once closed, or born inert *)

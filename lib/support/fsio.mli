@@ -123,6 +123,29 @@ val crc32 : string -> int32
 (** CRC-32 (IEEE 802.3) of a string; exposed for tests and for index
     entries that want to remember a record's expected checksum. *)
 
+val frame : string -> string
+(** [frame payload] is the payload wrapped in the CMR1 framing (magic,
+    LE length, LE CRC-32, payload) — the exact bytes {!append_record}
+    writes.  Pure; no injection site.  The build-server wire protocol
+    frames its messages with this. *)
+
+type scan =
+  | Frame of { payload : string; next : int }
+      (** A whole, CRC-valid record starts at [pos]; [next] is the
+          offset just past it. *)
+  | Need of int  (** More bytes needed — at least this many. *)
+  | Bad of string  (** Bad magic, negative length or CRC mismatch. *)
+
+val scan_frame : string -> pos:int -> scan
+(** Examine the framed record starting at [pos] in an in-memory byte
+    stream.  Unlike {!valid_prefix} this also verifies the CRC —
+    stream consumers (the wire protocol) treat a framing violation as
+    fatal for the connection rather than resynchronizing past it. *)
+
+val valid_prefix_string : string -> int
+(** In-memory analogue of {!valid_prefix}: the end offset of the
+    longest prefix of whole, CRC-valid records. *)
+
 type appender
 (** An open append channel to a record stream.  Appends are flushed
     per record; {!close_append} optionally fsyncs. *)

@@ -412,6 +412,50 @@ let evolve cfg ~changed ~evolution =
       if List.mem i changed then cfg.seed + ((evolution + 1) * 7_654_321)
       else cfg.seed)
 
+(* --- IDE edit storm ------------------------------------------------ *)
+
+(* A development session in fast-forward: each step edits exactly one
+   module (the rest byte-identical, like [evolve]), edits concentrate
+   on a small drifting working set (the files being worked on), and
+   about a quarter of the steps are undos back to the module's
+   previous content — which is what makes a warm artifact cache pay:
+   revisited states are cache re-hits, untouched modules always are. *)
+let storm cfg ~steps ~seed =
+  assert (steps >= 0);
+  let g = Prng.create (seed lxor (cfg.seed * 131)) in
+  (* Per-module content version: 0 is pristine; [n > 0] matches the
+     stream [evolve] would use at evolution [n - 1]. *)
+  let version = Array.make cfg.modules 0 in
+  let previous = Array.make cfg.modules 0 in
+  let next_version = Array.make cfg.modules 1 in
+  let state () =
+    generate_with cfg ~module_seed:(fun i ->
+        if version.(i) = 0 then cfg.seed
+        else cfg.seed + (version.(i) * 7_654_321))
+  in
+  let ws_size = max 1 (min 3 (cfg.modules / 2)) in
+  let ws_base = ref 0 in
+  let states = Array.make (steps + 1) [] in
+  states.(0) <- state ();
+  for k = 1 to steps do
+    (* The working set drifts every few edits, like attention does. *)
+    if k mod 8 = 0 then ws_base := (!ws_base + 1) mod cfg.modules;
+    let m = (!ws_base + Prng.int g ws_size) mod cfg.modules in
+    let undo = Prng.int g 100 < 25 && version.(m) <> previous.(m) in
+    if undo then begin
+      let v = version.(m) in
+      version.(m) <- previous.(m);
+      previous.(m) <- v
+    end
+    else begin
+      previous.(m) <- version.(m);
+      version.(m) <- next_version.(m);
+      next_version.(m) <- next_version.(m) + 1
+    end;
+    states.(k) <- state ()
+  done;
+  states
+
 let source_lines sources =
   List.fold_left
     (fun acc (_, text) ->

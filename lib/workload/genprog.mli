@@ -62,6 +62,17 @@ val evolve : config -> changed:int list -> evolution:int -> (string * string) li
     successive rounds of change.  Used to study stale-profile decay
     (paper section 6.2). *)
 
+val storm : config -> steps:int -> seed:int -> (string * string) list array
+(** An IDE editing session in fast-forward: [steps + 1] full program
+    states, state 0 pristine ([generate cfg]), each later state one
+    single-module edit away from its predecessor.  Edits concentrate
+    on a small drifting working set, and about a quarter of the steps
+    undo a module back to its previous content — so a warm artifact
+    cache sees re-hits on revisited states and hits on every
+    untouched module.  Deterministic in [(cfg, steps, seed)]; each
+    state is a valid input for {!generate}-consumers (main module
+    first, same interfaces). *)
+
 val source_lines : (string * string) list -> int
 (** Total newline-counted source lines. *)
 

@@ -19,5 +19,11 @@ val mcad : (string * Genprog.config) list
 val all : (string * Genprog.config) list
 (** [spec @ mcad], Figure 1 order. *)
 
+val storm : Genprog.config
+(** The build-server edit-storm personality (li-shaped but smaller);
+    deliberately not in {!all} — the figure experiments iterate
+    {!all}, and storm is a load profile, not a data point. *)
+
 val find : string -> Genprog.config
-(** @raise Not_found for an unknown benchmark name. *)
+(** Resolves every {!all} name plus ["storm"].
+    @raise Not_found for an unknown benchmark name. *)

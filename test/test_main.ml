@@ -19,4 +19,5 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("misc", Test_misc.suite);
       ("fault", Test_fault.suite);
+      ("server", Test_server.suite);
     ]

@@ -1,0 +1,395 @@
+(* The build server: wire-protocol round-trips (qcheck over every
+   message shape), framing violations (torn, garbage, bit-flipped,
+   short reads) through the CMR1 scan path, the scheduler's admission
+   and fairness rules, Buildsys sessions, and an end-to-end daemon
+   exercise over a real socket — byte-identity against a one-shot
+   build, warm second request, per-request crash isolation, graceful
+   shutdown. *)
+
+module Fsio = Cmo_support.Fsio
+module Options = Cmo_driver.Options
+module Pipeline = Cmo_driver.Pipeline
+module Buildsys = Cmo_driver.Buildsys
+module Objfile = Cmo_link.Objfile
+module Proto = Cmo_server.Proto
+module Sched = Cmo_server.Sched
+module Server = Cmo_server.Server
+module Client = Cmo_server.Client
+
+let rec remove_tree path =
+  match Sys.is_directory path with
+  | true ->
+    Array.iter
+      (fun entry -> remove_tree (Filename.concat path entry))
+      (Sys.readdir path);
+    Sys.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
+let with_dir f =
+  let dir = Filename.temp_file "cmo_server" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> remove_tree dir) (fun () -> f dir)
+
+(* --- protocol round-trips ------------------------------------------ *)
+
+let gen_string = QCheck.Gen.(string_size (0 -- 24))
+
+let gen_source =
+  QCheck.Gen.map2
+    (fun name text -> { Pipeline.name; text })
+    gen_string
+    QCheck.Gen.(string_size (0 -- 80))
+
+let gen_build_req =
+  let open QCheck.Gen in
+  let* tag = gen_string in
+  let* level = oneofl [ Options.O1; Options.O2; Options.O4 ] in
+  let* pbo = bool in
+  let* jobs = 1 -- 8 in
+  let* check = bool in
+  let* fault = option gen_string in
+  let* sources = list_size (0 -- 5) gen_source in
+  return { Proto.tag; level; pbo; jobs; check; fault; sources }
+
+let gen_request =
+  QCheck.Gen.oneof
+    [
+      QCheck.Gen.return Proto.Ping;
+      QCheck.Gen.return Proto.Stats;
+      QCheck.Gen.return Proto.Shutdown;
+      QCheck.Gen.map (fun b -> Proto.Build b) gen_build_req;
+    ]
+
+let gen_stats =
+  let open QCheck.Gen in
+  let n = 0 -- 10_000 in
+  let* accepted = n and* completed = n and* failed = n and* rejected = n in
+  let* queue_depth = n and* inflight = n in
+  let* store_hits = n and* store_misses = n in
+  return
+    {
+      Proto.accepted;
+      completed;
+      failed;
+      rejected;
+      queue_depth;
+      inflight;
+      store_hits;
+      store_misses;
+    }
+
+let gen_response =
+  let open QCheck.Gen in
+  oneof
+    [
+      return Proto.Pong;
+      return Proto.Shutting_down;
+      (let* tag = gen_string in
+       let* objects = list_size (0 -- 4) gen_string in
+       let* report = gen_string in
+       return (Proto.Built { tag; objects; report }));
+      (let* tag = gen_string and* reason = gen_string in
+       return (Proto.Rejected { tag; reason }));
+      (let* tag = gen_string and* reason = gen_string in
+       return (Proto.Failed { tag; reason }));
+      map (fun s -> Proto.Stats_reply s) gen_stats;
+    ]
+
+let arb_request =
+  QCheck.make
+    ~print:(fun r -> String.escaped (Proto.string_of_request r))
+    gen_request
+
+let arb_response =
+  QCheck.make
+    ~print:(fun r -> String.escaped (Proto.string_of_response r))
+    gen_response
+
+let qcheck_request_roundtrip =
+  QCheck.Test.make ~name:"every request round-trips the wire codec" ~count:300
+    arb_request (fun r ->
+      Proto.request_of_string (Proto.string_of_request r) = Ok r)
+
+let qcheck_response_roundtrip =
+  QCheck.Test.make ~name:"every response round-trips the wire codec"
+    ~count:300 arb_response (fun r ->
+      Proto.response_of_string (Proto.string_of_response r) = Ok r)
+
+let qcheck_request_truncation =
+  QCheck.Test.make ~name:"truncated requests decode to errors, never raise"
+    ~count:200
+    QCheck.(pair arb_request (float_bound_inclusive 1.0))
+    (fun (r, frac) ->
+      let s = Proto.string_of_request r in
+      let k = int_of_float (frac *. float_of_int (String.length s)) in
+      let k = min k (String.length s - 1) in
+      k < 0
+      ||
+      match Proto.request_of_string (String.sub s 0 k) with
+      | Ok _ -> false (* a strict prefix must not decode *)
+      | Error _ -> true)
+
+let qcheck_garbage_no_raise =
+  QCheck.Test.make ~name:"arbitrary bytes never crash the decoders" ~count:300
+    (QCheck.make QCheck.Gen.(string_size (0 -- 60)))
+    (fun s ->
+      (match Proto.request_of_string s with Ok _ | Error _ -> ());
+      (match Proto.response_of_string s with Ok _ | Error _ -> ());
+      true)
+
+(* --- framing: torn / garbage / bit-flips through the CMR1 scan ----- *)
+
+let test_frame_scan () =
+  let f = Fsio.frame "hello server" in
+  (match Fsio.scan_frame f ~pos:0 with
+  | Fsio.Frame { payload; next } ->
+    Alcotest.(check string) "payload" "hello server" payload;
+    Alcotest.(check int) "next" (String.length f) next
+  | _ -> Alcotest.fail "frame did not scan");
+  (* Torn: every strict prefix is Need, never Frame, never Bad. *)
+  for k = 0 to String.length f - 1 do
+    match Fsio.scan_frame (String.sub f 0 k) ~pos:0 with
+    | Fsio.Need n -> Alcotest.(check bool) "need positive" true (n > 0)
+    | Fsio.Frame _ -> Alcotest.failf "prefix %d scanned as a whole frame" k
+    | Fsio.Bad _ -> Alcotest.failf "prefix %d scanned as Bad, not Need" k
+  done;
+  (* Any single bit flip is Bad (magic or CRC catches it). *)
+  for i = 0 to String.length f - 1 do
+    let b = Bytes.of_string f in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
+    match Fsio.scan_frame (Bytes.to_string b) ~pos:0 with
+    | Fsio.Bad _ -> ()
+    | Fsio.Frame _ -> Alcotest.failf "bit flip at %d went undetected" i
+    | Fsio.Need _ ->
+      (* Flipping a length byte can turn the frame into a longer,
+         still-incomplete one; acceptable only past the magic. *)
+      if i < 4 then Alcotest.failf "magic flip at %d read as Need" i
+  done
+
+let test_valid_prefix () =
+  let a = Fsio.frame "one" and b = Fsio.frame "two" in
+  let torn = String.sub (Fsio.frame "three") 0 7 in
+  let whole = a ^ b in
+  Alcotest.(check int) "whole stream" (String.length whole)
+    (Fsio.valid_prefix_string whole);
+  Alcotest.(check int) "torn tail ignored" (String.length whole)
+    (Fsio.valid_prefix_string (whole ^ torn));
+  Alcotest.(check int) "garbage stops the scan at zero" 0
+    (Fsio.valid_prefix_string ("XXXX" ^ whole))
+
+let with_socketpair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () -> f a b)
+
+let test_read_message () =
+  (* Round trip. *)
+  with_socketpair (fun a b ->
+      Proto.write_message a "payload bytes";
+      match Proto.read_message b with
+      | Ok p -> Alcotest.(check string) "round trip" "payload bytes" p
+      | Error _ -> Alcotest.fail "read_message failed on a good frame");
+  (* Clean close between messages is Eof. *)
+  with_socketpair (fun a b ->
+      Unix.close a;
+      match Proto.read_message b with
+      | Error `Eof -> ()
+      | _ -> Alcotest.fail "clean close was not Eof");
+  (* Garbage bytes are a framing violation. *)
+  with_socketpair (fun a b ->
+      let junk = "NOPE this is not a frame at all........" in
+      ignore (Unix.write_substring a junk 0 (String.length junk));
+      Unix.close a;
+      match Proto.read_message b with
+      | Error (`Bad _) -> ()
+      | Ok _ -> Alcotest.fail "garbage decoded as a message"
+      | Error `Eof -> Alcotest.fail "garbage read as clean Eof");
+  (* A short read — close mid-frame — is Bad, not Eof: the peer died
+     inside a message. *)
+  with_socketpair (fun a b ->
+      let f = Fsio.frame "cut off" in
+      ignore (Unix.write_substring a f 0 7);
+      Unix.close a;
+      match Proto.read_message b with
+      | Error (`Bad _) -> ()
+      | Ok _ | Error `Eof -> Alcotest.fail "torn frame not reported as Bad")
+
+(* --- the scheduler ------------------------------------------------- *)
+
+let test_sched_admission () =
+  let q = Sched.create ~queue_max:2 () in
+  Alcotest.(check bool) "first admitted" true (Sched.submit q ~cost:1 "a");
+  Alcotest.(check bool) "second admitted" true (Sched.submit q ~cost:1 "b");
+  Alcotest.(check bool) "third refused" false (Sched.submit q ~cost:1 "c");
+  Alcotest.(check (option string)) "drain one" (Some "a") (Sched.take q);
+  Alcotest.(check bool) "slot freed" true (Sched.submit q ~cost:1 "c")
+
+let test_sched_aging () =
+  let q = Sched.create ~small_cost:10 ~age_rounds:2 ~queue_max:16 () in
+  Alcotest.(check bool) "big admitted" true (Sched.submit q ~cost:100 "big");
+  List.iter
+    (fun s -> assert (Sched.submit q ~cost:1 s))
+    [ "s1"; "s2"; "s3"; "s4" ];
+  (* Small class dispatches first, FIFO; after two dispatches the big
+     entry has aged into the interactive class and its lower seq wins. *)
+  let order = List.init 5 (fun _ -> Option.get (Sched.take q)) in
+  Alcotest.(check (list string))
+    "FIFO with aging" [ "s1"; "s2"; "big"; "s3"; "s4" ] order
+
+let test_sched_close_drains () =
+  let q = Sched.create ~queue_max:4 () in
+  assert (Sched.submit q ~cost:1 "a");
+  assert (Sched.submit q ~cost:1 "b");
+  Sched.close q;
+  Alcotest.(check bool) "closed refuses" false (Sched.submit q ~cost:1 "c");
+  Alcotest.(check (option string)) "drains a" (Some "a") (Sched.take q);
+  Alcotest.(check (option string)) "drains b" (Some "b") (Sched.take q);
+  Alcotest.(check (option string)) "then empty" None (Sched.take q);
+  Alcotest.(check bool) "reports closed" true (Sched.closed q)
+
+(* --- Buildsys sessions --------------------------------------------- *)
+
+let session_sources =
+  [
+    {
+      Pipeline.name = "sv_main";
+      text =
+        {|
+        func main() {
+          var s = 0;
+          var i = 0;
+          while (i < 10) { s = s + step(i, s); i = i + 1; }
+          print(s);
+          return s & 255;
+        }
+        |};
+    };
+    {
+      Pipeline.name = "sv_lib";
+      text =
+        {|
+        static func scale(v) { return v * 5 + 2; }
+        func step(x, acc) { return (acc / 4) + scale(x); }
+        |};
+    };
+  ]
+
+let test_session_warm () =
+  with_dir @@ fun dir ->
+  let ws = Buildsys.create ~dir () in
+  let s = Buildsys.open_session ~naim:true ws in
+  Fun.protect ~finally:(fun () -> Buildsys.close_session s) @@ fun () ->
+  let o4 = { Options.o4 with Options.jobs = 1 } in
+  let r1 = Buildsys.request s o4 session_sources in
+  let r2 = Buildsys.request s o4 session_sources in
+  Alcotest.(check bool) "warm request byte-identical" true
+    (r1.Buildsys.build.Pipeline.objects = r2.Buildsys.build.Pipeline.objects);
+  (match r2.Buildsys.build.Pipeline.report.Pipeline.cache with
+  | Some c ->
+    Alcotest.(check bool) "warm request hits the store" true
+      (c.Pipeline.hits > 0);
+    Alcotest.(check int) "warm request misses nothing" 0 c.Pipeline.misses
+  | None -> Alcotest.fail "session build carried no cache report");
+  (* Close is idempotent; a request after close is an error. *)
+  Buildsys.close_session s;
+  match Buildsys.request s o4 session_sources with
+  | _ -> Alcotest.fail "request on a closed session succeeded"
+  | exception Invalid_argument _ -> ()
+
+(* --- end to end ---------------------------------------------------- *)
+
+let test_end_to_end () =
+  with_dir @@ fun dir ->
+  let config =
+    {
+      Server.socket = Filename.concat dir "cmocd.sock";
+      builders = 2;
+      queue_max = 8;
+      state_dir = Filename.concat dir "state";
+      cache_capacity = None;
+      trace = None;
+    }
+  in
+  let oracle =
+    List.map Objfile.encode
+      (Pipeline.compile
+         { Options.o4 with Options.jobs = 1 }
+         session_sources)
+        .Pipeline.objects
+  in
+  let t = Server.start config in
+  let finished = ref false in
+  Fun.protect
+    ~finally:(fun () ->
+      if not !finished then begin
+        Server.shutdown t;
+        Server.wait t
+      end)
+  @@ fun () ->
+  Client.with_connect ~socket:config.Server.socket (fun conn ->
+      Alcotest.(check bool) "ping" true (Client.ping conn);
+      let req ?fault tag =
+        {
+          Proto.tag;
+          level = Options.O4;
+          pbo = false;
+          jobs = 1;
+          check = false;
+          fault;
+          sources = session_sources;
+        }
+      in
+      (match Client.build conn (req "cold") with
+      | Proto.Built { objects; _ } ->
+        Alcotest.(check bool) "cold build matches one-shot" true
+          (objects = oracle)
+      | _ -> Alcotest.fail "cold build did not complete");
+      (match Client.build conn (req "warm") with
+      | Proto.Built { objects; _ } ->
+        Alcotest.(check bool) "warm build matches one-shot" true
+          (objects = oracle)
+      | _ -> Alcotest.fail "warm build did not complete");
+      let st = Client.stats conn in
+      Alcotest.(check bool) "warm traffic visible in stats" true
+        (st.Proto.store_hits > 0);
+      (* A crash plan kills its own request only. *)
+      (match Client.build conn (req ~fault:"crash@2,seed=5" "chaos") with
+      | Proto.Failed _ -> ()
+      | Proto.Built _ -> Alcotest.fail "crash plan never fired"
+      | _ -> Alcotest.fail "chaos request got an unexpected reply");
+      (match Client.build conn (req "retry") with
+      | Proto.Built { objects; _ } ->
+        Alcotest.(check bool) "post-crash retry byte-identical" true
+          (objects = oracle)
+      | _ -> Alcotest.fail "daemon stopped serving after a crash request");
+      Client.shutdown_server conn);
+  Server.wait t;
+  finished := true;
+  Alcotest.(check bool) "socket removed on shutdown" false
+    (Sys.file_exists config.Server.socket)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_request_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_response_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_request_truncation;
+    QCheck_alcotest.to_alcotest qcheck_garbage_no_raise;
+    Alcotest.test_case "CMR1 frame scan: torn and flipped" `Quick
+      test_frame_scan;
+    Alcotest.test_case "valid prefix over a frame stream" `Quick
+      test_valid_prefix;
+    Alcotest.test_case "read_message: eof, garbage, short read" `Quick
+      test_read_message;
+    Alcotest.test_case "sched: bounded admission" `Quick test_sched_admission;
+    Alcotest.test_case "sched: FIFO with aging" `Quick test_sched_aging;
+    Alcotest.test_case "sched: close drains" `Quick test_sched_close_drains;
+    Alcotest.test_case "buildsys session: warm store, closed errors" `Quick
+      test_session_warm;
+    Alcotest.test_case "daemon end to end over a socket" `Quick
+      test_end_to_end;
+  ]
