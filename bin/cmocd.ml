@@ -79,7 +79,10 @@ let action socket jobs queue_max state_dir cache_capacity trace log =
         trace;
       }
     in
-    match Server.start cfg with
+    (* start installs the SIGINT/SIGTERM shutdown handlers itself,
+       before unblocking the signals — installing them here would
+       leave a window where a signal kills us without a drain. *)
+    match Server.start ~handle_signals:true cfg with
     | exception Unix.Unix_error (e, _, _) ->
       `Error
         (false, Printf.sprintf "cannot listen on %s: %s" socket
@@ -88,9 +91,6 @@ let action socket jobs queue_max state_dir cache_capacity trace log =
       (* The ready line is the contract scripts wait on before
          pointing clients at the socket. *)
       Printf.printf "cmocd: listening on %s\n%!" socket;
-      let handler _ = Server.shutdown t in
-      ignore (Sys.signal Sys.sigint (Sys.Signal_handle handler));
-      ignore (Sys.signal Sys.sigterm (Sys.Signal_handle handler));
       Server.wait t;
       Printf.printf "cmocd: shutdown complete\n%!";
       `Ok ()

@@ -71,8 +71,16 @@ type job = { req : Proto.build_req; reply : Proto.response -> unit }
 type t = {
   cfg : config;
   listen_fd : Unix.file_descr;
+  (* Self-pipe: [shutdown] writes a byte to [wake_w] so the accept
+     thread parked in select(2) wakes deterministically. *)
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
   session : Buildsys.session;
   session_lock : Mutex.t;  (* guards reopen_store vs. stats reads *)
+  (* Counters banked from stores closed by [reopen_store], so stats
+     stay cumulative across chaos requests; under [session_lock]. *)
+  mutable store_hits_base : int;
+  mutable store_misses_base : int;
   sched : job Sched.t;
   gate : gate;
   stop : bool Atomic.t;
@@ -91,11 +99,14 @@ let stats t =
   let store_hits, store_misses =
     Mutex.lock t.session_lock;
     Fun.protect ~finally:(fun () -> Mutex.unlock t.session_lock) @@ fun () ->
-    match Buildsys.session_store t.session with
-    | None -> (0, 0)
-    | Some store ->
-      let s = Store.stats store in
-      (s.Store.hits, s.Store.misses)
+    let hits, misses =
+      match Buildsys.session_store t.session with
+      | None -> (0, 0)
+      | Some store ->
+        let s = Store.stats store in
+        (s.Store.hits, s.Store.misses)
+    in
+    (t.store_hits_base + hits, t.store_misses_base + misses)
   in
   {
     Proto.accepted = Atomic.get t.accepted;
@@ -170,7 +181,17 @@ let execute t (b : Proto.build_req) =
           Mutex.lock t.session_lock;
           Fun.protect
             ~finally:(fun () -> Mutex.unlock t.session_lock)
-            (fun () -> Buildsys.reopen_store t.session))
+            (fun () ->
+              (* Reopening discards the store's in-memory counters;
+                 bank them first so stats stay cumulative across
+                 chaos requests. *)
+              (match Buildsys.session_store t.session with
+              | None -> ()
+              | Some store ->
+                let s = Store.stats store in
+                t.store_hits_base <- t.store_hits_base + s.Store.hits;
+                t.store_misses_base <- t.store_misses_base + s.Store.misses);
+              Buildsys.reopen_store t.session))
   with
   | build ->
     Atomic.incr t.completed;
@@ -224,32 +245,63 @@ let shutdown t =
     Log.info (fun f -> f "shutting down: draining %d queued request(s)"
                  (Sched.depth t.sched));
     Sched.close t.sched;
-    (* Wake the accept loop: it checks the stop flag per connection. *)
-    match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
-    | fd -> (
-      Fun.protect
-        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-        (fun () ->
-          try Unix.connect fd (Unix.ADDR_UNIX t.cfg.socket)
-          with Unix.Unix_error _ -> ()))
-    | exception Unix.Unix_error _ -> ()
+    (* Wake the accept thread out of select(2).  Unlike connecting to
+       our own socket, this cannot be defeated by the socket file
+       having been removed or replaced externally. *)
+    try ignore (Unix.write t.wake_w (Bytes.make 1 '!') 0 1)
+    with Unix.Unix_error _ -> ()
   end
 
 let conn_loop t id fd =
-  let send_lock = Mutex.create () in
-  let reply resp =
-    Mutex.lock send_lock;
-    Fun.protect ~finally:(fun () -> Mutex.unlock send_lock) @@ fun () ->
-    try Proto.write_message fd (Proto.string_of_response resp)
-    with Unix.Unix_error _ | Sys_error _ ->
-      (* The client vanished; its build is already done or doomed. *)
-      Log.debug (fun f -> f "conn %d: reply dropped, peer gone" id)
+  (* A queued or in-flight build holds [reply] (and thus this fd) in
+     its closure.  Closing the fd the moment the reader exits would
+     let the kernel reuse the descriptor number, and a later reply
+     would write its frame into whatever unrelated fd got that number
+     — cross-connection corruption, not just a caught EBADF.  So the
+     reader's exit only *retires* the connection; the fd is closed
+     when the last pending reply has been delivered (immediately when
+     none are), and replies after close are dropped under [lock]. *)
+  let lock = Mutex.create () in
+  let pending = ref 0 in
+  let retired = ref false in
+  let closed = ref false in
+  let close_conn () =
+    (* Callers hold [lock]. *)
+    if not !closed then begin
+      closed := true;
+      Mutex.lock t.conns_lock;
+      Hashtbl.remove t.conns id;
+      Mutex.unlock t.conns_lock;
+      try Unix.close fd with Unix.Unix_error _ -> ()
+    end
   in
-  let forget () =
-    Mutex.lock t.conns_lock;
-    Hashtbl.remove t.conns id;
-    Mutex.unlock t.conns_lock;
-    try Unix.close fd with Unix.Unix_error _ -> ()
+  let reply resp =
+    Mutex.lock lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock lock) @@ fun () ->
+    if !closed then
+      Log.debug (fun f -> f "conn %d: reply dropped, connection closed" id)
+    else
+      try Proto.write_message fd (Proto.string_of_response resp)
+      with Unix.Unix_error _ | Sys_error _ ->
+        (* The client vanished; its build is already done or doomed. *)
+        Log.debug (fun f -> f "conn %d: reply dropped, peer gone" id)
+  in
+  let retain () =
+    Mutex.lock lock;
+    incr pending;
+    Mutex.unlock lock
+  in
+  let release () =
+    Mutex.lock lock;
+    decr pending;
+    if !retired && !pending = 0 then close_conn ();
+    Mutex.unlock lock
+  in
+  let retire () =
+    Mutex.lock lock;
+    retired := true;
+    if !pending = 0 then close_conn ();
+    Mutex.unlock lock
   in
   let rec loop () =
     match Proto.read_message fd with
@@ -276,7 +328,16 @@ let conn_loop t id fd =
       | Ok (Proto.Build b) ->
         if Obs.enabled () then Obs.tick "server" "requests" 1;
         let cost = source_lines b.Proto.sources in
-        let job = { req = b; reply } in
+        retain ();
+        let job =
+          {
+            req = b;
+            reply =
+              (fun resp ->
+                reply resp;
+                release ());
+          }
+        in
         if Sched.submit t.sched ~cost job then begin
           Atomic.incr t.accepted;
           if Obs.enabled () then
@@ -284,6 +345,7 @@ let conn_loop t id fd =
               [ ("depth", float_of_int (Sched.depth t.sched)) ]
         end
         else begin
+          release ();
           Atomic.incr t.rejected;
           if Obs.enabled () then Obs.tick "server" "rejected" 1;
           let reason =
@@ -293,33 +355,76 @@ let conn_loop t id fd =
         end;
         loop ())
   in
-  Fun.protect loop ~finally:forget
+  Fun.protect loop ~finally:retire
 
 let accept_loop t =
   let next_conn = ref 0 in
+  let drain_buf = Bytes.create 8 in
+  (* Park in select on the listen fd plus the self-pipe rather than
+     in accept(2) itself: [shutdown]'s wake byte then interrupts the
+     wait deterministically, whatever happened to the socket file.
+     The listen fd is non-blocking, so a connection aborted between
+     select and accept cannot re-park us. *)
   let rec loop () =
-    match Unix.accept t.listen_fd with
-    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
-      if Atomic.get t.stop then () else loop ()
-    | exception Unix.Unix_error _ -> ()
-    | fd, _ ->
-      if Atomic.get t.stop then (
-        (try Unix.close fd with Unix.Unix_error _ -> ());
-        ())
-      else begin
-        incr next_conn;
-        let id = !next_conn in
-        Mutex.lock t.conns_lock;
-        Hashtbl.replace t.conns id fd;
-        Mutex.unlock t.conns_lock;
-        ignore (Thread.create (fun () -> conn_loop t id fd) ());
-        loop ()
-      end
+    if Atomic.get t.stop then ()
+    else
+      match Unix.select [ t.listen_fd; t.wake_r ] [] [] (-1.0) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | exception Unix.Unix_error _ -> ()
+      | ready, _, _ ->
+        if List.mem t.wake_r ready then
+          (try ignore (Unix.read t.wake_r drain_buf 0 (Bytes.length drain_buf))
+           with Unix.Unix_error _ -> ());
+        if Atomic.get t.stop then ()
+        else if List.mem t.listen_fd ready then (
+          match Unix.accept t.listen_fd with
+          | exception
+              Unix.Unix_error
+                ( (Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK
+                  | Unix.ECONNABORTED),
+                  _, _ ) ->
+            loop ()
+          | exception Unix.Unix_error _ -> ()
+          | fd, _ ->
+            incr next_conn;
+            let id = !next_conn in
+            Mutex.lock t.conns_lock;
+            Hashtbl.replace t.conns id fd;
+            Mutex.unlock t.conns_lock;
+            ignore (Thread.create (fun () -> conn_loop t id fd) ());
+            loop ())
+        else loop ()
   in
   loop ()
 
-let start cfg =
+let start ?(handle_signals = false) cfg =
   if cfg.builders < 1 then invalid_arg "Server.start: builders < 1";
+  (* A stale socket file from a dead daemon would make bind fail —
+     but only unlink it after probing that nothing answers on it, so
+     a second cmocd pointed at a live daemon's socket refuses to
+     start instead of silently hijacking the path. *)
+  if Sys.file_exists cfg.socket then begin
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let verdict =
+      Fun.protect
+        ~finally:(fun () ->
+          try Unix.close probe with Unix.Unix_error _ -> ())
+        (fun () ->
+          match Unix.connect probe (Unix.ADDR_UNIX cfg.socket) with
+          | () -> `Live
+          | exception
+              Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) ->
+            `Stale
+          | exception Unix.Unix_error _ ->
+            (* Not a connectable socket (e.g. a regular file); leave
+               it alone and let bind report the conflict. *)
+            `Other)
+    in
+    match verdict with
+    | `Live -> raise (Unix.Unix_error (Unix.EADDRINUSE, "connect", cfg.socket))
+    | `Stale -> (try Unix.unlink cfg.socket with Unix.Unix_error _ -> ())
+    | `Other -> ()
+  end;
   Fsio.mkdirs cfg.state_dir;
   if cfg.trace <> None then Obs.start ();
   let ws =
@@ -327,9 +432,6 @@ let start cfg =
       ~dir:cfg.state_dir ()
   in
   let session = Buildsys.open_session ~naim:true ws in
-  (* A stale socket file from a dead daemon would make bind fail. *)
-  if Sys.file_exists cfg.socket then (
-    try Unix.unlink cfg.socket with Unix.Unix_error _ -> ());
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (try Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket)
    with e ->
@@ -337,6 +439,8 @@ let start cfg =
      Buildsys.close_session session;
      raise e);
   Unix.listen listen_fd 64;
+  Unix.set_nonblock listen_fd;
+  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ | Sys_error _ -> ());
   (* Deliver SIGINT/SIGTERM to the main thread only: the spawned
@@ -352,8 +456,12 @@ let start cfg =
     {
       cfg;
       listen_fd;
+      wake_r;
+      wake_w;
       session;
       session_lock = Mutex.create ();
+      store_hits_base = 0;
+      store_misses_base = 0;
       sched = Sched.create ~queue_max:cfg.queue_max ();
       gate = gate_create ();
       stop = Atomic.make false;
@@ -371,6 +479,16 @@ let start cfg =
   t.builder_threads <-
     List.init cfg.builders (fun _ -> Thread.create builder_loop t);
   t.accept_thread <- Some (Thread.create accept_loop t);
+  (* Handlers must be in place before the signals are unblocked, or a
+     signal in the window dies with default disposition — no drain,
+     socket file left behind. *)
+  if handle_signals then begin
+    let handler _ = shutdown t in
+    (try ignore (Sys.signal Sys.sigint (Sys.Signal_handle handler))
+     with Invalid_argument _ | Sys_error _ -> ());
+    (try ignore (Sys.signal Sys.sigterm (Sys.Signal_handle handler))
+     with Invalid_argument _ | Sys_error _ -> ())
+  end;
   (try ignore (Thread.sigmask Unix.SIG_UNBLOCK [ Sys.sigint; Sys.sigterm ])
    with Invalid_argument _ -> ());
   Log.info (fun f ->
@@ -390,6 +508,8 @@ let wait t =
   done;
   Option.iter Thread.join t.accept_thread;
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+  (try Unix.close t.wake_w with Unix.Unix_error _ -> ());
   List.iter Thread.join t.builder_threads;
   (* In-flight and queued work is done; cut the remaining readers
      loose (their threads exit on the resulting EOF/error). *)
@@ -411,13 +531,4 @@ let wait t =
     Obs.stop ());
   Log.info (fun f -> f "shutdown complete")
 
-let run cfg =
-  let t = start cfg in
-  let handler _ = shutdown t in
-  let old_int = Sys.signal Sys.sigint (Sys.Signal_handle handler) in
-  let old_term = Sys.signal Sys.sigterm (Sys.Signal_handle handler) in
-  Fun.protect
-    ~finally:(fun () ->
-      Sys.set_signal Sys.sigint old_int;
-      Sys.set_signal Sys.sigterm old_term)
-    (fun () -> wait t)
+let run cfg = wait (start ~handle_signals:true cfg)

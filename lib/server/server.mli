@@ -49,9 +49,16 @@ val default_config : config
 
 type t
 
-val start : config -> t
+val start : ?handle_signals:bool -> config -> t
 (** Bind the socket, open the warm session, spawn the accept and
-    builder threads, return immediately. *)
+    builder threads, return immediately.  If the socket path exists
+    and a peer answers on it, raises [Unix.Unix_error (EADDRINUSE,
+    _, _)] instead of hijacking the live daemon's socket; only a
+    stale path (connect refused / gone) is unlinked.  With
+    [handle_signals] (default [false]), SIGINT/SIGTERM handlers that
+    {!shutdown} the daemon are installed {e before} the signals are
+    unblocked in the calling thread, so no delivery window is left
+    where a signal would kill the process without a drain. *)
 
 val shutdown : t -> unit
 (** Initiate graceful shutdown; idempotent, callable from a signal
@@ -69,5 +76,5 @@ val stopped : t -> bool
 (** Shutdown has been initiated (drain may still be in progress). *)
 
 val run : config -> unit
-(** [start], install SIGINT/SIGTERM handlers that [shutdown], then
-    [wait] — the [cmocd] main loop. *)
+(** [start ~handle_signals:true] then [wait] — the [cmocd] main
+    loop. *)

@@ -357,6 +357,17 @@ let test_end_to_end () =
       let st = Client.stats conn in
       Alcotest.(check bool) "warm traffic visible in stats" true
         (st.Proto.store_hits > 0);
+      (* A second daemon on the same socket must refuse to start
+         rather than hijack this one's socket file. *)
+      (match Server.start config with
+      | exception Unix.Unix_error (Unix.EADDRINUSE, _, _) -> ()
+      | exception e ->
+        Alcotest.fail
+          ("second daemon failed oddly: " ^ Printexc.to_string e)
+      | t2 ->
+        Server.shutdown t2;
+        Server.wait t2;
+        Alcotest.fail "second daemon hijacked a live socket");
       (* A crash plan kills its own request only. *)
       (match Client.build conn (req ~fault:"crash@2,seed=5" "chaos") with
       | Proto.Failed _ -> ()
@@ -367,6 +378,10 @@ let test_end_to_end () =
         Alcotest.(check bool) "post-crash retry byte-identical" true
           (objects = oracle)
       | _ -> Alcotest.fail "daemon stopped serving after a crash request");
+      (* The chaos reopen must not reset the cumulative counters. *)
+      let st' = Client.stats conn in
+      Alcotest.(check bool) "store hits cumulative across chaos" true
+        (st'.Proto.store_hits >= st.Proto.store_hits);
       Client.shutdown_server conn);
   Server.wait t;
   finished := true;
