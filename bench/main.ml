@@ -8,7 +8,7 @@
    Experiments: fig1 fig4 fig5 fig6 bytes-per-line ablation stale micro
    incremental incremental-smoke parallel parallel-smoke fuzz-smoke
    check-overhead trace-smoke fault-sweep fault-sweep-smoke storm
-   storm-smoke *)
+   storm-smoke dist dist-smoke *)
 
 module Genprog = Cmo_workload.Genprog
 module Suite = Cmo_workload.Suite
@@ -1280,6 +1280,161 @@ let storm_for ~label ~clients ~per_client ~steps =
 let storm () = storm_for ~label:"full" ~clients:6 ~per_client:36 ~steps:17
 let storm_smoke () = storm_for ~label:"smoke" ~clients:3 ~per_client:12 ~steps:8
 
+(* ------------------------------------------------------------------ *)
+(* Distributed link-time CMO: partition jobs on worker processes and
+   module artifacts through a cmocd remote cache.  The harness holds
+   the same line as the parallel benchmark — any divergence from the
+   one-shot j=1 oracle is a failure — and reports wall/cpu per job
+   level, partition jobs per worker pool, the remote-cache hit rate
+   across two cold checkouts, and a chaos leg (worker SIGKILLed
+   mid-protocol) that must still land on the oracle's bytes. *)
+(* ------------------------------------------------------------------ *)
+
+let dist_for name ~shards =
+  let module Distwork = Cmo_driver.Distwork in
+  let module Server = Cmo_server.Server in
+  let module Client = Cmo_server.Client in
+  header
+    (Printf.sprintf "Distributed link-time CMO (%s x %d shards, +O4)" name
+       shards);
+  let listing = Genprog.sharded (Suite.find name) ~shards in
+  Printf.printf "%d modules, %d lines; worker binary %s\n"
+    (List.length listing)
+    (Genprog.source_lines listing)
+    (Distwork.resolve_worker ());
+  let sources =
+    List.map (fun (name, text) -> { Pipeline.name; text }) listing
+  in
+  let cmo_set =
+    List.filter_map
+      (fun (n, _) -> if String.equal n "main_mod" then None else Some n)
+      listing
+  in
+  let options = { Options.o4 with Options.cmo_modules = Some cmo_set } in
+  let failures = ref 0 in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  let identical (b : Pipeline.build) (o : Pipeline.build) =
+    b.Pipeline.image.Cmo_link.Image.code = o.Pipeline.image.Cmo_link.Image.code
+    && b.Pipeline.image.Cmo_link.Image.funcs
+       = o.Pipeline.image.Cmo_link.Image.funcs
+    && b.Pipeline.objects = o.Pipeline.objects
+  in
+  let oracle, oracle_wall =
+    timed (fun () -> Pipeline.compile { options with Options.jobs = 1 } sources)
+  in
+  Printf.printf "one-shot oracle: %.3fs wall\n" oracle_wall;
+  (* Process-isolated partition workers at j in {1, 2, 4}. *)
+  Printf.printf "%-5s | %8s | %8s | %6s %6s | %s\n" "jobs" "wall s" "cpu s"
+    "pjobs" "lost" "output";
+  List.iter
+    (fun jobs ->
+      let j0 = Distwork.jobs_total () and l0 = Distwork.lost_total () in
+      let b, wall =
+        timed (fun () ->
+            Pipeline.compile
+              { options with Options.jobs = jobs; dist = true }
+              sources)
+      in
+      let ok = identical b oracle in
+      if not ok then incr failures;
+      Printf.printf "%-5d | %8.3f | %8.3f | %6d %6d | %s\n%!" jobs wall
+        (Pipeline.phase_cpu_seconds b.Pipeline.report)
+        (Distwork.jobs_total () - j0)
+        (Distwork.lost_total () - l0)
+        (if ok then "identical to oracle" else "DIVERGED from oracle"))
+    [ 1; 2; 4 ];
+  (* The remote artifact cache: two cold checkouts share one daemon. *)
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) ("cmo-bench-dist-" ^ name)
+  in
+  remove_tree dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> remove_tree dir) @@ fun () ->
+  let config =
+    {
+      Cmo_server.Server.socket = Filename.concat dir "cmocd.sock";
+      builders = 1;
+      queue_max = 4;
+      state_dir = Filename.concat dir "state";
+      cache_capacity = None;
+      trace = None;
+    }
+  in
+  let server = Server.start config in
+  Fun.protect
+    ~finally:(fun () ->
+      Client.with_connect ~socket:config.Server.socket Client.shutdown_server;
+      Server.wait server)
+  @@ fun () ->
+  Client.with_connect ~socket:config.Server.socket @@ fun conn ->
+  let remote = Client.remote conn in
+  let checkout label =
+    let store_dir = Filename.concat dir label in
+    Sys.mkdir store_dir 0o755;
+    let store = Store.open_ ~dir:store_dir () in
+    let (b, wall) =
+      timed (fun () ->
+          Fun.protect
+            ~finally:(fun () -> Store.close store)
+            (fun () ->
+              Pipeline.compile ~cache:store ~remote
+                { options with Options.jobs = 2; dist = true }
+                sources))
+    in
+    if not (identical b oracle) then begin
+      incr failures;
+      Printf.eprintf "dist: %s diverged from the oracle\n" label
+    end;
+    match b.Pipeline.report.Pipeline.cache with
+    | None ->
+      incr failures;
+      Printf.eprintf "dist: %s carried no cache usage\n" label;
+      (wall, 0, 0)
+    | Some c -> (wall, c.Pipeline.remote_hits, c.Pipeline.remote_misses)
+  in
+  let w1, h1, m1 = checkout "checkout1" in
+  let w2, h2, m2 = checkout "checkout2" in
+  let rate h m = 100.0 *. float_of_int h /. float_of_int (max 1 (h + m)) in
+  Printf.printf
+    "remote cache: checkout1 %.3fs, %d hits/%d misses (%.1f%%); checkout2 \
+     %.3fs, %d hits/%d misses (%.1f%%)\n"
+    w1 h1 m1 (rate h1 m1) w2 h2 m2 (rate h2 m2);
+  if h2 = 0 || m2 > 0 then begin
+    incr failures;
+    Printf.eprintf "dist: second checkout should hit the remote for every \
+                    module (%d hits, %d misses)\n" h2 m2
+  end;
+  (* Chaos tail: a worker SIGKILLed mid-protocol degrades one
+     partition to local recompute, invisibly. *)
+  Unix.putenv "CMO_DIST_CHAOS" "kill@3";
+  let l0 = Distwork.lost_total () in
+  let chaos, chaos_wall =
+    timed (fun () ->
+        Fun.protect
+          ~finally:(fun () -> Unix.putenv "CMO_DIST_CHAOS" "")
+          (fun () ->
+            Pipeline.compile
+              { options with Options.jobs = 2; dist = true }
+              sources))
+  in
+  let lost = Distwork.lost_total () - l0 in
+  let ok = identical chaos oracle in
+  if not ok || lost = 0 then incr failures;
+  Printf.printf "chaos kill@3: %.3fs, %d worker(s) lost, %s\n" chaos_wall lost
+    (if ok then "byte-identical recovery"
+     else "DIVERGED (or chaos never fired)");
+  if !failures > 0 then begin
+    Printf.eprintf "dist benchmark: %d failure(s)\n" !failures;
+    exit 1
+  end
+
+let dist () = dist_for "gcc" ~shards:4
+let dist_smoke () = dist_for "li" ~shards:3
+
 let all = [ "fig1", fig1; "fig4", fig4; "fig5", fig5; "fig6", fig6;
             "bytes-per-line", bytes_per_line; "ablation", ablation;
             "stale", stale; "micro", micro; "incremental", incremental;
@@ -1288,7 +1443,8 @@ let all = [ "fig1", fig1; "fig4", fig4; "fig5", fig5; "fig6", fig6;
             "fuzz-smoke", fuzz_smoke; "check-overhead", check_overhead;
             "trace-smoke", trace_smoke;
             "fault-sweep", fault_sweep; "fault-sweep-smoke", fault_sweep_smoke;
-            "storm", storm; "storm-smoke", storm_smoke ]
+            "storm", storm; "storm-smoke", storm_smoke;
+            "dist", dist; "dist-smoke", dist_smoke ]
 
 let () =
   let requested =

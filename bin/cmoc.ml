@@ -188,8 +188,19 @@ let remote_flag =
 
 let socket_arg =
   Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
-         ~doc:"The $(b,cmocd) Unix-domain socket (with --remote).  \
-               Defaults to \\$CMO_SOCKET.")
+         ~doc:"The $(b,cmocd) Unix-domain socket (with --remote, or \
+               as the remote artifact cache with $(b,cmoc build \
+               --dist)).  Defaults to \\$CMO_SOCKET.")
+
+let dist_flag =
+  Arg.(value & flag & info [ "dist" ]
+         ~doc:"Distributed link-time CMO: run +O4 partitions in \
+               isolated $(b,cmoc-worker) processes instead of worker \
+               domains.  Any worker loss degrades the affected \
+               partition back to in-process execution; output is \
+               byte-identical either way.  Also enabled by \
+               \\$CMO_DIST.  The worker binary comes from \
+               \\$CMO_DIST_WORKER or is found next to cmoc.")
 
 let resolve_socket = function
   | Some s -> s
@@ -223,7 +234,8 @@ let remote_compile ~socket ~(options : Options.t) ~fault sources =
   | exception Client.Protocol_error m -> fail "cmocd protocol error: %s" m
   | Proto.Rejected { reason; _ } -> fail "cmocd rejected the build: %s" reason
   | Proto.Failed { reason; _ } -> fail "cmocd build failed: %s" reason
-  | Proto.Pong | Proto.Stats_reply _ | Proto.Shutting_down ->
+  | Proto.Pong | Proto.Stats_reply _ | Proto.Shutting_down
+  | Proto.Cache_hit _ | Proto.Cache_miss | Proto.Cache_stored ->
     fail "cmocd protocol error: unexpected reply"
   | Proto.Built { objects; report; _ } -> (
     let objects = List.map Cmo_link.Objfile.decode objects in
@@ -268,11 +280,20 @@ let compile_cmd =
         outcome.Vm.func_cycles
     end
   in
-  let action paths level pbo profile selectivity machine_mb jobs check trace fault log input run_it verbose map_it hot_report remote socket report_json =
+  let action paths level pbo profile selectivity machine_mb jobs check trace fault log input run_it verbose map_it hot_report remote dist socket report_json =
     try
       setup_logs log;
+      if remote && dist then
+        raise
+          (Pipeline.Compile_error
+             "--remote and --dist are mutually exclusive: --remote ships \
+              the whole build to cmocd, --dist runs it here on worker \
+              processes");
       let sources = List.map source_of_path paths in
       let options = make_options level pbo selectivity machine_mb jobs check trace in
+      let options =
+        if dist then { options with Options.dist = true } else options
+      in
       (* The flag wins over $CMO_FAULT, like the local path. *)
       let fault =
         match fault with
@@ -322,8 +343,8 @@ let compile_cmd =
     Term.(ret (const action $ sources_arg $ level_arg $ pbo_arg $ profile_arg
                $ selectivity_arg $ machine_memory_arg $ jobs_arg $ check_arg
                $ trace_arg $ fault_plan_arg $ log_arg $ input_arg $ run_flag
-               $ verbose $ map_flag $ hot_flag $ remote_flag $ socket_arg
-               $ report_json_arg))
+               $ verbose $ map_flag $ hot_flag $ remote_flag $ dist_flag
+               $ socket_arg $ report_json_arg))
 
 (* ---- train ---- *)
 
@@ -639,17 +660,43 @@ let build_cmd =
   in
   let action paths level pbo profile selectivity machine_mb jobs check trace
       fault log input dir no_cache cache_dir cache_capacity run_it verbose
-      report_json =
+      dist socket report_json =
     try
       setup_logs log;
       install_fault_plan fault;
       let sources = List.map source_of_path paths in
       let options = make_options level pbo selectivity machine_mb jobs check trace in
+      let options =
+        if dist then { options with Options.dist = true } else options
+      in
       let ws =
         Buildsys.create ~cache:(not no_cache) ?cache_dir
           ?cache_capacity:(Option.map (fun mb -> mb * 1024 * 1024) cache_capacity)
           ~dir ()
       in
+      (* With --dist and a socket, a running cmocd doubles as a remote
+         artifact cache shared across checkouts; an unreachable daemon
+         degrades to a purely local build. *)
+      let client =
+        let socket =
+          match socket with
+          | Some _ -> socket
+          | None -> Options.env.Options.env_socket
+        in
+        match socket with
+        | Some s when options.Options.dist -> (
+          match Client.connect ~socket:s with
+          | c -> Some c
+          | exception Unix.Unix_error (e, _, _) ->
+            Logs.warn (fun f ->
+                f "remote cache at %s unreachable (%s); building without it"
+                  s (Unix.error_message e));
+            None)
+        | Some _ | None -> None
+      in
+      Fun.protect ~finally:(fun () -> Option.iter Client.close client)
+      @@ fun () ->
+      let remote = Option.map Client.remote client in
       let outcome =
         (* ^C mid-build must not leave half-written [.tmp] artifacts
            around the workspace: Break unwinds through the build's
@@ -658,7 +705,10 @@ let build_cmd =
         let previous =
           Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> raise Sys.Break))
         in
-        match Buildsys.build ?profile:(load_profile profile) ws options sources with
+        match
+          Buildsys.build ?profile:(load_profile profile) ?remote ws options
+            sources
+        with
         | outcome ->
           Sys.set_signal Sys.sigint previous;
           outcome
@@ -688,7 +738,10 @@ let build_cmd =
           "link cache: %d hits, %d misses; %d cmo modules cached, %d re-optimized\n"
           c.Pipeline.hits c.Pipeline.misses
           (List.length c.Pipeline.cmo_cached)
-          (List.length c.Pipeline.cmo_reoptimized)
+          (List.length c.Pipeline.cmo_reoptimized);
+        if c.Pipeline.remote_hits + c.Pipeline.remote_misses > 0 then
+          Printf.printf "remote cache: %d hits, %d misses\n"
+            c.Pipeline.remote_hits c.Pipeline.remote_misses
       | None -> ());
       if report.Pipeline.workers_used > 1 then
         Printf.printf "parallel: %d workers, %.2fx speedup (cpu/wall)\n"
@@ -720,7 +773,7 @@ let build_cmd =
                $ selectivity_arg $ machine_memory_arg $ jobs_arg $ check_arg
                $ trace_arg $ fault_plan_arg $ log_arg $ input_arg $ dir_arg
                $ no_cache_flag $ cache_dir_arg $ cache_capacity_arg $ run_flag
-               $ verbose $ report_json_arg))
+               $ verbose $ dist_flag $ socket_arg $ report_json_arg))
 
 (* ---- cache ---- *)
 

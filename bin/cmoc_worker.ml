@@ -1,0 +1,18 @@
+(* cmoc-worker: one distributed link-time CMO partition worker.
+
+   Spawned by the parent build process (never by hand): it serves
+   partition jobs framed over stdin/stdout until the parent says Bye
+   or closes the pipe.  All state is per-job — a worker holds no heap
+   shared with the parent or with other workers, which is the process
+   isolation the distributed mode exists to provide. *)
+
+let () =
+  (* The parent talks protocol on our stdin/stdout; anything the
+     toolchain prints must not corrupt it, so diagnostics go to
+     stderr. *)
+  Logs.set_reporter (Logs.format_reporter ~app:Format.err_formatter ());
+  (match Sys.getenv_opt "CMO_WORKER_LOG" with
+  | Some "debug" -> Logs.set_level (Some Logs.Debug)
+  | Some "info" -> Logs.set_level (Some Logs.Info)
+  | Some _ | None -> Logs.set_level None);
+  Cmo_driver.Distwork.worker_main Unix.stdin Unix.stdout

@@ -51,6 +51,12 @@ let trace_arg =
                per-request reports then carry cumulative counters.  Also \
                enabled by \\$CMO_TRACE.")
 
+let pid_file_arg =
+  Arg.(value & opt (some string) None & info [ "pid-file" ] ~docv:"FILE"
+         ~doc:"Write the daemon's pid to FILE once listening; removed on \
+               clean shutdown.  Supervision scripts use it to find and to \
+               confirm teardown of the daemon.")
+
 let log_arg =
   let level =
     Arg.enum
@@ -59,7 +65,7 @@ let log_arg =
   Arg.(value & opt level (Some Logs.Info) & info [ "log" ] ~docv:"LEVEL"
          ~doc:"Daemon diagnostics: quiet, info, debug.")
 
-let action socket jobs queue_max state_dir cache_capacity trace log =
+let action socket jobs queue_max state_dir cache_capacity trace pid_file log =
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level log;
   if jobs < 1 then `Error (false, "--jobs must be >= 1")
@@ -88,10 +94,17 @@ let action socket jobs queue_max state_dir cache_capacity trace log =
         (false, Printf.sprintf "cannot listen on %s: %s" socket
                   (Unix.error_message e))
     | t ->
+      Option.iter
+        (fun f ->
+          Cmo_support.Fsio.atomic_write f (string_of_int (Unix.getpid ()) ^ "\n"))
+        pid_file;
       (* The ready line is the contract scripts wait on before
          pointing clients at the socket. *)
       Printf.printf "cmocd: listening on %s\n%!" socket;
       Server.wait t;
+      Option.iter
+        (fun f -> try Sys.remove f with Sys_error _ -> ())
+        pid_file;
       Printf.printf "cmocd: shutdown complete\n%!";
       `Ok ()
   end
@@ -101,6 +114,7 @@ let cmd =
   Cmd.v
     (Cmd.info "cmocd" ~version:"1.0" ~doc)
     Term.(ret (const action $ socket_arg $ jobs_arg $ queue_max_arg
-               $ state_dir_arg $ cache_capacity_arg $ trace_arg $ log_arg))
+               $ state_dir_arg $ cache_capacity_arg $ trace_arg $ pid_file_arg
+               $ log_arg))
 
 let () = exit (Cmd.eval cmd)

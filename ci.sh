@@ -22,7 +22,15 @@
 # cmocd smoke — daemon start, concurrent cmoc --remote builds at j=1
 # and j=4 compared against a local one-shot, one $CMO_FAULT chaos
 # request that must fail alone, and a SIGTERM shutdown that must
-# remove the socket.  Run from the repository root.
+# remove the socket.  The distributed build is gated the same way:
+# the dist-smoke benchmark (partition jobs on worker processes and a
+# remote artifact cache, all held byte-identical to the one-shot
+# oracle), then a process-level smoke — cmocd as the remote cache,
+# two checkouts built with cmoc build --dist at j=2, one worker
+# SIGKILLed mid-protocol via $CMO_DIST_CHAOS, object files compared
+# byte-for-byte across all three builds, and a SIGTERM teardown that
+# must remove both the socket and the pid file.  Run from the
+# repository root.
 set -eu
 
 echo "== dune build =="
@@ -60,9 +68,13 @@ CMOC=_build/default/bin/cmoc.exe
 CMOCD=_build/default/bin/cmocd.exe
 SMOKE_DIR=$(mktemp -d)
 CMOCD_PID=
+DIST_DIR=
+DIST_PID=
 cleanup() {
   [ -n "$CMOCD_PID" ] && kill "$CMOCD_PID" 2>/dev/null || true
+  [ -n "$DIST_PID" ] && kill "$DIST_PID" 2>/dev/null || true
   rm -rf "$SMOKE_DIR"
+  [ -n "$DIST_DIR" ] && rm -rf "$DIST_DIR"
 }
 trap cleanup EXIT INT TERM
 mkdir -p "$SMOKE_DIR/src"
@@ -110,5 +122,77 @@ if [ -S "$SOCK" ]; then
   exit 1
 fi
 echo "daemon smoke OK"
+
+echo "== distributed CMO smoke (dist-smoke bench) =="
+dune exec bench/main.exe -- dist-smoke
+
+echo "== distributed build smoke (process level) =="
+DIST_DIR=$(mktemp -d)
+mkdir -p "$DIST_DIR/co1/src" "$DIST_DIR/co2/src" "$DIST_DIR/oracle"
+"$CMOC" gen --bench storm --dir "$DIST_DIR/co1/src"
+cp "$DIST_DIR"/co1/src/*.mc "$DIST_DIR/co2/src/"
+DSOCK="$DIST_DIR/cmocd.sock"
+DPID_FILE="$DIST_DIR/cmocd.pid"
+"$CMOCD" --socket "$DSOCK" --state-dir "$DIST_DIR/state" -j 2 \
+  --pid-file "$DPID_FILE" &
+DIST_PID=$!
+i=0
+while [ ! -S "$DSOCK" ] && [ "$i" -lt 100 ]; do sleep 0.1; i=$((i + 1)); done
+[ -S "$DSOCK" ] || { echo "cmocd (dist) never came up"; exit 1; }
+[ -f "$DPID_FILE" ] || { echo "dist smoke: pid file never written"; exit 1; }
+
+# Local one-shot oracle, no workers, no daemon.
+"$CMOC" build -O 4 -j 1 --dir "$DIST_DIR/oracle" --run --input 64,3 \
+  "$DIST_DIR"/co1/src/*.mc > "$DIST_DIR/oracle.out"
+
+# Checkout 1: distributed build on two worker processes, publishing
+# every module artifact to the daemon; chaos SIGKILLs one worker
+# mid-protocol and the build must degrade invisibly.
+CMO_DIST_CHAOS=kill@4 "$CMOC" build -O 4 -j 2 --dist --socket "$DSOCK" \
+  --dir "$DIST_DIR/co1" --run --input 64,3 \
+  "$DIST_DIR"/co1/src/*.mc > "$DIST_DIR/co1.out"
+
+# Checkout 2: a fresh checkout must be served entirely from the
+# daemon's remote cache — every remote lookup a hit, nothing
+# re-optimized.
+"$CMOC" build -O 4 -j 2 --dist --socket "$DSOCK" \
+  --dir "$DIST_DIR/co2" --run --input 64,3 \
+  "$DIST_DIR"/co2/src/*.mc > "$DIST_DIR/co2.out"
+grep -q "remote cache: [1-9][0-9]* hits, 0 misses" "$DIST_DIR/co2.out" || {
+  echo "dist smoke: second checkout was not fully served by the remote cache"
+  cat "$DIST_DIR/co2.out"
+  exit 1
+}
+grep -q " 0 re-optimized" "$DIST_DIR/co2.out" || {
+  echo "dist smoke: second checkout re-optimized modules"
+  exit 1
+}
+
+# Byte-identity: every object file of both distributed checkouts
+# matches the oracle's, chaos kill and all; so does the VM outcome.
+for f in "$DIST_DIR"/oracle/*.o; do
+  cmp "$f" "$DIST_DIR/co1/$(basename "$f")"
+  cmp "$f" "$DIST_DIR/co2/$(basename "$f")"
+done
+grep "^exit:" "$DIST_DIR/oracle.out" > "$DIST_DIR/oracle.exit"
+for out in co1 co2; do
+  grep "^exit:" "$DIST_DIR/$out.out" > "$DIST_DIR/$out.exit"
+  cmp "$DIST_DIR/oracle.exit" "$DIST_DIR/$out.exit"
+done
+
+# Graceful teardown: SIGTERM drains, removes the socket and pid file,
+# and leaves no stray worker processes behind.
+kill -TERM "$DIST_PID"
+wait "$DIST_PID" || true
+DIST_PID=
+if [ -S "$DSOCK" ]; then
+  echo "dist smoke: socket left behind after shutdown"
+  exit 1
+fi
+if [ -f "$DPID_FILE" ]; then
+  echo "dist smoke: pid file left behind after shutdown"
+  exit 1
+fi
+echo "dist smoke OK"
 
 echo "CI OK"

@@ -132,7 +132,7 @@ let close_session s =
     Option.iter Cmo_naim.Repository.close s.srepo
   end
 
-let request ?profile s (options : Options.t) sources =
+let request ?profile ?remote s (options : Options.t) sources =
   if s.sclosed then invalid_arg "Buildsys.request: session is closed";
   let t = s.sconfig in
   if options.Options.instrument then
@@ -195,7 +195,7 @@ let request ?profile s (options : Options.t) sources =
       | Some store ->
         let b =
           Pipeline.compile_modules ?profile ~cache:store ?naim_repo:s.srepo
-            options modules
+            ?remote options modules
         in
         (* Keep the warm store durable between requests: the session
            outlives this build, so flush now rather than at close. *)
@@ -264,8 +264,8 @@ let request ?profile s (options : Options.t) sources =
     reused = List.rev !reused;
   }
 
-let build ?profile t options sources =
+let build ?profile ?remote t options sources =
   let s = open_session t in
   Fun.protect
     ~finally:(fun () -> close_session s)
-    (fun () -> request ?profile s options sources)
+    (fun () -> request ?profile ?remote s options sources)

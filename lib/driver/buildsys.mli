@@ -77,6 +77,7 @@ val reopen_store : session -> unit
 
 val request :
   ?profile:Cmo_profile.Db.t ->
+  ?remote:Distwork.remote ->
   session ->
   Options.t ->
   Pipeline.source list ->
@@ -85,10 +86,12 @@ val request :
     object files, then link.  For [O4], object files carry IL
     payloads and the CMO happens here, at link time, over the IL read
     back from disk — against the session's warm store, which is
-    flushed (not closed) afterwards.  Concurrent requests on one
-    session must not share the workspace directory's object files;
-    the server avoids this by compiling in memory via {!Pipeline}
-    against {!session_store}/{!session_repo}.
+    flushed (not closed) afterwards.  [remote] is the remote artifact
+    cache handed to {!Pipeline.compile_modules} (no effect without a
+    store).  Concurrent requests on one session must not share the
+    workspace directory's object files; the server avoids this by
+    compiling in memory via {!Pipeline} against
+    {!session_store}/{!session_repo}.
     @raise Pipeline.Compile_error on any failure.
     @raise Invalid_argument on a closed session. *)
 
@@ -98,6 +101,7 @@ val close_session : session -> unit
 
 val build :
   ?profile:Cmo_profile.Db.t ->
+  ?remote:Distwork.remote ->
   t ->
   Options.t ->
   Pipeline.source list ->

@@ -1,0 +1,649 @@
+module Ilmod = Cmo_il.Ilmod
+module Func = Cmo_il.Func
+module Callgraph = Cmo_il.Callgraph
+module Ilcodec = Cmo_il.Ilcodec
+module Codec = Cmo_support.Codec
+module Fsio = Cmo_support.Fsio
+module Loader = Cmo_naim.Loader
+module Memstats = Cmo_naim.Memstats
+module Hlo = Cmo_hlo.Hlo
+module Inline = Cmo_hlo.Inline
+module Ipa = Cmo_hlo.Ipa
+module Ilcheck = Cmo_check.Ilcheck
+
+let log_src = Logs.Src.create "cmo.dist" ~doc:"distributed CMO workers"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* --- the shared partition optimizer ------------------------------- *)
+
+(* A domain-safe lazy (same rationale as the pipeline's copy): checker
+   environments are shared read-only and [Lazy.force] is not
+   domain-safe under races. *)
+let memo_locked f =
+  let m = Mutex.create () in
+  let cell = ref None in
+  fun () ->
+    Mutex.lock m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock m) @@ fun () ->
+    match !cell with
+    | Some v -> v
+    | None ->
+      let v = f () in
+      cell := Some v;
+      v
+
+(* A loader-backed resolution environment: function arities straight
+   from the pool headers (clones included, IPA-removed routines
+   absent — exactly the NAIM ownership the verifier polices) and the
+   globals of every registered module. *)
+let loader_env loader =
+  {
+    Ilcheck.resolve =
+      (fun name ->
+        match Loader.arity_of loader name with
+        | Some arity -> Some (Ilcheck.Func_binding { arity })
+        | None ->
+          Option.map
+            (fun size -> Ilcheck.Global_binding { size })
+            (Loader.global_size_of loader name));
+  }
+
+let optimize_subset ?phase_cache ?naim_repo ?hot_filter ?check_base
+    ~(options : Options.t) ~externally_called ~externally_stored ~mem subset =
+  let cg = Callgraph.build subset in
+  (* Everything that reads module function lists must run before
+     registration: the loader takes ownership and empties them. *)
+  let main_in_set =
+    List.exists
+      (fun (m : Ilmod.t) ->
+        List.exists (fun f -> f.Func.name = "main") m.Ilmod.funcs)
+      subset
+  in
+  let loader_config =
+    {
+      Loader.default_config with
+      Loader.machine_memory = options.Options.machine_memory;
+      forced_level = options.Options.naim_level;
+    }
+  in
+  let loader = Loader.create ?repo:naim_repo loader_config mem in
+  List.iter (Loader.register_module loader) subset;
+  let check =
+    match check_base with
+    | Some outside when options.Options.check ->
+      let env =
+        memo_locked (fun () -> Ilcheck.compose (loader_env loader) (outside ()))
+      in
+      Some (fun ~phase f -> Ilcheck.check_func_exn ~env:(env ()) ~phase f)
+    | Some _ | None -> None
+  in
+  let ipa_context =
+    {
+      Ipa.externally_called;
+      externally_stored;
+      entry = (if main_in_set then Some "main" else None);
+      keep_exported = true;
+    }
+  in
+  let base_options = Hlo.o4_options ~profile:options.Options.pbo in
+  let inline_config =
+    let config =
+      match options.Options.inline_config with
+      | Some c -> c
+      | None -> (
+        match base_options.Hlo.inline with
+        | Some c -> c
+        | None -> Inline.default_config)
+    in
+    { config with Inline.operation_limit = options.Options.inline_limit }
+  in
+  let hlo_options =
+    {
+      base_options with
+      Hlo.inline = Some inline_config;
+      hot_filter;
+      rewrite_limit = options.Options.rewrite_limit;
+      phase_cache;
+      check;
+    }
+  in
+  let report = Hlo.run loader cg ~ipa_context hlo_options in
+  let optimized = Loader.extract_modules loader in
+  let lstats = Loader.stats loader in
+  Loader.close loader;
+  (optimized, report, lstats)
+
+(* --- wire messages ------------------------------------------------ *)
+
+type job = {
+  job_options : Options.t;
+  job_modules : string list;
+  job_called : string list;
+  job_stored : string list;
+  job_hot : string list option;
+  job_phase_cache : bool;
+}
+
+type mem_summary = { ms_resident : int list; ms_peak : int; ms_peak_hlo : int }
+
+type done_payload = {
+  done_modules : string list;
+  done_report : Hlo.report;
+  done_lstats : Loader.stats;
+  done_mem : mem_summary;
+}
+
+type parent_msg = Job of job | Have of string option | Ack | Bye
+
+type worker_msg =
+  | Need of string
+  | Keep of string * string
+  | Done of done_payload
+  | Fail of string
+
+let write_opt w f = function
+  | None -> Codec.Writer.bool w false
+  | Some v ->
+    Codec.Writer.bool w true;
+    f v
+
+let read_opt r f = if Codec.Reader.bool r then Some (f r) else None
+
+let write_report w (r : Hlo.report) =
+  Codec.Writer.uvarint w r.Hlo.clones;
+  write_opt w
+    (fun (s : Inline.stats) ->
+      Codec.Writer.uvarint w s.Inline.operations;
+      Codec.Writer.uvarint w s.Inline.cross_module;
+      Codec.Writer.varint w s.Inline.bytes_grown;
+      Codec.Writer.uvarint w s.Inline.rejected_too_big;
+      Codec.Writer.uvarint w s.Inline.rejected_cold;
+      Codec.Writer.uvarint w s.Inline.rejected_recursive;
+      Codec.Writer.uvarint w s.Inline.rejected_caller_full)
+    r.Hlo.inline_stats;
+  write_opt w
+    (fun (s : Ipa.stats) ->
+      Codec.Writer.uvarint w s.Ipa.const_params;
+      Codec.Writer.uvarint w s.Ipa.const_global_loads;
+      Codec.Writer.list w (Codec.Writer.string w) s.Ipa.dead_functions)
+    r.Hlo.ipa_stats;
+  Codec.Writer.uvarint w r.Hlo.funcs_optimized;
+  Codec.Writer.uvarint w r.Hlo.funcs_skipped;
+  Codec.Writer.uvarint w r.Hlo.rewrites
+
+let read_report r =
+  let clones = Codec.Reader.uvarint r in
+  let inline_stats =
+    read_opt r (fun r ->
+        let operations = Codec.Reader.uvarint r in
+        let cross_module = Codec.Reader.uvarint r in
+        let bytes_grown = Codec.Reader.varint r in
+        let rejected_too_big = Codec.Reader.uvarint r in
+        let rejected_cold = Codec.Reader.uvarint r in
+        let rejected_recursive = Codec.Reader.uvarint r in
+        let rejected_caller_full = Codec.Reader.uvarint r in
+        {
+          Inline.operations;
+          cross_module;
+          bytes_grown;
+          rejected_too_big;
+          rejected_cold;
+          rejected_recursive;
+          rejected_caller_full;
+        })
+  in
+  let ipa_stats =
+    read_opt r (fun r ->
+        let const_params = Codec.Reader.uvarint r in
+        let const_global_loads = Codec.Reader.uvarint r in
+        let dead_functions = Codec.Reader.list r Codec.Reader.string in
+        { Ipa.const_params; const_global_loads; dead_functions })
+  in
+  let funcs_optimized = Codec.Reader.uvarint r in
+  let funcs_skipped = Codec.Reader.uvarint r in
+  let rewrites = Codec.Reader.uvarint r in
+  { Hlo.clones; inline_stats; ipa_stats; funcs_optimized; funcs_skipped; rewrites }
+
+let write_lstats w (s : Loader.stats) =
+  Codec.Writer.uvarint w s.Loader.acquires;
+  Codec.Writer.uvarint w s.Loader.cache_hits;
+  Codec.Writer.uvarint w s.Loader.uncompactions;
+  Codec.Writer.uvarint w s.Loader.repo_loads;
+  Codec.Writer.uvarint w s.Loader.compactions;
+  Codec.Writer.uvarint w s.Loader.offloads;
+  Codec.Writer.uvarint w s.Loader.symtab_compactions
+
+let read_lstats r =
+  let acquires = Codec.Reader.uvarint r in
+  let cache_hits = Codec.Reader.uvarint r in
+  let uncompactions = Codec.Reader.uvarint r in
+  let repo_loads = Codec.Reader.uvarint r in
+  let compactions = Codec.Reader.uvarint r in
+  let offloads = Codec.Reader.uvarint r in
+  let symtab_compactions = Codec.Reader.uvarint r in
+  {
+    Loader.acquires;
+    cache_hits;
+    uncompactions;
+    repo_loads;
+    compactions;
+    offloads;
+    symtab_compactions;
+  }
+
+let write_mem w m =
+  Codec.Writer.list w (Codec.Writer.uvarint w) m.ms_resident;
+  Codec.Writer.uvarint w m.ms_peak;
+  Codec.Writer.uvarint w m.ms_peak_hlo
+
+let read_mem r =
+  let ms_resident = Codec.Reader.list r Codec.Reader.uvarint in
+  let ms_peak = Codec.Reader.uvarint r in
+  let ms_peak_hlo = Codec.Reader.uvarint r in
+  if List.length ms_resident <> List.length Memstats.all_categories then
+    Codec.Reader.corrupt "mem summary category count";
+  { ms_resident; ms_peak; ms_peak_hlo }
+
+let encoded f v =
+  let w = Codec.Writer.create () in
+  f w v;
+  Codec.Writer.contents w
+
+let decoded name f s =
+  let r = Codec.Reader.of_string s in
+  let v = f r in
+  if not (Codec.Reader.at_end r) then
+    Codec.Reader.corrupt (name ^ ": trailing bytes");
+  v
+
+let encode_parent =
+  encoded (fun w -> function
+    | Job j ->
+      Codec.Writer.byte w 1;
+      Options.encode w j.job_options;
+      Codec.Writer.list w (Codec.Writer.string w) j.job_modules;
+      Codec.Writer.list w (Codec.Writer.string w) j.job_called;
+      Codec.Writer.list w (Codec.Writer.string w) j.job_stored;
+      write_opt w (Codec.Writer.list w (Codec.Writer.string w)) j.job_hot;
+      Codec.Writer.bool w j.job_phase_cache
+    | Have data ->
+      Codec.Writer.byte w 2;
+      write_opt w (Codec.Writer.string w) data
+    | Ack -> Codec.Writer.byte w 3
+    | Bye -> Codec.Writer.byte w 4)
+
+let decode_parent =
+  decoded "parent message" (fun r ->
+      match Codec.Reader.byte r with
+      | 1 ->
+        let job_options = Options.decode r in
+        let job_modules = Codec.Reader.list r Codec.Reader.string in
+        let job_called = Codec.Reader.list r Codec.Reader.string in
+        let job_stored = Codec.Reader.list r Codec.Reader.string in
+        let job_hot = read_opt r (fun r -> Codec.Reader.list r Codec.Reader.string) in
+        let job_phase_cache = Codec.Reader.bool r in
+        Job
+          {
+            job_options;
+            job_modules;
+            job_called;
+            job_stored;
+            job_hot;
+            job_phase_cache;
+          }
+      | 2 -> Have (read_opt r Codec.Reader.string)
+      | 3 -> Ack
+      | 4 -> Bye
+      | n -> Codec.Reader.corrupt (Printf.sprintf "bad parent tag %d" n))
+
+let encode_worker =
+  encoded (fun w -> function
+    | Need key ->
+      Codec.Writer.byte w 1;
+      Codec.Writer.string w key
+    | Keep (key, data) ->
+      Codec.Writer.byte w 2;
+      Codec.Writer.string w key;
+      Codec.Writer.string w data
+    | Done d ->
+      Codec.Writer.byte w 3;
+      Codec.Writer.list w (Codec.Writer.string w) d.done_modules;
+      write_report w d.done_report;
+      write_lstats w d.done_lstats;
+      write_mem w d.done_mem
+    | Fail reason ->
+      Codec.Writer.byte w 4;
+      Codec.Writer.string w reason)
+
+let decode_worker =
+  decoded "worker message" (fun r ->
+      match Codec.Reader.byte r with
+      | 1 -> Need (Codec.Reader.string r)
+      | 2 ->
+        let key = Codec.Reader.string r in
+        let data = Codec.Reader.string r in
+        Keep (key, data)
+      | 3 ->
+        let done_modules = Codec.Reader.list r Codec.Reader.string in
+        let done_report = read_report r in
+        let done_lstats = read_lstats r in
+        let done_mem = read_mem r in
+        Done { done_modules; done_report; done_lstats; done_mem }
+      | 4 -> Fail (Codec.Reader.string r)
+      | n -> Codec.Reader.corrupt (Printf.sprintf "bad worker tag %d" n))
+
+(* --- memory-accountant transport ---------------------------------- *)
+
+let summary_of_memstats m =
+  {
+    ms_resident = List.map (Memstats.resident_of m) Memstats.all_categories;
+    ms_peak = Memstats.peak m;
+    ms_peak_hlo = Memstats.peak_hlo m;
+  }
+
+(* Replay a charge/release sequence that leaves the reconstructed
+   accountant with exactly the worker's per-category residency, peak
+   and HLO peak, so [Memstats.merge] folds it as it would have folded
+   the worker's own instance.  Order matters: the non-Llo categories
+   go first so the transient Derived charge reproduces [peak_hlo]
+   (total resident never exceeds it at that point), then Llo and a
+   transient Llo charge lift the overall peak. *)
+let memstats_of_summary s =
+  let m = Memstats.create () in
+  let llo = ref 0 in
+  List.iter2
+    (fun cat n ->
+      if cat = Memstats.Llo then llo := n
+      else if n > 0 then Memstats.charge m cat n)
+    Memstats.all_categories s.ms_resident;
+  let dh = s.ms_peak_hlo - Memstats.hlo_resident m in
+  if dh > 0 then begin
+    Memstats.charge m Memstats.Derived dh;
+    Memstats.release m Memstats.Derived dh
+  end;
+  if !llo > 0 then Memstats.charge m Memstats.Llo !llo;
+  let dp = s.ms_peak - Memstats.resident m in
+  if dp > 0 then begin
+    Memstats.charge m Memstats.Llo dp;
+    Memstats.release m Memstats.Llo dp
+  end;
+  m
+
+(* --- counters ----------------------------------------------------- *)
+
+let jobs_counter = Atomic.make 0
+let lost_counter = Atomic.make 0
+let events_counter = Atomic.make 0
+let jobs_total () = Atomic.get jobs_counter
+let lost_total () = Atomic.get lost_counter
+let events_total () = Atomic.get events_counter
+
+(* --- the worker side ---------------------------------------------- *)
+
+exception Relay_broken
+
+let run_job_local ~phase_cache (job : job) =
+  let options = job.job_options in
+  let modules = List.map Ilcodec.decode_module job.job_modules in
+  let table names =
+    let h = Hashtbl.create 64 in
+    List.iter (fun n -> Hashtbl.replace h n ()) names;
+    h
+  in
+  let called = table job.job_called in
+  let stored = table job.job_stored in
+  let hot_filter =
+    Option.map (fun names -> Hashtbl.mem (table names)) job.job_hot
+  in
+  let mem = Memstats.create () in
+  let optimized, report, lstats =
+    optimize_subset ?phase_cache ?hot_filter ~options
+      ~externally_called:(Hashtbl.mem called)
+      ~externally_stored:(Hashtbl.mem stored) ~mem modules
+  in
+  {
+    done_modules = List.map Ilcodec.encode_module optimized;
+    done_report = report;
+    done_lstats = lstats;
+    done_mem = summary_of_memstats mem;
+  }
+
+let worker_main in_fd out_fd =
+  if Sys.os_type <> "Win32" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let send msg =
+    try Fsio.write_framed out_fd (encode_worker msg)
+    with Unix.Unix_error _ | Sys_error _ -> raise Relay_broken
+  in
+  let recv () =
+    match Fsio.read_framed in_fd with
+    | Ok payload -> (
+      try Some (decode_parent payload)
+      with Codec.Reader.Corrupt _ -> raise Relay_broken)
+    | Error `Eof -> None
+    | Error (`Bad _ | `Timeout) -> raise Relay_broken
+  in
+  (* The phase-cache relay: every find/add the optimizer performs
+     becomes a strict request/reply exchange with the parent, which
+     logs it into the partition's store transaction in this exact
+     order — the op log, not the process boundary, decides the store
+     bytes. *)
+  let relay_cache =
+    {
+      Hlo.pc_find =
+        (fun key ->
+          send (Need key);
+          match recv () with
+          | Some (Have data) -> data
+          | Some _ | None -> raise Relay_broken);
+      pc_add =
+        (fun key data ->
+          send (Keep (key, data));
+          match recv () with
+          | Some Ack -> ()
+          | Some _ | None -> raise Relay_broken);
+    }
+  in
+  let rec serve () =
+    match recv () with
+    | None | Some Bye -> 0
+    | Some (Have _ | Ack) -> 2
+    | Some (Job job) -> (
+      let phase_cache = if job.job_phase_cache then Some relay_cache else None in
+      match run_job_local ~phase_cache job with
+      | payload ->
+        send (Done payload);
+        serve ()
+      | exception Relay_broken -> 2
+      | exception e ->
+        (* A genuine optimization failure: report it and keep serving —
+           the parent degrades this partition to a local run, which
+           reproduces the same failure with its real diagnostics. *)
+        send (Fail (Printexc.to_string e));
+        serve ())
+  in
+  let code = try serve () with Relay_broken -> 2 in
+  exit code
+
+(* --- the parent side ---------------------------------------------- *)
+
+type worker_proc = { pid : int; fd : Unix.file_descr }
+
+type pool = {
+  bin : string;
+  timeout_s : float;
+  chaos_at : int option;  (* kill the active worker at this event *)
+  chaos_fired : bool Atomic.t;
+  events : int Atomic.t;  (* this pool's protocol-event clock *)
+  lock : Mutex.t;
+  mutable idle : worker_proc list;
+  mutable procs : worker_proc list;
+}
+
+exception Worker_lost
+exception Unavailable of string
+
+let resolve_worker () =
+  match Sys.getenv_opt "CMO_DIST_WORKER" with
+  | Some p when p <> "" -> p
+  | _ ->
+    let dir = Filename.dirname Sys.executable_name in
+    let sibling = Filename.concat dir "cmoc_worker.exe" in
+    if Sys.file_exists sibling then sibling
+    else
+      Filename.concat
+        (Filename.concat (Filename.concat dir Filename.parent_dir_name) "bin")
+        "cmoc_worker.exe"
+
+let parse_chaos = function
+  | None -> None
+  | Some spec -> (
+    match String.index_opt spec '@' with
+    | Some i
+      when String.sub spec 0 i = "kill" ->
+      int_of_string_opt (String.sub spec (i + 1) (String.length spec - i - 1))
+    | _ -> None)
+
+let create_pool ?worker ?(timeout_s = 60.0) ?chaos () =
+  if Sys.os_type <> "Win32" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let bin = match worker with Some b -> b | None -> resolve_worker () in
+  if not (Sys.file_exists bin) then
+    raise (Unavailable (Printf.sprintf "worker binary %s not found" bin));
+  let chaos =
+    match chaos with Some _ as c -> c | None -> Sys.getenv_opt "CMO_DIST_CHAOS"
+  in
+  {
+    bin;
+    timeout_s;
+    chaos_at = parse_chaos chaos;
+    chaos_fired = Atomic.make false;
+    events = Atomic.make 0;
+    lock = Mutex.create ();
+    idle = [];
+    procs = [];
+  }
+
+let locked pool f =
+  Mutex.lock pool.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock pool.lock) f
+
+let spawn pool =
+  let parent_fd, child_fd =
+    Unix.socketpair ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0
+  in
+  Unix.clear_close_on_exec child_fd;
+  let pid = Unix.create_process pool.bin [| pool.bin |] child_fd child_fd Unix.stderr in
+  Unix.close child_fd;
+  let w = { pid; fd = parent_fd } in
+  locked pool (fun () -> pool.procs <- w :: pool.procs);
+  w
+
+let checkout pool =
+  match
+    locked pool (fun () ->
+        match pool.idle with
+        | w :: rest ->
+          pool.idle <- rest;
+          Some w
+        | [] -> None)
+  with
+  | Some w -> w
+  | None -> spawn pool
+
+let checkin pool w = locked pool (fun () -> pool.idle <- w :: pool.idle)
+
+(* Reap a worker that is gone or no longer trustworthy.  SIGKILL is
+   idempotent on an already-dead pid within our waitpid window. *)
+let destroy pool w =
+  locked pool (fun () ->
+      pool.procs <- List.filter (fun p -> p.pid <> w.pid) pool.procs;
+      pool.idle <- List.filter (fun p -> p.pid <> w.pid) pool.idle);
+  (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
+  (try ignore (Unix.waitpid [] w.pid) with Unix.Unix_error _ -> ());
+  (try Unix.close w.fd with Unix.Unix_error _ -> ());
+  Atomic.incr lost_counter
+
+(* One protocol event on the pool's clock; at the chaos mark, the
+   active worker dies mid-conversation — exactly what a machine loss
+   at that protocol step looks like to the parent. *)
+let chaos_tick pool w =
+  Atomic.incr events_counter;
+  let n = Atomic.fetch_and_add pool.events 1 + 1 in
+  match pool.chaos_at with
+  | Some at
+    when n = at
+         && not (Atomic.exchange pool.chaos_fired true) ->
+    Log.debug (fun m -> m "chaos: killing worker %d at event %d" w.pid n);
+    destroy pool w;
+    raise Worker_lost
+  | _ -> ()
+
+let run_job pool ?phase_cache job =
+  let w = checkout pool in
+  let lose () =
+    destroy pool w;
+    raise Worker_lost
+  in
+  let send msg =
+    chaos_tick pool w;
+    try Fsio.write_framed w.fd (encode_parent msg)
+    with Unix.Unix_error _ | Sys_error _ -> lose ()
+  in
+  let recv () =
+    chaos_tick pool w;
+    match Fsio.read_framed ~timeout_s:pool.timeout_s w.fd with
+    | Ok payload -> (
+      try decode_worker payload with Codec.Reader.Corrupt _ -> lose ())
+    | Error (`Eof | `Bad _ | `Timeout) -> lose ()
+  in
+  send (Job { job with job_phase_cache = phase_cache <> None });
+  let rec wait () =
+    match recv () with
+    | Need key ->
+      let data =
+        match phase_cache with Some pc -> pc.Hlo.pc_find key | None -> None
+      in
+      send (Have data);
+      wait ()
+    | Keep (key, data) ->
+      (match phase_cache with
+      | Some pc -> pc.Hlo.pc_add key data
+      | None -> ());
+      send Ack;
+      wait ()
+    | Done payload ->
+      checkin pool w;
+      Atomic.incr jobs_counter;
+      payload
+    | Fail reason ->
+      (* The worker is healthy; the job failed.  Keep the worker,
+         count a degradation, and let the local rerun reproduce the
+         failure (or, for environment-dependent faults, succeed). *)
+      Log.debug (fun m -> m "worker %d failed job: %s" w.pid reason);
+      checkin pool w;
+      Atomic.incr lost_counter;
+      raise Worker_lost
+  in
+  wait ()
+
+let close_pool pool =
+  let ps = locked pool (fun () ->
+      let ps = pool.procs in
+      pool.procs <- [];
+      pool.idle <- [];
+      ps)
+  in
+  List.iter
+    (fun w ->
+      (try Fsio.write_framed w.fd (encode_parent Bye)
+       with Unix.Unix_error _ | Sys_error _ -> ());
+      (try Unix.close w.fd with Unix.Unix_error _ -> ());
+      try ignore (Unix.waitpid [] w.pid) with Unix.Unix_error _ -> ())
+    ps
+
+(* --- remote artifact cache ---------------------------------------- *)
+
+type remote = {
+  remote_get : string -> string option;
+  remote_put : string -> string -> unit;
+}

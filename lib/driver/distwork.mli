@@ -1,0 +1,188 @@
+(** Distributed link-time CMO: the WHOPR-shaped process boundary.
+
+    The pipeline's serial WPA step (partitioning into invalidation
+    components, external-context scan, per-partition cache keys) stays
+    in {!Pipeline}; this module is everything on the far side of it:
+
+    - {!optimize_subset}, the one definition of "optimize a partition"
+      — extracted from the pipeline so the in-process path and the
+      worker process run {e the same code} on the same inputs, which
+      is what makes distribution byte-invisible by construction;
+    - the wire protocol a [cmoc-worker] process speaks over a CMR1
+      framed socketpair ({!parent_msg} / {!worker_msg} and their
+      {!Cmo_support.Codec} codecs), including the phase-cache relay
+      that forwards the worker's per-routine find/add traffic into the
+      parent's store transaction {e in order}, so the transaction op
+      log — and therefore every store byte — matches the in-process
+      run exactly;
+    - the parent-side worker pool: spawn-on-demand processes, bounded
+      read timeouts (the distributed hang bound), and a deterministic
+      chaos hook ([$CMO_DIST_CHAOS=kill@K] SIGKILLs the worker at the
+      K-th protocol event) for the kill-sweep suite.
+
+    Failure model (the PR-5 taxonomy applied to the wire): any worker
+    loss — death, EOF, framing violation, oversized frame, stalled
+    read, remote failure report — surfaces as {!Worker_lost}; the
+    caller abandons the partition's (uncommitted) transaction and
+    redoes the partition locally on a fresh one, reproducing the
+    oracle's op log and bytes.  Degradation is never visible in
+    artifacts, only in {!lost_total}. *)
+
+module Hlo := Cmo_hlo.Hlo
+
+(** {2 The shared partition optimizer} *)
+
+val optimize_subset :
+  ?phase_cache:Hlo.phase_cache ->
+  ?naim_repo:Cmo_naim.Repository.t ->
+  ?hot_filter:(string -> bool) ->
+  ?check_base:(unit -> Cmo_check.Ilcheck.env) ->
+  options:Options.t ->
+  externally_called:(string -> bool) ->
+  externally_stored:(string -> bool) ->
+  mem:Cmo_naim.Memstats.t ->
+  Cmo_il.Ilmod.t list ->
+  Cmo_il.Ilmod.t list * Hlo.report * Cmo_naim.Loader.stats
+(** Run link-time CMO over one subset (a whole CMO set or one
+    invalidation component): build the callgraph, register the modules
+    with a fresh NAIM loader, run HLO with the subset-relative IPA
+    context, and extract the optimized modules.  [check_base] supplies
+    the outside-modules resolution environment for the between-phase
+    verifier; when absent (worker processes cannot reconstruct it) the
+    verifier is skipped — safe because checking is observational:
+    checked and unchecked builds produce identical artifacts. *)
+
+(** {2 Wire messages}
+
+    Each message is one CMR1 frame ({!Cmo_support.Fsio.write_framed});
+    the payload codecs below are exposed for the protocol fuzz suite.
+    The conversation is strictly alternating: the parent sends {!Job},
+    then answers each worker {!Need}/{!Keep} with {!Have}/{!Ack} until
+    {!Done} or {!Fail} arrives. *)
+
+type job = {
+  job_options : Options.t;
+  job_modules : string list;  (** {!Cmo_il.Ilcodec.encode_module} each. *)
+  job_called : string list;  (** Externally-called function names. *)
+  job_stored : string list;  (** Externally-stored global names. *)
+  job_hot : string list option;
+      (** Fine-grained selectivity: hot function names, or [None] for
+          no filter. *)
+  job_phase_cache : bool;
+      (** Relay per-routine phase-cache traffic over the wire. *)
+}
+
+type mem_summary = {
+  ms_resident : int list;
+      (** Final residency per {!Cmo_naim.Memstats.all_categories}
+          entry, in that order. *)
+  ms_peak : int;
+  ms_peak_hlo : int;
+}
+
+type done_payload = {
+  done_modules : string list;
+      (** Optimized modules, encoded.  The parent stores these bytes
+          verbatim under the partition's cache keys — the worker's
+          encoder, not a parent-side re-encode, defines the
+          artifact. *)
+  done_report : Hlo.report;
+  done_lstats : Cmo_naim.Loader.stats;
+  done_mem : mem_summary;
+}
+
+type parent_msg =
+  | Job of job
+  | Have of string option  (** Reply to {!worker_msg.Need}. *)
+  | Ack  (** Reply to {!worker_msg.Keep}. *)
+  | Bye
+
+type worker_msg =
+  | Need of string  (** Phase-cache find, by key. *)
+  | Keep of string * string  (** Phase-cache add: key, payload. *)
+  | Done of done_payload
+  | Fail of string
+
+val encode_parent : parent_msg -> string
+val encode_worker : worker_msg -> string
+
+val decode_parent : string -> parent_msg
+val decode_worker : string -> worker_msg
+(** @raise Cmo_support.Codec.Reader.Corrupt on malformed payloads,
+    including trailing bytes. *)
+
+val summary_of_memstats : Cmo_naim.Memstats.t -> mem_summary
+
+val memstats_of_summary : mem_summary -> Cmo_naim.Memstats.t
+(** Reconstruct an accountant whose per-category residency and peaks
+    equal the worker's, so {!Cmo_naim.Memstats.merge} folds it exactly
+    as it would have folded the worker's own. *)
+
+(** {2 The worker side} *)
+
+val worker_main : Unix.file_descr -> Unix.file_descr -> 'a
+(** Serve jobs from [in_fd]/[out_fd] until {!parent_msg.Bye} or EOF,
+    then exit 0; exit 2 on a protocol violation.  [bin/cmoc_worker]
+    calls this on stdin/stdout.  Never returns. *)
+
+(** {2 The parent side} *)
+
+type pool
+
+exception Worker_lost
+(** The partition's worker is gone (or reported failure): SIGKILLed by
+    chaos, dead, stalled past the timeout, or speaking garbage.  The
+    worker has been reaped; the caller must redo the partition locally
+    on a fresh transaction. *)
+
+exception Unavailable of string
+(** [create_pool] could not find a worker binary. *)
+
+val resolve_worker : unit -> string
+(** [$CMO_DIST_WORKER] when set, else [cmoc_worker.exe] next to the
+    running executable, else [../bin/cmoc_worker.exe] from there (the
+    dune layout seen from test and bench executables).  The result may
+    not exist — {!create_pool} checks. *)
+
+val create_pool :
+  ?worker:string -> ?timeout_s:float -> ?chaos:string -> unit -> pool
+(** Prepare a worker pool: no processes yet; workers spawn on demand,
+    one per concurrent {!run_job}, and are reused across jobs.
+    [timeout_s] (default 60) bounds every parent-side read — the
+    distributed build's hang bound.  [chaos] (default
+    [$CMO_DIST_CHAOS]) accepts [kill@K]: SIGKILL the active worker at
+    the K-th protocol event (each send and each receive counts), once.
+    @raise Unavailable when the worker binary does not exist. *)
+
+val run_job : pool -> ?phase_cache:Hlo.phase_cache -> job -> done_payload
+(** Drive one partition job on a pooled worker, answering its
+    phase-cache relay from [phase_cache] in arrival order.
+    @raise Worker_lost on any loss or remote failure (see above). *)
+
+val close_pool : pool -> unit
+(** Dismiss every worker (Bye + close + waitpid).  Never raises. *)
+
+(** {2 Remote artifact cache}
+
+    The hook {!Pipeline} uses to share module artifacts across
+    checkouts through [cmocd] ([Cache_get]/[Cache_put]).  Both
+    functions must degrade internally (miss / drop) rather than raise:
+    a remote-cache fault must never fail a build. *)
+
+type remote = {
+  remote_get : string -> string option;
+  remote_put : string -> string -> unit;
+}
+
+(** {2 Counters} — process-lifetime, for tests and the bench. *)
+
+val jobs_total : unit -> int
+(** Partition jobs completed on worker processes. *)
+
+val lost_total : unit -> int
+(** Workers lost (chaos kills included) plus remote failure reports —
+    each one a partition degraded to local recompute. *)
+
+val events_total : unit -> int
+(** Parent-side protocol events across all pools; a clean run's delta
+    sizes the kill-sweep. *)

@@ -15,6 +15,7 @@ type t = {
   jobs : int;
   check : bool;
   trace : string option;
+  dist : bool;
 }
 
 (* All process-tree environment knobs parse in one place.  CMO_JOBS /
@@ -32,6 +33,8 @@ type env = {
   env_socket : string option;  (* CMO_SOCKET: cmocd socket path *)
   env_daemon_jobs : int;  (* CMO_DAEMON_JOBS, >= 1; else 2 *)
   env_queue_max : int;  (* CMO_QUEUE_MAX, >= 1; else 64 *)
+  env_dist : bool;  (* CMO_DIST: anything but unset/""/"0" *)
+  env_dist_worker : string option;  (* CMO_DIST_WORKER: worker binary *)
 }
 
 let from_env ?(get = Sys.getenv_opt) () =
@@ -54,6 +57,10 @@ let from_env ?(get = Sys.getenv_opt) () =
       (match int_of "CMO_DAEMON_JOBS" with Some n when n >= 1 -> n | _ -> 2);
     env_queue_max =
       (match int_of "CMO_QUEUE_MAX" with Some n when n >= 1 -> n | _ -> 64);
+    env_dist =
+      (match get "CMO_DIST" with Some ("" | "0") | None -> false | Some _ -> true);
+    env_dist_worker =
+      (match get "CMO_DIST_WORKER" with Some "" | None -> None | some -> some);
   }
 
 let env = from_env ()
@@ -76,6 +83,7 @@ let base =
     jobs = default_jobs;
     check = default_check;
     trace = env.env_trace;
+    dist = env.env_dist;
   }
 
 let o1 = { base with level = O1 }
@@ -93,13 +101,16 @@ let o4_pbo_tiered percent =
 let instrumented = { base with instrument = true }
 
 (* Canonical rendering of every field that can change generated code.
-   machine_memory, naim_level, jobs, check and trace are deliberately
-   excluded: NAIM compaction/offload round-trips losslessly and
-   parallel builds are bit-identical to sequential ones (both are
-   tested invariants), so artifacts cached under one memory or worker
-   configuration stay valid under another; the verifier and the trace
-   sink observe and never rewrite, so checked/traced and plain builds
-   share artifacts too. *)
+   machine_memory, naim_level, jobs, check, trace and dist are
+   deliberately excluded: NAIM compaction/offload round-trips
+   losslessly and parallel builds are bit-identical to sequential ones
+   (both are tested invariants), so artifacts cached under one memory
+   or worker configuration stay valid under another; the verifier and
+   the trace sink observe and never rewrite, so checked/traced and
+   plain builds share artifacts too; and distributed (process-worker)
+   builds are byte-identical to in-process ones — the distribution
+   determinism matrix is exactly the test that keeps [dist] out of
+   the key. *)
 let cache_fingerprint t =
   let opt f = function Some v -> f v | None -> "-" in
   let inline_config =
@@ -124,6 +135,131 @@ let cache_fingerprint t =
       opt (String.concat ",") t.cmo_modules;
       inline_config;
     ]
+
+(* ---- wire codec (Codec, same substrate as object files) ----
+
+   A partition job shipped to a cmoc-worker process carries the full
+   option record, so the worker reproduces the parent's optimization
+   decisions exactly.  Every field travels — including the excluded-
+   from-fingerprint ones like [machine_memory], which steer NAIM
+   behaviour even though they cannot change artifacts. *)
+
+module Codec = Cmo_support.Codec
+
+let level_tag = function O1 -> 1 | O2 -> 2 | O4 -> 4
+
+let level_of_tag = function
+  | 1 -> O1
+  | 2 -> O2
+  | 4 -> O4
+  | n -> Codec.Reader.corrupt (Printf.sprintf "bad level tag %d" n)
+
+let naim_level_tag = function
+  | Cmo_naim.Loader.Off -> 0
+  | Cmo_naim.Loader.Ir_compaction -> 1
+  | Cmo_naim.Loader.St_compaction -> 2
+  | Cmo_naim.Loader.Offloading -> 3
+
+let naim_level_of_tag = function
+  | 0 -> Cmo_naim.Loader.Off
+  | 1 -> Cmo_naim.Loader.Ir_compaction
+  | 2 -> Cmo_naim.Loader.St_compaction
+  | 3 -> Cmo_naim.Loader.Offloading
+  | n -> Codec.Reader.corrupt (Printf.sprintf "bad NAIM level tag %d" n)
+
+let write_opt w f = function
+  | None -> Codec.Writer.bool w false
+  | Some v ->
+    Codec.Writer.bool w true;
+    f v
+
+let read_opt r f = if Codec.Reader.bool r then Some (f r) else None
+
+let encode w t =
+  Codec.Writer.byte w (level_tag t.level);
+  Codec.Writer.bool w t.pbo;
+  Codec.Writer.bool w t.instrument;
+  write_opt w (Codec.Writer.float w) t.selectivity;
+  Codec.Writer.bool w t.tiered;
+  Codec.Writer.uvarint w t.machine_memory;
+  write_opt w (fun l -> Codec.Writer.byte w (naim_level_tag l)) t.naim_level;
+  write_opt w
+    (fun (c : Cmo_hlo.Inline.config) ->
+      Codec.Writer.varint w c.Cmo_hlo.Inline.always_threshold;
+      Codec.Writer.float w c.Cmo_hlo.Inline.hot_count_threshold;
+      Codec.Writer.float w c.Cmo_hlo.Inline.hot_density_ratio;
+      Codec.Writer.varint w c.Cmo_hlo.Inline.hot_size_limit;
+      Codec.Writer.varint w c.Cmo_hlo.Inline.cold_size_limit;
+      Codec.Writer.varint w c.Cmo_hlo.Inline.caller_size_limit;
+      Codec.Writer.float w c.Cmo_hlo.Inline.program_growth;
+      Codec.Writer.bool w c.Cmo_hlo.Inline.use_profile;
+      write_opt w (Codec.Writer.varint w) c.Cmo_hlo.Inline.operation_limit)
+    t.inline_config;
+  write_opt w (Codec.Writer.varint w) t.rewrite_limit;
+  write_opt w (Codec.Writer.varint w) t.inline_limit;
+  write_opt w (Codec.Writer.list w (Codec.Writer.string w)) t.cmo_modules;
+  Codec.Writer.uvarint w t.jobs;
+  Codec.Writer.bool w t.check;
+  write_opt w (Codec.Writer.string w) t.trace;
+  Codec.Writer.bool w t.dist
+
+let decode r =
+  let level = level_of_tag (Codec.Reader.byte r) in
+  let pbo = Codec.Reader.bool r in
+  let instrument = Codec.Reader.bool r in
+  let selectivity = read_opt r Codec.Reader.float in
+  let tiered = Codec.Reader.bool r in
+  let machine_memory = Codec.Reader.uvarint r in
+  let naim_level =
+    read_opt r (fun r -> naim_level_of_tag (Codec.Reader.byte r))
+  in
+  let inline_config =
+    read_opt r (fun r ->
+        let always_threshold = Codec.Reader.varint r in
+        let hot_count_threshold = Codec.Reader.float r in
+        let hot_density_ratio = Codec.Reader.float r in
+        let hot_size_limit = Codec.Reader.varint r in
+        let cold_size_limit = Codec.Reader.varint r in
+        let caller_size_limit = Codec.Reader.varint r in
+        let program_growth = Codec.Reader.float r in
+        let use_profile = Codec.Reader.bool r in
+        let operation_limit = read_opt r Codec.Reader.varint in
+        {
+          Cmo_hlo.Inline.always_threshold;
+          hot_count_threshold;
+          hot_density_ratio;
+          hot_size_limit;
+          cold_size_limit;
+          caller_size_limit;
+          program_growth;
+          use_profile;
+          operation_limit;
+        })
+  in
+  let rewrite_limit = read_opt r Codec.Reader.varint in
+  let inline_limit = read_opt r Codec.Reader.varint in
+  let cmo_modules = read_opt r (fun r -> Codec.Reader.list r Codec.Reader.string) in
+  let jobs = Codec.Reader.uvarint r in
+  let check = Codec.Reader.bool r in
+  let trace = read_opt r Codec.Reader.string in
+  let dist = Codec.Reader.bool r in
+  {
+    level;
+    pbo;
+    instrument;
+    selectivity;
+    tiered;
+    machine_memory;
+    naim_level;
+    inline_config;
+    rewrite_limit;
+    inline_limit;
+    cmo_modules;
+    jobs;
+    check;
+    trace;
+    dist;
+  }
 
 let to_string t =
   let level =

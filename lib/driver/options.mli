@@ -66,6 +66,15 @@ type t = {
           and untraced builds produce byte-identical artifacts, and
           the flag never enters {!cache_fingerprint}.  Defaults to
           [$CMO_TRACE] or [cmoc --trace FILE]. *)
+  dist : bool;
+      (** WHOPR-style distribution: run link-time CMO partitions in
+          isolated [cmoc-worker] processes (up to [jobs] of them)
+          instead of worker domains, talking over CMR1-framed pipes
+          ({!Distwork}).  Byte-invisible by construction and by test:
+          any worker loss, missing worker binary or wire fault
+          degrades that partition to local recompute.  Never enters
+          {!cache_fingerprint}.  Defaults to [$CMO_DIST] or
+          [cmoc --dist]. *)
 }
 
 (** Process-tree environment defaults, parsed once by {!from_env}.
@@ -91,6 +100,13 @@ type env = {
   env_queue_max : int;
       (** [$CMO_QUEUE_MAX] when >= 1, else 64: the daemon's admission
           bound — requests beyond this many queued are rejected. *)
+  env_dist : bool;
+      (** [$CMO_DIST]: any value but unset, [""], ["0"] — distribute
+          link-time CMO partitions to worker processes. *)
+  env_dist_worker : string option;
+      (** [$CMO_DIST_WORKER] when non-empty: path to the
+          [cmoc_worker] binary; otherwise it is resolved next to the
+          running executable (see {!Distwork.resolve_worker}). *)
 }
 
 val from_env : ?get:(string -> string option) -> unit -> env
@@ -130,7 +146,16 @@ val to_string : t -> string
 val cache_fingerprint : t -> string
 (** Canonical rendering of every field that influences generated
     code, for artifact-cache keys.  [machine_memory], [naim_level],
-    [jobs], [check] and [trace] are excluded on purpose: they are
-    behaviour-preserving (tested invariants), so cached artifacts
-    survive memory-, worker-, verifier- and tracing-configuration
-    changes. *)
+    [jobs], [check], [trace] and [dist] are excluded on purpose: they
+    are behaviour-preserving (tested invariants), so cached artifacts
+    survive memory-, worker-, verifier-, tracing- and
+    distribution-configuration changes. *)
+
+val encode : Cmo_support.Codec.Writer.t -> t -> unit
+(** Append the full record (every field, excluded-from-fingerprint
+    ones included) to a {!Cmo_support.Codec} writer — the partition
+    jobs shipped to [cmoc-worker] processes carry options this way. *)
+
+val decode : Cmo_support.Codec.Reader.t -> t
+(** Inverse of {!encode}.
+    @raise Cmo_support.Codec.Reader.Corrupt on malformed input. *)

@@ -39,8 +39,14 @@ type source = { name : string; text : string }
 (* Module-level artifact traffic for one build; the store's own
    counters additionally include the per-routine phase cache. *)
 type cache_usage = {
-  hits : int;  (** Module artifacts served from the store. *)
-  misses : int;
+  hits : int;  (** Module artifacts served from the local store. *)
+  misses : int;  (** Lookups served by neither local store nor remote. *)
+  remote_hits : int;
+      (** Module artifacts fetched from the remote cache (and adopted
+          into the local store). *)
+  remote_misses : int;
+      (** Remote lookups that missed — failed or disabled remotes
+          count here too, never as errors. *)
   cmo_cached : string list;  (** CMO-set modules taken from the store. *)
   cmo_reoptimized : string list;
       (** CMO-set modules whose link-time optimization actually ran. *)
@@ -244,22 +250,6 @@ let render_violations vs =
 (* Trace summary for the report, captured while the sink is live. *)
 let obs_summary () = if Obs.enabled () then Some (Obs.summary ()) else None
 
-(* A loader-backed resolution environment: function arities straight
-   from the pool headers (clones included, IPA-removed routines
-   absent — exactly the NAIM ownership the verifier polices) and the
-   globals of every registered module. *)
-let loader_env loader =
-  {
-    Ilcheck.resolve =
-      (fun name ->
-        match Loader.arity_of loader name with
-        | Some arity -> Some (Ilcheck.Func_binding { arity })
-        | None ->
-          Option.map
-            (fun size -> Ilcheck.Global_binding { size })
-            (Loader.global_size_of loader name));
-  }
-
 (* A domain-safe lazy.  Checker environments are shared read-only
    across the worker pool, and [Lazy.force] raises [Undefined] when
    two domains race to force the same suspension — so memoize behind
@@ -277,8 +267,8 @@ let memo_locked f =
       cell := Some v;
       v
 
-let compile_modules_inner ?profile ?cache ?naim_repo (options : Options.t)
-    modules =
+let compile_modules_inner ?profile ?cache ?naim_repo ?remote
+    (options : Options.t) modules =
   let jobs = max 1 options.Options.jobs in
   (* Checker factory: [None] when [check] is off, so the optimizers
      skip the hook entirely; environments are deferred (memoized
@@ -354,12 +344,30 @@ let compile_modules_inner ?profile ?cache ?naim_repo (options : Options.t)
     let cold_lines = ref 0 in
     let cache_hits = ref 0 in
     let cache_misses = ref 0 in
+    let remote_hits = ref 0 in
+    let remote_misses = ref 0 in
+    (* WHOPR-style distribution: one worker pool per build, processes
+       spawned on demand.  A missing worker binary degrades the whole
+       build to in-process execution, never an error — [dist] is a
+       behaviour-preserving knob like [jobs]. *)
+    let dist_pool =
+      if options.Options.dist && options.Options.level = Options.O4 then
+        match Distwork.create_pool () with
+        | pool -> Some pool
+        | exception Distwork.Unavailable msg ->
+          Log.warn (fun m -> m "dist: %s; building in-process" msg);
+          None
+      else None
+    in
     let cmo_cached = ref [] in
     let cmo_reoptimized = ref [] in
     let hlo_t0 = Sys.time () in
     let hlo_w0 = Unix.gettimeofday () in
     (* Decide the CMO set and optimize it. *)
     let processed_modules =
+      Fun.protect
+        ~finally:(fun () -> Option.iter Distwork.close_pool dist_pool)
+      @@ fun () ->
       Obs.with_span ~cat:"stage" "hlo" @@ fun () ->
       match options.Options.level with
       | Options.O1 -> modules
@@ -408,23 +416,58 @@ let compile_modules_inner ?profile ?cache ?naim_repo (options : Options.t)
         (* Decode a stored module artifact; anything unexpected —
            corrupt bytes, a key collision surfacing as the wrong
            module — degrades to a miss. *)
-        let fetch_module store key mname =
-          match Store.find store key with
-          | None ->
-            incr cache_misses;
-            Obs.tick "cache.module" "misses" 1;
-            None
-          | Some bytes -> (
-            match Ilcodec.decode_module bytes with
-            | m when m.Ilmod.mname = mname ->
-              incr cache_hits;
-              Obs.tick "cache.module" "hits" 1;
-              Some m
-            | _ ->
-              incr cache_misses;
-              Obs.tick "cache.module" "misses" 1;
+        let decode_artifact bytes mname =
+          match Ilcodec.decode_module bytes with
+          | m when m.Ilmod.mname = mname -> Some m
+          | _ -> None
+          | exception Cmo_support.Codec.Reader.Corrupt _ -> None
+        in
+        (* Publish an artifact to the remote cache; the remote's own
+           wrapper absorbs failures (a dead daemon must not fail the
+           build). *)
+        let remote_put key bytes =
+          match remote with
+          | Some r -> r.Distwork.remote_put key bytes
+          | None -> ()
+        in
+        (* On a local non-hit, consult the remote cache; a validated
+           remote artifact is adopted into the local store so the next
+           build hits locally.  All remote traffic happens on the
+           serial WPA path (the missing-scan and the outside sweep),
+           so its effect on local store bytes is independent of
+           [jobs]. *)
+        let remote_fetch store key mname =
+          match remote with
+          | None -> None
+          | Some r -> (
+            match r.Distwork.remote_get key with
+            | None ->
+              incr remote_misses;
+              Obs.tick "cache.module" "remote_misses" 1;
               None
-            | exception Cmo_support.Codec.Reader.Corrupt _ ->
+            | Some bytes -> (
+              match decode_artifact bytes mname with
+              | Some m ->
+                Store.add store key bytes;
+                incr remote_hits;
+                Obs.tick "cache.module" "remote_hits" 1;
+                Some m
+              | None ->
+                incr remote_misses;
+                Obs.tick "cache.module" "remote_misses" 1;
+                None))
+        in
+        let fetch_module store key mname =
+          match Option.bind (Store.find store key) (fun bytes ->
+                    decode_artifact bytes mname) with
+          | Some m ->
+            incr cache_hits;
+            Obs.tick "cache.module" "hits" 1;
+            Some m
+          | None -> (
+            match remote_fetch store key mname with
+            | Some m -> Some m
+            | None ->
               incr cache_misses;
               Obs.tick "cache.module" "misses" 1;
               None)
@@ -458,7 +501,9 @@ let compile_modules_inner ?profile ?cache ?naim_repo (options : Options.t)
               | Some cached -> cached
               | None ->
                 optimize ();
-                Store.add store key (Ilcodec.encode_module m);
+                let bytes = Ilcodec.encode_module m in
+                Store.add store key bytes;
+                remote_put key bytes;
                 m)
           end
         in
@@ -513,75 +558,63 @@ let compile_modules_inner ?profile ?cache ?naim_repo (options : Options.t)
             && roots_exist
           in
           (* Run link-time CMO over [subset] (the whole set, or one
-             component).  The external context is always the non-CMO
-             modules: components are closed under calls and shared
-             globals, so modules of other components cannot observe
-             this subset. *)
+             component) — the exact code a [cmoc-worker] process runs
+             ({!Distwork.optimize_subset}), which is what keeps
+             distribution byte-invisible.  The external context is
+             always the non-CMO modules: components are closed under
+             calls and shared globals, so modules of other components
+             cannot observe this subset. *)
+          let hot_filter =
+            Option.map
+              (fun sel name -> Selectivity.is_hot_function sel name)
+              !selection
+          in
           let run_cmo ?phase_cache ~mem subset =
-            let cg = Callgraph.build subset in
-            (* Everything that reads module function lists must run
-               before registration: the loader takes ownership and
-               empties them. *)
-            let main_in_set =
-              List.exists
-                (fun (m : Ilmod.t) ->
-                  List.exists (fun f -> f.Func.name = "main") m.Ilmod.funcs)
-                subset
+            Distwork.optimize_subset ?phase_cache ?naim_repo ?hot_filter
+              ~check_base:outside_env ~options
+              ~externally_called:(Hashtbl.mem called)
+              ~externally_stored:(Hashtbl.mem stored) ~mem subset
+          in
+          (* A partition job carries everything the serial WPA step
+             computed for this subset: the encoded modules, the
+             external-context slices, the hot-function selection and
+             the full option record. *)
+          let job_of subset =
+            {
+              Distwork.job_options = options;
+              job_modules = List.map Ilcodec.encode_module subset;
+              job_called =
+                Hashtbl.fold (fun k () acc -> k :: acc) called []
+                |> List.sort String.compare;
+              job_stored =
+                Hashtbl.fold (fun k () acc -> k :: acc) stored []
+                |> List.sort String.compare;
+              job_hot =
+                Option.map
+                  (fun sel -> sel.Selectivity.hot_functions)
+                  !selection;
+              job_phase_cache = false (* run_job decides *);
+            }
+          in
+          (* Optimize a subset on a pooled worker process; the result
+             additionally carries the worker's own encoding of each
+             optimized module, stored verbatim so the worker's encoder
+             defines the artifact bytes.  Raises [Worker_lost]. *)
+          let run_dist pool ?phase_cache ~mem subset =
+            let payload = Distwork.run_job pool ?phase_cache (job_of subset) in
+            let precoded =
+              List.map
+                (fun bytes -> (Ilcodec.decode_module bytes, bytes))
+                payload.Distwork.done_modules
             in
-            let loader_config =
-              {
-                Loader.default_config with
-                Loader.machine_memory = options.Options.machine_memory;
-                forced_level = options.Options.naim_level;
-              }
-            in
-            let loader = Loader.create ?repo:naim_repo loader_config mem in
-            List.iter (Loader.register_module loader) subset;
-            let check =
-              checker_of
-                (memo_locked (fun () ->
-                     Ilcheck.compose (loader_env loader) (outside_env ())))
-            in
-            let ipa_context =
-              {
-                Ipa.externally_called = Hashtbl.mem called;
-                externally_stored = Hashtbl.mem stored;
-                entry = (if main_in_set then Some "main" else None);
-                keep_exported = true;
-              }
-            in
-            let base_options = Hlo.o4_options ~profile:options.Options.pbo in
-            let inline_config =
-              let config =
-                match options.Options.inline_config with
-                | Some c -> c
-                | None -> (
-                  match base_options.Hlo.inline with
-                  | Some c -> c
-                  | None -> Inline.default_config)
-              in
-              { config with Inline.operation_limit = options.Options.inline_limit }
-            in
-            let hot_filter =
-              Option.map
-                (fun sel name -> Selectivity.is_hot_function sel name)
-                !selection
-            in
-            let hlo_options =
-              {
-                base_options with
-                Hlo.inline = Some inline_config;
-                hot_filter;
-                rewrite_limit = options.Options.rewrite_limit;
-                phase_cache;
-                check;
-              }
-            in
-            let report = Hlo.run loader cg ~ipa_context hlo_options in
-            let optimized = Loader.extract_modules loader in
-            let lstats = Loader.stats loader in
-            Loader.close loader;
-            (optimized, report, lstats)
+            Memstats.merge mem
+              (Distwork.memstats_of_summary payload.Distwork.done_mem);
+            ( List.map fst precoded,
+              payload.Distwork.done_report,
+              payload.Distwork.done_lstats,
+              List.map
+                (fun ((m : Ilmod.t), bytes) -> (m.Ilmod.mname, bytes))
+                precoded )
           in
           let record_hlo (report, lstats) =
             hlo_report :=
@@ -604,6 +637,12 @@ let compile_modules_inner ?profile ?cache ?naim_repo (options : Options.t)
              store is attached this is the code path at every job
              count, j=1 included: the transaction logs, not the
              interleaving, decide what the store sees. *)
+          let phase_cache_of txn =
+            Option.map
+              (fun txn ->
+                { Hlo.pc_find = Store.txn_find txn; pc_add = Store.txn_add txn })
+              txn
+          in
           let run_components ~txns comps_names =
             let comps =
               List.map
@@ -633,32 +672,89 @@ let compile_modules_inner ?profile ?cache ?naim_repo (options : Options.t)
                             (fun (m : Ilmod.t) -> { m with Ilmod.funcs = [] })
                             subset,
                           None,
-                          Memstats.create () )
+                          Memstats.create (),
+                          txn,
+                          [] )
                       else begin
-                        let wmem = Memstats.create () in
-                        let phase_cache =
-                          Option.map
-                            (fun txn ->
-                              {
-                                Hlo.pc_find = Store.txn_find txn;
-                                pc_add = Store.txn_add txn;
-                              })
-                            txn
+                        let local txn =
+                          let wmem = Memstats.create () in
+                          let optimized, report, lstats =
+                            run_cmo
+                              ?phase_cache:(phase_cache_of txn)
+                              ~mem:wmem subset
+                          in
+                          (optimized, Some (report, lstats), wmem, txn, [])
                         in
-                        let optimized, report, lstats =
-                          run_cmo ?phase_cache ~mem:wmem subset
-                        in
-                        (optimized, Some (report, lstats), wmem)
+                        match dist_pool with
+                        | None -> local txn
+                        | Some dpool -> (
+                          match
+                            let wmem = Memstats.create () in
+                            let optimized, report, lstats, precoded =
+                              run_dist dpool
+                                ?phase_cache:(phase_cache_of txn)
+                                ~mem:wmem subset
+                            in
+                            (optimized, Some (report, lstats), wmem, txn,
+                             precoded)
+                          with
+                          | result -> result
+                          | exception Distwork.Worker_lost ->
+                            (* The partition's worker is gone; its
+                               transaction holds a partial op log that
+                               must never commit.  Abandon it and redo
+                               the component locally on a fresh one,
+                               whose log then matches the oracle's
+                               exactly. *)
+                            let txn =
+                              match txn with
+                              | Some _ -> Option.map Store.txn_begin cache
+                              | None -> None
+                            in
+                            local txn)
                       end)
                     comps)
             in
-            List.iter2
-              (fun (_, _, txn) (_, stats, wmem) ->
+            (* The transaction each component actually used travels in
+               its result (a lost worker's replacement transaction is
+               the one to commit, not the abandoned original). *)
+            List.iter
+              (fun (_, stats, wmem, txn, _) ->
                 Memstats.merge mem wmem;
                 Option.iter record_hlo stats;
                 Option.iter Store.txn_commit txn)
-              comps results;
-            List.concat_map (fun (optimized, _, _) -> optimized) results
+              results;
+            ( List.concat_map (fun (optimized, _, _, _, _) -> optimized) results,
+              List.concat_map (fun (_, _, _, _, precoded) -> precoded) results
+            )
+          in
+          (* The whole-set (non-decomposable) run: program-wide
+             decisions — profile-guided cloning counters, the
+             bug-isolation operation budgets, IPA's rootless
+             keep-everything guard — must be made once over the entire
+             set, so distribution ships the whole set as a single job
+             to one worker.  With a store attached the phase relay
+             lands in a transaction, committed on success and
+             abandoned on loss, so a lost worker leaves no trace and
+             the local redo replays the oracle's op log against the
+             store directly. *)
+          let run_whole ~mem subset =
+            let local () =
+              let phase_cache = Option.map Hlo.store_phase_cache cache in
+              let optimized, report, lstats = run_cmo ?phase_cache ~mem subset in
+              (optimized, report, lstats, [])
+            in
+            match dist_pool with
+            | None -> local ()
+            | Some dpool -> (
+              let txn = Option.map Store.txn_begin cache in
+              match
+                run_dist dpool ?phase_cache:(phase_cache_of txn) ~mem subset
+              with
+              | optimized, report, lstats, precoded ->
+                Option.iter Store.txn_commit txn;
+                (optimized, report, lstats, precoded)
+              | exception Distwork.Worker_lost -> local ())
           in
           let table_of optimized =
             let opt_tbl = Hashtbl.create 16 in
@@ -669,12 +765,12 @@ let compile_modules_inner ?profile ?cache ?naim_repo (options : Options.t)
           in
           match cache with
           | None ->
-            if decomposable && jobs > 1 then begin
+            if decomposable && (jobs > 1 || Option.is_some dist_pool) then begin
               (* Same partition as cache invalidation, used here as
-                 the unit of parallel link-time CMO (the WHOPR
-                 LTRANS analogy). *)
+                 the unit of parallel/distributed link-time CMO (the
+                 WHOPR LTRANS analogy). *)
               let part = Invalidate.compute cmo_set in
-              let optimized =
+              let optimized, _ =
                 run_components ~txns:false (Invalidate.components part)
               in
               let opt_tbl = table_of optimized in
@@ -682,7 +778,7 @@ let compile_modules_inner ?profile ?cache ?naim_repo (options : Options.t)
               @ outside
             end
             else begin
-              let optimized, report, lstats = run_cmo ~mem cmo_set in
+              let optimized, report, lstats, _ = run_whole ~mem cmo_set in
               record_hlo (report, lstats);
               optimized @ outside
             end
@@ -764,11 +860,25 @@ let compile_modules_inner ?profile ?cache ?naim_repo (options : Options.t)
                   | None -> true)
                 all_names
             in
-            let store_results optimized =
+            (* Persist (and publish) the fresh artifacts.  Modules a
+               worker process optimized are stored under the worker's
+               own encoding ([precoded]) — the bytes that crossed the
+               wire define the artifact, with no parent-side
+               re-encode in between. *)
+            let store_results ?(precoded = []) optimized =
+              let pre = Hashtbl.create 16 in
+              List.iter (fun (n, b) -> Hashtbl.replace pre n b) precoded;
               List.iter
                 (fun (m' : Ilmod.t) ->
                   match Hashtbl.find_opt keys m'.Ilmod.mname with
-                  | Some key -> Store.add store key (Ilcodec.encode_module m')
+                  | Some key ->
+                    let bytes =
+                      match Hashtbl.find_opt pre m'.Ilmod.mname with
+                      | Some b -> b
+                      | None -> Ilcodec.encode_module m'
+                    in
+                    Store.add store key bytes;
+                    remote_put key bytes
                   | None -> ())
                 optimized
             in
@@ -786,7 +896,7 @@ let compile_modules_inner ?profile ?cache ?naim_repo (options : Options.t)
               cmo_reoptimized := rerun_names;
               cmo_cached :=
                 List.filter (fun n -> not (List.mem n rerun_names)) all_names;
-              let optimized =
+              let optimized, precoded =
                 if decomposable then
                   (* Exactly the components holding a stale module
                      rerun; every fetch above already happened, so the
@@ -798,15 +908,14 @@ let compile_modules_inner ?profile ?cache ?naim_repo (options : Options.t)
                          List.exists (fun n -> List.mem n missing) comp)
                        (Invalidate.components part))
                 else begin
-                  let optimized, report, lstats =
-                    run_cmo ~phase_cache:(Hlo.store_phase_cache store) ~mem
-                      cmo_set
+                  let optimized, report, lstats, precoded =
+                    run_whole ~mem cmo_set
                   in
                   record_hlo (report, lstats);
-                  optimized
+                  (optimized, precoded)
                 end
               in
-              store_results optimized;
+              store_results ~precoded optimized;
               let opt_tbl = table_of optimized in
               List.map
                 (fun name ->
@@ -918,6 +1027,8 @@ let compile_modules_inner ?profile ?cache ?naim_repo (options : Options.t)
                 {
                   hits = !cache_hits;
                   misses = !cache_misses;
+                  remote_hits = !remote_hits;
+                  remote_misses = !remote_misses;
                   cmo_cached = !cmo_cached;
                   cmo_reoptimized = !cmo_reoptimized;
                 })
@@ -927,8 +1038,8 @@ let compile_modules_inner ?profile ?cache ?naim_repo (options : Options.t)
     }
   end
 
-let compile_modules ?profile ?cache ?naim_repo options modules =
-  try compile_modules_inner ?profile ?cache ?naim_repo options modules
+let compile_modules ?profile ?cache ?naim_repo ?remote options modules =
+  try compile_modules_inner ?profile ?cache ?naim_repo ?remote options modules
   with Ilcheck.Violation vs -> error "%s" (render_violations vs)
 
 (* The trace lifecycle lives with whoever owns the whole build
@@ -953,7 +1064,7 @@ let with_tracing (options : Options.t) f =
       Obs.stop ();
       raise e)
 
-let compile ?profile ?cache ?naim_repo options sources =
+let compile ?profile ?cache ?naim_repo ?remote options sources =
   with_tracing options @@ fun () ->
   let t0 = Sys.time () in
   let w0 = Unix.gettimeofday () in
@@ -963,7 +1074,9 @@ let compile ?profile ?cache ?naim_repo options sources =
   in
   let t1 = Sys.time () in
   let w1 = Unix.gettimeofday () in
-  let build = compile_modules ?profile ?cache ?naim_repo options modules in
+  let build =
+    compile_modules ?profile ?cache ?naim_repo ?remote options modules
+  in
   {
     build with
     report =
@@ -1020,7 +1133,10 @@ let pp_report ppf r =
       "@,cache: %d module hits, %d misses; %d cmo cached, %d re-optimized"
       c.hits c.misses
       (List.length c.cmo_cached)
-      (List.length c.cmo_reoptimized)
+      (List.length c.cmo_reoptimized);
+    if c.remote_hits + c.remote_misses > 0 then
+      Format.fprintf ppf "@,remote cache: %d hits, %d misses" c.remote_hits
+        c.remote_misses
   | None -> ());
   (match r.selection with
   | Some s -> Format.fprintf ppf "@,%a" Selectivity.pp s
@@ -1116,6 +1232,8 @@ let report_to_json r =
               [
                 ("hits", num_i c.hits);
                 ("misses", num_i c.misses);
+                ("remote_hits", num_i c.remote_hits);
+                ("remote_misses", num_i c.remote_misses);
                 ( "cmo_cached",
                   Json.Arr (List.map (fun n -> Json.Str n) c.cmo_cached) );
                 ( "cmo_reoptimized",

@@ -20,8 +20,16 @@
 type source = { name : string; text : string }
 
 type cache_usage = {
-  hits : int;  (** Module-level artifacts served from the store. *)
-  misses : int;  (** Module-level artifact lookups that missed. *)
+  hits : int;  (** Module-level artifacts served from the local store. *)
+  misses : int;
+      (** Module-level lookups served by neither the local store nor
+          the remote cache. *)
+  remote_hits : int;
+      (** Artifacts fetched from the remote cache ([?remote]) and
+          adopted into the local store. *)
+  remote_misses : int;
+      (** Remote lookups that missed; a failed or disabled remote
+          counts here — never as a build error. *)
   cmo_cached : string list;
       (** CMO-set modules whose post-CMO IL came from the store. *)
   cmo_reoptimized : string list;
@@ -113,6 +121,7 @@ val compile :
   ?profile:Cmo_profile.Db.t ->
   ?cache:Cmo_cache.Store.t ->
   ?naim_repo:Cmo_naim.Repository.t ->
+  ?remote:Distwork.remote ->
   Options.t ->
   source list ->
   build
@@ -121,11 +130,27 @@ val compile_modules :
   ?profile:Cmo_profile.Db.t ->
   ?cache:Cmo_cache.Store.t ->
   ?naim_repo:Cmo_naim.Repository.t ->
+  ?remote:Distwork.remote ->
   Options.t ->
   Cmo_il.Ilmod.t list ->
   build
 (** Takes ownership of [modules]: profile annotation and optimization
     mutate them.
+
+    With [Options.dist], link-time CMO partitions run in isolated
+    [cmoc-worker] processes ({!Distwork}) instead of worker domains;
+    any worker loss, wire fault or missing worker binary degrades the
+    affected partition (or the whole build) to in-process execution.
+    Distributed builds are byte-identical to in-process ones — the
+    distribution determinism matrix enforces it.
+
+    With [remote] (requires [cache]), module-artifact lookups that
+    miss the local store consult the remote cache, adopting validated
+    artifacts locally, and fresh artifacts are published back — the
+    cross-checkout sharing path through [cmocd].  The remote must
+    degrade internally (both functions return miss / drop on any
+    fault); remote traffic happens only on the serial WPA path, so
+    local store bytes stay independent of [jobs].
 
     With [naim_repo], the O4 loaders offload to the given repository
     instead of a private in-memory one — the build server passes its

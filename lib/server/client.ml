@@ -54,9 +54,44 @@ let stats t =
       | Proto.Rejected _ -> "Rejected"
       | Proto.Failed { reason; _ } -> "Failed: " ^ reason
       | Proto.Stats_reply _ -> assert false
-      | Proto.Shutting_down -> "Shutting_down")
+      | Proto.Shutting_down -> "Shutting_down"
+      | Proto.Cache_hit _ -> "Cache_hit"
+      | Proto.Cache_miss -> "Cache_miss"
+      | Proto.Cache_stored -> "Cache_stored")
 
 let shutdown_server t =
   match roundtrip t Proto.Shutdown with
   | Proto.Shutting_down -> ()
   | _ -> fail "unexpected reply to Shutdown"
+
+let cache_get t key =
+  match roundtrip t (Proto.Cache_get { key }) with
+  | Proto.Cache_hit { data } -> Some data
+  | Proto.Cache_miss -> None
+  | _ -> fail "unexpected reply to Cache_get"
+
+let cache_put t key data =
+  match roundtrip t (Proto.Cache_put { key; data }) with
+  | Proto.Cache_stored -> ()
+  | _ -> fail "unexpected reply to Cache_put"
+
+let remote t =
+  (* The pipeline's contract is that a remote degrades internally: the
+     first transport or protocol failure turns this remote off for the
+     rest of the build (every later get is a miss, every put a no-op),
+     so a daemon dying mid-build costs one degradation, not one error
+     per module. *)
+  let dead = ref false in
+  let guard default f =
+    if !dead then default
+    else
+      try f ()
+      with Protocol_error _ | Unix.Unix_error _ | Sys_error _ ->
+        dead := true;
+        default
+  in
+  {
+    Cmo_driver.Distwork.remote_get =
+      (fun key -> guard None (fun () -> cache_get t key));
+    remote_put = (fun key data -> guard () (fun () -> cache_put t key data));
+  }

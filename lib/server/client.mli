@@ -26,3 +26,19 @@ val stats : t -> Proto.stats
 val shutdown_server : t -> unit
 (** Ask the daemon to shut down gracefully; returns once acknowledged
     (drain completes after). *)
+
+(** {2 Remote artifact cache} *)
+
+val cache_get : t -> string -> string option
+(** Fetch a store record by fingerprint key from the daemon's store;
+    [None] on a miss (which is normal, not an error). *)
+
+val cache_put : t -> string -> string -> unit
+(** Publish a store record under its fingerprint key. *)
+
+val remote : t -> Cmo_driver.Distwork.remote
+(** Wrap the connection as a degrading remote cache for
+    {!Cmo_driver.Pipeline.compile}: any transport or protocol failure
+    disables the remote for the rest of the build (misses / dropped
+    puts) instead of raising — a remote-cache fault never fails a
+    build. *)

@@ -13,7 +13,13 @@ type build_req = {
   sources : Pipeline.source list;
 }
 
-type request = Ping | Build of build_req | Stats | Shutdown
+type request =
+  | Ping
+  | Build of build_req
+  | Stats
+  | Shutdown
+  | Cache_get of { key : string }
+  | Cache_put of { key : string; data : string }
 
 type stats = {
   accepted : int;
@@ -33,6 +39,9 @@ type response =
   | Failed of { tag : string; reason : string }
   | Stats_reply of stats
   | Shutting_down
+  | Cache_hit of { data : string }
+  | Cache_miss
+  | Cache_stored
 
 (* ---- binary encoding (Codec, same substrate as object files) ---- *)
 
@@ -88,7 +97,14 @@ let string_of_request req =
     Codec.Writer.byte w 2;
     write_build_req w b
   | Stats -> Codec.Writer.byte w 3
-  | Shutdown -> Codec.Writer.byte w 4);
+  | Shutdown -> Codec.Writer.byte w 4
+  | Cache_get { key } ->
+    Codec.Writer.byte w 5;
+    Codec.Writer.string w key
+  | Cache_put { key; data } ->
+    Codec.Writer.byte w 6;
+    Codec.Writer.string w key;
+    Codec.Writer.string w data);
   Codec.Writer.contents w
 
 let request_of_reader r =
@@ -97,6 +113,11 @@ let request_of_reader r =
   | 2 -> Build (read_build_req r)
   | 3 -> Stats
   | 4 -> Shutdown
+  | 5 -> Cache_get { key = Codec.Reader.string r }
+  | 6 ->
+    let key = Codec.Reader.string r in
+    let data = Codec.Reader.string r in
+    Cache_put { key; data }
   | n -> Codec.Reader.corrupt (Printf.sprintf "bad request tag %d" n)
 
 let write_stats w (s : stats) =
@@ -141,7 +162,12 @@ let string_of_response resp =
   | Stats_reply s ->
     Codec.Writer.byte w 5;
     write_stats w s
-  | Shutting_down -> Codec.Writer.byte w 6);
+  | Shutting_down -> Codec.Writer.byte w 6
+  | Cache_hit { data } ->
+    Codec.Writer.byte w 7;
+    Codec.Writer.string w data
+  | Cache_miss -> Codec.Writer.byte w 8
+  | Cache_stored -> Codec.Writer.byte w 9);
   Codec.Writer.contents w
 
 let response_of_reader r =
@@ -162,6 +188,9 @@ let response_of_reader r =
     Failed { tag; reason }
   | 5 -> Stats_reply (read_stats r)
   | 6 -> Shutting_down
+  | 7 -> Cache_hit { data = Codec.Reader.string r }
+  | 8 -> Cache_miss
+  | 9 -> Cache_stored
   | n -> Codec.Reader.corrupt (Printf.sprintf "bad response tag %d" n)
 
 let decode of_reader payload =
@@ -182,49 +211,16 @@ let response_of_string = decode response_of_reader
 
 let max_payload = 1 lsl 26 (* 64 MiB: far beyond any workload here *)
 
-(* Raw fd I/O on purpose: the wire is not a durability surface, so it
-   stays outside Fsio's fault-injection chokepoint — a fault plan
-   aimed at a build must not corrupt the transport carrying it. *)
-let rec write_all fd s off len =
-  if len > 0 then begin
-    let n =
-      try Unix.write_substring fd s off len
-      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
-    in
-    write_all fd s (off + n) (len - n)
-  end
-
-let write_message fd payload =
-  let data = Fsio.frame payload in
-  write_all fd data 0 (String.length data)
-
-(* Read exactly [n] bytes; [`Eof of got] when the peer closes early. *)
-let read_exact fd n =
-  let buf = Bytes.create n in
-  let rec go off =
-    if off = n then Ok (Bytes.unsafe_to_string buf)
-    else
-      match Unix.read fd buf off (n - off) with
-      | 0 -> Error (`Eof off)
-      | k -> go (off + k)
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
-  in
-  go 0
+(* The framed-fd transport itself lives in Fsio ([write_framed] /
+   [read_framed]) so the build-server protocol and the cmoc-worker
+   job protocol share one implementation — raw fd I/O on purpose,
+   outside the fault-injection chokepoint: a fault plan aimed at a
+   build must not corrupt the transport carrying it. *)
+let write_message fd payload = Fsio.write_framed fd payload
 
 let read_message fd =
-  match read_exact fd Fsio.frame_overhead with
-  | Error (`Eof 0) -> Error `Eof
-  | Error (`Eof _) -> Error (`Bad "connection closed inside a frame header")
-  | Ok header -> (
-    match Fsio.scan_frame header ~pos:0 with
-    | Fsio.Bad m -> Error (`Bad m)
-    | Fsio.Frame { payload; _ } -> Ok payload (* zero-length payload *)
-    | Fsio.Need n when n > max_payload -> Error (`Bad "oversized frame")
-    | Fsio.Need n -> (
-      match read_exact fd n with
-      | Error (`Eof _) -> Error (`Bad "connection closed inside a frame body")
-      | Ok body -> (
-        match Fsio.scan_frame (header ^ body) ~pos:0 with
-        | Fsio.Frame { payload; _ } -> Ok payload
-        | Fsio.Bad m -> Error (`Bad m)
-        | Fsio.Need _ -> Error (`Bad "incomplete frame"))))
+  match Fsio.read_framed ~max_payload fd with
+  | Ok payload -> Ok payload
+  | Error `Eof -> Error `Eof
+  | Error (`Bad m) -> Error (`Bad m)
+  | Error `Timeout -> assert false (* no timeout requested *)

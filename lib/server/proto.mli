@@ -28,7 +28,19 @@ type build_req = {
   sources : Cmo_driver.Pipeline.source list;
 }
 
-type request = Ping | Build of build_req | Stats | Shutdown
+type request =
+  | Ping
+  | Build of build_req
+  | Stats
+  | Shutdown
+  | Cache_get of { key : string }
+      (** Remote artifact cache: fetch the store record under this
+          fingerprint key.  Served inline by the connection reader
+          (never queued): lookups are cheap and a build farm's cache
+          traffic must not sit behind build requests. *)
+  | Cache_put of { key : string; data : string }
+      (** Remote artifact cache: publish a record.  Content-addressed,
+          so concurrent puts of the same key are idempotent. *)
 
 type stats = {
   accepted : int;  (** Build requests admitted to the queue, ever. *)
@@ -56,6 +68,11 @@ type response =
   | Failed of { tag : string; reason : string }  (** Attempted, failed. *)
   | Stats_reply of stats
   | Shutting_down
+  | Cache_hit of { data : string }  (** [Cache_get] found the record. *)
+  | Cache_miss
+      (** [Cache_get]: no record under that key.  Clients degrade to
+          local recompute — a miss is never an error. *)
+  | Cache_stored  (** [Cache_put] acknowledged. *)
 
 val string_of_request : request -> string
 val request_of_string : string -> (request, string) result

@@ -325,6 +325,42 @@ let conn_loop t id fd =
       | Ok Proto.Shutdown ->
         reply Proto.Shutting_down;
         shutdown t
+      (* Cache traffic is served inline by this reader thread, never
+         queued: lookups are cheap (the store is internally
+         synchronized) and a build farm's cache requests must not sit
+         behind build requests.  The gate is held shared so a chaos
+         request's [reopen_store] cannot swap the store out from under
+         us, and [session_lock] covers reading the current handle. *)
+      | Ok (Proto.Cache_get { key }) ->
+        let data =
+          with_shared t.gate @@ fun () ->
+          Mutex.lock t.session_lock;
+          Fun.protect ~finally:(fun () -> Mutex.unlock t.session_lock)
+          @@ fun () ->
+          match Buildsys.session_store t.session with
+          | None -> None
+          | Some store -> Store.find store key
+        in
+        if Obs.enabled () then
+          Obs.tick "server"
+            (match data with Some _ -> "cache_hits" | None -> "cache_misses")
+            1;
+        reply
+          (match data with
+          | Some data -> Proto.Cache_hit { data }
+          | None -> Proto.Cache_miss);
+        loop ()
+      | Ok (Proto.Cache_put { key; data }) ->
+        (with_shared t.gate @@ fun () ->
+         Mutex.lock t.session_lock;
+         Fun.protect ~finally:(fun () -> Mutex.unlock t.session_lock)
+         @@ fun () ->
+         match Buildsys.session_store t.session with
+         | None -> ()
+         | Some store -> Store.add store key data);
+        if Obs.enabled () then Obs.tick "server" "cache_puts" 1;
+        reply Proto.Cache_stored;
+        loop ()
       | Ok (Proto.Build b) ->
         if Obs.enabled () then Obs.tick "server" "requests" 1;
         let cost = source_lines b.Proto.sources in

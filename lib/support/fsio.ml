@@ -353,6 +353,76 @@ let valid_prefix_string s =
   in
   walk 0
 
+(* ---- framed messages over a file descriptor ----
+
+   Raw fd I/O on purpose: a pipe or socket is not a durability
+   surface, so these stay outside the fault-injection chokepoint — a
+   fault plan aimed at a build must not corrupt the transport carrying
+   it.  Shared by the build-server wire protocol and the distributed
+   partition-worker pipes. *)
+
+let rec write_all fd s off len =
+  if len > 0 then begin
+    let n =
+      try Unix.write_substring fd s off len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd s (off + n) (len - n)
+  end
+
+let write_framed fd payload =
+  let data = frame payload in
+  write_all fd data 0 (String.length data)
+
+(* Read exactly [n] bytes; [`Eof got] when the peer closes early,
+   [`Timeout] when [timeout_s] elapses between reads with the count
+   still short.  The timeout is the distributed build's hang bound: a
+   wedged worker degrades to local recompute instead of stalling the
+   link step forever. *)
+let read_exact ?timeout_s fd n =
+  let buf = Bytes.create n in
+  let rec go off =
+    if off = n then Ok (Bytes.unsafe_to_string buf)
+    else begin
+      let ready =
+        match timeout_s with
+        | None -> true
+        | Some t -> (
+          match Unix.select [ fd ] [] [] t with
+          | [], _, _ -> false
+          | _ -> true
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> true)
+      in
+      if not ready then Error `Timeout
+      else
+        match Unix.read fd buf off (n - off) with
+        | 0 -> Error (`Eof off)
+        | k -> go (off + k)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+    end
+  in
+  go 0
+
+let read_framed ?timeout_s ?(max_payload = 1 lsl 26) fd =
+  match read_exact ?timeout_s fd frame_overhead with
+  | Error `Timeout -> Error `Timeout
+  | Error (`Eof 0) -> Error `Eof
+  | Error (`Eof _) -> Error (`Bad "connection closed inside a frame header")
+  | Ok header -> (
+    match scan_frame header ~pos:0 with
+    | Bad m -> Error (`Bad m)
+    | Frame { payload; _ } -> Ok payload (* zero-length payload *)
+    | Need n when n > max_payload -> Error (`Bad "oversized frame")
+    | Need n -> (
+      match read_exact ?timeout_s fd n with
+      | Error `Timeout -> Error `Timeout
+      | Error (`Eof _) -> Error (`Bad "connection closed inside a frame body")
+      | Ok body -> (
+        match scan_frame (header ^ body) ~pos:0 with
+        | Frame { payload; _ } -> Ok payload
+        | Bad m -> Error (`Bad m)
+        | Need _ -> Error (`Bad "incomplete frame"))))
+
 type appender = {
   apath : string;
   mutable oc : out_channel option;  (* None once closed, or born inert *)

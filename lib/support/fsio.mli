@@ -146,6 +146,28 @@ val valid_prefix_string : string -> int
 (** In-memory analogue of {!valid_prefix}: the end offset of the
     longest prefix of whole, CRC-valid records. *)
 
+val write_framed : Unix.file_descr -> string -> unit
+(** Write one framed message to a pipe or socket (blocking, restarts
+    on EINTR).  {b Deliberately outside the fault-injection
+    chokepoint}: the wire is not a durability surface, and a fault
+    plan aimed at a build must not corrupt the transport carrying it.
+    Raises [Unix.Unix_error] when the peer is gone (EPIPE with SIGPIPE
+    ignored). *)
+
+val read_framed :
+  ?timeout_s:float ->
+  ?max_payload:int ->
+  Unix.file_descr ->
+  (string, [ `Eof | `Bad of string | `Timeout ]) result
+(** Read one framed message.  [`Eof] is a clean close on a message
+    boundary; a close inside a frame, a framing violation or an
+    oversized length (beyond [max_payload], default 64 MiB) is
+    [`Bad] — stream consumers treat it as fatal for the connection
+    (there is no trustworthy next-frame offset).  With [timeout_s],
+    [`Timeout] when the peer stalls that long mid-message — the
+    distributed build's hang bound.  Raw fd I/O, never
+    fault-injected, like {!write_framed}. *)
+
 type appender
 (** An open append channel to a record stream.  Appends are flushed
     per record; {!close_append} optionally fsyncs. *)

@@ -52,6 +52,87 @@ let check_same_behaviour ?input msg modules_a modules_b =
   let b = run ?input modules_b in
   Alcotest.check outcome_testable msg a b
 
+(* ---------- temp-dir scaffolding ---------- *)
+
+(* Best-effort recursive delete: entries that vanish mid-walk (another
+   cleanup, an injected fault) are fine — a failing test must not
+   cascade into a cleanup failure. *)
+let rec remove_tree path =
+  match Sys.is_directory path with
+  | true ->
+    Array.iter
+      (fun entry -> remove_tree (Filename.concat path entry))
+      (Sys.readdir path);
+    Sys.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
+(* A fresh empty directory for the callback's lifetime. *)
+let with_dir ?(prefix = "cmo_test") f =
+  let dir = Filename.temp_file prefix "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> remove_tree dir) (fun () -> f dir)
+
+(* ---------- byte-identity comparison ----------
+
+   The differential suites (parallel, distributed) all reduce to the
+   same observation: two builds are "the same" when the image, the
+   objects and — when stores are attached — every store file agree
+   byte for byte. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Every file of the two store directories, byte for byte: the index
+   (entries, offsets, LRU ticks, counters) and the payload log. *)
+let same_store_bytes a b =
+  let files dir = List.sort compare (Array.to_list (Sys.readdir dir)) in
+  files a = files b
+  && List.for_all
+       (fun f -> read_file (Filename.concat a f) = read_file (Filename.concat b f))
+       (files a)
+
+let same_build msg (a : Cmo_driver.Pipeline.build) (b : Cmo_driver.Pipeline.build) =
+  let module Pipeline = Cmo_driver.Pipeline in
+  let module Image = Cmo_link.Image in
+  Alcotest.(check bool) (msg ^ ": image code") true
+    (a.Pipeline.image.Image.code = b.Pipeline.image.Image.code);
+  Alcotest.(check bool) (msg ^ ": image tables") true
+    (a.Pipeline.image.Image.funcs = b.Pipeline.image.Image.funcs
+    && a.Pipeline.image.Image.data_init = b.Pipeline.image.Image.data_init
+    && a.Pipeline.image.Image.globals = b.Pipeline.image.Image.globals);
+  Alcotest.(check bool) (msg ^ ": objects") true
+    (a.Pipeline.objects = b.Pipeline.objects)
+
+(* ---------- corruption primitives ----------
+
+   Every fault suite corrupts bytes the same two ways — xor a bit
+   mask into one byte, or cut the tail off — so the primitives live
+   here and the suites differ only in what they corrupt. *)
+
+let flip_byte s i bits =
+  let b = Bytes.of_string s in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor bits));
+  Bytes.to_string b
+
+let truncated s k = String.sub s 0 (min (max k 0) (String.length s))
+
+(* One corruption event: which file (index/payload — reinterpret
+   freely as any two-target choice), truncate or flip, a relative
+   position in [0,1], and a non-zero bit mask. *)
+let corruption_arbitrary =
+  QCheck.make
+    ~print:(fun (in_index, truncate_it, where, bits) ->
+      Printf.sprintf "{file=%s; kind=%s; where=%f; bits=%x}"
+        (if in_index then "index" else "payload")
+        (if truncate_it then "truncate" else "flip")
+        where bits)
+    QCheck.Gen.(quad bool bool (float_bound_inclusive 1.0) (int_range 1 255))
+
 (* ---------- deterministic fuzz seeds ---------- *)
 
 (* Every property-based suite draws its randomness from one seed so a

@@ -19,20 +19,8 @@ module Vm = Cmo_vm.Vm
 
 (* ---------- scaffolding ---------- *)
 
-let rec remove_tree path =
-  match Sys.is_directory path with
-  | true ->
-    Array.iter
-      (fun entry -> remove_tree (Filename.concat path entry))
-      (Sys.readdir path);
-    Sys.rmdir path
-  | false -> Sys.remove path
-  | exception Sys_error _ -> ()
-
-let with_store_dir f =
-  let dir = Filename.temp_file "cmo_cache" "" in
-  Sys.remove dir;
-  Fun.protect ~finally:(fun () -> remove_tree dir) (fun () -> f dir)
+let remove_tree = Helpers.remove_tree
+let with_store_dir f = Helpers.with_dir ~prefix:"cmo_cache" f
 
 let with_store ?capacity f =
   with_store_dir (fun dir ->

@@ -448,18 +448,7 @@ let test_shrink_rejects_uninteresting_input () =
 
 (* ---------- corpus persistence ---------- *)
 
-let with_temp_dir f =
-  let dir = Filename.temp_file "cmo-test-corpus" "" in
-  Sys.remove dir;
-  let rec remove_tree path =
-    match Sys.is_directory path with
-    | true ->
-      Array.iter (fun e -> remove_tree (Filename.concat path e)) (Sys.readdir path);
-      Sys.rmdir path
-    | false -> Sys.remove path
-    | exception Sys_error _ -> ()
-  in
-  Fun.protect ~finally:(fun () -> remove_tree dir) (fun () -> f dir)
+let with_temp_dir f = Helpers.with_dir ~prefix:"cmo-test-corpus" f
 
 let test_corpus_roundtrip () =
   let multi =

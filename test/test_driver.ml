@@ -348,22 +348,8 @@ let test_untiered_has_no_cold_lines () =
 
 (* ---------- build system ---------- *)
 
-let rec remove_tree path =
-  if Sys.is_directory path then begin
-    Array.iter
-      (fun file -> remove_tree (Filename.concat path file))
-      (Sys.readdir path);
-    Sys.rmdir path
-  end
-  else Sys.remove path
-
 let with_workspace f =
-  let dir = Filename.temp_file "cmo_ws" "" in
-  Sys.remove dir;
-  Sys.mkdir dir 0o755;
-  Fun.protect
-    ~finally:(fun () -> remove_tree dir)
-    (fun () -> f (Buildsys.create ~dir ()))
+  Helpers.with_dir ~prefix:"cmo_ws" (fun dir -> f (Buildsys.create ~dir ()))
 
 let test_buildsys_full_then_null_build () =
   with_workspace (fun ws ->

@@ -11,25 +11,13 @@ module Pipeline = Cmo_driver.Pipeline
 module Options = Cmo_driver.Options
 module Buildsys = Cmo_driver.Buildsys
 
-let rec remove_tree path =
-  match Sys.is_directory path with
-  | true ->
-    Array.iter
-      (fun entry -> remove_tree (Filename.concat path entry))
-      (Sys.readdir path);
-    Sys.rmdir path
-  | false -> Sys.remove path
-  | exception Sys_error _ -> ()
+let remove_tree = Helpers.remove_tree
 
+(* Helpers.with_dir plus the fault-suite invariant: whatever happened
+   inside, no plan leaks into the next test. *)
 let with_dir f =
-  let dir = Filename.temp_file "cmo_fault" "" in
-  Sys.remove dir;
-  Sys.mkdir dir 0o755;
-  Fun.protect
-    ~finally:(fun () ->
-      Fsio.clear_plan ();
-      remove_tree dir)
-    (fun () -> f dir)
+  Helpers.with_dir ~prefix:"cmo_fault" (fun dir ->
+      Fun.protect ~finally:Fsio.clear_plan (fun () -> f dir))
 
 let install spec =
   match Fsio.install_plan spec with
@@ -376,19 +364,9 @@ let test_trace_export_degrades () =
 (* Any single corruption — a byte flip or a truncation, anywhere in
    the index or the payload — must leave the next build successful
    and byte-identical to the oracle. *)
-let corruption_arbitrary =
-  QCheck.make
-    ~print:(fun (in_index, truncate_it, where, bits) ->
-      Printf.sprintf "{file=%s; kind=%s; where=%f; bits=%x}"
-        (if in_index then "index" else "payload")
-        (if truncate_it then "truncate" else "flip")
-        where bits)
-    QCheck.Gen.(
-      quad bool bool (float_bound_inclusive 1.0) (int_range 1 255))
-
 let test_corruption_rebuild =
   QCheck.Test.make ~name:"any index/payload corruption rebuilds identically"
-    ~count:60 corruption_arbitrary
+    ~count:60 Helpers.corruption_arbitrary
     (fun (in_index, truncate_it, where, bits) ->
       with_dir @@ fun dir ->
       let oracle = build_in dir in
@@ -399,11 +377,7 @@ let test_corruption_rebuild =
       QCheck.assume (size > 0);
       let pos = min (size - 1) (int_of_float (where *. float_of_int size)) in
       if truncate_it then Unix.truncate victim pos
-      else begin
-        let b = Bytes.of_string raw in
-        Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor bits));
-        write_raw victim (Bytes.to_string b)
-      end;
+      else write_raw victim (Helpers.flip_byte raw pos bits);
       match build_in dir with
       | rebuilt -> same_build oracle rebuilt
       | exception e ->

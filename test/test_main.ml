@@ -20,4 +20,5 @@ let () =
       ("misc", Test_misc.suite);
       ("fault", Test_fault.suite);
       ("server", Test_server.suite);
+      ("dist", Test_dist.suite);
     ]

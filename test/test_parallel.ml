@@ -17,48 +17,9 @@ module Vm = Cmo_vm.Vm
 
 (* ---------- scaffolding ---------- *)
 
-let rec remove_tree path =
-  match Sys.is_directory path with
-  | true ->
-    Array.iter
-      (fun entry -> remove_tree (Filename.concat path entry))
-      (Sys.readdir path);
-    Sys.rmdir path
-  | false -> Sys.remove path
-  | exception Sys_error _ -> ()
-
-let with_dir f =
-  let dir = Filename.temp_file "cmo_par" "" in
-  Sys.remove dir;
-  Sys.mkdir dir 0o755;
-  Fun.protect ~finally:(fun () -> remove_tree dir) (fun () -> f dir)
-
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
-(* Every file of the two store directories, byte for byte: the index
-   (entries, offsets, LRU ticks, counters) and the payload log. *)
-let same_store_bytes a b =
-  let files dir = List.sort compare (Array.to_list (Sys.readdir dir)) in
-  files a = files b
-  && List.for_all
-       (fun f -> read_file (Filename.concat a f) = read_file (Filename.concat b f))
-       (files a)
-
-let same_build msg (a : Pipeline.build) (b : Pipeline.build) =
-  Alcotest.(check bool) (msg ^ ": image code") true
-    (a.Pipeline.image.Cmo_link.Image.code = b.Pipeline.image.Cmo_link.Image.code);
-  Alcotest.(check bool) (msg ^ ": image tables") true
-    (a.Pipeline.image.Cmo_link.Image.funcs = b.Pipeline.image.Cmo_link.Image.funcs
-    && a.Pipeline.image.Cmo_link.Image.data_init
-       = b.Pipeline.image.Cmo_link.Image.data_init
-    && a.Pipeline.image.Cmo_link.Image.globals
-       = b.Pipeline.image.Cmo_link.Image.globals);
-  Alcotest.(check bool) (msg ^ ": objects") true
-    (a.Pipeline.objects = b.Pipeline.objects)
+let with_dir f = Helpers.with_dir ~prefix:"cmo_par" f
+let same_store_bytes = Helpers.same_store_bytes
+let same_build = Helpers.same_build
 
 (* ---------- the fixture programs ---------- *)
 

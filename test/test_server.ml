@@ -16,21 +16,7 @@ module Sched = Cmo_server.Sched
 module Server = Cmo_server.Server
 module Client = Cmo_server.Client
 
-let rec remove_tree path =
-  match Sys.is_directory path with
-  | true ->
-    Array.iter
-      (fun entry -> remove_tree (Filename.concat path entry))
-      (Sys.readdir path);
-    Sys.rmdir path
-  | false -> Sys.remove path
-  | exception Sys_error _ -> ()
-
-let with_dir f =
-  let dir = Filename.temp_file "cmo_server" "" in
-  Sys.remove dir;
-  Sys.mkdir dir 0o755;
-  Fun.protect ~finally:(fun () -> remove_tree dir) (fun () -> f dir)
+let with_dir f = Helpers.with_dir ~prefix:"cmo_server" f
 
 (* --- protocol round-trips ------------------------------------------ *)
 
@@ -60,6 +46,11 @@ let gen_request =
       QCheck.Gen.return Proto.Stats;
       QCheck.Gen.return Proto.Shutdown;
       QCheck.Gen.map (fun b -> Proto.Build b) gen_build_req;
+      QCheck.Gen.map (fun key -> Proto.Cache_get { key }) gen_string;
+      QCheck.Gen.map2
+        (fun key data -> Proto.Cache_put { key; data })
+        gen_string
+        QCheck.Gen.(string_size (0 -- 80));
     ]
 
 let gen_stats =
@@ -95,6 +86,9 @@ let gen_response =
       (let* tag = gen_string and* reason = gen_string in
        return (Proto.Failed { tag; reason }));
       map (fun s -> Proto.Stats_reply s) gen_stats;
+      return Proto.Cache_miss;
+      return Proto.Cache_stored;
+      map (fun data -> Proto.Cache_hit { data }) gen_string;
     ]
 
 let arb_request =
@@ -157,9 +151,7 @@ let test_frame_scan () =
   done;
   (* Any single bit flip is Bad (magic or CRC catches it). *)
   for i = 0 to String.length f - 1 do
-    let b = Bytes.of_string f in
-    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
-    match Fsio.scan_frame (Bytes.to_string b) ~pos:0 with
+    match Fsio.scan_frame (Helpers.flip_byte f i 0x40) ~pos:0 with
     | Fsio.Bad _ -> ()
     | Fsio.Frame _ -> Alcotest.failf "bit flip at %d went undetected" i
     | Fsio.Need _ ->
@@ -240,6 +232,81 @@ let test_sched_aging () =
   let order = List.init 5 (fun _ -> Option.get (Sched.take q)) in
   Alcotest.(check (list string))
     "FIFO with aging" [ "s1"; "s2"; "big"; "s3"; "s4" ] order
+
+(* The scheduler's fairness contract under random traffic, checked
+   against a reference model: admission refuses exactly at the bound;
+   an admitted entry is dispatched within [age_rounds + queue_max]
+   dispatches of joining (after [age_rounds] passes it is promoted to
+   the interactive class, behind at most the [queue_max] entries
+   already queued — nothing that arrives later can cut ahead); and
+   two entries of the same cost class never dispatch out of
+   submission order. *)
+let qcheck_sched_no_starvation =
+  let gen =
+    QCheck.Gen.(
+      list_size (10 -- 120)
+        (frequency
+           [ (2, return `Small); (2, return `Big); (3, return `Take) ]))
+  in
+  let print ops =
+    String.concat ""
+      (List.map (function `Small -> "s" | `Big -> "B" | `Take -> ".") ops)
+  in
+  QCheck.Test.make
+    ~name:"sched: random two-class arrivals stay bounded and ordered"
+    ~count:100 (QCheck.make ~print gen)
+    (fun ops ->
+      let queue_max = 8 and age_rounds = 3 in
+      let q = Sched.create ~small_cost:10 ~age_rounds ~queue_max () in
+      let next_id = ref 0 in
+      (* Oldest first: (id, big, dispatches seen while queued). *)
+      let queued = ref [] in
+      let dispatch_one () =
+        match Sched.take q with
+        | None ->
+          QCheck.Test.fail_report "take returned None with entries queued"
+        | Some (id, big) ->
+          (match List.find_opt (fun (i, _, _) -> i = id) !queued with
+          | None ->
+            QCheck.Test.fail_reportf "dispatched unknown entry %d" id
+          | Some (_, _, waits) ->
+            if waits > age_rounds + queue_max then
+              QCheck.Test.fail_reportf
+                "entry %d waited %d dispatches (bound %d)" id waits
+                (age_rounds + queue_max));
+          (match List.find_opt (fun (_, b, _) -> b = big) !queued with
+          | Some (oldest, _, _) when oldest <> id ->
+            QCheck.Test.fail_reportf
+              "same-class reorder: %d dispatched before %d" id oldest
+          | _ -> ());
+          queued :=
+            List.filter_map
+              (fun (i, b, w) ->
+                if i = id then None else Some (i, b, w + 1))
+              !queued
+      in
+      List.iter
+        (function
+          | (`Small | `Big) as cls ->
+            let big = cls = `Big in
+            let id = !next_id in
+            incr next_id;
+            let admitted =
+              Sched.submit q ~cost:(if big then 100 else 1) (id, big)
+            in
+            if admitted <> (List.length !queued < queue_max) then
+              QCheck.Test.fail_reportf
+                "admission of %d disagrees with the depth bound" id;
+            if admitted then queued := !queued @ [ (id, big, 0) ]
+          | `Take -> if !queued <> [] then dispatch_one ())
+        ops;
+      (* Close and drain: everything admitted still dispatches, under
+         the same bound and ordering. *)
+      Sched.close q;
+      while !queued <> [] do
+        dispatch_one ()
+      done;
+      Sched.take q = None)
 
 let test_sched_close_drains () =
   let q = Sched.create ~queue_max:4 () in
@@ -357,6 +424,21 @@ let test_end_to_end () =
       let st = Client.stats conn in
       Alcotest.(check bool) "warm traffic visible in stats" true
         (st.Proto.store_hits > 0);
+      (* The remote artifact cache, inline on the same connection:
+         misses are clean, puts round-trip, and the degrading [remote]
+         wrapper exposes both without ever raising. *)
+      Alcotest.(check (option string)) "cache_get miss" None
+        (Client.cache_get conn "no-such-fingerprint");
+      Client.cache_put conn "dist-key" "dist-bytes";
+      Alcotest.(check (option string)) "cache_put then hit"
+        (Some "dist-bytes")
+        (Client.cache_get conn "dist-key");
+      let remote = Client.remote conn in
+      Alcotest.(check (option string)) "remote wrapper hit"
+        (Some "dist-bytes")
+        (remote.Cmo_driver.Distwork.remote_get "dist-key");
+      Alcotest.(check (option string)) "remote wrapper miss" None
+        (remote.Cmo_driver.Distwork.remote_get "still-absent");
       (* A second daemon on the same socket must refuse to start
          rather than hijack this one's socket file. *)
       (match Server.start config with
@@ -403,6 +485,7 @@ let suite =
     Alcotest.test_case "sched: bounded admission" `Quick test_sched_admission;
     Alcotest.test_case "sched: FIFO with aging" `Quick test_sched_aging;
     Alcotest.test_case "sched: close drains" `Quick test_sched_close_drains;
+    Helpers.to_alcotest qcheck_sched_no_starvation;
     Alcotest.test_case "buildsys session: warm store, closed errors" `Quick
       test_session_warm;
     Alcotest.test_case "daemon end to end over a socket" `Quick
