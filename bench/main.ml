@@ -8,7 +8,7 @@
    Experiments: fig1 fig4 fig5 fig6 bytes-per-line ablation stale micro
    incremental incremental-smoke parallel parallel-smoke fuzz-smoke
    check-overhead trace-smoke fault-sweep fault-sweep-smoke storm
-   storm-smoke dist dist-smoke *)
+   storm-smoke dist dist-smoke pgo pgo-smoke *)
 
 module Genprog = Cmo_workload.Genprog
 module Suite = Cmo_workload.Suite
@@ -1435,6 +1435,163 @@ let dist_for name ~shards =
 let dist () = dist_for "gcc" ~shards:4
 let dist_smoke () = dist_for "li" ~shards:3
 
+(* ------------------------------------------------------------------ *)
+(* Fleet-scale PGO: where does Fig-6-style selectivity start picking
+   the wrong hot 20%?  A synthetic fleet of users uploads sampled,
+   noisy, version-skewed profile shards; ingestion folds them into one
+   canonical db; the metric is the overlap of the hot-module set that
+   db selects with the single-run oracle's.  Three legs ride along:
+   arrival-order determinism (any permutation of the shards must yield
+   a byte-identical db), the poisoning clamp (one flat 1000x-inflated
+   adversarial shard must not change module selection), and the
+   unmatched-weight accounting under version skew. *)
+(* ------------------------------------------------------------------ *)
+
+let pgo_for name ~users ~rates ~stales ~assertions =
+  header
+    (Printf.sprintf "Fleet PGO sweep (%s personality, %d users)" name users);
+  let module Ingest = Cmo_profile.Ingest in
+  let module Correlate = Cmo_profile.Correlate in
+  let module Fleet = Cmo_workload.Fleet in
+  let module Selectivity = Cmo_hlo.Selectivity in
+  let failures = ref 0 in
+  let cfg = Suite.find name in
+  let gen = Genprog.generate cfg in
+  let sources = sources_of cfg in
+  let current_fp = Ingest.fingerprint gen in
+  let oracle = Pipeline.train ~inputs:[ Genprog.training_input cfg ] sources in
+  (* The previous source version: same interfaces, different bodies.
+     Stale users' shards are drawn from a profile of *that* program
+     and stamped with its fingerprint, so both the skew down-weight
+     and the unmatched-key accounting get exercised by real drift. *)
+  let prev = Genprog.evolve cfg ~changed:[ 0; 2 ] ~evolution:1 in
+  let prev_fp = Ingest.fingerprint prev in
+  let stale_oracle =
+    Pipeline.train ~inputs:[ Genprog.training_input cfg ]
+      (List.map (fun (name, text) -> { Pipeline.name; text }) prev)
+  in
+  let modules = Pipeline.frontend sources in
+  let hot_set db =
+    ignore (Correlate.annotate db modules);
+    let sel = Selectivity.select ~percent:20.0 modules in
+    Correlate.clear modules;
+    List.sort_uniq compare sel.Cmo_hlo.Selectivity.cmo_modules
+  in
+  let oracle_set = hot_set oracle in
+  let overlap set =
+    let inter = List.filter (fun m -> List.mem m oracle_set) set in
+    float_of_int (List.length inter)
+    /. float_of_int (max 1 (List.length oracle_set))
+  in
+  let policy = Ingest.default_policy ~current_fp in
+  let fleet ~rate ~stale_fraction ~seed =
+    Fleet.generate
+      {
+        Fleet.users;
+        sample_rate = rate;
+        stale_fraction;
+        noise = 0.1;
+        fleet_seed = seed;
+      }
+      ~oracle ~current_fp ~stale:(stale_oracle, prev_fp) ()
+  in
+  Printf.printf "hot-20%% overlap vs single-run oracle (%d modules hot)\n"
+    (List.length oracle_set);
+  Printf.printf "%-12s |" "rate \\ stale";
+  List.iter (fun s -> Printf.printf " %7.0f%%" (100.0 *. s)) stales;
+  Printf.printf "\n";
+  let cell = ref 0 in
+  let results =
+    List.map
+      (fun rate ->
+        Printf.printf "%-12s |" (Printf.sprintf "1/%g" (1.0 /. rate));
+        let row =
+          List.map
+            (fun stale_fraction ->
+              incr cell;
+              let shards =
+                fleet ~rate ~stale_fraction ~seed:(1000 + !cell)
+              in
+              let db, _ = Ingest.ingest ~policy shards in
+              let ov = overlap (hot_set db) in
+              Printf.printf " %7.2f " ov;
+              ((rate, stale_fraction), ov))
+            stales
+        in
+        Printf.printf "\n%!";
+        row)
+      rates
+    |> List.concat
+  in
+  (* Unmatched-weight accounting at the most version-skewed cell: the
+     drifted keys must be visible, not silently dropped. *)
+  let most_stale =
+    fleet ~rate:1.0 ~stale_fraction:(List.fold_left Float.max 0.0 stales)
+      ~seed:77
+  in
+  let skew_db, skew_stats = Ingest.ingest ~policy most_stale in
+  let st = Correlate.annotate skew_db modules in
+  Correlate.clear modules;
+  Printf.printf
+    "version skew: %d shards skewed, %d db keys unmatched (weight %.0f of \
+     %.0f)\n"
+    skew_stats.Ingest.ing_skewed st.Correlate.unmatched_keys
+    st.Correlate.unmatched_weight st.Correlate.total_count;
+  (* Determinism leg: same shard multiset, reversed arrival order,
+     byte-identical canonical db. *)
+  let det_shards = fleet ~rate:0.01 ~stale_fraction:0.3 ~seed:42 in
+  let d1, _ = Ingest.ingest ~policy det_shards in
+  let d2, _ = Ingest.ingest ~policy (List.rev det_shards) in
+  let det_ok = Db.encode d1 = Db.encode d2 in
+  Printf.printf "arrival-order determinism: %s\n"
+    (if det_ok then "byte-identical" else "DIVERGED");
+  if not det_ok then incr failures;
+  (* Poisoning leg: one flat, 1000x-inflated shard.  With the clamp it
+     must not change module selection; with the clamp disabled it is
+     allowed to (and usually does — that is the attack). *)
+  let clean = fleet ~rate:1.0 ~stale_fraction:0.0 ~seed:7 in
+  let poisoned = Fleet.poison ~factor:1000.0 (List.hd clean) :: clean in
+  let clean_set = hot_set (fst (Ingest.ingest ~policy clean)) in
+  let clamped_set = hot_set (fst (Ingest.ingest ~policy poisoned)) in
+  let unclamped_set =
+    hot_set
+      (fst
+         (Ingest.ingest
+            ~policy:{ policy with Ingest.clamp_ratio = infinity }
+            poisoned))
+  in
+  let clamp_ok = clamped_set = clean_set in
+  Printf.printf
+    "poisoning: clamped selection %s; unclamped selection %s the attack\n"
+    (if clamp_ok then "unchanged" else "CHANGED")
+    (if unclamped_set = clean_set then "also survived" else "followed");
+  if not clamp_ok then incr failures;
+  if assertions then begin
+    (* The acceptance bar: 1/100 sampling at zero staleness must still
+       find >= 95% of the oracle's hot set. *)
+    List.iter
+      (fun ((rate, stale), ov) ->
+        if rate = 0.01 && stale = 0.0 && ov < 0.95 then begin
+          incr failures;
+          Printf.eprintf
+            "pgo: overlap %.2f < 0.95 at 1/100 sampling, no staleness\n" ov
+        end)
+      results
+  end;
+  if !failures > 0 then begin
+    Printf.eprintf "pgo benchmark: %d failure(s)\n" !failures;
+    exit 1
+  end
+
+let pgo () =
+  pgo_for "li" ~users:120
+    ~rates:[ 1.0; 0.01; 1e-3; 1e-4; 1e-5 ]
+    ~stales:[ 0.0; 0.3; 0.7 ] ~assertions:true
+
+let pgo_smoke () =
+  pgo_for "li" ~users:60 ~rates:[ 1.0; 0.01 ] ~stales:[ 0.0; 0.5 ]
+    ~assertions:true
+
 let all = [ "fig1", fig1; "fig4", fig4; "fig5", fig5; "fig6", fig6;
             "bytes-per-line", bytes_per_line; "ablation", ablation;
             "stale", stale; "micro", micro; "incremental", incremental;
@@ -1444,7 +1601,8 @@ let all = [ "fig1", fig1; "fig4", fig4; "fig5", fig5; "fig6", fig6;
             "trace-smoke", trace_smoke;
             "fault-sweep", fault_sweep; "fault-sweep-smoke", fault_sweep_smoke;
             "storm", storm; "storm-smoke", storm_smoke;
-            "dist", dist; "dist-smoke", dist_smoke ]
+            "dist", dist; "dist-smoke", dist_smoke;
+            "pgo", pgo; "pgo-smoke", pgo_smoke ]
 
 let () =
   let requested =

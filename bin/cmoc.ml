@@ -235,7 +235,8 @@ let remote_compile ~socket ~(options : Options.t) ~fault sources =
   | Proto.Rejected { reason; _ } -> fail "cmocd rejected the build: %s" reason
   | Proto.Failed { reason; _ } -> fail "cmocd build failed: %s" reason
   | Proto.Pong | Proto.Stats_reply _ | Proto.Shutting_down
-  | Proto.Cache_hit _ | Proto.Cache_miss | Proto.Cache_stored ->
+  | Proto.Cache_hit _ | Proto.Cache_miss | Proto.Cache_stored
+  | Proto.Profile_stored _ | Proto.Profile_db _ ->
     fail "cmocd protocol error: unexpected reply"
   | Proto.Built { objects; report; _ } -> (
     let objects = List.map Cmo_link.Objfile.decode objects in
@@ -633,6 +634,196 @@ let profile_show_cmd =
   Cmd.v (Cmd.info "profile-show" ~doc)
     Term.(ret (const action $ db_arg $ top_arg))
 
+(* ---- profile: fleet ingestion ---- *)
+
+module Ingest = Cmo_profile.Ingest
+
+let fingerprint_of_paths paths =
+  Ingest.fingerprint
+    (List.map
+       (fun p -> (Filename.remove_extension (Filename.basename p), read_file p))
+       paths)
+
+let fp_arg =
+  Arg.(value & opt string "" & info [ "fp" ] ~docv:"FP"
+         ~doc:"Source-version fingerprint (from $(b,cmoc profile \
+               fingerprint)).  Empty disables version-skew handling.")
+
+let pack_out_arg =
+  Arg.(value & opt string "fleet.shards" & info [ "o" ] ~docv:"FILE"
+         ~doc:"Shard pack to append to (created if missing).")
+
+let profile_fingerprint_cmd =
+  let action paths =
+    Printf.printf "%s\n" (fingerprint_of_paths paths);
+    `Ok ()
+  in
+  let doc = "Print the source-version fingerprint shards are stamped with." in
+  Cmd.v (Cmd.info "fingerprint" ~doc) Term.(ret (const action $ sources_arg))
+
+let profile_shard_cmd =
+  let prof_arg =
+    Arg.(required & opt (some file) None & info [ "profile" ] ~docv:"FILE"
+           ~doc:"Profile database ($(b,cmoc train) output) to wrap as a shard.")
+  in
+  let rate_arg =
+    Arg.(value & opt float 1.0 & info [ "sample-rate" ] ~docv:"R"
+           ~doc:"Sampling rate this profile was recorded at, in (0,1].")
+  in
+  let weight_arg =
+    Arg.(value & opt float 1.0 & info [ "weight" ] ~docv:"W"
+           ~doc:"Trust weight of this shard.")
+  in
+  let age_arg =
+    Arg.(value & opt int 0 & info [ "age" ] ~docv:"N"
+           ~doc:"Staleness in versions behind the fleet head.")
+  in
+  let action paths prof out rate weight age =
+    try
+      let db = Db.load prof in
+      let meta =
+        {
+          Ingest.source_fp = fingerprint_of_paths paths;
+          sample_rate = rate;
+          weight;
+          age;
+        }
+      in
+      Ingest.append_pack out [ { Ingest.meta; db } ];
+      let shards, skipped = Ingest.read_pack out in
+      Printf.printf "appended to %s (%d shards, %d damaged)\n" out
+        (List.length shards) skipped;
+      `Ok ()
+    with
+    | Sys_error m | Cmo_support.Codec.Reader.Corrupt m -> `Error (false, m)
+  in
+  let doc = "Wrap a trained profile as a fleet shard and append it to a pack." in
+  Cmd.v (Cmd.info "shard" ~doc)
+    Term.(ret (const action $ sources_arg $ prof_arg $ pack_out_arg $ rate_arg
+               $ weight_arg $ age_arg))
+
+let profile_policy_args =
+  let decay_arg =
+    Arg.(value & opt float 0.9 & info [ "decay-rate" ] ~docv:"R"
+           ~doc:"Per-age multiplier for stale shards.")
+  in
+  let skew_arg =
+    Arg.(value & opt float 0.25 & info [ "skew-weight" ] ~docv:"W"
+           ~doc:"Multiplier for shards recorded against other source \
+                 versions (down-weighted, never dropped).")
+  in
+  let clamp_arg =
+    Arg.(value & opt float 4.0 & info [ "clamp-ratio" ] ~docv:"K"
+           ~doc:"Poisoning clamp: cap any shard's weighted mass at K x \
+                 the median shard mass (needs >= 3 shards).")
+  in
+  Term.(const (fun decay skew clamp current_fp ->
+            {
+              Ingest.current_fp;
+              decay_rate = decay;
+              skew_weight = skew;
+              clamp_ratio = clamp;
+            })
+        $ decay_arg $ skew_arg $ clamp_arg $ fp_arg)
+
+let pp_ingest_stats (st : Ingest.stats) =
+  Printf.printf
+    "ingested %d shards (%d skipped, %d skewed, %d clamped, weight %.2f)\n"
+    st.Ingest.ing_shards st.Ingest.ing_skipped st.Ingest.ing_skewed
+    st.Ingest.ing_clamped st.Ingest.ing_weight
+
+let profile_ingest_cmd =
+  let packs_arg =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"PACK"
+           ~doc:"Shard packs to ingest (corrupt shards are skipped and \
+                 counted, never fatal).")
+  in
+  let out_arg =
+    Arg.(value & opt string "fleet.prof" & info [ "o" ] ~docv:"FILE"
+           ~doc:"Merged canonical profile database output path.")
+  in
+  let action packs out policy =
+    try
+      let db, st = Ingest.ingest_paths ~policy packs in
+      Db.save db out;
+      pp_ingest_stats st;
+      Printf.printf "wrote %s (%d counters, total count %.0f)\n" out
+        (List.length (Db.entries db))
+        (Db.total db);
+      `Ok ()
+    with Sys_error m -> `Error (false, m)
+  in
+  let doc = "Merge fleet shard packs into one canonical profile database." in
+  Cmd.v (Cmd.info "ingest" ~doc)
+    Term.(ret (const action $ packs_arg $ out_arg $ profile_policy_args))
+
+let profile_push_cmd =
+  let packs_arg =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"PACK"
+           ~doc:"Shard packs whose shards are uploaded to the daemon.")
+  in
+  let action packs socket =
+    try
+      let socket = resolve_socket socket in
+      let pushed = ref 0 and skipped = ref 0 and stored = ref 0 in
+      Client.with_connect ~socket (fun c ->
+          List.iter
+            (fun pack ->
+              let shards, damaged = Ingest.read_pack pack in
+              skipped := !skipped + damaged;
+              List.iter
+                (fun s ->
+                  stored := Client.profile_put c (Ingest.encode_shard s);
+                  incr pushed)
+                shards)
+            packs);
+      Printf.printf "pushed %d shards (%d damaged skipped); daemon holds %d\n"
+        !pushed !skipped !stored;
+      `Ok ()
+    with
+    | Pipeline.Compile_error m | Sys_error m | Client.Protocol_error m ->
+      `Error (false, m)
+    | Unix.Unix_error (e, _, _) ->
+      `Error (false, "cannot reach cmocd: " ^ Unix.error_message e)
+  in
+  let doc = "Upload fleet shards to a cmocd daemon." in
+  Cmd.v (Cmd.info "push" ~doc)
+    Term.(ret (const action $ packs_arg $ socket_arg))
+
+let profile_pull_cmd =
+  let out_arg =
+    Arg.(value & opt string "fleet.prof" & info [ "o" ] ~docv:"FILE"
+           ~doc:"Where to write the daemon's merged canonical database.")
+  in
+  let action out socket fp =
+    try
+      let socket = resolve_socket socket in
+      let data, shards, skipped =
+        Client.with_connect ~socket (fun c ->
+            Client.profile_get c ~current_fp:fp)
+      in
+      (* The daemon's bytes are already canonical; write them verbatim
+         so pull-vs-local-ingest byte comparisons are meaningful. *)
+      Fsio.atomic_write out data;
+      Printf.printf "wrote %s (%d shards merged, %d skipped)\n" out shards
+        skipped;
+      `Ok ()
+    with
+    | Pipeline.Compile_error m | Sys_error m | Client.Protocol_error m ->
+      `Error (false, m)
+    | Unix.Unix_error (e, _, _) ->
+      `Error (false, "cannot reach cmocd: " ^ Unix.error_message e)
+  in
+  let doc = "Fetch the daemon's merged fleet profile." in
+  Cmd.v (Cmd.info "pull" ~doc)
+    Term.(ret (const action $ out_arg $ socket_arg $ fp_arg))
+
+let profile_cmd =
+  let doc = "Fleet profile operations: fingerprint, shard, ingest, push, pull." in
+  Cmd.group (Cmd.info "profile" ~doc)
+    [ profile_fingerprint_cmd; profile_shard_cmd; profile_ingest_cmd;
+      profile_push_cmd; profile_pull_cmd ]
+
 (* ---- build ---- *)
 
 let cache_dir_arg =
@@ -845,6 +1036,7 @@ let main_cmd =
   Cmd.group
     (Cmd.info "cmoc" ~version:"1.0" ~doc)
     [ compile_cmd; build_cmd; cache_cmd; train_cmd; dump_cmd; gen_cmd;
-      assemble_cmd; link_cmd; isolate_cmd; profile_show_cmd; bench_info_cmd ]
+      assemble_cmd; link_cmd; isolate_cmd; profile_show_cmd; profile_cmd;
+      bench_info_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

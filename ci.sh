@@ -29,8 +29,14 @@
 # two checkouts built with cmoc build --dist at j=2, one worker
 # SIGKILLed mid-protocol via $CMO_DIST_CHAOS, object files compared
 # byte-for-byte across all three builds, and a SIGTERM teardown that
-# must remove both the socket and the pid file.  Run from the
-# repository root.
+# must remove both the socket and the pid file.  Fleet-scale profile
+# ingestion is gated twice: the pgo-smoke benchmark (sampling x
+# staleness sweep with the hot-set overlap metric, arrival-order
+# determinism, and the poisoning clamp), and a process-level ingest
+# smoke (eight shards including one corrupted and one version-skewed;
+# ingest must skip-and-count, two arrival orders must produce
+# byte-identical merged databases, and PBO builds from both must
+# agree).  Run from the repository root.
 set -eu
 
 echo "== dune build =="
@@ -57,6 +63,9 @@ dune exec bench/main.exe -- trace-smoke
 echo "== crash-point sweep smoke =="
 dune exec bench/main.exe -- fault-sweep-smoke
 
+echo "== fleet PGO smoke (sampling x staleness sweep) =="
+dune exec bench/main.exe -- pgo-smoke
+
 echo "== fault suite (fixed seed) =="
 CMO_JOBS=1 CMO_FUZZ_SEED=1 dune exec test/test_main.exe -- test fault
 
@@ -70,11 +79,13 @@ SMOKE_DIR=$(mktemp -d)
 CMOCD_PID=
 DIST_DIR=
 DIST_PID=
+PROF_DIR=
 cleanup() {
   [ -n "$CMOCD_PID" ] && kill "$CMOCD_PID" 2>/dev/null || true
   [ -n "$DIST_PID" ] && kill "$DIST_PID" 2>/dev/null || true
   rm -rf "$SMOKE_DIR"
   [ -n "$DIST_DIR" ] && rm -rf "$DIST_DIR"
+  [ -n "$PROF_DIR" ] && rm -rf "$PROF_DIR"
 }
 trap cleanup EXIT INT TERM
 mkdir -p "$SMOKE_DIR/src"
@@ -122,6 +133,63 @@ if [ -S "$SOCK" ]; then
   exit 1
 fi
 echo "daemon smoke OK"
+
+echo "== fleet profile ingest smoke (process level) =="
+# Eight shards — six current at 1/2 sampling, one recorded against
+# edited sources (version skew), one current at full rate — with the
+# first record's frame magic destroyed in flight.  Ingest must skip
+# and count exactly the casualty, down-weight the skewed shard, and
+# produce a database byte-identical to ingesting the same surviving
+# shards appended in a different order; PBO builds from both merged
+# databases must agree output-for-output.
+PROF_DIR=$(mktemp -d)
+mkdir -p "$PROF_DIR/src"
+"$CMOC" gen --bench li --dir "$PROF_DIR/src"
+"$CMOC" train -o "$PROF_DIR/app.prof" --input 1000,17 "$PROF_DIR"/src/*.mc \
+  > /dev/null
+FP=$("$CMOC" profile fingerprint "$PROF_DIR"/src/*.mc)
+# A previous source version: same profile, different fingerprint.
+cp -r "$PROF_DIR/src" "$PROF_DIR/src-old"
+printf '\n' >> "$(ls "$PROF_DIR"/src-old/*.mc | head -1)"
+for k in 1 2 3 4 5 6; do
+  "$CMOC" profile shard --profile "$PROF_DIR/app.prof" --sample-rate 0.5 \
+    -o "$PROF_DIR/fleetA.shards" "$PROF_DIR"/src/*.mc > /dev/null
+done
+"$CMOC" profile shard --profile "$PROF_DIR/app.prof" --age 1 \
+  -o "$PROF_DIR/fleetA.shards" "$PROF_DIR"/src-old/*.mc > /dev/null
+"$CMOC" profile shard --profile "$PROF_DIR/app.prof" \
+  -o "$PROF_DIR/fleetA.shards" "$PROF_DIR"/src/*.mc > /dev/null
+# Corrupt the first shard's frame magic.
+printf 'XXXX' | dd of="$PROF_DIR/fleetA.shards" bs=1 conv=notrunc 2>/dev/null
+"$CMOC" profile ingest --fp "$FP" -o "$PROF_DIR/fleetA.prof" \
+  "$PROF_DIR/fleetA.shards" > "$PROF_DIR/ingestA.out"
+cat "$PROF_DIR/ingestA.out"
+grep -q "ingested 7 shards (1 skipped, 1 skewed, 0 clamped" \
+  "$PROF_DIR/ingestA.out" || {
+  echo "ingest smoke: unexpected ingest accounting"
+  exit 1
+}
+# The same surviving shards, appended in a different order.
+"$CMOC" profile shard --profile "$PROF_DIR/app.prof" \
+  -o "$PROF_DIR/fleetB.shards" "$PROF_DIR"/src/*.mc > /dev/null
+"$CMOC" profile shard --profile "$PROF_DIR/app.prof" --age 1 \
+  -o "$PROF_DIR/fleetB.shards" "$PROF_DIR"/src-old/*.mc > /dev/null
+for k in 1 2 3 4 5; do
+  "$CMOC" profile shard --profile "$PROF_DIR/app.prof" --sample-rate 0.5 \
+    -o "$PROF_DIR/fleetB.shards" "$PROF_DIR"/src/*.mc > /dev/null
+done
+"$CMOC" profile ingest --fp "$FP" -o "$PROF_DIR/fleetB.prof" \
+  "$PROF_DIR/fleetB.shards" > /dev/null
+cmp "$PROF_DIR/fleetA.prof" "$PROF_DIR/fleetB.prof" || {
+  echo "ingest smoke: arrival order changed the merged database"
+  exit 1
+}
+"$CMOC" compile -O 4 -P --profile "$PROF_DIR/fleetA.prof" --run \
+  --input 1000,17 "$PROF_DIR"/src/*.mc > "$PROF_DIR/buildA.out"
+"$CMOC" compile -O 4 -P --profile "$PROF_DIR/fleetB.prof" --run \
+  --input 1000,17 "$PROF_DIR"/src/*.mc > "$PROF_DIR/buildB.out"
+cmp "$PROF_DIR/buildA.out" "$PROF_DIR/buildB.out"
+echo "ingest smoke OK"
 
 echo "== distributed CMO smoke (dist-smoke bench) =="
 dune exec bench/main.exe -- dist-smoke

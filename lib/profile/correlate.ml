@@ -8,7 +8,45 @@ type stats = {
   blocks : int;
   blocks_matched : int;
   total_count : float;
+  unmatched_keys : int;
+  unmatched_weight : float;
 }
+
+(* The stale-profile gap: db keys that match nothing in the current
+   program used to vanish without a trace, so "the profile is 90%
+   dead" looked exactly like "the profile is fresh".  Walk the db once
+   against the program's structure tables and account for every key
+   that found no home. *)
+let unmatched db modules =
+  let fnames = Hashtbl.create 64 in
+  let blocks = Hashtbl.create 256 in
+  List.iter
+    (fun (m : Ilmod.t) ->
+      List.iter
+        (fun (f : Func.t) ->
+          Hashtbl.replace fnames f.Func.name ();
+          List.iter
+            (fun (b : Func.block) ->
+              Hashtbl.replace blocks (f.Func.name, b.Func.label) ())
+            f.Func.blocks)
+        m.Ilmod.funcs)
+    modules;
+  let keys = ref 0 and weight = ref 0.0 in
+  List.iter
+    (fun (key, count) ->
+      let matched =
+        match key with
+        | Db.Fentry f -> Hashtbl.mem fnames f
+        | Db.Block (f, l) -> Hashtbl.mem blocks (f, l)
+        | Db.Edge (f, a, b) ->
+          Hashtbl.mem blocks (f, a) && Hashtbl.mem blocks (f, b)
+      in
+      if not matched then begin
+        incr keys;
+        weight := !weight +. count
+      end)
+    (Db.entries db);
+  (!keys, !weight)
 
 let annotate db modules =
   let functions = ref 0 in
@@ -44,12 +82,19 @@ let annotate db modules =
           if !any then incr functions_with_profile)
         m.Ilmod.funcs)
     modules;
+  let unmatched_keys, unmatched_weight = unmatched db modules in
+  if Cmo_obs.Obs.enabled () then begin
+    Cmo_obs.Obs.tick "correlate" "unmatched_keys" unmatched_keys;
+    Cmo_obs.Obs.tick "correlate" "matched_blocks" !blocks_matched
+  end;
   {
     functions = !functions;
     functions_with_profile = !functions_with_profile;
     blocks = !blocks;
     blocks_matched = !blocks_matched;
     total_count = !total_count;
+    unmatched_keys;
+    unmatched_weight;
   }
 
 let clear modules =
@@ -75,6 +120,7 @@ let edge_count db ~fname ~src ~dst = Db.get db (Db.Edge (fname, src, dst))
 
 let pp_stats ppf s =
   Format.fprintf ppf
-    "functions %d/%d with profile, blocks %d/%d matched, total count %.0f"
+    "functions %d/%d with profile, blocks %d/%d matched, total count %.0f, \
+     %d unmatched keys (weight %.0f)"
     s.functions_with_profile s.functions s.blocks_matched s.blocks
-    s.total_count
+    s.total_count s.unmatched_keys s.unmatched_weight

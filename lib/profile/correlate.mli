@@ -19,6 +19,11 @@ type stats = {
   blocks : int;
   blocks_matched : int;  (** Blocks whose key was present in the db. *)
   total_count : float;  (** Sum of all annotated block counts. *)
+  unmatched_keys : int;
+      (** Db keys that matched nothing in the current program — the
+          profile weight silently ignored under source drift.  Also
+          ticked to the [correlate/unmatched_keys] Obs counter. *)
+  unmatched_weight : float;  (** Summed counts of those keys. *)
 }
 
 val annotate : Db.t -> Cmo_il.Ilmod.t list -> stats

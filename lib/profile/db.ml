@@ -25,11 +25,42 @@ let entries t =
 
 let merge ~into src = Hashtbl.iter (fun k v -> add into k v) src.counts
 
+(* Weighted merge: each count contributes scaled by [weight].  A key
+   appears at most once per source db, so iteration order over [src]
+   cannot change the sums — cross-shard accumulation order is the
+   caller's responsibility (Ingest canonicalizes it). *)
+let merge_weighted ~into ~weight src =
+  if weight <> 0.0 then
+    Hashtbl.iter (fun k v -> add into k (weight *. v)) src.counts
+
+let scale t f =
+  (* Snapshot the keys: mutating a Hashtbl mid-iteration is UB. *)
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) t.counts [] in
+  List.iter
+    (fun k -> Hashtbl.replace t.counts k (f *. Hashtbl.find t.counts k))
+    keys
+
+(* Exponential staleness decay: age 0 multiplies by [rate^0 = 1] and
+   is required to be a byte-level identity, so it is special-cased
+   away from float exponentiation entirely. *)
+let decay t ~rate ~age =
+  if age < 0 then invalid_arg "Db.decay: negative age";
+  if age > 0 then scale t (rate ** float_of_int age)
+
+let copy t =
+  let c = create () in
+  Hashtbl.iter (fun k v -> Hashtbl.replace c.counts k v) t.counts;
+  c
+
 let total t = Hashtbl.fold (fun _ v acc -> acc +. v) t.counts 0.0
 
 let version = 1
 
-let save t path =
+(* Canonical serialization: entries are written in sorted key order,
+   so two databases holding bitwise-equal counts serialize to the same
+   bytes no matter what order the counts were accumulated in.  Floats
+   are written as their IEEE bits (Codec.float), never formatted. *)
+let encode t =
   let w = Codec.Writer.create () in
   Codec.Writer.byte w version;
   Codec.Writer.uvarint w (Hashtbl.length t.counts);
@@ -50,12 +81,13 @@ let save t path =
         Codec.Writer.uvarint w b);
       Codec.Writer.float w count)
     (entries t);
-  (* Atomic (temp + fsync + rename): a crash mid-save leaves the old
-     profile, never a torn one that a later build chokes on. *)
-  Cmo_support.Fsio.atomic_write path (Codec.Writer.contents w)
+  Codec.Writer.contents w
 
-let load path =
-  let data = Cmo_support.Fsio.read_file path in
+(* Atomic (temp + fsync + rename): a crash mid-save leaves the old
+   profile, never a torn one that a later build chokes on. *)
+let save t path = Cmo_support.Fsio.atomic_write path (encode t)
+
+let decode data =
   let r = Codec.Reader.of_string data in
   let v = Codec.Reader.byte r in
   if v <> version then
@@ -80,6 +112,8 @@ let load path =
     add t key (Codec.Reader.float r)
   done;
   t
+
+let load path = decode (Cmo_support.Fsio.read_file path)
 
 let pp_key ppf = function
   | Fentry f -> Format.fprintf ppf "entry(%s)" f

@@ -37,10 +37,37 @@ val entries : t -> (key * float) list
 val merge : into:t -> t -> unit
 (** Accumulate every count of the second database into [into]. *)
 
+val merge_weighted : into:t -> weight:float -> t -> unit
+(** [merge] with every contributed count scaled by [weight].
+    [weight = 0.] is a guaranteed no-op (not even a key is created);
+    [weight = 1.] is exactly {!merge}.  Within one call the iteration
+    order over the source cannot affect the result (each key occurs
+    once per db); across calls float addition does not associate
+    exactly, so callers wanting byte-stable results must canonicalize
+    the fold order themselves (see [Ingest]). *)
+
+val scale : t -> float -> unit
+(** Multiply every count in place. *)
+
+val decay : t -> rate:float -> age:int -> unit
+(** Exponential staleness decay: multiply every count by [rate^age].
+    [age = 0] is a byte-level identity (no float operation is
+    performed at all).  @raise Invalid_argument on negative [age]. *)
+
+val copy : t -> t
+
 val total : t -> float
 
+val encode : t -> string
+(** Canonical serialization: entries in sorted key order, counts as
+    IEEE-754 bits.  Two databases with bitwise-equal contents encode
+    to equal bytes regardless of insertion order. *)
+
+val decode : string -> t
+(** @raise Cmo_support.Codec.Reader.Corrupt on malformed input. *)
+
 val save : t -> string -> unit
-(** Write to a file (binary, versioned). *)
+(** [encode] to a file via an atomic write. *)
 
 val load : string -> t
 (** @raise Cmo_support.Codec.Reader.Corrupt on malformed input,

@@ -1,0 +1,114 @@
+(** Fleet-scale profile ingestion.
+
+    One instrumented run produces one {!Db}; a fleet produces
+    thousands of {e shards} — noisy, sampled, recorded against
+    whatever source version each user happened to be running.  This
+    module folds them into one canonical database (the AutoFDO regime:
+    sampled, decayed, version-skewed profiles feeding an optimizing
+    build; see PAPERS.md "From Profiling to Optimization").
+
+    {2 The merge algebra}
+
+    The fold is built from {!Db.merge_weighted}, whose laws the
+    property suite ([test/test_ingest.ml]) enforces:
+
+    - {b commutative} and {b associative} up to float tolerance:
+      per-key sums are the same multiset of additions in any order;
+    - {b weighted identity}: weight 0 is a no-op (no key is even
+      created), weight 1 is plain {!Db.merge};
+    - {b decay}: [Db.decay ~age:0] is a byte-level identity;
+      [rate < 1] is monotone non-increasing in [age];
+    - {b order-canonicalized}: {!ingest} sorts shards by the digest of
+      their encoded bytes before folding, and every per-shard
+      coefficient (sampling upscale, decay, skew down-weight, the
+      poisoning clamp) is computed from the {e multiset} of shards —
+      so the merged Db serializes byte-identically no matter what
+      order the shards arrived in.
+
+    {2 Degradation}
+
+    Shards travel as CMR1 framed records ({!Fsio.frame}) in
+    append-only pack files.  A corrupt or torn shard is {b skipped and
+    counted, never a failed ingest}: the reader resynchronizes on the
+    next frame magic, and the skip count is surfaced in {!stats} and
+    on the [ingest/skipped] Obs counter. *)
+
+type meta = {
+  source_fp : string;
+      (** Fingerprint of the source version the shard was recorded
+          against (see {!fingerprint}); [""] = unknown. *)
+  sample_rate : float;
+      (** Fraction of events the profiler recorded, in (0, 1]; counts
+          are upscaled by its inverse.  Out-of-range values degrade to
+          1 (no upscale) rather than amplifying garbage. *)
+  weight : float;  (** Trust weight; [<= 0] contributes nothing. *)
+  age : int;  (** Staleness in versions behind the fleet head. *)
+}
+
+type shard = { meta : meta; db : Db.t }
+
+type policy = {
+  current_fp : string;
+      (** Fingerprint of the sources being built; [""] disables the
+          skew test (every shard is treated as current). *)
+  decay_rate : float;
+      (** Per-age multiplier for stale shards (default 0.9). *)
+  skew_weight : float;
+      (** Multiplier for shards whose [source_fp] does not match
+          [current_fp] — down-weighted, never dropped (default 0.25). *)
+  clamp_ratio : float;
+      (** Poisoning clamp: with >= 3 {e contributing} shards (weighted
+          mass > 0), a shard's weighted mass (effective weight x
+          {!Db.total}) is capped at [clamp_ratio x median] of the
+          contributing masses (default 4).  Zero-mass shards are
+          excluded so they stay byte-level no-ops. *)
+}
+
+val default_policy : current_fp:string -> policy
+
+type stats = {
+  ing_shards : int;  (** Shards merged. *)
+  ing_skipped : int;  (** Corrupt/torn shards skipped and counted. *)
+  ing_skewed : int;  (** Version-skewed shards (down-weighted). *)
+  ing_clamped : int;  (** Shards that hit the poisoning clamp. *)
+  ing_weight : float;  (** Sum of applied effective weights. *)
+}
+
+val effective_weight : policy -> meta -> float
+(** [weight x 1/sample_rate x decay_rate^age x skew], before the
+    clamp.  Age 0 performs no float exponentiation at all. *)
+
+val ingest : policy:policy -> ?skipped:int -> shard list -> Db.t * stats
+(** Fold the shards into a fresh canonical database.  [skipped] seeds
+    [ing_skipped] (pack readers count damage separately).  The result
+    {!Db.encode}s byte-identically under any permutation of the input
+    list. *)
+
+val fingerprint : (string * string) list -> string
+(** Source-version fingerprint over [(module name, source text)]
+    pairs; order-insensitive (sorted by name). *)
+
+(** {2 Shard and pack encoding} *)
+
+val encode_shard : shard -> string
+
+val decode_shard : string -> shard
+(** @raise Cmo_support.Codec.Reader.Corrupt on malformed input. *)
+
+val write_pack : string -> shard list -> unit
+(** Write a pack of framed shards, replacing the file. *)
+
+val append_pack : string -> shard list -> unit
+(** Append framed shards to a pack (creating it as needed). *)
+
+val decode_pack : string -> shard list * int
+(** [(shards, skipped)]: every decodable framed shard in the byte
+    stream, resynchronizing past corrupt frames and torn tails, each
+    counted in [skipped].  Never raises on damage. *)
+
+val read_pack : string -> shard list * int
+(** {!decode_pack} of the file's bytes.  [Sys_error] if unreadable. *)
+
+val ingest_paths : policy:policy -> string list -> Db.t * stats
+(** Read every path as a pack and {!ingest} the union.  An unreadable
+    file counts one skip; all damage degrades, nothing raises. *)

@@ -57,7 +57,9 @@ let stats t =
       | Proto.Shutting_down -> "Shutting_down"
       | Proto.Cache_hit _ -> "Cache_hit"
       | Proto.Cache_miss -> "Cache_miss"
-      | Proto.Cache_stored -> "Cache_stored")
+      | Proto.Cache_stored -> "Cache_stored"
+      | Proto.Profile_stored _ -> "Profile_stored"
+      | Proto.Profile_db _ -> "Profile_db")
 
 let shutdown_server t =
   match roundtrip t Proto.Shutdown with
@@ -74,6 +76,17 @@ let cache_put t key data =
   match roundtrip t (Proto.Cache_put { key; data }) with
   | Proto.Cache_stored -> ()
   | _ -> fail "unexpected reply to Cache_put"
+
+let profile_put t shard =
+  match roundtrip t (Proto.Profile_put { shard }) with
+  | Proto.Profile_stored { shards } -> shards
+  | Proto.Failed { reason; _ } -> fail "profile put refused: %s" reason
+  | _ -> fail "unexpected reply to Profile_put"
+
+let profile_get t ~current_fp =
+  match roundtrip t (Proto.Profile_get { current_fp }) with
+  | Proto.Profile_db { data; shards; skipped } -> (data, shards, skipped)
+  | _ -> fail "unexpected reply to Profile_get"
 
 let remote t =
   (* The pipeline's contract is that a remote degrades internally: the

@@ -36,6 +36,19 @@ val cache_get : t -> string -> string option
 val cache_put : t -> string -> string -> unit
 (** Publish a store record under its fingerprint key. *)
 
+(** {2 Fleet profile accumulation} *)
+
+val profile_put : t -> string -> int
+(** Upload one encoded {!Cmo_profile.Ingest} shard; returns the
+    daemon's decodable-shard count after the append.  Raises
+    {!Protocol_error} when the daemon rejects the shard as garbage. *)
+
+val profile_get : t -> current_fp:string -> string * int * int
+(** [(db bytes, shards merged, shards skipped)]: the daemon's
+    canonical merged database for the given source fingerprint
+    (decay, skew and the poisoning clamp applied server-side).  An
+    empty fleet is [(empty Db, 0, 0)], not an error. *)
+
 val remote : t -> Cmo_driver.Distwork.remote
 (** Wrap the connection as a degrading remote cache for
     {!Cmo_driver.Pipeline.compile}: any transport or protocol failure

@@ -20,6 +20,8 @@ type request =
   | Shutdown
   | Cache_get of { key : string }
   | Cache_put of { key : string; data : string }
+  | Profile_put of { shard : string }
+  | Profile_get of { current_fp : string }
 
 type stats = {
   accepted : int;
@@ -42,6 +44,8 @@ type response =
   | Cache_hit of { data : string }
   | Cache_miss
   | Cache_stored
+  | Profile_stored of { shards : int }
+  | Profile_db of { data : string; shards : int; skipped : int }
 
 (* ---- binary encoding (Codec, same substrate as object files) ---- *)
 
@@ -104,7 +108,13 @@ let string_of_request req =
   | Cache_put { key; data } ->
     Codec.Writer.byte w 6;
     Codec.Writer.string w key;
-    Codec.Writer.string w data);
+    Codec.Writer.string w data
+  | Profile_put { shard } ->
+    Codec.Writer.byte w 7;
+    Codec.Writer.string w shard
+  | Profile_get { current_fp } ->
+    Codec.Writer.byte w 8;
+    Codec.Writer.string w current_fp);
   Codec.Writer.contents w
 
 let request_of_reader r =
@@ -118,6 +128,8 @@ let request_of_reader r =
     let key = Codec.Reader.string r in
     let data = Codec.Reader.string r in
     Cache_put { key; data }
+  | 7 -> Profile_put { shard = Codec.Reader.string r }
+  | 8 -> Profile_get { current_fp = Codec.Reader.string r }
   | n -> Codec.Reader.corrupt (Printf.sprintf "bad request tag %d" n)
 
 let write_stats w (s : stats) =
@@ -167,7 +179,15 @@ let string_of_response resp =
     Codec.Writer.byte w 7;
     Codec.Writer.string w data
   | Cache_miss -> Codec.Writer.byte w 8
-  | Cache_stored -> Codec.Writer.byte w 9);
+  | Cache_stored -> Codec.Writer.byte w 9
+  | Profile_stored { shards } ->
+    Codec.Writer.byte w 10;
+    Codec.Writer.uvarint w shards
+  | Profile_db { data; shards; skipped } ->
+    Codec.Writer.byte w 11;
+    Codec.Writer.string w data;
+    Codec.Writer.uvarint w shards;
+    Codec.Writer.uvarint w skipped);
   Codec.Writer.contents w
 
 let response_of_reader r =
@@ -191,6 +211,12 @@ let response_of_reader r =
   | 7 -> Cache_hit { data = Codec.Reader.string r }
   | 8 -> Cache_miss
   | 9 -> Cache_stored
+  | 10 -> Profile_stored { shards = Codec.Reader.uvarint r }
+  | 11 ->
+    let data = Codec.Reader.string r in
+    let shards = Codec.Reader.uvarint r in
+    let skipped = Codec.Reader.uvarint r in
+    Profile_db { data; shards; skipped }
   | n -> Codec.Reader.corrupt (Printf.sprintf "bad response tag %d" n)
 
 let decode of_reader payload =

@@ -41,6 +41,16 @@ type request =
   | Cache_put of { key : string; data : string }
       (** Remote artifact cache: publish a record.  Content-addressed,
           so concurrent puts of the same key are idempotent. *)
+  | Profile_put of { shard : string }
+      (** Fleet profile ingestion: upload one encoded
+          {!Cmo_profile.Ingest} shard.  The daemon validates it
+          (garbage is rejected, not stored) and appends it to its
+          durable shard pack; served inline like the cache pair. *)
+  | Profile_get of { current_fp : string }
+      (** Fetch the canonical merged database: the daemon ingests its
+          accumulated shards under the default policy for
+          [current_fp] (skew/decay/clamp applied server-side) and
+          returns the canonical {!Cmo_profile.Db.encode} bytes. *)
 
 type stats = {
   accepted : int;  (** Build requests admitted to the queue, ever. *)
@@ -73,6 +83,14 @@ type response =
       (** [Cache_get]: no record under that key.  Clients degrade to
           local recompute — a miss is never an error. *)
   | Cache_stored  (** [Cache_put] acknowledged. *)
+  | Profile_stored of { shards : int }
+      (** [Profile_put] acknowledged; the pack now holds this many
+          decodable shards. *)
+  | Profile_db of { data : string; shards : int; skipped : int }
+      (** [Profile_get]: canonical merged Db bytes plus how many
+          shards were merged and how many damaged ones were skipped.
+          An empty pack is [shards = 0] with an empty-Db [data] —
+          clients treat it like a cache miss, never an error. *)
 
 val string_of_request : request -> string
 val request_of_string : string -> (request, string) result

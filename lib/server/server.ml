@@ -1,6 +1,9 @@
 module Obs = Cmo_obs.Obs
 module Fsio = Cmo_support.Fsio
+module Codec = Cmo_support.Codec
 module Store = Cmo_cache.Store
+module Db = Cmo_profile.Db
+module Ingest = Cmo_profile.Ingest
 module Options = Cmo_driver.Options
 module Pipeline = Cmo_driver.Pipeline
 module Buildsys = Cmo_driver.Buildsys
@@ -77,6 +80,11 @@ type t = {
   wake_w : Unix.file_descr;
   session : Buildsys.session;
   session_lock : Mutex.t;  (* guards reopen_store vs. stats reads *)
+  (* Fleet profile accumulation: shards from many checkouts land in
+     one durable pack under state_dir.  The lock serializes appends
+     and the shard counter. *)
+  profile_lock : Mutex.t;
+  mutable profile_shards : int;
   (* Counters banked from stores closed by [reopen_store], so stats
      stay cumulative across chaos requests; under [session_lock]. *)
   mutable store_hits_base : int;
@@ -118,6 +126,8 @@ let stats t =
     store_hits;
     store_misses;
   }
+
+let profile_pack t = Filename.concat t.cfg.state_dir "profiles.shards"
 
 let rec is_crash = function
   | Fsio.Crash -> true
@@ -361,6 +371,54 @@ let conn_loop t id fd =
         if Obs.enabled () then Obs.tick "server" "cache_puts" 1;
         reply Proto.Cache_stored;
         loop ()
+      (* Fleet profile traffic is served inline for the same reason as
+         the cache pair.  The shared gate keeps a chaos request's
+         fault plan away from the pack's durable writes; profile_lock
+         serializes appends from concurrent connections. *)
+      | Ok (Proto.Profile_put { shard }) ->
+        let resp =
+          with_shared t.gate @@ fun () ->
+          Mutex.lock t.profile_lock;
+          Fun.protect ~finally:(fun () -> Mutex.unlock t.profile_lock)
+          @@ fun () ->
+          match Ingest.decode_shard shard with
+          | exception Codec.Reader.Corrupt m ->
+            (* Reject garbage at the door: the pack stays a stream of
+               shards that decoded at least once. *)
+            Proto.Failed { tag = ""; reason = "bad profile shard: " ^ m }
+          | s -> (
+            match Ingest.append_pack (profile_pack t) [ s ] with
+            | () ->
+              t.profile_shards <- t.profile_shards + 1;
+              Proto.Profile_stored { shards = t.profile_shards }
+            | exception Sys_error m ->
+              Proto.Failed { tag = ""; reason = "profile store: " ^ m })
+        in
+        if Obs.enabled () then Obs.tick "server" "profile_puts" 1;
+        reply resp;
+        loop ()
+      | Ok (Proto.Profile_get { current_fp }) ->
+        let resp =
+          with_shared t.gate @@ fun () ->
+          Mutex.lock t.profile_lock;
+          Fun.protect ~finally:(fun () -> Mutex.unlock t.profile_lock)
+          @@ fun () ->
+          let shards, skipped =
+            (* A missing pack is an empty fleet, not an error. *)
+            try Ingest.read_pack (profile_pack t) with Sys_error _ -> ([], 0)
+          in
+          let policy = Ingest.default_policy ~current_fp in
+          let db, st = Ingest.ingest ~policy ~skipped shards in
+          Proto.Profile_db
+            {
+              data = Db.encode db;
+              shards = st.Ingest.ing_shards;
+              skipped = st.Ingest.ing_skipped;
+            }
+        in
+        if Obs.enabled () then Obs.tick "server" "profile_gets" 1;
+        reply resp;
+        loop ()
       | Ok (Proto.Build b) ->
         if Obs.enabled () then Obs.tick "server" "requests" 1;
         let cost = source_lines b.Proto.sources in
@@ -496,6 +554,8 @@ let start ?(handle_signals = false) cfg =
       wake_w;
       session;
       session_lock = Mutex.create ();
+      profile_lock = Mutex.create ();
+      profile_shards = 0;
       store_hits_base = 0;
       store_misses_base = 0;
       sched = Sched.create ~queue_max:cfg.queue_max ();
@@ -512,6 +572,10 @@ let start ?(handle_signals = false) cfg =
       builder_threads = [];
     }
   in
+  (* A restarted daemon resumes its accumulated fleet: the shard
+     counter picks up where the durable pack left off. *)
+  (try t.profile_shards <- List.length (fst (Ingest.read_pack (profile_pack t)))
+   with Sys_error _ -> ());
   t.builder_threads <-
     List.init cfg.builders (fun _ -> Thread.create builder_loop t);
   t.accept_thread <- Some (Thread.create accept_loop t);

@@ -1,0 +1,73 @@
+module Db = Cmo_profile.Db
+module Ingest = Cmo_profile.Ingest
+module Prng = Cmo_support.Prng
+
+type config = {
+  users : int;
+  sample_rate : float;
+  stale_fraction : float;
+  noise : float;
+  fleet_seed : int;
+}
+
+let default =
+  {
+    users = 100;
+    sample_rate = 1.0;
+    stale_fraction = 0.0;
+    noise = 0.1;
+    fleet_seed = 7;
+  }
+
+(* One user's draw from the oracle: every true count [c] becomes a
+   binomial-ish sample with mean [c x activity x sample_rate],
+   realized by stochastic rounding, then jittered.  Zero draws are
+   dropped entirely — a sampled profile is sparse, and ingestion must
+   cope with keys that most shards never saw. *)
+let user_shard cfg prng ~oracle ~fp ~age =
+  let db = Db.create () in
+  (* How much this user actually ran the program: fleet activity is
+     heavy-tailed, some users barely launch it. *)
+  let activity = 0.25 +. Prng.float prng 1.5 in
+  List.iter
+    (fun (key, count) ->
+      let expected = count *. activity *. cfg.sample_rate in
+      let whole = floor expected in
+      let sampled =
+        whole +. (if Prng.chance prng (expected -. whole) then 1.0 else 0.0)
+      in
+      if sampled > 0.0 then begin
+        let jitter = 1.0 +. (cfg.noise *. ((2.0 *. Prng.float prng 1.0) -. 1.0)) in
+        let v = sampled *. Float.max 0.0 jitter in
+        if v > 0.0 then Db.add db key v
+      end)
+    (Db.entries oracle);
+  {
+    Ingest.meta =
+      { Ingest.source_fp = fp; sample_rate = cfg.sample_rate; weight = 1.0; age };
+    db;
+  }
+
+let generate cfg ~oracle ~current_fp ?stale () =
+  List.init cfg.users (fun u ->
+      let prng = Prng.create (cfg.fleet_seed + (u * 1_000_003)) in
+      let is_stale = Prng.chance prng cfg.stale_fraction in
+      match (is_stale, stale) with
+      | true, Some (stale_oracle, stale_fp) ->
+        user_shard cfg prng ~oracle:stale_oracle ~fp:stale_fp ~age:1
+      | _ -> user_shard cfg prng ~oracle ~fp:current_fp ~age:0)
+
+(* A uniformly scaled copy of an honest shard would keep the same
+   relative hotness and change nothing; the actual attack inverts it:
+   claim the *cold* half of the program runs at [factor x] the real
+   hottest count, promoting the attacker's code into the hot set. *)
+let poison ~factor (s : Ingest.shard) =
+  let entries = Db.entries s.Ingest.db in
+  let top = List.fold_left (fun acc (_, v) -> Float.max acc v) 0.0 entries in
+  let counts = List.sort compare (List.map snd entries) in
+  let med = List.nth counts (List.length counts / 2) in
+  let db = Db.create () in
+  List.iter
+    (fun (k, v) -> if v <= med then Db.add db k (factor *. top))
+    entries;
+  { s with Ingest.db }

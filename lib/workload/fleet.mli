@@ -1,0 +1,47 @@
+(** Synthetic fleet of profiling users.
+
+    Models "millions of users feeding the profile database" without
+    running millions of instrumented builds: given one {e oracle}
+    database (a full-fidelity training run), each simulated user's
+    shard is a sampled, noisy, activity-scaled draw from it — exactly
+    the signal an AutoFDO-style collector would upload.  Users on the
+    previous source version draw from a {e stale} oracle instead and
+    stamp their shards with that version's fingerprint, so ingestion's
+    decay and skew policies have something real to bite on.
+
+    Everything is deterministic in [(config, oracles)]: user [u]'s
+    shard is a function of [seed + u] alone. *)
+
+type config = {
+  users : int;
+  sample_rate : float;
+      (** Per-event recording probability, in (0, 1]; shards carry it
+          in their meta so ingestion can upscale. *)
+  stale_fraction : float;
+      (** Fraction of users still running the previous version. *)
+  noise : float;
+      (** Relative per-key multiplicative jitter, e.g. 0.1 = +-10%. *)
+  fleet_seed : int;
+}
+
+val default : config
+(** 100 users, full sampling, no staleness, 10% noise, seed 7. *)
+
+val generate :
+  config ->
+  oracle:Cmo_profile.Db.t ->
+  current_fp:string ->
+  ?stale:Cmo_profile.Db.t * string ->
+  unit ->
+  Cmo_profile.Ingest.shard list
+(** One shard per user.  [stale] is the previous version's oracle and
+    fingerprint; without it every user is current regardless of
+    [stale_fraction]. *)
+
+val poison :
+  factor:float -> Cmo_profile.Ingest.shard -> Cmo_profile.Ingest.shard
+(** An adversarial copy claiming the cold half of the program runs at
+    [factor x] the shard's real hottest count — the inverted, inflated
+    profile a hostile or broken client uploads to promote cold code
+    into the hot set.  Ingestion's clamp is what keeps it from
+    dominating. *)

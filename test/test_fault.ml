@@ -383,6 +383,147 @@ let test_corruption_rebuild =
       | exception e ->
         QCheck.Test.fail_reportf "rebuild failed: %s" (Printexc.to_string e))
 
+(* ---------- profile-pack ingest degradation ---------- *)
+
+module Ingest = Cmo_profile.Ingest
+module Db = Cmo_profile.Db
+module Prng = Cmo_support.Prng
+
+(* Deterministic synthetic shards, distinct content per index. *)
+let mk_shard i =
+  let prng = Prng.create (7000 + (i * 131)) in
+  let db = Db.create () in
+  let funcs = [| "alpha"; "beta"; "gamma" |] in
+  for _ = 1 to 5 + Prng.int prng 10 do
+    let f = Prng.choose prng funcs in
+    let key =
+      match Prng.int prng 3 with
+      | 0 -> Db.Fentry f
+      | 1 -> Db.Block (f, Prng.int prng 6)
+      | _ -> Db.Edge (f, Prng.int prng 6, Prng.int prng 6)
+    in
+    Db.add db key (float_of_int (1 + Prng.int prng 500))
+  done;
+  {
+    Ingest.meta =
+      { Ingest.source_fp = "fp"; sample_rate = 1.0; weight = 1.0; age = 0 };
+    db;
+  }
+
+let pack_shards = List.init 8 mk_shard
+let ingest_policy = Ingest.default_policy ~current_fp:"fp"
+
+(* Any single corruption of a shard pack — flip or truncation,
+   anywhere (the arbitrary's file bool is reinterpreted as "flip a
+   second, mirrored byte too") — must degrade to skip-and-count:
+   nothing raises, no corrupted shard is ever decoded as new content,
+   and the merged database is byte-identical to ingesting exactly the
+   surviving subset of the originals. *)
+let test_pack_corruption_clean_subset =
+  QCheck.Test.make
+    ~name:"corrupt shard pack merges exactly the surviving subset" ~count:60
+    Helpers.corruption_arbitrary
+    (fun (double_flip, truncate_it, where, bits) ->
+      with_dir @@ fun dir ->
+      let path = Filename.concat dir "fleet.shards" in
+      Ingest.write_pack path pack_shards;
+      let raw = read_raw path in
+      let size = String.length raw in
+      let pos = min (size - 1) (int_of_float (where *. float_of_int size)) in
+      if truncate_it then Unix.truncate path pos
+      else begin
+        let raw = Helpers.flip_byte raw pos bits in
+        let raw =
+          if double_flip then Helpers.flip_byte raw (size - 1 - pos) bits
+          else raw
+        in
+        write_raw path raw
+      end;
+      let got, skipped = Ingest.read_pack path in
+      let originals = List.map Ingest.encode_shard pack_shards in
+      List.iter
+        (fun s ->
+          if not (List.mem (Ingest.encode_shard s) originals) then
+            QCheck.Test.fail_reportf "corrupted shard decoded as new content")
+        got;
+      (* A flip always damages the frame it lands in; only a
+         truncation can land exactly on a frame boundary and lose a
+         clean suffix without a countable casualty. *)
+      if
+        (not truncate_it)
+        && List.length got < List.length pack_shards
+        && skipped = 0
+      then QCheck.Test.fail_reportf "lost shards without counting a skip";
+      let db_pack, stats = Ingest.ingest_paths ~policy:ingest_policy [ path ] in
+      let got_bytes = List.map Ingest.encode_shard got in
+      let matched =
+        List.filter
+          (fun s -> List.mem (Ingest.encode_shard s) got_bytes)
+          pack_shards
+      in
+      let db_subset, _ = Ingest.ingest ~policy:ingest_policy matched in
+      Db.encode db_pack = Db.encode db_subset
+      && stats.Ingest.ing_skipped = skipped)
+
+(* Crash every operation of a pack write in turn; whatever state the
+   crash left behind, reading must degrade (never raise, never decode
+   altered content), and the standard repair — truncate to the valid
+   prefix, append the missing shards — must restore a clean pack whose
+   ingest is byte-identical to the never-crashed one. *)
+let test_pack_crash_sweep () =
+  with_dir @@ fun dir ->
+  let path = Filename.concat dir "fleet.shards" in
+  install "count";
+  Ingest.write_pack path pack_shards;
+  let n = Fsio.op_count () in
+  Fsio.clear_plan ();
+  Alcotest.(check bool) "sites found" true (n > 0);
+  let clean, clean_skips = Ingest.read_pack path in
+  Alcotest.(check int) "clean pack has no skips" 0 clean_skips;
+  Alcotest.(check int) "clean pack is whole" (List.length pack_shards)
+    (List.length clean);
+  let oracle_bytes = List.map Ingest.encode_shard pack_shards in
+  let clean_db, _ = Ingest.ingest ~policy:ingest_policy pack_shards in
+  let clean_encoding = Db.encode clean_db in
+  for k = 1 to n do
+    if Sys.file_exists path then Sys.remove path;
+    install (Printf.sprintf "crash@%d,seed=%d" k k);
+    (match Ingest.write_pack path pack_shards with
+    | () -> Alcotest.failf "crash@%d never fired" k
+    | exception e when is_crash e -> ());
+    Fsio.clear_plan ();
+    (* Degraded read of whatever the crash left. *)
+    let got =
+      if Sys.file_exists path then fst (Ingest.read_pack path) else []
+    in
+    List.iter
+      (fun s ->
+        if not (List.mem (Ingest.encode_shard s) oracle_bytes) then
+          Alcotest.failf "crash@%d: altered shard decoded" k)
+      got;
+    (* Repair to the valid record boundary, append what is missing. *)
+    if Sys.file_exists path then begin
+      let valid_end, _ = Fsio.valid_prefix path in
+      Fsio.truncate path valid_end
+    end;
+    let have =
+      if Sys.file_exists path then
+        List.map Ingest.encode_shard (fst (Ingest.read_pack path))
+      else []
+    in
+    let missing =
+      List.filter
+        (fun s -> not (List.mem (Ingest.encode_shard s) have))
+        pack_shards
+    in
+    Ingest.append_pack path missing;
+    let final, skipped = Ingest.read_pack path in
+    if skipped <> 0 then Alcotest.failf "crash@%d: repaired pack not clean" k;
+    let db, _ = Ingest.ingest ~policy:ingest_policy final in
+    if Db.encode db <> clean_encoding then
+      Alcotest.failf "crash@%d: recovered ingest diverged" k
+  done
+
 let suite =
   [
     ("plan grammar", `Quick, test_plan_parse);
@@ -402,4 +543,6 @@ let suite =
     ("crash sweep recovers", `Slow, test_crash_sweep_recovers);
     ("trace export degrades", `Quick, test_trace_export_degrades);
     Helpers.to_alcotest test_corruption_rebuild;
+    Helpers.to_alcotest test_pack_corruption_clean_subset;
+    ("pack crash sweep", `Slow, test_pack_crash_sweep);
   ]

@@ -1,0 +1,371 @@
+(* Property suite for fleet-scale profile ingestion: the merge-algebra
+   laws that [Ingest] documents and relies on (commutativity,
+   associativity up to float tolerance, weighted identities, decay
+   laws, order-canonicalized byte-identical serialization), the shard
+   and pack codecs, and the Fig-6-style end-to-end regression — a
+   generated fleet at full sampling must select the same hot-module
+   set as the single-run oracle, and stay >= 0.95 overlap at 1/100
+   sampling. *)
+
+module Db = Cmo_profile.Db
+module Ingest = Cmo_profile.Ingest
+module Correlate = Cmo_profile.Correlate
+module Fleet = Cmo_workload.Fleet
+module Genprog = Cmo_workload.Genprog
+module Suite = Cmo_workload.Suite
+module Selectivity = Cmo_hlo.Selectivity
+module Pipeline = Cmo_driver.Pipeline
+module Options = Cmo_driver.Options
+module Prng = Cmo_support.Prng
+
+(* ---------- generators ---------- *)
+
+(* Small key space on purpose: collisions across generated databases
+   are what exercise the accumulate path of the merge. *)
+let key_gen =
+  let open QCheck.Gen in
+  let name = oneofl [ "f"; "g"; "h"; "m0"; "m1" ] in
+  oneof
+    [
+      map (fun n -> Db.Fentry n) name;
+      map2 (fun n l -> Db.Block (n, l)) name (int_bound 5);
+      map3 (fun n a b -> Db.Edge (n, a, b)) name (int_bound 5) (int_bound 5);
+    ]
+
+(* Positive dyadic-ish counts; fractional values exercise the float
+   paths without being denormal noise. *)
+let count_gen =
+  QCheck.Gen.map (fun n -> float_of_int n /. 16.0) (QCheck.Gen.int_range 1 4096)
+
+let entries_gen =
+  QCheck.Gen.list_size (QCheck.Gen.int_bound 30)
+    (QCheck.Gen.pair key_gen count_gen)
+
+let db_of_entries es =
+  let db = Db.create () in
+  List.iter (fun (k, v) -> Db.add db k v) es;
+  db
+
+let print_entries es =
+  "["
+  ^ String.concat "; "
+      (List.map (fun (k, v) -> Format.asprintf "%a=%g" Db.pp_key k v) es)
+  ^ "]"
+
+let entries_arb = QCheck.make ~print:print_entries entries_gen
+
+let meta_gen =
+  let open QCheck.Gen in
+  map
+    (fun (source_fp, sample_rate, weight, age) ->
+      { Ingest.source_fp; sample_rate; weight; age })
+    (quad
+       (oneofl [ "vA"; "vB" ])
+       (oneofl [ 1.0; 0.5; 0.25; 0.01 ])
+       (oneofl [ 0.0; 0.5; 1.0; 2.0 ])
+       (int_bound 3))
+
+let shard_gen =
+  QCheck.Gen.map
+    (fun (meta, es) -> { Ingest.meta; db = db_of_entries es })
+    (QCheck.Gen.pair meta_gen entries_gen)
+
+let print_shard (s : Ingest.shard) =
+  Format.asprintf "{fp=%s rate=%g w=%g age=%d %s}" s.Ingest.meta.Ingest.source_fp
+    s.Ingest.meta.Ingest.sample_rate s.Ingest.meta.Ingest.weight
+    s.Ingest.meta.Ingest.age
+    (print_entries (Db.entries s.Ingest.db))
+
+let shards_arb n =
+  QCheck.make
+    ~print:(fun l -> String.concat "\n" (List.map print_shard l))
+    (QCheck.Gen.list_size (QCheck.Gen.int_range 1 n) shard_gen)
+
+(* Relative float tolerance: the algebra holds up to reassociation of
+   IEEE additions, not bit-exactly. *)
+let close a b =
+  Float.abs (a -. b) <= 1e-9 *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+
+let db_close a b =
+  let ea = Db.entries a and eb = Db.entries b in
+  List.length ea = List.length eb
+  && List.for_all2 (fun (k1, v1) (k2, v2) -> k1 = k2 && close v1 v2) ea eb
+
+let policy = Ingest.default_policy ~current_fp:"vA"
+
+(* ---------- merge laws ---------- *)
+
+(* Two-way merge commutes *byte-exactly*: per key the same two floats
+   are added, and IEEE addition of two operands is commutative. *)
+let prop_merge_commutative =
+  QCheck.Test.make ~name:"merge is commutative (byte-identical)" ~count:200
+    (QCheck.pair entries_arb entries_arb)
+    (fun (e1, e2) ->
+      let ab = db_of_entries e1 in
+      Db.merge ~into:ab (db_of_entries e2);
+      let ba = db_of_entries e2 in
+      Db.merge ~into:ba (db_of_entries e1);
+      Db.encode ab = Db.encode ba)
+
+let prop_merge_associative =
+  QCheck.Test.make ~name:"merge is associative (float tolerance)" ~count:200
+    (QCheck.triple entries_arb entries_arb entries_arb)
+    (fun (e1, e2, e3) ->
+      (* ((a + b) + c) *)
+      let l = db_of_entries e1 in
+      Db.merge ~into:l (db_of_entries e2);
+      Db.merge ~into:l (db_of_entries e3);
+      (* (a + (b + c)) *)
+      let bc = db_of_entries e2 in
+      Db.merge ~into:bc (db_of_entries e3);
+      let r = db_of_entries e1 in
+      Db.merge ~into:r bc;
+      db_close l r)
+
+let prop_weight_zero_noop =
+  QCheck.Test.make ~name:"weight 0 merge is a byte-level no-op" ~count:200
+    (QCheck.pair entries_arb entries_arb)
+    (fun (e1, e2) ->
+      let into = db_of_entries e1 in
+      let before = Db.encode into in
+      Db.merge_weighted ~into ~weight:0.0 (db_of_entries e2);
+      Db.encode into = before)
+
+let prop_weight_one_is_merge =
+  QCheck.Test.make ~name:"weight 1 merge equals plain merge" ~count:200
+    (QCheck.pair entries_arb entries_arb)
+    (fun (e1, e2) ->
+      let w = db_of_entries e1 in
+      Db.merge_weighted ~into:w ~weight:1.0 (db_of_entries e2);
+      let p = db_of_entries e1 in
+      Db.merge ~into:p (db_of_entries e2);
+      Db.encode w = Db.encode p)
+
+let prop_decay_age_zero_identity =
+  QCheck.Test.make ~name:"decay at age 0 is a byte-level identity" ~count:200
+    entries_arb
+    (fun es ->
+      let db = db_of_entries es in
+      let before = Db.encode db in
+      Db.decay db ~rate:0.9 ~age:0;
+      Db.encode db = before)
+
+let prop_decay_monotone =
+  QCheck.Test.make ~name:"decay is monotone non-increasing in age" ~count:200
+    (QCheck.pair entries_arb (QCheck.int_range 1 4))
+    (fun (es, age) ->
+      let younger = db_of_entries es in
+      let older = db_of_entries es in
+      Db.decay younger ~rate:0.9 ~age;
+      Db.decay older ~rate:0.9 ~age:(age + 1);
+      Db.total older <= Db.total younger +. 1e-9)
+
+(* ---------- canonical ingest ---------- *)
+
+let shuffled seed l =
+  let a = Array.of_list l in
+  Prng.shuffle (Prng.create seed) a;
+  Array.to_list a
+
+let prop_ingest_order_canonical =
+  QCheck.Test.make
+    ~name:"ingest serializes byte-identically under shard permutation"
+    ~count:50
+    (QCheck.pair (shards_arb 8) QCheck.small_nat)
+    (fun (shards, seed) ->
+      let d1, s1 = Ingest.ingest ~policy shards in
+      let d2, s2 = Ingest.ingest ~policy (List.rev shards) in
+      let d3, s3 = Ingest.ingest ~policy (shuffled (seed + 1) shards) in
+      Db.encode d1 = Db.encode d2
+      && Db.encode d1 = Db.encode d3
+      && s1 = s2 && s1 = s3)
+
+let prop_zero_weight_shards_invisible =
+  QCheck.Test.make
+    ~name:"weight-0 shards leave the merged db byte-identical" ~count:50
+    (QCheck.pair (shards_arb 6) entries_arb)
+    (fun (shards, es) ->
+      let dead =
+        {
+          Ingest.meta =
+            { Ingest.source_fp = "vA"; sample_rate = 1.0; weight = 0.0; age = 0 };
+          db = db_of_entries es;
+        }
+      in
+      let with_dead, _ = Ingest.ingest ~policy (dead :: shards) in
+      let without, _ = Ingest.ingest ~policy shards in
+      Db.encode with_dead = Db.encode without)
+
+(* ---------- codecs ---------- *)
+
+let prop_shard_roundtrip =
+  QCheck.Test.make ~name:"shard codec round-trips" ~count:200
+    (QCheck.make ~print:print_shard shard_gen)
+    (fun s ->
+      let s' = Ingest.decode_shard (Ingest.encode_shard s) in
+      s'.Ingest.meta = s.Ingest.meta
+      && Db.encode s'.Ingest.db = Db.encode s.Ingest.db)
+
+let prop_pack_roundtrip =
+  QCheck.Test.make ~name:"pack write/read round-trips with 0 skipped"
+    ~count:30 (shards_arb 8)
+    (fun shards ->
+      Helpers.with_dir (fun dir ->
+          let path = Filename.concat dir "shards.pack" in
+          Ingest.write_pack path shards;
+          let got, skipped = Ingest.read_pack path in
+          skipped = 0
+          && List.map Ingest.encode_shard got
+             = List.map Ingest.encode_shard shards))
+
+let test_effective_weight () =
+  let m ?(fp = "vA") ?(rate = 1.0) ?(w = 1.0) ?(age = 0) () =
+    { Ingest.source_fp = fp; sample_rate = rate; weight = w; age }
+  in
+  Alcotest.(check (float 1e-12)) "plain" 1.0
+    (Ingest.effective_weight policy (m ()));
+  Alcotest.(check (float 1e-12)) "sampling upscale" 4.0
+    (Ingest.effective_weight policy (m ~rate:0.25 ()));
+  Alcotest.(check (float 1e-12)) "bad rate degrades to 1" 1.0
+    (Ingest.effective_weight policy (m ~rate:0.0 ()));
+  Alcotest.(check (float 1e-12)) "decay" (0.9 *. 0.9)
+    (Ingest.effective_weight policy (m ~age:2 ()));
+  Alcotest.(check (float 1e-12)) "skew down-weight" 0.25
+    (Ingest.effective_weight policy (m ~fp:"vB" ()));
+  Alcotest.(check (float 1e-12)) "everything composes"
+    (2.0 *. 4.0 *. 0.9 *. 0.25)
+    (Ingest.effective_weight policy (m ~fp:"vB" ~rate:0.25 ~w:2.0 ~age:1 ()))
+
+let test_fingerprint_order_insensitive () =
+  let a = [ ("m1", "x"); ("m2", "y") ] in
+  let b = [ ("m2", "y"); ("m1", "x") ] in
+  Alcotest.(check string) "order-insensitive" (Ingest.fingerprint a)
+    (Ingest.fingerprint b);
+  Alcotest.(check bool) "content-sensitive" true
+    (Ingest.fingerprint a <> Ingest.fingerprint [ ("m1", "x"); ("m2", "z") ])
+
+(* ---------- the Fig-6 regression ---------- *)
+
+let sources_of gen =
+  List.map (fun (name, text) -> { Pipeline.name; text }) gen
+
+(* Hot-module set under 20% selectivity once the given profile is
+   correlated onto the modules. *)
+let hot_set db modules =
+  ignore (Correlate.annotate db modules);
+  let sel = Selectivity.select ~percent:20.0 modules in
+  Correlate.clear modules;
+  List.sort_uniq compare sel.Selectivity.cmo_modules
+
+let test_fleet_matches_oracle_selection () =
+  let cfg = Suite.find "li" in
+  let gen = Genprog.generate cfg in
+  let sources = sources_of gen in
+  let oracle = Pipeline.train ~inputs:[ Genprog.training_input cfg ] sources in
+  let modules = Pipeline.frontend sources in
+  let oracle_set = hot_set oracle modules in
+  Alcotest.(check bool) "oracle selects something" true (oracle_set <> []);
+  let current_fp = Ingest.fingerprint gen in
+  let policy = Ingest.default_policy ~current_fp in
+  let fleet rate seed =
+    Fleet.generate
+      { Fleet.default with Fleet.users = 40; sample_rate = rate; fleet_seed = seed }
+      ~oracle ~current_fp ()
+  in
+  (* Full sampling: the fleet database must select exactly the oracle
+     hot set. *)
+  let full, stats = Ingest.ingest ~policy (fleet 1.0 11) in
+  Alcotest.(check int) "all shards merged" 40 stats.Ingest.ing_shards;
+  Alcotest.(check (list string)) "full-sampling fleet = oracle selection"
+    oracle_set (hot_set full modules);
+  (* 1/100 sampling: hot-set overlap >= 0.95. *)
+  let sampled, _ = Ingest.ingest ~policy (fleet 0.01 13) in
+  let s_set = hot_set sampled modules in
+  let inter = List.filter (fun m -> List.mem m oracle_set) s_set in
+  let overlap =
+    float_of_int (List.length inter)
+    /. float_of_int (max 1 (List.length oracle_set))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "1/100-sampling overlap %.2f >= 0.95" overlap)
+    true (overlap >= 0.95)
+
+(* The acceptance criterion behind the whole exercise: any arrival
+   order yields a byte-identical canonical db, and the *build* made
+   from it is deterministic — enforced here, not just eyeballed in the
+   bench. *)
+let test_ingest_build_deterministic () =
+  let cfg =
+    {
+      Genprog.name = "ingdet";
+      seed = 19;
+      modules = 6;
+      hot_modules = 2;
+      funcs_per_module = (3, 6);
+      hot_weight = 85;
+      main_iters = 200;
+      leaf_iters = (3, 8);
+      tiny_leaf_percent = 40;
+    }
+  in
+  let gen = Genprog.generate cfg in
+  let sources = sources_of gen in
+  let oracle = Pipeline.train ~inputs:[ Genprog.training_input cfg ] sources in
+  let current_fp = Ingest.fingerprint gen in
+  let policy = Ingest.default_policy ~current_fp in
+  let shards =
+    Fleet.generate
+      { Fleet.default with Fleet.users = 16; sample_rate = 0.2; fleet_seed = 5 }
+      ~oracle ~current_fp ()
+  in
+  let d1, _ = Ingest.ingest ~policy shards in
+  let d2, _ = Ingest.ingest ~policy (shuffled 99 shards) in
+  Alcotest.(check bool) "permuted ingest is byte-identical" true
+    (Db.encode d1 = Db.encode d2);
+  let b1 = Pipeline.compile ~profile:d1 Options.o4_pbo sources in
+  let b2 = Pipeline.compile ~profile:d2 Options.o4_pbo sources in
+  Helpers.same_build "build from permuted-ingest profiles" b1 b2
+
+(* One 1000x-inflated adversarial shard must not change module
+   selection when the clamp is on. *)
+let test_poison_clamped () =
+  let cfg = Suite.find "li" in
+  let gen = Genprog.generate cfg in
+  let sources = sources_of gen in
+  let oracle = Pipeline.train ~inputs:[ Genprog.training_input cfg ] sources in
+  let modules = Pipeline.frontend sources in
+  let current_fp = Ingest.fingerprint gen in
+  let policy = Ingest.default_policy ~current_fp in
+  (* Enough honest shards that the clamped attacker's residual mass
+     (~clamp_ratio medians' worth) is a small fraction of the total. *)
+  let clean =
+    Fleet.generate
+      { Fleet.default with Fleet.users = 60; fleet_seed = 21 }
+      ~oracle ~current_fp ()
+  in
+  let clean_db, _ = Ingest.ingest ~policy clean in
+  let clean_set = hot_set clean_db modules in
+  let poisoned = Fleet.poison ~factor:1000.0 (List.hd clean) :: clean in
+  let db, stats = Ingest.ingest ~policy poisoned in
+  Alcotest.(check bool) "clamp engaged" true (stats.Ingest.ing_clamped > 0);
+  Alcotest.(check (list string)) "selection unchanged under poisoning"
+    clean_set (hot_set db modules)
+
+let suite =
+  [
+    Helpers.to_alcotest prop_merge_commutative;
+    Helpers.to_alcotest prop_merge_associative;
+    Helpers.to_alcotest prop_weight_zero_noop;
+    Helpers.to_alcotest prop_weight_one_is_merge;
+    Helpers.to_alcotest prop_decay_age_zero_identity;
+    Helpers.to_alcotest prop_decay_monotone;
+    Helpers.to_alcotest prop_ingest_order_canonical;
+    Helpers.to_alcotest prop_zero_weight_shards_invisible;
+    Helpers.to_alcotest prop_shard_roundtrip;
+    Helpers.to_alcotest prop_pack_roundtrip;
+    ("effective weight", `Quick, test_effective_weight);
+    ("fingerprint", `Quick, test_fingerprint_order_insensitive);
+    ("fleet matches oracle selection", `Slow, test_fleet_matches_oracle_selection);
+    ("permuted ingest builds identically", `Slow, test_ingest_build_deterministic);
+    ("poisoned shard clamped", `Slow, test_poison_clamped);
+  ]

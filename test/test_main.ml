@@ -6,6 +6,7 @@ let () =
       ("il", Test_il.suite);
       ("frontend", Test_frontend.suite);
       ("profile", Test_profile.suite);
+      ("ingest", Test_ingest.suite);
       ("naim", Test_naim.suite);
       ("hlo", Test_hlo.suite);
       ("llo", Test_llo.suite);

@@ -164,11 +164,26 @@ let test_correlate_stale_profile_graceful () =
      function must not. *)
   Alcotest.(check bool) "not everything matched" true
     (stats.Correlate.blocks_matched < stats.Correlate.blocks);
+  (* The drift must be *visible*: the profile's keys for functions
+     that no longer exist (work, the old main body) are surfaced, not
+     silently dropped. *)
+  Alcotest.(check bool) "unmatched keys surfaced" true
+    (stats.Correlate.unmatched_keys > 0);
+  Alcotest.(check bool) "unmatched weight surfaced" true
+    (stats.Correlate.unmatched_weight > 0.0);
   let f = Option.get (Cmo_il.Ilmod.find_func changed "brand_new") in
   List.iter
     (fun (b : Func.block) ->
       Alcotest.(check (float 0.0)) "cold blocks" 0.0 b.Func.freq)
-    f.Func.blocks
+    f.Func.blocks;
+  (* A fresh profile of the current program has no unmatched weight. *)
+  let fresh = Db.create () in
+  let _ = Train.run [ changed ] fresh in
+  let fresh_stats = Correlate.annotate fresh [ changed ] in
+  Alcotest.(check int) "fresh profile: no unmatched keys" 0
+    fresh_stats.Correlate.unmatched_keys;
+  Alcotest.(check (float 0.0)) "fresh profile: no unmatched weight" 0.0
+    fresh_stats.Correlate.unmatched_weight
 
 let test_correlate_clear () =
   let m = Helpers.compile loop_program in
