@@ -1,0 +1,18 @@
+module Db = Cmo_profile.Db
+module Ingest = Cmo_profile.Ingest
+let mk w counts =
+  let db = Db.create () in
+  List.iteri (fun i c -> Db.add db (Db.Fentry (Printf.sprintf "f%d" i)) c) counts;
+  { Ingest.meta = { Ingest.source_fp = "fp"; sample_rate = 1.0; weight = w; age = 0 }; db }
+let () =
+  let policy = Ingest.default_policy ~current_fp:"fp" in
+  let honest = [ mk 1.0 [10.;20.;30.]; mk 1.0 [11.;19.;31.]; mk 1.0 [9.;21.;29.] ] in
+  (* NaN trust weight *)
+  let db, _ = Ingest.ingest ~policy (mk Float.nan [5.;5.;5.] :: honest) in
+  Printf.printf "nan-weight merged total: %f\n" (Db.total db);
+  (* +inf trust weight *)
+  let db2, _ = Ingest.ingest ~policy (mk Float.infinity [5.;5.;5.] :: honest) in
+  Printf.printf "inf-weight merged total: %f\n" (Db.total db2);
+  (* negative counts bypass the clamp *)
+  let db3, _ = Ingest.ingest ~policy (mk 1.0 [-1e9; -1e9; -1e9] :: honest) in
+  Printf.printf "neg-count merged total: %f\n" (Db.total db3)
