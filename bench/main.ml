@@ -8,7 +8,7 @@
    Experiments: fig1 fig4 fig5 fig6 bytes-per-line ablation stale micro
    incremental incremental-smoke parallel parallel-smoke fuzz-smoke
    check-overhead trace-smoke fault-sweep fault-sweep-smoke storm
-   storm-smoke dist dist-smoke pgo pgo-smoke *)
+   storm-smoke dist dist-smoke pgo pgo-smoke canary canary-smoke *)
 
 module Genprog = Cmo_workload.Genprog
 module Suite = Cmo_workload.Suite
@@ -1592,6 +1592,156 @@ let pgo_smoke () =
   pgo_for "li" ~users:60 ~rates:[ 1.0; 0.01 ] ~stales:[ 0.0; 0.5 ]
     ~assertions:true
 
+(* ------------------------------------------------------------------ *)
+(* Canary detection floor: the stable and canary cohorts are fed from
+   the two arms of an A/B fleet whose only difference is a controlled
+   rank-swap divergence planted into the canary arm's oracle.  The
+   sweep asks: across sampling rates, how much divergence does the
+   selection diff need before it reports a module flip?  Two legs ride
+   along: the divergence-0 identity law (same seed, byte-identical
+   arms, a no-flip report with empty module deltas, deterministic
+   report encoding) and a registry leg (the same shard multisets
+   ingested in opposite arrival orders into two registries must pull
+   byte-identical dbs and produce identical verdicts). *)
+(* ------------------------------------------------------------------ *)
+
+let canary_for name ~users ~rates ~divergences ~assertions =
+  header
+    (Printf.sprintf "Canary flip sweep (%s personality, %d users)" name users);
+  let module Ingest = Cmo_profile.Ingest in
+  let module Cohort = Cmo_profile.Cohort in
+  let module Fleet = Cmo_workload.Fleet in
+  let module Selectivity = Cmo_hlo.Selectivity in
+  let failures = ref 0 in
+  let cfg = Suite.find name in
+  let gen = Genprog.generate cfg in
+  let sources = sources_of cfg in
+  let current_fp = Ingest.fingerprint gen in
+  let oracle = Pipeline.train ~inputs:[ Genprog.training_input cfg ] sources in
+  let modules = Pipeline.frontend sources in
+  let policy = Ingest.default_policy ~current_fp in
+  let hot label db =
+    Selectivity.cohort_hot_set ~percent:20.0 ~label db modules
+  in
+  let arms ~rate ~divergence ~seed =
+    Fleet.ab_arms
+      { Fleet.users; sample_rate = rate; stale_fraction = 0.0; noise = 0.1;
+        fleet_seed = seed }
+      ~oracle ~current_fp ~divergence
+  in
+  let report_of (a, b) =
+    let base, _ = Ingest.ingest ~policy a in
+    let canary, _ = Ingest.ingest ~policy b in
+    Cohort.Diff.diff ~base:(hot "stable" base) (hot "canary" canary)
+  in
+  Printf.printf
+    "would-flip verdict at 20%% selection, threshold %.2f (FLIP, or max \
+     share shift)\n"
+    Cohort.Diff.default_threshold;
+  Printf.printf "%-12s |" "rate \\ div";
+  List.iter (fun d -> Printf.printf " %8.2f" d) divergences;
+  Printf.printf "\n";
+  let cell = ref 0 in
+  let results =
+    List.map
+      (fun rate ->
+        Printf.printf "%-12s |" (Printf.sprintf "1/%g" (1.0 /. rate));
+        let row =
+          List.map
+            (fun divergence ->
+              incr cell;
+              let r = report_of (arms ~rate ~divergence ~seed:(3000 + !cell)) in
+              (match r.Cohort.Diff.r_verdict with
+              | Cohort.Diff.Flip -> Printf.printf "     FLIP"
+              | Cohort.Diff.No_flip ->
+                Printf.printf "   %.4f" r.Cohort.Diff.r_max_shift);
+              ((rate, divergence), r))
+            divergences
+        in
+        Printf.printf "\n%!";
+        row)
+      rates
+    |> List.concat
+  in
+  (* Identity law: divergence 0 with a shared seed is the *same* fleet
+     twice — byte-identical arms, a no-flip report with empty module
+     deltas, and a deterministic report encoding. *)
+  let a0, b0 = arms ~rate:1.0 ~divergence:0.0 ~seed:11 in
+  let ia, _ = Ingest.ingest ~policy a0 in
+  let ib, _ = Ingest.ingest ~policy b0 in
+  let arms_ok = Db.encode ia = Db.encode ib in
+  let r1 = Cohort.Diff.diff ~base:(hot "stable" ia) (hot "canary" ib) in
+  let r2 = Cohort.Diff.diff ~base:(hot "stable" ia) (hot "canary" ib) in
+  let clean_ok =
+    r1.Cohort.Diff.r_verdict = Cohort.Diff.No_flip
+    && r1.Cohort.Diff.r_mod_in = []
+    && r1.Cohort.Diff.r_mod_out = []
+  in
+  let enc_ok = Cohort.Diff.encode r1 = Cohort.Diff.encode r2 in
+  Printf.printf "identity law (divergence 0): arms %s, report %s, encoding %s\n"
+    (if arms_ok then "byte-identical" else "DIVERGED")
+    (if clean_ok then "no-flip/empty" else "NOISY")
+    (if enc_ok then "deterministic" else "UNSTABLE");
+  if not (arms_ok && clean_ok && enc_ok) then incr failures;
+  (* Registry leg: the same shard multisets ingested in opposite
+     arrival orders into two registries must pull byte-identical dbs
+     and hand the diff the same report, byte for byte. *)
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) "cmo-bench-canary"
+  in
+  remove_tree dir;
+  Fun.protect ~finally:(fun () -> remove_tree dir) @@ fun () ->
+  let a1, b1 = arms ~rate:1.0 ~divergence:1.0 ~seed:21 in
+  let feed sub order_a order_b =
+    let reg = Cohort.open_ ~dir:(Filename.concat dir sub) in
+    Cohort.create reg "stable";
+    ignore (Cohort.ingest_into reg "stable" order_a);
+    ignore (Cohort.ingest_into reg "canary" order_b);
+    let base, _ = Cohort.pull reg ~policy "stable" in
+    let canary, _ = Cohort.pull reg ~policy "canary" in
+    ( Db.encode base,
+      Db.encode canary,
+      Cohort.Diff.diff ~base:(hot "stable" base) (hot "canary" canary) )
+  in
+  let sb1, sc1, rr1 = feed "fwd" a1 b1 in
+  let sb2, sc2, rr2 = feed "rev" (List.rev a1) (List.rev b1) in
+  let pull_ok = sb1 = sb2 && sc1 = sc2 in
+  let verdict_ok = Cohort.Diff.encode rr1 = Cohort.Diff.encode rr2 in
+  Printf.printf "registry permutation: pulls %s, report %s\n"
+    (if pull_ok then "byte-identical" else "DIVERGED")
+    (if verdict_ok then "unchanged" else "CHANGED");
+  if not (pull_ok && verdict_ok) then incr failures;
+  if assertions then
+    (* The acceptance bar: a full rank swap must flip at every swept
+       sampling rate, and identical arms must never flip. *)
+    List.iter
+      (fun ((rate, div), r) ->
+        if div >= 1.0 && r.Cohort.Diff.r_verdict <> Cohort.Diff.Flip then begin
+          incr failures;
+          Printf.eprintf
+            "canary: planted full divergence undetected at rate 1/%g\n"
+            (1.0 /. rate)
+        end;
+        if div <= 0.0 && r.Cohort.Diff.r_verdict <> Cohort.Diff.No_flip
+        then begin
+          incr failures;
+          Printf.eprintf "canary: identical arms reported a flip at rate 1/%g\n"
+            (1.0 /. rate)
+        end)
+      results;
+  if !failures > 0 then begin
+    Printf.eprintf "canary benchmark: %d failure(s)\n" !failures;
+    exit 1
+  end
+
+let canary () =
+  canary_for "li" ~users:40 ~rates:[ 1.0; 0.1; 0.01 ]
+    ~divergences:[ 0.0; 0.4; 0.8; 1.0 ] ~assertions:true
+
+let canary_smoke () =
+  canary_for "li" ~users:30 ~rates:[ 1.0; 0.01 ] ~divergences:[ 0.0; 1.0 ]
+    ~assertions:true
+
 let all = [ "fig1", fig1; "fig4", fig4; "fig5", fig5; "fig6", fig6;
             "bytes-per-line", bytes_per_line; "ablation", ablation;
             "stale", stale; "micro", micro; "incremental", incremental;
@@ -1602,7 +1752,8 @@ let all = [ "fig1", fig1; "fig4", fig4; "fig5", fig5; "fig6", fig6;
             "fault-sweep", fault_sweep; "fault-sweep-smoke", fault_sweep_smoke;
             "storm", storm; "storm-smoke", storm_smoke;
             "dist", dist; "dist-smoke", dist_smoke;
-            "pgo", pgo; "pgo-smoke", pgo_smoke ]
+            "pgo", pgo; "pgo-smoke", pgo_smoke;
+            "canary", canary; "canary-smoke", canary_smoke ]
 
 let () =
   let requested =

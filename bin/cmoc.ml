@@ -236,7 +236,8 @@ let remote_compile ~socket ~(options : Options.t) ~fault sources =
   | Proto.Failed { reason; _ } -> fail "cmocd build failed: %s" reason
   | Proto.Pong | Proto.Stats_reply _ | Proto.Shutting_down
   | Proto.Cache_hit _ | Proto.Cache_miss | Proto.Cache_stored
-  | Proto.Profile_stored _ | Proto.Profile_db _ ->
+  | Proto.Profile_stored _ | Proto.Profile_db _ | Proto.Cohort_listing _
+  | Proto.Cohort_stored _ | Proto.Cohort_db _ | Proto.Cohort_report _ ->
     fail "cmocd protocol error: unexpected reply"
   | Proto.Built { objects; report; _ } -> (
     let objects = List.map Cmo_link.Objfile.decode objects in
@@ -732,6 +733,36 @@ let pp_ingest_stats (st : Ingest.stats) =
     st.Ingest.ing_shards st.Ingest.ing_skipped st.Ingest.ing_skewed
     st.Ingest.ing_clamped st.Ingest.ing_weight
 
+(* The machine-readable twin of [pp_ingest_stats]: the same flat
+   numeric-fields-in-an-object shape as [Pipeline.report_to_json], so
+   dashboards consume both with one parser.  The unmatched fields only
+   appear when the caller supplied sources to correlate against. *)
+let ingest_report_json (st : Ingest.stats) db unmatched =
+  let n v = Json.Num v in
+  let ni v = Json.Num (float_of_int v) in
+  let base =
+    [
+      ("shards_merged", ni st.Ingest.ing_shards);
+      ("shards_skipped", ni st.Ingest.ing_skipped);
+      ("shards_skewed", ni st.Ingest.ing_skewed);
+      ("shards_clamped", ni st.Ingest.ing_clamped);
+      ("applied_weight", n st.Ingest.ing_weight);
+      ("counters", ni (List.length (Db.entries db)));
+      ("total_count", n (Db.total db));
+    ]
+  in
+  let extra =
+    match unmatched with
+    | None -> []
+    | Some (cst : Cmo_profile.Correlate.stats) ->
+      [
+        ("matched_count", n cst.Cmo_profile.Correlate.total_count);
+        ("unmatched_keys", ni cst.Cmo_profile.Correlate.unmatched_keys);
+        ("unmatched_weight", n cst.Cmo_profile.Correlate.unmatched_weight);
+      ]
+  in
+  Json.to_string (Json.Obj (base @ extra))
+
 let profile_ingest_cmd =
   let packs_arg =
     Arg.(non_empty & pos_all file [] & info [] ~docv:"PACK"
@@ -742,7 +773,13 @@ let profile_ingest_cmd =
     Arg.(value & opt string "fleet.prof" & info [ "o" ] ~docv:"FILE"
            ~doc:"Merged canonical profile database output path.")
   in
-  let action packs out policy =
+  let against_arg =
+    Arg.(value & opt_all file [] & info [ "against" ] ~docv:"SRC"
+           ~doc:"Source files to correlate the merged database \
+                 against; adds unmatched key/weight accounting to the \
+                 JSON report (repeatable).")
+  in
+  let action packs out policy report_json against =
     try
       let db, st = Ingest.ingest_paths ~policy packs in
       Db.save db out;
@@ -750,35 +787,78 @@ let profile_ingest_cmd =
       Printf.printf "wrote %s (%d counters, total count %.0f)\n" out
         (List.length (Db.entries db))
         (Db.total db);
+      let unmatched =
+        if against = [] then None
+        else begin
+          let modules =
+            Pipeline.frontend (List.map source_of_path against)
+          in
+          let cst = Cmo_profile.Correlate.annotate db modules in
+          Cmo_profile.Correlate.clear modules;
+          Printf.printf "against %d modules: %d unmatched keys, weight %.0f\n"
+            (List.length modules)
+            cst.Cmo_profile.Correlate.unmatched_keys
+            cst.Cmo_profile.Correlate.unmatched_weight;
+          Some cst
+        end
+      in
+      write_report_json report_json (ingest_report_json st db unmatched);
       `Ok ()
-    with Sys_error m -> `Error (false, m)
+    with
+    | Sys_error m -> `Error (false, m)
+    | Pipeline.Compile_error m -> `Error (false, m)
   in
   let doc = "Merge fleet shard packs into one canonical profile database." in
   Cmd.v (Cmd.info "ingest" ~doc)
-    Term.(ret (const action $ packs_arg $ out_arg $ profile_policy_args))
+    Term.(ret (const action $ packs_arg $ out_arg $ profile_policy_args
+               $ report_json_arg $ against_arg))
+
+(* --cohort NAME routes push/pull at a named cohort instead of the
+   daemon's anonymous fleet pack; $CMO_COHORT supplies the default. *)
+let cohort_opt_arg =
+  Arg.(value & opt (some string) None & info [ "cohort" ] ~docv:"NAME"
+         ~doc:"Route this operation at the named daemon cohort \
+               instead of the anonymous fleet pack.  Defaults to \
+               \\$CMO_COHORT when set.")
+
+let resolve_cohort = function
+  | Some name -> Some name
+  | None -> Options.env.Options.env_cohort
 
 let profile_push_cmd =
   let packs_arg =
     Arg.(non_empty & pos_all file [] & info [] ~docv:"PACK"
            ~doc:"Shard packs whose shards are uploaded to the daemon.")
   in
-  let action packs socket =
+  let action packs socket cohort =
     try
       let socket = resolve_socket socket in
+      let cohort = resolve_cohort cohort in
       let pushed = ref 0 and skipped = ref 0 and stored = ref 0 in
       Client.with_connect ~socket (fun c ->
           List.iter
             (fun pack ->
               let shards, damaged = Ingest.read_pack pack in
               skipped := !skipped + damaged;
-              List.iter
-                (fun s ->
-                  stored := Client.profile_put c (Ingest.encode_shard s);
-                  incr pushed)
-                shards)
+              match cohort with
+              | Some name ->
+                stored :=
+                  Client.cohort_ingest c ~cohort:name
+                    (List.map Ingest.encode_shard shards);
+                pushed := !pushed + List.length shards
+              | None ->
+                List.iter
+                  (fun s ->
+                    stored := Client.profile_put c (Ingest.encode_shard s);
+                    incr pushed)
+                  shards)
             packs);
-      Printf.printf "pushed %d shards (%d damaged skipped); daemon holds %d\n"
-        !pushed !skipped !stored;
+      Printf.printf "pushed %d shards (%d damaged skipped); %s holds %d\n"
+        !pushed !skipped
+        (match cohort with
+        | Some name -> Printf.sprintf "cohort %s" name
+        | None -> "daemon")
+        !stored;
       `Ok ()
     with
     | Pipeline.Compile_error m | Sys_error m | Client.Protocol_error m ->
@@ -788,19 +868,21 @@ let profile_push_cmd =
   in
   let doc = "Upload fleet shards to a cmocd daemon." in
   Cmd.v (Cmd.info "push" ~doc)
-    Term.(ret (const action $ packs_arg $ socket_arg))
+    Term.(ret (const action $ packs_arg $ socket_arg $ cohort_opt_arg))
 
 let profile_pull_cmd =
   let out_arg =
     Arg.(value & opt string "fleet.prof" & info [ "o" ] ~docv:"FILE"
            ~doc:"Where to write the daemon's merged canonical database.")
   in
-  let action out socket fp =
+  let action out socket fp cohort =
     try
       let socket = resolve_socket socket in
       let data, shards, skipped =
         Client.with_connect ~socket (fun c ->
-            Client.profile_get c ~current_fp:fp)
+            match resolve_cohort cohort with
+            | Some name -> Client.cohort_pull c ~cohort:name ~current_fp:fp
+            | None -> Client.profile_get c ~current_fp:fp)
       in
       (* The daemon's bytes are already canonical; write them verbatim
          so pull-vs-local-ingest byte comparisons are meaningful. *)
@@ -816,13 +898,323 @@ let profile_pull_cmd =
   in
   let doc = "Fetch the daemon's merged fleet profile." in
   Cmd.v (Cmd.info "pull" ~doc)
-    Term.(ret (const action $ out_arg $ socket_arg $ fp_arg))
+    Term.(ret (const action $ out_arg $ socket_arg $ fp_arg $ cohort_opt_arg))
+
+(* ---- profile ab: the A/B arm generator ---- *)
+
+let profile_ab_cmd =
+  let prof_arg =
+    Arg.(required & opt (some file) None & info [ "profile" ] ~docv:"FILE"
+           ~doc:"Oracle profile database ($(b,cmoc train) output) both \
+                 arms sample from.")
+  in
+  let divergence_arg =
+    Arg.(value & opt float 0.5 & info [ "divergence" ] ~docv:"F"
+           ~doc:"Planted divergence of arm B, in [0,1]: 0 makes the \
+                 arms byte-identical, 1 swaps the hottest and coldest \
+                 keys outright.")
+  in
+  let users_arg =
+    Arg.(value & opt int 40 & info [ "users" ] ~docv:"N"
+           ~doc:"Simulated users per arm.")
+  in
+  let rate_arg =
+    Arg.(value & opt float 1.0 & info [ "sample-rate" ] ~docv:"R"
+           ~doc:"Per-event recording probability, in (0,1].")
+  in
+  let noise_arg =
+    Arg.(value & opt float 0.1 & info [ "noise" ] ~docv:"X"
+           ~doc:"Relative per-key jitter.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"N"
+           ~doc:"Fleet seed (both arms share it, so divergence 0 \
+                 yields byte-identical arms).")
+  in
+  let a_arg =
+    Arg.(value & opt string "armA.shards" & info [ "a" ] ~docv:"FILE"
+           ~doc:"Arm A shard pack output (replaced).")
+  in
+  let b_arg =
+    Arg.(value & opt string "armB.shards" & info [ "b" ] ~docv:"FILE"
+           ~doc:"Arm B shard pack output (replaced).")
+  in
+  let action paths prof divergence users rate noise seed a b =
+    try
+      let oracle = Db.load prof in
+      let current_fp = fingerprint_of_paths paths in
+      let cfg =
+        {
+          Cmo_workload.Fleet.users;
+          sample_rate = rate;
+          stale_fraction = 0.0;
+          noise;
+          fleet_seed = seed;
+        }
+      in
+      let arm_a, arm_b =
+        Cmo_workload.Fleet.ab_arms cfg ~oracle ~current_fp ~divergence
+      in
+      Ingest.write_pack a arm_a;
+      Ingest.write_pack b arm_b;
+      Printf.printf
+        "wrote %s and %s (%d users per arm, divergence %.2f, rate %g)\n" a b
+        users divergence rate;
+      `Ok ()
+    with Sys_error m | Cmo_support.Codec.Reader.Corrupt m -> `Error (false, m)
+  in
+  let doc =
+    "Generate the two shard packs of a canary experiment: arm A \
+     samples the oracle, arm B a divergence-diverted copy."
+  in
+  Cmd.v (Cmd.info "ab" ~doc)
+    Term.(ret (const action $ sources_arg $ prof_arg $ divergence_arg
+               $ users_arg $ rate_arg $ noise_arg $ seed_arg $ a_arg $ b_arg))
+
+(* ---- profile cohort: the named registry ---- *)
+
+let state_dir_arg =
+  Arg.(value & opt (some string) None & info [ "state-dir" ] ~docv:"DIR"
+         ~doc:"Operate on the cohort registry under this cmocd state \
+               directory without a daemon (offline mode).")
+
+(* Remote when a socket is named (flag or $CMO_SOCKET), local when a
+   state dir is; naming both is ambiguous and refused. *)
+let cohort_mode socket state_dir =
+  match (socket, state_dir) with
+  | Some _, Some _ ->
+    raise (Pipeline.Compile_error "--socket and --state-dir are exclusive")
+  | None, Some dir -> `Local (Filename.concat dir "cohorts")
+  | Some s, None -> `Remote s
+  | None, None -> (
+    match Options.env.Options.env_socket with
+    | Some s -> `Remote s
+    | None ->
+      raise
+        (Pipeline.Compile_error
+           "cohort operations need --socket/$CMO_SOCKET or --state-dir"))
+
+let cohort_name_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"COHORT"
+         ~doc:"Cohort name ([A-Za-z0-9_.-], not starting with . or -).")
+
+let cohort_errors = function
+  | Pipeline.Compile_error m | Sys_error m | Client.Protocol_error m ->
+    `Error (false, m)
+  | Cmo_profile.Cohort.Bad_name n -> `Error (false, "bad cohort name: " ^ n)
+  | Unix.Unix_error (e, _, _) ->
+    `Error (false, "cannot reach cmocd: " ^ Unix.error_message e)
+  | e -> raise e
+
+let cohort_create_cmd =
+  let action name socket state_dir =
+    try
+      (match cohort_mode socket state_dir with
+      | `Remote socket ->
+        ignore
+          (Client.with_connect ~socket (fun c ->
+               Client.cohort_ingest c ~cohort:name []))
+      | `Local dir ->
+        let reg = Cmo_profile.Cohort.open_ ~dir in
+        Cmo_profile.Cohort.create reg name);
+      Printf.printf "created cohort %s\n" name;
+      `Ok ()
+    with e -> cohort_errors e
+  in
+  let doc = "Create an empty named cohort (idempotent)." in
+  Cmd.v (Cmd.info "create" ~doc)
+    Term.(ret (const action $ cohort_name_arg $ socket_arg $ state_dir_arg))
+
+let cohort_ingest_cmd =
+  let packs_arg =
+    Arg.(non_empty & pos_right 0 file [] & info [] ~docv:"PACK"
+           ~doc:"Shard packs whose shards join the cohort.")
+  in
+  let action name packs socket state_dir =
+    try
+      let shards = ref [] and damaged = ref 0 in
+      List.iter
+        (fun pack ->
+          let ss, d = Ingest.read_pack pack in
+          shards := !shards @ ss;
+          damaged := !damaged + d)
+        packs;
+      let stored =
+        match cohort_mode socket state_dir with
+        | `Remote socket ->
+          Client.with_connect ~socket (fun c ->
+              Client.cohort_ingest c ~cohort:name
+                (List.map Ingest.encode_shard !shards))
+        | `Local dir ->
+          let reg = Cmo_profile.Cohort.open_ ~dir in
+          Cmo_profile.Cohort.create reg name;
+          Cmo_profile.Cohort.ingest_into reg name !shards
+      in
+      Printf.printf
+        "cohort %s holds %d shards (%d ingested, %d damaged skipped on read)\n"
+        name stored (List.length !shards) !damaged;
+      `Ok ()
+    with e -> cohort_errors e
+  in
+  let doc = "Append fleet shards to a named cohort (created as needed)." in
+  Cmd.v (Cmd.info "ingest" ~doc)
+    Term.(ret (const action $ cohort_name_arg $ packs_arg $ socket_arg
+               $ state_dir_arg))
+
+let cohort_list_cmd =
+  let action socket state_dir =
+    try
+      let infos =
+        match cohort_mode socket state_dir with
+        | `Remote socket ->
+          Client.with_connect ~socket (fun c -> Client.cohort_list c)
+        | `Local dir -> Cmo_profile.Cohort.list (Cmo_profile.Cohort.open_ ~dir)
+      in
+      if infos = [] then Printf.printf "no cohorts\n"
+      else
+        List.iter
+          (fun (i : Cmo_profile.Cohort.info) ->
+            Printf.printf "%-24s %5d shards %4d damaged %8d bytes%s%s\n"
+              i.Cmo_profile.Cohort.ci_name i.ci_shards i.ci_damaged i.ci_bytes
+              (if i.ci_snapshot then "  [snapshot]" else "")
+              (match i.ci_tags with
+              | [] -> ""
+              | tags -> "  tags: " ^ String.concat "," tags))
+          infos;
+      `Ok ()
+    with e -> cohort_errors e
+  in
+  let doc = "List the registry's named cohorts." in
+  Cmd.v (Cmd.info "list" ~doc)
+    Term.(ret (const action $ socket_arg $ state_dir_arg))
+
+let cohort_diff_cmd =
+  let base_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BASE"
+           ~doc:"Base (stable) cohort.")
+  in
+  let canary_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"CANARY"
+           ~doc:"Canary cohort.")
+  in
+  let diff_sources_arg =
+    Arg.(non_empty & pos_right 1 file [] & info [] ~docv:"SOURCES"
+           ~doc:"The program whose hot-set selection is compared.")
+  in
+  let percent_arg =
+    Arg.(value & opt float 20.0 & info [ "percent" ] ~docv:"P"
+           ~doc:"Hot-set selection percentage (as in PBO selectivity).")
+  in
+  let threshold_arg =
+    Arg.(value & opt (some float) None & info [ "threshold" ] ~docv:"T"
+           ~doc:"Would-flip share threshold in (0,1]; defaults to \
+                 \\$CMO_FLIP_THRESHOLD, else 0.02.")
+  in
+  let fail_on_flip_flag =
+    Arg.(value & flag & info [ "fail-on-flip" ]
+           ~doc:"Exit non-zero when the verdict is FLIP — the alerting \
+                 hook for canary pipelines.")
+  in
+  let action base canary paths socket state_dir percent threshold report_json
+      fail_on_flip =
+    try
+      let threshold =
+        match threshold with
+        | Some t -> t
+        | None -> (
+          match Options.env.Options.env_flip_threshold with
+          | Some t -> t
+          | None -> Cmo_profile.Cohort.Diff.default_threshold)
+      in
+      let sources = List.map source_of_path paths in
+      let report =
+        match cohort_mode socket state_dir with
+        | `Remote socket ->
+          Client.with_connect ~socket (fun c ->
+              Client.cohort_diff c ~base ~canary ~percent ~threshold sources)
+        | `Local dir ->
+          let reg = Cmo_profile.Cohort.open_ ~dir in
+          let current_fp =
+            Ingest.fingerprint
+              (List.map
+                 (fun (s : Pipeline.source) ->
+                   (s.Pipeline.name, s.Pipeline.text))
+                 sources)
+          in
+          let policy = Ingest.default_policy ~current_fp in
+          let base_db = fst (Cmo_profile.Cohort.pull reg ~policy base) in
+          let canary_db = fst (Cmo_profile.Cohort.pull reg ~policy canary) in
+          let modules = Pipeline.frontend sources in
+          let hot label db =
+            Cmo_hlo.Selectivity.cohort_hot_set ~percent ~label db modules
+          in
+          Cmo_profile.Cohort.Diff.diff ~threshold ~base:(hot base base_db)
+            (hot canary canary_db)
+      in
+      Format.printf "%a@?" Cmo_profile.Cohort.Diff.pp_report report;
+      write_report_json report_json
+        (Json.to_string (Cmo_profile.Cohort.Diff.report_to_json report));
+      if fail_on_flip && report.Cmo_profile.Cohort.Diff.r_verdict = Flip then
+        `Error (false, "canary would flip the hot set")
+      else `Ok ()
+    with e -> cohort_errors e
+  in
+  let doc =
+    "Compare the module/function hot sets two cohorts induce on a \
+     program and report the would-flip verdict."
+  in
+  Cmd.v (Cmd.info "diff" ~doc)
+    Term.(ret (const action $ base_arg $ canary_arg $ diff_sources_arg
+               $ socket_arg $ state_dir_arg $ percent_arg $ threshold_arg
+               $ report_json_arg $ fail_on_flip_flag))
+
+let cohort_gc_cmd =
+  let drop_arg =
+    Arg.(value & opt_all string [] & info [ "drop" ] ~docv:"NAME"
+           ~doc:"Remove this cohort entirely (repeatable).")
+  in
+  let gc_state_dir_arg =
+    Arg.(value & opt string ".cmocd" & info [ "state-dir" ] ~docv:"DIR"
+           ~doc:"The cmocd state directory whose registry is swept \
+                 (run offline; stop the daemon first).")
+  in
+  let action state_dir drops =
+    try
+      let reg =
+        Cmo_profile.Cohort.open_ ~dir:(Filename.concat state_dir "cohorts")
+      in
+      let st = Cmo_profile.Cohort.gc ~drop:drops reg in
+      Printf.printf
+        "gc: %d cohorts kept (%d shards), %d removed, %d damaged frames \
+         compacted, %d bytes reclaimed\n"
+        st.Cmo_profile.Cohort.gc_cohorts st.gc_kept_shards st.gc_removed
+        st.gc_damage_dropped st.gc_bytes_reclaimed;
+      `Ok ()
+    with e -> cohort_errors e
+  in
+  let doc =
+    "Sweep the cohort registry offline: drop named cohorts, compact \
+     damaged packs, delete orphan metadata."
+  in
+  Cmd.v (Cmd.info "gc" ~doc)
+    Term.(ret (const action $ gc_state_dir_arg $ drop_arg))
+
+let profile_cohort_cmd =
+  let doc =
+    "Named profile cohorts: create, ingest, list, selection-diff, gc."
+  in
+  Cmd.group (Cmd.info "cohort" ~doc)
+    [ cohort_create_cmd; cohort_ingest_cmd; cohort_list_cmd; cohort_diff_cmd;
+      cohort_gc_cmd ]
 
 let profile_cmd =
-  let doc = "Fleet profile operations: fingerprint, shard, ingest, push, pull." in
+  let doc =
+    "Fleet profile operations: fingerprint, shard, ingest, push, pull, \
+     ab, cohort."
+  in
   Cmd.group (Cmd.info "profile" ~doc)
     [ profile_fingerprint_cmd; profile_shard_cmd; profile_ingest_cmd;
-      profile_push_cmd; profile_pull_cmd ]
+      profile_push_cmd; profile_pull_cmd; profile_ab_cmd; profile_cohort_cmd ]
 
 (* ---- build ---- *)
 

@@ -36,7 +36,16 @@
 # smoke (eight shards including one corrupted and one version-skewed;
 # ingest must skip-and-count, two arrival orders must produce
 # byte-identical merged databases, and PBO builds from both must
-# agree).  Run from the repository root.
+# agree).  Profile cohorts are gated the same way: the canary-smoke
+# benchmark (divergence x sampling sweep with the would-flip verdict,
+# the divergence-0 identity law, and registry arrival-order
+# permutation), and a process-level canary smoke — a live cmocd holds
+# a stable cohort and two canary cohorts fed from the arms of an A/B
+# fleet; the diff against the divergent arm must report FLIP (and
+# --fail-on-flip must exit nonzero), the diff against the identical
+# arm must report no-flip, and a cohort pull must be byte-identical
+# to a local ingest of the same shards.  Run from the repository
+# root.
 set -eu
 
 echo "== dune build =="
@@ -66,6 +75,9 @@ dune exec bench/main.exe -- fault-sweep-smoke
 echo "== fleet PGO smoke (sampling x staleness sweep) =="
 dune exec bench/main.exe -- pgo-smoke
 
+echo "== canary flip smoke (divergence x sampling sweep) =="
+dune exec bench/main.exe -- canary-smoke
+
 echo "== fault suite (fixed seed) =="
 CMO_JOBS=1 CMO_FUZZ_SEED=1 dune exec test/test_main.exe -- test fault
 
@@ -80,9 +92,11 @@ CMOCD_PID=
 DIST_DIR=
 DIST_PID=
 PROF_DIR=
+COHORT_PID=
 cleanup() {
   [ -n "$CMOCD_PID" ] && kill "$CMOCD_PID" 2>/dev/null || true
   [ -n "$DIST_PID" ] && kill "$DIST_PID" 2>/dev/null || true
+  [ -n "$COHORT_PID" ] && kill "$COHORT_PID" 2>/dev/null || true
   rm -rf "$SMOKE_DIR"
   [ -n "$DIST_DIR" ] && rm -rf "$DIST_DIR"
   [ -n "$PROF_DIR" ] && rm -rf "$PROF_DIR"
@@ -190,6 +204,71 @@ cmp "$PROF_DIR/fleetA.prof" "$PROF_DIR/fleetB.prof" || {
   --input 1000,17 "$PROF_DIR"/src/*.mc > "$PROF_DIR/buildB.out"
 cmp "$PROF_DIR/buildA.out" "$PROF_DIR/buildB.out"
 echo "ingest smoke OK"
+
+echo "== profile cohort canary smoke (process level) =="
+# Two A/B arms with a planted full-rank divergence, three cohorts on
+# a live daemon: stable (arm A), canary (the divergent arm B), and
+# canary-same (arm A again).  The diff against canary must report a
+# FLIP and --fail-on-flip must turn it into a nonzero exit; the diff
+# against canary-same must report no-flip; and a daemon-side cohort
+# pull must be byte-identical to a local ingest of the same shards.
+"$CMOC" profile ab --profile "$PROF_DIR/app.prof" --divergence 1.0 \
+  --users 30 -a "$PROF_DIR/armA.shards" -b "$PROF_DIR/armB.shards" \
+  "$PROF_DIR"/src/*.mc > /dev/null
+CSOCK="$PROF_DIR/cmocd.sock"
+"$CMOCD" --socket "$CSOCK" --state-dir "$PROF_DIR/state" -j 2 &
+COHORT_PID=$!
+i=0
+while [ ! -S "$CSOCK" ] && [ "$i" -lt 100 ]; do sleep 0.1; i=$((i + 1)); done
+[ -S "$CSOCK" ] || { echo "cmocd (cohort) never came up"; exit 1; }
+"$CMOC" profile cohort create stable --socket "$CSOCK"
+"$CMOC" profile cohort ingest stable "$PROF_DIR/armA.shards" \
+  --socket "$CSOCK"
+"$CMOC" profile cohort ingest canary "$PROF_DIR/armB.shards" \
+  --socket "$CSOCK"
+"$CMOC" profile cohort ingest canary-same "$PROF_DIR/armA.shards" \
+  --socket "$CSOCK"
+"$CMOC" profile cohort list --socket "$CSOCK" > "$PROF_DIR/cohorts.out"
+for name in stable canary canary-same; do
+  grep -q "$name" "$PROF_DIR/cohorts.out" || {
+    echo "canary smoke: cohort $name missing from the listing"
+    exit 1
+  }
+done
+"$CMOC" profile cohort diff stable canary --socket "$CSOCK" \
+  "$PROF_DIR"/src/*.mc > "$PROF_DIR/flip.out"
+cat "$PROF_DIR/flip.out"
+grep -q "cohort-diff: FLIP" "$PROF_DIR/flip.out" || {
+  echo "canary smoke: planted divergence not detected"
+  exit 1
+}
+if "$CMOC" profile cohort diff stable canary --fail-on-flip \
+  --socket "$CSOCK" "$PROF_DIR"/src/*.mc > /dev/null 2>&1; then
+  echo "canary smoke: --fail-on-flip exited zero on a flip"
+  exit 1
+fi
+"$CMOC" profile cohort diff stable canary-same --socket "$CSOCK" \
+  "$PROF_DIR"/src/*.mc > "$PROF_DIR/same.out"
+grep -q "cohort-diff: no-flip" "$PROF_DIR/same.out" || {
+  echo "canary smoke: identical arms reported a flip"
+  exit 1
+}
+"$CMOC" profile pull -o "$PROF_DIR/pulled.prof" --cohort stable \
+  --fp "$FP" --socket "$CSOCK" > /dev/null
+"$CMOC" profile ingest --fp "$FP" -o "$PROF_DIR/localA.prof" \
+  "$PROF_DIR/armA.shards" > /dev/null
+cmp "$PROF_DIR/pulled.prof" "$PROF_DIR/localA.prof" || {
+  echo "canary smoke: daemon pull diverged from a local ingest"
+  exit 1
+}
+kill -TERM "$COHORT_PID"
+wait "$COHORT_PID" || true
+COHORT_PID=
+if [ -S "$CSOCK" ]; then
+  echo "canary smoke: socket left behind after shutdown"
+  exit 1
+fi
+echo "canary smoke OK"
 
 echo "== distributed CMO smoke (dist-smoke bench) =="
 dune exec bench/main.exe -- dist-smoke

@@ -35,6 +35,8 @@ type env = {
   env_queue_max : int;  (* CMO_QUEUE_MAX, >= 1; else 64 *)
   env_dist : bool;  (* CMO_DIST: anything but unset/""/"0" *)
   env_dist_worker : string option;  (* CMO_DIST_WORKER: worker binary *)
+  env_cohort : string option;  (* CMO_COHORT: default profile cohort *)
+  env_flip_threshold : float option;  (* CMO_FLIP_THRESHOLD, in (0,1] *)
 }
 
 let from_env ?(get = Sys.getenv_opt) () =
@@ -61,6 +63,15 @@ let from_env ?(get = Sys.getenv_opt) () =
       (match get "CMO_DIST" with Some ("" | "0") | None -> false | Some _ -> true);
     env_dist_worker =
       (match get "CMO_DIST_WORKER" with Some "" | None -> None | some -> some);
+    env_cohort =
+      (match get "CMO_COHORT" with Some "" | None -> None | some -> some);
+    env_flip_threshold =
+      (match
+         Option.bind (get "CMO_FLIP_THRESHOLD") (fun s ->
+             float_of_string_opt (String.trim s))
+       with
+      | Some f when f > 0.0 && f <= 1.0 -> Some f
+      | _ -> None);
   }
 
 let env = from_env ()

@@ -107,6 +107,13 @@ type env = {
       (** [$CMO_DIST_WORKER] when non-empty: path to the
           [cmoc_worker] binary; otherwise it is resolved next to the
           running executable (see {!Distwork.resolve_worker}). *)
+  env_cohort : string option;
+      (** [$CMO_COHORT] when non-empty: the default cohort name for
+          [cmoc profile push/pull --cohort]. *)
+  env_flip_threshold : float option;
+      (** [$CMO_FLIP_THRESHOLD] when a float in (0, 1]: the default
+          would-flip share threshold for [cmoc profile cohort diff]
+          (else {!Cmo_profile.Cohort.Diff.default_threshold}). *)
 }
 
 val from_env : ?get:(string -> string option) -> unit -> env

@@ -13,9 +13,11 @@ type t = {
   lines_selected : int;
 }
 
-let select ~percent modules =
-  assert (percent >= 0.0 && percent <= 100.0);
-  (* Gather every call site with its count and coordinates. *)
+(* Gather every call site with its count and coordinates, hottest
+   first, ties broken by (module, function, site) so the order is
+   reproducible (paper section 6.2).  Also returns the function ->
+   module table the callee attribution needs. *)
+let collect_sites modules =
   let sites = ref [] in
   let func_module = Hashtbl.create 256 in
   List.iter
@@ -41,6 +43,9 @@ let select ~percent modules =
         | c -> c)
       !sites
   in
+  (all_sites, func_module)
+
+let top_sites ~percent all_sites =
   let sites_total = List.length all_sites in
   let keep =
     int_of_float (Float.round (percent /. 100.0 *. float_of_int sites_total))
@@ -52,7 +57,13 @@ let select ~percent modules =
       if count <= 0.0 then []  (* sorted: the rest are cold too *)
       else x :: take (n - 1) rest
   in
-  let selected = take keep all_sites in
+  take keep all_sites
+
+let select ~percent modules =
+  assert (percent >= 0.0 && percent <= 100.0);
+  let all_sites, func_module = collect_sites modules in
+  let sites_total = List.length all_sites in
+  let selected = top_sites ~percent all_sites in
   let selected_sites = List.map (fun (_, _, f, s, _) -> (f, s)) selected in
   let hot_set = Hashtbl.create 64 in
   let module_set = Hashtbl.create 16 in
@@ -102,6 +113,50 @@ let select ~percent modules =
   }
 
 let is_hot_function t name = List.mem name t.hot_functions
+
+(* The weighted hot set a profile database induces on a program: what
+   the cohort diff engine compares.  Weights are shares of the total
+   selected call traffic, attributed to both end points of each
+   selected site — that makes a share a meaningful "how much of the
+   hot path does this module carry" number, and two cohorts' shares
+   directly comparable. *)
+let cohort_hot_set ?(percent = 20.0) ~label db modules =
+  ignore (Cmo_profile.Correlate.annotate db modules);
+  Fun.protect
+    ~finally:(fun () -> Cmo_profile.Correlate.clear modules)
+    (fun () ->
+      let all_sites, func_module = collect_sites modules in
+      let selected = top_sites ~percent all_sites in
+      let mod_w = Hashtbl.create 16 and fun_w = Hashtbl.create 64 in
+      let bump tbl key w =
+        Hashtbl.replace tbl key
+          (w +. (match Hashtbl.find_opt tbl key with Some v -> v | None -> 0.0))
+      in
+      List.iter
+        (fun (count, m, caller, _, callee) ->
+          bump mod_w m count;
+          bump fun_w caller count;
+          if callee <> caller then bump fun_w callee count;
+          match Hashtbl.find_opt func_module callee with
+          | Some cm when cm <> m -> bump mod_w cm count
+          | _ -> ())
+        selected;
+      let shares tbl =
+        let entries = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+        let total = List.fold_left (fun acc (_, v) -> acc +. v) 0.0 entries in
+        if total <= 0.0 then []
+        else
+          List.map (fun (k, v) -> (k, v /. total)) entries
+          |> List.sort (fun (n1, s1) (n2, s2) ->
+                 match compare s2 s1 with
+                 | 0 -> String.compare n1 n2
+                 | c -> c)
+      in
+      {
+        Cmo_profile.Cohort.Diff.hs_label = label;
+        hs_modules = shares mod_w;
+        hs_functions = shares fun_w;
+      })
 
 let pp ppf t =
   Format.fprintf ppf

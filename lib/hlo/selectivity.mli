@@ -35,4 +35,18 @@ val select : percent:float -> Cmo_il.Ilmod.t list -> t
 
 val is_hot_function : t -> string -> bool
 
+val cohort_hot_set :
+  ?percent:float ->
+  label:string ->
+  Cmo_profile.Db.t ->
+  Cmo_il.Ilmod.t list ->
+  Cmo_profile.Cohort.Diff.hot_set
+(** The weighted hot set [db] induces on the program: annotate the
+    modules, retain the top [percent] (default 20) call sites, and
+    attribute each selected site's traffic to its caller/callee
+    modules and functions, normalized to shares of the selected
+    total.  Clears the annotations before returning, so the modules
+    come back count-free.  Deterministic in [(db, modules, percent)]
+    — the comparison surface of {!Cmo_profile.Cohort.Diff.diff}. *)
+
 val pp : Format.formatter -> t -> unit

@@ -59,7 +59,11 @@ let stats t =
       | Proto.Cache_miss -> "Cache_miss"
       | Proto.Cache_stored -> "Cache_stored"
       | Proto.Profile_stored _ -> "Profile_stored"
-      | Proto.Profile_db _ -> "Profile_db")
+      | Proto.Profile_db _ -> "Profile_db"
+      | Proto.Cohort_listing _ -> "Cohort_listing"
+      | Proto.Cohort_stored _ -> "Cohort_stored"
+      | Proto.Cohort_db _ -> "Cohort_db"
+      | Proto.Cohort_report _ -> "Cohort_report")
 
 let shutdown_server t =
   match roundtrip t Proto.Shutdown with
@@ -87,6 +91,35 @@ let profile_get t ~current_fp =
   match roundtrip t (Proto.Profile_get { current_fp }) with
   | Proto.Profile_db { data; shards; skipped } -> (data, shards, skipped)
   | _ -> fail "unexpected reply to Profile_get"
+
+let cohort_list t =
+  match roundtrip t Proto.Cohort_list with
+  | Proto.Cohort_listing { cohorts } -> cohorts
+  | Proto.Failed { reason; _ } -> fail "cohort list refused: %s" reason
+  | _ -> fail "unexpected reply to Cohort_list"
+
+let cohort_ingest t ~cohort shards =
+  match roundtrip t (Proto.Cohort_ingest { cohort; shards }) with
+  | Proto.Cohort_stored { shards; _ } -> shards
+  | Proto.Failed { reason; _ } -> fail "cohort ingest refused: %s" reason
+  | _ -> fail "unexpected reply to Cohort_ingest"
+
+let cohort_pull t ~cohort ~current_fp =
+  match roundtrip t (Proto.Cohort_pull { cohort; current_fp }) with
+  | Proto.Cohort_db { data; shards; skipped } -> (data, shards, skipped)
+  | Proto.Failed { reason; _ } -> fail "cohort pull refused: %s" reason
+  | _ -> fail "unexpected reply to Cohort_pull"
+
+let cohort_diff t ~base ~canary ~percent ~threshold sources =
+  match roundtrip t (Proto.Cohort_diff { base; canary; percent; threshold; sources })
+  with
+  | Proto.Cohort_report { report } -> (
+    match Cmo_profile.Cohort.Diff.decode report with
+    | report -> report
+    | exception Cmo_support.Codec.Reader.Corrupt m ->
+      fail "bad cohort report: %s" m)
+  | Proto.Failed { reason; _ } -> fail "cohort diff refused: %s" reason
+  | _ -> fail "unexpected reply to Cohort_diff"
 
 let remote t =
   (* The pipeline's contract is that a remote degrades internally: the

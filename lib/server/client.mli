@@ -49,6 +49,35 @@ val profile_get : t -> current_fp:string -> string * int * int
     (decay, skew and the poisoning clamp applied server-side).  An
     empty fleet is [(empty Db, 0, 0)], not an error. *)
 
+(** {2 Profile cohorts} *)
+
+val cohort_list : t -> Cmo_profile.Cohort.info list
+(** The daemon's named cohorts, sorted by name. *)
+
+val cohort_ingest : t -> cohort:string -> string list -> int
+(** Append encoded shards to a named cohort (created as needed; an
+    empty list just creates); returns the cohort's decodable-shard
+    count.  Raises {!Protocol_error} on a bad name or garbage
+    shard. *)
+
+val cohort_pull : t -> cohort:string -> current_fp:string -> string * int * int
+(** {!profile_get} against one named cohort: [(db bytes, shards
+    merged, shards skipped)] — byte-identical to a local ingest of
+    the same shards.  An unknown cohort is an empty database, not an
+    error. *)
+
+val cohort_diff :
+  t ->
+  base:string ->
+  canary:string ->
+  percent:float ->
+  threshold:float ->
+  Cmo_driver.Pipeline.source list ->
+  Cmo_profile.Cohort.Diff.report
+(** Ask the daemon whether [canary] induces a different module hot
+    set than [base] on this program (selection at [percent], flip
+    verdict at [threshold]). *)
+
 val remote : t -> Cmo_driver.Distwork.remote
 (** Wrap the connection as a degrading remote cache for
     {!Cmo_driver.Pipeline.compile}: any transport or protocol failure

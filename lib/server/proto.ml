@@ -22,6 +22,16 @@ type request =
   | Cache_put of { key : string; data : string }
   | Profile_put of { shard : string }
   | Profile_get of { current_fp : string }
+  | Cohort_list
+  | Cohort_ingest of { cohort : string; shards : string list }
+  | Cohort_pull of { cohort : string; current_fp : string }
+  | Cohort_diff of {
+      base : string;
+      canary : string;
+      percent : float;
+      threshold : float;
+      sources : Pipeline.source list;
+    }
 
 type stats = {
   accepted : int;
@@ -46,6 +56,10 @@ type response =
   | Cache_stored
   | Profile_stored of { shards : int }
   | Profile_db of { data : string; shards : int; skipped : int }
+  | Cohort_listing of { cohorts : Cmo_profile.Cohort.info list }
+  | Cohort_stored of { cohort : string; shards : int }
+  | Cohort_db of { data : string; shards : int; skipped : int }
+  | Cohort_report of { report : string }
 
 (* ---- binary encoding (Codec, same substrate as object files) ---- *)
 
@@ -65,6 +79,19 @@ let write_option w f = function
 
 let read_option r f = if Codec.Reader.bool r then Some (f r) else None
 
+let write_sources w sources =
+  Codec.Writer.list w
+    (fun (s : Pipeline.source) ->
+      Codec.Writer.string w s.Pipeline.name;
+      Codec.Writer.string w s.Pipeline.text)
+    sources
+
+let read_sources r =
+  Codec.Reader.list r (fun r ->
+      let name = Codec.Reader.string r in
+      let text = Codec.Reader.string r in
+      { Pipeline.name; text })
+
 let write_build_req w (b : build_req) =
   Codec.Writer.string w b.tag;
   Codec.Writer.byte w (level_tag b.level);
@@ -72,11 +99,7 @@ let write_build_req w (b : build_req) =
   Codec.Writer.uvarint w b.jobs;
   Codec.Writer.bool w b.check;
   write_option w (Codec.Writer.string w) b.fault;
-  Codec.Writer.list w
-    (fun (s : Pipeline.source) ->
-      Codec.Writer.string w s.Pipeline.name;
-      Codec.Writer.string w s.Pipeline.text)
-    b.sources
+  write_sources w b.sources
 
 let read_build_req r =
   let tag = Codec.Reader.string r in
@@ -85,12 +108,7 @@ let read_build_req r =
   let jobs = Codec.Reader.uvarint r in
   let check = Codec.Reader.bool r in
   let fault = read_option r Codec.Reader.string in
-  let sources =
-    Codec.Reader.list r (fun r ->
-        let name = Codec.Reader.string r in
-        let text = Codec.Reader.string r in
-        { Pipeline.name; text })
-  in
+  let sources = read_sources r in
   { tag; level; pbo; jobs; check; fault; sources }
 
 let string_of_request req =
@@ -114,7 +132,23 @@ let string_of_request req =
     Codec.Writer.string w shard
   | Profile_get { current_fp } ->
     Codec.Writer.byte w 8;
-    Codec.Writer.string w current_fp);
+    Codec.Writer.string w current_fp
+  | Cohort_list -> Codec.Writer.byte w 9
+  | Cohort_ingest { cohort; shards } ->
+    Codec.Writer.byte w 10;
+    Codec.Writer.string w cohort;
+    Codec.Writer.list w (Codec.Writer.string w) shards
+  | Cohort_pull { cohort; current_fp } ->
+    Codec.Writer.byte w 11;
+    Codec.Writer.string w cohort;
+    Codec.Writer.string w current_fp
+  | Cohort_diff { base; canary; percent; threshold; sources } ->
+    Codec.Writer.byte w 12;
+    Codec.Writer.string w base;
+    Codec.Writer.string w canary;
+    Codec.Writer.float w percent;
+    Codec.Writer.float w threshold;
+    write_sources w sources);
   Codec.Writer.contents w
 
 let request_of_reader r =
@@ -130,6 +164,22 @@ let request_of_reader r =
     Cache_put { key; data }
   | 7 -> Profile_put { shard = Codec.Reader.string r }
   | 8 -> Profile_get { current_fp = Codec.Reader.string r }
+  | 9 -> Cohort_list
+  | 10 ->
+    let cohort = Codec.Reader.string r in
+    let shards = Codec.Reader.list r Codec.Reader.string in
+    Cohort_ingest { cohort; shards }
+  | 11 ->
+    let cohort = Codec.Reader.string r in
+    let current_fp = Codec.Reader.string r in
+    Cohort_pull { cohort; current_fp }
+  | 12 ->
+    let base = Codec.Reader.string r in
+    let canary = Codec.Reader.string r in
+    let percent = Codec.Reader.float r in
+    let threshold = Codec.Reader.float r in
+    let sources = read_sources r in
+    Cohort_diff { base; canary; percent; threshold; sources }
   | n -> Codec.Reader.corrupt (Printf.sprintf "bad request tag %d" n)
 
 let write_stats w (s : stats) =
@@ -187,7 +237,30 @@ let string_of_response resp =
     Codec.Writer.byte w 11;
     Codec.Writer.string w data;
     Codec.Writer.uvarint w shards;
-    Codec.Writer.uvarint w skipped);
+    Codec.Writer.uvarint w skipped
+  | Cohort_listing { cohorts } ->
+    Codec.Writer.byte w 12;
+    Codec.Writer.list w
+      (fun (i : Cmo_profile.Cohort.info) ->
+        Codec.Writer.string w i.ci_name;
+        Codec.Writer.uvarint w i.ci_shards;
+        Codec.Writer.uvarint w i.ci_damaged;
+        Codec.Writer.uvarint w i.ci_bytes;
+        Codec.Writer.list w (Codec.Writer.string w) i.ci_tags;
+        Codec.Writer.bool w i.ci_snapshot)
+      cohorts
+  | Cohort_stored { cohort; shards } ->
+    Codec.Writer.byte w 13;
+    Codec.Writer.string w cohort;
+    Codec.Writer.uvarint w shards
+  | Cohort_db { data; shards; skipped } ->
+    Codec.Writer.byte w 14;
+    Codec.Writer.string w data;
+    Codec.Writer.uvarint w shards;
+    Codec.Writer.uvarint w skipped
+  | Cohort_report { report } ->
+    Codec.Writer.byte w 15;
+    Codec.Writer.string w report);
   Codec.Writer.contents w
 
 let response_of_reader r =
@@ -217,6 +290,29 @@ let response_of_reader r =
     let shards = Codec.Reader.uvarint r in
     let skipped = Codec.Reader.uvarint r in
     Profile_db { data; shards; skipped }
+  | 12 ->
+    let cohorts =
+      Codec.Reader.list r (fun r ->
+          let ci_name = Codec.Reader.string r in
+          let ci_shards = Codec.Reader.uvarint r in
+          let ci_damaged = Codec.Reader.uvarint r in
+          let ci_bytes = Codec.Reader.uvarint r in
+          let ci_tags = Codec.Reader.list r Codec.Reader.string in
+          let ci_snapshot = Codec.Reader.bool r in
+          { Cmo_profile.Cohort.ci_name; ci_shards; ci_damaged; ci_bytes;
+            ci_tags; ci_snapshot })
+    in
+    Cohort_listing { cohorts }
+  | 13 ->
+    let cohort = Codec.Reader.string r in
+    let shards = Codec.Reader.uvarint r in
+    Cohort_stored { cohort; shards }
+  | 14 ->
+    let data = Codec.Reader.string r in
+    let shards = Codec.Reader.uvarint r in
+    let skipped = Codec.Reader.uvarint r in
+    Cohort_db { data; shards; skipped }
+  | 15 -> Cohort_report { report = Codec.Reader.string r }
   | n -> Codec.Reader.corrupt (Printf.sprintf "bad response tag %d" n)
 
 let decode of_reader payload =

@@ -51,6 +51,31 @@ type request =
           accumulated shards under the default policy for
           [current_fp] (skew/decay/clamp applied server-side) and
           returns the canonical {!Cmo_profile.Db.encode} bytes. *)
+  | Cohort_list
+      (** Enumerate the daemon's named profile cohorts
+          ({!Cmo_profile.Cohort}); served inline like the cache pair. *)
+  | Cohort_ingest of { cohort : string; shards : string list }
+      (** Append encoded {!Cmo_profile.Ingest} shards to the named
+          cohort's pack, creating the cohort as needed — so an empty
+          list is "create".  Garbage shards are rejected, not stored;
+          a bad cohort name is rejected outright. *)
+  | Cohort_pull of { cohort : string; current_fp : string }
+      (** [Profile_get] against one named cohort: the daemon ingests
+          the cohort's shards under the default policy for
+          [current_fp] and returns canonical Db bytes — byte-identical
+          to a local ingest of the same shards. *)
+  | Cohort_diff of {
+      base : string;
+      canary : string;
+      percent : float;  (** Hot-set selection percentage. *)
+      threshold : float;  (** Would-flip share threshold. *)
+      sources : Cmo_driver.Pipeline.source list;
+          (** The program the selection question is about; the daemon
+              front-ends it and fingerprints it for the pull policy. *)
+    }
+      (** The canary question: does the [canary] cohort induce a
+          different module hot set than [base] on this program?
+          Returns an encoded {!Cmo_profile.Cohort.Diff.report}. *)
 
 type stats = {
   accepted : int;  (** Build requests admitted to the queue, ever. *)
@@ -91,6 +116,18 @@ type response =
           shards were merged and how many damaged ones were skipped.
           An empty pack is [shards = 0] with an empty-Db [data] —
           clients treat it like a cache miss, never an error. *)
+  | Cohort_listing of { cohorts : Cmo_profile.Cohort.info list }
+      (** [Cohort_list]: every cohort, sorted by name. *)
+  | Cohort_stored of { cohort : string; shards : int }
+      (** [Cohort_ingest] acknowledged; the cohort's pack now holds
+          this many decodable shards. *)
+  | Cohort_db of { data : string; shards : int; skipped : int }
+      (** [Cohort_pull]: same surface as [Profile_db].  An unknown
+          cohort is [shards = 0] with empty-Db [data], never an
+          error. *)
+  | Cohort_report of { report : string }
+      (** [Cohort_diff]: an encoded
+          {!Cmo_profile.Cohort.Diff.report}. *)
 
 val string_of_request : request -> string
 val request_of_string : string -> (request, string) result

@@ -4,6 +4,8 @@ module Codec = Cmo_support.Codec
 module Store = Cmo_cache.Store
 module Db = Cmo_profile.Db
 module Ingest = Cmo_profile.Ingest
+module Cohort = Cmo_profile.Cohort
+module Selectivity = Cmo_hlo.Selectivity
 module Options = Cmo_driver.Options
 module Pipeline = Cmo_driver.Pipeline
 module Buildsys = Cmo_driver.Buildsys
@@ -85,6 +87,10 @@ type t = {
      and the shard counter. *)
   profile_lock : Mutex.t;
   mutable profile_shards : int;
+  (* Named profile cohorts (canary vs stable, A/B arms), one registry
+     under state_dir; per-cohort packs are serialized by
+     [profile_lock] like the anonymous pack above. *)
+  cohorts : Cohort.t;
   (* Counters banked from stores closed by [reopen_store], so stats
      stay cumulative across chaos requests; under [session_lock]. *)
   mutable store_hits_base : int;
@@ -419,6 +425,119 @@ let conn_loop t id fd =
         if Obs.enabled () then Obs.tick "server" "profile_gets" 1;
         reply resp;
         loop ()
+      (* Cohort traffic: the same inline regime as the anonymous
+         profile pair, against the named registry under state_dir.
+         Bad cohort names and garbage shards are rejected at the door;
+         everything else degrades (an unknown cohort pulls as empty,
+         damage is skipped and counted by the registry reader). *)
+      | Ok Proto.Cohort_list ->
+        let resp =
+          with_shared t.gate @@ fun () ->
+          Mutex.lock t.profile_lock;
+          Fun.protect ~finally:(fun () -> Mutex.unlock t.profile_lock)
+          @@ fun () -> Proto.Cohort_listing { cohorts = Cohort.list t.cohorts }
+        in
+        reply resp;
+        loop ()
+      | Ok (Proto.Cohort_ingest { cohort; shards }) ->
+        let resp =
+          with_shared t.gate @@ fun () ->
+          Mutex.lock t.profile_lock;
+          Fun.protect ~finally:(fun () -> Mutex.unlock t.profile_lock)
+          @@ fun () ->
+          match List.map Ingest.decode_shard shards with
+          | exception Codec.Reader.Corrupt m ->
+            Proto.Failed { tag = ""; reason = "bad profile shard: " ^ m }
+          | decoded -> (
+            match
+              Cohort.create t.cohorts cohort;
+              Cohort.ingest_into t.cohorts cohort decoded
+            with
+            | n -> Proto.Cohort_stored { cohort; shards = n }
+            | exception Cohort.Bad_name n ->
+              Proto.Failed { tag = ""; reason = "bad cohort name: " ^ n }
+            | exception Sys_error m ->
+              Proto.Failed { tag = ""; reason = "cohort store: " ^ m })
+        in
+        if Obs.enabled () then Obs.tick "server" "cohort_ingests" 1;
+        reply resp;
+        loop ()
+      | Ok (Proto.Cohort_pull { cohort; current_fp }) ->
+        let resp =
+          with_shared t.gate @@ fun () ->
+          Mutex.lock t.profile_lock;
+          Fun.protect ~finally:(fun () -> Mutex.unlock t.profile_lock)
+          @@ fun () ->
+          match
+            let policy = Ingest.default_policy ~current_fp in
+            Cohort.pull t.cohorts ~policy cohort
+          with
+          | db, st ->
+            Proto.Cohort_db
+              {
+                data = Db.encode db;
+                shards = st.Ingest.ing_shards;
+                skipped = st.Ingest.ing_skipped;
+              }
+          | exception Cohort.Bad_name n ->
+            Proto.Failed { tag = ""; reason = "bad cohort name: " ^ n }
+        in
+        if Obs.enabled () then Obs.tick "server" "cohort_pulls" 1;
+        reply resp;
+        loop ()
+      | Ok (Proto.Cohort_diff { base; canary; percent; threshold; sources }) ->
+        let resp =
+          with_shared t.gate @@ fun () ->
+          match
+            if not (Cohort.valid_name base) then raise (Cohort.Bad_name base);
+            if not (Cohort.valid_name canary) then
+              raise (Cohort.Bad_name canary);
+            (* The floats arrive off the wire: clamp rather than let
+               garbage reach Selectivity's percent assertion. *)
+            let percent =
+              if Float.is_nan percent then 20.0
+              else Float.min 100.0 (Float.max 0.0 percent)
+            in
+            let threshold =
+              if Float.is_nan threshold || threshold < 0.0 then
+                Cohort.Diff.default_threshold
+              else threshold
+            in
+            let current_fp =
+              Ingest.fingerprint
+                (List.map
+                   (fun (s : Pipeline.source) ->
+                     (s.Pipeline.name, s.Pipeline.text))
+                   sources)
+            in
+            let policy = Ingest.default_policy ~current_fp in
+            let pull name =
+              Mutex.lock t.profile_lock;
+              Fun.protect ~finally:(fun () -> Mutex.unlock t.profile_lock)
+              @@ fun () -> fst (Cohort.pull t.cohorts ~policy name)
+            in
+            let base_db = pull base in
+            let canary_db = pull canary in
+            let modules = Pipeline.frontend sources in
+            let hot label db =
+              Selectivity.cohort_hot_set ~percent ~label db modules
+            in
+            let report =
+              Cohort.Diff.diff ~threshold ~base:(hot base base_db)
+                (hot canary canary_db)
+            in
+            Proto.Cohort_report { report = Cohort.Diff.encode report }
+          with
+          | resp -> resp
+          | exception Cohort.Bad_name n ->
+            Proto.Failed { tag = ""; reason = "bad cohort name: " ^ n }
+          | exception e ->
+            Proto.Failed
+              { tag = ""; reason = "cohort diff: " ^ Printexc.to_string e }
+        in
+        if Obs.enabled () then Obs.tick "server" "cohort_diffs" 1;
+        reply resp;
+        loop ()
       | Ok (Proto.Build b) ->
         if Obs.enabled () then Obs.tick "server" "requests" 1;
         let cost = source_lines b.Proto.sources in
@@ -556,6 +675,7 @@ let start ?(handle_signals = false) cfg =
       session_lock = Mutex.create ();
       profile_lock = Mutex.create ();
       profile_shards = 0;
+      cohorts = Cohort.open_ ~dir:(Filename.concat cfg.state_dir "cohorts");
       store_hits_base = 0;
       store_misses_base = 0;
       sched = Sched.create ~queue_max:cfg.queue_max ();

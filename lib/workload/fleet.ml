@@ -57,6 +57,47 @@ let generate cfg ~oracle ~current_fp ?stale () =
         user_shard cfg prng ~oracle:stale_oracle ~fp:stale_fp ~age:1
       | _ -> user_shard cfg prng ~oracle ~fp:current_fp ~age:0)
 
+(* Rank-swap blend: sort the oracle's keys by count (ties by key),
+   pair rank i with rank n-1-i, and move each count [fraction] of the
+   way toward its partner's.  fraction 0 is a plain copy (so two arms
+   generated from the same seed are byte-identical), fraction 1 swaps
+   the hottest and coldest keys outright — a planted, tunable hot-set
+   flip for the canary machinery to detect. *)
+let divert ~fraction oracle =
+  if fraction <= 0.0 then Db.copy oracle
+  else begin
+    let f = Float.min 1.0 fraction in
+    let ranked =
+      List.sort
+        (fun (k1, c1) (k2, c2) ->
+          match compare c2 c1 with 0 -> compare k1 k2 | c -> c)
+        (Db.entries oracle)
+    in
+    let arr = Array.of_list ranked in
+    let n = Array.length arr in
+    let db = Db.create () in
+    Array.iteri
+      (fun i (key, count) ->
+        let _, partner = arr.(n - 1 - i) in
+        let v = ((1.0 -. f) *. count) +. (f *. partner) in
+        if v > 0.0 then Db.add db key v)
+      arr;
+    db
+  end
+
+(* The two arms of a canary experiment: A draws from the oracle as-is,
+   B from a diverted oracle.  Both arms run the same users (same
+   seed), so divergence 0 makes the arms byte-identical shard for
+   shard — the no-flip baseline costs nothing to assert. *)
+let ab_arms cfg ~oracle ~current_fp ~divergence =
+  let arm_a = generate cfg ~oracle ~current_fp () in
+  let arm_b =
+    if divergence <= 0.0 then arm_a
+    else
+      generate cfg ~oracle:(divert ~fraction:divergence oracle) ~current_fp ()
+  in
+  (arm_a, arm_b)
+
 (* A uniformly scaled copy of an honest shard would keep the same
    relative hotness and change nothing; the actual attack inverts it:
    claim the *cold* half of the program runs at [factor x] the real

@@ -38,6 +38,26 @@ val generate :
     fingerprint; without it every user is current regardless of
     [stale_fraction]. *)
 
+val divert : fraction:float -> Cmo_profile.Db.t -> Cmo_profile.Db.t
+(** A controlled divergence of the oracle: keys ranked by count are
+    paired rank [i] with rank [n-1-i] and each count blended
+    [fraction] of the way toward its partner's.  [fraction = 0] is a
+    plain copy; [fraction = 1] swaps the hottest and coldest keys
+    outright.  Deterministic — the planted hot-set flip the cohort
+    diff must detect. *)
+
+val ab_arms :
+  config ->
+  oracle:Cmo_profile.Db.t ->
+  current_fp:string ->
+  divergence:float ->
+  Cmo_profile.Ingest.shard list * Cmo_profile.Ingest.shard list
+(** The (A, B) arms of a canary experiment: arm A samples the oracle,
+    arm B samples {!divert}[ ~fraction:divergence oracle], both with
+    the same users and seed — so [divergence = 0] yields
+    byte-identical arms, and the only difference between the arms is
+    the planted divergence itself. *)
+
 val poison :
   factor:float -> Cmo_profile.Ingest.shard -> Cmo_profile.Ingest.shard
 (** An adversarial copy claiming the cold half of the program runs at

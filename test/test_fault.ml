@@ -524,6 +524,97 @@ let test_pack_crash_sweep () =
       Alcotest.failf "crash@%d: recovered ingest diverged" k
   done
 
+(* ---------- cohort registry crash sweep ---------- *)
+
+module Cohort = Cmo_profile.Cohort
+
+(* The registry's full write surface — create, ingest, tag, snapshot,
+   gc with a dropped cohort — crashed at every I/O operation in turn.
+   After each crash the reopened registry must be readable (no read
+   raises: packs skip-and-count, meta and snapshots degrade), and the
+   standard repair — re-run the sequence, appending only the shards a
+   torn pack is missing — must land in the oracle state: pulls,
+   shard counts, tags, snapshots and the listing all identical to the
+   never-crashed run.  (Damage and byte counts are excluded: a torn
+   frame legitimately survives until gc compacts it.) *)
+let test_cohort_crash_sweep () =
+  with_dir @@ fun dir ->
+  let reg_dir = Filename.concat dir "reg" in
+  let arm_a = List.filteri (fun i _ -> i < 4) pack_shards in
+  let arm_b = List.filteri (fun i _ -> i >= 4) pack_shards in
+  (* Appends are repaired, not replayed: only the shards the pack does
+     not already hold are re-ingested, so a crash mid-append cannot
+     double-count on retry. *)
+  let ensure reg name want =
+    let have, _ = Cohort.shards reg name in
+    let have = List.map Ingest.encode_shard have in
+    let missing =
+      List.filter (fun s -> not (List.mem (Ingest.encode_shard s) have)) want
+    in
+    ignore (Cohort.ingest_into reg name missing)
+  in
+  let ops reg =
+    Cohort.create reg "stable";
+    ensure reg "stable" arm_a;
+    ensure reg "canary" arm_b;
+    Cohort.tag reg "stable" "prod";
+    Cohort.tag reg "stable" "v2";
+    ignore (Cohort.snapshot reg ~policy:ingest_policy "stable");
+    Cohort.create reg "doomed";
+    ignore (Cohort.gc ~drop:[ "doomed" ] reg)
+  in
+  let state reg =
+    let pulls =
+      List.map
+        (fun n -> Db.encode (fst (Cohort.pull reg ~policy:ingest_policy n)))
+        [ "stable"; "canary" ]
+    in
+    let snap =
+      match Cohort.snapshot_db reg "stable" with
+      | Some db -> Db.encode db
+      | None -> ""
+    in
+    let infos =
+      List.map
+        (fun i ->
+          ( i.Cohort.ci_name,
+            i.Cohort.ci_shards,
+            i.Cohort.ci_tags,
+            i.Cohort.ci_snapshot ))
+        (Cohort.list reg)
+    in
+    (pulls, snap, infos)
+  in
+  let oracle =
+    let reg = Cohort.open_ ~dir:reg_dir in
+    ops reg;
+    state reg
+  in
+  remove_tree reg_dir;
+  install "count";
+  ops (Cohort.open_ ~dir:reg_dir);
+  let n = Fsio.op_count () in
+  Fsio.clear_plan ();
+  Alcotest.(check bool) "sites found" true (n > 0);
+  for k = 1 to n do
+    remove_tree reg_dir;
+    install (Printf.sprintf "crash@%d,seed=%d" k k);
+    (match ops (Cohort.open_ ~dir:reg_dir) with
+    | () -> Alcotest.failf "crash@%d never fired" k
+    | exception e when is_crash e -> ());
+    Fsio.clear_plan ();
+    (* Whatever the crash left behind, every read degrades — nothing
+       raises. *)
+    let reg = Cohort.open_ ~dir:reg_dir in
+    (match state reg with
+    | _ -> ()
+    | exception e ->
+      Alcotest.failf "crash@%d: read raised: %s" k (Printexc.to_string e));
+    (* The repair from that state must land in the oracle state. *)
+    ops reg;
+    if state reg <> oracle then Alcotest.failf "crash@%d: repair diverged" k
+  done
+
 let suite =
   [
     ("plan grammar", `Quick, test_plan_parse);
@@ -545,4 +636,5 @@ let suite =
     Helpers.to_alcotest test_corruption_rebuild;
     Helpers.to_alcotest test_pack_corruption_clean_subset;
     ("pack crash sweep", `Slow, test_pack_crash_sweep);
+    ("cohort registry crash sweep", `Slow, test_cohort_crash_sweep);
   ]

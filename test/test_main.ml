@@ -7,6 +7,7 @@ let () =
       ("frontend", Test_frontend.suite);
       ("profile", Test_profile.suite);
       ("ingest", Test_ingest.suite);
+      ("cohort", Test_cohort.suite);
       ("naim", Test_naim.suite);
       ("hlo", Test_hlo.suite);
       ("llo", Test_llo.suite);

@@ -15,6 +15,9 @@ module Proto = Cmo_server.Proto
 module Sched = Cmo_server.Sched
 module Server = Cmo_server.Server
 module Client = Cmo_server.Client
+module Db = Cmo_profile.Db
+module Ingest = Cmo_profile.Ingest
+module Cohort = Cmo_profile.Cohort
 
 let with_dir f = Helpers.with_dir ~prefix:"cmo_server" f
 
@@ -40,17 +43,31 @@ let gen_build_req =
   return { Proto.tag; level; pbo; jobs; check; fault; sources }
 
 let gen_request =
-  QCheck.Gen.oneof
+  let open QCheck.Gen in
+  oneof
     [
-      QCheck.Gen.return Proto.Ping;
-      QCheck.Gen.return Proto.Stats;
-      QCheck.Gen.return Proto.Shutdown;
-      QCheck.Gen.map (fun b -> Proto.Build b) gen_build_req;
-      QCheck.Gen.map (fun key -> Proto.Cache_get { key }) gen_string;
-      QCheck.Gen.map2
+      return Proto.Ping;
+      return Proto.Stats;
+      return Proto.Shutdown;
+      map (fun b -> Proto.Build b) gen_build_req;
+      map (fun key -> Proto.Cache_get { key }) gen_string;
+      map2
         (fun key data -> Proto.Cache_put { key; data })
         gen_string
-        QCheck.Gen.(string_size (0 -- 80));
+        (string_size (0 -- 80));
+      map (fun shard -> Proto.Profile_put { shard }) (string_size (0 -- 80));
+      map (fun current_fp -> Proto.Profile_get { current_fp }) gen_string;
+      return Proto.Cohort_list;
+      (let* cohort = gen_string in
+       let* shards = list_size (0 -- 4) (string_size (0 -- 60)) in
+       return (Proto.Cohort_ingest { cohort; shards }));
+      (let* cohort = gen_string and* current_fp = gen_string in
+       return (Proto.Cohort_pull { cohort; current_fp }));
+      (let* base = gen_string and* canary = gen_string in
+       let* percent = float_bound_inclusive 100.0 in
+       let* threshold = float_bound_inclusive 1.0 in
+       let* sources = list_size (0 -- 3) gen_source in
+       return (Proto.Cohort_diff { base; canary; percent; threshold; sources }));
     ]
 
 let gen_stats =
@@ -71,6 +88,16 @@ let gen_stats =
       store_misses;
     }
 
+let gen_cohort_info =
+  let open QCheck.Gen in
+  let* ci_name = gen_string in
+  let* ci_shards = 0 -- 1000 and* ci_damaged = 0 -- 50 in
+  let* ci_bytes = 0 -- 1_000_000 in
+  let* ci_tags = list_size (0 -- 4) gen_string in
+  let* ci_snapshot = bool in
+  return
+    { Cohort.ci_name; ci_shards; ci_damaged; ci_bytes; ci_tags; ci_snapshot }
+
 let gen_response =
   let open QCheck.Gen in
   oneof
@@ -89,6 +116,19 @@ let gen_response =
       return Proto.Cache_miss;
       return Proto.Cache_stored;
       map (fun data -> Proto.Cache_hit { data }) gen_string;
+      map (fun shards -> Proto.Profile_stored { shards }) (0 -- 10_000);
+      (let* data = string_size (0 -- 80) in
+       let* shards = 0 -- 1000 and* skipped = 0 -- 100 in
+       return (Proto.Profile_db { data; shards; skipped }));
+      map
+        (fun cohorts -> Proto.Cohort_listing { cohorts })
+        (list_size (0 -- 4) gen_cohort_info);
+      (let* cohort = gen_string and* shards = 0 -- 1000 in
+       return (Proto.Cohort_stored { cohort; shards }));
+      (let* data = string_size (0 -- 80) in
+       let* shards = 0 -- 1000 and* skipped = 0 -- 100 in
+       return (Proto.Cohort_db { data; shards; skipped }));
+      map (fun report -> Proto.Cohort_report { report }) (string_size (0 -- 80));
     ]
 
 let arb_request =
@@ -464,6 +504,64 @@ let test_end_to_end () =
       let st' = Client.stats conn in
       Alcotest.(check bool) "store hits cumulative across chaos" true
         (st'.Proto.store_hits >= st.Proto.store_hits);
+      (* Profile cohorts, inline on the same connection: a daemon pull
+         must be byte-identical to a local ingest of the same shards,
+         and bad names or garbage shards are refused without hurting
+         the connection. *)
+      let shard seed count =
+        let db = Db.create () in
+        Db.add db (Db.Fentry "main") count;
+        Db.add db (Db.Block ("main", seed)) (2.0 *. count);
+        Ingest.encode_shard
+          {
+            Ingest.meta =
+              {
+                Ingest.source_fp = "fp-e2e";
+                sample_rate = 1.0;
+                weight = 1.0;
+                age = 0;
+              };
+            db;
+          }
+      in
+      let s1 = shard 1 100.0 and s2 = shard 2 50.0 in
+      Alcotest.(check int) "cohort create via empty ingest" 0
+        (Client.cohort_ingest conn ~cohort:"stable" []);
+      Alcotest.(check int) "cohort ingest counts shards" 2
+        (Client.cohort_ingest conn ~cohort:"stable" [ s1; s2 ]);
+      (match Client.cohort_list conn with
+      | [ info ] ->
+        Alcotest.(check string) "cohort listed" "stable" info.Cohort.ci_name;
+        Alcotest.(check int) "cohort shard count" 2 info.Cohort.ci_shards
+      | l -> Alcotest.failf "cohort list returned %d entries" (List.length l));
+      let data, merged, skipped =
+        Client.cohort_pull conn ~cohort:"stable" ~current_fp:"fp-e2e"
+      in
+      Alcotest.(check int) "pull merges both shards" 2 merged;
+      Alcotest.(check int) "pull skips nothing" 0 skipped;
+      let local, _ =
+        Ingest.ingest
+          ~policy:(Ingest.default_policy ~current_fp:"fp-e2e")
+          (List.map Ingest.decode_shard [ s1; s2 ])
+      in
+      Alcotest.(check bool) "daemon pull equals local ingest" true
+        (data = Db.encode local);
+      (match Client.cohort_ingest conn ~cohort:"../escape" [] with
+      | _ -> Alcotest.fail "path-escaping cohort name accepted"
+      | exception Client.Protocol_error _ -> ());
+      (match Client.cohort_ingest conn ~cohort:"stable" [ "garbage" ] with
+      | _ -> Alcotest.fail "garbage shard accepted"
+      | exception Client.Protocol_error _ -> ());
+      (* The connection survives the refusals, and a diff of a cohort
+         against itself on this program is a clean no-flip. *)
+      let r =
+        Client.cohort_diff conn ~base:"stable" ~canary:"stable" ~percent:20.0
+          ~threshold:0.02 session_sources
+      in
+      Alcotest.(check bool) "self-diff is no-flip with empty deltas" true
+        (r.Cohort.Diff.r_verdict = Cohort.Diff.No_flip
+        && r.Cohort.Diff.r_mod_in = []
+        && r.Cohort.Diff.r_mod_out = []);
       Client.shutdown_server conn);
   Server.wait t;
   finished := true;
