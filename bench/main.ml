@@ -1290,8 +1290,69 @@ let storm_smoke () = storm_for ~label:"smoke" ~clients:3 ~per_client:12 ~steps:8
    mid-protocol) that must still land on the oracle's bytes. *)
 (* ------------------------------------------------------------------ *)
 
+(* Spawn [n] real [cmoc-worker --listen] fleet members on loopback
+   ephemeral ports; the atomically-written port file is the ready
+   signal. *)
+let with_worker_fleet n f =
+  let bin = Cmo_driver.Distwork.resolve_worker () in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "cmo-bench-fleet-%d" (Unix.getpid ()))
+  in
+  remove_tree dir;
+  Sys.mkdir dir 0o755;
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let members =
+    List.init n (fun i ->
+        let pf = Filename.concat dir (Printf.sprintf "port%d" i) in
+        let pid =
+          Unix.create_process bin
+            [| bin; "--listen"; "127.0.0.1:0"; "--port-file"; pf |]
+            Unix.stdin devnull Unix.stderr
+        in
+        (pid, pf))
+  in
+  Unix.close devnull;
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun (pid, _) ->
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+        members;
+      remove_tree dir)
+  @@ fun () ->
+  let read_file path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let wait_port pf =
+    let deadline = Unix.gettimeofday () +. 10.0 in
+    let rec go () =
+      match
+        if Sys.file_exists pf then
+          int_of_string_opt (String.trim (read_file pf))
+        else None
+      with
+      | Some port -> Printf.sprintf "127.0.0.1:%d" port
+      | None ->
+        if Unix.gettimeofday () > deadline then
+          failwith ("worker never wrote " ^ pf)
+        else begin
+          Unix.sleepf 0.02;
+          go ()
+        end
+    in
+    go ()
+  in
+  f (List.map (fun (_, pf) -> wait_port pf) members)
+
 let dist_for name ~shards =
   let module Distwork = Cmo_driver.Distwork in
+  let module Netio = Cmo_support.Netio in
+  let module Json = Cmo_obs.Json in
   let module Server = Cmo_server.Server in
   let module Client = Cmo_server.Client in
   header
@@ -1327,26 +1388,69 @@ let dist_for name ~shards =
     timed (fun () -> Pipeline.compile { options with Options.jobs = 1 } sources)
   in
   Printf.printf "one-shot oracle: %.3fs wall\n" oracle_wall;
-  (* Process-isolated partition workers at j in {1, 2, 4}. *)
-  Printf.printf "%-5s | %8s | %8s | %6s %6s | %s\n" "jobs" "wall s" "cpu s"
+  (* Every leg lands a row in BENCH_dist.json — the machine-readable
+     record of the whole sweep, TCP legs included. *)
+  let legs = ref [] in
+  let note_leg leg wall cpu pjobs lost =
+    legs :=
+      Json.Obj
+        [
+          ("leg", Json.Str leg);
+          ("wall_s", Json.Num wall);
+          ("cpu_s", Json.Num cpu);
+          ("pjobs", Json.Num (float_of_int pjobs));
+          ("lost", Json.Num (float_of_int lost));
+        ]
+      :: !legs
+  in
+  let run_leg leg options' =
+    let j0 = Distwork.jobs_total () and l0 = Distwork.lost_total () in
+    let b, wall = timed (fun () -> Pipeline.compile options' sources) in
+    let cpu = Pipeline.phase_cpu_seconds b.Pipeline.report in
+    let pjobs = Distwork.jobs_total () - j0 in
+    let lost = Distwork.lost_total () - l0 in
+    note_leg leg wall cpu pjobs lost;
+    let ok = identical b oracle in
+    if not ok then incr failures;
+    Printf.printf "%-16s | %8.3f | %8.3f | %6d %6d | %s\n%!" leg wall cpu pjobs
+      lost
+      (if ok then "identical to oracle" else "DIVERGED from oracle");
+    lost
+  in
+  Printf.printf "%-16s | %8s | %8s | %6s %6s | %s\n" "leg" "wall s" "cpu s"
     "pjobs" "lost" "output";
+  (* Process-isolated partition workers at j in {1, 2, 4}. *)
   List.iter
     (fun jobs ->
-      let j0 = Distwork.jobs_total () and l0 = Distwork.lost_total () in
-      let b, wall =
-        timed (fun () ->
-            Pipeline.compile
-              { options with Options.jobs = jobs; dist = true }
-              sources)
-      in
-      let ok = identical b oracle in
-      if not ok then incr failures;
-      Printf.printf "%-5d | %8.3f | %8.3f | %6d %6d | %s\n%!" jobs wall
-        (Pipeline.phase_cpu_seconds b.Pipeline.report)
-        (Distwork.jobs_total () - j0)
-        (Distwork.lost_total () - l0)
-        (if ok then "identical to oracle" else "DIVERGED from oracle"))
+      ignore
+        (run_leg
+           (Printf.sprintf "proc-j%d" jobs)
+           { options with Options.jobs = jobs; dist = true }))
     [ 1; 2; 4 ];
+  (* The same partitions placed on a real TCP fleet (two loopback
+     [cmoc-worker --listen] processes), then a mid-build network
+     partition that must degrade to local recompute invisibly. *)
+  with_worker_fleet 2 (fun workers ->
+      List.iter
+        (fun jobs ->
+          ignore
+            (run_leg
+               (Printf.sprintf "tcp-j%d" jobs)
+               { options with Options.jobs = jobs; dist = true; workers }))
+        [ 2; 4 ];
+      (match Netio.install_plan "partition@5" with
+      | Ok () -> ()
+      | Error m -> failwith ("partition plan rejected: " ^ m));
+      Fun.protect ~finally:Netio.clear_plan (fun () ->
+          let lost =
+            run_leg "tcp-partition@5"
+              { options with Options.jobs = 2; dist = true; workers }
+          in
+          if lost = 0 then begin
+            incr failures;
+            Printf.eprintf
+              "dist: the tcp partition leg lost no worker (plan never fired)\n"
+          end));
   (* The remote artifact cache: two cold checkouts share one daemon. *)
   let dir =
     Filename.concat (Filename.get_temp_dir_name ()) ("cmo-bench-dist-" ^ name)
@@ -1376,6 +1480,7 @@ let dist_for name ~shards =
     let store_dir = Filename.concat dir label in
     Sys.mkdir store_dir 0o755;
     let store = Store.open_ ~dir:store_dir () in
+    let j0 = Distwork.jobs_total () and l0 = Distwork.lost_total () in
     let (b, wall) =
       timed (fun () ->
           Fun.protect
@@ -1385,6 +1490,10 @@ let dist_for name ~shards =
                 { options with Options.jobs = 2; dist = true }
                 sources))
     in
+    note_leg ("remote-" ^ label) wall
+      (Pipeline.phase_cpu_seconds b.Pipeline.report)
+      (Distwork.jobs_total () - j0)
+      (Distwork.lost_total () - l0);
     if not (identical b oracle) then begin
       incr failures;
       Printf.eprintf "dist: %s diverged from the oracle\n" label
@@ -1411,7 +1520,7 @@ let dist_for name ~shards =
   (* Chaos tail: a worker SIGKILLed mid-protocol degrades one
      partition to local recompute, invisibly. *)
   Unix.putenv "CMO_DIST_CHAOS" "kill@3";
-  let l0 = Distwork.lost_total () in
+  let j0 = Distwork.jobs_total () and l0 = Distwork.lost_total () in
   let chaos, chaos_wall =
     timed (fun () ->
         Fun.protect
@@ -1422,11 +1531,27 @@ let dist_for name ~shards =
               sources))
   in
   let lost = Distwork.lost_total () - l0 in
+  note_leg "chaos-kill@3" chaos_wall
+    (Pipeline.phase_cpu_seconds chaos.Pipeline.report)
+    (Distwork.jobs_total () - j0)
+    lost;
   let ok = identical chaos oracle in
   if not ok || lost = 0 then incr failures;
   Printf.printf "chaos kill@3: %.3fs, %d worker(s) lost, %s\n" chaos_wall lost
     (if ok then "byte-identical recovery"
      else "DIVERGED (or chaos never fired)");
+  let json_path = "BENCH_dist.json" in
+  Fsio.atomic_write json_path
+    (Json.to_string
+       (Json.Obj
+          [
+            ("bench", Json.Str "dist");
+            ("program", Json.Str name);
+            ("shards", Json.Num (float_of_int shards));
+            ("oracle_wall_s", Json.Num oracle_wall);
+            ("legs", Json.Arr (List.rev !legs));
+          ]));
+  Printf.printf "wrote %s (%d legs)\n" json_path (List.length !legs);
   if !failures > 0 then begin
     Printf.eprintf "dist benchmark: %d failure(s)\n" !failures;
     exit 1

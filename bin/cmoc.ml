@@ -18,6 +18,7 @@ module Vm = Cmo_vm.Vm
 module Genprog = Cmo_workload.Genprog
 module Suite = Cmo_workload.Suite
 module Fsio = Cmo_support.Fsio
+module Netio = Cmo_support.Netio
 module Json = Cmo_obs.Json
 module Proto = Cmo_server.Proto
 module Client = Cmo_server.Client
@@ -112,6 +113,21 @@ let install_fault_plan flag =
     | Error m ->
       raise (Pipeline.Compile_error (Printf.sprintf "bad fault plan %S: %s" spec m)))
 
+(* The network counterpart ($CMO_NET_FAULT, grammar in
+   lib/support/netio.mli).  Only the parent build process installs it:
+   cmoc-worker and cmocd never read the variable, so a plan exercises
+   the dialing side of every link exactly once. *)
+let install_net_fault_plan () =
+  match Options.env.Options.env_net_fault with
+  | None -> ()
+  | Some spec -> (
+    match Netio.install_plan spec with
+    | Ok () -> ()
+    | Error m ->
+      raise
+        (Pipeline.Compile_error
+           (Printf.sprintf "bad net fault plan %S: %s" spec m)))
+
 (* A planned crash can fire inside an unwind-time finalizer, where
    [Fun.protect] wraps it; either way it is the simulated power cut. *)
 let rec is_crash = function
@@ -122,7 +138,10 @@ let rec is_crash = function
 let report_fault_plan () =
   if Fsio.plan_active () then
     Printf.eprintf "fault plan: %d io ops, %d injected, %d retries\n%!"
-      (Fsio.op_count ()) (Fsio.injected ()) (Fsio.retries ())
+      (Fsio.op_count ()) (Fsio.injected ()) (Fsio.retries ());
+  if Netio.plan_active () then
+    Printf.eprintf "net fault plan: %d net ops, %d injected, %d retries\n%!"
+      (Netio.op_count ()) (Netio.injected ()) (Netio.retries ())
 
 let make_options level pbo selectivity machine_mb jobs check trace =
   let base =
@@ -201,6 +220,25 @@ let dist_flag =
                byte-identical either way.  Also enabled by \
                \\$CMO_DIST.  The worker binary comes from \
                \\$CMO_DIST_WORKER or is found next to cmoc.")
+
+let workers_arg =
+  Arg.(value & opt_all string [] & info [ "workers" ] ~docv:"HOST:PORT,..."
+         ~doc:"Remote $(b,cmoc-worker --listen) endpoints to place \
+               distributed partitions on, alongside (or instead of) \
+               spawned local workers.  Comma-separated, repeatable.  \
+               Implies --dist.  Also read from \\$CMO_DIST_WORKERS; \
+               the flag wins.  A worker whose version handshake does \
+               not match is refused and its jobs run locally — output \
+               stays byte-identical.")
+
+(* --workers accepts both repeats and comma lists; normalize to the
+   flat endpoint list Options carries. *)
+let resolve_workers flags =
+  let split s =
+    String.split_on_char ',' s |> List.map String.trim
+    |> List.filter (fun x -> x <> "")
+  in
+  List.concat_map split flags
 
 let resolve_socket = function
   | Some s -> s
@@ -282,9 +320,11 @@ let compile_cmd =
         outcome.Vm.func_cycles
     end
   in
-  let action paths level pbo profile selectivity machine_mb jobs check trace fault log input run_it verbose map_it hot_report remote dist socket report_json =
+  let action paths level pbo profile selectivity machine_mb jobs check trace fault log input run_it verbose map_it hot_report remote dist workers socket report_json =
     try
       setup_logs log;
+      let workers = resolve_workers workers in
+      let dist = dist || workers <> [] in
       if remote && dist then
         raise
           (Pipeline.Compile_error
@@ -295,6 +335,9 @@ let compile_cmd =
       let options = make_options level pbo selectivity machine_mb jobs check trace in
       let options =
         if dist then { options with Options.dist = true } else options
+      in
+      let options =
+        if workers = [] then options else { options with Options.workers }
       in
       (* The flag wins over $CMO_FAULT, like the local path. *)
       let fault =
@@ -317,6 +360,7 @@ let compile_cmd =
       end
       else begin
         install_fault_plan fault;
+        install_net_fault_plan ();
         let build = Pipeline.compile ?profile:(load_profile profile) options sources in
         write_report_json report_json
           (Json.to_string (Pipeline.report_to_json build.Pipeline.report));
@@ -346,7 +390,7 @@ let compile_cmd =
                $ selectivity_arg $ machine_memory_arg $ jobs_arg $ check_arg
                $ trace_arg $ fault_plan_arg $ log_arg $ input_arg $ run_flag
                $ verbose $ map_flag $ hot_flag $ remote_flag $ dist_flag
-               $ socket_arg $ report_json_arg))
+               $ workers_arg $ socket_arg $ report_json_arg))
 
 (* ---- train ---- *)
 
@@ -1243,14 +1287,20 @@ let build_cmd =
   in
   let action paths level pbo profile selectivity machine_mb jobs check trace
       fault log input dir no_cache cache_dir cache_capacity run_it verbose
-      dist socket report_json =
+      dist workers socket report_json =
     try
       setup_logs log;
       install_fault_plan fault;
+      install_net_fault_plan ();
+      let workers = resolve_workers workers in
+      let dist = dist || workers <> [] in
       let sources = List.map source_of_path paths in
       let options = make_options level pbo selectivity machine_mb jobs check trace in
       let options =
         if dist then { options with Options.dist = true } else options
+      in
+      let options =
+        if workers = [] then options else { options with Options.workers }
       in
       let ws =
         Buildsys.create ~cache:(not no_cache) ?cache_dir
@@ -1274,6 +1324,12 @@ let build_cmd =
             Logs.warn (fun f ->
                 f "remote cache at %s unreachable (%s); building without it"
                   s (Unix.error_message e));
+            None
+          | exception Sys_error m ->
+            (* Netio.connect (tcp: sockets) reports exhausted retries
+               this way; same degradation either transport. *)
+            Logs.warn (fun f ->
+                f "remote cache at %s unreachable (%s); building without it" s m);
             None)
         | Some _ | None -> None
       in
@@ -1356,7 +1412,8 @@ let build_cmd =
                $ selectivity_arg $ machine_memory_arg $ jobs_arg $ check_arg
                $ trace_arg $ fault_plan_arg $ log_arg $ input_arg $ dir_arg
                $ no_cache_flag $ cache_dir_arg $ cache_capacity_arg $ run_flag
-               $ verbose $ dist_flag $ socket_arg $ report_json_arg))
+               $ verbose $ dist_flag $ workers_arg $ socket_arg
+               $ report_json_arg))
 
 (* ---- cache ---- *)
 

@@ -17,9 +17,11 @@ let socket_arg =
     | Some s -> s
     | None -> "cmocd.sock"
   in
-  Arg.(value & opt string default & info [ "socket" ] ~docv:"PATH"
-         ~doc:"Unix-domain socket to listen on.  Defaults to \\$CMO_SOCKET \
-               or cmocd.sock.")
+  Arg.(value & opt string default & info [ "socket"; "listen" ] ~docv:"ADDR"
+         ~doc:"Where to listen: a Unix-domain socket path, or \
+               tcp:HOST:PORT for the multi-machine transport (port 0 \
+               binds an ephemeral port; the ready line reports the \
+               actual one).  Defaults to \\$CMO_SOCKET or cmocd.sock.")
 
 let jobs_arg =
   Arg.(value & opt int Options.env.Options.env_daemon_jobs
@@ -93,14 +95,17 @@ let action socket jobs queue_max state_dir cache_capacity trace pid_file log =
       `Error
         (false, Printf.sprintf "cannot listen on %s: %s" socket
                   (Unix.error_message e))
+    | exception Sys_error m ->
+      `Error (false, Printf.sprintf "cannot listen on %s: %s" socket m)
     | t ->
       Option.iter
         (fun f ->
           Cmo_support.Fsio.atomic_write f (string_of_int (Unix.getpid ()) ^ "\n"))
         pid_file;
       (* The ready line is the contract scripts wait on before
-         pointing clients at the socket. *)
-      Printf.printf "cmocd: listening on %s\n%!" socket;
+         pointing clients at the socket; Server.address (not the raw
+         config) so a tcp:HOST:0 request reports the real port. *)
+      Printf.printf "cmocd: listening on %s\n%!" (Server.address t);
       Server.wait t;
       Option.iter
         (fun f -> try Sys.remove f with Sys_error _ -> ())

@@ -44,8 +44,14 @@
 # fleet; the diff against the divergent arm must report FLIP (and
 # --fail-on-flip must exit nonzero), the diff against the identical
 # arm must report no-flip, and a cohort pull must be byte-identical
-# to a local ingest of the same shards.  Run from the repository
-# root.
+# to a local ingest of the same shards.  The multi-machine transport
+# is gated by a TCP worker-fleet smoke: two cmoc-worker --listen
+# processes on loopback ephemeral ports serve a cmoc build --dist
+# --workers over real sockets, a second build severs the network with
+# a sticky $CMO_NET_FAULT partition mid-protocol, and every object
+# file of both fleet builds must match a never-distributed local
+# oracle byte for byte before the workers are torn down.  Run from
+# the repository root.
 set -eu
 
 echo "== dune build =="
@@ -93,13 +99,19 @@ DIST_DIR=
 DIST_PID=
 PROF_DIR=
 COHORT_PID=
+FLEET_DIR=
+W1_PID=
+W2_PID=
 cleanup() {
   [ -n "$CMOCD_PID" ] && kill "$CMOCD_PID" 2>/dev/null || true
   [ -n "$DIST_PID" ] && kill "$DIST_PID" 2>/dev/null || true
   [ -n "$COHORT_PID" ] && kill "$COHORT_PID" 2>/dev/null || true
+  [ -n "$W1_PID" ] && kill "$W1_PID" 2>/dev/null || true
+  [ -n "$W2_PID" ] && kill "$W2_PID" 2>/dev/null || true
   rm -rf "$SMOKE_DIR"
   [ -n "$DIST_DIR" ] && rm -rf "$DIST_DIR"
   [ -n "$PROF_DIR" ] && rm -rf "$PROF_DIR"
+  [ -n "$FLEET_DIR" ] && rm -rf "$FLEET_DIR"
 }
 trap cleanup EXIT INT TERM
 mkdir -p "$SMOKE_DIR/src"
@@ -341,5 +353,82 @@ if [ -f "$DPID_FILE" ]; then
   exit 1
 fi
 echo "dist smoke OK"
+
+echo "== TCP worker fleet smoke (process level) =="
+# Two cmoc-worker fleet members on loopback ephemeral ports serve a
+# distributed build over real TCP (version handshake, heartbeats,
+# framed jobs); a second build severs the network with a sticky
+# $CMO_NET_FAULT partition mid-protocol and must degrade invisibly
+# to in-process recompute, reporting the injection.  Every object
+# file of both fleet builds must match a never-distributed local
+# oracle byte for byte, and tearing the workers down must leave no
+# stray processes.
+CMOC_WORKER=_build/default/bin/cmoc_worker.exe
+FLEET_DIR=$(mktemp -d)
+mkdir -p "$FLEET_DIR/co1/src" "$FLEET_DIR/co2/src" "$FLEET_DIR/oracle"
+"$CMOC" gen --bench storm --dir "$FLEET_DIR/co1/src"
+cp "$FLEET_DIR"/co1/src/*.mc "$FLEET_DIR/co2/src/"
+"$CMOC_WORKER" --listen 127.0.0.1:0 --port-file "$FLEET_DIR/w1.port" \
+  > /dev/null &
+W1_PID=$!
+"$CMOC_WORKER" --listen 127.0.0.1:0 --port-file "$FLEET_DIR/w2.port" \
+  > /dev/null &
+W2_PID=$!
+i=0
+while { [ ! -f "$FLEET_DIR/w1.port" ] || [ ! -f "$FLEET_DIR/w2.port" ]; } \
+  && [ "$i" -lt 100 ]; do sleep 0.1; i=$((i + 1)); done
+if [ ! -f "$FLEET_DIR/w1.port" ] || [ ! -f "$FLEET_DIR/w2.port" ]; then
+  echo "fleet smoke: workers never wrote their port files"
+  exit 1
+fi
+W1="127.0.0.1:$(cat "$FLEET_DIR/w1.port")"
+W2="127.0.0.1:$(cat "$FLEET_DIR/w2.port")"
+
+# Local one-shot oracle: no workers, no network.
+"$CMOC" build -O 4 -j 1 --dir "$FLEET_DIR/oracle" --run --input 64,3 \
+  "$FLEET_DIR"/co1/src/*.mc > "$FLEET_DIR/oracle.out"
+
+# Checkout 1: a clean distributed build over the two-machine fleet.
+"$CMOC" build -O 4 -j 2 --dist --workers "$W1,$W2" \
+  --dir "$FLEET_DIR/co1" --run --input 64,3 \
+  "$FLEET_DIR"/co1/src/*.mc > "$FLEET_DIR/co1.out"
+
+# Checkout 2: the network is severed at the fifth wire operation —
+# live conversations die and later dials are refused; the build must
+# finish from in-process recompute and report the injection.
+CMO_NET_FAULT=partition@5 "$CMOC" build -O 4 -j 2 --dist \
+  --workers "$W1,$W2" --dir "$FLEET_DIR/co2" --run --input 64,3 \
+  "$FLEET_DIR"/co2/src/*.mc \
+  > "$FLEET_DIR/co2.out" 2> "$FLEET_DIR/co2.err"
+grep -q "net fault plan: [0-9]* net ops, [1-9][0-9]* injected" \
+  "$FLEET_DIR/co2.err" || {
+  echo "fleet smoke: partition plan never fired"
+  cat "$FLEET_DIR/co2.err"
+  exit 1
+}
+
+# Byte-identity: every object of both fleet builds matches the
+# oracle's, severed network and all; so does the VM outcome.
+for f in "$FLEET_DIR"/oracle/*.o; do
+  cmp "$f" "$FLEET_DIR/co1/$(basename "$f")"
+  cmp "$f" "$FLEET_DIR/co2/$(basename "$f")"
+done
+grep "^exit:" "$FLEET_DIR/oracle.out" > "$FLEET_DIR/oracle.exit"
+for out in co1 co2; do
+  grep "^exit:" "$FLEET_DIR/$out.out" > "$FLEET_DIR/$out.exit"
+  cmp "$FLEET_DIR/oracle.exit" "$FLEET_DIR/$out.exit"
+done
+
+# Clean teardown: both listeners die on signal, leaving nothing.
+kill "$W1_PID" "$W2_PID"
+wait "$W1_PID" 2>/dev/null || true
+wait "$W2_PID" 2>/dev/null || true
+if kill -0 "$W1_PID" 2>/dev/null || kill -0 "$W2_PID" 2>/dev/null; then
+  echo "fleet smoke: worker process survived teardown"
+  exit 1
+fi
+W1_PID=
+W2_PID=
+echo "fleet smoke OK"
 
 echo "CI OK"

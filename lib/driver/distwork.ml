@@ -4,6 +4,7 @@ module Callgraph = Cmo_il.Callgraph
 module Ilcodec = Cmo_il.Ilcodec
 module Codec = Cmo_support.Codec
 module Fsio = Cmo_support.Fsio
+module Netio = Cmo_support.Netio
 module Loader = Cmo_naim.Loader
 module Memstats = Cmo_naim.Memstats
 module Hlo = Cmo_hlo.Hlo
@@ -116,6 +117,17 @@ let optimize_subset ?phase_cache ?naim_repo ?hot_filter ?check_base
 
 (* --- wire messages ------------------------------------------------ *)
 
+(* The IL-codec generation this binary speaks.  Bumped whenever any
+   wire payload changes shape (job options, module encoding, message
+   set); a worker whose [wire_version] differs from the parent's is
+   version-skewed and must be refused, never mixed into artifacts. *)
+let wire_version = 2
+
+type hello = {
+  h_wire : int;  (* the worker's [wire_version] *)
+  h_digest : string;  (* the worker binary's content digest *)
+}
+
 type job = {
   job_options : Options.t;
   job_modules : string list;
@@ -134,13 +146,20 @@ type done_payload = {
   done_mem : mem_summary;
 }
 
-type parent_msg = Job of job | Have of string option | Ack | Bye
+type parent_msg =
+  | Job of job
+  | Have of string option
+  | Ack
+  | Bye
+  | Refuse of string
 
 type worker_msg =
   | Need of string
   | Keep of string * string
   | Done of done_payload
   | Fail of string
+  | Hello of hello
+  | Pulse
 
 let write_opt w f = function
   | None -> Codec.Writer.bool w false
@@ -271,7 +290,10 @@ let encode_parent =
       Codec.Writer.byte w 2;
       write_opt w (Codec.Writer.string w) data
     | Ack -> Codec.Writer.byte w 3
-    | Bye -> Codec.Writer.byte w 4)
+    | Bye -> Codec.Writer.byte w 4
+    | Refuse reason ->
+      Codec.Writer.byte w 5;
+      Codec.Writer.string w reason)
 
 let decode_parent =
   decoded "parent message" (fun r ->
@@ -295,6 +317,7 @@ let decode_parent =
       | 2 -> Have (read_opt r Codec.Reader.string)
       | 3 -> Ack
       | 4 -> Bye
+      | 5 -> Refuse (Codec.Reader.string r)
       | n -> Codec.Reader.corrupt (Printf.sprintf "bad parent tag %d" n))
 
 let encode_worker =
@@ -314,7 +337,12 @@ let encode_worker =
       write_mem w d.done_mem
     | Fail reason ->
       Codec.Writer.byte w 4;
-      Codec.Writer.string w reason)
+      Codec.Writer.string w reason
+    | Hello h ->
+      Codec.Writer.byte w 5;
+      Codec.Writer.uvarint w h.h_wire;
+      Codec.Writer.string w h.h_digest
+    | Pulse -> Codec.Writer.byte w 6)
 
 let decode_worker =
   decoded "worker message" (fun r ->
@@ -331,6 +359,11 @@ let decode_worker =
         let done_mem = read_mem r in
         Done { done_modules; done_report; done_lstats; done_mem }
       | 4 -> Fail (Codec.Reader.string r)
+      | 5 ->
+        let h_wire = Codec.Reader.uvarint r in
+        let h_digest = Codec.Reader.string r in
+        Hello { h_wire; h_digest }
+      | 6 -> Pulse
       | n -> Codec.Reader.corrupt (Printf.sprintf "bad worker tag %d" n))
 
 (* --- memory-accountant transport ---------------------------------- *)
@@ -375,9 +408,15 @@ let memstats_of_summary s =
 let jobs_counter = Atomic.make 0
 let lost_counter = Atomic.make 0
 let events_counter = Atomic.make 0
+let refused_counter = Atomic.make 0
+let stragglers_counter = Atomic.make 0
+let retired_counter = Atomic.make 0
 let jobs_total () = Atomic.get jobs_counter
 let lost_total () = Atomic.get lost_counter
 let events_total () = Atomic.get events_counter
+let refused_total () = Atomic.get refused_counter
+let stragglers_total () = Atomic.get stragglers_counter
+let retired_total () = Atomic.get retired_counter
 
 (* --- the worker side ---------------------------------------------- *)
 
@@ -409,11 +448,71 @@ let run_job_local ~phase_cache (job : job) =
     done_mem = summary_of_memstats mem;
   }
 
-let worker_main in_fd out_fd =
-  if Sys.os_type <> "Win32" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+(* The fingerprint this worker reports in its [Hello]: the running
+   binary's content digest, overridable through [$CMO_WORKER_FP] (the
+   skew tests' lever — a spawned worker inherits the parent's
+   environment, so the override makes the {e reported} fingerprint
+   diverge from the binary the parent expects). *)
+let self_fingerprint () =
+  match Sys.getenv_opt "CMO_WORKER_FP" with
+  | Some fp when fp <> "" -> fp
+  | _ -> (
+    try Digest.to_hex (Digest.file Sys.executable_name)
+    with Sys_error _ | Unix.Unix_error _ -> "unknown")
+
+let env_float name default =
+  match Option.bind (Sys.getenv_opt name) float_of_string_opt with
+  | Some f when f >= 0.0 -> f
+  | _ -> default
+
+(* Run [f] while a background thread sends [Pulse] every [hb] seconds
+   — proof of life during a long optimization, so the parent can tell
+   a straggler (alive but past its deadline) from a dead peer.  Sends
+   go through the caller's lock-serialized [send], so a pulse can
+   never interleave with a relay frame. *)
+let with_pulses ~hb ~send f =
+  if hb <= 0.0 then f ()
+  else begin
+    let stop = Atomic.make false in
+    let tick = min hb 0.05 in
+    let th =
+      Thread.create
+        (fun () ->
+          let rec loop acc =
+            if not (Atomic.get stop) then begin
+              Thread.delay tick;
+              let acc = acc +. tick in
+              if acc >= hb then begin
+                (match send Pulse with
+                | () -> loop 0.0
+                | exception _ -> Atomic.set stop true)
+              end
+              else loop acc
+            end
+          in
+          loop 0.0)
+        ()
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Atomic.set stop true;
+        Thread.join th)
+      f
+  end
+
+(* Serve one parent conversation on an fd pair (a socketpair to a
+   spawned worker, or one accepted TCP connection).  Returns the exit
+   status: 0 for a clean goodbye (Bye, EOF or a version refusal), 2
+   for a protocol violation. *)
+let serve_conn in_fd out_fd =
+  let send_lock = Mutex.create () in
   let send msg =
-    try Fsio.write_framed out_fd (encode_worker msg)
-    with Unix.Unix_error _ | Sys_error _ -> raise Relay_broken
+    Mutex.lock send_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock send_lock)
+      (fun () ->
+        try Fsio.write_framed out_fd (encode_worker msg)
+        with Unix.Unix_error _ | Sys_error _ -> raise Relay_broken)
   in
   let recv () =
     match Fsio.read_framed in_fd with
@@ -444,13 +543,22 @@ let worker_main in_fd out_fd =
           | Some _ | None -> raise Relay_broken);
     }
   in
+  let hb = env_float "CMO_WORKER_HB" 5.0 in
+  let slow = env_float "CMO_WORKER_SLOW_S" 0.0 in
   let rec serve () =
     match recv () with
     | None | Some Bye -> 0
+    | Some (Refuse reason) ->
+      Log.warn (fun m -> m "parent refused this worker: %s" reason);
+      0
     | Some (Have _ | Ack) -> 2
     | Some (Job job) -> (
       let phase_cache = if job.job_phase_cache then Some relay_cache else None in
-      match run_job_local ~phase_cache job with
+      let work () =
+        if slow > 0.0 then Thread.delay slow;
+        run_job_local ~phase_cache job
+      in
+      match with_pulses ~hb ~send work with
       | payload ->
         send (Done payload);
         serve ()
@@ -462,22 +570,81 @@ let worker_main in_fd out_fd =
         send (Fail (Printexc.to_string e));
         serve ())
   in
-  let code = try serve () with Relay_broken -> 2 in
-  exit code
+  try
+    (* The mandatory handshake: version and identity first, before any
+       job bytes, so a skewed worker is refused before it can touch an
+       artifact. *)
+    send (Hello { h_wire = wire_version; h_digest = self_fingerprint () });
+    serve ()
+  with Relay_broken -> 2
+
+let worker_main in_fd out_fd =
+  if Sys.os_type <> "Win32" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  exit (serve_conn in_fd out_fd)
+
+let worker_listen ?port_file host port =
+  if Sys.os_type <> "Win32" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let fd, actual = Netio.listen host port in
+  (* The parseable "where am I" line tooling scrapes (port 0 binds an
+     ephemeral port); the optional port file is the race-free variant. *)
+  Printf.printf "cmoc-worker: listening on %s\n%!" (Netio.format_addr host actual);
+  (match port_file with
+  | Some path -> Fsio.atomic_write path (string_of_int actual ^ "\n")
+  | None -> ());
+  let rec accept_loop () =
+    match Unix.accept ~cloexec:true fd with
+    | conn, _ ->
+      (* One thread per conversation: a fleet parent dials one
+         connection per concurrent job, and a stalled conversation
+         must not block the next accept. *)
+      ignore
+        (Thread.create
+           (fun () ->
+             (try ignore (serve_conn conn conn) with _ -> ());
+             try Unix.close conn with Unix.Unix_error _ -> ())
+           ());
+      accept_loop ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+  in
+  accept_loop ()
 
 (* --- the parent side ---------------------------------------------- *)
 
-type worker_proc = { pid : int; fd : Unix.file_descr }
+(* A remote worker machine: dialed on demand (several concurrent
+   connections are fine — the listener serves each in a thread), with
+   a consecutive-loss circuit breaker.  [breaker_limit] straight
+   losses retire the endpoint for the rest of the pool's life; any
+   completed job resets the count. *)
+type endpoint = {
+  ep_addr : string;  (* as configured, "host:port" *)
+  ep_host : string;
+  ep_port : int;
+  mutable ep_fails : int;  (* consecutive losses *)
+  mutable ep_retired : bool;
+}
+
+let breaker_limit = 3
+
+type wkind =
+  | Proc of int  (* a spawned local worker, by pid *)
+  | Net of endpoint  (* one connection to a remote worker *)
+
+type worker_conn = { kind : wkind; fd : Unix.file_descr }
 
 type pool = {
-  bin : string;
+  bin : string option;  (* None: no local binary, endpoints only *)
+  expect_fp : string option;  (* the fingerprint Hello must report *)
   timeout_s : float;
+  deadline_s : float option;  (* straggler redo bound per job *)
+  endpoints : endpoint list;
+  rr : int Atomic.t;  (* round-robin dial cursor *)
   chaos_at : int option;  (* kill the active worker at this event *)
   chaos_fired : bool Atomic.t;
   events : int Atomic.t;  (* this pool's protocol-event clock *)
   lock : Mutex.t;
-  mutable idle : worker_proc list;
-  mutable procs : worker_proc list;
+  mutable local_refused : bool;  (* the local binary failed handshake *)
+  mutable idle : worker_conn list;
+  mutable conns : worker_conn list;
 }
 
 exception Worker_lost
@@ -504,39 +671,186 @@ let parse_chaos = function
       int_of_string_opt (String.sub spec (i + 1) (String.length spec - i - 1))
     | _ -> None)
 
-let create_pool ?worker ?(timeout_s = 60.0) ?chaos () =
+(* The fingerprint the parent demands in every [Hello]:
+   [$CMO_DIST_EXPECT_FP] when set (fleet deployments pin it), else the
+   local worker binary's digest (spawned workers and same-build remote
+   workers match it), else nothing to compare against — only the wire
+   version is checked. *)
+let expected_fingerprint bin =
+  match Sys.getenv_opt "CMO_DIST_EXPECT_FP" with
+  | Some fp when fp <> "" -> Some fp
+  | _ -> (
+    match bin with
+    | None -> None
+    | Some b -> (
+      try Some (Digest.to_hex (Digest.file b))
+      with Sys_error _ | Unix.Unix_error _ -> None))
+
+let create_pool ?worker ?timeout_s ?deadline_s ?workers ?chaos () =
   if Sys.os_type <> "Win32" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (* Env knobs are re-read per pool (not the process-start snapshot in
+     [Options.env]) — like [$CMO_DIST_CHAOS], the fault/robustness
+     suites flip them between builds inside one process. *)
+  let dyn = Options.from_env () in
+  let timeout_s =
+    match timeout_s with
+    | Some t -> t
+    | None -> (
+      match dyn.Options.env_dist_timeout with Some t -> t | None -> 60.0)
+  in
+  let deadline_s =
+    match deadline_s with
+    | Some _ as d -> d
+    | None -> dyn.Options.env_dist_deadline
+  in
+  let workers =
+    match workers with
+    | Some ws -> ws
+    | None -> dyn.Options.env_dist_workers
+  in
+  let endpoints =
+    List.filter_map
+      (fun addr ->
+        match Netio.parse_addr addr with
+        | Ok (h, p) ->
+          Some
+            { ep_addr = addr; ep_host = h; ep_port = p; ep_fails = 0;
+              ep_retired = false }
+        | Error m ->
+          Log.warn (fun f -> f "ignoring worker endpoint: %s" m);
+          None)
+      workers
+  in
   let bin = match worker with Some b -> b | None -> resolve_worker () in
-  if not (Sys.file_exists bin) then
-    raise (Unavailable (Printf.sprintf "worker binary %s not found" bin));
+  let bin = if Sys.file_exists bin then Some bin else None in
+  if bin = None && endpoints = [] then
+    raise
+      (Unavailable
+         (Printf.sprintf "worker binary %s not found and no --workers given"
+            (match worker with Some b -> b | None -> resolve_worker ())));
   let chaos =
     match chaos with Some _ as c -> c | None -> Sys.getenv_opt "CMO_DIST_CHAOS"
   in
   {
     bin;
+    expect_fp = expected_fingerprint bin;
     timeout_s;
+    deadline_s;
+    endpoints;
+    rr = Atomic.make 0;
     chaos_at = parse_chaos chaos;
     chaos_fired = Atomic.make false;
     events = Atomic.make 0;
     lock = Mutex.create ();
+    local_refused = false;
     idle = [];
-    procs = [];
+    conns = [];
   }
 
 let locked pool f =
   Mutex.lock pool.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock pool.lock) f
 
-let spawn pool =
+let same_conn a b = a.fd == b.fd
+
+let spawn pool bin =
   let parent_fd, child_fd =
     Unix.socketpair ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0
   in
   Unix.clear_close_on_exec child_fd;
-  let pid = Unix.create_process pool.bin [| pool.bin |] child_fd child_fd Unix.stderr in
+  let pid = Unix.create_process bin [| bin |] child_fd child_fd Unix.stderr in
   Unix.close child_fd;
-  let w = { pid; fd = parent_fd } in
-  locked pool (fun () -> pool.procs <- w :: pool.procs);
+  let w = { kind = Proc pid; fd = parent_fd } in
+  locked pool (fun () -> pool.conns <- w :: pool.conns);
   w
+
+(* A consecutive loss on an endpoint; trips the breaker at the
+   limit. *)
+let note_endpoint_loss pool e =
+  locked pool (fun () ->
+      e.ep_fails <- e.ep_fails + 1;
+      if e.ep_fails >= breaker_limit && not e.ep_retired then begin
+        e.ep_retired <- true;
+        Atomic.incr retired_counter;
+        Log.warn (fun m ->
+            m "retiring worker %s after %d consecutive losses" e.ep_addr
+              e.ep_fails)
+      end)
+
+(* Reap a worker that is gone or no longer trustworthy.  SIGKILL is
+   idempotent on an already-dead pid within our waitpid window; a
+   remote loss feeds the endpoint's circuit breaker instead. *)
+let destroy pool w =
+  locked pool (fun () ->
+      pool.conns <- List.filter (fun p -> not (same_conn p w)) pool.conns;
+      pool.idle <- List.filter (fun p -> not (same_conn p w)) pool.idle);
+  (match w.kind with
+  | Proc pid ->
+    (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+    (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+  | Net e -> note_endpoint_loss pool e);
+  (try Unix.close w.fd with Unix.Unix_error _ -> ());
+  Atomic.incr lost_counter
+
+(* Consume the mandatory [Hello] on a fresh connection and verify the
+   worker's version fingerprint.  A skewed worker is told why
+   ([Refuse]) and discarded — its jobs are never mixed into
+   artifacts; for a remote endpoint the skew also retires the
+   endpoint outright (version skew does not heal by retrying). *)
+let handshake pool w =
+  let refuse reason =
+    Atomic.incr refused_counter;
+    Log.warn (fun m ->
+        m "refusing %s worker: %s"
+          (match w.kind with Proc _ -> "spawned" | Net e -> e.ep_addr)
+          reason);
+    (try Netio.send w.fd (encode_parent (Refuse reason))
+     with Unix.Unix_error _ | Sys_error _ -> ());
+    (match w.kind with
+    | Proc _ -> pool.local_refused <- true
+    | Net e ->
+      locked pool (fun () ->
+          if not e.ep_retired then begin
+            e.ep_retired <- true;
+            Atomic.incr retired_counter
+          end));
+    destroy pool w;
+    raise Worker_lost
+  in
+  match Netio.recv ~timeout_s:pool.timeout_s w.fd with
+  | Ok payload -> (
+    match decode_worker payload with
+    | Hello h ->
+      if h.h_wire <> wire_version then
+        refuse
+          (Printf.sprintf "wire version %d, this build speaks %d" h.h_wire
+             wire_version)
+      else (
+        match pool.expect_fp with
+        | Some fp when fp <> h.h_digest ->
+          refuse
+            (Printf.sprintf "binary fingerprint %s, expected %s" h.h_digest fp)
+        | Some _ | None -> ())
+    | _ ->
+      destroy pool w;
+      raise Worker_lost
+    | exception Codec.Reader.Corrupt _ ->
+      destroy pool w;
+      raise Worker_lost)
+  | Error (`Eof | `Bad _ | `Timeout) ->
+    destroy pool w;
+    raise Worker_lost
+
+let rotate n xs =
+  if xs = [] then []
+  else
+    let n = n mod List.length xs in
+    let rec split i acc = function
+      | rest when i = 0 -> rest @ List.rev acc
+      | x :: rest -> split (i - 1) (x :: acc) rest
+      | [] -> List.rev acc
+    in
+    split n [] xs
 
 let checkout pool =
   match
@@ -548,20 +862,41 @@ let checkout pool =
         | [] -> None)
   with
   | Some w -> w
-  | None -> spawn pool
+  | None ->
+    let live =
+      locked pool (fun () ->
+          List.filter (fun e -> not e.ep_retired) pool.endpoints)
+    in
+    let candidates = rotate (Atomic.fetch_and_add pool.rr 1) live in
+    let spawn_local () =
+      match pool.bin with
+      | Some bin when not pool.local_refused ->
+        let w = spawn pool bin in
+        handshake pool w;
+        w
+      | _ -> raise Worker_lost
+    in
+    let rec dial = function
+      | [] -> spawn_local ()
+      | e :: rest -> (
+        match Netio.connect e.ep_host e.ep_port with
+        | fd ->
+          let w = { kind = Net e; fd } in
+          locked pool (fun () -> pool.conns <- w :: pool.conns);
+          (try
+             handshake pool w;
+             w
+           with Worker_lost -> dial rest)
+        | exception (Sys_error _ | Unix.Unix_error _) ->
+          (* A failed dial is an endpoint loss (feeds the breaker) but
+             not a lost job — the next candidate or a local spawn can
+             still run it on a worker. *)
+          note_endpoint_loss pool e;
+          dial rest)
+    in
+    dial candidates
 
 let checkin pool w = locked pool (fun () -> pool.idle <- w :: pool.idle)
-
-(* Reap a worker that is gone or no longer trustworthy.  SIGKILL is
-   idempotent on an already-dead pid within our waitpid window. *)
-let destroy pool w =
-  locked pool (fun () ->
-      pool.procs <- List.filter (fun p -> p.pid <> w.pid) pool.procs;
-      pool.idle <- List.filter (fun p -> p.pid <> w.pid) pool.idle);
-  (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
-  (try ignore (Unix.waitpid [] w.pid) with Unix.Unix_error _ -> ());
-  (try Unix.close w.fd with Unix.Unix_error _ -> ());
-  Atomic.incr lost_counter
 
 (* One protocol event on the pool's clock; at the chaos mark, the
    active worker dies mid-conversation — exactly what a machine loss
@@ -573,25 +908,39 @@ let chaos_tick pool w =
   | Some at
     when n = at
          && not (Atomic.exchange pool.chaos_fired true) ->
-    Log.debug (fun m -> m "chaos: killing worker %d at event %d" w.pid n);
+    Log.debug (fun m -> m "chaos: killing active worker at event %d" n);
     destroy pool w;
     raise Worker_lost
   | _ -> ()
 
 let run_job pool ?phase_cache job =
   let w = checkout pool in
+  let started = Unix.gettimeofday () in
   let lose () =
     destroy pool w;
     raise Worker_lost
   in
+  (* Straggler redo: the job has a deadline independent of the read
+     timeout — heartbeats prove the worker is alive, but a partition
+     must not wait on a live-but-slow machine when redoing the work
+     locally is cheaper.  Checked against the wall clock at every
+     received message (pulses included). *)
+  let check_deadline () =
+    match pool.deadline_s with
+    | Some d when Unix.gettimeofday () -. started > d ->
+      Atomic.incr stragglers_counter;
+      Log.debug (fun m -> m "straggler: job past its %.3fs deadline, redoing" d);
+      lose ()
+    | _ -> ()
+  in
   let send msg =
     chaos_tick pool w;
-    try Fsio.write_framed w.fd (encode_parent msg)
+    try Netio.send w.fd (encode_parent msg)
     with Unix.Unix_error _ | Sys_error _ -> lose ()
   in
   let recv () =
     chaos_tick pool w;
-    match Fsio.read_framed ~timeout_s:pool.timeout_s w.fd with
+    match Netio.recv ~timeout_s:pool.timeout_s w.fd with
     | Ok payload -> (
       try decode_worker payload with Codec.Reader.Corrupt _ -> lose ())
     | Error (`Eof | `Bad _ | `Timeout) -> lose ()
@@ -599,19 +948,30 @@ let run_job pool ?phase_cache job =
   send (Job { job with job_phase_cache = phase_cache <> None });
   let rec wait () =
     match recv () with
+    | Pulse ->
+      check_deadline ();
+      wait ()
+    | Hello _ ->
+      (* Out-of-band handshake mid-conversation: protocol violation. *)
+      lose ()
     | Need key ->
+      check_deadline ();
       let data =
         match phase_cache with Some pc -> pc.Hlo.pc_find key | None -> None
       in
       send (Have data);
       wait ()
     | Keep (key, data) ->
+      check_deadline ();
       (match phase_cache with
       | Some pc -> pc.Hlo.pc_add key data
       | None -> ());
       send Ack;
       wait ()
     | Done payload ->
+      (match w.kind with
+      | Net e -> locked pool (fun () -> e.ep_fails <- 0)
+      | Proc _ -> ());
       checkin pool w;
       Atomic.incr jobs_counter;
       payload
@@ -619,7 +979,10 @@ let run_job pool ?phase_cache job =
       (* The worker is healthy; the job failed.  Keep the worker,
          count a degradation, and let the local rerun reproduce the
          failure (or, for environment-dependent faults, succeed). *)
-      Log.debug (fun m -> m "worker %d failed job: %s" w.pid reason);
+      Log.debug (fun m -> m "worker failed job: %s" reason);
+      (match w.kind with
+      | Net e -> locked pool (fun () -> e.ep_fails <- 0)
+      | Proc _ -> ());
       checkin pool w;
       Atomic.incr lost_counter;
       raise Worker_lost
@@ -627,18 +990,22 @@ let run_job pool ?phase_cache job =
   wait ()
 
 let close_pool pool =
-  let ps = locked pool (fun () ->
-      let ps = pool.procs in
-      pool.procs <- [];
-      pool.idle <- [];
-      ps)
+  let ps =
+    locked pool (fun () ->
+        let ps = pool.conns in
+        pool.conns <- [];
+        pool.idle <- [];
+        ps)
   in
   List.iter
     (fun w ->
       (try Fsio.write_framed w.fd (encode_parent Bye)
        with Unix.Unix_error _ | Sys_error _ -> ());
       (try Unix.close w.fd with Unix.Unix_error _ -> ());
-      try ignore (Unix.waitpid [] w.pid) with Unix.Unix_error _ -> ())
+      match w.kind with
+      | Proc pid -> (
+        try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+      | Net _ -> ())
     ps
 
 (* --- remote artifact cache ---------------------------------------- *)

@@ -16,6 +16,8 @@ type t = {
   check : bool;
   trace : string option;
   dist : bool;
+  workers : string list;
+  dist_timeout : float option;
 }
 
 (* All process-tree environment knobs parse in one place.  CMO_JOBS /
@@ -35,6 +37,10 @@ type env = {
   env_queue_max : int;  (* CMO_QUEUE_MAX, >= 1; else 64 *)
   env_dist : bool;  (* CMO_DIST: anything but unset/""/"0" *)
   env_dist_worker : string option;  (* CMO_DIST_WORKER: worker binary *)
+  env_dist_workers : string list;  (* CMO_DIST_WORKERS: host:port,... *)
+  env_dist_timeout : float option;  (* CMO_DIST_TIMEOUT: read deadline, s *)
+  env_dist_deadline : float option;  (* CMO_DIST_DEADLINE: straggler bound, s *)
+  env_net_fault : string option;  (* CMO_NET_FAULT: netio fault-plan spec *)
   env_cohort : string option;  (* CMO_COHORT: default profile cohort *)
   env_flip_threshold : float option;  (* CMO_FLIP_THRESHOLD, in (0,1] *)
 }
@@ -63,6 +69,29 @@ let from_env ?(get = Sys.getenv_opt) () =
       (match get "CMO_DIST" with Some ("" | "0") | None -> false | Some _ -> true);
     env_dist_worker =
       (match get "CMO_DIST_WORKER" with Some "" | None -> None | some -> some);
+    env_dist_workers =
+      (match get "CMO_DIST_WORKERS" with
+      | Some s ->
+        String.split_on_char ',' s
+        |> List.map String.trim
+        |> List.filter (fun a -> a <> "")
+      | None -> []);
+    env_dist_timeout =
+      (match
+         Option.bind (get "CMO_DIST_TIMEOUT") (fun s ->
+             float_of_string_opt (String.trim s))
+       with
+      | Some t when t > 0.0 -> Some t
+      | _ -> None);
+    env_dist_deadline =
+      (match
+         Option.bind (get "CMO_DIST_DEADLINE") (fun s ->
+             float_of_string_opt (String.trim s))
+       with
+      | Some t when t > 0.0 -> Some t
+      | _ -> None);
+    env_net_fault =
+      (match get "CMO_NET_FAULT" with Some "" | None -> None | some -> some);
     env_cohort =
       (match get "CMO_COHORT" with Some "" | None -> None | some -> some);
     env_flip_threshold =
@@ -95,6 +124,8 @@ let base =
     check = default_check;
     trace = env.env_trace;
     dist = env.env_dist;
+    workers = env.env_dist_workers;
+    dist_timeout = env.env_dist_timeout;
   }
 
 let o1 = { base with level = O1 }
@@ -112,16 +143,16 @@ let o4_pbo_tiered percent =
 let instrumented = { base with instrument = true }
 
 (* Canonical rendering of every field that can change generated code.
-   machine_memory, naim_level, jobs, check, trace and dist are
-   deliberately excluded: NAIM compaction/offload round-trips
+   machine_memory, naim_level, jobs, check, trace, dist, workers and
+   dist_timeout are deliberately excluded: NAIM compaction/offload round-trips
    losslessly and parallel builds are bit-identical to sequential ones
    (both are tested invariants), so artifacts cached under one memory
    or worker configuration stay valid under another; the verifier and
    the trace sink observe and never rewrite, so checked/traced and
    plain builds share artifacts too; and distributed (process-worker)
    builds are byte-identical to in-process ones — the distribution
-   determinism matrix is exactly the test that keeps [dist] out of
-   the key. *)
+   determinism matrix is exactly the test that keeps [dist] (and with
+   it worker placement and deadlines) out of the key. *)
 let cache_fingerprint t =
   let opt f = function Some v -> f v | None -> "-" in
   let inline_config =
@@ -212,7 +243,9 @@ let encode w t =
   Codec.Writer.uvarint w t.jobs;
   Codec.Writer.bool w t.check;
   write_opt w (Codec.Writer.string w) t.trace;
-  Codec.Writer.bool w t.dist
+  Codec.Writer.bool w t.dist;
+  Codec.Writer.list w (Codec.Writer.string w) t.workers;
+  write_opt w (Codec.Writer.float w) t.dist_timeout
 
 let decode r =
   let level = level_of_tag (Codec.Reader.byte r) in
@@ -254,6 +287,8 @@ let decode r =
   let check = Codec.Reader.bool r in
   let trace = read_opt r Codec.Reader.string in
   let dist = Codec.Reader.bool r in
+  let workers = Codec.Reader.list r Codec.Reader.string in
+  let dist_timeout = read_opt r Codec.Reader.float in
   {
     level;
     pbo;
@@ -270,6 +305,8 @@ let decode r =
     check;
     trace;
     dist;
+    workers;
+    dist_timeout;
   }
 
 let to_string t =

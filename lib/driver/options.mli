@@ -75,6 +75,18 @@ type t = {
           degrades that partition to local recompute.  Never enters
           {!cache_fingerprint}.  Defaults to [$CMO_DIST] or
           [cmoc --dist]. *)
+  workers : string list;
+      (** Remote worker endpoints ([host:port], each a
+          [cmoc-worker --listen]) the distributed pool dials before
+          spawning local processes.  Version-skewed workers are
+          refused at handshake and their jobs redone locally; like
+          [dist], placement never enters {!cache_fingerprint}.
+          Defaults to [$CMO_DIST_WORKERS] (comma-separated) or
+          [cmoc --workers]. *)
+  dist_timeout : float option;
+      (** Read deadline in seconds for every parent-side receive from
+          a distributed worker — the build's hang bound ([None] = the
+          pool default, 60).  Defaults to [$CMO_DIST_TIMEOUT]. *)
 }
 
 (** Process-tree environment defaults, parsed once by {!from_env}.
@@ -107,6 +119,24 @@ type env = {
       (** [$CMO_DIST_WORKER] when non-empty: path to the
           [cmoc_worker] binary; otherwise it is resolved next to the
           running executable (see {!Distwork.resolve_worker}). *)
+  env_dist_workers : string list;
+      (** [$CMO_DIST_WORKERS]: comma-separated [host:port] endpoints
+          of remote [cmoc-worker --listen] processes; empty when
+          unset. *)
+  env_dist_timeout : float option;
+      (** [$CMO_DIST_TIMEOUT] when a positive float: the distributed
+          read deadline in seconds (else the pool default, 60). *)
+  env_dist_deadline : float option;
+      (** [$CMO_DIST_DEADLINE] when a positive float: the per-job
+          straggler bound in seconds — a job still unfinished after
+          this long is redone locally even while the worker's
+          heartbeats prove it alive.  Unset = no straggler redo. *)
+  env_net_fault : string option;
+      (** [$CMO_NET_FAULT] when non-empty: a {!Cmo_support.Netio}
+          fault-plan spec [cmoc] installs before building.  Installed
+          by the parent only — worker and daemon binaries ignore it,
+          so the plan models a flaky network as seen from the
+          build. *)
   env_cohort : string option;
       (** [$CMO_COHORT] when non-empty: the default cohort name for
           [cmoc profile push/pull --cohort]. *)
@@ -153,10 +183,10 @@ val to_string : t -> string
 val cache_fingerprint : t -> string
 (** Canonical rendering of every field that influences generated
     code, for artifact-cache keys.  [machine_memory], [naim_level],
-    [jobs], [check], [trace] and [dist] are excluded on purpose: they
-    are behaviour-preserving (tested invariants), so cached artifacts
-    survive memory-, worker-, verifier-, tracing- and
-    distribution-configuration changes. *)
+    [jobs], [check], [trace], [dist], [workers] and [dist_timeout]
+    are excluded on purpose: they are behaviour-preserving (tested
+    invariants), so cached artifacts survive memory-, worker-,
+    verifier-, tracing- and distribution-configuration changes. *)
 
 val encode : Cmo_support.Codec.Writer.t -> t -> unit
 (** Append the full record (every field, excluded-from-fingerprint

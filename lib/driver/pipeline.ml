@@ -346,13 +346,17 @@ let compile_modules_inner ?profile ?cache ?naim_repo ?remote
     let cache_misses = ref 0 in
     let remote_hits = ref 0 in
     let remote_misses = ref 0 in
-    (* WHOPR-style distribution: one worker pool per build, processes
-       spawned on demand.  A missing worker binary degrades the whole
-       build to in-process execution, never an error — [dist] is a
-       behaviour-preserving knob like [jobs]. *)
+    (* WHOPR-style distribution: one worker pool per build — remote
+       [--workers] endpoints dialed on demand, local processes spawned
+       on demand.  A missing worker binary (with no endpoints)
+       degrades the whole build to in-process execution, never an
+       error — [dist] is a behaviour-preserving knob like [jobs]. *)
     let dist_pool =
       if options.Options.dist && options.Options.level = Options.O4 then
-        match Distwork.create_pool () with
+        match
+          Distwork.create_pool ~workers:options.Options.workers
+            ?timeout_s:options.Options.dist_timeout ()
+        with
         | pool -> Some pool
         | exception Distwork.Unavailable msg ->
           Log.warn (fun m -> m "dist: %s; building in-process" msg);

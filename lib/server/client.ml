@@ -4,12 +4,26 @@ exception Protocol_error of string
 
 let fail fmt = Printf.ksprintf (fun m -> raise (Protocol_error m)) fmt
 
+(* A socket string is a Unix-domain path, or "tcp:HOST:PORT" to reach
+   a daemon on another machine (dialed through Netio: connect
+   deadline, bounded retry for transient errors — and the test
+   fault-injection chokepoint). *)
 let connect ~socket =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd (Unix.ADDR_UNIX socket)
-   with e ->
-     (try Unix.close fd with Unix.Unix_error _ -> ());
-     raise e);
+  let fd =
+    if String.length socket > 4 && String.sub socket 0 4 = "tcp:" then
+      let rest = String.sub socket 4 (String.length socket - 4) in
+      match Cmo_support.Netio.parse_addr rest with
+      | Ok (host, port) -> Cmo_support.Netio.connect host port
+      | Error m -> raise (Sys_error m)
+    else begin
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_UNIX socket)
+       with e ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         raise e);
+      fd
+    end
+  in
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ | Sys_error _ -> ());
   { fd; open_ = true }

@@ -1,5 +1,6 @@
 module Obs = Cmo_obs.Obs
 module Fsio = Cmo_support.Fsio
+module Netio = Cmo_support.Netio
 module Codec = Cmo_support.Codec
 module Store = Cmo_cache.Store
 module Db = Cmo_profile.Db
@@ -33,6 +34,17 @@ let default_config =
     cache_capacity = None;
     trace = None;
   }
+
+(* A socket string is a Unix-domain path, or ["tcp:HOST:PORT"] — the
+   multi-machine transport, so the remote artifact/profile cache can
+   serve checkouts on other machines.  Port 0 binds an ephemeral
+   port; {!address} reports the actual one. *)
+let tcp_of_socket s =
+  if String.length s > 4 && String.sub s 0 4 = "tcp:" then
+    match Netio.parse_addr (String.sub s 4 (String.length s - 4)) with
+    | Ok hp -> Some hp
+    | Error m -> raise (Sys_error m)
+  else None
 
 (* Requests holding a fault plan run exclusively: plans are
    process-wide, so a plan meant for one request must not see another
@@ -75,6 +87,7 @@ type job = { req : Proto.build_req; reply : Proto.response -> unit }
 
 type t = {
   cfg : config;
+  address : string;  (* the bound address: cfg.socket with a real port *)
   listen_fd : Unix.file_descr;
   (* Self-pipe: [shutdown] writes a byte to [wake_w] so the accept
      thread parked in select(2) wakes deterministically. *)
@@ -612,11 +625,14 @@ let accept_loop t =
 
 let start ?(handle_signals = false) cfg =
   if cfg.builders < 1 then invalid_arg "Server.start: builders < 1";
+  let tcp = tcp_of_socket cfg.socket in
   (* A stale socket file from a dead daemon would make bind fail —
      but only unlink it after probing that nothing answers on it, so
      a second cmocd pointed at a live daemon's socket refuses to
-     start instead of silently hijacking the path. *)
-  if Sys.file_exists cfg.socket then begin
+     start instead of silently hijacking the path.  (TCP needs no
+     probe: the kernel's EADDRINUSE already distinguishes live from
+     stale.) *)
+  if tcp = None && Sys.file_exists cfg.socket then begin
     let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     let verdict =
       Fun.protect
@@ -645,13 +661,25 @@ let start ?(handle_signals = false) cfg =
       ~dir:cfg.state_dir ()
   in
   let session = Buildsys.open_session ~naim:true ws in
-  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket)
-   with e ->
-     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
-     Buildsys.close_session session;
-     raise e);
-  Unix.listen listen_fd 64;
+  let listen_fd, address =
+    match tcp with
+    | Some (host, port) -> (
+      match Netio.listen ~backlog:64 host port with
+      | fd, actual -> (fd, "tcp:" ^ Netio.format_addr host actual)
+      | exception e ->
+        Buildsys.close_session session;
+        raise e)
+    | None ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try
+         Unix.bind fd (Unix.ADDR_UNIX cfg.socket);
+         Unix.listen fd 64
+       with e ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         Buildsys.close_session session;
+         raise e);
+      (fd, cfg.socket)
+  in
   Unix.set_nonblock listen_fd;
   let wake_r, wake_w = Unix.pipe ~cloexec:true () in
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
@@ -668,6 +696,7 @@ let start ?(handle_signals = false) cfg =
   let t =
     {
       cfg;
+      address;
       listen_fd;
       wake_r;
       wake_w;
@@ -712,9 +741,11 @@ let start ?(handle_signals = false) cfg =
   (try ignore (Thread.sigmask Unix.SIG_UNBLOCK [ Sys.sigint; Sys.sigterm ])
    with Invalid_argument _ -> ());
   Log.info (fun f ->
-      f "listening on %s (%d builder(s), queue <= %d)" cfg.socket cfg.builders
+      f "listening on %s (%d builder(s), queue <= %d)" address cfg.builders
         cfg.queue_max);
   t
+
+let address t = t.address
 
 let stopped t = Atomic.get t.stop
 
@@ -740,7 +771,7 @@ let wait t =
     (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
     fds;
   Buildsys.close_session t.session;
-  if Sys.file_exists t.cfg.socket then (
+  if tcp_of_socket t.cfg.socket = None && Sys.file_exists t.cfg.socket then (
     try Unix.unlink t.cfg.socket with Unix.Unix_error _ -> ());
   (match t.cfg.trace with
   | None -> ()

@@ -28,7 +28,11 @@
     drain admitted ones, close the session, remove the socket file. *)
 
 type config = {
-  socket : string;  (** Unix-domain socket path to listen on. *)
+  socket : string;
+      (** Where to listen: a Unix-domain socket path, or
+          [tcp:HOST:PORT] for the multi-machine transport (port 0
+          binds an ephemeral port — read the actual one back from
+          {!address}). *)
   builders : int;  (** Concurrent build requests (>= 1). *)
   queue_max : int;  (** Admission bound; beyond it requests are rejected. *)
   state_dir : string;
@@ -51,14 +55,20 @@ type t
 
 val start : ?handle_signals:bool -> config -> t
 (** Bind the socket, open the warm session, spawn the accept and
-    builder threads, return immediately.  If the socket path exists
-    and a peer answers on it, raises [Unix.Unix_error (EADDRINUSE,
-    _, _)] instead of hijacking the live daemon's socket; only a
-    stale path (connect refused / gone) is unlinked.  With
+    builder threads, return immediately.  If a Unix socket path
+    exists and a peer answers on it, raises [Unix.Unix_error
+    (EADDRINUSE, _, _)] instead of hijacking the live daemon's
+    socket; only a stale path (connect refused / gone) is unlinked.
+    A [tcp:] socket relies on the kernel's [EADDRINUSE].  With
     [handle_signals] (default [false]), SIGINT/SIGTERM handlers that
     {!shutdown} the daemon are installed {e before} the signals are
     unblocked in the calling thread, so no delivery window is left
     where a signal would kill the process without a drain. *)
+
+val address : t -> string
+(** The address actually bound: [config.socket], except that a
+    [tcp:HOST:0] request reports the ephemeral port picked — what a
+    client should be pointed at. *)
 
 val shutdown : t -> unit
 (** Initiate graceful shutdown; idempotent, callable from a signal

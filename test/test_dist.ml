@@ -11,6 +11,7 @@ module Pipeline = Cmo_driver.Pipeline
 module Distwork = Cmo_driver.Distwork
 module Store = Cmo_cache.Store
 module Fsio = Cmo_support.Fsio
+module Netio = Cmo_support.Netio
 module Codec = Cmo_support.Codec
 module Memstats = Cmo_naim.Memstats
 module Loader = Cmo_naim.Loader
@@ -158,7 +159,17 @@ let gen_parent_msg =
         (3, map (fun d -> Distwork.Have d) (option gen_wire_string));
         (2, return Distwork.Ack);
         (1, return Distwork.Bye);
+        (2, map (fun r -> Distwork.Refuse r) gen_wire_string);
       ])
+
+(* Hello fingerprints range over arbitrary strings and wire versions
+   over arbitrary naturals — the handshake decoder must survive (and
+   round-trip) anything a skewed peer could legitimately encode. *)
+let gen_hello =
+  QCheck.Gen.(
+    map2
+      (fun h_wire h_digest -> { Distwork.h_wire; h_digest })
+      gen_nat gen_wire_string)
 
 let gen_worker_msg =
   QCheck.Gen.(
@@ -173,6 +184,8 @@ let gen_worker_msg =
           let+ done_mem = gen_mem_summary in
           Distwork.Done { done_modules; done_report; done_lstats; done_mem } );
         (1, map (fun r -> Distwork.Fail r) gen_wire_string);
+        (2, map (fun h -> Distwork.Hello h) gen_hello);
+        (1, return Distwork.Pulse);
       ])
 
 let parent_tag = function
@@ -180,12 +193,15 @@ let parent_tag = function
   | Distwork.Have _ -> "Have"
   | Distwork.Ack -> "Ack"
   | Distwork.Bye -> "Bye"
+  | Distwork.Refuse _ -> "Refuse"
 
 let worker_tag = function
   | Distwork.Need _ -> "Need"
   | Distwork.Keep _ -> "Keep"
   | Distwork.Done _ -> "Done"
   | Distwork.Fail _ -> "Fail"
+  | Distwork.Hello _ -> "Hello"
+  | Distwork.Pulse -> "Pulse"
 
 let parent_arb = QCheck.make ~print:parent_tag gen_parent_msg
 let worker_arb = QCheck.make ~print:worker_tag gen_worker_msg
@@ -310,15 +326,69 @@ let test_framed_fd_faults () =
       | Error `Timeout -> ()
       | _ -> Alcotest.fail "stalled read did not time out")
 
+(* ---------- a TCP worker fleet ---------- *)
+
+(* Spawn [n] real [cmoc-worker --listen] processes on loopback
+   ephemeral ports and hand their [host:port] endpoints to [f].  The
+   port file (written atomically by the worker once bound) is the
+   race-free ready signal.  Workers inherit the test's environment at
+   spawn time, which is how the skew and straggler legs plant
+   [$CMO_WORKER_*] levers in the fleet. *)
+let with_fleet n f =
+  with_dir @@ fun dir ->
+  let bin = Distwork.resolve_worker () in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let members =
+    List.init n (fun i ->
+        let pf = Filename.concat dir (Printf.sprintf "port%d" i) in
+        let pid =
+          Unix.create_process bin
+            [| bin; "--listen"; "127.0.0.1:0"; "--port-file"; pf |]
+            Unix.stdin devnull Unix.stderr
+        in
+        (pid, pf))
+  in
+  Unix.close devnull;
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun (pid, _) ->
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+        members)
+  @@ fun () ->
+  let wait_port pf =
+    let deadline = Unix.gettimeofday () +. 10.0 in
+    let rec go () =
+      match
+        if Sys.file_exists pf then
+          int_of_string_opt (String.trim (Helpers.read_file pf))
+        else None
+      with
+      | Some port -> Printf.sprintf "127.0.0.1:%d" port
+      | None ->
+        if Unix.gettimeofday () > deadline then
+          Alcotest.failf "worker never wrote %s" pf
+        else begin
+          Unix.sleepf 0.02;
+          go ()
+        end
+    in
+    go ()
+  in
+  f (List.map (fun (_, pf) -> wait_port pf) members)
+
 (* ---------- the determinism matrix ---------- *)
 
-(* The three execution modes under test.  [Threads] (the j=1 oracle's
-   mode) is test_parallel's subject; here it only anchors the matrix. *)
-type mode = Threads | Procs | Remote
+(* The four execution modes under test.  [Threads] (the j=1 oracle's
+   mode) is test_parallel's subject; here it only anchors the matrix.
+   [Tcp] places partitions on a real loopback worker fleet. *)
+type mode = Threads | Procs | Tcp of string list | Remote
 
 let mode_name = function
   | Threads -> "threads"
   | Procs -> "procs"
+  | Tcp _ -> "tcp"
   | Remote -> "remote"
 
 (* A deterministic in-memory remote cache, fresh per build leg so
@@ -335,6 +405,11 @@ let memory_remote () =
 let build ~mode ?remote ?profile ?cache options jobs sources =
   let options =
     { options with Options.jobs; dist = (mode <> Threads) }
+  in
+  let options =
+    match mode with
+    | Tcp workers -> { options with Options.workers }
+    | Threads | Procs | Remote -> options
   in
   let remote = if mode = Remote then remote else None in
   Pipeline.compile ?profile ?cache ?remote options sources
@@ -382,9 +457,10 @@ let check_level name ?profile options sources =
       ignore
         (with_closed_store oracle_dir (fun store ->
              build ~mode:Threads ?profile ~cache:store options 1 sources));
-      List.iter
-        (check_mode_cell name ?profile options sources ~oracle ~oracle_dir)
-        [ Procs; Remote ])
+      with_fleet 2 (fun endpoints ->
+          List.iter
+            (check_mode_cell name ?profile options sources ~oracle ~oracle_dir)
+            [ Procs; Tcp endpoints; Remote ]))
 
 let matrix_sources = Test_parallel.prog_with_rootless
 
@@ -483,6 +559,207 @@ let test_kill_sweep () =
               (Distwork.lost_total () > lost0)))
   done
 
+(* ---------- the TCP fleet: placement, skew, stragglers, partitions ---------- *)
+
+(* Jobs really land on the fleet: with no usable local binary the
+   build still completes byte-identically, every partition job runs
+   over TCP, and nothing is lost on the clean path. *)
+let test_tcp_jobs_accounted () =
+  let oracle = build ~mode:Threads Options.o4 1 matrix_sources in
+  with_fleet 2 @@ fun endpoints ->
+  with_env "CMO_DIST_WORKER" "/nonexistent/cmoc_worker" @@ fun () ->
+  let jobs0 = Distwork.jobs_total () in
+  let lost0 = Distwork.lost_total () in
+  let b = build ~mode:(Tcp endpoints) Options.o4 4 matrix_sources in
+  same_build "tcp fleet build = oracle" oracle b;
+  Alcotest.(check bool) "partition jobs ran over TCP" true
+    (Distwork.jobs_total () - jobs0 >= 2);
+  Alcotest.(check int) "no workers lost on the clean path" lost0
+    (Distwork.lost_total ());
+  let o = Pipeline.run b in
+  let oo = Pipeline.run oracle in
+  Alcotest.(check bool) "tcp image behaves like the oracle" true
+    (o.Vm.output = oo.Vm.output && o.Vm.ret = oo.Vm.ret)
+
+(* A worker fleet built from a different binary: the handshake refuses
+   every skewed Hello (fingerprint mismatch), no skewed worker ever
+   touches an artifact, and the refused jobs run locally —
+   byte-identical.  [$CMO_WORKER_FP] makes the fleet (and any spawned
+   local, which inherits it) {e report} a fake fingerprint while the
+   parent still expects the real binary digest. *)
+let test_tcp_skewed_fleet_refused () =
+  let oracle = build ~mode:Threads Options.o4 1 matrix_sources in
+  with_env "CMO_WORKER_FP" "deadbeef-version-skew" @@ fun () ->
+  with_fleet 2 @@ fun endpoints ->
+  let jobs0 = Distwork.jobs_total () in
+  let refused0 = Distwork.refused_total () in
+  let retired0 = Distwork.retired_total () in
+  let b = build ~mode:(Tcp endpoints) Options.o4 2 matrix_sources in
+  same_build "skewed fleet build = oracle" oracle b;
+  Alcotest.(check bool) "skewed workers were refused" true
+    (Distwork.refused_total () > refused0);
+  Alcotest.(check bool) "skewed endpoints were retired" true
+    (Distwork.retired_total () > retired0);
+  Alcotest.(check int) "no job completed on a skewed worker" jobs0
+    (Distwork.jobs_total ())
+
+(* The same skew on spawned pipe workers — the handshake is
+   transport-independent. *)
+let test_skewed_local_worker_refused () =
+  let oracle = build ~mode:Threads Options.o4 1 matrix_sources in
+  with_env "CMO_WORKER_FP" "deadbeef-version-skew" @@ fun () ->
+  let jobs0 = Distwork.jobs_total () in
+  let refused0 = Distwork.refused_total () in
+  let b = build ~mode:Procs Options.o4 2 matrix_sources in
+  same_build "skewed local build = oracle" oracle b;
+  Alcotest.(check bool) "skewed spawned worker was refused" true
+    (Distwork.refused_total () > refused0);
+  Alcotest.(check int) "no job completed on a skewed worker" jobs0
+    (Distwork.jobs_total ())
+
+(* A live-but-slow fleet: heartbeats prove the workers are alive, the
+   per-job deadline declares them stragglers anyway, and every
+   straggled partition is redone locally — byte-identical, with the
+   redo visible on the straggler counter. *)
+let test_tcp_straggler_redo () =
+  with_dir @@ fun oracle_dir ->
+  let oracle =
+    with_closed_store oracle_dir (fun store ->
+        build ~mode:Threads ~cache:store Options.o4 1 kill_sweep_sources)
+  in
+  with_env "CMO_WORKER_SLOW_S" "1.5" @@ fun () ->
+  with_env "CMO_WORKER_HB" "0.2" @@ fun () ->
+  with_fleet 1 @@ fun endpoints ->
+  with_env "CMO_DIST_DEADLINE" "0.4" @@ fun () ->
+  let stragglers0 = Distwork.stragglers_total () in
+  let lost0 = Distwork.lost_total () in
+  with_dir (fun d ->
+      let b =
+        with_closed_store d (fun store ->
+            build ~mode:(Tcp endpoints) ~cache:store Options.o4 2
+              kill_sweep_sources)
+      in
+      same_build "straggler build = oracle" oracle b;
+      Alcotest.(check bool) "straggler store bytes = oracle's" true
+        (same_store_bytes d oracle_dir);
+      Alcotest.(check bool) "straggler redo recorded" true
+        (Distwork.stragglers_total () > stragglers0);
+      Alcotest.(check bool) "straggled worker counted lost" true
+        (Distwork.lost_total () > lost0))
+
+(* Three straight losses trip the circuit breaker: a dead endpoint is
+   dialed (and its refusal retried through the bounded connect
+   retries), fails, and after [breaker_limit] consecutive losses is
+   retired for the pool's life — later checkouts never dial it
+   again. *)
+let test_breaker_retires_dead_endpoint () =
+  let lfd, port = Netio.listen "127.0.0.1" 0 in
+  Unix.close lfd;
+  (* No local binary: every loss is the endpoint's. *)
+  with_env "CMO_DIST_WORKER" "/nonexistent/cmoc_worker" @@ fun () ->
+  let pool =
+    Distwork.create_pool
+      ~workers:[ Printf.sprintf "127.0.0.1:%d" port ]
+      ~timeout_s:2.0 ()
+  in
+  Fun.protect ~finally:(fun () -> Distwork.close_pool pool) @@ fun () ->
+  let retired0 = Distwork.retired_total () in
+  let job =
+    {
+      Distwork.job_options = Options.o4;
+      job_modules = [];
+      job_called = [];
+      job_stored = [];
+      job_hot = None;
+      job_phase_cache = false;
+    }
+  in
+  for i = 1 to 4 do
+    match Distwork.run_job pool job with
+    | _ -> Alcotest.failf "attempt %d ran with no live workers" i
+    | exception Distwork.Worker_lost -> ()
+  done;
+  Alcotest.(check int) "endpoint retired after three straight losses"
+    (retired0 + 1)
+    (Distwork.retired_total ())
+
+(* ---------- the network partition sweep ---------- *)
+
+(* Sever the network at every protocol event in turn ([partition@K] is
+   sticky: once severed, every later send is eaten, every recv times
+   out, every dial fails).  Whatever the event, the build must
+   terminate within the hang bound, degrade the affected partitions to
+   local runs, and still produce the oracle's artifact and store
+   bytes. *)
+let test_tcp_partition_sweep () =
+  with_fleet 1 @@ fun endpoints ->
+  with_dir @@ fun oracle_dir ->
+  let oracle =
+    with_closed_store oracle_dir (fun store ->
+        build ~mode:Threads ~cache:store Options.o4 1 kill_sweep_sources)
+  in
+  (* A counting plan sizes the sweep: its net-operation count is the
+     number of distinct severing points. *)
+  (match Netio.install_plan "count" with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "count plan rejected: %s" m);
+  Fun.protect ~finally:Netio.clear_plan @@ fun () ->
+  with_dir (fun d ->
+      let b =
+        with_closed_store d (fun store ->
+            build ~mode:(Tcp endpoints) ~cache:store Options.o4 2
+              kill_sweep_sources)
+      in
+      same_build "clean tcp run = oracle" oracle b;
+      Alcotest.(check bool) "clean tcp store bytes = oracle's" true
+        (same_store_bytes d oracle_dir));
+  let n = Netio.op_count () in
+  Alcotest.(check bool)
+    (Printf.sprintf "clean tcp run used the wire (%d net ops)" n)
+    true (n > 0);
+  for k = 1 to n do
+    (match Netio.install_plan (Printf.sprintf "partition@%d" k) with
+    | Ok () -> ()
+    | Error m -> Alcotest.failf "partition@%d rejected: %s" k m);
+    with_dir (fun d ->
+        let lost0 = Distwork.lost_total () in
+        let b =
+          with_closed_store d (fun store ->
+              build ~mode:(Tcp endpoints) ~cache:store Options.o4 2
+                kill_sweep_sources)
+        in
+        same_build (Printf.sprintf "partition@%d build = oracle" k) oracle b;
+        Alcotest.(check bool)
+          (Printf.sprintf "partition@%d store bytes = oracle's" k)
+          true
+          (same_store_bytes d oracle_dir);
+        Alcotest.(check bool)
+          (Printf.sprintf "partition@%d recorded the severed worker" k)
+          true
+          (Distwork.lost_total () > lost0))
+  done;
+  Netio.clear_plan ()
+
+(* Each transient fault kind at the first protocol event: the
+   connection is written off, the partition redone locally, the
+   artifact unchanged.  (The partition sweep covers position; this
+   covers kind.) *)
+let test_tcp_fault_kinds_recover () =
+  with_fleet 1 @@ fun endpoints ->
+  let oracle = build ~mode:Threads Options.o4 1 kill_sweep_sources in
+  List.iter
+    (fun spec ->
+      (match Netio.install_plan spec with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s rejected: %s" spec m);
+      Fun.protect ~finally:Netio.clear_plan (fun () ->
+          let lost0 = Distwork.lost_total () in
+          let b = build ~mode:(Tcp endpoints) Options.o4 2 kill_sweep_sources in
+          same_build (spec ^ " build = oracle") oracle b;
+          Alcotest.(check bool) (spec ^ " wrote off the connection") true
+            (Distwork.lost_total () > lost0)))
+    [ "drop@1"; "stall@1"; "garble@1,seed=9"; "reset@1"; "garble@2,seed=4" ]
+
 (* ---------- the remote artifact cache through a live cmocd ---------- *)
 
 (* Two "checkouts" (separate local stores) share one daemon: the first
@@ -571,7 +848,14 @@ let suite =
     ("matrix +O4+P", `Slow, test_matrix_o4_pbo);
     ("matrix whole-set chain", `Slow, test_matrix_chain);
     ("dist jobs accounted", `Quick, test_dist_jobs_accounted);
+    ("tcp jobs accounted", `Quick, test_tcp_jobs_accounted);
     ("degrades without worker", `Quick, test_degrades_without_worker);
+    ("skewed fleet refused", `Quick, test_tcp_skewed_fleet_refused);
+    ("skewed local worker refused", `Quick, test_skewed_local_worker_refused);
+    ("straggler redo", `Quick, test_tcp_straggler_redo);
+    ("breaker retires dead endpoint", `Quick, test_breaker_retires_dead_endpoint);
     ("kill-sweep", `Slow, test_kill_sweep);
+    ("partition sweep over tcp", `Slow, test_tcp_partition_sweep);
+    ("tcp fault kinds recover", `Quick, test_tcp_fault_kinds_recover);
     ("remote cache via cmocd", `Slow, test_remote_cache_via_cmocd);
   ]

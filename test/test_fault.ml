@@ -615,6 +615,220 @@ let test_cohort_crash_sweep () =
     if state reg <> oracle then Alcotest.failf "crash@%d: repair diverged" k
   done
 
+(* ---------- the network chokepoint (Netio) ---------- *)
+
+(* Fsio's plan discipline applied to the wire: the same grammar shape,
+   counters, purity-of-counting and injected-errors-look-real
+   properties, against Netio's own fault kinds. *)
+
+module Netio = Cmo_support.Netio
+
+let net_install spec =
+  match Netio.install_plan spec with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "net plan %S rejected: %s" spec m
+
+let with_net_plan spec f =
+  net_install spec;
+  Fun.protect ~finally:Netio.clear_plan f
+
+let test_net_plan_parse () =
+  Fun.protect ~finally:Netio.clear_plan @@ fun () ->
+  List.iter net_install
+    [ "count"; "drop@1"; "stall@5,seed=3"; "garble@2,reset@7,partition@9";
+      " drop@4 , seed=12 " ];
+  List.iter
+    (fun spec ->
+      match Netio.install_plan spec with
+      | Ok () -> Alcotest.failf "net plan %S accepted" spec
+      | Error _ -> ())
+    (* crash/enospc are Fsio kinds — the wire injector must not
+       accept disk faults. *)
+    [ ""; "bogus"; "drop@0"; "drop@x"; "crash@3"; "enospc@1"; "seed=x";
+      "drop=3" ]
+
+let test_net_counters_without_plan () =
+  Netio.clear_plan ();
+  Alcotest.(check bool) "no plan" false (Netio.plan_active ());
+  Alcotest.(check int) "no ops counted" 0 (Netio.op_count ());
+  Alcotest.(check int) "no injections" 0 (Netio.injected ())
+
+let test_net_parse_addr () =
+  let ok s = Netio.parse_addr s in
+  Alcotest.(check bool) "plain" true (ok "127.0.0.1:80" = Ok ("127.0.0.1", 80));
+  Alcotest.(check bool) "port 0" true (ok "box:0" = Ok ("box", 0));
+  (* The split is at the last colon, so bracketless IPv6 hosts work. *)
+  Alcotest.(check bool) "last colon" true (ok "::1:443" = Ok ("::1", 443));
+  List.iter
+    (fun s ->
+      match ok s with
+      | Ok _ -> Alcotest.failf "address %S accepted" s
+      | Error _ -> ())
+    [ "noport"; "h:"; "h:x"; "h:70000"; "h:-1"; ":80" ]
+
+(* One connected socketpair per scenario: Netio.send/recv treat any
+   stream fd alike, so the fault semantics are testable without a
+   listener. *)
+let with_net_pair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      Netio.clear_plan ();
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () -> f a b)
+
+(* A counting plan observes without perturbing — Netio's copy of the
+   Fsio purity property. *)
+let test_net_counting_is_pure () =
+  with_net_pair @@ fun a b ->
+  with_net_plan "count" @@ fun () ->
+  Netio.send a "across the wire";
+  (match Netio.recv ~timeout_s:1.0 b with
+  | Ok payload -> Alcotest.(check string) "payload intact" "across the wire" payload
+  | Error _ -> Alcotest.fail "counted recv failed");
+  Alcotest.(check int) "two operations counted" 2 (Netio.op_count ());
+  Alcotest.(check int) "nothing injected" 0 (Netio.injected ())
+
+let test_net_drop () =
+  with_net_pair @@ fun a b ->
+  (* Send side: the message vanishes silently — the peer's bounded
+     read times out for real because nothing was written. *)
+  with_net_plan "drop@1" (fun () ->
+      Netio.send a "lost";
+      Alcotest.(check int) "drop injected" 1 (Netio.injected ());
+      match Fsio.read_framed ~timeout_s:0.05 b with
+      | Error `Timeout -> ()
+      | _ -> Alcotest.fail "dropped send reached the peer");
+  (* Recv side: the frame is on the wire, but operation K never sees
+     it — and because the fd is untouched, the next operation does. *)
+  with_net_plan "drop@1" (fun () ->
+      Fsio.write_framed a "delayed";
+      (match Netio.recv ~timeout_s:1.0 b with
+      | Error `Timeout -> ()
+      | _ -> Alcotest.fail "dropped recv yielded data");
+      match Netio.recv ~timeout_s:1.0 b with
+      | Ok payload -> Alcotest.(check string) "frame survives the drop" "delayed" payload
+      | Error _ -> Alcotest.fail "post-drop recv failed")
+
+let test_net_stall () =
+  with_net_pair @@ fun a b ->
+  with_net_plan "stall@1" (fun () ->
+      let t0 = Unix.gettimeofday () in
+      (match Netio.recv ~timeout_s:30.0 b with
+      | Error `Timeout -> ()
+      | _ -> Alcotest.fail "stalled recv yielded data");
+      (* Fail-fast: the injected timeout must not sleep out the
+         deadline — that is what keeps partition sweeps cheap. *)
+      Alcotest.(check bool) "injected stall is immediate" true
+        (Unix.gettimeofday () -. t0 < 5.0));
+  with_net_plan "stall@1" (fun () ->
+      match Netio.send a "wedged" with
+      | () -> Alcotest.fail "stalled send succeeded"
+      | exception Sys_error _ -> ())
+
+let test_net_garble () =
+  (* Send side: the peer's CRC machinery refuses the damaged frame —
+     the corruption is detected by the receiver, like real line
+     noise. *)
+  with_net_pair (fun a b ->
+      with_net_plan "garble@1,seed=7" (fun () ->
+          Netio.send a "precious bits";
+          match Fsio.read_framed ~timeout_s:1.0 b with
+          | Error (`Bad _) -> ()
+          | Ok _ -> Alcotest.fail "garbled frame passed the peer's CRC"
+          | Error `Eof -> Alcotest.fail "garbled send read as EOF"
+          | Error `Timeout -> Alcotest.fail "garbled send wrote nothing"));
+  (* Recv side: reported locally without consuming the stream. *)
+  with_net_pair (fun a b ->
+      with_net_plan "garble@1" (fun () ->
+          Fsio.write_framed a "precious bits";
+          (match Netio.recv ~timeout_s:1.0 b with
+          | Error (`Bad _) -> ()
+          | _ -> Alcotest.fail "garbled recv did not report Bad");
+          match Netio.recv ~timeout_s:1.0 b with
+          | Ok p -> Alcotest.(check string) "stream intact after garble" "precious bits" p
+          | Error _ -> Alcotest.fail "post-garble recv failed"))
+
+let test_net_reset_is_one_shot () =
+  with_net_pair @@ fun a b ->
+  with_net_plan "reset@1" @@ fun () ->
+  (match Netio.send a "gone" with
+  | () -> Alcotest.fail "reset send succeeded"
+  | exception Sys_error _ -> ());
+  (* One-shot: the connection works again at the next operation. *)
+  Netio.send a "back";
+  match Netio.recv ~timeout_s:1.0 b with
+  | Ok p -> Alcotest.(check string) "post-reset roundtrip" "back" p
+  | Error _ -> Alcotest.fail "post-reset recv failed"
+
+let test_net_partition_is_sticky () =
+  with_net_pair @@ fun a b ->
+  with_net_plan "partition@1" @@ fun () ->
+  Netio.send a "severed";
+  Alcotest.(check int) "partition injected once" 1 (Netio.injected ());
+  (* Every later operation is suppressed without advancing the
+     operation clock: sends write nothing, recvs time out, dials
+     fail. *)
+  let ops_after = Netio.op_count () in
+  Netio.send a "also severed";
+  (match Netio.recv ~timeout_s:1.0 b with
+  | Error `Timeout -> ()
+  | _ -> Alcotest.fail "severed recv yielded data");
+  (match Netio.connect ~timeout_s:0.2 "127.0.0.1" 1 with
+  | fd ->
+    Unix.close fd;
+    Alcotest.fail "severed connect succeeded"
+  | exception Sys_error _ -> ());
+  Alcotest.(check int) "severed ops do not count" ops_after (Netio.op_count ());
+  Alcotest.(check int) "partition counts once" 1 (Netio.injected ());
+  (* Clearing the plan heals the partition. *)
+  Netio.clear_plan ();
+  Netio.send a "healed";
+  match Netio.recv ~timeout_s:1.0 b with
+  | Ok p -> Alcotest.(check string) "post-heal roundtrip" "healed" p
+  | Error _ -> Alcotest.fail "post-heal recv failed"
+
+(* Real loopback: listen on an ephemeral port, dial it, move frames
+   both ways — the no-plan fast path of the whole connect stack. *)
+let test_net_listen_connect_roundtrip () =
+  Netio.clear_plan ();
+  let lfd, port = Netio.listen "127.0.0.1" 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close lfd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Alcotest.(check bool) "ephemeral port picked" true (port > 0);
+  let cfd = Netio.connect ~timeout_s:5.0 "127.0.0.1" port in
+  let sfd, _ = Unix.accept lfd in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close cfd with Unix.Unix_error _ -> ());
+      try Unix.close sfd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Netio.send cfd "ping";
+  (match Netio.recv ~timeout_s:5.0 sfd with
+  | Ok p -> Alcotest.(check string) "client->server" "ping" p
+  | Error _ -> Alcotest.fail "server never saw the frame");
+  Netio.send sfd "pong";
+  match Netio.recv ~timeout_s:5.0 cfd with
+  | Ok p -> Alcotest.(check string) "server->client" "pong" p
+  | Error _ -> Alcotest.fail "client never saw the reply"
+
+(* A dead port is a transient connect error: the dialer retries its
+   bounded attempts (visible on the retry counter) and then fails with
+   Sys_error — an injected-or-real distinction the caller cannot
+   see. *)
+let test_net_connect_retries_then_fails () =
+  Netio.clear_plan ();
+  let lfd, port = Netio.listen "127.0.0.1" 0 in
+  Unix.close lfd;
+  let r0 = Netio.retries () in
+  (match Netio.connect ~timeout_s:0.5 "127.0.0.1" port with
+  | fd ->
+    Unix.close fd;
+    Alcotest.fail "connect to a closed port succeeded"
+  | exception Sys_error _ -> ());
+  Alcotest.(check bool) "bounded retries burned" true (Netio.retries () - r0 >= 2)
+
 let suite =
   [
     ("plan grammar", `Quick, test_plan_parse);
@@ -637,4 +851,15 @@ let suite =
     Helpers.to_alcotest test_pack_corruption_clean_subset;
     ("pack crash sweep", `Slow, test_pack_crash_sweep);
     ("cohort registry crash sweep", `Slow, test_cohort_crash_sweep);
+    ("net plan grammar", `Quick, test_net_plan_parse);
+    ("net counters without a plan", `Quick, test_net_counters_without_plan);
+    ("net address parsing", `Quick, test_net_parse_addr);
+    ("net counting plan is pure", `Quick, test_net_counting_is_pure);
+    ("net drop semantics", `Quick, test_net_drop);
+    ("net stall semantics", `Quick, test_net_stall);
+    ("net garble semantics", `Quick, test_net_garble);
+    ("net reset is one-shot", `Quick, test_net_reset_is_one_shot);
+    ("net partition is sticky", `Quick, test_net_partition_is_sticky);
+    ("net listen/connect roundtrip", `Quick, test_net_listen_connect_roundtrip);
+    ("net connect retries then fails", `Quick, test_net_connect_retries_then_fails);
   ]

@@ -568,6 +568,88 @@ let test_end_to_end () =
   Alcotest.(check bool) "socket removed on shutdown" false
     (Sys.file_exists config.Server.socket)
 
+(* The same daemon over the multi-machine transport: a [tcp:] socket
+   with an ephemeral port, the actual address read back from
+   {!Server.address}, and the whole client surface (ping, builds
+   byte-identical to a one-shot, the remote artifact cache) unchanged
+   — the transport is a deployment detail.  A second daemon on the
+   bound port is refused by the kernel, and shutdown leaves no socket
+   file behind because there never was one. *)
+let test_end_to_end_tcp () =
+  with_dir @@ fun dir ->
+  let config =
+    {
+      Server.socket = "tcp:127.0.0.1:0";
+      builders = 2;
+      queue_max = 8;
+      state_dir = Filename.concat dir "state";
+      cache_capacity = None;
+      trace = None;
+    }
+  in
+  let oracle =
+    List.map Objfile.encode
+      (Pipeline.compile
+         { Options.o4 with Options.jobs = 1 }
+         session_sources)
+        .Pipeline.objects
+  in
+  let t = Server.start config in
+  let finished = ref false in
+  Fun.protect
+    ~finally:(fun () ->
+      if not !finished then begin
+        Server.shutdown t;
+        Server.wait t
+      end)
+  @@ fun () ->
+  let address = Server.address t in
+  Alcotest.(check bool) "ephemeral port resolved"
+    true
+    (String.length address > String.length "tcp:127.0.0.1:"
+    && String.sub address 0 14 = "tcp:127.0.0.1:"
+    && address <> config.Server.socket);
+  Client.with_connect ~socket:address (fun conn ->
+      Alcotest.(check bool) "ping over tcp" true (Client.ping conn);
+      let req tag =
+        {
+          Proto.tag;
+          level = Options.O4;
+          pbo = false;
+          jobs = 1;
+          check = false;
+          fault = None;
+          sources = session_sources;
+        }
+      in
+      (match Client.build conn (req "tcp-cold") with
+      | Proto.Built { objects; _ } ->
+        Alcotest.(check bool) "tcp build matches one-shot" true
+          (objects = oracle)
+      | _ -> Alcotest.fail "tcp build did not complete");
+      Alcotest.(check (option string)) "tcp cache_get miss" None
+        (Client.cache_get conn "no-such-fingerprint");
+      Client.cache_put conn "tcp-key" "tcp-bytes";
+      Alcotest.(check (option string)) "tcp cache roundtrip"
+        (Some "tcp-bytes")
+        (Client.cache_get conn "tcp-key");
+      (* The bound port is taken: a second daemon must fail to bind,
+         not silently serve from somewhere else. *)
+      (match
+         Server.start
+           { config with Server.socket = address;
+             state_dir = Filename.concat dir "state2" }
+       with
+      | exception Sys_error _ -> ()
+      | exception Unix.Unix_error (Unix.EADDRINUSE, _, _) -> ()
+      | t2 ->
+        Server.shutdown t2;
+        Server.wait t2;
+        Alcotest.fail "second daemon bound a live tcp port");
+      Client.shutdown_server conn);
+  Server.wait t;
+  finished := true
+
 let suite =
   [
     QCheck_alcotest.to_alcotest qcheck_request_roundtrip;
@@ -588,4 +670,5 @@ let suite =
       test_session_warm;
     Alcotest.test_case "daemon end to end over a socket" `Quick
       test_end_to_end;
+    Alcotest.test_case "daemon end to end over tcp" `Quick test_end_to_end_tcp;
   ]
